@@ -1,0 +1,129 @@
+//! Criterion benches wrapping each experiment of the paper.
+//!
+//! One group per table/figure; each measurement runs the *actual*
+//! experiment (translation + simulation), so `cargo bench` both
+//! regenerates the numbers and tracks the simulator's own performance.
+//! Representative benchmarks keep wall-clock time reasonable; the
+//! `fig4_speedup` / `fig5_missrate` binaries run the full 22-benchmark
+//! sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ds_bench::run_single;
+use ds_core::trace::trace_single_line;
+use ds_core::topology::Topology;
+use ds_core::{InputSize, Mode, SystemConfig};
+use ds_coherence::transition_table;
+use ds_workloads::catalog;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/config_build_and_render", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::paper_default();
+            std::hint::black_box(cfg.to_string())
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/catalog_and_specs", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for bench in catalog::all() {
+                for input in [InputSize::Small, InputSize::Big] {
+                    total += bench.spec(input).arrays.iter().map(|a| a.bytes).sum::<u64>();
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_dataflow");
+    g.sample_size(10);
+    for mode in [Mode::Ccsm, Mode::DirectStore] {
+        g.bench_function(format!("{mode}"), |b| {
+            b.iter(|| std::hint::black_box(trace_single_line(mode)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2/topology_build", |b| {
+        let cfg = SystemConfig::paper_default();
+        b.iter(|| std::hint::black_box(Topology::of(&cfg)))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3/protocol_table", |b| {
+        b.iter(|| std::hint::black_box(transition_table()))
+    });
+}
+
+/// Fig. 4 representative points: the paper's headline winner (NN), a
+/// flat benchmark (PT) and a shared-memory one (HT), under both modes.
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut g = c.benchmark_group("fig4_speedup");
+    g.sample_size(10);
+    for code in ["NN", "PT", "HT"] {
+        for mode in [Mode::Ccsm, Mode::DirectStore] {
+            g.bench_function(format!("{code}/small/{mode}"), |b| {
+                b.iter(|| std::hint::black_box(run_single(&cfg, code, InputSize::Small, mode)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Fig. 5 representative points: miss-rate measurement on VA (large
+/// reduction) and MM (the capacity-cliff case), small inputs.
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_default();
+    let mut g = c.benchmark_group("fig5_missrate");
+    g.sample_size(10);
+    for code in ["VA", "MM"] {
+        for mode in [Mode::Ccsm, Mode::DirectStore] {
+            g.bench_function(format!("{code}/small/{mode}"), |b| {
+                b.iter(|| {
+                    let r = run_single(&cfg, code, InputSize::Small, mode);
+                    std::hint::black_box(r.gpu_l2_miss_rate())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Ablation: direct-network latency sweep on VA (paper §III.G claims
+/// the dedicated network provides fast delivery).
+fn bench_ablation_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_net_latency");
+    g.sample_size(10);
+    for lat in [5u64, 20, 80] {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.direct_hop_latency = lat;
+        g.bench_function(format!("direct_lat_{lat}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(run_single(&cfg, "VA", InputSize::Small, Mode::DirectStore))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_ablation_net
+);
+criterion_main!(benches);

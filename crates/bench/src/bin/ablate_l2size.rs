@@ -1,0 +1,37 @@
+//! Ablation: GPU L2 capacity sweep (§IV.C's capacity argument).
+//!
+//! The paper attributes the big-input fall-off to the input exceeding
+//! the GPU L2. Sweeping the slice size confirms the mechanism: the
+//! speedup collapses once the produced footprint no longer fits.
+//!
+//! Usage: `ablate_l2size [CODE] [small|big]` (default MM small)
+
+use ds_bench::run_single;
+use ds_cache::CacheGeometry;
+use ds_core::{InputSize, Mode, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = args.first().map(String::as_str).unwrap_or("MM");
+    let input = match args.get(1).map(String::as_str) {
+        Some("big") => InputSize::Big,
+        _ => InputSize::Small,
+    };
+    println!("ABLATION — GPU L2 slice capacity ({code}, {input} input)");
+    println!("========================================================");
+    for slice_kb in [64u64, 128, 256, 512, 1024, 2048] {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.gpu_l2_slice =
+            CacheGeometry::new(slice_kb * 1024, 16).expect("power-of-two slice");
+        let ccsm = run_single(&cfg, code, input, Mode::Ccsm).total_cycles.as_u64();
+        let ds = run_single(&cfg, code, input, Mode::DirectStore)
+            .total_cycles
+            .as_u64();
+        let speedup = (ccsm as f64 / ds as f64 - 1.0) * 100.0;
+        println!(
+            "  L2 total {:>5} KB: speedup {:>6.2}%",
+            slice_kb * 4,
+            speedup
+        );
+    }
+}

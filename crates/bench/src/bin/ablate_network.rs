@@ -1,0 +1,39 @@
+//! Ablation: dedicated direct-network latency sweep (§III.G).
+//!
+//! The paper adds "a fast network directly connecting the CPU and the
+//! GPU L2 cache". How fast does it need to be? Sweeping its per-hop
+//! latency shows the benefit is robust: pushes are pipelined behind
+//! the producing computation, so even a slow direct network keeps most
+//! of the gain.
+//!
+//! Usage: `ablate_network [CODE...]` (default NN VA)
+
+use ds_bench::run_single;
+use ds_core::{InputSize, Mode, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let codes: Vec<&str> = if args.is_empty() {
+        vec!["NN", "VA"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("ABLATION — direct-network per-hop latency (cycles)");
+    println!("===================================================");
+    for code in codes {
+        let ccsm =
+            run_single(&SystemConfig::paper_default(), code, InputSize::Small, Mode::Ccsm)
+                .total_cycles
+                .as_u64();
+        println!("{code} (CCSM baseline: {ccsm} cycles)");
+        for lat in [5u64, 10, 20, 40, 80, 160] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.direct_hop_latency = lat;
+            let ds = run_single(&cfg, code, InputSize::Small, Mode::DirectStore)
+                .total_cycles
+                .as_u64();
+            let speedup = (ccsm as f64 / ds as f64 - 1.0) * 100.0;
+            println!("  latency {lat:>4}: {ds:>10} cycles  speedup {speedup:>6.2}%");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Ablation: direct store vs a next-line GPU L2 prefetcher.
+//!
+//! The paper remarks (§IV, omitted for space) that "direct store's
+//! performance improvements there are even higher" than against
+//! prefetching. This harness adds a next-line prefetcher to the
+//! baseline and re-measures.
+//!
+//! Usage: `ablate_prefetch [CODE...]` (default NN VA MM BP)
+
+use ds_bench::run_single;
+use ds_core::{InputSize, Mode, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let codes: Vec<&str> = if args.is_empty() {
+        vec!["NN", "VA", "MM", "BP"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("ABLATION — CCSM vs CCSM+prefetch vs direct store (small inputs)");
+    println!("================================================================");
+    println!(
+        "{:<5} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "name", "ccsm", "ccsm+pf", "ds", "ds vs ccsm", "ds vs pf"
+    );
+    for code in codes {
+        let base = SystemConfig::paper_default();
+        let mut pf_cfg = SystemConfig::paper_default();
+        pf_cfg.gpu_l2_prefetch = true;
+        let ccsm = run_single(&base, code, InputSize::Small, Mode::Ccsm)
+            .total_cycles
+            .as_u64();
+        let pf = run_single(&pf_cfg, code, InputSize::Small, Mode::Ccsm)
+            .total_cycles
+            .as_u64();
+        let ds = run_single(&base, code, InputSize::Small, Mode::DirectStore)
+            .total_cycles
+            .as_u64();
+        println!(
+            "{:<5} {:>10} {:>12} {:>10} {:>11.2}% {:>11.2}%",
+            code,
+            ccsm,
+            pf,
+            ds,
+            (ccsm as f64 / ds as f64 - 1.0) * 100.0,
+            (pf as f64 / ds as f64 - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation: direct store as a complement vs. a stand-alone
+//! replacement for coherence (§III.H).
+//!
+//! The replacement design removes the broadcast protocol entirely;
+//! the paper argues it is "a simpler design with better performance".
+//!
+//! Usage: `ablate_replacement [small|big]`
+
+use ds_bench::{parse_sizes, run_single};
+use ds_core::{Mode, SystemConfig};
+use ds_core::Scenario;
+use ds_workloads::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = SystemConfig::paper_default();
+    for input in parse_sizes(&args[..args.len().min(1)]) {
+        println!();
+        println!("ABLATION — DS-complement vs DS-replacement ({input} inputs)");
+        println!("============================================================");
+        println!(
+            "{:<5} {:>10} {:>10} {:>10} {:>14}",
+            "name", "ccsm", "ds", "ds-only", "coh msgs saved"
+        );
+        for b in catalog::all() {
+            let code = b.code().to_string();
+            let ccsm = run_single(&cfg, &code, input, Mode::Ccsm);
+            let ds = run_single(&cfg, &code, input, Mode::DirectStore);
+            let dso = run_single(&cfg, &code, input, Mode::DirectStoreOnly);
+            println!(
+                "{:<5} {:>10} {:>10} {:>10} {:>14}",
+                code,
+                ccsm.total_cycles.as_u64(),
+                ds.total_cycles.as_u64(),
+                dso.total_cycles.as_u64(),
+                ds.coh_net.total_msgs() - dso.coh_net.total_msgs()
+            );
+        }
+    }
+}

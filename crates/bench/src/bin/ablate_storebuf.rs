@@ -1,0 +1,37 @@
+//! Ablation: store-buffer depth (§III.B's latency trade).
+//!
+//! Direct store trades increased CPU store latency for reduced GPU
+//! load latency; the store buffer is what absorbs that extra latency.
+//! Shrinking it shows where the trade starts to bite the producer.
+//!
+//! Usage: `ablate_storebuf [CODE]` (default VA)
+
+use ds_bench::run_single;
+use ds_core::{InputSize, Mode, SystemConfig};
+
+fn main() {
+    let code_owned = std::env::args().nth(1).unwrap_or_else(|| "VA".to_string());
+    let code = code_owned.as_str();
+    println!("ABLATION — store-buffer entries ({code}, small input)");
+    println!("======================================================");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>12}",
+        "entries", "ccsm", "ds", "speedup", "sb stalls(ds)"
+    );
+    for entries in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.store_buffer_entries = entries;
+        cfg.store_drain_parallelism = cfg.store_drain_parallelism.min(entries);
+        let ccsm = run_single(&cfg, code, InputSize::Small, Mode::Ccsm);
+        let ds = run_single(&cfg, code, InputSize::Small, Mode::DirectStore);
+        println!(
+            "{:<8} {:>12} {:>12} {:>9.2}% {:>12}",
+            entries,
+            ccsm.total_cycles.as_u64(),
+            ds.total_cycles.as_u64(),
+            (ccsm.total_cycles.as_u64() as f64 / ds.total_cycles.as_u64() as f64 - 1.0)
+                * 100.0,
+            ds.store_buffer_stalls
+        );
+    }
+}

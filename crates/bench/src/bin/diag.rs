@@ -1,0 +1,41 @@
+//! Diagnostic tool: full run reports for one benchmark.
+//!
+//! Usage: `diag <CODE> [small|big]`
+
+use ds_bench::run_single;
+use ds_core::{InputSize, Mode, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = args.first().map(String::as_str).unwrap_or("VA");
+    let input = match args.get(1).map(String::as_str) {
+        Some("big") => InputSize::Big,
+        _ => InputSize::Small,
+    };
+    let cfg = SystemConfig::paper_default();
+    for mode in [Mode::Ccsm, Mode::DirectStore] {
+        let r = run_single(&cfg, code, input, mode);
+        println!("{r}");
+        println!(
+            "  gpu-l1: {}  push_hits={} pushed_fills={}",
+            r.gpu_l1,
+            r.gpu_l2.push_hits.value(),
+            r.gpu_l2.pushed_fills.value()
+        );
+        println!(
+            "  sb stalls={} warps={} kernels={}",
+            r.store_buffer_stalls, r.warps_completed, r.kernels_run
+        );
+        println!(
+            "  hub: txns={} conflicts={} probes={}  dram row hits={}  events={}",
+            r.hub_transactions, r.hub_conflicts, r.hub_probes, r.dram_row_hits, r.events
+        );
+        println!(
+            "  phases: produce ~{}  kernels ~{}  tail ~{}",
+            r.first_kernel_start.as_u64(),
+            r.last_kernel_end.as_u64() - r.first_kernel_start.as_u64(),
+            r.total_cycles.as_u64().saturating_sub(r.last_kernel_end.as_u64())
+        );
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Exports the full evaluation as CSV for external plotting.
+//!
+//! Columns: benchmark, suite, shared memory, input size, mode, total
+//! cycles, GPU L2 accesses/misses/miss-rate/compulsory, pushes,
+//! coherence/direct/gpu network messages, DRAM reads/writes.
+//!
+//! Usage: `export_csv [small|big|both]` (default both); writes to
+//! stdout.
+
+use ds_core::{Mode, Pipeline, Scenario};
+use ds_workloads::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes = ds_bench::parse_sizes(&args);
+    let pipeline = Pipeline::paper_default();
+    println!(
+        "benchmark,suite,shared_memory,input,mode,total_cycles,gpu_l2_accesses,\
+         gpu_l2_misses,gpu_l2_miss_rate,gpu_l2_compulsory,push_hits,direct_pushes,\
+         coh_msgs,direct_msgs,gpu_msgs,dram_reads,dram_writes"
+    );
+    for input in sizes {
+        for b in catalog::all() {
+            for mode in [Mode::Ccsm, Mode::DirectStore] {
+                let r = pipeline
+                    .run_one(&b, input, mode)
+                    .unwrap_or_else(|e| panic!("{} {input} {mode}: {e}", b.code()));
+                println!(
+                    "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{}",
+                    b.code(),
+                    b.suite(),
+                    b.uses_shared_memory(),
+                    input,
+                    mode,
+                    r.total_cycles.as_u64(),
+                    r.gpu_l2.accesses(),
+                    r.gpu_l2.misses.value(),
+                    r.gpu_l2_miss_rate(),
+                    r.gpu_l2_compulsory_misses(),
+                    r.gpu_l2.push_hits.value(),
+                    r.direct_pushes,
+                    r.coh_net.total_msgs(),
+                    r.direct_net.total_msgs(),
+                    r.gpu_net.total_msgs(),
+                    r.dram_reads,
+                    r.dram_writes
+                );
+            }
+        }
+    }
+}

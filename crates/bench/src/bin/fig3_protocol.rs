@@ -1,0 +1,45 @@
+//! Regenerates Fig. 3: the modified Hammer state-transition table.
+//!
+//! Rows marked `**` are the paper's bold direct-store additions; the
+//! row marked `..>` is the blue dashed GPU-L2 `I -> MM` edge.
+
+use ds_coherence::{transition_table, NextState, ProtocolEvent};
+
+fn main() {
+    println!("FIG. 3 — MODIFIED HAMMER PROTOCOL (MM, M, O, S, I)");
+    println!("===================================================");
+    println!(
+        "{:<6} {:<13} {:<12} {:<30} annotation",
+        "state", "event", "next", "actions"
+    );
+    for row in transition_table() {
+        let Some(t) = row.outcome else {
+            continue;
+        };
+        let next = match t.next {
+            NextState::Imm(s) => s.to_string(),
+            NextState::OnData { shared, exclusive } => format!("{shared}|{exclusive}"),
+        };
+        let actions = t
+            .actions
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mark = if row.event == ProtocolEvent::PutXArrive {
+            "..> blue dashed (GPU L2 only)"
+        } else if row.is_direct_store_addition {
+            "**  bold (direct-store addition)"
+        } else {
+            ""
+        };
+        println!(
+            "{:<6} {:<13} {:<12} {:<30} {}",
+            row.state.to_string(),
+            row.event.to_string(),
+            next,
+            actions,
+            mark
+        );
+    }
+}

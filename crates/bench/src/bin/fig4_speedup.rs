@@ -1,0 +1,36 @@
+//! Regenerates Fig. 4: direct-store speedup over CCSM for small (top)
+//! and big (bottom) inputs, with the geometric mean of non-zero
+//! speedups as the right-most bar.
+//!
+//! Usage: `fig4_speedup [small|big|both]`
+
+use ds_bench::{bar, geomean_nonzero_speedup_percent, parse_sizes, run_sweep};
+use ds_core::SystemConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = SystemConfig::paper_default();
+    for input in parse_sizes(&args) {
+        println!();
+        println!("FIG. 4 ({input}) — DIRECT-STORE SPEEDUP OVER CCSM");
+        println!("==================================================");
+        let comparisons = run_sweep(&cfg, input);
+        let max = comparisons
+            .iter()
+            .map(|c| c.speedup_percent())
+            .fold(1.0f64, f64::max);
+        for c in &comparisons {
+            let pct = c.speedup_percent();
+            println!("{:<4} {:>7.2}%  {}", c.code, pct, bar(pct, max, 40));
+        }
+        let geo = geomean_nonzero_speedup_percent(&comparisons);
+        println!("{:<4} {:>7.2}%  {}  (geomean of non-zero speedups)", "GEO", geo, bar(geo, max, 40));
+        println!(
+            "paper reference geomean: {}",
+            match input {
+                ds_core::InputSize::Small => "7.8%",
+                ds_core::InputSize::Big => "5.7%",
+            }
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table I: the simulated system configuration.
+
+use ds_core::SystemConfig;
+
+fn main() {
+    println!("TABLE I — SYSTEM CONFIGURATION");
+    println!("==============================");
+    println!("{}", SystemConfig::paper_default());
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table II: the benchmark inventory.
+
+use ds_core::{InputSize, Scenario};
+use ds_workloads::catalog;
+
+fn main() {
+    println!("TABLE II — BENCHMARKS");
+    println!("=====================");
+    println!(
+        "{:<5} {:<26} {:<15} {:<15} {:<11} {:<6} {:>12} {:>12}",
+        "Name", "Benchmark", "Small input", "Big input", "Suite", "Shared", "small bytes", "big bytes"
+    );
+    for b in catalog::all() {
+        let small: u64 = b
+            .spec(InputSize::Small)
+            .arrays
+            .iter()
+            .map(|a| a.bytes)
+            .sum();
+        let big: u64 = b.spec(InputSize::Big).arrays.iter().map(|a| a.bytes).sum();
+        println!(
+            "{:<5} {:<26} {:<15} {:<15} {:<11} {:<6} {:>12} {:>12}",
+            b.code(),
+            b.name(),
+            b.small_label(),
+            b.big_label(),
+            b.suite().to_string(),
+            if b.uses_shared_memory() { "Yes" } else { "No" },
+            small,
+            big
+        );
+    }
+}

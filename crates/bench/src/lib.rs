@@ -1,0 +1,140 @@
+//! # ds-bench — the figure and table regeneration harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` for the
+//! full index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I (system configuration) |
+//! | `table2` | Table II (benchmark inventory) |
+//! | `fig1_dataflow` | Fig. 1 (CCSM vs DS data movement) |
+//! | `fig2_topology` | Fig. 2 (control flow + topology) |
+//! | `fig3_protocol` | Fig. 3 (modified Hammer transition table) |
+//! | `fig4_speedup` | Fig. 4 (speedup, small/big inputs) |
+//! | `fig5_missrate` | Fig. 5 (GPU L2 miss rates, small/big inputs) |
+//! | `ablate_*` | design-choice ablations (DESIGN.md) |
+//!
+//! This library holds the shared sweep/formatting code; the binaries
+//! are thin wrappers.
+
+use ds_core::{Comparison, InputSize, Mode, Pipeline, RunReport, SystemConfig};
+use ds_workloads::{catalog, Benchmark};
+
+/// Runs the full 22-benchmark comparison sweep at `input`.
+///
+/// # Panics
+///
+/// Panics if any benchmark fails translation — a regression, since
+/// every catalog entry is translation-tested.
+pub fn run_sweep(cfg: &SystemConfig, input: InputSize) -> Vec<Comparison> {
+    run_sweep_with(cfg, input, |_| true)
+}
+
+/// Runs the comparison sweep over the benchmarks `filter` selects.
+///
+/// # Panics
+///
+/// Panics if a selected benchmark fails translation.
+pub fn run_sweep_with(
+    cfg: &SystemConfig,
+    input: InputSize,
+    filter: impl Fn(&Benchmark) -> bool,
+) -> Vec<Comparison> {
+    let pipeline = Pipeline::with_config(cfg.clone());
+    catalog::all()
+        .into_iter()
+        .filter(|b| filter(b))
+        .map(|b| {
+            pipeline
+                .run_comparison(&b, input)
+                .unwrap_or_else(|e| panic!("{}: {e}", ds_core::Scenario::code(&b)))
+        })
+        .collect()
+}
+
+/// Runs one benchmark under one mode.
+///
+/// # Panics
+///
+/// Panics on translation failure or unknown code.
+pub fn run_single(cfg: &SystemConfig, code: &str, input: InputSize, mode: Mode) -> RunReport {
+    let b = catalog::by_code(code).unwrap_or_else(|| panic!("unknown benchmark {code}"));
+    Pipeline::with_config(cfg.clone())
+        .run_one(&b, input, mode)
+        .unwrap_or_else(|e| panic!("{code}: {e}"))
+}
+
+/// The paper's Fig. 4 summary statistic: geometric mean over the
+/// *non-zero* speedups, as a percentage.
+pub fn geomean_nonzero_speedup_percent(comparisons: &[Comparison]) -> f64 {
+    let gains: Vec<f64> = comparisons
+        .iter()
+        .map(|c| c.speedup())
+        .filter(|&s| (s - 1.0).abs() > 0.005)
+        .collect();
+    (ds_sim::geomean(gains) - 1.0) * 100.0
+}
+
+/// Geometric mean of miss rates (the Fig. 5 right-most bars), in
+/// percent, over benchmarks with a non-zero rate.
+pub fn geomean_miss_rate_percent(rates: impl IntoIterator<Item = f64>) -> f64 {
+    ds_sim::geomean(rates.into_iter().filter(|&r| r > 0.0)) * 100.0
+}
+
+/// Renders a horizontal ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+/// Parses a binary's `small` / `big` / `both` CLI argument.
+pub fn parse_sizes(args: &[String]) -> Vec<InputSize> {
+    match args.first().map(String::as_str) {
+        Some("small") => vec![InputSize::Small],
+        Some("big") => vec![InputSize::Big],
+        _ => vec![InputSize::Small, InputSize::Big],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn parse_sizes_variants() {
+        assert_eq!(parse_sizes(&["small".into()]), vec![InputSize::Small]);
+        assert_eq!(parse_sizes(&["big".into()]), vec![InputSize::Big]);
+        assert_eq!(parse_sizes(&[]).len(), 2);
+    }
+
+    #[test]
+    fn single_run_smoke() {
+        let cfg = SystemConfig::paper_default();
+        let r = run_single(&cfg, "VA", InputSize::Small, Mode::Ccsm);
+        assert!(r.total_cycles.as_u64() > 0);
+        assert!(r.gpu_l2.accesses() > 0);
+    }
+
+    #[test]
+    fn geomean_speedup_ignores_flat_benchmarks() {
+        // Built synthetically from two sweeps of one benchmark.
+        let cfg = SystemConfig::paper_default();
+        let cs = run_sweep_with(&cfg, InputSize::Small, |b| {
+            ds_core::Scenario::code(b) == "VA"
+        });
+        assert_eq!(cs.len(), 1);
+        let g = geomean_nonzero_speedup_percent(&cs);
+        assert!(g > 0.0, "VA small must show a gain, got {g}");
+    }
+}

@@ -1,0 +1,562 @@
+//! The set-associative tag array.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ds_mem::LineAddr;
+
+use crate::CacheGeometry;
+
+/// Per-line state stored in a [`CacheArray`].
+///
+/// Coherence protocols supply rich state enums (e.g. the Hammer states
+/// `MM/M/O/S/I`); simple caches use a plain valid bit. The array only
+/// needs to know whether a way currently holds a valid line.
+pub trait LineState: Copy + std::fmt::Debug {
+    /// Whether this state represents a present, usable line.
+    fn is_valid(&self) -> bool;
+}
+
+/// Victim selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently used way (the gem5 Ruby default used by
+    /// the paper's configuration).
+    Lru,
+    /// Evict ways in fill order.
+    Fifo,
+    /// Evict a uniformly random way (deterministic: seeded).
+    Random {
+        /// Seed for the internal PRNG.
+        seed: u64,
+    },
+    /// Tree pseudo-LRU: one decision bit per internal node of a binary
+    /// tree over the ways — the hardware-cheap LRU approximation most
+    /// real L2s implement. Requires power-of-two associativity.
+    TreePlru,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted<S> {
+    /// Address of the displaced line.
+    pub line: LineAddr,
+    /// Its state at eviction time (the caller decides whether a
+    /// writeback is needed).
+    pub state: S,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way<S> {
+    tag: u64,
+    state: Option<S>,
+    stamp: u64,
+    pinned: bool,
+}
+
+/// A set-associative tag array generic over the per-line state.
+///
+/// The array is purely structural: it tracks which lines are present,
+/// their states and replacement metadata. Timing, MSHRs and protocol
+/// logic live in the layers above.
+///
+/// See the [crate-level example](crate) for basic usage.
+#[derive(Debug)]
+pub struct CacheArray<S> {
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    ways: Vec<Way<S>>,
+    clock: u64,
+    rng: Option<StdRng>,
+    /// Per-set PLRU decision bits (bit `i` = internal tree node `i`;
+    /// 0 = next victim is in the left subtree).
+    plru: Vec<u64>,
+}
+
+impl<S: LineState> CacheArray<S> {
+    /// Creates an empty array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ReplacementPolicy::TreePlru`] is requested with a
+    /// non-power-of-two associativity.
+    pub fn new(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        if policy == ReplacementPolicy::TreePlru {
+            assert!(
+                geom.assoc().is_power_of_two(),
+                "tree-PLRU requires power-of-two associativity, got {}",
+                geom.assoc()
+            );
+        }
+        let ways = vec![
+            Way {
+                tag: 0,
+                state: None,
+                stamp: 0,
+                pinned: false,
+            };
+            geom.lines() as usize
+        ];
+        let rng = match policy {
+            ReplacementPolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        CacheArray {
+            geom,
+            policy,
+            ways,
+            clock: 0,
+            rng,
+            plru: vec![0; geom.sets() as usize],
+        }
+    }
+
+    /// Flips the PLRU path bits away from the touched way.
+    fn plru_touch(&mut self, set: usize, way: usize) {
+        let assoc = self.geom.assoc() as usize;
+        if assoc < 2 {
+            return;
+        }
+        let levels = assoc.trailing_zeros();
+        let bits = &mut self.plru[set];
+        let mut node = 0usize;
+        for level in (0..levels).rev() {
+            let go_right = (way >> level) & 1 == 1;
+            // Point the bit AWAY from the touched way.
+            if go_right {
+                *bits &= !(1 << node);
+            } else {
+                *bits |= 1 << node;
+            }
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+    }
+
+    /// Follows the PLRU path bits to the pseudo-least-recent way.
+    fn plru_victim(&self, set: usize) -> usize {
+        let assoc = self.geom.assoc() as usize;
+        if assoc < 2 {
+            return 0;
+        }
+        let levels = assoc.trailing_zeros();
+        let bits = self.plru[set];
+        let mut node = 0usize;
+        let mut way = 0usize;
+        for _ in 0..levels {
+            let go_right = (bits >> node) & 1 == 1;
+            way = (way << 1) | usize::from(go_right);
+            node = 2 * node + 1 + usize::from(go_right);
+        }
+        way
+    }
+
+    /// The geometry this array was built with.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = self.geom.set_of(line) as usize;
+        let assoc = self.geom.assoc() as usize;
+        set * assoc..(set + 1) * assoc
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let tag = self.geom.tag_of(line);
+        self.set_range(line)
+            .find(|&i| self.ways[i].tag == tag && self.ways[i].state.is_some_and(|s| s.is_valid()))
+    }
+
+    /// Looks up `line` without touching replacement state.
+    pub fn probe(&self, line: LineAddr) -> Option<&S> {
+        self.find(line).and_then(|i| self.ways[i].state.as_ref())
+    }
+
+    /// Looks up `line`, updating replacement recency on a hit.
+    pub fn access(&mut self, line: LineAddr) -> Option<&mut S> {
+        let idx = self.find(line)?;
+        self.clock += 1;
+        match self.policy {
+            ReplacementPolicy::Lru => self.ways[idx].stamp = self.clock,
+            ReplacementPolicy::TreePlru => {
+                let set = self.geom.set_of(line) as usize;
+                let way = idx - set * self.geom.assoc() as usize;
+                self.plru_touch(set, way);
+            }
+            _ => {}
+        }
+        self.ways[idx].state.as_mut()
+    }
+
+    /// Mutable access to the state of a resident line, without a
+    /// recency update (for protocol actions that are not demand
+    /// accesses, e.g. probes).
+    pub fn state_mut(&mut self, line: LineAddr) -> Option<&mut S> {
+        let idx = self.find(line)?;
+        self.ways[idx].state.as_mut()
+    }
+
+    /// Inserts `line` with `state`, evicting a victim if the set is
+    /// full. If `line` is already resident its state is replaced and no
+    /// eviction occurs.
+    ///
+    /// Pinned ways (see [`CacheArray::pin`]) are never chosen as
+    /// victims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every way in the set is pinned — callers must bound
+    /// the number of simultaneously pinned lines per set (in the
+    /// simulator this is enforced by sizing MSHR capacity below the
+    /// associativity).
+    pub fn fill(&mut self, line: LineAddr, state: S) -> Option<Evicted<S>> {
+        self.clock += 1;
+        let tag = self.geom.tag_of(line);
+        if let Some(idx) = self.find(line) {
+            self.ways[idx].state = Some(state);
+            self.ways[idx].stamp = self.clock;
+            if self.policy == ReplacementPolicy::TreePlru {
+                let set = self.geom.set_of(line) as usize;
+                self.plru_touch(set, idx - set * self.geom.assoc() as usize);
+            }
+            return None;
+        }
+        let range = self.set_range(line);
+        // Prefer an invalid way.
+        let victim = range
+            .clone()
+            .find(|&i| !self.ways[i].state.is_some_and(|s| s.is_valid()))
+            .or_else(|| self.pick_victim(range.clone()));
+        let Some(idx) = victim else {
+            panic!(
+                "all {} ways pinned in set {} while filling {line}",
+                self.geom.assoc(),
+                self.geom.set_of(line)
+            );
+        };
+        let evicted = self.ways[idx]
+            .state
+            .filter(|s| s.is_valid())
+            .map(|state| Evicted {
+                line: self.geom.line_of(self.geom.set_of(line), self.ways[idx].tag),
+                state,
+            });
+        self.ways[idx] = Way {
+            tag,
+            state: Some(state),
+            stamp: self.clock,
+            pinned: false,
+        };
+        if self.policy == ReplacementPolicy::TreePlru {
+            let set = self.geom.set_of(line) as usize;
+            self.plru_touch(set, idx - set * self.geom.assoc() as usize);
+        }
+        evicted
+    }
+
+    fn pick_victim(&mut self, range: std::ops::Range<usize>) -> Option<usize> {
+        let candidates: Vec<usize> = range.clone().filter(|&i| !self.ways[i].pinned).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => candidates
+                .into_iter()
+                .min_by_key(|&i| self.ways[i].stamp),
+            ReplacementPolicy::Random { .. } => {
+                let rng = self.rng.as_mut().expect("random policy has rng");
+                let pick = rng.gen_range(0..candidates.len());
+                Some(candidates[pick])
+            }
+            ReplacementPolicy::TreePlru => {
+                let assoc = self.geom.assoc() as usize;
+                let set = range.start / assoc;
+                let idx = range.start + self.plru_victim(set);
+                if self.ways[idx].pinned {
+                    // Fall back to any unpinned way.
+                    candidates.into_iter().next()
+                } else {
+                    Some(idx)
+                }
+            }
+        }
+    }
+
+    /// Removes `line`, returning its state if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<S> {
+        let idx = self.find(line)?;
+        self.ways[idx].pinned = false;
+        self.ways[idx].state.take()
+    }
+
+    /// Invalidates every line, returning the number dropped. Models the
+    /// GPU L1 flash-invalidate at kernel launch (paper §III.A).
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut dropped = 0;
+        for way in &mut self.ways {
+            if way.state.is_some_and(|s| s.is_valid()) {
+                dropped += 1;
+            }
+            way.state = None;
+            way.pinned = false;
+        }
+        dropped
+    }
+
+    /// Protects a resident line from eviction (used while a coherence
+    /// transaction on the line is in flight). Returns `false` if the
+    /// line is not resident.
+    pub fn pin(&mut self, line: LineAddr) -> bool {
+        match self.find(line) {
+            Some(idx) => {
+                self.ways[idx].pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases a [`pin`](CacheArray::pin). Returns `false` if the line
+    /// is not resident.
+    pub fn unpin(&mut self, line: LineAddr) -> bool {
+        match self.find(line) {
+            Some(idx) => {
+                self.ways[idx].pinned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether every way of `line`'s set holds a valid line (an
+    /// insertion would have to evict).
+    pub fn set_is_full(&self, line: LineAddr) -> bool {
+        self.set_range(line)
+            .all(|i| self.ways[i].state.is_some_and(|s| s.is_valid()))
+    }
+
+    /// Number of valid resident lines.
+    pub fn occupancy(&self) -> u64 {
+        self.ways
+            .iter()
+            .filter(|w| w.state.is_some_and(|s| s.is_valid()))
+            .count() as u64
+    }
+
+    /// Iterates over `(line, state)` for every valid resident line.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> + '_ {
+        let assoc = self.geom.assoc() as usize;
+        self.ways.iter().enumerate().filter_map(move |(i, w)| {
+            let state = w.state.as_ref().filter(|s| s.is_valid())?;
+            let set = (i / assoc) as u64;
+            Some((self.geom.line_of(set, w.tag), state))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheGeometry;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct V(u32);
+    impl LineState for V {
+        fn is_valid(&self) -> bool {
+            true
+        }
+    }
+
+    fn tiny() -> CacheArray<V> {
+        // 2 sets, 2 ways.
+        let geom = CacheGeometry::new(2 * 2 * 128, 2).unwrap();
+        CacheArray::new(geom, ReplacementPolicy::Lru)
+    }
+
+    /// Lines that all map to set 0 of the tiny() cache.
+    fn set0_line(i: u64) -> LineAddr {
+        LineAddr::from_index(i * 2)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = tiny();
+        let l = set0_line(1);
+        assert!(c.access(l).is_none());
+        assert!(c.fill(l, V(7)).is_none());
+        assert_eq!(c.access(l), Some(&mut V(7)));
+        assert_eq!(c.probe(l), Some(&V(7)));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        let (a, b, d) = (set0_line(1), set0_line(2), set0_line(3));
+        c.fill(a, V(1));
+        c.fill(b, V(2));
+        // Touch `a` so `b` is LRU.
+        c.access(a);
+        let evicted = c.fill(d, V(3)).expect("set is full");
+        assert_eq!(evicted.line, b);
+        assert_eq!(evicted.state, V(2));
+        assert!(c.probe(a).is_some());
+        assert!(c.probe(b).is_none());
+        assert!(c.probe(d).is_some());
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let geom = CacheGeometry::new(2 * 2 * 128, 2).unwrap();
+        let mut c: CacheArray<V> = CacheArray::new(geom, ReplacementPolicy::Fifo);
+        let (a, b, d) = (set0_line(1), set0_line(2), set0_line(3));
+        c.fill(a, V(1));
+        c.fill(b, V(2));
+        c.access(a); // would save `a` under LRU
+        let evicted = c.fill(d, V(3)).unwrap();
+        assert_eq!(evicted.line, a, "FIFO evicts oldest fill regardless of touches");
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let run = |seed| {
+            let geom = CacheGeometry::new(2 * 2 * 128, 2).unwrap();
+            let mut c: CacheArray<V> =
+                CacheArray::new(geom, ReplacementPolicy::Random { seed });
+            c.fill(set0_line(1), V(1));
+            c.fill(set0_line(2), V(2));
+            c.fill(set0_line(3), V(3)).unwrap().line
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn refill_of_resident_line_replaces_state_without_eviction() {
+        let mut c = tiny();
+        let l = set0_line(1);
+        c.fill(l, V(1));
+        assert!(c.fill(l, V(9)).is_none());
+        assert_eq!(c.probe(l), Some(&V(9)));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        let l = set0_line(1);
+        c.fill(l, V(1));
+        assert_eq!(c.invalidate(l), Some(V(1)));
+        assert_eq!(c.invalidate(l), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_flash_clears() {
+        let mut c = tiny();
+        c.fill(set0_line(1), V(1));
+        c.fill(LineAddr::from_index(1), V(2)); // set 1
+        assert_eq!(c.invalidate_all(), 2);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn pinned_lines_survive_eviction_pressure() {
+        let mut c = tiny();
+        let (a, b, d) = (set0_line(1), set0_line(2), set0_line(3));
+        c.fill(a, V(1));
+        c.fill(b, V(2));
+        assert!(c.pin(a));
+        c.access(b); // make `a` the LRU victim candidate
+        let evicted = c.fill(d, V(3)).unwrap();
+        assert_eq!(evicted.line, b, "pinned line must be skipped");
+        assert!(c.unpin(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned")]
+    fn all_ways_pinned_panics() {
+        let mut c = tiny();
+        c.fill(set0_line(1), V(1));
+        c.fill(set0_line(2), V(2));
+        c.pin(set0_line(1));
+        c.pin(set0_line(2));
+        c.fill(set0_line(3), V(3));
+    }
+
+    #[test]
+    fn iter_reconstructs_addresses() {
+        let mut c = tiny();
+        let lines = [set0_line(1), set0_line(5), LineAddr::from_index(3)];
+        for (i, &l) in lines.iter().enumerate() {
+            c.fill(l, V(i as u32));
+        }
+        let mut seen: Vec<LineAddr> = c.iter().map(|(l, _)| l).collect();
+        seen.sort();
+        let mut expect = lines.to_vec();
+        expect.sort();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn set_is_full_tracks_ways() {
+        let mut c = tiny();
+        let l = set0_line(1);
+        assert!(!c.set_is_full(l));
+        c.fill(set0_line(1), V(1));
+        assert!(!c.set_is_full(l));
+        c.fill(set0_line(2), V(2));
+        assert!(c.set_is_full(l));
+        c.invalidate(set0_line(1));
+        assert!(!c.set_is_full(l));
+    }
+
+    #[test]
+    fn tree_plru_protects_the_most_recent_way() {
+        // 1 set, 4 ways. PLRU is an approximation of LRU, but one
+        // property is exact: the most recently touched way is never
+        // the next victim.
+        let geom = CacheGeometry::new(4 * 128, 4).unwrap();
+        let mut c: CacheArray<V> = CacheArray::new(geom, ReplacementPolicy::TreePlru);
+        let line = |i: u64| LineAddr::from_index(i);
+        for i in 0..4 {
+            c.fill(line(i), V(i as u32));
+        }
+        for touched in 0..4u64 {
+            c.access(line(touched));
+            let evicted = c.fill(line(100 + touched), V(0)).unwrap();
+            assert_ne!(
+                evicted.line,
+                line(touched),
+                "most-recent way evicted"
+            );
+            // Restore the evicted resident for the next round.
+            c.invalidate(line(100 + touched));
+            c.fill(evicted.line, evicted.state);
+        }
+    }
+
+    #[test]
+    fn tree_plru_victim_cycles_through_all_ways() {
+        // Filling without touching must eventually use every way.
+        let geom = CacheGeometry::new(8 * 128, 8).unwrap();
+        let mut c: CacheArray<V> = CacheArray::new(geom, ReplacementPolicy::TreePlru);
+        for i in 0..8 {
+            assert!(c.fill(LineAddr::from_index(i), V(i as u32)).is_none());
+        }
+        assert_eq!(c.occupancy(), 8, "all ways used before any eviction");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn tree_plru_rejects_non_power_of_two_assoc() {
+        let geom = CacheGeometry::new(3 * 128, 3).unwrap();
+        let _: CacheArray<V> = CacheArray::new(geom, ReplacementPolicy::TreePlru);
+    }
+
+    #[test]
+    fn pin_of_absent_line_reports_false() {
+        let mut c = tiny();
+        assert!(!c.pin(set0_line(1)));
+        assert!(!c.unpin(set0_line(1)));
+    }
+}

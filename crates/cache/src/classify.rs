@@ -1,0 +1,124 @@
+//! Compulsory-miss classification.
+//!
+//! The paper's evaluation (§IV) argues direct store "should
+//! specifically reduce compulsory misses" at the GPU L2 and measures
+//! them. A miss is *compulsory* if the cache has never seen the line
+//! before; everything else is capacity/conflict ("non-compulsory" —
+//! the finer split is not needed to reproduce the paper's figures).
+
+use std::collections::HashSet;
+
+use ds_mem::LineAddr;
+
+/// The classification of a single miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// First-ever reference to the line from this cache.
+    Compulsory,
+    /// The line had been resident before (capacity or conflict miss).
+    NonCompulsory,
+}
+
+impl std::fmt::Display for MissKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MissKind::Compulsory => write!(f, "compulsory"),
+            MissKind::NonCompulsory => write!(f, "non-compulsory"),
+        }
+    }
+}
+
+/// Tracks every line a cache has ever observed in order to classify
+/// misses.
+///
+/// Lines can also be marked seen *without* a demand miss — this is how
+/// direct-store pushes convert what would have been compulsory misses
+/// into hits: the push calls [`MissClassifier::mark_seen`], so a later
+/// eviction-then-refetch is correctly counted as non-compulsory.
+///
+/// # Examples
+///
+/// ```
+/// use ds_cache::{MissClassifier, MissKind};
+/// use ds_mem::LineAddr;
+///
+/// let mut c = MissClassifier::new();
+/// let l = LineAddr::from_index(3);
+/// assert_eq!(c.classify_miss(l), MissKind::Compulsory);
+/// assert_eq!(c.classify_miss(l), MissKind::NonCompulsory);
+/// ```
+#[derive(Debug, Default)]
+pub struct MissClassifier {
+    seen: HashSet<LineAddr>,
+}
+
+impl MissClassifier {
+    /// Creates a classifier with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies a miss on `line` and records the line as seen.
+    pub fn classify_miss(&mut self, line: LineAddr) -> MissKind {
+        if self.seen.insert(line) {
+            MissKind::Compulsory
+        } else {
+            MissKind::NonCompulsory
+        }
+    }
+
+    /// Records `line` as seen without classifying a miss (e.g. a
+    /// direct-store push installing the line).
+    pub fn mark_seen(&mut self, line: LineAddr) {
+        self.seen.insert(line);
+    }
+
+    /// Whether `line` has ever been observed.
+    pub fn has_seen(&self, line: LineAddr) -> bool {
+        self.seen.contains(&line)
+    }
+
+    /// Number of distinct lines observed (the cache's footprint).
+    pub fn footprint_lines(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn first_miss_is_compulsory() {
+        let mut c = MissClassifier::new();
+        assert_eq!(c.classify_miss(line(1)), MissKind::Compulsory);
+        assert_eq!(c.classify_miss(line(2)), MissKind::Compulsory);
+        assert_eq!(c.footprint_lines(), 2);
+    }
+
+    #[test]
+    fn repeat_miss_is_not_compulsory() {
+        let mut c = MissClassifier::new();
+        c.classify_miss(line(1));
+        assert_eq!(c.classify_miss(line(1)), MissKind::NonCompulsory);
+    }
+
+    #[test]
+    fn pushed_lines_preempt_compulsory_misses() {
+        let mut c = MissClassifier::new();
+        c.mark_seen(line(5));
+        assert!(c.has_seen(line(5)));
+        // Line was pushed, evicted, then demand-missed: not compulsory.
+        assert_eq!(c.classify_miss(line(5)), MissKind::NonCompulsory);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MissKind::Compulsory.to_string(), "compulsory");
+        assert_eq!(MissKind::NonCompulsory.to_string(), "non-compulsory");
+    }
+}

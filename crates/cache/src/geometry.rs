@@ -1,0 +1,273 @@
+//! Cache geometry arithmetic.
+
+use std::fmt;
+
+use ds_mem::{LineAddr, LINE_BYTES};
+
+/// Errors produced when constructing a [`CacheGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Total size is zero or not a multiple of `assoc * LINE_BYTES`.
+    BadSize {
+        /// The rejected size in bytes.
+        size_bytes: u64,
+        /// The requested associativity.
+        assoc: u32,
+    },
+    /// Associativity is zero.
+    ZeroAssociativity,
+    /// The derived set count is not a power of two (required for
+    /// bit-mask indexing).
+    SetsNotPowerOfTwo {
+        /// The derived set count.
+        sets: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::BadSize { size_bytes, assoc } => write!(
+                f,
+                "cache size {size_bytes} is not a positive multiple of assoc {assoc} x line {LINE_BYTES}"
+            ),
+            GeometryError::ZeroAssociativity => write!(f, "associativity must be non-zero"),
+            GeometryError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "derived set count {sets} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Size/associativity/line arithmetic for a set-associative cache.
+///
+/// All caches in the simulated system share the 128-byte line size
+/// (Table I), so only total size and associativity vary.
+///
+/// # Examples
+///
+/// The paper's GPU L2 slice: 2 MB / 4 slices = 512 KB, 16-way:
+///
+/// ```
+/// use ds_cache::CacheGeometry;
+/// use ds_mem::LineAddr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let slice = CacheGeometry::new(512 * 1024, 16)?;
+/// assert_eq!(slice.sets(), 256);
+/// assert_eq!(slice.lines(), 4096);
+/// let l = LineAddr::from_index(0x1_0100);
+/// assert_eq!(slice.set_of(l), 0x100 & (slice.sets() - 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    assoc: u32,
+    sets: u64,
+    stripe_bits: u32,
+    stripe_value: u64,
+}
+
+impl CacheGeometry {
+    /// Builds a geometry from a total size in bytes and associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the size is not a positive multiple
+    /// of `assoc * 128` or the derived set count is not a power of two.
+    pub fn new(size_bytes: u64, assoc: u32) -> Result<Self, GeometryError> {
+        if assoc == 0 {
+            return Err(GeometryError::ZeroAssociativity);
+        }
+        let way_bytes = u64::from(assoc) * LINE_BYTES;
+        if size_bytes == 0 || !size_bytes.is_multiple_of(way_bytes) {
+            return Err(GeometryError::BadSize { size_bytes, assoc });
+        }
+        let sets = size_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::SetsNotPowerOfTwo { sets });
+        }
+        Ok(CacheGeometry {
+            size_bytes,
+            assoc,
+            sets,
+            stripe_bits: 0,
+            stripe_value: 0,
+        })
+    }
+
+    /// Derives a geometry for one slice of an address-interleaved
+    /// cache: this slice holds exactly the lines whose low
+    /// `stripe_bits` index bits equal `stripe_value`, and indexes its
+    /// sets by the slice-local line number (dropping the stripe bits),
+    /// so the full set array is usable — how real sliced LLCs index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe_value` does not fit in `stripe_bits`.
+    pub fn with_stripe(mut self, stripe_bits: u32, stripe_value: u64) -> Self {
+        assert!(
+            stripe_bits == 0 || stripe_value < (1 << stripe_bits),
+            "stripe value {stripe_value} does not fit in {stripe_bits} bits"
+        );
+        self.stripe_bits = stripe_bits;
+        self.stripe_value = stripe_value;
+        self
+    }
+
+    fn check_stripe(&self, line: LineAddr) {
+        debug_assert!(
+            self.stripe_bits == 0
+                || line.index() & ((1 << self.stripe_bits) - 1) == self.stripe_value,
+            "{line} does not belong to stripe {} of {} bits",
+            self.stripe_value,
+            self.stripe_bits
+        );
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Ways per set.
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Total line capacity.
+    pub fn lines(&self) -> u64 {
+        self.sets * u64::from(self.assoc)
+    }
+
+    /// The set index a line maps to.
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        self.check_stripe(line);
+        (line.index() >> self.stripe_bits) & (self.sets - 1)
+    }
+
+    /// The tag stored for a line (bits above the set index).
+    pub fn tag_of(&self, line: LineAddr) -> u64 {
+        self.check_stripe(line);
+        (line.index() >> self.stripe_bits) >> self.sets.trailing_zeros()
+    }
+
+    /// Reassembles a line address from a set index and tag.
+    pub fn line_of(&self, set: u64, tag: u64) -> LineAddr {
+        let local = (tag << self.sets.trailing_zeros()) | set;
+        LineAddr::from_index((local << self.stripe_bits) | self.stripe_value)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way ({} sets x {}B lines)",
+            self.size_bytes / 1024,
+            self.assoc,
+            self.sets,
+            LINE_BYTES
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries_construct() {
+        // Table I geometries.
+        let l1d = CacheGeometry::new(64 * 1024, 2).unwrap();
+        assert_eq!(l1d.sets(), 256);
+        let l1i = CacheGeometry::new(32 * 1024, 2).unwrap();
+        assert_eq!(l1i.sets(), 128);
+        let cpu_l2 = CacheGeometry::new(2 * 1024 * 1024, 8).unwrap();
+        assert_eq!(cpu_l2.sets(), 2048);
+        let gpu_l1 = CacheGeometry::new(16 * 1024, 4).unwrap();
+        assert_eq!(gpu_l1.sets(), 32);
+        let gpu_l2_slice = CacheGeometry::new(512 * 1024, 16).unwrap();
+        assert_eq!(gpu_l2_slice.sets(), 256);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(matches!(
+            CacheGeometry::new(1024, 0),
+            Err(GeometryError::ZeroAssociativity)
+        ));
+        assert!(matches!(
+            CacheGeometry::new(0, 4),
+            Err(GeometryError::BadSize { .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(100, 4),
+            Err(GeometryError::BadSize { .. })
+        ));
+        // 3 sets: 3 * 4 * 128 = 1536 bytes.
+        assert!(matches!(
+            CacheGeometry::new(1536, 4),
+            Err(GeometryError::SetsNotPowerOfTwo { sets: 3 })
+        ));
+    }
+
+    #[test]
+    fn striped_geometry_uses_all_sets() {
+        // A 4-slice interleave: slice 2 of a 512KB slice cache.
+        let g = CacheGeometry::new(512 * 1024, 16)
+            .unwrap()
+            .with_stripe(2, 2);
+        // Lines belonging to slice 2 are 2, 6, 10, ... — consecutive
+        // slice-local lines map to consecutive sets.
+        assert_eq!(g.set_of(LineAddr::from_index(2)), 0);
+        assert_eq!(g.set_of(LineAddr::from_index(6)), 1);
+        assert_eq!(g.set_of(LineAddr::from_index(10)), 2);
+        // Round trip through (set, tag).
+        for idx in [2u64, 6, 1026, 4098, 0xdeadbe * 4 + 2] {
+            let line = LineAddr::from_index(idx);
+            assert_eq!(g.line_of(g.set_of(line), g.tag_of(line)), line);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn stripe_value_must_fit() {
+        let _ = CacheGeometry::new(1024, 2).unwrap().with_stripe(1, 2);
+    }
+
+    #[test]
+    fn tag_set_roundtrip() {
+        let g = CacheGeometry::new(64 * 1024, 2).unwrap();
+        for idx in [0u64, 1, 255, 256, 0xdead, u32::MAX as u64] {
+            let line = LineAddr::from_index(idx);
+            let set = g.set_of(line);
+            let tag = g.tag_of(line);
+            assert!(set < g.sets());
+            assert_eq!(g.line_of(set, tag), line);
+        }
+    }
+
+    #[test]
+    fn error_messages_are_useful() {
+        let e = CacheGeometry::new(100, 4).unwrap_err();
+        assert!(e.to_string().contains("100"));
+        let e = CacheGeometry::new(1536, 4).unwrap_err();
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn display_summarizes_geometry() {
+        let g = CacheGeometry::new(512 * 1024, 16).unwrap();
+        assert_eq!(g.to_string(), "512KB 16-way (256 sets x 128B lines)");
+    }
+}

@@ -1,0 +1,49 @@
+//! # ds-cache — cache structures for the integrated CPU-GPU simulator
+//!
+//! Generic building blocks shared by every cache in the modelled system
+//! (CPU L1D/L1I/L2, per-SM GPU L1s, the four GPU L2 slices):
+//!
+//! * [`CacheGeometry`] — size/associativity/line-size arithmetic,
+//! * [`CacheArray`] — a set-associative tag array generic over the
+//!   per-line coherence state, with pluggable [`ReplacementPolicy`],
+//! * [`MshrFile`] — miss-status holding registers with request merging,
+//! * [`MissClassifier`] — splits compulsory from non-compulsory misses
+//!   (the paper's §IV measures compulsory-miss reduction directly),
+//! * [`CacheStats`] — the counter block every cache reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use ds_cache::{CacheArray, CacheGeometry, LineState, ReplacementPolicy};
+//! use ds_mem::LineAddr;
+//!
+//! #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+//! struct Valid(bool);
+//! impl LineState for Valid {
+//!     fn is_valid(&self) -> bool {
+//!         self.0
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let geom = CacheGeometry::new(64 * 1024, 2)?;
+//! let mut l1 = CacheArray::new(geom, ReplacementPolicy::Lru);
+//! let line = LineAddr::from_index(42);
+//! assert!(l1.access(line).is_none());
+//! l1.fill(line, Valid(true));
+//! assert!(l1.access(line).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod array;
+pub mod classify;
+pub mod geometry;
+pub mod mshr;
+pub mod stats;
+
+pub use array::{CacheArray, Evicted, LineState, ReplacementPolicy};
+pub use classify::{MissClassifier, MissKind};
+pub use geometry::{CacheGeometry, GeometryError};
+pub use mshr::{MshrFile, MshrOutcome};
+pub use stats::CacheStats;

@@ -1,0 +1,186 @@
+//! Miss-status holding registers.
+
+use std::collections::HashMap;
+
+use ds_mem::LineAddr;
+
+/// Result of attempting to allocate an MSHR for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss on this line: the caller must launch the fill.
+    Primary,
+    /// A fill for this line is already in flight; the waiter was merged.
+    Secondary,
+    /// No MSHR available: the requester must stall and retry.
+    Full,
+}
+
+/// A file of miss-status holding registers with request merging.
+///
+/// Each in-flight line owns one register holding the waiters to notify
+/// when the fill completes. Secondary misses on the same line merge
+/// into the existing register — the coalescing that lets many GPU warps
+/// share one L2 fill.
+///
+/// # Examples
+///
+/// ```
+/// use ds_cache::{MshrFile, MshrOutcome};
+/// use ds_mem::LineAddr;
+///
+/// let mut mshrs: MshrFile<&str> = MshrFile::new(2);
+/// let line = LineAddr::from_index(7);
+/// assert_eq!(mshrs.alloc(line, "warp0"), MshrOutcome::Primary);
+/// assert_eq!(mshrs.alloc(line, "warp1"), MshrOutcome::Secondary);
+/// assert_eq!(mshrs.complete(line), vec!["warp0", "warp1"]);
+/// assert!(mshrs.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct MshrFile<W> {
+    capacity: usize,
+    entries: HashMap<LineAddr, Vec<W>>,
+    peak: usize,
+    merges: u64,
+    stalls: u64,
+}
+
+impl<W> MshrFile<W> {
+    /// Creates a file with room for `capacity` distinct in-flight lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+            peak: 0,
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Attempts to register `waiter` for a miss on `line`.
+    pub fn alloc(&mut self, line: LineAddr, waiter: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(waiter);
+            self.merges += 1;
+            return MshrOutcome::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Primary
+    }
+
+    /// Completes the fill for `line`, returning all merged waiters in
+    /// arrival order. Returns an empty vector if no miss was pending.
+    pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether a fill for `line` is in flight.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of in-flight lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no fills are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a new primary miss would be refused.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// High-water mark of simultaneously in-flight lines.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of secondary misses merged into existing registers.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of allocations refused because the file was full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn primary_then_secondary() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        assert_eq!(m.alloc(line(1), 10), MshrOutcome::Primary);
+        assert_eq!(m.alloc(line(1), 11), MshrOutcome::Secondary);
+        assert_eq!(m.alloc(line(2), 20), MshrOutcome::Primary);
+        assert!(m.contains(line(1)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn full_file_refuses() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        assert_eq!(m.alloc(line(1), 0), MshrOutcome::Primary);
+        assert_eq!(m.alloc(line(2), 0), MshrOutcome::Full);
+        assert_eq!(m.stalls(), 1);
+        // Secondary on the in-flight line still merges even when full.
+        assert_eq!(m.alloc(line(1), 1), MshrOutcome::Secondary);
+    }
+
+    #[test]
+    fn complete_releases_capacity_and_preserves_order() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        m.alloc(line(1), 0);
+        m.alloc(line(1), 1);
+        m.alloc(line(1), 2);
+        assert_eq!(m.complete(line(1)), vec![0, 1, 2]);
+        assert!(!m.contains(line(1)));
+        assert_eq!(m.alloc(line(2), 9), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn complete_without_pending_is_empty() {
+        let mut m: MshrFile<u32> = MshrFile::new(1);
+        assert!(m.complete(line(9)).is_empty());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m: MshrFile<u32> = MshrFile::new(8);
+        for i in 0..5 {
+            m.alloc(line(i), 0);
+        }
+        for i in 0..5 {
+            m.complete(line(i));
+        }
+        assert_eq!(m.peak(), 5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: MshrFile<()> = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-cache statistics block.
+
+use ds_sim::{Counter, RateStat};
+
+use crate::MissKind;
+
+/// The counters every modelled cache reports.
+///
+/// The GPU L2's instance of this block is the direct source of the
+/// paper's Fig. 5 (miss rate) and the compulsory-miss discussion in
+/// §IV.
+///
+/// # Examples
+///
+/// ```
+/// use ds_cache::{CacheStats, MissKind};
+///
+/// let mut s = CacheStats::new();
+/// s.record_hit();
+/// s.record_miss(MissKind::Compulsory);
+/// assert_eq!(s.accesses(), 2);
+/// assert_eq!(s.miss_rate().as_f64(), 0.5);
+/// assert_eq!(s.compulsory_misses.value(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: Counter,
+    /// Demand misses of any kind.
+    pub misses: Counter,
+    /// Demand misses classified compulsory.
+    pub compulsory_misses: Counter,
+    /// Valid lines displaced by fills.
+    pub evictions: Counter,
+    /// Dirty evictions written back toward memory.
+    pub writebacks: Counter,
+    /// Lines installed by direct-store pushes (always zero under CCSM).
+    pub pushed_fills: Counter,
+    /// Demand hits on lines that were installed by a push and not yet
+    /// re-fetched — the paper's "data resides in the GPU L2 cache on
+    /// the first access" effect.
+    pub push_hits: Counter,
+}
+
+impl CacheStats {
+    /// Creates a zeroed block.
+    pub fn new() -> Self {
+        CacheStats {
+            hits: Counter::new("hits"),
+            misses: Counter::new("misses"),
+            compulsory_misses: Counter::new("compulsory_misses"),
+            evictions: Counter::new("evictions"),
+            writebacks: Counter::new("writebacks"),
+            pushed_fills: Counter::new("pushed_fills"),
+            push_hits: Counter::new("push_hits"),
+        }
+    }
+
+    /// Records a demand hit.
+    pub fn record_hit(&mut self) {
+        self.hits.incr();
+    }
+
+    /// Records a demand miss with its classification.
+    pub fn record_miss(&mut self, kind: MissKind) {
+        self.misses.incr();
+        if kind == MissKind::Compulsory {
+            self.compulsory_misses.incr();
+        }
+    }
+
+    /// Total demand accesses (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits.value() + self.misses.value()
+    }
+
+    /// Demand miss rate.
+    pub fn miss_rate(&self) -> RateStat {
+        RateStat::new(self.misses.value(), self.accesses())
+    }
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accesses={} miss_rate={} compulsory={} evictions={} writebacks={}",
+            self.accesses(),
+            self.miss_rate(),
+            self.compulsory_misses.value(),
+            self.evictions.value(),
+            self.writebacks.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_totals() {
+        let mut s = CacheStats::new();
+        for _ in 0..6 {
+            s.record_hit();
+        }
+        s.record_miss(MissKind::Compulsory);
+        s.record_miss(MissKind::NonCompulsory);
+        assert_eq!(s.accesses(), 8);
+        assert_eq!(s.miss_rate().as_f64(), 0.25);
+        assert_eq!(s.compulsory_misses.value(), 1);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rate() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate().as_f64(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = CacheStats::new();
+        assert!(s.to_string().contains("accesses=0"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests: the cache array against a reference model,
+//! and MSHR bookkeeping invariants.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use proptest::prelude::*;
+
+use ds_cache::{CacheArray, CacheGeometry, LineState, MshrFile, MshrOutcome, ReplacementPolicy};
+use ds_mem::LineAddr;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Tag(u32);
+impl LineState for Tag {
+    fn is_valid(&self) -> bool {
+        true
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Fill(u64, u32),
+    Invalidate(u64),
+    InvalidateAll,
+}
+
+fn op_strategy(lines: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..lines).prop_map(Op::Access),
+        ((0..lines), any::<u32>()).prop_map(|(l, v)| Op::Fill(l, v)),
+        (0..lines).prop_map(Op::Invalidate),
+        Just(Op::InvalidateAll),
+    ]
+}
+
+proptest! {
+    /// The array agrees with a straightforward reference model on
+    /// membership and state for arbitrary operation sequences (LRU
+    /// reference keeps per-set recency queues).
+    #[test]
+    fn array_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(64), 1..200)
+    ) {
+        // 4 sets x 2 ways.
+        let geom = CacheGeometry::new(4 * 2 * 128, 2).unwrap();
+        let mut cache: CacheArray<Tag> = CacheArray::new(geom, ReplacementPolicy::Lru);
+
+        // Reference: per-set LRU list of (line, value).
+        let mut sets: HashMap<u64, VecDeque<(u64, u32)>> = HashMap::new();
+        let set_of = |l: u64| l % 4;
+
+        for op in ops {
+            match op {
+                Op::Access(l) => {
+                    let line = LineAddr::from_index(l);
+                    let set = sets.entry(set_of(l)).or_default();
+                    let expect = set.iter().position(|&(x, _)| x == l);
+                    let got = cache.access(line).map(|t| *t);
+                    match expect {
+                        Some(pos) => {
+                            let entry = set.remove(pos).unwrap();
+                            prop_assert_eq!(got, Some(Tag(entry.1)));
+                            set.push_back(entry); // most-recent at back
+                        }
+                        None => prop_assert_eq!(got, None),
+                    }
+                }
+                Op::Fill(l, v) => {
+                    let line = LineAddr::from_index(l);
+                    let evicted = cache.fill(line, Tag(v));
+                    let set = sets.entry(set_of(l)).or_default();
+                    if let Some(pos) = set.iter().position(|&(x, _)| x == l) {
+                        set.remove(pos);
+                        set.push_back((l, v));
+                        prop_assert!(evicted.is_none());
+                    } else {
+                        if set.len() == 2 {
+                            let victim = set.pop_front().unwrap();
+                            let e = evicted.expect("full set must evict");
+                            prop_assert_eq!(e.line.index(), victim.0);
+                            prop_assert_eq!(e.state, Tag(victim.1));
+                        } else {
+                            prop_assert!(evicted.is_none());
+                        }
+                        set.push_back((l, v));
+                    }
+                }
+                Op::Invalidate(l) => {
+                    let got = cache.invalidate(LineAddr::from_index(l));
+                    let set = sets.entry(set_of(l)).or_default();
+                    match set.iter().position(|&(x, _)| x == l) {
+                        Some(pos) => {
+                            let (_, v) = set.remove(pos).unwrap();
+                            prop_assert_eq!(got, Some(Tag(v)));
+                        }
+                        None => prop_assert_eq!(got, None),
+                    }
+                }
+                Op::InvalidateAll => {
+                    let expect: usize = sets.values().map(VecDeque::len).sum();
+                    prop_assert_eq!(cache.invalidate_all(), expect);
+                    sets.clear();
+                }
+            }
+            let expect_occ: u64 = sets.values().map(|s| s.len() as u64).sum();
+            prop_assert_eq!(cache.occupancy(), expect_occ);
+        }
+    }
+
+    /// MSHR bookkeeping: outcomes partition correctly, capacity is
+    /// never exceeded, and completion returns exactly the registered
+    /// waiters in order.
+    #[test]
+    fn mshr_invariants(
+        lines in proptest::collection::vec(0u64..16, 1..100),
+        capacity in 1usize..8
+    ) {
+        let mut mshrs: MshrFile<usize> = MshrFile::new(capacity);
+        let mut reference: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (waiter, &l) in lines.iter().enumerate() {
+            let outcome = mshrs.alloc(LineAddr::from_index(l), waiter);
+            match outcome {
+                MshrOutcome::Primary => {
+                    prop_assert!(!reference.contains_key(&l));
+                    prop_assert!(reference.len() < capacity);
+                    reference.insert(l, vec![waiter]);
+                }
+                MshrOutcome::Secondary => {
+                    reference.get_mut(&l).expect("secondary needs primary").push(waiter);
+                }
+                MshrOutcome::Full => {
+                    prop_assert_eq!(reference.len(), capacity);
+                    prop_assert!(!reference.contains_key(&l));
+                }
+            }
+            prop_assert_eq!(mshrs.len(), reference.len());
+            prop_assert!(mshrs.len() <= capacity);
+        }
+        let keys: HashSet<u64> = reference.keys().copied().collect();
+        for l in keys {
+            let waiters = mshrs.complete(LineAddr::from_index(l));
+            prop_assert_eq!(waiters, reference.remove(&l).unwrap());
+        }
+        prop_assert!(mshrs.is_empty());
+    }
+}

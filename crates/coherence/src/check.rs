@@ -1,0 +1,259 @@
+//! Cross-cache coherence invariant checking.
+//!
+//! The timed system model snapshots the state of every coherent cache
+//! and hands it to [`ProtocolChecker::check`] (after every simulated
+//! phase in tests, and under `debug_assertions` in the full runs).
+//! Violations indicate protocol bugs, not workload behaviour.
+
+use std::collections::HashMap;
+
+use ds_mem::LineAddr;
+
+use crate::{Agent, HammerState};
+
+/// A coherence invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// More than one agent holds the line in an owner state (`O`, `M`,
+    /// `MM`).
+    MultipleOwners {
+        /// The offending line.
+        line: LineAddr,
+        /// Every agent holding the line in an owner state.
+        owners: Vec<Agent>,
+    },
+    /// An agent holds the line exclusively (`M`/`MM`) while another
+    /// agent holds any valid copy.
+    ExclusiveWithSharers {
+        /// The offending line.
+        line: LineAddr,
+        /// The exclusive holder.
+        exclusive: Agent,
+        /// The other holder.
+        other: Agent,
+    },
+    /// A direct-store (GPU-homed) line is valid in a CPU cache, which
+    /// §III.E forbids ("this special data range can never be cached on
+    /// the CPU side").
+    DirectLineInCpuCache {
+        /// The offending line.
+        line: LineAddr,
+        /// Its state in the CPU cache.
+        state: HammerState,
+    },
+    /// A GPU-homed line is cached by the wrong L2 slice.
+    WrongSlice {
+        /// The offending line.
+        line: LineAddr,
+        /// The slice that holds it.
+        holder: Agent,
+        /// The slice that homes it.
+        home: Agent,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::MultipleOwners { line, owners } => {
+                write!(f, "{line} has multiple owners: ")?;
+                for (i, o) in owners.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                Ok(())
+            }
+            CheckError::ExclusiveWithSharers {
+                line,
+                exclusive,
+                other,
+            } => write!(
+                f,
+                "{line} exclusive in {exclusive} but also valid in {other}"
+            ),
+            CheckError::DirectLineInCpuCache { line, state } => {
+                write!(f, "direct-store {line} cached on CPU in state {state}")
+            }
+            CheckError::WrongSlice { line, holder, home } => {
+                write!(f, "{line} held by {holder} but homed at {home}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Validates global coherence invariants over a snapshot of every
+/// coherent cache's `(line, state)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use ds_coherence::{Agent, HammerState, ProtocolChecker};
+/// use ds_mem::LineAddr;
+///
+/// let mut checker = ProtocolChecker::new();
+/// let l = LineAddr::from_index(4); // homed at slice 0
+/// checker.observe(Agent::CpuL2, l, HammerState::S);
+/// checker.observe(Agent::GpuL2(0), l, HammerState::S);
+/// assert!(checker.check().is_empty(), "two sharers are fine");
+/// ```
+#[derive(Debug, Default)]
+pub struct ProtocolChecker {
+    holders: HashMap<LineAddr, Vec<(Agent, HammerState)>>,
+    direct_test: Option<fn(LineAddr) -> bool>,
+}
+
+impl ProtocolChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a predicate identifying direct-store (GPU-homed)
+    /// lines, enabling the CPU-cache exclusion check.
+    pub fn with_direct_range(mut self, is_direct: fn(LineAddr) -> bool) -> Self {
+        self.direct_test = Some(is_direct);
+        self
+    }
+
+    /// Records that `agent` holds `line` in `state`. Invalid states are
+    /// ignored.
+    pub fn observe(&mut self, agent: Agent, line: LineAddr, state: HammerState) {
+        if state != HammerState::I {
+            self.holders.entry(line).or_default().push((agent, state));
+        }
+    }
+
+    /// Runs all invariants, returning every violation found.
+    pub fn check(&self) -> Vec<CheckError> {
+        let mut errors = Vec::new();
+        for (&line, holders) in &self.holders {
+            let owners: Vec<Agent> = holders
+                .iter()
+                .filter(|(_, s)| s.is_owner())
+                .map(|&(a, _)| a)
+                .collect();
+            if owners.len() > 1 {
+                errors.push(CheckError::MultipleOwners {
+                    line,
+                    owners: owners.clone(),
+                });
+            }
+            for &(agent, state) in holders {
+                if matches!(state, HammerState::M | HammerState::MM) {
+                    for &(other, _) in holders.iter().filter(|&&(a, _)| a != agent) {
+                        errors.push(CheckError::ExclusiveWithSharers {
+                            line,
+                            exclusive: agent,
+                            other,
+                        });
+                    }
+                }
+                if let Some(is_direct) = self.direct_test {
+                    if is_direct(line) {
+                        if agent == Agent::CpuL2 {
+                            errors.push(CheckError::DirectLineInCpuCache { line, state });
+                        }
+                        let home = Agent::slice_of(line);
+                        if matches!(agent, Agent::GpuL2(_)) && agent != home {
+                            errors.push(CheckError::WrongSlice {
+                                line,
+                                holder: agent,
+                                home,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn clean_sharing_passes() {
+        let mut c = ProtocolChecker::new();
+        c.observe(Agent::CpuL2, line(0), HammerState::S);
+        c.observe(Agent::GpuL2(0), line(0), HammerState::S);
+        c.observe(Agent::GpuL2(1), line(1), HammerState::MM);
+        assert!(c.check().is_empty());
+    }
+
+    #[test]
+    fn owner_plus_sharers_passes() {
+        let mut c = ProtocolChecker::new();
+        c.observe(Agent::CpuL2, line(0), HammerState::O);
+        c.observe(Agent::GpuL2(0), line(0), HammerState::S);
+        assert!(c.check().is_empty());
+    }
+
+    #[test]
+    fn two_owners_flagged() {
+        let mut c = ProtocolChecker::new();
+        c.observe(Agent::CpuL2, line(0), HammerState::O);
+        c.observe(Agent::GpuL2(0), line(0), HammerState::MM);
+        let errs = c.check();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::MultipleOwners { .. })));
+    }
+
+    #[test]
+    fn exclusive_with_sharer_flagged() {
+        let mut c = ProtocolChecker::new();
+        c.observe(Agent::CpuL2, line(0), HammerState::MM);
+        c.observe(Agent::GpuL2(0), line(0), HammerState::S);
+        let errs = c.check();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::ExclusiveWithSharers { .. })));
+    }
+
+    #[test]
+    fn direct_line_in_cpu_cache_flagged() {
+        let mut c = ProtocolChecker::new().with_direct_range(|_| true);
+        c.observe(Agent::CpuL2, line(0), HammerState::S);
+        let errs = c.check();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::DirectLineInCpuCache { .. })));
+    }
+
+    #[test]
+    fn direct_line_in_wrong_slice_flagged() {
+        let mut c = ProtocolChecker::new().with_direct_range(|_| true);
+        // Line 0 homes at slice 0; put it in slice 2.
+        c.observe(Agent::GpuL2(2), line(0), HammerState::MM);
+        let errs = c.check();
+        assert!(errs.iter().any(|e| matches!(e, CheckError::WrongSlice { .. })));
+    }
+
+    #[test]
+    fn invalid_states_are_ignored() {
+        let mut c = ProtocolChecker::new();
+        c.observe(Agent::CpuL2, line(0), HammerState::I);
+        c.observe(Agent::GpuL2(0), line(0), HammerState::MM);
+        assert!(c.check().is_empty());
+    }
+
+    #[test]
+    fn error_messages_mention_line() {
+        let e = CheckError::MultipleOwners {
+            line: line(2),
+            owners: vec![Agent::CpuL2, Agent::GpuL2(0)],
+        };
+        assert!(e.to_string().contains("0x100"));
+        assert!(e.to_string().contains("cpu-l2"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # ds-coherence — the Hammer protocol and the direct-store extension
+//!
+//! This crate implements the coherence layer of the reproduction:
+//!
+//! * [`HammerState`] — the five stable states of AMD's Hammer protocol
+//!   as described in the paper's §III.F: `MM`, `M`, `O`, `S`, `I`,
+//! * [`transition`] / [`transition_table`] — the pure state-transition
+//!   function, including the paper's **bold** remote-store additions
+//!   (`I/S/M/MM + RemoteStore → I`) and the **blue dashed** GPU-L2 edge
+//!   (`I + PutXArrive → MM`); dumping the table regenerates Fig. 3,
+//! * [`Agent`] and [`CohMsg`] — the coherent endpoints of the simulated
+//!   chip and the messages they exchange,
+//! * [`Hub`] — the memory-side broadcast engine that serializes one
+//!   transaction per line (Hammer has no directory: requests broadcast
+//!   probes to every other cache),
+//! * [`ProtocolChecker`] — cross-cache invariant validation used by the
+//!   test-suite and by debug builds of the full system model.
+//!
+//! Timing lives in `ds-core`; everything here is untimed protocol
+//! logic, which is what makes it exhaustively testable.
+//!
+//! # Examples
+//!
+//! The paper's headline modification — a remote store leaves the CPU
+//! cache in `I` and pushes the data out — falls directly out of the
+//! transition function:
+//!
+//! ```
+//! use ds_coherence::{transition, Action, HammerState, ProtocolEvent};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = transition(HammerState::I, ProtocolEvent::RemoteStore)?;
+//! assert_eq!(t.stable_next(), Some(HammerState::I));
+//! assert!(t.actions.contains(&Action::ForwardDirect));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod check;
+pub mod hub;
+pub mod msg;
+pub mod table;
+
+pub use check::{CheckError, ProtocolChecker};
+pub use hub::{Hub, HubAction, HubStats, ReqKind};
+pub use msg::{Agent, CohMsg, DirectMsg, ProbeKind, GPU_L2_SLICES};
+pub use table::{
+    transition, transition_table, Action, HammerState, NextState, ProtocolError, ProtocolEvent,
+    TableRow, Transition,
+};

@@ -1,0 +1,326 @@
+//! Coherent agents and wire messages.
+
+use std::fmt;
+
+use ds_mem::LineAddr;
+
+/// Number of GPU L2 slices in the paper's configuration (Table I:
+/// "2MB, 16 ways, 4 slices").
+pub const GPU_L2_SLICES: usize = 4;
+
+/// A coherent endpoint of the simulated chip.
+///
+/// Per gem5-gpu's MOESI_hammer configuration (and the paper's §III.A),
+/// GPU L1s are *not* coherence agents — they are write-through and
+/// flash-invalidated at kernel launch. The coherent caches are the
+/// CPU's private L2 and the four address-interleaved GPU L2 slices;
+/// the memory controller hosts the broadcast hub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Agent {
+    /// The CPU's private L2 (its L1s sit beneath it, inclusion
+    /// maintained locally).
+    CpuL2,
+    /// GPU L2 slice `0..GPU_L2_SLICES`.
+    GpuL2(u8),
+    /// The memory-side controller hosting the [`Hub`](crate::Hub).
+    MemCtrl,
+}
+
+impl Agent {
+    /// All cache agents (excludes the memory controller).
+    pub fn caches() -> impl Iterator<Item = Agent> {
+        std::iter::once(Agent::CpuL2)
+            .chain((0..GPU_L2_SLICES as u8).map(Agent::GpuL2))
+    }
+
+    /// The GPU L2 slice that homes `line` (line-interleaved).
+    pub fn slice_of(line: LineAddr) -> Agent {
+        Agent::GpuL2(slice_index(line))
+    }
+
+    /// A dense index for port/array addressing: CpuL2 = 0, slices are
+    /// 1..=4, MemCtrl = 5.
+    pub fn port_index(self) -> usize {
+        match self {
+            Agent::CpuL2 => 0,
+            Agent::GpuL2(s) => 1 + s as usize,
+            Agent::MemCtrl => 1 + GPU_L2_SLICES,
+        }
+    }
+
+    /// Total number of ports ([`Agent::port_index`] range).
+    pub const PORTS: usize = 2 + GPU_L2_SLICES;
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::CpuL2 => write!(f, "cpu-l2"),
+            Agent::GpuL2(s) => write!(f, "gpu-l2[{s}]"),
+            Agent::MemCtrl => write!(f, "mem"),
+        }
+    }
+}
+
+/// The raw index of the GPU L2 slice homing `line` (line-interleaved).
+pub fn slice_index(line: LineAddr) -> u8 {
+    (line.index() % GPU_L2_SLICES as u64) as u8
+}
+
+/// The flavour of a hub-issued probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeKind {
+    /// GETS probe: owner supplies data and downgrades to `O`.
+    Shared,
+    /// GETX probe: every holder invalidates; owner supplies data.
+    Invalidate,
+}
+
+impl fmt::Display for ProbeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeKind::Shared => write!(f, "probe-shared"),
+            ProbeKind::Invalidate => write!(f, "probe-inv"),
+        }
+    }
+}
+
+/// A message on the coherence network.
+///
+/// The direct-store network carries its own two messages (the GETX /
+/// PUTX pair of §III.F); those are represented by
+/// [`DirectMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohMsg {
+    /// Cache → hub: read request.
+    GetS {
+        /// The requested line.
+        line: LineAddr,
+        /// Requesting cache.
+        requester: Agent,
+    },
+    /// Cache → hub: write (exclusive) request. `upgrade` marks a
+    /// requester that already holds a valid (S/O) copy and needs only
+    /// invalidations — no data response, no speculative memory fetch.
+    GetX {
+        /// The requested line.
+        line: LineAddr,
+        /// Requesting cache.
+        requester: Agent,
+        /// Whether this is a data-less upgrade.
+        upgrade: bool,
+    },
+    /// Cache → hub: writeback / eviction notice.
+    Put {
+        /// The evicted line.
+        line: LineAddr,
+        /// Whether data travels with the message.
+        dirty: bool,
+        /// Evicting cache.
+        requester: Agent,
+    },
+    /// Hub → cache: probe on behalf of a request.
+    Probe {
+        /// The probed line.
+        line: LineAddr,
+        /// Shared or invalidate.
+        kind: ProbeKind,
+    },
+    /// Cache → hub: probe response.
+    ProbeReply {
+        /// The probed line.
+        line: LineAddr,
+        /// Responding cache.
+        from: Agent,
+        /// Whether the reply carries the line's data (the responder
+        /// was an owner).
+        with_data: bool,
+        /// Whether the responder retains a copy after the probe (a
+        /// sharer surviving a `ProbeShared`); the hub grants exclusive
+        /// permission on a GETS only when nobody does.
+        retains_copy: bool,
+    },
+    /// Hub → requester: the data grant completing a transaction.
+    Data {
+        /// The granted line.
+        line: LineAddr,
+        /// Whether exclusive permission is granted.
+        exclusive: bool,
+        /// Whether DRAM (rather than a cache owner) supplied the data.
+        from_mem: bool,
+    },
+    /// Requester → hub: transaction complete; unblock the line.
+    Unblock {
+        /// The completed line.
+        line: LineAddr,
+    },
+}
+
+impl CohMsg {
+    /// The line this message concerns.
+    pub fn line(&self) -> LineAddr {
+        match *self {
+            CohMsg::GetS { line, .. }
+            | CohMsg::GetX { line, .. }
+            | CohMsg::Put { line, .. }
+            | CohMsg::Probe { line, .. }
+            | CohMsg::ProbeReply { line, .. }
+            | CohMsg::Data { line, .. }
+            | CohMsg::Unblock { line } => line,
+        }
+    }
+
+    /// Whether the message carries a data payload (for link sizing).
+    pub fn carries_data(&self) -> bool {
+        match *self {
+            CohMsg::Put { dirty, .. } => dirty,
+            CohMsg::ProbeReply { with_data, .. } => with_data,
+            CohMsg::Data { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+/// A message on the dedicated direct-store network (§III.G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectMsg {
+    /// The exclusivity request the CPU issues before pushing
+    /// ("the CPU will issue GETX command").
+    GetX {
+        /// The pushed line.
+        line: LineAddr,
+    },
+    /// The pushed store data ("the store will be issued as PUTX").
+    PutX {
+        /// The pushed line.
+        line: LineAddr,
+    },
+    /// Slice → CPU: push accepted (retires the store-buffer entry).
+    PutXAck {
+        /// The pushed line.
+        line: LineAddr,
+    },
+    /// CPU → slice: uncacheable read of GPU-homed data (CPU loads from
+    /// the direct range can never allocate in CPU caches).
+    ReadReq {
+        /// The requested line.
+        line: LineAddr,
+    },
+    /// Slice → CPU: uncacheable read data.
+    ReadResp {
+        /// The requested line.
+        line: LineAddr,
+    },
+}
+
+impl DirectMsg {
+    /// The line this message concerns.
+    pub fn line(&self) -> LineAddr {
+        match *self {
+            DirectMsg::GetX { line }
+            | DirectMsg::PutX { line }
+            | DirectMsg::PutXAck { line }
+            | DirectMsg::ReadReq { line }
+            | DirectMsg::ReadResp { line } => line,
+        }
+    }
+
+    /// Whether the message carries a data payload.
+    pub fn carries_data(&self) -> bool {
+        matches!(self, DirectMsg::PutX { .. } | DirectMsg::ReadResp { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_port_indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for a in Agent::caches().chain(std::iter::once(Agent::MemCtrl)) {
+            assert!(a.port_index() < Agent::PORTS);
+            assert!(seen.insert(a.port_index()));
+        }
+        assert_eq!(seen.len(), Agent::PORTS);
+    }
+
+    #[test]
+    fn slice_interleaving_covers_all_slices() {
+        let mut hit = [false; GPU_L2_SLICES];
+        for i in 0..16u64 {
+            match Agent::slice_of(LineAddr::from_index(i)) {
+                Agent::GpuL2(s) => hit[s as usize] = true,
+                other => panic!("slice_of returned {other}"),
+            }
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_slices() {
+        let s0 = Agent::slice_of(LineAddr::from_index(0));
+        let s1 = Agent::slice_of(LineAddr::from_index(1));
+        assert_ne!(s0, s1);
+        // Same line always maps to the same slice.
+        assert_eq!(s0, Agent::slice_of(LineAddr::from_index(0)));
+    }
+
+    #[test]
+    fn msg_line_accessor_is_total() {
+        let l = LineAddr::from_index(9);
+        let msgs = [
+            CohMsg::GetS {
+                line: l,
+                requester: Agent::CpuL2,
+            },
+            CohMsg::Probe {
+                line: l,
+                kind: ProbeKind::Shared,
+            },
+            CohMsg::Data {
+                line: l,
+                exclusive: true,
+                from_mem: false,
+            },
+            CohMsg::Unblock { line: l },
+        ];
+        for m in msgs {
+            assert_eq!(m.line(), l);
+        }
+    }
+
+    #[test]
+    fn data_payload_flags() {
+        let l = LineAddr::from_index(1);
+        assert!(CohMsg::Data {
+            line: l,
+            exclusive: false,
+            from_mem: true
+        }
+        .carries_data());
+        assert!(!CohMsg::Unblock { line: l }.carries_data());
+        assert!(CohMsg::Put {
+            line: l,
+            dirty: true,
+            requester: Agent::CpuL2
+        }
+        .carries_data());
+        assert!(!CohMsg::Put {
+            line: l,
+            dirty: false,
+            requester: Agent::CpuL2
+        }
+        .carries_data());
+        assert!(DirectMsg::PutX { line: l }.carries_data());
+        assert!(!DirectMsg::GetX { line: l }.carries_data());
+        assert_eq!(DirectMsg::PutXAck { line: l }.line(), l);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Agent::CpuL2.to_string(), "cpu-l2");
+        assert_eq!(Agent::GpuL2(2).to_string(), "gpu-l2[2]");
+        assert_eq!(ProbeKind::Invalidate.to_string(), "probe-inv");
+    }
+}

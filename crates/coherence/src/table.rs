@@ -1,0 +1,470 @@
+//! The state-transition function of the modified Hammer protocol
+//! (paper Fig. 3).
+//!
+//! The five stable states follow the paper's §III.F description:
+//!
+//! * `MM` — exclusive hold, potentially locally modified (conventional
+//!   `M`),
+//! * `M`  — exclusive but *not* written (conventional `E`); stores are
+//!   not allowed in `M` and silently upgrade to `MM`,
+//! * `O`  — owns the block, unmodified relative to sharers, sharers may
+//!   exist,
+//! * `S`  — most-recent correct copy, read-only, other sharers may
+//!   exist,
+//! * `I`  — invalid.
+//!
+//! The direct-store modification adds the **RemoteStore** event (bold
+//! in Fig. 3): from `I`, `S`, `M` and `MM` the cache forwards the store
+//! over the dedicated network and ends in `I`. At the GPU L2, the
+//! arriving **PutX** takes the line from `I` to `MM` (the blue dashed
+//! edge). Per the paper, remote stores are *not* defined from `O`.
+
+use std::fmt;
+
+use ds_cache::LineState;
+
+/// A stable Hammer protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HammerState {
+    /// Invalid.
+    I,
+    /// Shared, read-only.
+    S,
+    /// Owned: supplies data, sharers may exist.
+    O,
+    /// Exclusive clean (conventional E). Stores are not allowed here.
+    M,
+    /// Exclusive, potentially modified (conventional M).
+    MM,
+}
+
+impl HammerState {
+    /// All stable states, in Fig. 3's order.
+    pub const ALL: [HammerState; 5] = [
+        HammerState::I,
+        HammerState::S,
+        HammerState::O,
+        HammerState::M,
+        HammerState::MM,
+    ];
+
+    /// Whether a local load hits in this state.
+    pub fn can_read(self) -> bool {
+        !matches!(self, HammerState::I)
+    }
+
+    /// Whether a local store hits in this state without any protocol
+    /// action. Only `MM` allows stores (stores in `M` silently upgrade).
+    pub fn can_write(self) -> bool {
+        matches!(self, HammerState::MM)
+    }
+
+    /// Whether this cache is responsible for supplying data on a probe.
+    pub fn is_owner(self) -> bool {
+        matches!(self, HammerState::O | HammerState::M | HammerState::MM)
+    }
+
+    /// Whether an eviction from this state must write data back.
+    pub fn needs_writeback(self) -> bool {
+        matches!(self, HammerState::O | HammerState::MM)
+    }
+}
+
+impl LineState for HammerState {
+    fn is_valid(&self) -> bool {
+        !matches!(self, HammerState::I)
+    }
+}
+
+impl fmt::Display for HammerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HammerState::I => "I",
+            HammerState::S => "S",
+            HammerState::O => "O",
+            HammerState::M => "M",
+            HammerState::MM => "MM",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An event applied to a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolEvent {
+    /// Local processor load.
+    Load,
+    /// Local processor store to ordinary memory.
+    Store,
+    /// Local processor store to the direct-store (GPU-homed) range —
+    /// the paper's added event.
+    RemoteStore,
+    /// Another agent requested read access (the hub's GETS probe).
+    ProbeShared,
+    /// Another agent requested exclusive access (the hub's GETX probe).
+    ProbeInv,
+    /// The line was selected as a victim.
+    Replacement,
+    /// A pushed direct-store line arrived (GPU L2 only) — the paper's
+    /// blue dashed transition.
+    PutXArrive,
+}
+
+impl ProtocolEvent {
+    /// All events, request events first.
+    pub const ALL: [ProtocolEvent; 7] = [
+        ProtocolEvent::Load,
+        ProtocolEvent::Store,
+        ProtocolEvent::RemoteStore,
+        ProtocolEvent::ProbeShared,
+        ProtocolEvent::ProbeInv,
+        ProtocolEvent::Replacement,
+        ProtocolEvent::PutXArrive,
+    ];
+}
+
+impl fmt::Display for ProtocolEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolEvent::Load => "Load",
+            ProtocolEvent::Store => "Store",
+            ProtocolEvent::RemoteStore => "RemoteStore",
+            ProtocolEvent::ProbeShared => "ProbeShared",
+            ProtocolEvent::ProbeInv => "ProbeInv",
+            ProtocolEvent::Replacement => "Replacement",
+            ProtocolEvent::PutXArrive => "PutXArrive",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A protocol action the cache controller must perform alongside a
+/// state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// The access completes locally.
+    Hit,
+    /// Issue a GETS request to the hub.
+    IssueGetS,
+    /// Issue a GETX request to the hub.
+    IssueGetX,
+    /// Forward the store over the dedicated direct network
+    /// (the paper issues a GETX then a PUTX on that network).
+    ForwardDirect,
+    /// Supply the line's data in the probe reply.
+    SupplyData,
+    /// Acknowledge the probe without data.
+    SendAck,
+    /// Write the (dirty) line back toward memory.
+    WritebackData,
+    /// Drop the line silently.
+    SilentDrop,
+    /// Install the pushed line (GPU L2 on PutX).
+    InstallPushed,
+}
+
+/// The next state of a transition: either immediate, or dependent on
+/// whether the returned data grants shared or exclusive permission
+/// (Hammer grants exclusive on a GETS when no other cache holds a
+/// copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextState {
+    /// The state changes immediately.
+    Imm(HammerState),
+    /// The state is decided by the data response.
+    OnData {
+        /// State if the response grants shared permission.
+        shared: HammerState,
+        /// State if the response grants exclusive permission.
+        exclusive: HammerState,
+    },
+}
+
+/// The full outcome of applying an event to a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Where the line ends up.
+    pub next: NextState,
+    /// What the controller must do.
+    pub actions: Vec<Action>,
+}
+
+impl Transition {
+    fn imm(next: HammerState, actions: &[Action]) -> Self {
+        Transition {
+            next: NextState::Imm(next),
+            actions: actions.to_vec(),
+        }
+    }
+
+    /// The next state if it does not depend on a data response.
+    pub fn stable_next(&self) -> Option<HammerState> {
+        match self.next {
+            NextState::Imm(s) => Some(s),
+            NextState::OnData { .. } => None,
+        }
+    }
+}
+
+/// Error for `(state, event)` pairs the protocol does not define.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The state the undefined event was applied in.
+    pub state: HammerState,
+    /// The undefined event.
+    pub event: ProtocolEvent,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "protocol does not define event {} in state {}",
+            self.event, self.state
+        )
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Applies `event` to a line in `state`.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] for pairs the protocol leaves undefined:
+/// `RemoteStore` from `O` (the paper only adds remote stores from
+/// `I`, `S`, `M` and `MM`) and `PutXArrive` from any state but `I`
+/// (the hub guarantees pushes find the line invalid by first issuing
+/// GETX).
+pub fn transition(
+    state: HammerState,
+    event: ProtocolEvent,
+) -> Result<Transition, ProtocolError> {
+    use Action::*;
+    use HammerState::*;
+    use ProtocolEvent::*;
+
+    let t = match (state, event) {
+        // ----- loads -----
+        (I, Load) => Transition {
+            next: NextState::OnData {
+                shared: S,
+                exclusive: M,
+            },
+            actions: vec![IssueGetS],
+        },
+        (S, Load) | (O, Load) | (M, Load) | (MM, Load) => Transition::imm(state, &[Hit]),
+
+        // ----- ordinary stores -----
+        (I, Store) => Transition::imm(MM, &[IssueGetX]),
+        (S, Store) | (O, Store) => Transition::imm(MM, &[IssueGetX]),
+        // Stores are not allowed in M: silent local upgrade, no traffic.
+        (M, Store) => Transition::imm(MM, &[Hit]),
+        (MM, Store) => Transition::imm(MM, &[Hit]),
+
+        // ----- remote (direct) stores: the bold Fig. 3 additions -----
+        (I, RemoteStore) => Transition::imm(I, &[ForwardDirect]),
+        (S, RemoteStore) | (M, RemoteStore) | (MM, RemoteStore) => {
+            Transition::imm(I, &[ForwardDirect])
+        }
+        (O, RemoteStore) => return Err(ProtocolError { state, event }),
+
+        // ----- probes -----
+        (I, ProbeShared) | (I, ProbeInv) => Transition::imm(I, &[SendAck]),
+        (S, ProbeShared) => Transition::imm(S, &[SendAck]),
+        (S, ProbeInv) => Transition::imm(I, &[SendAck]),
+        (O, ProbeShared) => Transition::imm(O, &[SupplyData]),
+        (O, ProbeInv) => Transition::imm(I, &[SupplyData]),
+        (M, ProbeShared) => Transition::imm(O, &[SupplyData]),
+        (M, ProbeInv) => Transition::imm(I, &[SupplyData]),
+        (MM, ProbeShared) => Transition::imm(O, &[SupplyData]),
+        (MM, ProbeInv) => Transition::imm(I, &[SupplyData]),
+
+        // ----- replacement -----
+        (I, Replacement) => return Err(ProtocolError { state, event }),
+        (S, Replacement) => Transition::imm(I, &[SilentDrop]),
+        // M is clean-exclusive: memory is up to date, drop silently.
+        (M, Replacement) => Transition::imm(I, &[SilentDrop]),
+        (O, Replacement) | (MM, Replacement) => Transition::imm(I, &[WritebackData]),
+
+        // ----- direct-store push at the GPU L2: the blue dashed edge -----
+        (I, PutXArrive) => Transition::imm(MM, &[InstallPushed]),
+        (_, PutXArrive) => return Err(ProtocolError { state, event }),
+    };
+    Ok(t)
+}
+
+/// One row of the printable protocol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRow {
+    /// Starting stable state.
+    pub state: HammerState,
+    /// Applied event.
+    pub event: ProtocolEvent,
+    /// The resulting transition (`None` for undefined pairs).
+    pub outcome: Option<Transition>,
+    /// Whether this row is part of the paper's direct-store
+    /// modification: bold (`RemoteStore` rows) or the blue dashed GPU
+    /// L2 edge (`PutXArrive`).
+    pub is_direct_store_addition: bool,
+}
+
+/// Enumerates the complete `(state, event)` table — the machine-checked
+/// equivalent of the paper's Fig. 3 diagram. The `fig3_protocol`
+/// binary in `ds-bench` pretty-prints it.
+pub fn transition_table() -> Vec<TableRow> {
+    let mut rows = Vec::new();
+    for &state in &HammerState::ALL {
+        for &event in &ProtocolEvent::ALL {
+            let outcome = transition(state, event).ok();
+            rows.push(TableRow {
+                state,
+                event,
+                outcome,
+                is_direct_store_addition: matches!(
+                    event,
+                    ProtocolEvent::RemoteStore | ProtocolEvent::PutXArrive
+                ),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Action::*;
+    use HammerState::*;
+    use ProtocolEvent::*;
+
+    #[test]
+    fn loads_hit_in_every_valid_state() {
+        for s in [S, O, M, MM] {
+            let t = transition(s, Load).unwrap();
+            assert_eq!(t.stable_next(), Some(s));
+            assert_eq!(t.actions, vec![Hit]);
+        }
+    }
+
+    #[test]
+    fn load_miss_state_depends_on_response() {
+        let t = transition(I, Load).unwrap();
+        assert_eq!(
+            t.next,
+            NextState::OnData {
+                shared: S,
+                exclusive: M
+            }
+        );
+        assert_eq!(t.actions, vec![IssueGetS]);
+    }
+
+    #[test]
+    fn stores_always_end_in_mm() {
+        for s in [I, S, O, M, MM] {
+            let t = transition(s, Store).unwrap();
+            assert_eq!(t.stable_next(), Some(MM));
+        }
+    }
+
+    #[test]
+    fn store_in_m_is_a_silent_upgrade() {
+        let t = transition(M, Store).unwrap();
+        assert_eq!(t.actions, vec![Hit], "E-like state upgrades without traffic");
+    }
+
+    #[test]
+    fn remote_stores_always_end_invalid() {
+        // The paper: "All remote stores that begin from these states
+        // always go to state I."
+        for s in [I, S, M, MM] {
+            let t = transition(s, RemoteStore).unwrap();
+            assert_eq!(t.stable_next(), Some(I));
+            assert_eq!(t.actions, vec![ForwardDirect]);
+        }
+    }
+
+    #[test]
+    fn remote_store_from_o_is_undefined() {
+        let e = transition(O, RemoteStore).unwrap_err();
+        assert_eq!(e.state, O);
+        assert!(e.to_string().contains("RemoteStore"));
+    }
+
+    #[test]
+    fn putx_installs_only_from_i() {
+        let t = transition(I, PutXArrive).unwrap();
+        assert_eq!(t.stable_next(), Some(MM));
+        assert_eq!(t.actions, vec![InstallPushed]);
+        for s in [S, O, M, MM] {
+            assert!(transition(s, PutXArrive).is_err());
+        }
+    }
+
+    #[test]
+    fn owners_supply_data_on_probes() {
+        for s in [O, M, MM] {
+            assert!(s.is_owner());
+            let t = transition(s, ProbeInv).unwrap();
+            assert_eq!(t.actions, vec![SupplyData]);
+            assert_eq!(t.stable_next(), Some(I));
+        }
+        let t = transition(S, ProbeInv).unwrap();
+        assert_eq!(t.actions, vec![SendAck]);
+    }
+
+    #[test]
+    fn probe_shared_downgrades_exclusives_to_owned() {
+        for s in [M, MM] {
+            let t = transition(s, ProbeShared).unwrap();
+            assert_eq!(t.stable_next(), Some(O));
+        }
+        // O keeps ownership.
+        assert_eq!(transition(O, ProbeShared).unwrap().stable_next(), Some(O));
+    }
+
+    #[test]
+    fn replacement_writebacks_match_dirtiness() {
+        assert_eq!(transition(MM, Replacement).unwrap().actions, vec![WritebackData]);
+        assert_eq!(transition(O, Replacement).unwrap().actions, vec![WritebackData]);
+        assert_eq!(transition(M, Replacement).unwrap().actions, vec![SilentDrop]);
+        assert_eq!(transition(S, Replacement).unwrap().actions, vec![SilentDrop]);
+        assert!(transition(I, Replacement).is_err());
+    }
+
+    #[test]
+    fn permissions_are_consistent() {
+        assert!(!I.can_read());
+        for s in [S, O, M, MM] {
+            assert!(s.can_read());
+        }
+        for s in [I, S, O, M] {
+            assert!(!s.can_write());
+        }
+        assert!(MM.can_write());
+        assert!(MM.needs_writeback());
+        assert!(O.needs_writeback());
+        assert!(!M.needs_writeback());
+        assert!(!S.needs_writeback());
+    }
+
+    #[test]
+    fn table_covers_full_cross_product() {
+        let table = transition_table();
+        assert_eq!(table.len(), 5 * 7);
+        let additions: Vec<&TableRow> = table
+            .iter()
+            .filter(|r| r.is_direct_store_addition && r.outcome.is_some())
+            .collect();
+        // 4 bold RemoteStore rows + 1 blue PutXArrive row.
+        assert_eq!(additions.len(), 5);
+    }
+
+    #[test]
+    fn display_names_are_short() {
+        assert_eq!(MM.to_string(), "MM");
+        assert_eq!(I.to_string(), "I");
+        assert_eq!(RemoteStore.to_string(), "RemoteStore");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests of the protocol: the transition function's
+//! global invariants and the hub's serialization discipline under
+//! random request interleavings.
+
+use proptest::prelude::*;
+
+use ds_coherence::{
+    transition, Action, Agent, HammerState, Hub, HubAction, NextState, ProtocolEvent, ReqKind,
+};
+use ds_mem::LineAddr;
+
+fn any_state() -> impl Strategy<Value = HammerState> {
+    prop_oneof![
+        Just(HammerState::I),
+        Just(HammerState::S),
+        Just(HammerState::O),
+        Just(HammerState::M),
+        Just(HammerState::MM),
+    ]
+}
+
+fn any_event() -> impl Strategy<Value = ProtocolEvent> {
+    prop_oneof![
+        Just(ProtocolEvent::Load),
+        Just(ProtocolEvent::Store),
+        Just(ProtocolEvent::RemoteStore),
+        Just(ProtocolEvent::ProbeShared),
+        Just(ProtocolEvent::ProbeInv),
+        Just(ProtocolEvent::Replacement),
+        Just(ProtocolEvent::PutXArrive),
+    ]
+}
+
+proptest! {
+    /// Structural invariants of every defined transition: probes and
+    /// replacements never *gain* permissions, invalidating events end
+    /// in I, remote stores end in I, and writable outcomes only arise
+    /// from store-class events.
+    #[test]
+    fn transition_invariants(state in any_state(), event in any_event()) {
+        let Ok(t) = transition(state, event) else {
+            // Undefined pairs are precisely the documented ones.
+            prop_assert!(matches!(
+                (state, event),
+                (HammerState::O, ProtocolEvent::RemoteStore)
+                    | (HammerState::I, ProtocolEvent::Replacement)
+                    | (HammerState::S, ProtocolEvent::PutXArrive)
+                    | (HammerState::O, ProtocolEvent::PutXArrive)
+                    | (HammerState::M, ProtocolEvent::PutXArrive)
+                    | (HammerState::MM, ProtocolEvent::PutXArrive)
+            ));
+            return Ok(());
+        };
+        match event {
+            ProtocolEvent::ProbeInv | ProtocolEvent::Replacement => {
+                prop_assert_eq!(t.stable_next(), Some(HammerState::I));
+            }
+            ProtocolEvent::ProbeShared => {
+                let next = t.stable_next().unwrap();
+                prop_assert!(!next.can_write(), "probe must strip write permission");
+            }
+            ProtocolEvent::RemoteStore => {
+                prop_assert_eq!(t.stable_next(), Some(HammerState::I));
+                prop_assert_eq!(t.actions.clone(), vec![Action::ForwardDirect]);
+            }
+            ProtocolEvent::Store => {
+                prop_assert_eq!(t.stable_next(), Some(HammerState::MM));
+            }
+            ProtocolEvent::Load => match t.next {
+                NextState::Imm(n) => prop_assert_eq!(n, state),
+                NextState::OnData { shared, exclusive } => {
+                    prop_assert_eq!(shared, HammerState::S);
+                    prop_assert_eq!(exclusive, HammerState::M);
+                }
+            },
+            ProtocolEvent::PutXArrive => {
+                prop_assert_eq!(t.stable_next(), Some(HammerState::MM));
+            }
+        }
+        // Dirty states never silently drop on replacement.
+        if event == ProtocolEvent::Replacement && state.needs_writeback() {
+            prop_assert_eq!(t.actions.clone(), vec![Action::WritebackData]);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Req {
+    line: u64,
+    write: bool,
+    agent_idx: u8,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0u64..6, any::<bool>(), 0u8..5).prop_map(|(line, write, agent_idx)| Req {
+        line,
+        write,
+        agent_idx,
+    })
+}
+
+fn agent(idx: u8) -> Agent {
+    if idx == 0 {
+        Agent::CpuL2
+    } else {
+        Agent::GpuL2(idx - 1)
+    }
+}
+
+proptest! {
+    /// Random request sequences, each driven to completion: the hub
+    /// always grants, never probes the requester, pairs every grant
+    /// with one transaction, and returns to idle.
+    #[test]
+    fn hub_completes_random_requests(
+        reqs in proptest::collection::vec(req_strategy(), 1..60)
+    ) {
+        let mut hub = Hub::new();
+        let mut grants = 0u64;
+        for r in &reqs {
+            let who = agent(r.agent_idx);
+            let kind = if r.write { ReqKind::GetX } else { ReqKind::GetS };
+            let line = LineAddr::from_index(r.line);
+            prop_assert!(!hub.busy(line), "fully drained between requests");
+            let actions = hub.on_request(kind, line, who);
+
+            let mut probed: Vec<Agent> = Vec::new();
+            let mut mem: Option<u64> = None;
+            for a in &actions {
+                match *a {
+                    HubAction::SendProbe { to, line: l, .. } => {
+                        prop_assert_eq!(l, line);
+                        prop_assert_ne!(to, who, "requester probed itself");
+                        probed.push(to);
+                    }
+                    HubAction::StartMemRead { line: l, txn } => {
+                        prop_assert_eq!(l, line);
+                        mem = Some(txn);
+                    }
+                    _ => {}
+                }
+            }
+            // Every non-requesting cache is probed exactly once.
+            let mut expect: Vec<Agent> = Agent::caches().filter(|c| *c != who).collect();
+            expect.sort();
+            probed.sort();
+            prop_assert_eq!(probed.clone(), expect);
+
+            // All probes miss; memory (if fetched) completes.
+            let mut granted = Vec::new();
+            for p in probed {
+                granted.extend(hub.on_probe_reply(line, p, false, false));
+            }
+            if let Some(txn) = mem {
+                granted.extend(hub.on_mem_done(line, txn));
+            }
+            let grant = granted
+                .iter()
+                .find_map(|a| match *a {
+                    HubAction::SendData { to, exclusive, .. } => Some((to, exclusive)),
+                    _ => None,
+                })
+                .expect("transaction must grant");
+            prop_assert_eq!(grant.0, who);
+            if kind == ReqKind::GetX {
+                prop_assert!(grant.1, "GETX grants exclusive");
+            }
+            grants += 1;
+            let restarted = hub.on_unblock(line);
+            prop_assert!(restarted.is_empty(), "nothing was queued");
+        }
+        prop_assert_eq!(hub.inflight_count(), 0);
+        prop_assert_eq!(hub.stats().transactions.value(), grants);
+    }
+}

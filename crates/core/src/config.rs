@@ -1,0 +1,297 @@
+//! System configuration (the paper's Table I plus timing constants).
+
+use std::fmt;
+
+use ds_cache::{CacheGeometry, ReplacementPolicy};
+use ds_mem::DramConfig;
+
+/// The coherence mode a [`System`](crate::System) runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The baseline: cache-coherent shared memory over the Hammer
+    /// protocol; all data pulled on demand.
+    Ccsm,
+    /// The paper's proposal as a complement to CCSM (§III.A–G):
+    /// GPU-homed data is pushed over the dedicated network; everything
+    /// else behaves like CCSM.
+    DirectStore,
+    /// Direct store as a stand-alone replacement for coherence
+    /// (§III.H): no probe broadcasts at all — CPU-GPU sharing happens
+    /// exclusively through the direct-store window, so misses go
+    /// straight to DRAM.
+    DirectStoreOnly,
+}
+
+impl Mode {
+    /// Whether direct-store pushes are active.
+    pub fn pushes(self) -> bool {
+        !matches!(self, Mode::Ccsm)
+    }
+
+    /// Whether the broadcast coherence protocol is active.
+    pub fn coherent(self) -> bool {
+        !matches!(self, Mode::DirectStoreOnly)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Ccsm => write!(f, "CCSM"),
+            Mode::DirectStore => write!(f, "DS"),
+            Mode::DirectStoreOnly => write!(f, "DS-only"),
+        }
+    }
+}
+
+/// Every structural and timing parameter of the simulated chip.
+///
+/// The constructor to start from is [`SystemConfig::paper_default`],
+/// which encodes Table I; ablation studies mutate individual fields
+/// from there (see the `ds-bench` crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// CPU L1 data cache (Table I: 64 KB, 2-way).
+    pub cpu_l1d: CacheGeometry,
+    /// CPU private L2 (Table I: 2 MB, 8-way).
+    pub cpu_l2: CacheGeometry,
+    /// Per-SM GPU L1 (Table I: 16 KB, 4-way; the 48 KB shared memory is
+    /// modelled as fixed-latency `Shared` operations).
+    pub gpu_l1: CacheGeometry,
+    /// One GPU L2 slice (Table I: 2 MB / 4 slices = 512 KB, 16-way).
+    pub gpu_l2_slice: CacheGeometry,
+    /// Number of SMs (Table I: 16).
+    pub sms: usize,
+    /// Maximum resident warps per SM.
+    pub warps_per_sm: usize,
+
+    /// CPU L1D access latency, cycles.
+    pub cpu_l1_latency: u64,
+    /// CPU L2 access latency, cycles.
+    pub cpu_l2_latency: u64,
+    /// GPU L1 access latency, cycles.
+    pub gpu_l1_latency: u64,
+    /// GPU L2 slice access latency, cycles.
+    pub gpu_l2_latency: u64,
+    /// GPU L2 slice service occupancy: cycles the slice's tag/data
+    /// port is busy per access (zero = infinite bandwidth).
+    pub gpu_l2_service: u64,
+
+    /// Coherence-network per-hop latency, cycles.
+    pub coh_hop_latency: u64,
+    /// Coherence-network link bandwidth, bytes/cycle.
+    pub coh_bytes_per_cycle: u64,
+    /// Dedicated direct network per-hop latency (the paper gives it
+    /// "exactly the same characteristics" as the coherence network).
+    pub direct_hop_latency: u64,
+    /// Dedicated direct network bandwidth, bytes/cycle.
+    pub direct_bytes_per_cycle: u64,
+    /// GPU-internal network (SM ↔ L2 slice) per-hop latency.
+    pub gpu_net_latency: u64,
+    /// GPU-internal network bandwidth, bytes/cycle.
+    pub gpu_net_bytes_per_cycle: u64,
+
+    /// CPU TLB entries.
+    pub tlb_entries: usize,
+    /// Page-walk penalty on a TLB miss, cycles.
+    pub tlb_miss_penalty: u64,
+    /// Per-SM GPU TLB entries.
+    pub gpu_tlb_entries: usize,
+    /// GPU page-walk penalty on a TLB miss, cycles (GPU walkers are
+    /// slower and shared).
+    pub gpu_tlb_miss_penalty: u64,
+    /// Store-buffer entries.
+    pub store_buffer_entries: usize,
+    /// Maximum store-buffer entries draining to the memory system
+    /// concurrently (the cache pipeline's store bandwidth).
+    pub store_drain_parallelism: usize,
+    /// MSHRs per GPU L2 slice.
+    pub gpu_l2_mshrs: usize,
+    /// MSHRs at the CPU L2.
+    pub cpu_l2_mshrs: usize,
+
+    /// Replacement policy for the coherent caches (CPU L2, GPU L2
+    /// slices). The paper's Ruby configuration uses LRU; tree-PLRU is
+    /// the hardware-cheap alternative the `ablate_policy` study sweeps.
+    pub replacement: ReplacementPolicy,
+    /// DRAM geometry and timing.
+    pub dram: DramConfig,
+    /// Optional next-line prefetcher at the GPU L2 (off in the paper's
+    /// configuration; used by the prefetch-comparison ablation).
+    pub gpu_l2_prefetch: bool,
+    /// Replace Hammer's probe broadcast with a directory filter at the
+    /// memory controller (off in the paper's configuration; the
+    /// `ablate_directory` study quantifies the traffic it removes,
+    /// mirroring the heterogeneous-system-coherence comparison the
+    /// paper cites as related work).
+    pub directory_filter: bool,
+}
+
+impl SystemConfig {
+    /// The configuration of the paper's Table I.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            cpu_l1d: CacheGeometry::new(64 * 1024, 2).expect("Table I CPU L1D"),
+            cpu_l2: CacheGeometry::new(2 * 1024 * 1024, 8).expect("Table I CPU L2"),
+            gpu_l1: CacheGeometry::new(16 * 1024, 4).expect("Table I GPU L1"),
+            gpu_l2_slice: CacheGeometry::new(512 * 1024, 16).expect("Table I GPU L2 slice"),
+            sms: 16,
+            warps_per_sm: 48,
+
+            cpu_l1_latency: 3,
+            cpu_l2_latency: 12,
+            gpu_l1_latency: 28,
+            gpu_l2_latency: 32,
+            gpu_l2_service: 4,
+
+            coh_hop_latency: 20,
+            coh_bytes_per_cycle: 32,
+            direct_hop_latency: 20,
+            direct_bytes_per_cycle: 32,
+            gpu_net_latency: 12,
+            gpu_net_bytes_per_cycle: 32,
+
+            tlb_entries: 64,
+            tlb_miss_penalty: 60,
+            gpu_tlb_entries: 32,
+            gpu_tlb_miss_penalty: 120,
+            store_buffer_entries: 16,
+            store_drain_parallelism: 8,
+            gpu_l2_mshrs: 64,
+            cpu_l2_mshrs: 16,
+
+            replacement: ReplacementPolicy::Lru,
+            dram: DramConfig::paper_default(),
+            gpu_l2_prefetch: false,
+            directory_filter: false,
+        }
+    }
+
+    /// Number of GPU L2 slices (fixed by the coherence agent layout).
+    pub fn gpu_l2_slices(&self) -> usize {
+        ds_coherence::GPU_L2_SLICES
+    }
+
+    /// Total GPU L2 capacity across slices.
+    pub fn gpu_l2_total_bytes(&self) -> u64 {
+        self.gpu_l2_slice.size_bytes() * self.gpu_l2_slices() as u64
+    }
+
+    /// Validates cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sms == 0 {
+            return Err("sms must be non-zero".into());
+        }
+        if self.warps_per_sm == 0 {
+            return Err("warps_per_sm must be non-zero".into());
+        }
+        if self.gpu_l2_mshrs == 0 || self.cpu_l2_mshrs == 0 {
+            return Err("MSHR counts must be non-zero".into());
+        }
+        if self.store_buffer_entries == 0 || self.tlb_entries == 0 {
+            return Err("store buffer and TLB must be non-empty".into());
+        }
+        if self.gpu_tlb_entries == 0 {
+            return Err("gpu_tlb_entries must be non-zero".into());
+        }
+        if self.store_drain_parallelism == 0 {
+            return Err("store_drain_parallelism must be non-zero".into());
+        }
+        self.dram.validate()
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    /// Renders the configuration in the shape of the paper's Table I.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CPU")?;
+        writeln!(f, "  Cores      1")?;
+        writeln!(f, "  L1D cache  {}", self.cpu_l1d)?;
+        writeln!(f, "  L2 cache   {}", self.cpu_l2)?;
+        writeln!(f, "GPU")?;
+        writeln!(
+            f,
+            "  SMs        {} - 32 lanes per SM, {} resident warps",
+            self.sms, self.warps_per_sm
+        )?;
+        writeln!(f, "  L1 cache   {} (+48KB shared memory)", self.gpu_l1)?;
+        writeln!(
+            f,
+            "  L2 cache   {} x {} slices = {}KB total",
+            self.gpu_l2_slice,
+            self.gpu_l2_slices(),
+            self.gpu_l2_total_bytes() / 1024
+        )?;
+        writeln!(f, "MEMORY")?;
+        write!(
+            f,
+            "  DRAM       {} channel(s), {} ranks, {} banks/rank",
+            self.dram.channels, self.dram.ranks, self.dram.banks_per_rank
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = SystemConfig::paper_default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.gpu_l2_total_bytes(), 2 * 1024 * 1024);
+        assert_eq!(cfg.gpu_l2_slices(), 4);
+    }
+
+    #[test]
+    fn drain_parallelism_constraint() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.store_drain_parallelism = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        for f in ["sms", "warps", "mshr", "sb"] {
+            let mut cfg = SystemConfig::paper_default();
+            match f {
+                "sms" => cfg.sms = 0,
+                "warps" => cfg.warps_per_sm = 0,
+                "mshr" => cfg.gpu_l2_mshrs = 0,
+                _ => cfg.store_buffer_entries = 0,
+            }
+            assert!(cfg.validate().is_err(), "{f} = 0 must be rejected");
+        }
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!Mode::Ccsm.pushes());
+        assert!(Mode::DirectStore.pushes());
+        assert!(Mode::DirectStoreOnly.pushes());
+        assert!(Mode::Ccsm.coherent());
+        assert!(Mode::DirectStore.coherent());
+        assert!(!Mode::DirectStoreOnly.coherent());
+    }
+
+    #[test]
+    fn display_resembles_table_one() {
+        let text = SystemConfig::paper_default().to_string();
+        assert!(text.contains("CPU"));
+        assert!(text.contains("GPU"));
+        assert!(text.contains("MEMORY"));
+        assert!(text.contains("64KB 2-way"));
+        assert!(text.contains("16 - 32 lanes"));
+        assert_eq!(Mode::DirectStore.to_string(), "DS");
+    }
+}

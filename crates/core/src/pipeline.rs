@@ -1,0 +1,315 @@
+//! The end-to-end experiment pipeline.
+//!
+//! Reproduces the paper's methodology (§IV): each benchmark's source is
+//! run through the automatic translator; the resulting allocation plan
+//! fixes where every GPU-consumed variable lives; the workload's CPU
+//! program and kernel traces are built against that layout; and the
+//! same workload is simulated under CCSM and under direct store.
+
+use std::fmt;
+
+use ds_cpu::Program;
+use ds_gpu::KernelTrace;
+use ds_xlat::{AllocationPlan, TranslateError, Translator};
+
+use crate::{Mode, RunReport, System, SystemConfig};
+
+/// A benchmark-sized input selector (Table II's "small" / "big").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSize {
+    /// Fits comfortably in the GPU LLC.
+    Small,
+    /// Exceeds the GPU LLC capacity.
+    Big,
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputSize::Small => write!(f, "small"),
+            InputSize::Big => write!(f, "big"),
+        }
+    }
+}
+
+/// The programs a scenario compiles to for one run.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuild {
+    /// The CPU-side program (produce, launch, wait, optionally read
+    /// back).
+    pub program: Program,
+    /// The GPU kernels, indexed by `CpuOp::Launch`.
+    pub kernels: Vec<KernelTrace>,
+}
+
+/// A runnable workload: mini-CUDA source plus a generator that builds
+/// programs for a given memory layout.
+///
+/// Implemented by every Table II benchmark in `ds-workloads`.
+pub trait Scenario {
+    /// Short code name (`"VA"`, `"MM"`, ...).
+    fn code(&self) -> &str;
+
+    /// The mini-CUDA source handed to the translator.
+    fn source(&self, input: InputSize) -> String;
+
+    /// Builds the CPU program and kernels. `plan` is `Some` when the
+    /// translator ran (direct-store modes) and `None` under CCSM,
+    /// where the same variables live on the ordinary heap.
+    fn build(&self, plan: Option<&AllocationPlan>, input: InputSize) -> ScenarioBuild;
+}
+
+/// Errors from [`Pipeline::run_comparison`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The translator rejected the scenario's source.
+    Translate(TranslateError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Translate(e) => write!(f, "translation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Translate(e) => Some(e),
+        }
+    }
+}
+
+impl From<TranslateError> for PipelineError {
+    fn from(e: TranslateError) -> Self {
+        PipelineError::Translate(e)
+    }
+}
+
+/// The CCSM-vs-direct-store outcome for one benchmark and input size.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark code name.
+    pub code: String,
+    /// Input size the comparison ran at.
+    pub input: InputSize,
+    /// The baseline run.
+    pub ccsm: RunReport,
+    /// The direct-store run.
+    pub direct_store: RunReport,
+}
+
+impl Comparison {
+    /// Speedup of direct store over CCSM (`ccsm_ticks / ds_ticks`,
+    /// the paper's Fig. 4 metric; `> 1` means direct store is faster).
+    pub fn speedup(&self) -> f64 {
+        let ds = self.direct_store.total_cycles.as_u64();
+        if ds == 0 {
+            return 1.0;
+        }
+        self.ccsm.total_cycles.as_u64() as f64 / ds as f64
+    }
+
+    /// Speedup as a percentage gain (the unit of Fig. 4's y-axis).
+    pub fn speedup_percent(&self) -> f64 {
+        (self.speedup() - 1.0) * 100.0
+    }
+
+    /// GPU L2 miss-rate pair `(ccsm, direct_store)` (Fig. 5).
+    pub fn miss_rates(&self) -> (f64, f64) {
+        (
+            self.ccsm.gpu_l2_miss_rate(),
+            self.direct_store.gpu_l2_miss_rate(),
+        )
+    }
+
+    /// Compulsory-miss pair `(ccsm, direct_store)`.
+    pub fn compulsory_misses(&self) -> (u64, u64) {
+        (
+            self.ccsm.gpu_l2_compulsory_misses(),
+            self.direct_store.gpu_l2_compulsory_misses(),
+        )
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (mc, md) = self.miss_rates();
+        write!(
+            f,
+            "{:<4} [{}] speedup {:+.2}%  miss rate {:.2}% -> {:.2}%",
+            self.code,
+            self.input,
+            self.speedup_percent(),
+            mc * 100.0,
+            md * 100.0
+        )
+    }
+}
+
+/// The experiment driver: translate, build, simulate both modes.
+///
+/// See the workspace quickstart example for typical use.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cfg: SystemConfig,
+    ds_mode: Mode,
+}
+
+impl Pipeline {
+    /// A pipeline over the Table I configuration comparing CCSM to the
+    /// complement-style direct store.
+    pub fn paper_default() -> Self {
+        Pipeline {
+            cfg: SystemConfig::paper_default(),
+            ds_mode: Mode::DirectStore,
+        }
+    }
+
+    /// A pipeline over a custom configuration.
+    pub fn with_config(cfg: SystemConfig) -> Self {
+        Pipeline {
+            cfg,
+            ds_mode: Mode::DirectStore,
+        }
+    }
+
+    /// Uses [`Mode::DirectStoreOnly`] (the §III.H replacement design)
+    /// as the direct-store side of comparisons.
+    pub fn replacement_mode(mut self) -> Self {
+        self.ds_mode = Mode::DirectStoreOnly;
+        self
+    }
+
+    /// The configuration runs will use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs `scenario` once under `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Translate`] if the scenario's source
+    /// fails translation (direct-store modes only).
+    pub fn run_one(
+        &self,
+        scenario: &dyn Scenario,
+        input: InputSize,
+        mode: Mode,
+    ) -> Result<RunReport, PipelineError> {
+        let plan = if mode.pushes() {
+            let translation = Translator::new().translate(&scenario.source(input))?;
+            Some(translation.plan)
+        } else {
+            None
+        };
+        let build = scenario.build(plan.as_ref(), input);
+        let mut system = System::new(self.cfg.clone(), mode);
+        Ok(system.run(build.program, build.kernels))
+    }
+
+    /// Runs `scenario` under CCSM and under direct store, returning
+    /// the paired outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures.
+    pub fn run_comparison(
+        &self,
+        scenario: &dyn Scenario,
+        input: InputSize,
+    ) -> Result<Comparison, PipelineError> {
+        let ccsm = self.run_one(scenario, input, Mode::Ccsm)?;
+        let direct_store = self.run_one(scenario, input, self.ds_mode)?;
+        Ok(Comparison {
+            code: scenario.code().to_string(),
+            input,
+            ccsm,
+            direct_store,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_cpu::CpuOp;
+    use ds_gpu::WarpOp;
+    use ds_mem::{VirtAddr, LINE_BYTES};
+
+    /// A minimal producer-consumer scenario for pipeline testing.
+    struct Mini;
+
+    impl Scenario for Mini {
+        fn code(&self) -> &str {
+            "MINI"
+        }
+
+        fn source(&self, _input: InputSize) -> String {
+            "#define N 8192\nfloat* a = (float*)malloc(N);\nconsume<<<1, 256>>>(a);\n".into()
+        }
+
+        fn build(&self, plan: Option<&AllocationPlan>, _input: InputSize) -> ScenarioBuild {
+            let base = plan
+                .map(|p| p.lookup("a").expect("a planned").base)
+                .unwrap_or(VirtAddr::new(0x1000_0000));
+            let bytes = 8192u64;
+            let mut program = Program::new();
+            program.store_array(base, bytes, 0);
+            program.push(CpuOp::Launch(0));
+            program.push(CpuOp::WaitGpu);
+            let mut k = KernelTrace::new("consume");
+            let lines = bytes / LINE_BYTES;
+            for w in 0..8 {
+                let chunk = lines / 8;
+                k.push_warp(vec![WarpOp::global_load(
+                    base.offset(w * chunk * LINE_BYTES),
+                    chunk as u16,
+                )]);
+            }
+            ScenarioBuild {
+                program,
+                kernels: vec![k],
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_runs_and_ds_reduces_misses() {
+        let out = Pipeline::paper_default()
+            .run_comparison(&Mini, InputSize::Small)
+            .unwrap();
+        assert!(out.direct_store.gpu_l2.misses.value() < out.ccsm.gpu_l2.misses.value());
+        assert!(out.direct_store.direct_pushes > 0);
+        assert_eq!(out.ccsm.direct_pushes, 0);
+        assert!(out.speedup() > 1.0, "push-based supply must win here");
+    }
+
+    #[test]
+    fn replacement_mode_also_works() {
+        let out = Pipeline::paper_default()
+            .replacement_mode()
+            .run_comparison(&Mini, InputSize::Small)
+            .unwrap();
+        assert_eq!(out.direct_store.mode, Mode::DirectStoreOnly);
+        assert!(out.direct_store.direct_pushes > 0);
+        // No coherence traffic at all in replacement mode... except
+        // none is expected on this workload's GPU side either way;
+        // the strong property is zero probe broadcasts:
+        assert_eq!(out.direct_store.coh_net.total_msgs(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let out = Pipeline::paper_default()
+            .run_comparison(&Mini, InputSize::Small)
+            .unwrap();
+        let text = out.to_string();
+        assert!(text.contains("MINI"));
+        assert!(text.contains("speedup"));
+        assert_eq!(InputSize::Big.to_string(), "big");
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-run statistics reports.
+
+use std::fmt;
+
+use ds_cache::CacheStats;
+use ds_noc::XbarStats;
+use ds_sim::Cycle;
+
+use crate::Mode;
+
+/// Everything a single simulation run reports.
+///
+/// The paper's figures derive from pairs of these: Fig. 4 compares
+/// [`RunReport::total_cycles`] across modes, Fig. 5 compares
+/// [`RunReport::gpu_l2`] miss rates.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The mode the run executed under.
+    pub mode: Mode,
+    /// End-to-end execution time ("total ticks" in the paper).
+    pub total_cycles: Cycle,
+    /// Aggregated GPU L2 statistics (all four slices).
+    pub gpu_l2: CacheStats,
+    /// CPU L2 statistics.
+    pub cpu_l2: CacheStats,
+    /// Aggregated per-SM GPU L1 statistics.
+    pub gpu_l1: CacheStats,
+    /// CPU L1D statistics.
+    pub cpu_l1: CacheStats,
+    /// Coherence-network traffic.
+    pub coh_net: XbarStats,
+    /// Direct-network traffic (zero under CCSM).
+    pub direct_net: XbarStats,
+    /// GPU-internal network traffic.
+    pub gpu_net: XbarStats,
+    /// DRAM reads.
+    pub dram_reads: u64,
+    /// DRAM writes.
+    pub dram_writes: u64,
+    /// Stores pushed to the GPU L2 over the direct network.
+    pub direct_pushes: u64,
+    /// CPU store-buffer stalls (buffer full).
+    pub store_buffer_stalls: u64,
+    /// Kernels executed.
+    pub kernels_run: u64,
+    /// Warps completed.
+    pub warps_completed: u64,
+    /// When the first kernel began (the CPU produce phase ends around
+    /// here).
+    pub first_kernel_start: Cycle,
+    /// When the last kernel finished (the readback phase follows).
+    pub last_kernel_end: Cycle,
+    /// Per-kernel-launch `(start, end)` spans, in launch order.
+    pub kernel_spans: Vec<(Cycle, Cycle)>,
+    /// Pushes that found their L2 set full and wrote to DRAM instead
+    /// (§III.A's overflow policy).
+    pub push_bypasses: u64,
+    /// Coherence transactions served by the hub.
+    pub hub_transactions: u64,
+    /// Requests that queued behind a same-line transaction.
+    pub hub_conflicts: u64,
+    /// Probes broadcast by the hub.
+    pub hub_probes: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// Total simulation events processed (simulator-effort metric).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// The GPU L2 demand miss rate (the Fig. 5 metric).
+    pub fn gpu_l2_miss_rate(&self) -> f64 {
+        self.gpu_l2.miss_rate().as_f64()
+    }
+
+    /// GPU L2 compulsory misses (§IV's compulsory-miss discussion).
+    pub fn gpu_l2_compulsory_misses(&self) -> u64 {
+        self.gpu_l2.compulsory_misses.value()
+    }
+
+    /// Total cycles spent inside kernels (summed launch spans).
+    pub fn kernel_cycles(&self) -> u64 {
+        self.kernel_spans
+            .iter()
+            .map(|&(s, e)| e.saturating_since(s))
+            .sum()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {} cycles", self.mode, self.total_cycles.as_u64())?;
+        writeln!(f, "  gpu-l2: {}", self.gpu_l2)?;
+        writeln!(f, "  cpu-l2: {}", self.cpu_l2)?;
+        writeln!(
+            f,
+            "  nets: coh={} msgs, direct={} msgs, gpu={} msgs",
+            self.coh_net.total_msgs(),
+            self.direct_net.total_msgs(),
+            self.gpu_net.total_msgs()
+        )?;
+        write!(
+            f,
+            "  dram: {} reads, {} writes; pushes={}; kernels={}",
+            self.dram_reads, self.dram_writes, self.direct_pushes, self.kernels_run
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_cache::MissKind;
+
+    fn dummy() -> RunReport {
+        let mut gpu_l2 = CacheStats::new();
+        gpu_l2.record_hit();
+        gpu_l2.record_hit();
+        gpu_l2.record_hit();
+        gpu_l2.record_miss(MissKind::Compulsory);
+        RunReport {
+            mode: Mode::Ccsm,
+            total_cycles: Cycle::new(1000),
+            gpu_l2,
+            cpu_l2: CacheStats::new(),
+            gpu_l1: CacheStats::new(),
+            cpu_l1: CacheStats::new(),
+            coh_net: XbarStats::default(),
+            direct_net: XbarStats::default(),
+            gpu_net: XbarStats::default(),
+            dram_reads: 5,
+            dram_writes: 2,
+            direct_pushes: 0,
+            store_buffer_stalls: 0,
+            kernels_run: 1,
+            warps_completed: 32,
+            first_kernel_start: Cycle::new(100),
+            last_kernel_end: Cycle::new(900),
+            kernel_spans: vec![(Cycle::new(100), Cycle::new(900))],
+            push_bypasses: 0,
+            hub_transactions: 0,
+            hub_conflicts: 0,
+            hub_probes: 0,
+            dram_row_hits: 0,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn miss_rate_helper() {
+        let r = dummy();
+        assert_eq!(r.gpu_l2_miss_rate(), 0.25);
+        assert_eq!(r.gpu_l2_compulsory_misses(), 1);
+        assert_eq!(r.kernel_cycles(), 800);
+    }
+
+    #[test]
+    fn display_mentions_mode_and_cycles() {
+        let text = dummy().to_string();
+        assert!(text.contains("CCSM"));
+        assert!(text.contains("1000 cycles"));
+    }
+}

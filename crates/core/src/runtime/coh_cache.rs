@@ -1,0 +1,147 @@
+//! A coherent cache: tag array + MSHRs + pending-transaction kinds +
+//! statistics, as instantiated for the CPU L2 and each GPU L2 slice.
+
+use std::collections::{HashMap, HashSet};
+
+use ds_cache::{CacheArray, CacheGeometry, CacheStats, MissClassifier, MshrFile, MshrOutcome, ReplacementPolicy};
+use ds_coherence::{HammerState, ReqKind};
+use ds_mem::LineAddr;
+
+use super::Waiter;
+
+/// The per-cache bundle used by every coherent agent in the system.
+#[derive(Debug)]
+pub(crate) struct CohCache {
+    pub array: CacheArray<HammerState>,
+    pub mshr: MshrFile<Waiter>,
+    pub pending_kind: HashMap<LineAddr, ReqKind>,
+    pub stats: CacheStats,
+    /// Lines installed by a direct-store push and not yet replaced by
+    /// a demand fill (for `push_hits` accounting).
+    pub pushed: HashSet<LineAddr>,
+    pub classifier: MissClassifier,
+}
+
+impl CohCache {
+    pub fn new_with_policy(
+        geom: CacheGeometry,
+        mshrs: usize,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        CohCache {
+            array: CacheArray::new(geom, policy),
+            mshr: MshrFile::new(mshrs),
+            pending_kind: HashMap::new(),
+            stats: CacheStats::new(),
+            pushed: HashSet::new(),
+            classifier: MissClassifier::new(),
+        }
+    }
+
+    #[cfg(test)]
+    pub fn new(geom: CacheGeometry, mshrs: usize) -> Self {
+        Self::new_with_policy(geom, mshrs, ReplacementPolicy::Lru)
+    }
+
+    /// Records a demand miss (with compulsory classification) on
+    /// `line`.
+    pub fn record_miss(&mut self, line: LineAddr) {
+        let kind = self.classifier.classify_miss(line);
+        self.stats.record_miss(kind);
+    }
+
+    /// Records a demand hit, tracking hits on pushed lines.
+    pub fn record_hit(&mut self, line: LineAddr) {
+        self.stats.record_hit();
+        if self.pushed.contains(&line) {
+            self.stats.push_hits.incr();
+        }
+    }
+
+    /// Allocates an MSHR for a miss, remembering the request kind of
+    /// the primary. Secondary misses never change the pending kind —
+    /// completion logic re-dispatches waiters whose needs exceed the
+    /// granted permission.
+    pub fn alloc_miss(&mut self, line: LineAddr, kind: ReqKind, waiter: Waiter) -> MshrOutcome {
+        let outcome = self.mshr.alloc(line, waiter);
+        if outcome == MshrOutcome::Primary {
+            self.pending_kind.insert(line, kind);
+        }
+        outcome
+    }
+
+    /// Completes an in-flight miss, returning `(kind, waiters)`.
+    pub fn complete_miss(&mut self, line: LineAddr) -> (ReqKind, Vec<Waiter>) {
+        let kind = self
+            .pending_kind
+            .remove(&line)
+            .unwrap_or(ReqKind::GetS);
+        (kind, self.mshr.complete(line))
+    }
+
+    /// Installs `line` with `state`, returning the victim (if any)
+    /// and whether that victim requires a writeback. The victim also
+    /// leaves the pushed set.
+    pub fn fill(&mut self, line: LineAddr, state: HammerState) -> Option<(LineAddr, bool)> {
+        let evicted = self.array.fill(line, state)?;
+        self.stats.evictions.incr();
+        self.pushed.remove(&evicted.line);
+        let wb = evicted.state.needs_writeback();
+        if wb {
+            self.stats.writebacks.incr();
+        }
+        Some((evicted.line, wb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> CohCache {
+        CohCache::new(CacheGeometry::new(2 * 2 * 128, 2).unwrap(), 2)
+    }
+
+    #[test]
+    fn miss_then_complete_roundtrip() {
+        let mut c = cache();
+        let l = LineAddr::from_index(0);
+        assert_eq!(
+            c.alloc_miss(l, ReqKind::GetX, Waiter::CpuLoad),
+            MshrOutcome::Primary
+        );
+        assert_eq!(
+            c.alloc_miss(l, ReqKind::GetS, Waiter::CpuStoreDrain),
+            MshrOutcome::Secondary
+        );
+        let (kind, waiters) = c.complete_miss(l);
+        assert_eq!(kind, ReqKind::GetX, "primary's kind wins");
+        assert_eq!(waiters, vec![Waiter::CpuLoad, Waiter::CpuStoreDrain]);
+    }
+
+    #[test]
+    fn fill_reports_writeback_needs() {
+        let mut c = cache();
+        // Fill set 0 (lines 0, 2, 4 map to set 0 of a 2-set cache).
+        c.fill(LineAddr::from_index(0), HammerState::MM);
+        c.fill(LineAddr::from_index(2), HammerState::S);
+        // Next fill evicts LRU (line 0, dirty).
+        let (victim, wb) = c.fill(LineAddr::from_index(4), HammerState::S).unwrap();
+        assert_eq!(victim, LineAddr::from_index(0));
+        assert!(wb);
+        assert_eq!(c.stats.writebacks.value(), 1);
+    }
+
+    #[test]
+    fn pushed_lines_tracked_through_eviction() {
+        let mut c = cache();
+        let l = LineAddr::from_index(0);
+        c.pushed.insert(l);
+        c.record_hit(l);
+        assert_eq!(c.stats.push_hits.value(), 1);
+        c.fill(l, HammerState::MM);
+        c.fill(LineAddr::from_index(2), HammerState::S);
+        c.fill(LineAddr::from_index(4), HammerState::S); // evicts l
+        assert!(!c.pushed.contains(&l));
+    }
+}

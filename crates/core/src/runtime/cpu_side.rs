@@ -1,0 +1,407 @@
+//! CPU-side event handlers: the in-order core, TLB, store buffer and
+//! the two CPU cache levels.
+//!
+//! Timing convention: `Ev::CpuL2Access` events are scheduled with the
+//! L1 + L2 access latencies already elapsed, so handlers act at their
+//! event time. Coherence-network latencies are applied by the `Xbar`
+//! when messages are sent.
+
+use ds_cache::{LineState, MissKind, MshrOutcome};
+use ds_coherence::{Agent, CohMsg, DirectMsg, HammerState, ReqKind};
+use ds_cpu::CpuOp;
+use ds_gpu::L1Valid;
+use ds_mem::{LineAddr, VirtAddr};
+use ds_noc::{MsgClass, PortId};
+
+use super::{CpuBlock, Ev, System, Waiter};
+
+/// Fixed cost of dispatching a kernel launch from the CPU to the GPU
+/// front-end (driver + command processor), in cycles.
+pub(super) const KERNEL_LAUNCH_OVERHEAD: u64 = 500;
+
+impl System {
+    /// Sends a coherence-network message and schedules its arrival.
+    pub(super) fn coh_send(&mut self, src: Agent, dst: Agent, msg: CohMsg) {
+        let class = if msg.carries_data() {
+            MsgClass::Data
+        } else {
+            MsgClass::Control
+        };
+        let arrival = self.coh_net.send(
+            self.now,
+            PortId(src.port_index()),
+            PortId(dst.port_index()),
+            class,
+        );
+        self.queue.push(arrival, Ev::Coh { dst, msg });
+    }
+
+    /// Sends a direct-network message from the CPU to a slice.
+    pub(super) fn direct_send_to_slice(&mut self, slice: u8, msg: DirectMsg) {
+        let class = if msg.carries_data() {
+            MsgClass::Data
+        } else {
+            MsgClass::Control
+        };
+        let arrival = self
+            .direct_net
+            .send(self.now, PortId(0), PortId(1 + slice as usize), class);
+        self.queue.push(
+            arrival,
+            Ev::DirectAtSlice {
+                slice,
+                msg,
+                slotted: false,
+            },
+        );
+    }
+
+    /// Sends a direct-network message from a slice back to the CPU.
+    pub(super) fn direct_send_to_cpu(&mut self, slice: u8, msg: DirectMsg) {
+        let class = if msg.carries_data() {
+            MsgClass::Data
+        } else {
+            MsgClass::Control
+        };
+        let arrival = self
+            .direct_net
+            .send(self.now, PortId(1 + slice as usize), PortId(0), class);
+        self.queue.push(arrival, Ev::DirectAtCpu { msg });
+    }
+
+    fn translate_cpu(&mut self, va: VirtAddr) -> (LineAddr, bool, u64) {
+        let look = self.tlb.lookup(va);
+        let mut cost = 1;
+        if !look.is_hit() {
+            cost += self.cfg.tlb_miss_penalty;
+            let is_direct = look.is_direct;
+            let ppn = self
+                .space
+                .page_table_mut()
+                .translate_or_alloc(look.vpn, is_direct);
+            self.tlb.fill(look.vpn, ppn);
+        }
+        let pa = self.space.translate(va);
+        (LineAddr::containing(pa), look.is_direct, cost)
+    }
+
+    /// Executes the CPU's next program operation (`Ev::CpuAdvance`).
+    pub(super) fn cpu_advance(&mut self) {
+        if self.cpu.block != CpuBlock::None {
+            // Stale wake-up; the real resume event will follow.
+            return;
+        }
+        let Some(&op) = self.cpu.program.ops().get(self.cpu.pc) else {
+            self.cpu.block = CpuBlock::Finished;
+            return;
+        };
+        match op {
+            CpuOp::Compute(n) => {
+                self.cpu.pc += 1;
+                self.queue
+                    .push(self.now + u64::from(n.max(1)), Ev::CpuAdvance);
+            }
+            CpuOp::Launch(k) => {
+                self.cpu.pc += 1;
+                assert!(k < self.kernels.len(), "launch of unknown kernel {k}");
+                self.kernel_queue.push_back(k);
+                if self.running_kernel.is_none() && self.kernel_queue.len() == 1 {
+                    self.queue
+                        .push(self.now + KERNEL_LAUNCH_OVERHEAD, Ev::KernelStart);
+                }
+                self.queue.push(self.now + 1, Ev::CpuAdvance);
+            }
+            CpuOp::WaitGpu => {
+                self.cpu.pc += 1;
+                if self.running_kernel.is_some() || !self.kernel_queue.is_empty() {
+                    self.cpu.block = CpuBlock::Gpu;
+                } else {
+                    self.queue.push(self.now + 1, Ev::CpuAdvance);
+                }
+            }
+            CpuOp::Store(va) => self.cpu_store(va),
+            CpuOp::Load(va) => self.cpu_load(va),
+        }
+    }
+
+    fn cpu_store(&mut self, va: VirtAddr) {
+        let (line, is_direct, cost) = self.translate_cpu(va);
+        let push = is_direct && self.mode.pushes();
+        if self.sb.push(line, push) {
+            self.cpu.pc += 1;
+            self.queue.push(self.now + cost, Ev::CpuAdvance);
+            self.kick_drain();
+        } else {
+            // Buffer full: retry this op when a drain completes.
+            self.cpu.block = CpuBlock::SbFull;
+            self.kick_drain();
+        }
+    }
+
+    fn cpu_load(&mut self, va: VirtAddr) {
+        let (line, is_direct, cost) = self.translate_cpu(va);
+        self.cpu.pc += 1;
+        if is_direct && self.mode.pushes() {
+            // Uncacheable on the CPU side: read through the direct
+            // network from the home slice (§III.E).
+            self.cpu.block = CpuBlock::Load;
+            self.direct_send_to_slice(
+                ds_coherence::msg::slice_index(line),
+                DirectMsg::ReadReq { line },
+            );
+            return;
+        }
+        if self.sb.contains(line) || self.inflight_stores.iter().any(|e| e.line == line) {
+            // Store-to-load forwarding (buffered or draining stores).
+            self.queue.push(self.now + cost, Ev::CpuAdvance);
+            return;
+        }
+        if self.cpu_l1d.access(line).is_some() {
+            self.cpu_l1_stats.record_hit();
+            self.queue
+                .push(self.now + cost + self.cfg.cpu_l1_latency, Ev::CpuAdvance);
+            return;
+        }
+        self.cpu_l1_stats.record_miss(MissKind::NonCompulsory);
+        self.cpu.block = CpuBlock::Load;
+        self.queue.push(
+            self.now + cost + self.cfg.cpu_l1_latency + self.cfg.cpu_l2_latency,
+            Ev::CpuL2Access { line, write: false },
+        );
+    }
+
+    /// Resumes the CPU after a blocking load completes.
+    pub(super) fn resume_cpu_load(&mut self) {
+        debug_assert_eq!(self.cpu.block, CpuBlock::Load);
+        self.cpu.block = CpuBlock::None;
+        self.queue.push(self.now + 1, Ev::CpuAdvance);
+    }
+
+    /// Schedules a store-buffer drain attempt if capacity allows.
+    pub(super) fn kick_drain(&mut self) {
+        if self.inflight_stores.len() < self.cfg.store_drain_parallelism && !self.sb.is_empty()
+        {
+            self.queue.push(self.now, Ev::SbDrain);
+        }
+    }
+
+    /// Starts draining store-buffer entries up to the drain
+    /// parallelism limit (`Ev::SbDrain`).
+    pub(super) fn sb_drain(&mut self) {
+        while self.inflight_stores.len() < self.cfg.store_drain_parallelism {
+            let Some(entry) = self.sb.pop() else {
+                break;
+            };
+            self.inflight_stores.push(entry);
+            // Popping freed buffer space: a stalled store can retry.
+            if self.cpu.block == CpuBlock::SbFull {
+                self.cpu.block = CpuBlock::None;
+                self.queue.push(self.now + 1, Ev::CpuAdvance);
+            }
+            if entry.is_direct {
+                // §III.F: the CPU issues a GETX on the direct network,
+                // then the store travels as a PUTX. The GETX is an
+                // invalidate-only control message to the home slice.
+                let slice = ds_coherence::msg::slice_index(entry.line);
+                self.direct_send_to_slice(slice, DirectMsg::GetX { line: entry.line });
+                self.direct_send_to_slice(slice, DirectMsg::PutX { line: entry.line });
+            } else {
+                // Write-through the L1D (update-in-place, no allocate).
+                if self.cpu_l1d.access(entry.line).is_some() {
+                    self.cpu_l1_stats.record_hit();
+                }
+                self.queue.push(
+                    self.now + self.cfg.cpu_l1_latency + self.cfg.cpu_l2_latency,
+                    Ev::CpuL2Access {
+                        line: entry.line,
+                        write: true,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Finishes an in-flight drain of `line` and kicks the next one.
+    pub(super) fn complete_drain(&mut self, line: LineAddr) {
+        let pos = self
+            .inflight_stores
+            .iter()
+            .position(|e| e.line == line)
+            .unwrap_or_else(|| panic!("drain completion for idle {line}"));
+        self.inflight_stores.swap_remove(pos);
+        self.kick_drain();
+    }
+
+    /// A demand access arrives at the CPU L2 (`Ev::CpuL2Access`; tag
+    /// latency already elapsed).
+    pub(super) fn cpu_l2_access(&mut self, line: LineAddr, write: bool) {
+        if !write {
+            if self
+                .cpu_l2
+                .array
+                .access(line)
+                .is_some_and(|s| s.can_read())
+            {
+                self.cpu_l2.record_hit(line);
+                self.fill_cpu_l1(line);
+                self.resume_cpu_load();
+                return;
+            }
+            self.cpu_l2_miss(line, ReqKind::GetS, Waiter::CpuLoad);
+        } else {
+            match self.cpu_l2.array.access(line).copied() {
+                Some(HammerState::MM) => {
+                    self.cpu_l2.record_hit(line);
+                    self.complete_drain(line);
+                }
+                Some(HammerState::M) => {
+                    // Silent E-like upgrade (Fig. 3: M + Store -> MM).
+                    *self
+                        .cpu_l2
+                        .array
+                        .state_mut(line)
+                        .expect("state checked above") = HammerState::MM;
+                    self.cpu_l2.record_hit(line);
+                    self.complete_drain(line);
+                }
+                Some(HammerState::S) | Some(HammerState::O) | Some(HammerState::I) | None => {
+                    // Write miss or upgrade: needs a GETX.
+                    self.cpu_l2_miss(line, ReqKind::GetX, Waiter::CpuStoreDrain);
+                }
+            }
+        }
+    }
+
+    fn cpu_l2_miss(&mut self, line: LineAddr, kind: ReqKind, waiter: Waiter) {
+        // A GETX from a valid (S/O) copy is a data-less upgrade.
+        let upgrade = kind == ReqKind::GetX
+            && self.cpu_l2.array.probe(line).is_some_and(|s| s.is_valid());
+        match self.cpu_l2.alloc_miss(line, kind, waiter) {
+            MshrOutcome::Primary => {
+                self.cpu_l2.record_miss(line);
+                if self.mode.coherent() {
+                    let msg = match kind {
+                        ReqKind::GetS => CohMsg::GetS {
+                            line,
+                            requester: Agent::CpuL2,
+                        },
+                        ReqKind::GetX => CohMsg::GetX {
+                            line,
+                            requester: Agent::CpuL2,
+                            upgrade,
+                        },
+                    };
+                    self.coh_send(Agent::CpuL2, Agent::MemCtrl, msg);
+                } else {
+                    // DS-only mode: no coherence; fetch straight from
+                    // DRAM. (For a full-line write the fetch is still
+                    // modelled — conservative.)
+                    let done = self.dram.access(self.now, line, false);
+                    self.queue.push(done, Ev::CpuL2MemDone { line });
+                }
+            }
+            MshrOutcome::Secondary => {
+                self.cpu_l2.record_miss(line);
+            }
+            MshrOutcome::Full => {
+                // Stall until an MSHR frees (drained by completions).
+                let write = kind == ReqKind::GetX;
+                self.cpu_l2_stalled.push_back((line, write));
+            }
+        }
+    }
+
+    /// Re-dispatches CPU L2 accesses stalled on a full MSHR file.
+    pub(super) fn drain_cpu_l2_stalled(&mut self) {
+        while !self.cpu_l2.mshr.is_full() {
+            let Some((line, write)) = self.cpu_l2_stalled.pop_front() else {
+                break;
+            };
+            self.queue.push(self.now, Ev::CpuL2Access { line, write });
+        }
+    }
+
+    /// Installs a granted line into the CPU L2, handling the victim.
+    pub(super) fn fill_cpu_l2(&mut self, line: LineAddr, state: HammerState) {
+        if let Some((victim, dirty)) = self.cpu_l2.fill(line, state) {
+            // Maintain L1D inclusion; clean victims drop silently
+            // (Fig. 3: S/M + Replacement).
+            self.cpu_l1d.invalidate(victim);
+            if dirty {
+                if self.mode.coherent() {
+                    self.coh_send(
+                        Agent::CpuL2,
+                        Agent::MemCtrl,
+                        CohMsg::Put {
+                            line: victim,
+                            dirty,
+                            requester: Agent::CpuL2,
+                        },
+                    );
+                } else {
+                    self.dram.access(self.now, victim, true);
+                }
+            }
+        }
+    }
+
+    pub(super) fn fill_cpu_l1(&mut self, line: LineAddr) {
+        if self.cpu_l1d.fill(line, L1Valid).is_some() {
+            self.cpu_l1_stats.evictions.incr();
+        }
+    }
+
+    /// Completion of a DS-only (non-coherent) DRAM fill for the CPU L2.
+    pub(super) fn cpu_l2_mem_done(&mut self, line: LineAddr) {
+        let (kind, waiters) = self.cpu_l2.complete_miss(line);
+        let state = match kind {
+            ReqKind::GetX => HammerState::MM,
+            ReqKind::GetS => HammerState::M,
+        };
+        self.fill_cpu_l2(line, state);
+        self.dispatch_cpu_waiters(line, state, waiters);
+        self.drain_cpu_l2_stalled();
+    }
+
+    /// Routes completed-miss waiters at the CPU L2.
+    pub(super) fn dispatch_cpu_waiters(
+        &mut self,
+        line: LineAddr,
+        granted: HammerState,
+        waiters: Vec<Waiter>,
+    ) {
+        for w in waiters {
+            match w {
+                Waiter::CpuLoad => {
+                    self.fill_cpu_l1(line);
+                    self.resume_cpu_load();
+                }
+                Waiter::CpuStoreDrain => {
+                    if granted == HammerState::MM {
+                        self.complete_drain(line);
+                    } else {
+                        // Granted shared (a load's GETS won the MSHR):
+                        // the store retries and upgrades.
+                        self.queue
+                            .push(self.now, Ev::CpuL2Access { line, write: true });
+                    }
+                }
+                Waiter::Gpu { .. } | Waiter::GpuStore | Waiter::Prefetch => {
+                    unreachable!("GPU waiter registered at the CPU L2")
+                }
+            }
+        }
+    }
+
+    /// Handles direct-network messages arriving back at the CPU.
+    pub(super) fn on_direct_at_cpu(&mut self, msg: DirectMsg) {
+        match msg {
+            DirectMsg::PutXAck { line } => {
+                self.direct_pushes += 1;
+                self.complete_drain(line);
+            }
+            DirectMsg::ReadResp { .. } => self.resume_cpu_load(),
+            other => unreachable!("unexpected direct message at CPU: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! GPU-side event handlers: kernel dispatch, SM issue, L1s and the L2
+//! slice controllers.
+
+use ds_cache::{LineState, MshrOutcome};
+use ds_coherence::{msg::slice_index, Agent, CohMsg, HammerState, ReqKind};
+use ds_gpu::WarpOp;
+use ds_mem::LineAddr;
+use ds_noc::{MsgClass, PortId};
+use ds_sim::Cycle;
+
+use super::{CpuBlock, Ev, System, Waiter};
+
+impl System {
+    fn gpu_port_sm(&self, sm: usize) -> PortId {
+        PortId(sm)
+    }
+
+    fn gpu_port_slice(&self, slice: u8) -> PortId {
+        PortId(self.cfg.sms + slice as usize)
+    }
+
+    /// Starts the next queued kernel (`Ev::KernelStart`).
+    pub(super) fn kernel_start(&mut self) {
+        debug_assert!(self.running_kernel.is_none());
+        let Some(k) = self.kernel_queue.pop_front() else {
+            return;
+        };
+        self.running_kernel = Some(k);
+        if self.first_kernel_start.is_none() {
+            self.first_kernel_start = Some(self.now);
+        }
+        self.kernel_spans.push((self.now, Cycle::MAX));
+        let trace = self.kernels[k].clone();
+        // Software coherence at kernel launch: flash-invalidate every
+        // GPU L1 (paper §III.A).
+        for l1 in &mut self.gpu_l1s {
+            l1.flash_invalidate();
+        }
+        for sm in &mut self.sms {
+            sm.reset();
+        }
+        let warps = trace.warp_count();
+        self.warps_remaining = warps;
+        if warps == 0 {
+            self.finish_kernel();
+            return;
+        }
+        // Interleaved assignment balances load across SMs.
+        for w in 0..warps {
+            let sm = w % self.cfg.sms;
+            self.sms[sm].assign(&trace, w..w + 1);
+        }
+        for sm in 0..self.cfg.sms {
+            if self.sms[sm].assigned_warps() > 0 {
+                self.queue.push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+            }
+        }
+    }
+
+    fn finish_kernel(&mut self) {
+        let k = self.running_kernel.take().expect("kernel running");
+        self.last_kernel_end = self.now;
+        if let Some(span) = self.kernel_spans.last_mut() {
+            span.1 = self.now;
+        }
+        self.kernels_run += 1;
+        self.warps_completed += self.kernels[k].warp_count() as u64;
+        if !self.kernel_queue.is_empty() {
+            self.queue.push(
+                self.now + super::cpu_side::KERNEL_LAUNCH_OVERHEAD,
+                Ev::KernelStart,
+            );
+        } else if self.cpu.block == CpuBlock::Gpu {
+            self.cpu.block = CpuBlock::None;
+            self.queue.push(self.now + 1, Ev::CpuAdvance);
+        }
+    }
+
+    fn harvest_finished(&mut self, sm: usize) {
+        let newly = self.sms[sm].take_finished();
+        if newly > 0 {
+            debug_assert!(self.warps_remaining >= newly);
+            self.warps_remaining -= newly;
+            if self.warps_remaining == 0 && self.running_kernel.is_some() {
+                self.finish_kernel();
+            }
+        }
+    }
+
+    /// Gives SM `sm` an issue opportunity (`Ev::SmTick`).
+    pub(super) fn sm_tick(&mut self, sm: usize) {
+        if self.running_kernel.is_none() {
+            return;
+        }
+        // One issue per SM per cycle.
+        if self.last_issue[sm] == self.now {
+            self.queue
+                .push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+            return;
+        }
+        match self.sms[sm].issue(self.now) {
+            Some(issue) => {
+                self.last_issue[sm] = self.now;
+                match issue.op {
+                    WarpOp::GlobalLoad { .. } => {
+                        for va in issue.op.touched_lines() {
+                            let (line, walk) = self.translate_gpu(sm, va);
+                            self.gpu_load(sm, issue.warp, line, walk);
+                        }
+                    }
+                    WarpOp::GlobalStore { .. } => {
+                        for va in issue.op.touched_lines() {
+                            let (line, walk) = self.translate_gpu(sm, va);
+                            self.gpu_store(sm, line, walk);
+                        }
+                    }
+                    // Compute and shared-memory ops were handled inside
+                    // the SM.
+                    WarpOp::Compute(_) | WarpOp::Shared { .. } => {}
+                }
+                self.harvest_finished(sm);
+                if self.running_kernel.is_some() {
+                    self.queue
+                        .push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+                }
+            }
+            None => {
+                self.harvest_finished(sm);
+                if self.running_kernel.is_some() {
+                    if let Some(wake) = self.sms[sm].earliest_wake() {
+                        let at = wake.max(self.now + 1);
+                        self.queue.push(at, Ev::SmTick { sm: sm as u32 });
+                    }
+                    // Otherwise the SM is blocked on memory; responses
+                    // will re-tick it.
+                }
+            }
+        }
+    }
+
+    /// Translates a GPU virtual address through the SM's TLB,
+    /// returning the line and the page-walk penalty (zero on a hit).
+    fn translate_gpu(&mut self, sm: usize, va: ds_mem::VirtAddr) -> (LineAddr, u64) {
+        let look = self.gpu_tlbs[sm].lookup(va);
+        let mut walk = 0;
+        if !look.is_hit() {
+            walk = self.cfg.gpu_tlb_miss_penalty;
+            let ppn = self
+                .space
+                .page_table_mut()
+                .translate_or_alloc(look.vpn, look.is_direct);
+            self.gpu_tlbs[sm].fill(look.vpn, ppn);
+        }
+        let pa = self.space.translate(va);
+        (LineAddr::containing(pa), walk)
+    }
+
+    fn gpu_load(&mut self, sm: usize, warp: usize, line: LineAddr, walk: u64) {
+        if self.gpu_l1s[sm].load(line) {
+            self.queue.push(
+                self.now + walk + self.cfg.gpu_l1_latency,
+                Ev::MemArrive {
+                    sm: sm as u32,
+                    warp: warp as u32,
+                },
+            );
+            return;
+        }
+        let slice = slice_index(line);
+        let arrival = self.gpu_net.send(
+            self.now + walk + self.cfg.gpu_l1_latency,
+            self.gpu_port_sm(sm),
+            self.gpu_port_slice(slice),
+            MsgClass::Control,
+        );
+        self.queue.push(
+            arrival + self.cfg.gpu_l2_latency,
+            Ev::SliceDemand {
+                slice,
+                line,
+                write: false,
+                waiter: Waiter::Gpu {
+                    sm: sm as u32,
+                    warp: warp as u32,
+                },
+                slotted: false,
+            },
+        );
+    }
+
+    fn gpu_store(&mut self, sm: usize, line: LineAddr, walk: u64) {
+        // Write-through, write-no-allocate L1.
+        self.gpu_l1s[sm].store(line);
+        let slice = slice_index(line);
+        let arrival = self.gpu_net.send(
+            self.now + walk + self.cfg.gpu_l1_latency,
+            self.gpu_port_sm(sm),
+            self.gpu_port_slice(slice),
+            MsgClass::Data,
+        );
+        self.queue.push(
+            arrival + self.cfg.gpu_l2_latency,
+            Ev::SliceDemand {
+                slice,
+                line,
+                write: true,
+                waiter: Waiter::GpuStore,
+                slotted: false,
+            },
+        );
+    }
+
+    /// A memory response reaches a warp (`Ev::MemArrive`).
+    pub(super) fn on_mem_arrive(&mut self, sm: usize, warp: usize) {
+        self.sms[sm].mem_arrived(warp);
+        self.harvest_finished(sm);
+        if self.running_kernel.is_some() {
+            self.queue.push(self.now, Ev::SmTick { sm: sm as u32 });
+        }
+    }
+
+    /// Reserves the slice's service port: `Ok` means proceed now,
+    /// `Err(t)` means the caller must requeue its event at `t` with the
+    /// slot already held.
+    pub(super) fn slice_slot(&mut self, s: usize) -> Result<(), Cycle> {
+        let service = self.cfg.gpu_l2_service;
+        if service == 0 {
+            return Ok(());
+        }
+        let free = self.slice_port_free[s];
+        if free <= self.now {
+            self.slice_port_free[s] = self.now + service;
+            Ok(())
+        } else {
+            self.slice_port_free[s] = free + service;
+            Err(free)
+        }
+    }
+
+    /// A demand access at a GPU L2 slice (`Ev::SliceDemand`; tag
+    /// latency already elapsed).
+    pub(super) fn slice_demand(
+        &mut self,
+        slice: u8,
+        line: LineAddr,
+        write: bool,
+        waiter: Waiter,
+        slotted: bool,
+    ) {
+        debug_assert_eq!(slice_index(line), slice, "line routed to wrong slice");
+        let s = slice as usize;
+        if !slotted {
+            if let Err(at) = self.slice_slot(s) {
+                self.queue.push(
+                    at,
+                    Ev::SliceDemand {
+                        slice,
+                        line,
+                        write,
+                        waiter,
+                        slotted: true,
+                    },
+                );
+                return;
+            }
+        }
+        if !write {
+            if self.gpu_l2[s]
+                .array
+                .access(line)
+                .is_some_and(|st| st.can_read())
+            {
+                self.gpu_l2[s].record_hit(line);
+                self.respond_gpu_load(slice, waiter, line);
+                return;
+            }
+            self.slice_miss(slice, line, ReqKind::GetS, waiter);
+            self.maybe_prefetch(slice, line);
+        } else {
+            match self.gpu_l2[s].array.access(line).copied() {
+                Some(HammerState::MM) => {
+                    self.gpu_l2[s].record_hit(line);
+                }
+                Some(HammerState::M) => {
+                    *self.gpu_l2[s]
+                        .array
+                        .state_mut(line)
+                        .expect("state checked above") = HammerState::MM;
+                    self.gpu_l2[s].record_hit(line);
+                }
+                Some(HammerState::S) | Some(HammerState::O) | Some(HammerState::I) | None => {
+                    self.slice_miss(slice, line, ReqKind::GetX, waiter);
+                }
+            }
+        }
+    }
+
+    fn slice_miss(&mut self, slice: u8, line: LineAddr, kind: ReqKind, waiter: Waiter) {
+        let s = slice as usize;
+        // A GETX from a valid (S/O) copy is a data-less upgrade.
+        let upgrade = kind == ReqKind::GetX
+            && self.gpu_l2[s].array.probe(line).is_some_and(|st| st.is_valid());
+        match self.gpu_l2[s].alloc_miss(line, kind, waiter) {
+            MshrOutcome::Primary => {
+                if waiter != Waiter::Prefetch {
+                    self.gpu_l2[s].record_miss(line);
+                }
+                if self.mode.coherent() {
+                    let requester = Agent::GpuL2(slice);
+                    let msg = match kind {
+                        ReqKind::GetS => CohMsg::GetS { line, requester },
+                        ReqKind::GetX => CohMsg::GetX {
+                            line,
+                            requester,
+                            upgrade,
+                        },
+                    };
+                    self.coh_send(requester, Agent::MemCtrl, msg);
+                } else {
+                    let done = self.dram.access(self.now, line, false);
+                    self.queue.push(done, Ev::SliceMemDone { slice, line });
+                }
+            }
+            MshrOutcome::Secondary => {
+                if waiter != Waiter::Prefetch {
+                    self.gpu_l2[s].record_miss(line);
+                }
+            }
+            MshrOutcome::Full => {
+                // Stall until an MSHR frees (drained on completions).
+                self.gpu_l2_stalled[s].push_back((
+                    line,
+                    kind == ReqKind::GetX,
+                    waiter,
+                ));
+            }
+        }
+    }
+
+    /// Re-dispatches slice accesses stalled on a full MSHR file.
+    pub(super) fn drain_slice_stalled(&mut self, slice: u8) {
+        let s = slice as usize;
+        while !self.gpu_l2[s].mshr.is_full() {
+            let Some((line, write, waiter)) = self.gpu_l2_stalled[s].pop_front() else {
+                break;
+            };
+            self.queue.push(
+                self.now,
+                Ev::SliceDemand {
+                    slice,
+                    line,
+                    write,
+                    waiter,
+                    slotted: false,
+                },
+            );
+        }
+    }
+
+    /// Optional next-line prefetcher (the prefetch-comparison
+    /// ablation): on a read miss, fetch the next line homed at the same
+    /// slice if it is neither resident nor in flight.
+    fn maybe_prefetch(&mut self, slice: u8, line: LineAddr) {
+        if !self.cfg.gpu_l2_prefetch {
+            return;
+        }
+        let next = LineAddr::from_index(line.index() + ds_coherence::GPU_L2_SLICES as u64);
+        let s = slice as usize;
+        if self.gpu_l2[s].array.probe(next).is_none()
+            && !self.gpu_l2[s].mshr.contains(next)
+            && !self.gpu_l2[s].mshr.is_full()
+        {
+            self.slice_miss(slice, next, ReqKind::GetS, Waiter::Prefetch);
+        }
+    }
+
+    /// Sends a load response from a slice back to its requesting warp.
+    fn respond_gpu_load(&mut self, slice: u8, waiter: Waiter, line: LineAddr) {
+        match waiter {
+            Waiter::Gpu { sm, warp } => {
+                let arrival = self.gpu_net.send(
+                    self.now,
+                    self.gpu_port_slice(slice),
+                    self.gpu_port_sm(sm as usize),
+                    MsgClass::Data,
+                );
+                self.gpu_l1s[sm as usize].fill(line);
+                self.queue.push(arrival, Ev::MemArrive { sm, warp });
+            }
+            Waiter::GpuStore | Waiter::Prefetch => {}
+            Waiter::CpuLoad | Waiter::CpuStoreDrain => {
+                unreachable!("CPU waiter at a GPU L2 slice")
+            }
+        }
+    }
+
+    /// Installs a line into a slice, handling the victim writeback.
+    pub(super) fn fill_slice(&mut self, slice: u8, line: LineAddr, state: HammerState) {
+        let s = slice as usize;
+        if let Some((victim, dirty)) = self.gpu_l2[s].fill(line, state) {
+            if dirty {
+                if self.mode.coherent() {
+                    self.coh_send(
+                        Agent::GpuL2(slice),
+                        Agent::MemCtrl,
+                        CohMsg::Put {
+                            line: victim,
+                            dirty,
+                            requester: Agent::GpuL2(slice),
+                        },
+                    );
+                } else {
+                    self.dram.access(self.now, victim, true);
+                }
+            }
+        }
+    }
+
+    /// Routes completed-miss waiters at a GPU L2 slice.
+    pub(super) fn dispatch_slice_waiters(
+        &mut self,
+        slice: u8,
+        line: LineAddr,
+        granted: HammerState,
+        waiters: Vec<Waiter>,
+    ) {
+        for w in waiters {
+            match w {
+                Waiter::Gpu { .. } => self.respond_gpu_load(slice, w, line),
+                Waiter::Prefetch => {}
+                Waiter::GpuStore => {
+                    if granted != HammerState::MM {
+                        // A store merged into a read's MSHR: upgrade.
+                        self.queue.push(
+                            self.now,
+                            Ev::SliceDemand {
+                                slice,
+                                line,
+                                write: true,
+                                waiter: Waiter::GpuStore,
+                                slotted: false,
+                            },
+                        );
+                    }
+                }
+                Waiter::CpuLoad | Waiter::CpuStoreDrain => {
+                    unreachable!("CPU waiter at a GPU L2 slice")
+                }
+            }
+        }
+    }
+
+    /// Completion of a DS-only DRAM fill at a slice
+    /// (`Ev::SliceMemDone`).
+    pub(super) fn slice_mem_done(&mut self, slice: u8, line: LineAddr) {
+        let s = slice as usize;
+        let (kind, waiters) = self.gpu_l2[s].complete_miss(line);
+        let state = match kind {
+            ReqKind::GetX => HammerState::MM,
+            ReqKind::GetS => HammerState::M,
+        };
+        self.fill_slice(slice, line, state);
+        self.dispatch_slice_waiters(slice, line, state, waiters);
+        self.drain_slice_stalled(slice);
+    }
+
+    /// Completion of the DRAM fill behind an uncached CPU read that
+    /// missed at a slice (`Ev::DirectReadMemDone`).
+    pub(super) fn direct_read_mem_done(&mut self, slice: u8, line: LineAddr) {
+        // Install clean-exclusive: the GPU is the line's home.
+        self.fill_slice(slice, line, HammerState::M);
+        self.direct_send_to_cpu(slice, ds_coherence::DirectMsg::ReadResp { line });
+    }
+
+    /// Earliest pending wake time across SMs (used by tests).
+    #[allow(dead_code)]
+    pub(super) fn earliest_sm_wake(&self) -> Option<Cycle> {
+        self.sms.iter().filter_map(|s| s.earliest_wake()).min()
+    }
+}

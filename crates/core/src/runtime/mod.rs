@@ -1,0 +1,422 @@
+//! The timed full-system model.
+//!
+//! [`System`] owns every component of the simulated chip and drives
+//! them with a single deterministic event queue. The protocol logic is
+//! delegated to `ds-coherence` (the transition table and the broadcast
+//! [`Hub`]); this module is the *timed embedding*: it turns protocol
+//! actions into network messages and DRAM accesses with latencies from
+//! [`SystemConfig`].
+//!
+//! [`SystemConfig`]: crate::SystemConfig
+//!
+//! Submodules split the implementation by side: `cpu_side` (core,
+//! TLB, store buffer, L1D/L2), `gpu_side` (SM dispatch, L1s, L2
+//! slices) and `protocol` (coherence and direct-network message
+//! handlers).
+
+mod coh_cache;
+mod cpu_side;
+mod gpu_side;
+mod protocol;
+
+use std::collections::VecDeque;
+
+use ds_cache::{CacheArray, CacheStats, ReplacementPolicy};
+use ds_coherence::{Agent, CohMsg, DirectMsg, Hub, ProtocolChecker};
+use ds_cpu::{AddressSpace, DirectWindow, Program, StoreBuffer, StoreEntry, Tlb};
+use ds_gpu::{GpuL1, KernelTrace, L1Valid, Sm};
+use ds_mem::{Dram, LineAddr};
+use ds_noc::Xbar;
+use ds_sim::{Cycle, EventQueue};
+
+pub(crate) use coh_cache::CohCache;
+
+use crate::{Mode, RunReport, SystemConfig};
+
+/// Safety valve: a run issuing more events than this is assumed to be
+/// livelocked (a protocol bug), far above any legitimate workload.
+const EVENT_LIMIT: u64 = 2_000_000_000;
+
+/// Who is waiting on an in-flight cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Waiter {
+    /// The CPU core's blocking load.
+    CpuLoad,
+    /// The CPU store-buffer drain.
+    CpuStoreDrain,
+    /// A GPU warp's load.
+    Gpu {
+        /// SM index.
+        sm: u32,
+        /// Kernel-wide warp index.
+        warp: u32,
+    },
+    /// A GPU store (nothing to notify; permission upgrade may
+    /// re-dispatch).
+    GpuStore,
+    /// A hardware prefetch (nothing to notify, no upgrade).
+    Prefetch,
+}
+
+/// The system event vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Execute the CPU's next program operation.
+    CpuAdvance,
+    /// Attempt to drain the store-buffer head.
+    SbDrain,
+    /// A demand access (or MSHR-full retry) arrives at the CPU L2 with
+    /// tag latency already elapsed.
+    CpuL2Access { line: LineAddr, write: bool },
+    /// A DS-only (non-coherent) DRAM fill for the CPU L2 completed.
+    CpuL2MemDone { line: LineAddr },
+    /// A coherence-network message arrives at `dst`.
+    Coh { dst: Agent, msg: CohMsg },
+    /// A direct-network message arrives at GPU L2 slice `slice`.
+    /// `slotted` marks a retry holding a reserved service slot.
+    DirectAtSlice {
+        slice: u8,
+        msg: DirectMsg,
+        slotted: bool,
+    },
+    /// A direct-network message arrives back at the CPU.
+    DirectAtCpu { msg: DirectMsg },
+    /// The hub's speculative DRAM read completed for transaction `txn`.
+    HubMemDone { line: LineAddr, txn: u64 },
+    /// Give SM `sm` an issue opportunity.
+    SmTick { sm: u32 },
+    /// One memory response reached warp `warp` on SM `sm`.
+    MemArrive { sm: u32, warp: u32 },
+    /// A demand access arrives at GPU L2 slice `slice`. `slotted`
+    /// marks a retry that already reserved the slice's service port.
+    SliceDemand {
+        slice: u8,
+        line: LineAddr,
+        write: bool,
+        waiter: Waiter,
+        slotted: bool,
+    },
+    /// A DS-only (non-coherent) DRAM fill for a slice completed.
+    SliceMemDone { slice: u8, line: LineAddr },
+    /// An uncached CPU read at a slice missed and its DRAM fill
+    /// completed.
+    DirectReadMemDone { slice: u8, line: LineAddr },
+    /// Start the next queued kernel.
+    KernelStart,
+}
+
+/// What the CPU core is blocked on, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CpuBlock {
+    None,
+    /// Waiting for a load to return.
+    Load,
+    /// Waiting for the store buffer to drain one entry.
+    SbFull,
+    /// Waiting for all kernels to finish (`WaitGpu`).
+    Gpu,
+    /// Program finished; CPU idle.
+    Finished,
+}
+
+#[derive(Debug)]
+struct CpuExec {
+    program: Program,
+    pc: usize,
+    block: CpuBlock,
+}
+
+/// The full-system model. Construct with [`System::new`], execute with
+/// [`System::run`]. See the crate-level example.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    mode: Mode,
+    queue: EventQueue<Ev>,
+    now: Cycle,
+
+    space: AddressSpace,
+
+    // CPU side.
+    cpu: CpuExec,
+    tlb: Tlb,
+    cpu_l1d: CacheArray<L1Valid>,
+    cpu_l1_stats: CacheStats,
+    sb: StoreBuffer,
+    inflight_stores: Vec<StoreEntry>,
+    cpu_l2: CohCache,
+    cpu_l2_stalled: VecDeque<(LineAddr, bool)>,
+
+    // GPU side.
+    sms: Vec<Sm>,
+    gpu_l1s: Vec<GpuL1>,
+    gpu_tlbs: Vec<Tlb>,
+    gpu_l2: Vec<CohCache>,
+    gpu_l2_stalled: Vec<VecDeque<(LineAddr, bool, Waiter)>>,
+    slice_port_free: Vec<Cycle>,
+    kernels: Vec<KernelTrace>,
+    kernel_queue: VecDeque<usize>,
+    running_kernel: Option<usize>,
+    warps_remaining: usize,
+    last_issue: Vec<Cycle>,
+    kernels_run: u64,
+    warps_completed: u64,
+
+    // Memory side.
+    hub: Hub,
+    dram: Dram,
+    coh_net: Xbar,
+    direct_net: Xbar,
+    gpu_net: Xbar,
+    direct_pushes: u64,
+    push_overwrites: u64,
+    push_bypasses: u64,
+    first_kernel_start: Option<Cycle>,
+    last_kernel_end: Cycle,
+    kernel_spans: Vec<(Cycle, Cycle)>,
+}
+
+impl System {
+    /// Builds an idle system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SystemConfig::validate`].
+    pub fn new(cfg: SystemConfig, mode: Mode) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
+        let window = DirectWindow::paper_default();
+        let slices = cfg.gpu_l2_slices();
+        System {
+            space: AddressSpace::new(window),
+            cpu: CpuExec {
+                program: Program::new(),
+                pc: 0,
+                block: CpuBlock::Finished,
+            },
+            tlb: Tlb::new(cfg.tlb_entries, window),
+            cpu_l1d: CacheArray::new(cfg.cpu_l1d, ReplacementPolicy::Lru),
+            cpu_l1_stats: CacheStats::new(),
+            sb: StoreBuffer::new(cfg.store_buffer_entries),
+            inflight_stores: Vec::new(),
+            cpu_l2: CohCache::new_with_policy(cfg.cpu_l2, cfg.cpu_l2_mshrs, cfg.replacement),
+            cpu_l2_stalled: VecDeque::new(),
+            sms: (0..cfg.sms).map(|i| Sm::new(i, cfg.warps_per_sm)).collect(),
+            gpu_l1s: (0..cfg.sms).map(|_| GpuL1::new(cfg.gpu_l1)).collect(),
+            gpu_tlbs: (0..cfg.sms)
+                .map(|_| Tlb::new(cfg.gpu_tlb_entries, window))
+                .collect(),
+            gpu_l2: (0..slices)
+                .map(|s| {
+                    // Slices index sets by the slice-local line number
+                    // (the address interleave drops the low bits).
+                    let stripe_bits = (slices as u64).trailing_zeros();
+                    let geom = cfg.gpu_l2_slice.with_stripe(stripe_bits, s as u64);
+                    CohCache::new_with_policy(geom, cfg.gpu_l2_mshrs, cfg.replacement)
+                })
+                .collect(),
+            gpu_l2_stalled: (0..slices).map(|_| VecDeque::new()).collect(),
+            slice_port_free: vec![Cycle::ZERO; slices],
+            kernels: Vec::new(),
+            kernel_queue: VecDeque::new(),
+            running_kernel: None,
+            warps_remaining: 0,
+            last_issue: vec![Cycle::MAX; cfg.sms],
+            kernels_run: 0,
+            warps_completed: 0,
+            hub: if cfg.directory_filter {
+                Hub::new_with_directory()
+            } else {
+                Hub::new()
+            },
+            dram: Dram::new(cfg.dram.clone()),
+            coh_net: Xbar::new(Agent::PORTS, cfg.coh_hop_latency, cfg.coh_bytes_per_cycle),
+            direct_net: Xbar::new(
+                1 + slices,
+                cfg.direct_hop_latency,
+                cfg.direct_bytes_per_cycle,
+            ),
+            gpu_net: Xbar::new(
+                cfg.sms + slices,
+                cfg.gpu_net_latency,
+                cfg.gpu_net_bytes_per_cycle,
+            ),
+            queue: EventQueue::new(),
+            now: Cycle::ZERO,
+            direct_pushes: 0,
+            push_overwrites: 0,
+            push_bypasses: 0,
+            first_kernel_start: None,
+            last_kernel_end: Cycle::ZERO,
+            kernel_spans: Vec::new(),
+            cfg,
+            mode,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The coherence mode this system runs in.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Executes `program` against `kernels` to completion and reports.
+    ///
+    /// A run finishes when the CPU program has retired, the store
+    /// buffer has drained and every launched kernel has completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (the event queue empties before the run
+    /// finishes) or livelock (more than two billion events) — both
+    /// indicate model bugs, not workload conditions.
+    pub fn run(&mut self, program: Program, kernels: Vec<KernelTrace>) -> RunReport {
+        self.cpu = CpuExec {
+            program,
+            pc: 0,
+            block: CpuBlock::None,
+        };
+        self.kernels = kernels;
+        self.queue.push(Cycle::ZERO, Ev::CpuAdvance);
+
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+            if self.queue.total_pushed() > EVENT_LIMIT {
+                panic!("event limit exceeded: livelocked at {t}");
+            }
+        }
+
+        assert!(
+            self.finished(),
+            "deadlock: queue empty but cpu block = {:?}, sb len = {}, inflight stores = {}, kernel = {:?}",
+            self.cpu.block,
+            self.sb.len(),
+            self.inflight_stores.len(),
+            self.running_kernel
+        );
+        if cfg!(debug_assertions) {
+            self.check_invariants();
+        }
+        self.report()
+    }
+
+    fn finished(&self) -> bool {
+        self.cpu.block == CpuBlock::Finished
+            && self.sb.is_empty()
+            && self.inflight_stores.is_empty()
+            && self.running_kernel.is_none()
+            && self.kernel_queue.is_empty()
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::CpuAdvance => self.cpu_advance(),
+            Ev::SbDrain => self.sb_drain(),
+            Ev::CpuL2Access { line, write } => self.cpu_l2_access(line, write),
+            Ev::CpuL2MemDone { line } => self.cpu_l2_mem_done(line),
+            Ev::Coh { dst, msg } => self.on_coh(dst, msg),
+            Ev::DirectAtSlice {
+                slice,
+                msg,
+                slotted,
+            } => self.on_direct_at_slice(slice, msg, slotted),
+            Ev::DirectAtCpu { msg } => self.on_direct_at_cpu(msg),
+            Ev::HubMemDone { line, txn } => self.on_hub_mem_done(line, txn),
+            Ev::SmTick { sm } => self.sm_tick(sm as usize),
+            Ev::MemArrive { sm, warp } => self.on_mem_arrive(sm as usize, warp as usize),
+            Ev::SliceDemand {
+                slice,
+                line,
+                write,
+                waiter,
+                slotted,
+            } => self.slice_demand(slice, line, write, waiter, slotted),
+            Ev::SliceMemDone { slice, line } => self.slice_mem_done(slice, line),
+            Ev::DirectReadMemDone { slice, line } => self.direct_read_mem_done(slice, line),
+            Ev::KernelStart => self.kernel_start(),
+        }
+    }
+
+    /// Runs the cross-cache coherence invariants; panics on violation.
+    pub(crate) fn check_invariants(&self) {
+        let mut checker = ProtocolChecker::new();
+        if self.mode.pushes() {
+            // The CPU-may-not-cache-the-window rule only exists once
+            // direct store is active; under CCSM the window is
+            // ordinary memory.
+            checker = checker.with_direct_range(ds_cpu::vm::pa_is_direct_line);
+        }
+        for (line, &state) in self.cpu_l2.array.iter() {
+            checker.observe(Agent::CpuL2, line, state);
+        }
+        for (s, slice) in self.gpu_l2.iter().enumerate() {
+            for (line, &state) in slice.array.iter() {
+                checker.observe(Agent::GpuL2(s as u8), line, state);
+            }
+        }
+        let errors = checker.check();
+        assert!(
+            errors.is_empty(),
+            "coherence invariants violated: {}",
+            errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    fn report(&self) -> RunReport {
+        let mut gpu_l2 = CacheStats::new();
+        for slice in &self.gpu_l2 {
+            gpu_l2.hits.add(slice.stats.hits.value());
+            gpu_l2.misses.add(slice.stats.misses.value());
+            gpu_l2
+                .compulsory_misses
+                .add(slice.stats.compulsory_misses.value());
+            gpu_l2.evictions.add(slice.stats.evictions.value());
+            gpu_l2.writebacks.add(slice.stats.writebacks.value());
+            gpu_l2.pushed_fills.add(slice.stats.pushed_fills.value());
+            gpu_l2.push_hits.add(slice.stats.push_hits.value());
+        }
+        let mut gpu_l1 = CacheStats::new();
+        for l1 in &self.gpu_l1s {
+            gpu_l1.hits.add(l1.stats().hits.value());
+            gpu_l1.misses.add(l1.stats().misses.value());
+            gpu_l1.evictions.add(l1.stats().evictions.value());
+        }
+        RunReport {
+            mode: self.mode,
+            total_cycles: self.now,
+            gpu_l2,
+            cpu_l2: self.cpu_l2.stats.clone(),
+            gpu_l1,
+            cpu_l1: self.cpu_l1_stats.clone(),
+            coh_net: self.coh_net.stats(),
+            direct_net: self.direct_net.stats(),
+            gpu_net: self.gpu_net.stats(),
+            dram_reads: self.dram.stats().reads.value(),
+            dram_writes: self.dram.stats().writes.value(),
+            direct_pushes: self.direct_pushes,
+            store_buffer_stalls: self.sb.full_stalls(),
+            kernels_run: self.kernels_run,
+            warps_completed: self.warps_completed,
+            first_kernel_start: self.first_kernel_start.unwrap_or(Cycle::ZERO),
+            last_kernel_end: self.last_kernel_end,
+            kernel_spans: self.kernel_spans.clone(),
+            push_bypasses: self.push_bypasses,
+            hub_transactions: self.hub.stats().transactions.value(),
+            hub_conflicts: self.hub.stats().conflicts.value(),
+            hub_probes: self.hub.stats().probes_sent.value(),
+            dram_row_hits: self.dram.stats().row_hits.value(),
+            events: self.queue.total_pushed(),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The simulated chip's wiring (the paper's Fig. 2, right).
+
+use std::fmt;
+
+use crate::SystemConfig;
+
+/// A node of the topology description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoNode {
+    /// Display name.
+    pub name: String,
+    /// Component class, for grouping in renderings.
+    pub kind: NodeKind,
+}
+
+/// Classes of topology nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// CPU core or cache.
+    Cpu,
+    /// GPU SM, L1 or L2 slice.
+    Gpu,
+    /// Memory controller / DRAM.
+    Memory,
+}
+
+/// An edge of the topology description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoEdge {
+    /// Source node name.
+    pub from: String,
+    /// Destination node name.
+    pub to: String,
+    /// Which network the edge belongs to.
+    pub net: EdgeNet,
+}
+
+/// The three networks of the modelled chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeNet {
+    /// The baseline coherence interconnect.
+    Coherence,
+    /// The GPU-internal SM ↔ L2-slice network.
+    GpuInternal,
+    /// The added dedicated direct-store network — the dotted line of
+    /// Fig. 2 (right).
+    Direct,
+}
+
+/// The full topology of a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// All nodes.
+    pub nodes: Vec<TopoNode>,
+    /// All edges.
+    pub edges: Vec<TopoEdge>,
+}
+
+impl Topology {
+    /// Builds the topology implied by `cfg` (Fig. 2, right: the CPU
+    /// hierarchy, the GPU's SMs and L2 slices, the memory controller,
+    /// and the dotted direct network from the CPU L1 to every GPU L2
+    /// slice).
+    pub fn of(cfg: &SystemConfig) -> Self {
+        let mut nodes = vec![
+            TopoNode {
+                name: "cpu-core".into(),
+                kind: NodeKind::Cpu,
+            },
+            TopoNode {
+                name: "cpu-l1d".into(),
+                kind: NodeKind::Cpu,
+            },
+            TopoNode {
+                name: "cpu-l2".into(),
+                kind: NodeKind::Cpu,
+            },
+            TopoNode {
+                name: "mem-ctrl".into(),
+                kind: NodeKind::Memory,
+            },
+        ];
+        let mut edges = vec![
+            TopoEdge {
+                from: "cpu-core".into(),
+                to: "cpu-l1d".into(),
+                net: EdgeNet::Coherence,
+            },
+            TopoEdge {
+                from: "cpu-l1d".into(),
+                to: "cpu-l2".into(),
+                net: EdgeNet::Coherence,
+            },
+            TopoEdge {
+                from: "cpu-l2".into(),
+                to: "mem-ctrl".into(),
+                net: EdgeNet::Coherence,
+            },
+        ];
+        for s in 0..cfg.gpu_l2_slices() {
+            let slice = format!("gpu-l2[{s}]");
+            nodes.push(TopoNode {
+                name: slice.clone(),
+                kind: NodeKind::Gpu,
+            });
+            edges.push(TopoEdge {
+                from: slice.clone(),
+                to: "mem-ctrl".into(),
+                net: EdgeNet::Coherence,
+            });
+            // The paper's addition: the dotted direct network.
+            edges.push(TopoEdge {
+                from: "cpu-l1d".into(),
+                to: slice,
+                net: EdgeNet::Direct,
+            });
+        }
+        for sm in 0..cfg.sms {
+            let name = format!("sm[{sm}]+l1");
+            nodes.push(TopoNode {
+                name: name.clone(),
+                kind: NodeKind::Gpu,
+            });
+            for s in 0..cfg.gpu_l2_slices() {
+                edges.push(TopoEdge {
+                    from: name.clone(),
+                    to: format!("gpu-l2[{s}]"),
+                    net: EdgeNet::GpuInternal,
+                });
+            }
+        }
+        Topology { nodes, edges }
+    }
+
+    /// Edges belonging to `net`.
+    pub fn edges_on(&self, net: EdgeNet) -> impl Iterator<Item = &TopoEdge> + '_ {
+        self.edges.iter().filter(move |e| e.net == net)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes ({}):", self.nodes.len())?;
+        for n in &self.nodes {
+            writeln!(f, "  {:?}  {}", n.kind, n.name)?;
+        }
+        writeln!(f, "edges ({}):", self.edges.len())?;
+        for e in &self.edges {
+            let style = match e.net {
+                EdgeNet::Coherence => "───",
+                EdgeNet::GpuInternal => "═══",
+                EdgeNet::Direct => "┈┈┈ (direct store)",
+            };
+            writeln!(f, "  {} {} {}", e.from, style, e.to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_shape() {
+        let cfg = SystemConfig::paper_default();
+        let t = Topology::of(&cfg);
+        // 4 CPU/mem nodes + 4 slices + 16 SMs.
+        assert_eq!(t.nodes.len(), 4 + 4 + 16);
+        // The dotted direct network: one edge per slice, from the CPU
+        // L1 (where the paper hooks the forward path).
+        let direct: Vec<&TopoEdge> = t.edges_on(EdgeNet::Direct).collect();
+        assert_eq!(direct.len(), 4);
+        assert!(direct.iter().all(|e| e.from == "cpu-l1d"));
+        // Every SM reaches every slice.
+        assert_eq!(t.edges_on(EdgeNet::GpuInternal).count(), 16 * 4);
+    }
+
+    #[test]
+    fn display_draws_the_dotted_line() {
+        let text = Topology::of(&SystemConfig::paper_default()).to_string();
+        assert!(text.contains("direct store"));
+        assert!(text.contains("cpu-l2"));
+    }
+}

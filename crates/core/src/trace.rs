@@ -1,0 +1,128 @@
+//! Single-line data-movement traces (the paper's Fig. 1).
+//!
+//! Fig. 1 contrasts how one CPU-produced line reaches the GPU under
+//! CCSM (store into the CPU hierarchy, then a pull chain on the first
+//! GPU access) versus direct store (pushed straight to the GPU L2, a
+//! single local pull to the L1). This module regenerates that
+//! comparison quantitatively: it runs a one-line producer-consumer
+//! microworkload under both modes and reports the message counts per
+//! network plus the GPU's load-to-use time.
+
+use ds_cpu::{CpuOp, Program};
+use ds_gpu::{KernelTrace, WarpOp};
+use ds_mem::VirtAddr;
+
+use crate::{Mode, System, SystemConfig};
+
+/// The data-movement summary for one mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowTrace {
+    /// The mode traced.
+    pub mode: Mode,
+    /// Messages on the coherence network (requests, probes, acks,
+    /// data, unblocks).
+    pub coherence_msgs: u64,
+    /// Messages on the dedicated direct network.
+    pub direct_msgs: u64,
+    /// Messages on the GPU-internal network.
+    pub gpu_msgs: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// GPU L2 misses suffered by the consumer.
+    pub gpu_l2_misses: u64,
+    /// End-to-end cycles for produce + consume.
+    pub total_cycles: u64,
+}
+
+impl std::fmt::Display for DataflowTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:<7}] coherence msgs: {:>2}  direct msgs: {:>2}  gpu msgs: {:>2}  dram: {:>2}  gpu-l2 misses: {}  cycles: {}",
+            self.mode.to_string(),
+            self.coherence_msgs,
+            self.direct_msgs,
+            self.gpu_msgs,
+            self.dram_accesses,
+            self.gpu_l2_misses,
+            self.total_cycles
+        )
+    }
+}
+
+/// Traces the movement of a single CPU-produced line to the GPU under
+/// `mode` (Fig. 1's scenario: `st x` on the CPU, `ld x` on the GPU).
+pub fn trace_single_line(mode: Mode) -> DataflowTrace {
+    trace_lines(mode, 1)
+}
+
+/// Traces `lines` produced lines (Fig. 1 generalized; `lines = 1` is
+/// the figure's exact scenario).
+///
+/// # Panics
+///
+/// Panics if `lines` is zero or exceeds `u16::MAX`.
+pub fn trace_lines(mode: Mode, lines: u16) -> DataflowTrace {
+    assert!(lines > 0, "need at least one line to trace");
+    let base = VirtAddr::new(0x7f00_0000_0000);
+    let mut program = Program::new();
+    program.store_array(base, u64::from(lines) * 128, 0);
+    program.push(CpuOp::Launch(0));
+    program.push(CpuOp::WaitGpu);
+
+    let mut kernel = KernelTrace::new("ld_x");
+    kernel.push_warp(vec![WarpOp::global_load(base, lines)]);
+
+    let mut system = System::new(SystemConfig::paper_default(), mode);
+    let report = system.run(program, vec![kernel]);
+    DataflowTrace {
+        mode,
+        coherence_msgs: report.coh_net.total_msgs(),
+        direct_msgs: report.direct_net.total_msgs(),
+        gpu_msgs: report.gpu_net.total_msgs(),
+        dram_accesses: report.dram_reads + report.dram_writes,
+        gpu_l2_misses: report.gpu_l2.misses.value(),
+        total_cycles: report.total_cycles.as_u64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccsm_pulls_through_the_coherence_network() {
+        let t = trace_single_line(Mode::Ccsm);
+        assert_eq!(t.direct_msgs, 0, "no direct network under CCSM");
+        assert!(t.coherence_msgs > 0, "the pull chain is coherence traffic");
+        assert_eq!(t.gpu_l2_misses, 1, "the first GPU access misses");
+    }
+
+    #[test]
+    fn direct_store_pushes_and_the_gpu_hits() {
+        let t = trace_single_line(Mode::DirectStore);
+        assert!(t.direct_msgs >= 3, "GETX + PUTX + ack at minimum");
+        assert_eq!(t.gpu_l2_misses, 0, "data was pushed: first access hits");
+    }
+
+    #[test]
+    fn direct_store_wins_the_figure_one_scenario() {
+        let ccsm = trace_single_line(Mode::Ccsm);
+        let ds = trace_single_line(Mode::DirectStore);
+        assert!(ds.total_cycles < ccsm.total_cycles);
+        assert!(ds.coherence_msgs < ccsm.coherence_msgs);
+    }
+
+    #[test]
+    fn replacement_mode_uses_no_coherence_messages() {
+        let t = trace_single_line(Mode::DirectStoreOnly);
+        assert_eq!(t.coherence_msgs, 0);
+        assert_eq!(t.gpu_l2_misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_lines_panics() {
+        trace_lines(Mode::Ccsm, 0);
+    }
+}

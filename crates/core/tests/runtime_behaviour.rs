@@ -1,0 +1,281 @@
+//! Behavioural tests of the timed system model: tiny hand-built
+//! programs exercising one mechanism each.
+
+use ds_core::{Mode, System, SystemConfig};
+use ds_cpu::{CpuOp, Program};
+use ds_gpu::{KernelTrace, WarpOp};
+use ds_mem::VirtAddr;
+
+const WINDOW: u64 = 0x7f00_0000_0000;
+const HEAP: u64 = 0x1000_0000;
+
+fn system(mode: Mode) -> System {
+    System::new(SystemConfig::paper_default(), mode)
+}
+
+fn empty_kernel() -> KernelTrace {
+    let mut k = KernelTrace::new("nop");
+    k.push_warp(vec![WarpOp::Compute(1)]);
+    k
+}
+
+#[test]
+fn empty_program_finishes_immediately() {
+    let mut sys = system(Mode::Ccsm);
+    let r = sys.run(Program::new(), Vec::new());
+    assert_eq!(r.total_cycles.as_u64(), 0);
+    assert_eq!(r.kernels_run, 0);
+}
+
+#[test]
+fn compute_only_program_costs_its_compute() {
+    let mut sys = system(Mode::Ccsm);
+    let mut p = Program::new();
+    p.push(CpuOp::Compute(100));
+    p.push(CpuOp::Compute(50));
+    let r = sys.run(p, Vec::new());
+    assert_eq!(r.total_cycles.as_u64(), 150);
+}
+
+#[test]
+fn sequential_kernel_launches_run_in_order() {
+    let mut sys = system(Mode::Ccsm);
+    let mut p = Program::new();
+    p.push(CpuOp::Launch(0));
+    p.push(CpuOp::Launch(1));
+    p.push(CpuOp::WaitGpu);
+    let r = sys.run(p, vec![empty_kernel(), empty_kernel()]);
+    assert_eq!(r.kernels_run, 2);
+    assert_eq!(r.warps_completed, 2);
+}
+
+#[test]
+fn kernel_spans_are_recorded_in_order() {
+    let base = VirtAddr::new(HEAP);
+    // Kernel 0: one load. Kernel 1: a dependent chain of eight loads
+    // to distinct lines (each op waits for the previous), necessarily
+    // longer.
+    let mut k0 = KernelTrace::new("short");
+    k0.push_warp(vec![WarpOp::global_load(base, 1)]);
+    let mut k1 = KernelTrace::new("chain");
+    k1.push_warp(
+        (1..9)
+            .map(|i| WarpOp::global_load(base.offset(i * 128), 1))
+            .collect(),
+    );
+    let mut p = Program::new();
+    p.push(CpuOp::Launch(0));
+    p.push(CpuOp::Launch(1));
+    p.push(CpuOp::WaitGpu);
+    let mut sys = system(Mode::Ccsm);
+    let r = sys.run(p, vec![k0, k1]);
+    assert_eq!(r.kernel_spans.len(), 2);
+    let (s0, e0) = r.kernel_spans[0];
+    let (s1, e1) = r.kernel_spans[1];
+    assert!(s0 < e0 && e0 <= s1 && s1 < e1, "spans ordered and disjoint");
+    assert_eq!(r.kernel_cycles(), (e0 - s0) + (e1 - s1));
+    // The dependent chain runs longer than the single load.
+    assert!(e1 - s1 > e0 - s0);
+}
+
+#[test]
+fn wait_gpu_without_launch_is_a_noop() {
+    let mut sys = system(Mode::Ccsm);
+    let mut p = Program::new();
+    p.push(CpuOp::WaitGpu);
+    p.push(CpuOp::Compute(10));
+    let r = sys.run(p, Vec::new());
+    assert!(r.total_cycles.as_u64() >= 10);
+    assert_eq!(r.kernels_run, 0);
+}
+
+#[test]
+fn store_buffer_absorbs_then_stalls() {
+    // More distinct lines than buffer entries: the program must stall
+    // at least once but still complete.
+    let cfg = SystemConfig::paper_default();
+    let entries = cfg.store_buffer_entries as u64;
+    let mut sys = System::new(cfg, Mode::Ccsm);
+    let mut p = Program::new();
+    p.store_array(VirtAddr::new(HEAP), (entries + 24) * 128, 0);
+    let r = sys.run(p, Vec::new());
+    assert!(r.store_buffer_stalls > 0, "back-to-back stores must stall");
+}
+
+#[test]
+fn store_to_load_forwarding_avoids_memory() {
+    let mut sys = system(Mode::Ccsm);
+    let mut p = Program::new();
+    p.push(CpuOp::Store(VirtAddr::new(HEAP)));
+    p.push(CpuOp::Load(VirtAddr::new(HEAP)));
+    let r = sys.run(p, Vec::new());
+    // The load forwards from the store buffer: zero CPU L1/L2 load
+    // traffic beyond the store's own drain.
+    assert_eq!(r.cpu_l1.hits.value() + r.cpu_l1.misses.value(), 0);
+}
+
+#[test]
+fn cpu_load_miss_pulls_through_the_hierarchy() {
+    let mut sys = system(Mode::Ccsm);
+    let mut p = Program::new();
+    p.push(CpuOp::Load(VirtAddr::new(HEAP)));
+    let r = sys.run(p, Vec::new());
+    assert_eq!(r.cpu_l1.misses.value(), 1);
+    assert_eq!(r.cpu_l2.misses.value(), 1);
+    assert!(r.dram_reads >= 1, "cold load must reach DRAM");
+    // Second run state is fresh per system; within one run a repeat
+    // load hits.
+    let mut sys2 = system(Mode::Ccsm);
+    let mut p2 = Program::new();
+    p2.push(CpuOp::Load(VirtAddr::new(HEAP)));
+    p2.push(CpuOp::Load(VirtAddr::new(HEAP)));
+    let r2 = sys2.run(p2, Vec::new());
+    assert_eq!(r2.cpu_l1.hits.value(), 1);
+}
+
+#[test]
+fn direct_stores_bypass_cpu_caches_entirely() {
+    let mut sys = system(Mode::DirectStore);
+    let mut p = Program::new();
+    p.store_array(VirtAddr::new(WINDOW), 32 * 128, 0);
+    let r = sys.run(p, Vec::new());
+    assert_eq!(r.direct_pushes, 32);
+    assert_eq!(r.cpu_l2.accesses(), 0, "window stores never touch CPU caches");
+    assert_eq!(r.gpu_l2.pushed_fills.value(), 32);
+}
+
+#[test]
+fn ccsm_mode_treats_window_addresses_as_ordinary_memory() {
+    let mut sys = system(Mode::Ccsm);
+    let mut p = Program::new();
+    p.store_array(VirtAddr::new(WINDOW), 8 * 128, 0);
+    let r = sys.run(p, Vec::new());
+    assert_eq!(r.direct_pushes, 0);
+    assert!(r.cpu_l2.accesses() > 0);
+}
+
+#[test]
+fn uncached_cpu_readback_of_gpu_results() {
+    // GPU writes a line; the CPU reads it back through the direct
+    // network without allocating it in its caches.
+    let base = VirtAddr::new(WINDOW);
+    let mut k = KernelTrace::new("produce_out");
+    k.push_warp(vec![WarpOp::global_store(base, 4)]);
+    let mut p = Program::new();
+    p.push(CpuOp::Launch(0));
+    p.push(CpuOp::WaitGpu);
+    p.load_array(base, 4 * 128, 0);
+    let mut sys = system(Mode::DirectStore);
+    let r = sys.run(p, vec![k]);
+    assert_eq!(r.cpu_l1.accesses(), 0, "uncached reads skip the CPU L1");
+    assert_eq!(r.cpu_l2.accesses(), 0);
+    assert!(r.direct_net.total_msgs() >= 8, "4 requests + 4 responses");
+}
+
+#[test]
+fn gpu_l1_flash_invalidate_between_kernels() {
+    let base = VirtAddr::new(HEAP);
+    let mk = || {
+        let mut k = KernelTrace::new("reader");
+        k.push_warp(vec![WarpOp::global_load(base, 1)]);
+        k
+    };
+    let mut p = Program::new();
+    p.push(CpuOp::Launch(0));
+    p.push(CpuOp::WaitGpu);
+    p.push(CpuOp::Launch(1));
+    p.push(CpuOp::WaitGpu);
+    let mut sys = system(Mode::Ccsm);
+    let r = sys.run(p, vec![mk(), mk()]);
+    // Both kernels miss the (flash-invalidated) L1; the second hits L2.
+    assert_eq!(r.gpu_l1.misses.value(), 2);
+    assert_eq!(r.gpu_l2.hits.value(), 1);
+    assert_eq!(r.gpu_l2.misses.value(), 1);
+}
+
+#[test]
+fn push_hits_are_attributed() {
+    let base = VirtAddr::new(WINDOW);
+    let mut k = KernelTrace::new("consume");
+    k.push_warp(vec![WarpOp::global_load(base, 8)]);
+    let mut p = Program::new();
+    p.store_array(base, 8 * 128, 0);
+    p.push(CpuOp::Launch(0));
+    p.push(CpuOp::WaitGpu);
+    let mut sys = system(Mode::DirectStore);
+    let r = sys.run(p, vec![k]);
+    assert_eq!(r.gpu_l2.push_hits.value(), 8);
+    assert_eq!(r.gpu_l2.misses.value(), 0);
+}
+
+#[test]
+fn tlb_miss_penalty_is_visible() {
+    // Two configs differing only in TLB miss penalty; a page-crossing
+    // store stream must be slower with the bigger penalty.
+    let mut p = Program::new();
+    // One store per page: every access is a TLB miss once the tiny TLB
+    // wraps.
+    for i in 0..200u64 {
+        p.push(CpuOp::Store(VirtAddr::new(HEAP + i * 4096)));
+    }
+    let run = |penalty: u64| {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.tlb_entries = 4;
+        cfg.tlb_miss_penalty = penalty;
+        let mut sys = System::new(cfg, Mode::Ccsm);
+        sys.run(p.clone(), Vec::new()).total_cycles.as_u64()
+    };
+    assert!(run(200) > run(1) + 150 * 190);
+}
+
+#[test]
+fn prefetcher_changes_traffic_but_not_correctness() {
+    let base = VirtAddr::new(HEAP);
+    let mk = || {
+        let mut k = KernelTrace::new("stream");
+        for w in 0..4 {
+            k.push_warp(vec![WarpOp::global_load(base.offset(w * 8 * 128), 8)]);
+        }
+        k
+    };
+    let mut p = Program::new();
+    p.push(CpuOp::Launch(0));
+    p.push(CpuOp::WaitGpu);
+
+    let mut base_cfg = SystemConfig::paper_default();
+    base_cfg.gpu_l2_prefetch = false;
+    let mut sys = System::new(base_cfg, Mode::Ccsm);
+    let plain = sys.run(p.clone(), vec![mk()]);
+
+    let mut pf_cfg = SystemConfig::paper_default();
+    pf_cfg.gpu_l2_prefetch = true;
+    let mut sys = System::new(pf_cfg, Mode::Ccsm);
+    let pf = sys.run(p, vec![mk()]);
+
+    assert_eq!(plain.warps_completed, pf.warps_completed);
+    assert!(
+        pf.dram_reads >= plain.dram_reads,
+        "prefetching can only add memory traffic"
+    );
+    assert!(pf.gpu_l2.misses.value() <= plain.gpu_l2.misses.value());
+}
+
+#[test]
+fn ds_only_mode_completes_cpu_only_work() {
+    let mut sys = system(Mode::DirectStoreOnly);
+    let mut p = Program::new();
+    p.store_array(VirtAddr::new(HEAP), 16 * 128, 0);
+    p.load_array(VirtAddr::new(HEAP), 16 * 128, 0);
+    let r = sys.run(p, Vec::new());
+    assert_eq!(r.coh_net.total_msgs(), 0);
+    assert!(r.dram_reads > 0);
+}
+
+#[test]
+#[should_panic(expected = "launch of unknown kernel")]
+fn launching_a_missing_kernel_panics() {
+    let mut sys = system(Mode::Ccsm);
+    let mut p = Program::new();
+    p.push(CpuOp::Launch(3));
+    sys.run(p, vec![empty_kernel()]);
+}

@@ -1,0 +1,49 @@
+//! # ds-cpu — CPU-side models
+//!
+//! Everything the CPU contributes to the direct-store mechanism
+//! (paper §III.C–§III.E):
+//!
+//! * [`DirectWindow`] — the reserved high-order virtual-address range
+//!   in which GPU-homed data lives,
+//! * [`AddressSpace`] — simulated `malloc` and `mmap(MAP_FIXED)`
+//!   allocators plus the demand-paged page table; direct-window pages
+//!   map to a disjoint physical-frame pool so physical addresses remain
+//!   classifiable,
+//! * [`Tlb`] — the translation look-aside buffer with the paper's added
+//!   high-order-address comparison logic that flags stores for
+//!   forwarding to the GPU L2,
+//! * [`Program`] / [`CpuOp`] — the memory-operation IR executed by the
+//!   in-order CPU core model in `ds-core`,
+//! * [`StoreBuffer`] — the finite store buffer whose occupancy converts
+//!   increased store latency into the (mild) CPU-side cost the paper
+//!   describes in §III.B.
+//!
+//! # Examples
+//!
+//! The TLB's direct-range detection in action:
+//!
+//! ```
+//! use ds_cpu::{AddressSpace, DirectWindow, Tlb};
+//! use ds_mem::VirtAddr;
+//!
+//! let window = DirectWindow::paper_default();
+//! let mut space = AddressSpace::new(window);
+//! let ordinary = space.malloc(4096).expect("heap allocation");
+//! let homed = space
+//!     .mmap_fixed(window.base(), 4096)
+//!     .expect("window is free");
+//!
+//! let mut tlb = Tlb::new(64, window);
+//! assert!(!tlb.lookup(ordinary).is_direct);
+//! assert!(tlb.lookup(homed).is_direct, "TLB flags GPU-homed stores");
+//! ```
+
+pub mod program;
+pub mod store_buffer;
+pub mod tlb;
+pub mod vm;
+
+pub use program::{CpuOp, Program};
+pub use store_buffer::{StoreBuffer, StoreEntry};
+pub use tlb::{Tlb, TlbLookup, TlbStats};
+pub use vm::{AddressSpace, DirectWindow, MmapError, PageTable};

@@ -1,0 +1,212 @@
+//! The CPU program IR.
+//!
+//! Workload generators (the `ds-workloads` crate) compile each
+//! benchmark's CPU side — producing input arrays for the GPU, launching
+//! kernels, optionally reading results back — into a flat sequence of
+//! [`CpuOp`]s executed by the in-order core model in `ds-core`.
+//!
+//! The IR is memory-centric: arithmetic between memory operations is
+//! abstracted as [`CpuOp::Compute`] cycles, the standard trace-driven
+//! simplification (only relative memory behaviour matters for the
+//! paper's comparisons).
+
+use ds_mem::{VirtAddr, LINE_BYTES};
+
+/// One operation of the CPU program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuOp {
+    /// Load from a virtual address (blocks the in-order core until the
+    /// value returns).
+    Load(VirtAddr),
+    /// Store to a virtual address (retires into the store buffer).
+    Store(VirtAddr),
+    /// `n` cycles of non-memory work.
+    Compute(u32),
+    /// Launch GPU kernel number `idx` (asynchronous, like a CUDA
+    /// kernel launch).
+    Launch(usize),
+    /// Block until every launched kernel has completed
+    /// (`cudaDeviceSynchronize`).
+    WaitGpu,
+}
+
+/// A CPU program: an ordered list of [`CpuOp`]s with builder helpers
+/// for the patterns workload generators need.
+///
+/// # Examples
+///
+/// The canonical producer-consumer shape — write an array, launch the
+/// kernel that reads it, wait:
+///
+/// ```
+/// use ds_cpu::{CpuOp, Program};
+/// use ds_mem::VirtAddr;
+///
+/// let mut p = Program::new();
+/// p.store_array(VirtAddr::new(0x1000), 1024, 2);
+/// p.push(CpuOp::Launch(0));
+/// p.push(CpuOp::WaitGpu);
+/// assert!(p.len() > 2);
+/// assert_eq!(p.stores(), 1024 / 128 * 1); // one store per touched line
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    ops: Vec<CpuOp>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one operation.
+    pub fn push(&mut self, op: CpuOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends a sequential write of `bytes` starting at `base`,
+    /// touching each 128-byte line once, with `compute_per_line` cycles
+    /// of work between lines.
+    ///
+    /// Element-level stores within a line coalesce in the store buffer
+    /// anyway, so generators emit one store per line and model the
+    /// per-element arithmetic as compute (see `DESIGN.md`).
+    pub fn store_array(&mut self, base: VirtAddr, bytes: u64, compute_per_line: u32) {
+        let lines = bytes.div_ceil(LINE_BYTES);
+        for i in 0..lines {
+            if compute_per_line > 0 {
+                self.ops.push(CpuOp::Compute(compute_per_line));
+            }
+            self.ops.push(CpuOp::Store(base.offset(i * LINE_BYTES)));
+        }
+    }
+
+    /// Appends a sequential read of `bytes` starting at `base`, one
+    /// load per line.
+    pub fn load_array(&mut self, base: VirtAddr, bytes: u64, compute_per_line: u32) {
+        let lines = bytes.div_ceil(LINE_BYTES);
+        for i in 0..lines {
+            if compute_per_line > 0 {
+                self.ops.push(CpuOp::Compute(compute_per_line));
+            }
+            self.ops.push(CpuOp::Load(base.offset(i * LINE_BYTES)));
+        }
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[CpuOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of store operations.
+    pub fn stores(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, CpuOp::Store(_)))
+            .count() as u64
+    }
+
+    /// Number of load operations.
+    pub fn loads(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, CpuOp::Load(_)))
+            .count() as u64
+    }
+
+    /// Number of kernel launches.
+    pub fn launches(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, CpuOp::Launch(_)))
+            .count() as u64
+    }
+}
+
+impl Extend<CpuOp> for Program {
+    fn extend<T: IntoIterator<Item = CpuOp>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+impl FromIterator<CpuOp> for Program {
+    fn from_iter<T: IntoIterator<Item = CpuOp>>(iter: T) -> Self {
+        Program {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_array_touches_each_line_once() {
+        let mut p = Program::new();
+        p.store_array(VirtAddr::new(0), 4 * LINE_BYTES, 0);
+        assert_eq!(p.stores(), 4);
+        let addrs: Vec<u64> = p
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                CpuOp::Store(a) => Some(a.as_u64()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 128, 256, 384]);
+    }
+
+    #[test]
+    fn partial_line_rounds_up() {
+        let mut p = Program::new();
+        p.store_array(VirtAddr::new(0), LINE_BYTES + 1, 0);
+        assert_eq!(p.stores(), 2);
+    }
+
+    #[test]
+    fn compute_interleaves() {
+        let mut p = Program::new();
+        p.store_array(VirtAddr::new(0), 2 * LINE_BYTES, 5);
+        assert_eq!(
+            p.ops()[0..2],
+            [CpuOp::Compute(5), CpuOp::Store(VirtAddr::new(0))]
+        );
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let p: Program = [
+            CpuOp::Load(VirtAddr::new(0)),
+            CpuOp::Store(VirtAddr::new(128)),
+            CpuOp::Launch(0),
+            CpuOp::Launch(1),
+            CpuOp::WaitGpu,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.loads(), 1);
+        assert_eq!(p.stores(), 1);
+        assert_eq!(p.launches(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut p = Program::new();
+        p.extend([CpuOp::WaitGpu]);
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! The CPU store buffer.
+//!
+//! Stores retire from the in-order core into this finite buffer and
+//! drain to the memory system in the background. Same-line stores
+//! coalesce into one entry, so element-granular writes to a line cost
+//! one drain. Direct-store entries drain over the dedicated network —
+//! their higher latency is absorbed here, which is exactly the §III.B
+//! trade: "increased CPU store latency (to which most programs are
+//! less sensitive)".
+
+use std::collections::VecDeque;
+
+use ds_mem::LineAddr;
+use ds_sim::Counter;
+
+/// One coalesced store-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// The written line.
+    pub line: LineAddr,
+    /// Whether the TLB flagged this store for direct forwarding to the
+    /// GPU L2.
+    pub is_direct: bool,
+}
+
+/// A finite, coalescing FIFO store buffer.
+///
+/// # Examples
+///
+/// ```
+/// use ds_cpu::StoreBuffer;
+/// use ds_mem::LineAddr;
+///
+/// let mut sb = StoreBuffer::new(2);
+/// let l = LineAddr::from_index(1);
+/// assert!(sb.push(l, false));
+/// assert!(sb.push(l, false), "same-line store coalesces, buffer not full");
+/// assert_eq!(sb.len(), 1);
+/// assert!(sb.push(LineAddr::from_index(2), true));
+/// assert!(!sb.push(LineAddr::from_index(3), false), "buffer full");
+/// ```
+#[derive(Debug)]
+pub struct StoreBuffer {
+    capacity: usize,
+    entries: VecDeque<StoreEntry>,
+    merges: Counter,
+    drains: Counter,
+    full_stalls: Counter,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer with room for `capacity` distinct lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store buffer capacity must be non-zero");
+        StoreBuffer {
+            capacity,
+            entries: VecDeque::new(),
+            merges: Counter::new("sb_merges"),
+            drains: Counter::new("sb_drains"),
+            full_stalls: Counter::new("sb_full_stalls"),
+        }
+    }
+
+    /// Attempts to insert a store. Returns `false` (and records a
+    /// stall) if the buffer is full and the store does not coalesce.
+    ///
+    /// A store to a line already buffered with the same direct-ness
+    /// merges; a direct/non-direct mismatch on the same line is
+    /// impossible by construction (a line's window membership is a
+    /// property of its address).
+    pub fn push(&mut self, line: LineAddr, is_direct: bool) -> bool {
+        if let Some(e) = self.entries.iter().find(|e| e.line == line) {
+            debug_assert_eq!(
+                e.is_direct, is_direct,
+                "a line cannot be both direct and ordinary"
+            );
+            self.merges.incr();
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_stalls.incr();
+            return false;
+        }
+        self.entries.push_back(StoreEntry { line, is_direct });
+        true
+    }
+
+    /// The oldest entry, if any (the next to drain).
+    pub fn head(&self) -> Option<StoreEntry> {
+        self.entries.front().copied()
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop(&mut self) -> Option<StoreEntry> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.drains.incr();
+        }
+        e
+    }
+
+    /// Whether a store to `line` is buffered (store-to-load forwarding
+    /// check).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Buffered entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty (all stores globally visible).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a non-coalescing store would stall.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Stores merged into existing entries.
+    pub fn merges(&self) -> u64 {
+        self.merges.value()
+    }
+
+    /// Entries drained to the memory system.
+    pub fn drains(&self) -> u64 {
+        self.drains.value()
+    }
+
+    /// Inserts refused because the buffer was full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn fifo_drain_order() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(line(3), false);
+        sb.push(line(1), true);
+        assert_eq!(
+            sb.pop(),
+            Some(StoreEntry {
+                line: line(3),
+                is_direct: false
+            })
+        );
+        assert_eq!(
+            sb.head(),
+            Some(StoreEntry {
+                line: line(1),
+                is_direct: true
+            })
+        );
+        assert_eq!(sb.drains(), 1);
+    }
+
+    #[test]
+    fn coalescing_does_not_grow() {
+        let mut sb = StoreBuffer::new(2);
+        for _ in 0..10 {
+            assert!(sb.push(line(7), false));
+        }
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.merges(), 9);
+    }
+
+    #[test]
+    fn full_buffer_stalls_new_lines_but_merges_old() {
+        let mut sb = StoreBuffer::new(1);
+        assert!(sb.push(line(1), false));
+        assert!(!sb.push(line(2), false));
+        assert_eq!(sb.full_stalls(), 1);
+        assert!(sb.push(line(1), false), "merge succeeds even when full");
+        assert!(sb.is_full());
+    }
+
+    #[test]
+    fn contains_for_forwarding() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(line(5), false);
+        assert!(sb.contains(line(5)));
+        assert!(!sb.contains(line(6)));
+        sb.pop();
+        assert!(!sb.contains(line(5)));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = StoreBuffer::new(0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The translation look-aside buffer with direct-range detection.
+//!
+//! Paper §III.E: "We modify the TLB by adding logic to detect
+//! high-order virtual addresses ... When detected, the TLB sends a
+//! signal to the MMU indicating to the CPU's L1 cache controller to
+//! forward the store onto the GPU L2 cache."
+//!
+//! The model is a fully-associative LRU TLB in front of the
+//! [`PageTable`](crate::PageTable); the added detection logic is the
+//! single threshold comparison of [`DirectWindow::contains`].
+
+use std::collections::HashMap;
+
+use ds_mem::{PageNum, VirtAddr};
+use ds_sim::Counter;
+
+use crate::DirectWindow;
+
+/// The outcome of a TLB lookup, before the page walk (if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbLookup {
+    /// The virtual page looked up.
+    pub vpn: PageNum,
+    /// The cached translation, `None` on a TLB miss (the MMU must walk
+    /// the page table and [`Tlb::fill`] the result).
+    pub ppn: Option<PageNum>,
+    /// The direct-store signal: the address lies in the reserved
+    /// GPU-homed window. Raised on hits *and* misses — the comparison
+    /// is on the virtual address itself.
+    pub is_direct: bool,
+}
+
+impl TlbLookup {
+    /// Whether the translation was cached.
+    pub fn is_hit(&self) -> bool {
+        self.ppn.is_some()
+    }
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone)]
+pub struct TlbStats {
+    /// Lookups that found a cached translation.
+    pub hits: Counter,
+    /// Lookups requiring a page walk.
+    pub misses: Counter,
+    /// Lookups whose address fell in the direct window.
+    pub direct_detections: Counter,
+}
+
+impl TlbStats {
+    fn new() -> Self {
+        TlbStats {
+            hits: Counter::new("tlb_hits"),
+            misses: Counter::new("tlb_misses"),
+            direct_detections: Counter::new("tlb_direct_detections"),
+        }
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits.value() + self.misses.value()
+    }
+}
+
+/// A fully-associative LRU TLB with the paper's direct-range detector.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct Tlb {
+    capacity: usize,
+    window: DirectWindow,
+    entries: HashMap<PageNum, (PageNum, u64)>,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB holding at most `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, window: DirectWindow) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb {
+            capacity,
+            window,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: TlbStats::new(),
+        }
+    }
+
+    /// Looks up `va`, returning the cached translation (if any) and the
+    /// direct-window signal.
+    pub fn lookup(&mut self, va: VirtAddr) -> TlbLookup {
+        let vpn = va.page();
+        let is_direct = self.window.contains(va);
+        if is_direct {
+            self.stats.direct_detections.incr();
+        }
+        self.clock += 1;
+        let ppn = match self.entries.get_mut(&vpn) {
+            Some((ppn, stamp)) => {
+                *stamp = self.clock;
+                self.stats.hits.incr();
+                Some(*ppn)
+            }
+            None => {
+                self.stats.misses.incr();
+                None
+            }
+        };
+        TlbLookup { vpn, ppn, is_direct }
+    }
+
+    /// Installs a translation after a page walk, evicting the LRU entry
+    /// if full.
+    pub fn fill(&mut self, vpn: PageNum, ppn: PageNum) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&vpn) {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, s))| *s) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(vpn, (ppn, self.clock));
+    }
+
+    /// Drops every cached translation (e.g. on a simulated context
+    /// switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    /// Current number of cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no translations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_mem::PAGE_BYTES;
+
+    fn tlb(cap: usize) -> Tlb {
+        Tlb::new(cap, DirectWindow::paper_default())
+    }
+
+    fn va(page: u64) -> VirtAddr {
+        VirtAddr::new(page * PAGE_BYTES)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tlb(4);
+        let l = t.lookup(va(3));
+        assert!(!l.is_hit());
+        t.fill(l.vpn, PageNum::new(99));
+        let l2 = t.lookup(va(3).offset(5));
+        assert_eq!(l2.ppn, Some(PageNum::new(99)));
+        assert_eq!(t.stats().hits.value(), 1);
+        assert_eq!(t.stats().misses.value(), 1);
+        assert_eq!(t.stats().lookups(), 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tlb(2);
+        t.fill(PageNum::new(1), PageNum::new(1));
+        t.fill(PageNum::new(2), PageNum::new(2));
+        // Touch page 1 so page 2 is LRU.
+        t.lookup(va(1));
+        t.fill(PageNum::new(3), PageNum::new(3));
+        assert!(t.lookup(va(1)).is_hit());
+        assert!(!t.lookup(va(2)).is_hit());
+        assert!(t.lookup(va(3)).is_hit());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn refilling_resident_page_does_not_evict() {
+        let mut t = tlb(2);
+        t.fill(PageNum::new(1), PageNum::new(1));
+        t.fill(PageNum::new(2), PageNum::new(2));
+        t.fill(PageNum::new(1), PageNum::new(1));
+        assert!(t.lookup(va(2)).is_hit());
+    }
+
+    #[test]
+    fn direct_detection_is_orthogonal_to_hit_miss() {
+        let mut t = tlb(2);
+        let base = DirectWindow::paper_default().base();
+        let l = t.lookup(base);
+        assert!(l.is_direct && !l.is_hit());
+        t.fill(l.vpn, PageNum::new(7));
+        let l2 = t.lookup(base);
+        assert!(l2.is_direct && l2.is_hit());
+        assert_eq!(t.stats().direct_detections.value(), 2);
+        // Ordinary addresses never raise the signal.
+        assert!(!t.lookup(va(1)).is_direct);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut t = tlb(4);
+        t.fill(PageNum::new(1), PageNum::new(1));
+        assert!(!t.is_empty());
+        t.flush();
+        assert!(t.is_empty());
+        assert!(!t.lookup(va(1)).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = tlb(0);
+    }
+}

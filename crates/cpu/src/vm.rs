@@ -1,0 +1,392 @@
+//! Simulated virtual memory: allocators and the page table.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ds_mem::{PageNum, PhysAddr, VirtAddr, PAGE_BYTES};
+
+/// The reserved high-order virtual-address window for GPU-homed data
+/// (paper §III.D: "specifies the argument addr to high-order address
+/// bits and sets flags to MAP_FIXED").
+///
+/// Detection is a single comparison of the store's address against the
+/// window base — the "wiring to a logic gate" hardware cost of §IV.E.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectWindow {
+    base: VirtAddr,
+}
+
+impl DirectWindow {
+    /// The window used throughout the reproduction: everything at or
+    /// above `0x7f00_0000_0000`.
+    pub fn paper_default() -> Self {
+        DirectWindow {
+            base: VirtAddr::new(0x7f00_0000_0000),
+        }
+    }
+
+    /// Creates a window starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page-aligned.
+    pub fn starting_at(base: VirtAddr) -> Self {
+        assert!(
+            base.as_u64().is_multiple_of(PAGE_BYTES),
+            "direct window base must be page-aligned"
+        );
+        DirectWindow { base }
+    }
+
+    /// The first address of the window.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// The high-order-bits comparison the modified TLB performs.
+    #[inline]
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.base
+    }
+}
+
+impl fmt::Display for DirectWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "direct window [{}, ...)", self.base)
+    }
+}
+
+/// First physical frame of the pool backing direct-window pages.
+///
+/// Keeping GPU-homed data in a disjoint frame pool lets every layer
+/// below the TLB (caches, the coherence checker) classify a *physical*
+/// address without a reverse page-table walk.
+pub const DIRECT_FRAME_BASE: u64 = 1 << 24; // frames, i.e. 64 GB into PA space
+
+/// Whether a physical address backs direct-window (GPU-homed) data.
+pub fn pa_is_direct(pa: PhysAddr) -> bool {
+    pa.page().index() >= DIRECT_FRAME_BASE
+}
+
+/// Line-granularity variant of [`pa_is_direct`] (the signature the
+/// coherence checker consumes).
+pub fn pa_is_direct_line(line: ds_mem::LineAddr) -> bool {
+    pa_is_direct(line.base())
+}
+
+/// The demand-paged virtual-to-physical map.
+///
+/// Frames are allocated on first touch: ordinary pages from a bump
+/// pool starting at frame 0, direct-window pages from
+/// [`DIRECT_FRAME_BASE`].
+#[derive(Debug, Default)]
+pub struct PageTable {
+    map: HashMap<PageNum, PageNum>,
+    next_normal: u64,
+    next_direct: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable {
+            map: HashMap::new(),
+            next_normal: 0,
+            next_direct: DIRECT_FRAME_BASE,
+        }
+    }
+
+    /// Translates a virtual page, allocating a frame on first touch.
+    pub fn translate_or_alloc(&mut self, vpn: PageNum, is_direct: bool) -> PageNum {
+        if let Some(&ppn) = self.map.get(&vpn) {
+            return ppn;
+        }
+        let frame = if is_direct {
+            let f = self.next_direct;
+            self.next_direct += 1;
+            f
+        } else {
+            let f = self.next_normal;
+            self.next_normal += 1;
+            f
+        };
+        let ppn = PageNum::new(frame);
+        self.map.insert(vpn, ppn);
+        ppn
+    }
+
+    /// Translates a virtual page that must already be mapped.
+    pub fn translate(&self, vpn: PageNum) -> Option<PageNum> {
+        self.map.get(&vpn).copied()
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Errors from the simulated `mmap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmapError {
+    /// A `MAP_FIXED` request overlaps an existing mapping.
+    Overlap {
+        /// Requested base.
+        addr: VirtAddr,
+        /// Requested length.
+        len: u64,
+    },
+    /// Requested base is not page-aligned.
+    Unaligned {
+        /// Requested base.
+        addr: VirtAddr,
+    },
+    /// Zero-length request.
+    ZeroLength,
+    /// The heap bump allocator would collide with the direct window.
+    OutOfMemory,
+}
+
+impl fmt::Display for MmapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmapError::Overlap { addr, len } => {
+                write!(f, "MAP_FIXED region {addr}+{len:#x} overlaps an existing mapping")
+            }
+            MmapError::Unaligned { addr } => write!(f, "mmap base {addr} is not page-aligned"),
+            MmapError::ZeroLength => write!(f, "zero-length allocation"),
+            MmapError::OutOfMemory => write!(f, "heap exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MmapError {}
+
+/// A process address space: the `malloc` heap, the `mmap(MAP_FIXED)`
+/// regions the translator creates, and the page table behind both.
+///
+/// # Examples
+///
+/// Overlapping `MAP_FIXED` regions are rejected — the property the
+/// translator relies on when laying out variables back to back
+/// (§III.C: "there is no overlapping starting virtual addresses for
+/// all variables"):
+///
+/// ```
+/// use ds_cpu::{AddressSpace, DirectWindow, MmapError};
+/// use ds_mem::VirtAddr;
+///
+/// let w = DirectWindow::paper_default();
+/// let mut space = AddressSpace::new(w);
+/// space.mmap_fixed(w.base(), 8192).expect("fresh window");
+/// let clash = space.mmap_fixed(w.base().offset(4096), 4096);
+/// assert!(matches!(clash, Err(MmapError::Overlap { .. })));
+/// ```
+#[derive(Debug)]
+pub struct AddressSpace {
+    window: DirectWindow,
+    page_table: PageTable,
+    heap_next: VirtAddr,
+    regions: Vec<(VirtAddr, u64)>,
+}
+
+impl AddressSpace {
+    /// Heap base for `malloc` allocations.
+    const HEAP_BASE: u64 = 0x1000_0000;
+
+    /// Creates an address space with an empty heap and no mappings.
+    pub fn new(window: DirectWindow) -> Self {
+        AddressSpace {
+            window,
+            page_table: PageTable::new(),
+            heap_next: VirtAddr::new(Self::HEAP_BASE),
+            regions: Vec::new(),
+        }
+    }
+
+    /// The direct window this space was created with.
+    pub fn window(&self) -> DirectWindow {
+        self.window
+    }
+
+    /// Simulated `malloc`: bump allocation on the ordinary heap,
+    /// 16-byte aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MmapError::ZeroLength`] for empty requests and
+    /// [`MmapError::OutOfMemory`] if the heap would reach the direct
+    /// window.
+    pub fn malloc(&mut self, len: u64) -> Result<VirtAddr, MmapError> {
+        if len == 0 {
+            return Err(MmapError::ZeroLength);
+        }
+        let base = self.heap_next;
+        let aligned = len.div_ceil(16) * 16;
+        let next = base
+            .checked_offset(aligned)
+            .ok_or(MmapError::OutOfMemory)?;
+        if self.window.contains(next) {
+            return Err(MmapError::OutOfMemory);
+        }
+        self.heap_next = next;
+        Ok(base)
+    }
+
+    /// Simulated `mmap(addr, len, ..., MAP_FIXED, ...)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unaligned bases, zero lengths and overlaps with existing
+    /// fixed mappings.
+    pub fn mmap_fixed(&mut self, addr: VirtAddr, len: u64) -> Result<VirtAddr, MmapError> {
+        if len == 0 {
+            return Err(MmapError::ZeroLength);
+        }
+        if !addr.as_u64().is_multiple_of(PAGE_BYTES) {
+            return Err(MmapError::Unaligned { addr });
+        }
+        let len = len.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        let end = addr.as_u64() + len;
+        for &(base, rlen) in &self.regions {
+            let rend = base.as_u64() + rlen;
+            if addr.as_u64() < rend && base.as_u64() < end {
+                return Err(MmapError::Overlap { addr, len });
+            }
+        }
+        self.regions.push((addr, len));
+        Ok(addr)
+    }
+
+    /// Whether `va` is in the direct (GPU-homed) window.
+    pub fn is_direct(&self, va: VirtAddr) -> bool {
+        self.window.contains(va)
+    }
+
+    /// Translates `va`, allocating a backing frame on first touch, and
+    /// returns the physical address.
+    pub fn translate(&mut self, va: VirtAddr) -> PhysAddr {
+        let is_direct = self.is_direct(va);
+        let ppn = self.page_table.translate_or_alloc(va.page(), is_direct);
+        ppn.phys_addr(va.page_offset())
+    }
+
+    /// Read access to the page table (for the TLB's walk path).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// The fixed mappings created so far, in creation order.
+    pub fn regions(&self) -> &[(VirtAddr, u64)] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(DirectWindow::paper_default())
+    }
+
+    #[test]
+    fn malloc_is_bump_and_aligned() {
+        let mut s = space();
+        let a = s.malloc(10).unwrap();
+        let b = s.malloc(10).unwrap();
+        assert_eq!(a.as_u64() % 16, 0);
+        assert_eq!(b.as_u64() - a.as_u64(), 16);
+        assert!(!s.is_direct(a));
+    }
+
+    #[test]
+    fn malloc_rejects_zero() {
+        assert_eq!(space().malloc(0), Err(MmapError::ZeroLength));
+    }
+
+    #[test]
+    fn mmap_fixed_places_exactly() {
+        let mut s = space();
+        let base = DirectWindow::paper_default().base();
+        assert_eq!(s.mmap_fixed(base, 100).unwrap(), base);
+        assert!(s.is_direct(base));
+        assert_eq!(s.regions().len(), 1);
+        // Rounded to page granularity.
+        assert_eq!(s.regions()[0].1, PAGE_BYTES);
+    }
+
+    #[test]
+    fn mmap_fixed_rejects_unaligned_and_overlap() {
+        let mut s = space();
+        let base = DirectWindow::paper_default().base();
+        assert!(matches!(
+            s.mmap_fixed(base.offset(8), 100),
+            Err(MmapError::Unaligned { .. })
+        ));
+        s.mmap_fixed(base, 2 * PAGE_BYTES).unwrap();
+        assert!(matches!(
+            s.mmap_fixed(base.offset(PAGE_BYTES), PAGE_BYTES),
+            Err(MmapError::Overlap { .. })
+        ));
+        // Adjacent (non-overlapping) is fine.
+        assert!(s.mmap_fixed(base.offset(2 * PAGE_BYTES), PAGE_BYTES).is_ok());
+    }
+
+    #[test]
+    fn translation_separates_frame_pools() {
+        let mut s = space();
+        let heap = s.malloc(64).unwrap();
+        let direct_base = DirectWindow::paper_default().base();
+        s.mmap_fixed(direct_base, PAGE_BYTES).unwrap();
+
+        let pa_heap = s.translate(heap);
+        let pa_direct = s.translate(direct_base);
+        assert!(!pa_is_direct(pa_heap));
+        assert!(pa_is_direct(pa_direct));
+    }
+
+    #[test]
+    fn translation_is_stable_and_offset_preserving() {
+        let mut s = space();
+        let va = s.malloc(PAGE_BYTES * 2).unwrap();
+        let pa1 = s.translate(va.offset(123));
+        let pa2 = s.translate(va.offset(123));
+        assert_eq!(pa1, pa2);
+        assert_eq!(pa1.page_offset(), (va.as_u64() + 123) % PAGE_BYTES);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut s = space();
+        let va = VirtAddr::new(AddressSpace::HEAP_BASE);
+        let pa0 = s.translate(va);
+        let pa1 = s.translate(va.offset(PAGE_BYTES));
+        assert_ne!(pa0.page(), pa1.page());
+        assert_eq!(s.page_table_mut().mapped_pages(), 2);
+    }
+
+    #[test]
+    fn window_comparison_is_a_simple_threshold() {
+        let w = DirectWindow::paper_default();
+        assert!(!w.contains(VirtAddr::new(w.base().as_u64() - 1)));
+        assert!(w.contains(w.base()));
+        assert!(w.contains(VirtAddr::new(u64::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn unaligned_window_base_panics() {
+        let _ = DirectWindow::starting_at(VirtAddr::new(100));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MmapError::Overlap {
+            addr: VirtAddr::new(0x1000),
+            len: 4096,
+        };
+        assert!(e.to_string().contains("overlaps"));
+        assert!(MmapError::OutOfMemory.to_string().contains("heap"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the TLB, address space and store buffer.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use ds_cpu::{AddressSpace, DirectWindow, StoreBuffer, Tlb};
+use ds_mem::{LineAddr, PageNum, VirtAddr, PAGE_BYTES};
+
+proptest! {
+    /// The TLB agrees with an unbounded reference map: a hit always
+    /// returns the reference's translation; capacity is respected.
+    #[test]
+    fn tlb_is_a_cache_of_the_reference(
+        pages in proptest::collection::vec(0u64..40, 1..200),
+        capacity in 1usize..16
+    ) {
+        let mut tlb = Tlb::new(capacity, DirectWindow::paper_default());
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut next_frame = 100u64;
+        for &p in &pages {
+            let va = VirtAddr::new(p * PAGE_BYTES + 7);
+            let look = tlb.lookup(va);
+            prop_assert_eq!(look.vpn, PageNum::new(p));
+            match look.ppn {
+                Some(ppn) => {
+                    // A hit must match what we previously installed.
+                    prop_assert_eq!(ppn.index(), reference[&p]);
+                }
+                None => {
+                    let frame = *reference.entry(p).or_insert_with(|| {
+                        next_frame += 1;
+                        next_frame
+                    });
+                    tlb.fill(PageNum::new(p), PageNum::new(frame));
+                }
+            }
+            prop_assert!(tlb.len() <= capacity);
+        }
+    }
+
+    /// Demand paging is a function: the same virtual address always
+    /// maps to the same physical address; distinct pages get distinct
+    /// frames; window pages map into the direct frame pool.
+    #[test]
+    fn address_space_translation_properties(
+        addrs in proptest::collection::vec((0u64..1 << 24, any::<bool>()), 1..100)
+    ) {
+        let window = DirectWindow::paper_default();
+        let mut space = AddressSpace::new(window);
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        for &(off, direct) in &addrs {
+            let va = if direct {
+                window.base().offset(off)
+            } else {
+                VirtAddr::new(0x1000_0000 + off)
+            };
+            let pa = space.translate(va);
+            prop_assert_eq!(pa.page_offset(), va.page_offset());
+            prop_assert_eq!(ds_cpu::vm::pa_is_direct(pa), direct);
+            if let Some(&prev) = seen.get(&va.page().index()) {
+                prop_assert_eq!(prev, pa.page().index());
+            } else {
+                prop_assert!(
+                    !seen.values().any(|&f| f == pa.page().index()),
+                    "frame reused across pages"
+                );
+                seen.insert(va.page().index(), pa.page().index());
+            }
+        }
+    }
+
+    /// The store buffer matches a reference coalescing FIFO.
+    #[test]
+    fn store_buffer_matches_reference(
+        ops in proptest::collection::vec((0u64..12, any::<bool>()), 1..200),
+        capacity in 1usize..8
+    ) {
+        let mut sb = StoreBuffer::new(capacity);
+        let mut reference: VecDeque<u64> = VecDeque::new();
+        for &(line_raw, pop) in &ops {
+            if pop {
+                let got = sb.pop().map(|e| e.line.index());
+                prop_assert_eq!(got, reference.pop_front());
+            } else {
+                let line = LineAddr::from_index(line_raw);
+                let accepted = sb.push(line, false);
+                if reference.contains(&line_raw) {
+                    prop_assert!(accepted, "coalescing push must succeed");
+                } else if reference.len() < capacity {
+                    prop_assert!(accepted);
+                    reference.push_back(line_raw);
+                } else {
+                    prop_assert!(!accepted, "full buffer must refuse");
+                }
+            }
+            prop_assert_eq!(sb.len(), reference.len());
+        }
+    }
+}

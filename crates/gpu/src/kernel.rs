@@ -1,0 +1,259 @@
+//! Kernel traces: the warp-granular memory-operation IR.
+
+use ds_mem::{VirtAddr, LINE_BYTES};
+
+/// One warp-level operation.
+///
+/// Memory operations are expressed at coalesced line granularity: a
+/// fully coalesced warp load is one line; a strided access pattern
+/// expands to several (`count` lines `stride_lines` apart). The
+/// [`coalesce`] helper produces these from per-thread element
+/// addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpOp {
+    /// A coalesced global-memory load touching `count` lines starting
+    /// at the line containing `base`, each `stride_lines` lines apart.
+    GlobalLoad {
+        /// First accessed address.
+        base: VirtAddr,
+        /// Number of distinct lines.
+        count: u16,
+        /// Distance between consecutive lines, in lines.
+        stride_lines: u32,
+    },
+    /// A coalesced global-memory store with the same shape.
+    GlobalStore {
+        /// First accessed address.
+        base: VirtAddr,
+        /// Number of distinct lines.
+        count: u16,
+        /// Distance between consecutive lines, in lines.
+        stride_lines: u32,
+    },
+    /// `count` accesses to the SM's software-managed shared memory
+    /// (fixed low latency, never reaches the cache hierarchy).
+    Shared {
+        /// Number of shared-memory accesses.
+        count: u16,
+    },
+    /// `cycles` of arithmetic.
+    Compute(u32),
+}
+
+impl WarpOp {
+    /// A fully coalesced (unit-stride) load of `count` consecutive
+    /// lines.
+    pub fn global_load(base: VirtAddr, count: u16) -> Self {
+        WarpOp::GlobalLoad {
+            base,
+            count,
+            stride_lines: 1,
+        }
+    }
+
+    /// A fully coalesced (unit-stride) store of `count` consecutive
+    /// lines.
+    pub fn global_store(base: VirtAddr, count: u16) -> Self {
+        WarpOp::GlobalStore {
+            base,
+            count,
+            stride_lines: 1,
+        }
+    }
+
+    /// The virtual line-base addresses this operation touches, in
+    /// order; empty for non-global operations.
+    pub fn touched_lines(&self) -> Vec<VirtAddr> {
+        match *self {
+            WarpOp::GlobalLoad {
+                base,
+                count,
+                stride_lines,
+            }
+            | WarpOp::GlobalStore {
+                base,
+                count,
+                stride_lines,
+            } => {
+                let aligned = base.as_u64() / LINE_BYTES * LINE_BYTES;
+                (0..u64::from(count))
+                    .map(|i| {
+                        VirtAddr::new(aligned + i * u64::from(stride_lines.max(1)) * LINE_BYTES)
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether this is a global memory operation.
+    pub fn is_global(&self) -> bool {
+        matches!(
+            self,
+            WarpOp::GlobalLoad { .. } | WarpOp::GlobalStore { .. }
+        )
+    }
+}
+
+/// Collapses per-thread element addresses into the unique lines the
+/// hardware coalescer would issue, preserving first-touch order.
+///
+/// # Examples
+///
+/// Thirty-two threads reading consecutive 4-byte elements coalesce
+/// into a single 128-byte line access:
+///
+/// ```
+/// use ds_gpu::coalesce;
+/// use ds_mem::VirtAddr;
+///
+/// let per_thread = (0..32).map(|t| VirtAddr::new(t * 4));
+/// assert_eq!(coalesce(per_thread).len(), 1);
+///
+/// let strided = (0..32).map(|t| VirtAddr::new(t * 128));
+/// assert_eq!(coalesce(strided).len(), 32);
+/// ```
+pub fn coalesce<I: IntoIterator<Item = VirtAddr>>(addrs: I) -> Vec<VirtAddr> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for a in addrs {
+        let line = VirtAddr::new(a.as_u64() / LINE_BYTES * LINE_BYTES);
+        if seen.insert(line) {
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// A complete kernel: one operation list per warp.
+///
+/// Grids are flattened at generation time — thread-block structure only
+/// matters to the simulator through which warps share an SM, and warp
+/// assignment is handled by the dispatcher in `ds-core`.
+#[derive(Debug, Clone, Default)]
+pub struct KernelTrace {
+    name: String,
+    warps: Vec<Vec<WarpOp>>,
+}
+
+impl KernelTrace {
+    /// Creates an empty kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelTrace {
+            name: name.into(),
+            warps: Vec::new(),
+        }
+    }
+
+    /// The kernel's name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a warp with the given operation list; returns its index.
+    pub fn push_warp(&mut self, ops: Vec<WarpOp>) -> usize {
+        self.warps.push(ops);
+        self.warps.len() - 1
+    }
+
+    /// Number of warps.
+    pub fn warp_count(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// The operation list of warp `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn warp_ops(&self, w: usize) -> &[WarpOp] {
+        &self.warps[w]
+    }
+
+    /// Total operations across all warps.
+    pub fn total_ops(&self) -> usize {
+        self.warps.iter().map(Vec::len).sum()
+    }
+
+    /// Total global-memory line touches across all warps (an upper
+    /// bound on L1 accesses).
+    pub fn total_global_lines(&self) -> u64 {
+        self.warps
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                WarpOp::GlobalLoad { count, .. } | WarpOp::GlobalStore { count, .. } => {
+                    Some(u64::from(*count))
+                }
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_lines_are_aligned_and_strided() {
+        let op = WarpOp::GlobalLoad {
+            base: VirtAddr::new(130),
+            count: 3,
+            stride_lines: 2,
+        };
+        assert_eq!(
+            op.touched_lines(),
+            vec![
+                VirtAddr::new(128),
+                VirtAddr::new(128 + 256),
+                VirtAddr::new(128 + 512)
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_stride_is_clamped() {
+        let op = WarpOp::GlobalLoad {
+            base: VirtAddr::new(0),
+            count: 2,
+            stride_lines: 0,
+        };
+        assert_eq!(
+            op.touched_lines(),
+            vec![VirtAddr::new(0), VirtAddr::new(128)]
+        );
+    }
+
+    #[test]
+    fn non_global_ops_touch_nothing() {
+        assert!(WarpOp::Compute(4).touched_lines().is_empty());
+        assert!(WarpOp::Shared { count: 8 }.touched_lines().is_empty());
+        assert!(!WarpOp::Shared { count: 8 }.is_global());
+        assert!(WarpOp::global_store(VirtAddr::new(0), 1).is_global());
+    }
+
+    #[test]
+    fn coalesce_dedups_and_preserves_order() {
+        let addrs = [300u64, 4, 260, 130, 0].map(VirtAddr::new);
+        assert_eq!(
+            coalesce(addrs),
+            vec![VirtAddr::new(256), VirtAddr::new(0), VirtAddr::new(128)]
+        );
+    }
+
+    #[test]
+    fn kernel_accounting() {
+        let mut k = KernelTrace::new("k");
+        k.push_warp(vec![
+            WarpOp::global_load(VirtAddr::new(0), 2),
+            WarpOp::Compute(1),
+        ]);
+        k.push_warp(vec![WarpOp::global_store(VirtAddr::new(0), 1)]);
+        assert_eq!(k.warp_count(), 2);
+        assert_eq!(k.total_ops(), 3);
+        assert_eq!(k.total_global_lines(), 3);
+        assert_eq!(k.warp_ops(1).len(), 1);
+        assert_eq!(k.name(), "k");
+    }
+}

@@ -1,0 +1,179 @@
+//! The per-SM GPU L1 data cache.
+//!
+//! Per gem5-gpu's MOESI_hammer configuration (and the paper's §III.A),
+//! GPU L1s are *not* kept hardware-coherent: they are write-through
+//! (dirty data written through on stores) and flash-invalidated when a
+//! kernel starts executing, which is how software re-establishes
+//! coherence at kernel boundaries.
+
+use ds_cache::{CacheArray, CacheGeometry, CacheStats, LineState, MissKind, ReplacementPolicy};
+use ds_mem::LineAddr;
+
+/// The single-bit line state of the non-coherent GPU L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Valid;
+
+impl LineState for L1Valid {
+    fn is_valid(&self) -> bool {
+        true
+    }
+}
+
+/// A write-through, write-no-allocate GPU L1 data cache.
+///
+/// # Examples
+///
+/// ```
+/// use ds_cache::CacheGeometry;
+/// use ds_gpu::GpuL1;
+/// use ds_mem::LineAddr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut l1 = GpuL1::new(CacheGeometry::new(16 * 1024, 4)?);
+/// let line = LineAddr::from_index(9);
+/// assert!(!l1.load(line), "cold miss");
+/// l1.fill(line);
+/// assert!(l1.load(line));
+/// l1.flash_invalidate(); // kernel launch
+/// assert!(!l1.load(line));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GpuL1 {
+    array: CacheArray<L1Valid>,
+    stats: CacheStats,
+}
+
+impl GpuL1 {
+    /// Creates an empty L1 with the given geometry (Table I: 16 KB,
+    /// 4-way).
+    pub fn new(geom: CacheGeometry) -> Self {
+        GpuL1 {
+            array: CacheArray::new(geom, ReplacementPolicy::Lru),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Performs a load lookup; returns whether it hit. Misses are
+    /// recorded (with compulsory classification) and the caller fetches
+    /// the line from the L2 slice, then calls [`GpuL1::fill`].
+    pub fn load(&mut self, line: LineAddr) -> bool {
+        if self.array.access(line).is_some() {
+            self.stats.record_hit();
+            true
+        } else {
+            // Flash invalidation makes L1 "compulsory" classification
+            // uninteresting; still recorded for completeness.
+            self.stats.record_miss(MissKind::NonCompulsory);
+            false
+        }
+    }
+
+    /// Performs a store. Write-through and write-no-allocate: the
+    /// store updates the line if present and always proceeds to the L2
+    /// slice; it never allocates here.
+    pub fn store(&mut self, line: LineAddr) {
+        if self.array.access(line).is_some() {
+            self.stats.record_hit();
+        } else {
+            self.stats.record_miss(MissKind::NonCompulsory);
+        }
+    }
+
+    /// Installs a line fetched from the L2 slice.
+    pub fn fill(&mut self, line: LineAddr) {
+        if self.array.fill(line, L1Valid).is_some() {
+            self.stats.evictions.incr();
+        }
+    }
+
+    /// Drops every line (at kernel launch).
+    pub fn flash_invalidate(&mut self) -> usize {
+        self.array.invalidate_all()
+    }
+
+    /// Invalidates one line (e.g. when the L2 slice loses it to a
+    /// CPU-side probe, conservatively mirrored here).
+    pub fn invalidate(&mut self, line: LineAddr) {
+        self.array.invalidate(line);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resident line count.
+    pub fn occupancy(&self) -> u64 {
+        self.array.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> GpuL1 {
+        GpuL1::new(CacheGeometry::new(16 * 1024, 4).unwrap())
+    }
+
+    #[test]
+    fn miss_fill_hit_cycle() {
+        let mut c = l1();
+        let line = LineAddr::from_index(5);
+        assert!(!c.load(line));
+        c.fill(line);
+        assert!(c.load(line));
+        assert_eq!(c.stats().hits.value(), 1);
+        assert_eq!(c.stats().misses.value(), 1);
+    }
+
+    #[test]
+    fn stores_never_allocate() {
+        let mut c = l1();
+        let line = LineAddr::from_index(5);
+        c.store(line);
+        assert_eq!(c.occupancy(), 0, "write-no-allocate");
+        assert!(!c.load(line));
+    }
+
+    #[test]
+    fn stores_hit_resident_lines() {
+        let mut c = l1();
+        let line = LineAddr::from_index(5);
+        c.fill(line);
+        c.store(line);
+        assert_eq!(c.stats().hits.value(), 1);
+    }
+
+    #[test]
+    fn flash_invalidate_clears_everything() {
+        let mut c = l1();
+        for i in 0..10 {
+            c.fill(LineAddr::from_index(i));
+        }
+        assert_eq!(c.flash_invalidate(), 10);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn capacity_evictions_are_counted() {
+        let mut c = l1();
+        // 16KB 4-way = 32 sets; lines i*32 all land in set 0.
+        for i in 0..5 {
+            c.fill(LineAddr::from_index(i * 32));
+        }
+        assert_eq!(c.stats().evictions.value(), 1);
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn single_line_invalidate() {
+        let mut c = l1();
+        let line = LineAddr::from_index(1);
+        c.fill(line);
+        c.invalidate(line);
+        assert!(!c.load(line));
+    }
+}

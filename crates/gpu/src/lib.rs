@@ -1,0 +1,45 @@
+//! # ds-gpu — the GPU side of the integrated chip
+//!
+//! Models the paper's Table I GPU: 16 Fermi-like SMs with 32 lanes,
+//! per-SM L1 caches (16 KB, 4-way, plus 48 KB software-managed shared
+//! memory) and a shared, sliced L2. The coherent L2-slice controllers
+//! live in `ds-core` next to the protocol; this crate provides the
+//! structures beneath them:
+//!
+//! * [`KernelTrace`] / [`WarpOp`] — the warp-granular memory-operation
+//!   IR that workload generators compile kernels into,
+//! * [`coalesce`] — the memory coalescer collapsing per-thread element
+//!   accesses into unique line accesses,
+//! * [`Sm`] — a streaming multiprocessor: warp contexts, loose
+//!   round-robin issue, latency hiding by switching among ready warps,
+//! * [`GpuL1`] — the non-coherent write-through per-SM L1 that is
+//!   flash-invalidated at kernel launch (paper §III.A).
+//!
+//! # Examples
+//!
+//! A one-warp kernel that loads two lines and computes:
+//!
+//! ```
+//! use ds_gpu::{KernelTrace, Sm, SmIssue, WarpOp};
+//! use ds_mem::VirtAddr;
+//! use ds_sim::Cycle;
+//!
+//! let mut k = KernelTrace::new("demo");
+//! k.push_warp(vec![
+//!     WarpOp::global_load(VirtAddr::new(0), 2),
+//!     WarpOp::Compute(10),
+//! ]);
+//! let mut sm = Sm::new(0, 48);
+//! sm.assign(&k, 0..1);
+//! let SmIssue { warp, op } = sm.issue(Cycle::ZERO).expect("warp ready");
+//! assert_eq!(warp, 0);
+//! assert!(matches!(op, WarpOp::GlobalLoad { .. }));
+//! ```
+
+pub mod kernel;
+pub mod l1;
+pub mod sm;
+
+pub use kernel::{coalesce, KernelTrace, WarpOp};
+pub use l1::{GpuL1, L1Valid};
+pub use sm::{Sm, SmIssue, SmStats};

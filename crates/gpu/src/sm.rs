@@ -1,0 +1,437 @@
+//! The streaming multiprocessor model.
+//!
+//! Each SM holds a set of resident warps (bounded by the occupancy
+//! limit) and issues one operation per cycle from a ready warp, in
+//! loose round-robin order. Warps blocked on memory or multi-cycle
+//! operations are skipped — switching among ready warps is the latency
+//! hiding that makes shared-memory benchmarks insensitive to L2
+//! behaviour (paper §IV.C).
+//!
+//! The SM handles compute and shared-memory operations internally;
+//! global memory operations are returned to the caller (`ds-core`),
+//! which drives them through the L1/L2 hierarchy and reports
+//! completions back via [`Sm::mem_arrived`].
+
+use std::collections::VecDeque;
+
+use ds_sim::{Counter, Cycle};
+
+use crate::{KernelTrace, WarpOp};
+
+/// Cycles before a shared-memory access completes (bank access plus
+/// pipeline), plus one cycle per additional access in the operation.
+const SHARED_BASE_LATENCY: u64 = 24;
+
+/// An operation issued by [`Sm::issue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmIssue {
+    /// Index of the issuing warp (kernel-wide numbering).
+    pub warp: usize,
+    /// The issued operation.
+    pub op: WarpOp,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    Ready,
+    WaitMem { outstanding: u32 },
+    WaitUntil(Cycle),
+    Done,
+}
+
+#[derive(Debug)]
+struct WarpCtx {
+    id: usize,
+    ops: Vec<WarpOp>,
+    pc: usize,
+    state: WarpState,
+}
+
+/// Per-SM statistics.
+#[derive(Debug, Clone)]
+pub struct SmStats {
+    /// Operations issued.
+    pub ops_issued: Counter,
+    /// Global loads issued.
+    pub global_loads: Counter,
+    /// Global stores issued.
+    pub global_stores: Counter,
+    /// Shared-memory operations issued.
+    pub shared_ops: Counter,
+    /// Compute operations issued.
+    pub compute_ops: Counter,
+}
+
+impl SmStats {
+    fn new() -> Self {
+        SmStats {
+            ops_issued: Counter::new("sm_ops"),
+            global_loads: Counter::new("sm_global_loads"),
+            global_stores: Counter::new("sm_global_stores"),
+            shared_ops: Counter::new("sm_shared_ops"),
+            compute_ops: Counter::new("sm_compute_ops"),
+        }
+    }
+}
+
+/// A streaming multiprocessor. See the [module docs](self) for the
+/// scheduling model and the crate-level example for basic use.
+#[derive(Debug)]
+pub struct Sm {
+    id: usize,
+    max_resident: usize,
+    warps: Vec<WarpCtx>,
+    resident: Vec<usize>,
+    pending: VecDeque<usize>,
+    rr_cursor: usize,
+    newly_finished: usize,
+    stats: SmStats,
+}
+
+impl Sm {
+    /// Creates SM number `id` with an occupancy limit of
+    /// `max_resident` warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_resident` is zero.
+    pub fn new(id: usize, max_resident: usize) -> Self {
+        assert!(max_resident > 0, "SM must hold at least one warp");
+        Sm {
+            id,
+            max_resident,
+            warps: Vec::new(),
+            resident: Vec::new(),
+            pending: VecDeque::new(),
+            rr_cursor: 0,
+            newly_finished: 0,
+            stats: SmStats::new(),
+        }
+    }
+
+    /// This SM's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// Assigns the kernel's warps `range` to this SM. Warps beyond the
+    /// occupancy limit queue and become resident as earlier warps
+    /// complete (modelling wave-by-wave thread-block dispatch).
+    pub fn assign(&mut self, trace: &KernelTrace, range: std::ops::Range<usize>) {
+        for w in range {
+            let local = self.warps.len();
+            let ops = trace.warp_ops(w).to_vec();
+            // A warp with no work retires immediately (generators can
+            // legitimately produce empty warps when an array has fewer
+            // lines than the kernel has warps).
+            if ops.is_empty() {
+                self.warps.push(WarpCtx {
+                    id: w,
+                    ops,
+                    pc: 0,
+                    state: WarpState::Done,
+                });
+                self.newly_finished += 1;
+                continue;
+            }
+            self.warps.push(WarpCtx {
+                id: w,
+                ops,
+                pc: 0,
+                state: WarpState::Ready,
+            });
+            if self.resident.len() < self.max_resident {
+                self.resident.push(local);
+            } else {
+                self.pending.push_back(local);
+            }
+        }
+    }
+
+    /// Removes all warps (between kernels).
+    pub fn reset(&mut self) {
+        self.warps.clear();
+        self.resident.clear();
+        self.pending.clear();
+        self.rr_cursor = 0;
+        self.newly_finished = 0;
+    }
+
+    fn promote_timers(&mut self, now: Cycle) {
+        let resident: Vec<usize> = self.resident.clone();
+        for w in resident {
+            if let WarpState::WaitUntil(t) = self.warps[w].state {
+                if t <= now {
+                    self.warps[w].state = WarpState::Ready;
+                    self.retire_if_done(w);
+                }
+            }
+        }
+    }
+
+    fn retire_if_done(&mut self, local: usize) {
+        if self.warps[local].pc >= self.warps[local].ops.len()
+            && self.warps[local].state != WarpState::Done
+        {
+            self.warps[local].state = WarpState::Done;
+            self.newly_finished += 1;
+            if let Some(pos) = self.resident.iter().position(|&r| r == local) {
+                self.resident.remove(pos);
+                if let Some(next) = self.pending.pop_front() {
+                    self.resident.push(next);
+                }
+            }
+        }
+    }
+
+    /// Issues one operation from a ready warp, if any.
+    ///
+    /// Compute and shared-memory operations are retired internally
+    /// (the warp sleeps for their latency). Global operations are
+    /// returned for the caller to drive through the memory hierarchy:
+    /// loads leave the warp blocked until the caller reports
+    /// [`Sm::mem_arrived`] once per touched line; stores do not block
+    /// the warp (write-through, fire-and-forget).
+    pub fn issue(&mut self, now: Cycle) -> Option<SmIssue> {
+        self.promote_timers(now);
+        let n = self.resident.len();
+        for step in 0..n {
+            let slot = (self.rr_cursor + step) % n;
+            let local = self.resident[slot];
+            if self.warps[local].state != WarpState::Ready {
+                continue;
+            }
+            self.rr_cursor = (slot + 1) % n.max(1);
+            let ctx = &mut self.warps[local];
+            let op = ctx.ops[ctx.pc];
+            ctx.pc += 1;
+            self.stats.ops_issued.incr();
+            match op {
+                WarpOp::Compute(c) => {
+                    self.stats.compute_ops.incr();
+                    ctx.state = WarpState::WaitUntil(now + u64::from(c));
+                }
+                WarpOp::Shared { count } => {
+                    self.stats.shared_ops.incr();
+                    ctx.state =
+                        WarpState::WaitUntil(now + SHARED_BASE_LATENCY + u64::from(count));
+                }
+                WarpOp::GlobalLoad { count, .. } => {
+                    self.stats.global_loads.incr();
+                    ctx.state = WarpState::WaitMem {
+                        outstanding: u32::from(count),
+                    };
+                }
+                WarpOp::GlobalStore { .. } => {
+                    self.stats.global_stores.incr();
+                    // Stores do not block.
+                }
+            }
+            let warp = self.warps[local].id;
+            // Warps still Ready after the issue (stores) retire here;
+            // sleeping warps retire when their timer elapses, blocked
+            // warps when their last memory response arrives.
+            if self.warps[local].state == WarpState::Ready {
+                self.retire_if_done(local);
+            }
+            return Some(SmIssue { warp, op });
+        }
+        None
+    }
+
+    /// Reports one memory completion for `warp` (kernel-wide index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warp is not blocked on memory.
+    pub fn mem_arrived(&mut self, warp: usize) {
+        let local = self
+            .warps
+            .iter()
+            .position(|w| w.id == warp)
+            .unwrap_or_else(|| panic!("warp {warp} not on SM {}", self.id));
+        match &mut self.warps[local].state {
+            WarpState::WaitMem { outstanding } => {
+                assert!(*outstanding > 0, "warp {warp} has no outstanding requests");
+                *outstanding -= 1;
+                if *outstanding == 0 {
+                    self.warps[local].state = WarpState::Ready;
+                    self.retire_if_done(local);
+                }
+            }
+            other => panic!("warp {warp} not waiting on memory (state {other:?})"),
+        }
+    }
+
+    /// Whether any warp can issue at time `now`.
+    pub fn has_ready(&mut self, now: Cycle) -> bool {
+        self.promote_timers(now);
+        self.resident
+            .iter()
+            .any(|&w| self.warps[w].state == WarpState::Ready)
+    }
+
+    /// The earliest time a sleeping warp wakes, if all non-done warps
+    /// are timer-blocked.
+    pub fn earliest_wake(&self) -> Option<Cycle> {
+        self.resident
+            .iter()
+            .filter_map(|&w| match self.warps[w].state {
+                WarpState::WaitUntil(t) => Some(t),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Whether every assigned warp has run to completion.
+    pub fn all_done(&self) -> bool {
+        self.warps.iter().all(|w| w.state == WarpState::Done)
+    }
+
+    /// Number of warps assigned to this SM (resident + queued + done).
+    pub fn assigned_warps(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// Returns (and resets) the number of warps that completed since
+    /// the last call — the hook the system model uses to track kernel
+    /// completion without scanning every warp.
+    pub fn take_finished(&mut self) -> usize {
+        std::mem::take(&mut self.newly_finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_mem::VirtAddr;
+
+    fn one_warp_kernel(ops: Vec<WarpOp>) -> KernelTrace {
+        let mut k = KernelTrace::new("t");
+        k.push_warp(ops);
+        k
+    }
+
+    #[test]
+    fn compute_only_warp_runs_to_completion() {
+        let k = one_warp_kernel(vec![WarpOp::Compute(5), WarpOp::Compute(3)]);
+        let mut sm = Sm::new(0, 4);
+        sm.assign(&k, 0..1);
+        let mut now = Cycle::ZERO;
+        let i1 = sm.issue(now).unwrap();
+        assert_eq!(i1.op, WarpOp::Compute(5));
+        assert!(sm.issue(now).is_none(), "warp is sleeping");
+        now = sm.earliest_wake().unwrap();
+        assert_eq!(now, Cycle::new(5));
+        let i2 = sm.issue(now).unwrap();
+        assert_eq!(i2.op, WarpOp::Compute(3));
+        now = sm.earliest_wake().unwrap();
+        sm.promote_timers(now);
+        assert!(sm.all_done());
+    }
+
+    #[test]
+    fn load_blocks_until_all_lines_arrive() {
+        let k = one_warp_kernel(vec![
+            WarpOp::global_load(VirtAddr::new(0), 2),
+            WarpOp::Compute(1),
+        ]);
+        let mut sm = Sm::new(0, 4);
+        sm.assign(&k, 0..1);
+        sm.issue(Cycle::ZERO).unwrap();
+        assert!(sm.issue(Cycle::ZERO).is_none());
+        sm.mem_arrived(0);
+        assert!(sm.issue(Cycle::new(10)).is_none(), "one line still pending");
+        sm.mem_arrived(0);
+        assert!(sm.issue(Cycle::new(20)).is_some());
+    }
+
+    #[test]
+    fn stores_do_not_block() {
+        let k = one_warp_kernel(vec![
+            WarpOp::global_store(VirtAddr::new(0), 1),
+            WarpOp::Compute(1),
+        ]);
+        let mut sm = Sm::new(0, 4);
+        sm.assign(&k, 0..1);
+        assert!(matches!(
+            sm.issue(Cycle::ZERO).unwrap().op,
+            WarpOp::GlobalStore { .. }
+        ));
+        assert!(
+            sm.issue(Cycle::ZERO).is_some(),
+            "warp still ready after store"
+        );
+    }
+
+    #[test]
+    fn round_robin_hides_memory_latency() {
+        let mut k = KernelTrace::new("t");
+        k.push_warp(vec![WarpOp::global_load(VirtAddr::new(0), 1)]);
+        k.push_warp(vec![WarpOp::Compute(2)]);
+        let mut sm = Sm::new(0, 4);
+        sm.assign(&k, 0..2);
+        let first = sm.issue(Cycle::ZERO).unwrap();
+        assert_eq!(first.warp, 0);
+        // Warp 0 is blocked on memory; warp 1 issues next cycle.
+        let second = sm.issue(Cycle::new(1)).unwrap();
+        assert_eq!(second.warp, 1);
+    }
+
+    #[test]
+    fn occupancy_limit_queues_warps() {
+        let mut k = KernelTrace::new("t");
+        for _ in 0..3 {
+            k.push_warp(vec![WarpOp::Compute(1)]);
+        }
+        let mut sm = Sm::new(0, 2);
+        sm.assign(&k, 0..3);
+        let w0 = sm.issue(Cycle::ZERO).unwrap().warp;
+        let w1 = sm.issue(Cycle::ZERO).unwrap().warp;
+        assert_eq!((w0, w1), (0, 1));
+        assert!(sm.issue(Cycle::ZERO).is_none(), "warp 2 not yet resident");
+        // Warp 0 and 1 finish at cycle 1; warp 2 becomes resident.
+        let w2 = sm.issue(Cycle::new(1)).unwrap().warp;
+        assert_eq!(w2, 2);
+        sm.promote_timers(Cycle::new(5));
+        assert!(sm.all_done());
+        assert_eq!(sm.assigned_warps(), 3);
+    }
+
+    #[test]
+    fn shared_ops_sleep_the_warp() {
+        let k = one_warp_kernel(vec![WarpOp::Shared { count: 8 }]);
+        let mut sm = Sm::new(0, 4);
+        sm.assign(&k, 0..1);
+        sm.issue(Cycle::ZERO).unwrap();
+        assert_eq!(
+            sm.earliest_wake(),
+            Some(Cycle::new(SHARED_BASE_LATENCY + 8))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not waiting on memory")]
+    fn stray_mem_arrival_panics() {
+        let k = one_warp_kernel(vec![WarpOp::Compute(1)]);
+        let mut sm = Sm::new(0, 4);
+        sm.assign(&k, 0..1);
+        sm.mem_arrived(0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let k = one_warp_kernel(vec![WarpOp::Compute(1)]);
+        let mut sm = Sm::new(3, 4);
+        sm.assign(&k, 0..1);
+        sm.reset();
+        assert_eq!(sm.assigned_warps(), 0);
+        assert!(sm.all_done(), "vacuously done");
+        assert_eq!(sm.id(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the SM scheduler: arbitrary warp programs
+//! always run to completion with exact memory-response pairing.
+
+use proptest::prelude::*;
+
+use ds_gpu::{KernelTrace, Sm, WarpOp};
+use ds_mem::VirtAddr;
+use ds_sim::Cycle;
+
+#[derive(Debug, Clone, Copy)]
+enum GenOp {
+    Load { lines: u16 },
+    Store { lines: u16 },
+    Compute { cycles: u32 },
+    Shared { count: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u16..6).prop_map(|lines| GenOp::Load { lines }),
+        (1u16..6).prop_map(|lines| GenOp::Store { lines }),
+        (1u32..30).prop_map(|cycles| GenOp::Compute { cycles }),
+        (1u16..40).prop_map(|count| GenOp::Shared { count }),
+    ]
+}
+
+fn to_warp_ops(ops: &[GenOp]) -> Vec<WarpOp> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let base = VirtAddr::new((i as u64) * 128 * 64);
+            match *op {
+                GenOp::Load { lines } => WarpOp::global_load(base, lines),
+                GenOp::Store { lines } => WarpOp::global_store(base, lines),
+                GenOp::Compute { cycles } => WarpOp::Compute(cycles),
+                GenOp::Shared { count } => WarpOp::Shared { count },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Driving any set of warp programs with an immediate-response
+    /// memory model retires every warp, with one `mem_arrived` per
+    /// touched load line and no warp left behind by the occupancy
+    /// window.
+    #[test]
+    fn every_warp_retires(
+        warps in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..12),
+            1..20
+        ),
+        max_resident in 1usize..8
+    ) {
+        let mut trace = KernelTrace::new("prop");
+        for w in &warps {
+            trace.push_warp(to_warp_ops(w));
+        }
+        let mut sm = Sm::new(0, max_resident);
+        sm.assign(&trace, 0..warps.len());
+        let mut finished = sm.take_finished();
+
+        let mut now = Cycle::ZERO;
+        let mut issued = 0u64;
+        let mut responses = 0u64;
+        let budget = 2_000_000u64;
+        while !sm.all_done() {
+            prop_assert!(now.as_u64() < budget, "SM livelocked");
+            if let Some(issue) = sm.issue(now) {
+                issued += 1;
+                if let WarpOp::GlobalLoad { count, .. } = issue.op {
+                    // Immediate memory: respond to every line at once.
+                    for _ in 0..count {
+                        sm.mem_arrived(issue.warp);
+                        responses += 1;
+                    }
+                }
+                now = now + 1;
+            } else if let Some(wake) = sm.earliest_wake() {
+                now = wake.max(now + 1);
+            } else {
+                now = now + 1;
+            }
+            finished += sm.take_finished();
+        }
+        finished += sm.take_finished();
+        let total_ops: u64 = warps.iter().map(|w| w.len() as u64).sum();
+        prop_assert_eq!(issued, total_ops);
+        let total_load_lines: u64 = warps
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                GenOp::Load { lines } => u64::from(*lines),
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(responses, total_load_lines);
+        prop_assert_eq!(sm.assigned_warps(), warps.len());
+        // Every warp was reported finished exactly once.
+        prop_assert_eq!(finished, warps.len());
+    }
+
+    /// Kernel trace accounting: total_global_lines equals the sum of
+    /// touched lines across all ops.
+    #[test]
+    fn trace_line_accounting(
+        warps in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..10),
+            1..10
+        )
+    ) {
+        let mut trace = KernelTrace::new("acct");
+        for w in &warps {
+            trace.push_warp(to_warp_ops(w));
+        }
+        let expect: u64 = warps
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                GenOp::Load { lines } | GenOp::Store { lines } => u64::from(*lines),
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(trace.total_global_lines(), expect);
+        let by_hand: u64 = (0..trace.warp_count())
+            .flat_map(|w| trace.warp_ops(w).iter())
+            .map(|op| op.touched_lines().len() as u64)
+            .sum();
+        prop_assert_eq!(by_hand, expect);
+    }
+}

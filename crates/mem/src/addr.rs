@@ -1,0 +1,274 @@
+//! Address-space newtypes.
+//!
+//! The simulator distinguishes virtual addresses (what programs and the
+//! translator see), physical addresses (what caches and DRAM see) and
+//! line addresses (the 128-byte coherence granularity of Table I).
+//! Newtypes make it a compile error to, e.g., index a cache with a
+//! virtual address that never went through the TLB.
+
+use std::fmt;
+
+/// Cache-line size across the whole system (paper §IV.A: "cache line
+/// size is 128 bytes across the whole system").
+pub const LINE_BYTES: u64 = 128;
+
+/// Page size used by the simulated virtual memory system.
+pub const PAGE_BYTES: u64 = 4096;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw address.
+            #[inline]
+            pub const fn new(a: u64) -> Self {
+                $name(a)
+            }
+
+            /// The raw address value.
+            #[inline]
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the address advanced by `bytes`.
+            #[inline]
+            pub const fn offset(self, bytes: u64) -> Self {
+                $name(self.0 + bytes)
+            }
+
+            /// Checked advance, `None` on overflow.
+            #[inline]
+            pub fn checked_offset(self, bytes: u64) -> Option<Self> {
+                self.0.checked_add(bytes).map($name)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A virtual address, as seen by programs, the allocator, the
+    /// translator and the TLB.
+    ///
+    /// ```
+    /// use ds_mem::{VirtAddr, PAGE_BYTES};
+    ///
+    /// let va = VirtAddr::new(0x7f00_0000_1234);
+    /// assert_eq!(va.page().index(), 0x7f00_0000_1234 / PAGE_BYTES);
+    /// assert_eq!(va.page_offset(), 0x234);
+    /// ```
+    VirtAddr
+}
+
+addr_newtype! {
+    /// A physical address, produced by the MMU and consumed by caches
+    /// and DRAM.
+    PhysAddr
+}
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+}
+
+impl PhysAddr {
+    /// The physical frame containing this address.
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte offset within the frame.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+}
+
+/// A virtual page number or physical frame number.
+///
+/// The page table maps virtual [`PageNum`]s to physical ones; both
+/// directions use the same index type because a page number carries no
+/// address-space tag once divorced from its offset. Composition helpers
+/// on [`VirtAddr`]/[`PhysAddr`] keep the distinction where it matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(u64);
+
+impl PageNum {
+    /// Wraps a raw page index.
+    #[inline]
+    pub const fn new(i: u64) -> Self {
+        PageNum(i)
+    }
+
+    /// The raw page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The physical address of byte `offset` within this frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= PAGE_BYTES`.
+    #[inline]
+    pub fn phys_addr(self, offset: u64) -> PhysAddr {
+        debug_assert!(offset < PAGE_BYTES);
+        PhysAddr(self.0 * PAGE_BYTES + offset)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// The address of a 128-byte cache line: a [`PhysAddr`] with the low
+/// `log2(LINE_BYTES)` bits dropped.
+///
+/// Coherence state, MSHRs, the DRAM model and all cache arrays operate
+/// at this granularity.
+///
+/// ```
+/// use ds_mem::{LineAddr, PhysAddr};
+///
+/// let a = LineAddr::containing(PhysAddr::new(0x100));
+/// let b = LineAddr::containing(PhysAddr::new(0x17f));
+/// let c = LineAddr::containing(PhysAddr::new(0x180));
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// assert_eq!(c.index(), a.index() + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    const SHIFT: u32 = LINE_BYTES.trailing_zeros();
+
+    /// The line containing physical address `pa`.
+    #[inline]
+    pub const fn containing(pa: PhysAddr) -> Self {
+        LineAddr(pa.as_u64() >> Self::SHIFT)
+    }
+
+    /// Constructs from a raw line index.
+    #[inline]
+    pub const fn from_index(i: u64) -> Self {
+        LineAddr(i)
+    }
+
+    /// The raw line index (physical address divided by [`LINE_BYTES`]).
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The physical address of the first byte of the line.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.0 << Self::SHIFT)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.base().as_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_bytes_is_power_of_two() {
+        assert!(LINE_BYTES.is_power_of_two());
+        assert!(PAGE_BYTES.is_power_of_two());
+        assert!(PAGE_BYTES % LINE_BYTES == 0);
+    }
+
+    #[test]
+    fn virt_addr_page_decomposition() {
+        let va = VirtAddr::new(3 * PAGE_BYTES + 17);
+        assert_eq!(va.page(), PageNum::new(3));
+        assert_eq!(va.page_offset(), 17);
+    }
+
+    #[test]
+    fn phys_addr_roundtrip_through_page() {
+        let pa = PhysAddr::new(5 * PAGE_BYTES + 100);
+        assert_eq!(pa.page().phys_addr(pa.page_offset()), pa);
+    }
+
+    #[test]
+    fn line_addr_granularity() {
+        for b in 0..LINE_BYTES {
+            assert_eq!(
+                LineAddr::containing(PhysAddr::new(b)),
+                LineAddr::from_index(0)
+            );
+        }
+        assert_eq!(
+            LineAddr::containing(PhysAddr::new(LINE_BYTES)).index(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_base_is_aligned() {
+        let l = LineAddr::containing(PhysAddr::new(0xdead_beef));
+        assert_eq!(l.base().as_u64() % LINE_BYTES, 0);
+        assert!(l.base().as_u64() <= 0xdead_beef);
+        assert!(0xdead_beef < l.base().as_u64() + LINE_BYTES);
+    }
+
+    #[test]
+    fn checked_offset_detects_overflow() {
+        assert_eq!(VirtAddr::new(u64::MAX).checked_offset(1), None);
+        assert_eq!(
+            VirtAddr::new(10).checked_offset(5),
+            Some(VirtAddr::new(15))
+        );
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(VirtAddr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+        assert_eq!(format!("{:X}", PhysAddr::new(255)), "FF");
+        assert_eq!(PageNum::new(2).to_string(), "page#2");
+        assert_eq!(LineAddr::from_index(1).to_string(), "line 0x80");
+    }
+}

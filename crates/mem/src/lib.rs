@@ -1,0 +1,29 @@
+//! # ds-mem — addresses and the DRAM substrate
+//!
+//! Address-space newtypes shared by the whole simulator plus the
+//! cycle-approximate DRAM model backing the memory hierarchy of the
+//! integrated CPU-GPU system from the paper's Table I
+//! (2 GB, 1 channel, 2 ranks, 8 banks).
+//!
+//! # Examples
+//!
+//! ```
+//! use ds_mem::{Dram, DramConfig, LineAddr, PhysAddr, LINE_BYTES};
+//! use ds_sim::Cycle;
+//!
+//! let line = LineAddr::containing(PhysAddr::new(0x1234));
+//! assert_eq!(line.base().as_u64(), 0x1200);
+//! assert_eq!(LINE_BYTES, 128);
+//!
+//! let mut dram = Dram::new(DramConfig::paper_default());
+//! let done = dram.access(Cycle::ZERO, line, false);
+//! assert!(done > Cycle::ZERO);
+//! ```
+
+pub mod addr;
+pub mod dram;
+pub mod sched;
+
+pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr, LINE_BYTES, PAGE_BYTES};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use sched::{DramCompletion, DramRequest, FrFcfsScheduler};

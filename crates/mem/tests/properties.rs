@@ -1,0 +1,64 @@
+//! Property-based tests for addresses and the DRAM model.
+
+use proptest::prelude::*;
+
+use ds_mem::{Dram, DramConfig, LineAddr, PhysAddr, VirtAddr, LINE_BYTES, PAGE_BYTES};
+use ds_sim::Cycle;
+
+proptest! {
+    /// Address decompositions always round-trip.
+    #[test]
+    fn address_roundtrips(raw in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(raw);
+        prop_assert_eq!(
+            va.page().index() * PAGE_BYTES + va.page_offset(),
+            raw
+        );
+        let pa = PhysAddr::new(raw);
+        prop_assert_eq!(pa.page().phys_addr(pa.page_offset()), pa);
+        let line = LineAddr::containing(pa);
+        prop_assert!(line.base() <= pa);
+        prop_assert!(pa.as_u64() < line.base().as_u64() + LINE_BYTES);
+    }
+
+    /// Every DRAM access completes after its issue time by at least
+    /// the column latency plus burst, and the shared bus serializes:
+    /// no two completions are closer than one burst.
+    #[test]
+    fn dram_completions_are_sane(
+        lines in proptest::collection::vec(0u64..4096, 1..80),
+        gap in 0u64..10
+    ) {
+        let cfg = DramConfig::paper_default();
+        let (t_cas, t_burst, t_ctrl) = (cfg.t_cas, cfg.t_burst, cfg.t_ctrl);
+        let mut dram = Dram::new(cfg);
+        let mut now = Cycle::ZERO;
+        let mut completions: Vec<u64> = Vec::new();
+        for (i, &l) in lines.iter().enumerate() {
+            let done = dram.access(now, LineAddr::from_index(l), i % 3 == 0);
+            prop_assert!(done.as_u64() >= now.as_u64() + t_ctrl + t_cas + t_burst);
+            completions.push(done.as_u64());
+            now = now + gap;
+        }
+        completions.sort_unstable();
+        for w in completions.windows(2) {
+            prop_assert!(w[1] - w[0] >= t_burst, "bus double-booked: {w:?}");
+        }
+        prop_assert_eq!(dram.stats().accesses(), lines.len() as u64);
+    }
+
+    /// Row-buffer accounting is exhaustive: every access is exactly one
+    /// of hit, conflict, or empty.
+    #[test]
+    fn dram_row_accounting(lines in proptest::collection::vec(0u64..1 << 20, 1..100)) {
+        let mut dram = Dram::new(DramConfig::paper_default());
+        for &l in &lines {
+            dram.access(Cycle::ZERO, LineAddr::from_index(l), false);
+        }
+        let s = dram.stats();
+        prop_assert_eq!(
+            s.row_hits.value() + s.row_conflicts.value() + s.row_empty.value(),
+            lines.len() as u64
+        );
+    }
+}

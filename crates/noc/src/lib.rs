@@ -1,0 +1,35 @@
+//! # ds-noc — interconnect models
+//!
+//! Two networks connect the components of the simulated chip
+//! (paper Fig. 2, right):
+//!
+//! 1. the **coherence network** — the baseline interconnect carrying
+//!    requests, probes, acks and data between the CPU cache hierarchy,
+//!    the GPU L2 slices and the memory controller, modelled as a
+//!    crossbar of point-to-point [`Link`]s, and
+//! 2. the **direct network** (§III.G) — the paper's added dedicated
+//!    connection from the CPU L1 controller straight to the GPU L2
+//!    slices, over which remote stores travel. It "has exactly the same
+//!    characteristics as the network used in many cache coherence
+//!    systems" — so it is built from the same [`Link`] model.
+//!
+//! Both model per-hop latency plus bandwidth-limited serialization:
+//! a link busy with an earlier flit delays later ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use ds_noc::{Link, MsgClass};
+//! use ds_sim::Cycle;
+//!
+//! let mut link = Link::new(20, 16); // 20-cycle latency, 16 B/cycle
+//! let a = link.send(Cycle::ZERO, MsgClass::Control);
+//! let b = link.send(Cycle::ZERO, MsgClass::Data);
+//! assert!(b > a, "data flit serializes behind the control flit");
+//! ```
+
+pub mod link;
+pub mod xbar;
+
+pub use link::{Link, MsgClass};
+pub use xbar::{PortId, Xbar, XbarStats};

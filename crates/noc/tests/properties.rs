@@ -1,0 +1,63 @@
+//! Property-based tests for links and crossbars.
+
+use proptest::prelude::*;
+
+use ds_noc::{Link, MsgClass, PortId, Xbar};
+use ds_sim::Cycle;
+
+proptest! {
+    /// Link arrivals are monotone in send order, conserve bandwidth
+    /// (no two serialization windows overlap) and always include the
+    /// propagation latency.
+    #[test]
+    fn link_serialization_invariants(
+        sends in proptest::collection::vec((0u64..500, any::<bool>()), 1..80),
+        latency in 0u64..50,
+        bw in 1u64..64
+    ) {
+        let mut link = Link::new(latency, bw);
+        let mut sends = sends;
+        sends.sort_by_key(|&(t, _)| t);
+        let mut last_arrival = Cycle::ZERO;
+        let mut busy = Cycle::ZERO;
+        for &(t, data) in &sends {
+            let class = if data { MsgClass::Data } else { MsgClass::Control };
+            let arrival = link.send(Cycle::new(t), class);
+            let ser = class.bytes().div_ceil(bw).max(1);
+            // Arrival >= issue + serialization + latency.
+            prop_assert!(arrival.as_u64() >= t + ser + latency);
+            // FIFO per link.
+            prop_assert!(arrival >= last_arrival);
+            // Serialization windows never overlap.
+            let start = arrival.as_u64() - latency - ser;
+            prop_assert!(start >= busy.as_u64());
+            busy = Cycle::new(arrival.as_u64() - latency);
+            last_arrival = arrival;
+        }
+        prop_assert_eq!(link.messages_sent(), sends.len() as u64);
+    }
+
+    /// Crossbar statistics exactly account for every routed message,
+    /// and disjoint flows never interfere.
+    #[test]
+    fn xbar_accounting(
+        msgs in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 1..60)
+    ) {
+        let mut x = Xbar::new(4, 5, 16);
+        let mut ctrl = 0u64;
+        let mut data = 0u64;
+        let mut bytes = 0u64;
+        for &(src, dst, is_data) in &msgs {
+            let class = if is_data { MsgClass::Data } else { MsgClass::Control };
+            let arrival = x.send(Cycle::ZERO, PortId(src), PortId(dst), class);
+            prop_assert!(arrival > Cycle::new(5 - 1));
+            if is_data { data += 1; } else { ctrl += 1; }
+            bytes += class.bytes();
+        }
+        let s = x.stats();
+        prop_assert_eq!(s.control_msgs, ctrl);
+        prop_assert_eq!(s.data_msgs, data);
+        prop_assert_eq!(s.bytes, bytes);
+        prop_assert_eq!(s.total_msgs(), msgs.len() as u64);
+    }
+}

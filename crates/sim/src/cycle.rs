@@ -1,0 +1,178 @@
+//! Simulated time.
+//!
+//! All timing in the simulator is expressed in [`Cycle`]s of a single
+//! global clock domain (see `DESIGN.md`: gem5-gpu's separate CPU, GPU
+//! and DRAM clocks are folded into per-component latencies, which does
+//! not affect the relative CCSM vs. direct-store comparisons the paper
+//! reports).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in clock cycles ("ticks" in the
+/// paper's terminology).
+///
+/// `Cycle` is a transparent newtype over `u64` providing saturating-free
+/// checked semantics: additions that overflow panic in debug builds, as
+/// a simulation running for `2^64` cycles is always a bug.
+///
+/// # Examples
+///
+/// ```
+/// use ds_sim::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let finish = start + 28;
+/// assert_eq!(finish.as_u64(), 128);
+/// assert_eq!(finish - start, 28);
+/// assert!(finish > start);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The beginning of time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The maximum representable time; useful as an "infinitely far in
+    /// the future" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle at absolute time `t`.
+    #[inline]
+    pub const fn new(t: u64) -> Self {
+        Cycle(t)
+    }
+
+    /// Returns the absolute time as a raw integer.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    ///
+    /// This is the workhorse for modelling resource occupancy:
+    /// `start = now.max(busy_until)`.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the number of cycles from `earlier` to `self`, or zero
+    /// if `earlier` is actually later (no negative durations).
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Duration between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self >= rhs, "negative cycle duration: {self} - {rhs}");
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(t: u64) -> Self {
+        Cycle(t)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+        assert_eq!(Cycle::new(42).as_u64(), 42);
+        assert_eq!(Cycle::from(7u64), Cycle::new(7));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let c = Cycle::new(10);
+        assert_eq!((c + 5).as_u64(), 15);
+        let mut m = c;
+        m += 3;
+        assert_eq!(m.as_u64(), 13);
+        assert_eq!(m - c, 3);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn saturating_since_never_negative() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(9);
+        assert_eq!(b.saturating_since(a), 6);
+        assert_eq!(a.saturating_since(b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative cycle duration")]
+    #[cfg(debug_assertions)]
+    fn negative_duration_panics() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(5).to_string(), "@5");
+    }
+}

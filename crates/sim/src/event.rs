@@ -1,0 +1,168 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A discrete-event priority queue.
+///
+/// Events are delivered in non-decreasing time order. Events scheduled
+/// for the *same* cycle are delivered in the order they were pushed
+/// (FIFO), which makes every simulation built on this queue fully
+/// deterministic — a property the reproduction relies on for
+/// regression-testing exact tick counts.
+///
+/// # Examples
+///
+/// ```
+/// use ds_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(5), "b");
+/// q.push(Cycle::new(3), "a");
+/// q.push(Cycle::new(5), "c");
+/// assert_eq!(q.pop(), Some((Cycle::new(3), "a")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "b")));
+/// assert_eq!(q.pop(), Some((Cycle::new(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    pushed: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Schedules `event` for delivery at absolute time `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the delivery time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (a cheap simulation-effort
+    /// metric used by the benchmark harness).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(9), 9);
+        q.push(Cycle::new(1), 1);
+        q.push(Cycle::new(4), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), "late");
+        q.push(Cycle::new(2), "early");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("early"));
+        q.push(Cycle::new(5), "mid");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("mid"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle::new(3), ());
+        q.push(Cycle::new(8), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(3)));
+        assert_eq!(q.total_pushed(), 2);
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.len(), 1);
+    }
+}

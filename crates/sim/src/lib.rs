@@ -1,0 +1,54 @@
+//! # ds-sim — event-driven simulation kernel
+//!
+//! The foundation substrate for the `direct-store` reproduction of
+//! *"A Simple Cache Coherence Scheme for Integrated CPU-GPU Systems"*
+//! (DAC 2020). Everything above this crate — caches, coherence, DRAM,
+//! CPU and GPU models — is driven by the deterministic discrete-event
+//! machinery defined here.
+//!
+//! The crate provides:
+//!
+//! * [`Cycle`] — a newtype for simulated time,
+//! * [`EventQueue`] — a deterministic time-ordered event queue with
+//!   FIFO tie-breaking for simultaneous events,
+//! * [`Component`], [`Outbox`] and [`Mesh`] — a small message-passing
+//!   harness for composing independent simulation components,
+//! * statistics primitives ([`Counter`], [`Histogram`]) and math
+//!   helpers ([`geomean`]).
+//!
+//! # Examples
+//!
+//! Driving a two-component ping/pong simulation:
+//!
+//! ```
+//! use ds_sim::{Component, Cycle, Mesh, NodeId, Outbox};
+//!
+//! struct Echo;
+//! impl Component<u32> for Echo {
+//!     fn handle(&mut self, _now: Cycle, msg: u32, from: NodeId, out: &mut Outbox<u32>) {
+//!         if msg > 0 {
+//!             out.send_after(1, from, msg - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut mesh = Mesh::new();
+//! let a = mesh.add(Echo);
+//! let b = mesh.add(Echo);
+//! mesh.inject(Cycle::ZERO, a, b, 10);
+//! let end = mesh.run_to_completion();
+//! assert_eq!(end, Cycle::new(10));
+//! ```
+
+pub mod cycle;
+pub mod event;
+pub mod mesh;
+pub mod stats;
+
+#[cfg(test)]
+mod proptests;
+
+pub use cycle::Cycle;
+pub use event::EventQueue;
+pub use mesh::{Component, Mesh, NodeId, Outbox};
+pub use stats::{geomean, Counter, Histogram, RateStat};

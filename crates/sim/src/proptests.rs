@@ -1,0 +1,73 @@
+//! Property-based tests for the event queue and statistics helpers.
+
+use proptest::prelude::*;
+
+use crate::{geomean, Cycle, EventQueue, Histogram};
+
+proptest! {
+    /// Events always come out in non-decreasing time order, FIFO
+    /// within a time.
+    #[test]
+    fn queue_orders_any_sequence(times in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle::new(t), i);
+        }
+        let mut last: Option<(Cycle, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated for equal times");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Interleaved push/pop never loses or duplicates events.
+    #[test]
+    fn queue_conserves_events(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        pop_every in 1usize..5
+    ) {
+        let mut q = EventQueue::new();
+        let mut popped = 0u64;
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle::new(t), t);
+            if i % pop_every == 0 && q.pop().is_some() {
+                popped += 1;
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len() as u64);
+        prop_assert_eq!(q.total_pushed(), times.len() as u64);
+    }
+
+    /// The geometric mean lies between min and max of its (positive)
+    /// inputs and is scale-covariant.
+    #[test]
+    fn geomean_bounds_and_scaling(values in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(values.iter().copied());
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+        let g2 = geomean(values.iter().map(|v| v * 2.0));
+        prop_assert!((g2 - 2.0 * g).abs() < 1e-9 * g2.max(1.0));
+    }
+
+    /// Histogram totals always reconcile with recorded samples.
+    #[test]
+    fn histogram_accounting(values in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut h = Histogram::new("p");
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.samples(), values.len() as u64);
+        let bucket_total: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Statistics primitives shared by every model in the simulator.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use ds_sim::Counter;
+///
+/// let mut hits = Counter::new("hits");
+/// hits.incr();
+/// hits.add(4);
+/// assert_eq!(hits.value(), 5);
+/// assert_eq!(hits.name(), "hits");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a stable display name.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Display name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets to zero (used between simulation phases).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// A ratio of two counters, e.g. a miss rate.
+///
+/// `RateStat` owns nothing; it formats a numerator/denominator pair
+/// captured at reporting time.
+///
+/// ```
+/// use ds_sim::RateStat;
+///
+/// let miss_rate = RateStat::new(25, 200);
+/// assert!((miss_rate.as_f64() - 0.125).abs() < 1e-12);
+/// assert_eq!(miss_rate.to_string(), "12.50% (25/200)");
+/// assert_eq!(RateStat::new(3, 0).as_f64(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateStat {
+    numerator: u64,
+    denominator: u64,
+}
+
+impl RateStat {
+    /// Captures a numerator/denominator pair.
+    pub const fn new(numerator: u64, denominator: u64) -> Self {
+        RateStat {
+            numerator,
+            denominator,
+        }
+    }
+
+    /// The ratio as a float; zero when the denominator is zero.
+    pub fn as_f64(self) -> f64 {
+        if self.denominator == 0 {
+            0.0
+        } else {
+            self.numerator as f64 / self.denominator as f64
+        }
+    }
+
+    /// Numerator captured at construction.
+    pub fn numerator(self) -> u64 {
+        self.numerator
+    }
+
+    /// Denominator captured at construction.
+    pub fn denominator(self) -> u64 {
+        self.denominator
+    }
+}
+
+impl fmt::Display for RateStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2}% ({}/{})",
+            self.as_f64() * 100.0,
+            self.numerator,
+            self.denominator
+        )
+    }
+}
+
+/// A power-of-two bucketed latency histogram.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also counts
+/// zero. Cheap enough to keep per memory request.
+///
+/// ```
+/// use ds_sim::Histogram;
+///
+/// let mut h = Histogram::new("load_latency");
+/// for v in [1, 2, 3, 100, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.samples(), 5);
+/// assert_eq!(h.mean(), (1.0 + 2.0 + 3.0 + 200.0) / 5.0);
+/// assert!(h.max() == 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [u64; 64],
+    samples: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [0; 64],
+            samples: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[idx.min(63)] += 1;
+        self.samples += 1;
+        self.sum += u128::from(value);
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean of recorded samples, zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Display name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Iterates over `(bucket_floor, count)` pairs for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.1} max={}",
+            self.name,
+            self.samples,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+/// Geometric mean of a sequence of strictly positive values.
+///
+/// The paper reports the geometric mean of per-benchmark speedups and
+/// miss rates (Figs. 4 and 5); zero and negative inputs are skipped the
+/// same way the paper "ignores benchmarks with zero percent speedup".
+///
+/// ```
+/// use ds_sim::geomean;
+///
+/// assert_eq!(geomean([2.0, 8.0]), 4.0);
+/// assert_eq!(geomean([0.0, 2.0, 8.0]), 4.0); // zeros ignored
+/// assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+/// ```
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.to_string(), "x=0");
+    }
+
+    #[test]
+    fn rate_stat_handles_zero_denominator() {
+        assert_eq!(RateStat::new(5, 0).as_f64(), 0.0);
+        assert_eq!(RateStat::new(1, 4).as_f64(), 0.25);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new("h");
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        // 0 and 1 land in bucket 0; 2 and 3 in bucket [2,4); 1024 alone.
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (1024, 1)]);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.samples(), 5);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean([1.05, 1.10, 1.37]);
+        let expected = (1.05f64 * 1.10 * 1.37).powf(1.0 / 3.0);
+        assert!((g - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive() {
+        assert_eq!(geomean([-1.0, 0.0]), 0.0);
+        assert_eq!(geomean([-1.0, 4.0]), 4.0);
+    }
+}

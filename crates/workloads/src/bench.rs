@@ -1,0 +1,183 @@
+//! The [`Benchmark`] type: Table II metadata + spec generator +
+//! [`Scenario`] implementation.
+
+use std::fmt;
+
+use ds_core::{InputSize, Scenario, ScenarioBuild};
+use ds_cpu::{AddressSpace, DirectWindow};
+use ds_mem::VirtAddr;
+use ds_xlat::AllocationPlan;
+
+use crate::WorkloadSpec;
+
+/// The benchmark suites of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Rodinia (paper reference \[21\]).
+    Rodinia,
+    /// Parboil (paper reference \[22\]).
+    Parboil,
+    /// Pannotia (paper reference \[23\]).
+    Pannotia,
+    /// NVIDIA SDK samples.
+    NvidiaSdk,
+    /// Standalone kernels (paper references \[24\]-\[26\]).
+    Standalone,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Rodinia => write!(f, "Rodinia"),
+            Suite::Parboil => write!(f, "Parboil"),
+            Suite::Pannotia => write!(f, "Pannotia"),
+            Suite::NvidiaSdk => write!(f, "NVIDIA SDK"),
+            Suite::Standalone => write!(f, "standalone"),
+        }
+    }
+}
+
+/// One Table II benchmark.
+///
+/// Construct via [`catalog`](crate::catalog); each carries the paper's
+/// metadata (code name, suite, input labels, shared-memory usage) and
+/// a generator producing the [`WorkloadSpec`] for either input size.
+pub struct Benchmark {
+    pub(crate) code: &'static str,
+    pub(crate) name: &'static str,
+    pub(crate) suite: Suite,
+    pub(crate) uses_shared_memory: bool,
+    pub(crate) small_label: &'static str,
+    pub(crate) big_label: &'static str,
+    pub(crate) spec_fn: fn(InputSize) -> WorkloadSpec,
+}
+
+impl fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("code", &self.code)
+            .field("suite", &self.suite)
+            .field("shared", &self.uses_shared_memory)
+            .finish()
+    }
+}
+
+impl Benchmark {
+    /// The full benchmark name (e.g. `"backprop"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The suite the benchmark comes from.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Whether the kernels use the GPU's software-managed shared
+    /// memory (Table II's last column).
+    pub fn uses_shared_memory(&self) -> bool {
+        self.uses_shared_memory
+    }
+
+    /// Table II's "Small input" label.
+    pub fn small_label(&self) -> &'static str {
+        self.small_label
+    }
+
+    /// Table II's "Big input" label.
+    pub fn big_label(&self) -> &'static str {
+        self.big_label
+    }
+
+    /// The workload spec for `input`.
+    pub fn spec(&self, input: InputSize) -> WorkloadSpec {
+        (self.spec_fn)(input)
+    }
+}
+
+impl Scenario for Benchmark {
+    fn code(&self) -> &str {
+        self.code
+    }
+
+    fn source(&self, input: InputSize) -> String {
+        self.spec(input).emit_source()
+    }
+
+    fn build(&self, plan: Option<&AllocationPlan>, input: InputSize) -> ScenarioBuild {
+        let spec = self.spec(input);
+        let (program, kernels) = match plan {
+            Some(plan) => {
+                let layout = |name: &str| -> VirtAddr {
+                    plan.lookup(name)
+                        .unwrap_or_else(|| panic!("array `{name}` missing from plan"))
+                        .base
+                };
+                spec.compile(&layout)
+            }
+            None => {
+                // CCSM: the same arrays on the ordinary heap, in
+                // declaration order (what the untranslated program
+                // would malloc).
+                let mut space = AddressSpace::new(DirectWindow::paper_default());
+                let bases: Vec<(String, VirtAddr)> = spec
+                    .arrays
+                    .iter()
+                    .map(|a| {
+                        let va = space
+                            .malloc(a.bytes)
+                            .unwrap_or_else(|e| panic!("heap layout of {}: {e}", a.name));
+                        (a.name.to_string(), va)
+                    })
+                    .collect();
+                let layout = move |name: &str| -> VirtAddr {
+                    bases
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .unwrap_or_else(|| panic!("array `{name}` missing from heap layout"))
+                        .1
+                };
+                spec.compile(&layout)
+            }
+        };
+        ScenarioBuild { program, kernels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn suite_display() {
+        assert_eq!(Suite::Rodinia.to_string(), "Rodinia");
+        assert_eq!(Suite::NvidiaSdk.to_string(), "NVIDIA SDK");
+    }
+
+    #[test]
+    fn ccsm_build_uses_heap_addresses() {
+        let va = catalog::by_code("VA").unwrap();
+        let build = va.build(None, InputSize::Small);
+        assert!(build.program.stores() > 0);
+        assert!(!build.kernels.is_empty());
+    }
+
+    #[test]
+    fn ds_build_uses_planned_addresses() {
+        let va = catalog::by_code("VA").unwrap();
+        let src = va.source(InputSize::Small);
+        let plan = ds_xlat::Translator::new().translate(&src).unwrap().plan;
+        let build = va.build(Some(&plan), InputSize::Small);
+        // Every CPU store targets the direct window.
+        let window = DirectWindow::paper_default();
+        let mut store_count = 0;
+        for op in build.program.ops() {
+            if let ds_cpu::CpuOp::Store(addr) = op {
+                assert!(window.contains(*addr), "store outside window: {addr}");
+                store_count += 1;
+            }
+        }
+        assert!(store_count > 0);
+    }
+}

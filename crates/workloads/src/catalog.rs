@@ -1,0 +1,814 @@
+//! The Table II catalog: all 22 benchmarks.
+//!
+//! Input sizes follow Table II; array footprints derive from each
+//! benchmark's actual data structures (e.g. VA's three `n`-element
+//! float vectors, MM's three `n x n` matrices). The per-benchmark
+//! pattern choices are documented inline with the behaviour the paper
+//! reports for that benchmark.
+
+use ds_core::InputSize;
+
+use crate::{ArraySpec, Benchmark, KernelSpec, ReadPattern, Suite, WorkloadSpec};
+
+/// Picks the per-size value.
+fn pick<T>(input: InputSize, small: T, big: T) -> T {
+    match input {
+        InputSize::Small => small,
+        InputSize::Big => big,
+    }
+}
+
+/// Warp count proportional to the streamed footprint, clamped to a
+/// realistic occupancy range.
+fn warps_for(lines: u64) -> usize {
+    (lines / 8).clamp(32, 512) as usize
+}
+
+fn a(name: &'static str, bytes: u64) -> ArraySpec {
+    ArraySpec { name, bytes }
+}
+
+/// BP — Rodinia backprop (shared memory: yes). Layered
+/// producer-consumer: the CPU initialises the input units and weight
+/// matrix, two kernels stream them. Large miss-rate reduction but
+/// modest small-input speedup (shared memory hides L2 latency);
+/// big inputs expose the latency and speed up markedly (Fig. 4
+/// bottom).
+fn bp(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 1536, 10_000);
+    let input_bytes = n * 4;
+    let weight_bytes = n * 16 * 4;
+    WorkloadSpec {
+        arrays: vec![
+            a("units", input_bytes),
+            a("weights", weight_bytes),
+            a("hidden", n * 4),
+            a("deltas", weight_bytes),
+        ],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![
+            KernelSpec {
+                name: "bp_forward",
+                reads: vec![(0, ReadPattern::Stream), (1, ReadPattern::Stream)],
+                writes: vec![2],
+                warps: warps_for(weight_bytes / 128),
+                compute_per_op: 4,
+                shared_per_chunk: 32,
+                launches: 3,
+            },
+            KernelSpec {
+                name: "bp_adjust",
+                reads: vec![(2, ReadPattern::Stream), (1, ReadPattern::Stream)],
+                writes: vec![3],
+                warps: warps_for(weight_bytes / 128),
+                compute_per_op: 4,
+                shared_per_chunk: 32,
+                launches: 3,
+            },
+        ],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// BF — Rodinia BFS (shared memory: no). Irregular frontier
+/// expansion over a CSR graph the CPU builds.
+fn bf(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 4096, 6000);
+    let edges = n * 16;
+    WorkloadSpec {
+        arrays: vec![
+            a("offsets", n * 8),
+            a("edges", edges * 4),
+            a("visited", n * 4),
+        ],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "bfs_level",
+            reads: vec![
+                (0, ReadPattern::Stream),
+                (
+                    1,
+                    ReadPattern::Random {
+                        touches: edges / 4,
+                        seed: 0xbf,
+                    },
+                ),
+            ],
+            writes: vec![2],
+            warps: warps_for(edges * 4 / 128),
+            compute_per_op: 2,
+            shared_per_chunk: 0,
+            launches: 4,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// GA — Rodinia gaussian (shared memory: yes). Iterative elimination
+/// with heavy in-GPU reuse: total L2 accesses dwarf the one-time
+/// compulsory misses, so direct store changes nothing (the paper
+/// reports zero speedup and no miss-rate difference).
+fn ga(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 256, 700);
+    let m = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("matrix", m), a("rhs", n * 4)],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((1, 1)),
+        kernels: vec![KernelSpec {
+            name: "gauss_eliminate",
+            reads: vec![
+                (
+                    0,
+                    ReadPattern::Tiled {
+                        tile_lines: 32,
+                        reuse: 2,
+                    },
+                ),
+                (1, ReadPattern::Stream),
+            ],
+            writes: vec![1],
+            warps: warps_for(m / 128),
+            compute_per_op: 10,
+            shared_per_chunk: 32,
+            launches: 48,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// HT — Rodinia hotspot (shared memory: yes). Stencil over the
+/// temperature and power grids the CPU initialises.
+fn ht(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 64, 512);
+    let grid = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("temp", grid), a("power", grid), a("tout", grid)],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "hotspot_step",
+            reads: vec![(0, ReadPattern::Stencil), (1, ReadPattern::Stream)],
+            writes: vec![2],
+            warps: warps_for(grid / 128),
+            compute_per_op: 6,
+            shared_per_chunk: 48,
+            launches: 10,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// KM — Rodinia kmeans (shared memory: yes). Feature matrix streamed
+/// per iteration against cached centroids.
+fn km(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 2000, 5000);
+    let features = n * 34 * 4;
+    WorkloadSpec {
+        arrays: vec![
+            a("features", features),
+            a("centroids", 16 * 34 * 4),
+            a("membership", n * 4),
+        ],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "kmeans_assign",
+            reads: vec![
+                (0, ReadPattern::Stream),
+                (
+                    1,
+                    ReadPattern::Tiled {
+                        tile_lines: 8,
+                        reuse: 8,
+                    },
+                ),
+            ],
+            writes: vec![2],
+            warps: warps_for(features / 128),
+            compute_per_op: 8,
+            shared_per_chunk: 32,
+            launches: 24,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// LV — Rodinia lavaMD (shared memory: yes). Box-neighbourhood n-body
+/// with very high arithmetic intensity and shared-memory staging:
+/// memory latency is fully hidden, so direct store neither helps nor
+/// hurts (zero speedup in the paper).
+fn lv(input: InputSize) -> WorkloadSpec {
+    let boxes: u64 = pick(input, 2, 4);
+    let particles = boxes * boxes * boxes * 100;
+    let pos = particles * 64;
+    WorkloadSpec {
+        arrays: vec![a("pos", pos), a("forces", pos)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((1, 1)),
+        kernels: vec![KernelSpec {
+            name: "lavamd_force",
+            reads: vec![(
+                0,
+                ReadPattern::Tiled {
+                    tile_lines: 16,
+                    reuse: 24,
+                },
+            )],
+            writes: vec![1],
+            warps: 48,
+            compute_per_op: 700,
+            shared_per_chunk: 64,
+            launches: 4,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// LU — Rodinia lud (shared memory: yes). Blocked in-place
+/// decomposition of the CPU-produced matrix.
+fn lu(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 256, 512);
+    let m = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("lumat", m)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((0, 1)),
+        kernels: vec![KernelSpec {
+            name: "lud_block",
+            reads: vec![(
+                0,
+                ReadPattern::Tiled {
+                    tile_lines: 16,
+                    reuse: 3,
+                },
+            )],
+            writes: vec![0],
+            warps: warps_for(m / 128),
+            compute_per_op: 6,
+            shared_per_chunk: 32,
+            launches: 8,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// NN — Rodinia nearest neighbor (shared memory: no). A single pure
+/// stream over the record file the CPU loads: compulsory-miss
+/// dominated, the paper's poster child (>10% small-input speedup).
+fn nn(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 10_691, 42_764);
+    let records = n * 64;
+    WorkloadSpec {
+        arrays: vec![a("records", records), a("distances", n * 4)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((1, 1)),
+        kernels: vec![KernelSpec {
+            name: "nn_distance",
+            reads: vec![(0, ReadPattern::Stream)],
+            writes: vec![1],
+            warps: warps_for(records / 128),
+            compute_per_op: 2,
+            shared_per_chunk: 0,
+            launches: 1,
+        }],
+        cpu_compute_per_line: 48,
+    }
+}
+
+/// NW — Rodinia needleman-wunsch (shared memory: yes). Wavefront over
+/// the similarity matrix and reference.
+fn nw(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 160, 320);
+    let m = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("reference", m), a("score", m)],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((1, 1)),
+        kernels: vec![KernelSpec {
+            name: "nw_diagonal",
+            reads: vec![(0, ReadPattern::Stencil), (1, ReadPattern::Stencil)],
+            writes: vec![1],
+            warps: warps_for(m / 128),
+            compute_per_op: 4,
+            shared_per_chunk: 32,
+            launches: 8,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// PT — Rodinia particle filter (shared memory: yes). The paper's
+/// explicit null case: "in this benchmark the CPU does not store any
+/// data that will later be used by GPU", so direct store changes
+/// nothing at all.
+fn pt(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 2500, 5000);
+    WorkloadSpec {
+        arrays: vec![a("particles", n * 32), a("pweights", n * 4)],
+        cpu_produces: vec![],
+        cpu_readback: None,
+        kernels: vec![KernelSpec {
+            name: "particle_step",
+            reads: vec![(0, ReadPattern::Stream), (1, ReadPattern::Stream)],
+            writes: vec![0, 1],
+            warps: warps_for(n * 32 / 128),
+            compute_per_op: 8,
+            shared_per_chunk: 32,
+            launches: 4,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// SR — Rodinia srad (shared memory: yes). Two alternating stencil
+/// kernels; miss-rate reduction without speedup at small inputs.
+fn sr(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 256, 512);
+    let m = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("image", m), a("coeff", m)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((0, 1)),
+        kernels: vec![
+            KernelSpec {
+                name: "srad_diffuse",
+                reads: vec![(0, ReadPattern::Stencil)],
+                writes: vec![1],
+                warps: warps_for(m / 128),
+                compute_per_op: 8,
+                shared_per_chunk: 32,
+                launches: 24,
+            },
+            KernelSpec {
+                name: "srad_update",
+                reads: vec![(1, ReadPattern::Stencil)],
+                writes: vec![0],
+                warps: warps_for(m / 128),
+                compute_per_op: 8,
+                shared_per_chunk: 32,
+                launches: 24,
+            },
+        ],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// ST — Parboil stencil (shared memory: yes). A 3-D grid at or above
+/// L2 capacity for both inputs: enormous access counts swamp the
+/// one-time push benefit (zero speedup, unchanged miss rate).
+fn st(input: InputSize) -> WorkloadSpec {
+    let (x, y, z): (u64, u64, u64) = pick(input, (128, 128, 32), (164, 164, 32));
+    let grid = x * y * z * 4;
+    WorkloadSpec {
+        arrays: vec![a("gridin", grid), a("gridout", grid)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((1, 1)),
+        kernels: vec![KernelSpec {
+            name: "stencil27",
+            reads: vec![(0, ReadPattern::Stencil)],
+            writes: vec![1],
+            warps: 256,
+            compute_per_op: 6,
+            shared_per_chunk: 48,
+            launches: 20,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// GC — Pannotia graph coloring (shared memory: no). Irregular CSR
+/// walk, several recoloring rounds.
+fn gc(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 5_000, 32_768);
+    // "power" is a sparse power-grid graph (average degree ~4);
+    // delaunay-n15 is a planar triangulation with average degree ~6.
+    let edges = n * pick(input, 4, 6);
+    WorkloadSpec {
+        arrays: vec![
+            a("goffsets", n * 4),
+            a("gedges", edges * 4),
+            a("colors", n * 4),
+        ],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "color_round",
+            reads: vec![
+                (0, ReadPattern::Stream),
+                (
+                    1,
+                    ReadPattern::Random {
+                        touches: edges / 4,
+                        seed: 0x9c,
+                    },
+                ),
+            ],
+            writes: vec![2],
+            warps: warps_for(edges * 4 / 128),
+            compute_per_op: 3,
+            shared_per_chunk: 0,
+            launches: 6,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// FW — Pannotia Floyd-Warshall (shared memory: no). Repeated blocked
+/// passes over the distance matrix; big inputs gain markedly
+/// (Fig. 4 bottom).
+fn fw(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 256, 512);
+    let m = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("dist", m)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((0, 1)),
+        kernels: vec![KernelSpec {
+            name: "fw_pass",
+            reads: vec![(
+                0,
+                ReadPattern::Tiled {
+                    tile_lines: 32,
+                    reuse: 1,
+                },
+            )],
+            writes: vec![0],
+            warps: warps_for(m / 128),
+            compute_per_op: 2,
+            shared_per_chunk: 0,
+            launches: 10,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// MS — Pannotia maximal independent set (shared memory: no).
+/// Irregular rounds with enough per-edge work that direct store's
+/// savings vanish (zero speedup, reduced miss rate — Fig. 5).
+fn ms(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 4_096, 8_192);
+    let edges = n * pick(input, 4, 6);
+    WorkloadSpec {
+        arrays: vec![
+            a("moffsets", n * 4),
+            a("medges", edges * 4),
+            a("mstate", n * 4),
+        ],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "mis_round",
+            reads: vec![
+                (0, ReadPattern::Stream),
+                (
+                    1,
+                    ReadPattern::Random {
+                        touches: edges / 4,
+                        seed: 0x35,
+                    },
+                ),
+            ],
+            writes: vec![2],
+            warps: warps_for(edges * 4 / 128),
+            compute_per_op: 12,
+            shared_per_chunk: 0,
+            launches: 20,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// SP — Pannotia SSSP (shared memory: no). Like MS but lighter
+/// per-edge work: a small net speedup survives.
+fn sp(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 4_096, 8_192);
+    let edges = n * pick(input, 4, 6);
+    WorkloadSpec {
+        arrays: vec![
+            a("soffsets", n * 4),
+            a("sedges", edges * 4),
+            a("sdist", n * 4),
+        ],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "sssp_relax",
+            reads: vec![
+                (0, ReadPattern::Stream),
+                (
+                    1,
+                    ReadPattern::Random {
+                        touches: edges / 4,
+                        seed: 0x59,
+                    },
+                ),
+            ],
+            writes: vec![2],
+            warps: warps_for(edges * 4 / 128),
+            compute_per_op: 3,
+            shared_per_chunk: 0,
+            launches: 6,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// BL — NVIDIA SDK BlackScholes (shared memory: no). Streams option
+/// parameters, writes prices; compulsory dominated.
+fn bl(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 5000, 10_000);
+    let v = n * 4;
+    WorkloadSpec {
+        arrays: vec![
+            a("sprice", v),
+            a("strike", v),
+            a("expiry", v),
+            a("calls", v),
+            a("puts", v),
+        ],
+        cpu_produces: vec![0, 1, 2],
+        cpu_readback: Some((3, 1)),
+        kernels: vec![KernelSpec {
+            name: "black_scholes",
+            reads: vec![
+                (0, ReadPattern::Stream),
+                (1, ReadPattern::Stream),
+                (2, ReadPattern::Stream),
+            ],
+            writes: vec![3, 4],
+            warps: warps_for(v / 128).max(32),
+            compute_per_op: 6,
+            shared_per_chunk: 0,
+            launches: 2,
+        }],
+        cpu_compute_per_line: 48,
+    }
+}
+
+/// VA — NVIDIA SDK vectorAdd (shared memory: no). The canonical
+/// producer-consumer stream.
+fn va(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 50_000, 200_000);
+    let v = n * 4;
+    WorkloadSpec {
+        arrays: vec![a("veca", v), a("vecb", v), a("vecc", v)],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "vector_add",
+            reads: vec![(0, ReadPattern::Stream), (1, ReadPattern::Stream)],
+            writes: vec![2],
+            warps: warps_for(v / 128),
+            compute_per_op: 1,
+            shared_per_chunk: 0,
+            launches: 1,
+        }],
+        cpu_compute_per_line: 48,
+    }
+}
+
+/// BS — bitonic sort [24] (shared memory: no). Many passes over one
+/// array: after the first pass the data is L2-resident either way, so
+/// the miss *rate* stays near zero under both schemes.
+fn bs(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 262_144, 524_288);
+    let v = n * 4;
+    WorkloadSpec {
+        arrays: vec![a("keys", v)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((0, 1)),
+        kernels: vec![KernelSpec {
+            name: "bitonic_pass",
+            reads: vec![(0, ReadPattern::Stream)],
+            writes: vec![0],
+            warps: 256,
+            compute_per_op: 2,
+            shared_per_chunk: 0,
+            launches: 12,
+        }],
+        cpu_compute_per_line: 48,
+    }
+}
+
+/// MM — matrix multiplication [25] (shared memory: no). Blocked
+/// reads with reuse; at the small input all three matrices fit in the
+/// GPU L2 (>10% speedup), at 900x900 they exceed it several-fold and
+/// the benefit evaporates — the paper's capacity cliff.
+fn mm(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 256, 900);
+    let m = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("mata", m), a("matb", m), a("matc", m)],
+        cpu_produces: vec![0, 1],
+        cpu_readback: Some((2, 1)),
+        kernels: vec![KernelSpec {
+            name: "matmul",
+            reads: vec![
+                (
+                    0,
+                    ReadPattern::Tiled {
+                        tile_lines: 64,
+                        reuse: 5,
+                    },
+                ),
+                (
+                    1,
+                    ReadPattern::Tiled {
+                        tile_lines: 64,
+                        reuse: 5,
+                    },
+                ),
+            ],
+            writes: vec![2],
+            warps: warps_for(m / 128),
+            compute_per_op: 3,
+            shared_per_chunk: 0,
+            launches: 1,
+        }],
+        cpu_compute_per_line: 48,
+    }
+}
+
+/// MT — matrix transpose [25] (shared memory: no). Column-strided
+/// reads of the CPU-produced matrix.
+fn mt(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 32, 1600);
+    let m = n * n * 4;
+    let row_lines = (n * 4).div_ceil(128).max(1) as u32;
+    WorkloadSpec {
+        arrays: vec![a("tin", m), a("tout", m)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((1, 1)),
+        kernels: vec![KernelSpec {
+            name: "transpose",
+            reads: vec![(
+                0,
+                ReadPattern::Strided {
+                    stride_lines: row_lines,
+                },
+            )],
+            writes: vec![1],
+            warps: warps_for(m / 128),
+            compute_per_op: 1,
+            shared_per_chunk: 0,
+            launches: 1,
+        }],
+        cpu_compute_per_line: 48,
+    }
+}
+
+/// CH — Cholesky decomposition [26] (shared memory: no). Triangular
+/// blocked passes over the CPU-produced matrix.
+fn ch(input: InputSize) -> WorkloadSpec {
+    let n: u64 = pick(input, 150, 600);
+    let m = n * n * 4;
+    WorkloadSpec {
+        arrays: vec![a("cmat", m)],
+        cpu_produces: vec![0],
+        cpu_readback: Some((0, 1)),
+        kernels: vec![KernelSpec {
+            name: "chol_block",
+            reads: vec![(
+                0,
+                ReadPattern::Tiled {
+                    tile_lines: 16,
+                    reuse: 2,
+                },
+            )],
+            writes: vec![0],
+            warps: warps_for(m / 128),
+            compute_per_op: 4,
+            shared_per_chunk: 0,
+            launches: 8,
+        }],
+        cpu_compute_per_line: 24,
+    }
+}
+
+/// All 22 benchmarks, in Table II order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark { code: "BP", name: "backprop", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "1536", big_label: "10000", spec_fn: bp },
+        Benchmark { code: "BF", name: "bfs", suite: Suite::Rodinia, uses_shared_memory: false, small_label: "4096", big_label: "6000", spec_fn: bf },
+        Benchmark { code: "GA", name: "gaussian", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "256x256", big_label: "700x700", spec_fn: ga },
+        Benchmark { code: "HT", name: "hotspot", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "64x64", big_label: "512x512", spec_fn: ht },
+        Benchmark { code: "KM", name: "kmeans", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "2000, 34 feat", big_label: "5000, 34 feat.", spec_fn: km },
+        Benchmark { code: "LV", name: "lavaMD", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "2", big_label: "4", spec_fn: lv },
+        Benchmark { code: "LU", name: "lud", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "256x256", big_label: "512x512", spec_fn: lu },
+        Benchmark { code: "NN", name: "nearest-neighbor", suite: Suite::Rodinia, uses_shared_memory: false, small_label: "10691", big_label: "42764", spec_fn: nn },
+        Benchmark { code: "NW", name: "needleman-wunsch", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "160x160", big_label: "320x320", spec_fn: nw },
+        Benchmark { code: "PT", name: "particle-filter", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "2500", big_label: "5000", spec_fn: pt },
+        Benchmark { code: "SR", name: "srad", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "256x256", big_label: "512x512", spec_fn: sr },
+        Benchmark { code: "ST", name: "stencil", suite: Suite::Parboil, uses_shared_memory: true, small_label: "128x128x32", big_label: "164x164x32", spec_fn: st },
+        Benchmark { code: "GC", name: "graph-coloring", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "power", big_label: "delaunay-n15", spec_fn: gc },
+        Benchmark { code: "FW", name: "floyd-warshall", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "256_16384", big_label: "512_65536", spec_fn: fw },
+        Benchmark { code: "MS", name: "maximal-independent-set", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "power", big_label: "delaunay-n13", spec_fn: ms },
+        Benchmark { code: "SP", name: "sssp", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "power", big_label: "delaunay-n13", spec_fn: sp },
+        Benchmark { code: "BL", name: "black-scholes", suite: Suite::NvidiaSdk, uses_shared_memory: false, small_label: "5000", big_label: "10000", spec_fn: bl },
+        Benchmark { code: "VA", name: "vector-add", suite: Suite::NvidiaSdk, uses_shared_memory: false, small_label: "50000", big_label: "200000", spec_fn: va },
+        Benchmark { code: "BS", name: "bitonic-sort", suite: Suite::Standalone, uses_shared_memory: false, small_label: "262144", big_label: "524288", spec_fn: bs },
+        Benchmark { code: "MM", name: "matrix-multiply", suite: Suite::Standalone, uses_shared_memory: false, small_label: "256x256", big_label: "900x900", spec_fn: mm },
+        Benchmark { code: "MT", name: "matrix-transpose", suite: Suite::Standalone, uses_shared_memory: false, small_label: "32x32", big_label: "1600x1600", spec_fn: mt },
+        Benchmark { code: "CH", name: "cholesky", suite: Suite::Standalone, uses_shared_memory: false, small_label: "150x150", big_label: "600x600", spec_fn: ch },
+    ]
+}
+
+/// Looks up a benchmark by its Table II code name.
+pub fn by_code(code: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| {
+        ds_core::Scenario::code(b).eq_ignore_ascii_case(code)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_core::Scenario;
+
+    #[test]
+    fn table_two_has_22_benchmarks() {
+        let bs = all();
+        assert_eq!(bs.len(), 22);
+        let mut codes: Vec<&str> = bs.iter().map(|b| b.code).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 22, "codes are unique");
+    }
+
+    #[test]
+    fn shared_memory_column_matches_table_two() {
+        let shared: Vec<&str> = all()
+            .iter()
+            .filter(|b| b.uses_shared_memory())
+            .map(|b| b.code)
+            .collect();
+        assert_eq!(
+            shared,
+            vec!["BP", "GA", "HT", "KM", "LV", "LU", "NW", "PT", "SR", "ST"]
+        );
+    }
+
+    #[test]
+    fn every_spec_validates_at_both_sizes() {
+        for b in all() {
+            for input in [InputSize::Small, InputSize::Big] {
+                let spec = b.spec(input);
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{} {input}: {e}", b.code));
+            }
+        }
+    }
+
+    #[test]
+    fn every_source_translates_completely() {
+        for b in all() {
+            for input in [InputSize::Small, InputSize::Big] {
+                let spec = b.spec(input);
+                let out = ds_xlat::Translator::new()
+                    .translate(&spec.emit_source())
+                    .unwrap_or_else(|e| panic!("{} {input}: {e}", b.code));
+                assert_eq!(
+                    out.plan.len(),
+                    spec.arrays.len(),
+                    "{}: every array must be planned",
+                    b.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn big_inputs_are_bigger() {
+        for b in all() {
+            let small: u64 = b.spec(InputSize::Small).arrays.iter().map(|a| a.bytes).sum();
+            let big: u64 = b.spec(InputSize::Big).arrays.iter().map(|a| a.bytes).sum();
+            assert!(big > small, "{}: big ({big}) <= small ({small})", b.code);
+        }
+    }
+
+    #[test]
+    fn pt_produces_nothing_for_the_gpu() {
+        let pt = by_code("PT").unwrap();
+        assert!(pt.spec(InputSize::Small).cpu_produces.is_empty());
+    }
+
+    #[test]
+    fn by_code_is_case_insensitive() {
+        assert!(by_code("va").is_some());
+        assert!(by_code("VA").is_some());
+        assert!(by_code("nope").is_none());
+        assert_eq!(by_code("MM").unwrap().code(), "MM");
+    }
+
+    #[test]
+    fn builds_compile_for_all_benchmarks_small() {
+        for b in all() {
+            let build = b.build(None, InputSize::Small);
+            assert!(!build.kernels.is_empty(), "{}", b.code);
+            assert!(build.program.launches() > 0, "{}", b.code);
+        }
+    }
+}

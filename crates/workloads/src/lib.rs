@@ -1,0 +1,38 @@
+//! # ds-workloads — the Table II benchmark suite
+//!
+//! The paper evaluates direct store on 22 benchmarks from Rodinia,
+//! Parboil, Pannotia, the NVIDIA SDK and four standalone kernels
+//! (Table II). The original CUDA programs need real GPU hardware (or
+//! gem5-gpu) to run; this crate substitutes each with a generator that
+//! reproduces the benchmark's *memory behaviour* — which arrays the
+//! CPU produces, how the GPU walks them (streaming, strided, tiled,
+//! stencil, wavefront, irregular-graph), how much reuse and
+//! shared-memory traffic the kernels have, and the Table II input
+//! sizes — because those properties are all that direct store's
+//! mechanism can see. See `DESIGN.md` for the substitution argument.
+//!
+//! Each [`Benchmark`] also carries a mini-CUDA source, so the full
+//! paper pipeline (automatic translation → allocation plan →
+//! simulation) runs end to end for every benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use ds_core::{InputSize, Pipeline};
+//! use ds_workloads::catalog;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let va = catalog::by_code("VA").expect("Table II lists VA");
+//! assert_eq!(va.suite().to_string(), "NVIDIA SDK");
+//! let outcome = Pipeline::paper_default().run_comparison(&va, InputSize::Small)?;
+//! assert!(outcome.speedup() >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench;
+pub mod catalog;
+pub mod spec;
+
+pub use bench::{Benchmark, Suite};
+pub use spec::{ArraySpec, KernelSpec, ReadPattern, WorkloadSpec};

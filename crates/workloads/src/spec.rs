@@ -1,0 +1,609 @@
+//! The workload specification language and its compiler.
+//!
+//! A [`WorkloadSpec`] describes a benchmark's memory behaviour:
+//! arrays, which of them the CPU produces, and a sequence of kernels
+//! with per-array read patterns. [`WorkloadSpec::compile`] lowers the
+//! spec to the simulator's inputs (a CPU [`Program`] plus
+//! [`KernelTrace`]s) against a concrete memory layout.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ds_cpu::{CpuOp, Program};
+use ds_gpu::{KernelTrace, WarpOp};
+use ds_mem::{VirtAddr, LINE_BYTES};
+
+/// Maximum consecutive lines one warp-level load op covers.
+const MAX_OP_LINES: u16 = 8;
+
+/// One array of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Source-level variable name (must be a valid C identifier).
+    pub name: &'static str,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl ArraySpec {
+    /// Number of 128-byte lines the array spans.
+    pub fn lines(&self) -> u64 {
+        self.bytes.div_ceil(LINE_BYTES)
+    }
+}
+
+/// How a kernel walks an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPattern {
+    /// Fully coalesced streaming: each line touched once, in order.
+    Stream,
+    /// Strided walk touching every `stride_lines`-th line (transpose
+    /// columns, matrix columns).
+    Strided {
+        /// Distance between touched lines.
+        stride_lines: u32,
+    },
+    /// Data-dependent walk: `touches` uniformly random lines
+    /// (graph benchmarks).
+    Random {
+        /// Number of line touches.
+        touches: u64,
+        /// PRNG seed (deterministic per benchmark).
+        seed: u64,
+    },
+    /// Blocked walk with temporal reuse: the array is processed in
+    /// tiles, each tile's lines re-read `reuse` times (tiled matmul,
+    /// LU).
+    Tiled {
+        /// Lines per tile.
+        tile_lines: u32,
+        /// Times each tile is re-read.
+        reuse: u32,
+    },
+    /// Neighbourhood walk: each line plus its predecessor/successor
+    /// (stencil rows, wavefront diagonals).
+    Stencil,
+}
+
+/// One GPU kernel of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Kernel name for traces and the mini-CUDA source.
+    pub name: &'static str,
+    /// `(array index, pattern)` pairs the kernel reads.
+    pub reads: Vec<(usize, ReadPattern)>,
+    /// Array indices the kernel writes (streamed, one store per line).
+    pub writes: Vec<usize>,
+    /// Number of warps.
+    pub warps: usize,
+    /// Compute cycles between consecutive memory operations.
+    pub compute_per_op: u32,
+    /// Shared-memory accesses issued per global load chunk (zero for
+    /// benchmarks that do not use shared memory). When non-zero the
+    /// kernel also *re-reads* staged data from shared memory instead of
+    /// global, reproducing the paper's observation that shared-memory
+    /// benchmarks "do not involve the GPU L2 cache much".
+    pub shared_per_chunk: u16,
+    /// Times the CPU launches this kernel.
+    pub launches: u32,
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// All arrays, in declaration order.
+    pub arrays: Vec<ArraySpec>,
+    /// Indices of arrays the CPU writes before launching kernels.
+    pub cpu_produces: Vec<usize>,
+    /// Index of an array the CPU reads back after the kernels, with
+    /// the fraction of its lines read (numerator over 16).
+    pub cpu_readback: Option<(usize, u32)>,
+    /// The kernels, launched in order (each `launches` times).
+    pub kernels: Vec<KernelSpec>,
+    /// Compute cycles between CPU-produced lines (production
+    /// intensity).
+    pub cpu_compute_per_line: u32,
+}
+
+/// A concrete memory layout: array name → base virtual address.
+pub trait Layout {
+    /// The base address of array `name`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `name` is unknown.
+    fn base(&self, name: &str) -> VirtAddr;
+}
+
+impl<F: Fn(&str) -> VirtAddr> Layout for F {
+    fn base(&self, name: &str) -> VirtAddr {
+        self(name)
+    }
+}
+
+impl WorkloadSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the defect (out-of-range indices,
+    /// empty kernels, zero-sized arrays).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.arrays.is_empty() {
+            return Err("workload has no arrays".into());
+        }
+        for a in &self.arrays {
+            if a.bytes == 0 {
+                return Err(format!("array {} has zero size", a.name));
+            }
+        }
+        let n = self.arrays.len();
+        let check = |i: usize| -> Result<(), String> {
+            if i >= n {
+                Err(format!("array index {i} out of range ({n} arrays)"))
+            } else {
+                Ok(())
+            }
+        };
+        for &i in &self.cpu_produces {
+            check(i)?;
+        }
+        if let Some((i, frac)) = self.cpu_readback {
+            check(i)?;
+            if frac == 0 || frac > 16 {
+                return Err("readback fraction must be in 1..=16".into());
+            }
+        }
+        if self.kernels.is_empty() {
+            return Err("workload has no kernels".into());
+        }
+        for k in &self.kernels {
+            if k.warps == 0 {
+                return Err(format!("kernel {} has zero warps", k.name));
+            }
+            if k.launches == 0 {
+                return Err(format!("kernel {} has zero launches", k.name));
+            }
+            for &(i, _) in &k.reads {
+                check(i)?;
+            }
+            for &i in &k.writes {
+                check(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the mini-CUDA source for this workload — every array
+    /// `malloc`ed with a constant size and passed to its kernels — so
+    /// the automatic translator can plan the direct-store layout.
+    pub fn emit_source(&self) -> String {
+        let mut src = String::new();
+        for a in &self.arrays {
+            src.push_str(&format!(
+                "#define {}_BYTES {}\n",
+                a.name.to_uppercase(),
+                a.bytes
+            ));
+        }
+        src.push_str("int main() {\n");
+        for a in &self.arrays {
+            src.push_str(&format!(
+                "    float *{} = (float*)malloc({}_BYTES);\n",
+                a.name,
+                a.name.to_uppercase()
+            ));
+        }
+        for k in &self.kernels {
+            let mut args: Vec<&str> = Vec::new();
+            for &(i, _) in &k.reads {
+                args.push(self.arrays[i].name);
+            }
+            for &i in &k.writes {
+                args.push(self.arrays[i].name);
+            }
+            args.dedup();
+            src.push_str(&format!(
+                "    {}<<<{}, 32>>>({});\n",
+                k.name,
+                k.warps,
+                args.join(", ")
+            ));
+        }
+        src.push_str("    return 0;\n}\n");
+        src
+    }
+
+    /// Lowers the spec against `layout` into the CPU program and the
+    /// kernel traces (indexed by launch order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn compile<L: Layout>(&self, layout: &L) -> (Program, Vec<KernelTrace>) {
+        if let Err(e) = self.validate() {
+            panic!("invalid WorkloadSpec: {e}");
+        }
+        let bases: Vec<VirtAddr> = self
+            .arrays
+            .iter()
+            .map(|a| layout.base(a.name))
+            .collect();
+
+        let mut program = Program::new();
+        for &i in &self.cpu_produces {
+            program.store_array(bases[i], self.arrays[i].bytes, self.cpu_compute_per_line);
+        }
+
+        let mut kernels = Vec::new();
+        for k in &self.kernels {
+            let trace = self.compile_kernel(k, &bases);
+            let idx = kernels.len();
+            kernels.push(trace);
+            for _ in 0..k.launches {
+                program.push(CpuOp::Launch(idx));
+                program.push(CpuOp::WaitGpu);
+            }
+        }
+
+        if let Some((i, frac)) = self.cpu_readback {
+            let bytes = self.arrays[i].bytes * u64::from(frac) / 16;
+            program.load_array(bases[i], bytes.max(LINE_BYTES), 1);
+        }
+        (program, kernels)
+    }
+
+    fn compile_kernel(&self, k: &KernelSpec, bases: &[VirtAddr]) -> KernelTrace {
+        let mut trace = KernelTrace::new(k.name);
+        // Per-warp op lists, built pattern by pattern.
+        let mut warps: Vec<Vec<WarpOp>> = vec![Vec::new(); k.warps];
+
+        for &(arr, pattern) in &k.reads {
+            let base = bases[arr];
+            let lines = self.arrays[arr].lines();
+            self.emit_reads(k, &mut warps, base, lines, pattern, arr);
+        }
+        for &arr in &k.writes {
+            let base = bases[arr];
+            let lines = self.arrays[arr].lines();
+            // Writes stream, split across warps.
+            for (w, (start, count)) in split_lines(lines, k.warps).enumerate() {
+                let mut remaining = count;
+                let mut cursor = start;
+                while remaining > 0 {
+                    let chunk = remaining.min(u64::from(MAX_OP_LINES)) as u16;
+                    warps[w].push(WarpOp::global_store(
+                        base.offset(cursor * LINE_BYTES),
+                        chunk,
+                    ));
+                    if k.compute_per_op > 0 {
+                        warps[w].push(WarpOp::Compute(k.compute_per_op));
+                    }
+                    cursor += u64::from(chunk);
+                    remaining -= u64::from(chunk);
+                }
+            }
+        }
+
+        for ops in warps {
+            trace.push_warp(ops);
+        }
+        trace
+    }
+
+    fn emit_reads(
+        &self,
+        k: &KernelSpec,
+        warps: &mut [Vec<WarpOp>],
+        base: VirtAddr,
+        lines: u64,
+        pattern: ReadPattern,
+        arr: usize,
+    ) {
+        let push_chunk = |ops: &mut Vec<WarpOp>, addr: VirtAddr, count: u16, stride: u32| {
+            ops.push(WarpOp::GlobalLoad {
+                base: addr,
+                count,
+                stride_lines: stride,
+            });
+            if k.shared_per_chunk > 0 {
+                ops.push(WarpOp::Shared {
+                    count: k.shared_per_chunk,
+                });
+            }
+            if k.compute_per_op > 0 {
+                ops.push(WarpOp::Compute(k.compute_per_op));
+            }
+        };
+        match pattern {
+            ReadPattern::Stream => {
+                for (w, (start, count)) in split_lines(lines, k.warps).enumerate() {
+                    let mut cursor = start;
+                    let mut remaining = count;
+                    while remaining > 0 {
+                        let chunk = remaining.min(u64::from(MAX_OP_LINES)) as u16;
+                        push_chunk(&mut warps[w], base.offset(cursor * LINE_BYTES), chunk, 1);
+                        cursor += u64::from(chunk);
+                        remaining -= u64::from(chunk);
+                    }
+                }
+            }
+            ReadPattern::Strided { stride_lines } => {
+                let stride = u64::from(stride_lines.max(1));
+                // Each warp owns a set of start columns; walks jump by
+                // the stride (uncoalesced across rows).
+                let touched = lines / stride + u64::from(!lines.is_multiple_of(stride));
+                for (w, (start, count)) in split_lines(touched, k.warps).enumerate() {
+                    let mut i = start;
+                    let mut remaining = count;
+                    while remaining > 0 {
+                        let chunk = remaining.min(u64::from(MAX_OP_LINES)) as u16;
+                        push_chunk(
+                            &mut warps[w],
+                            base.offset(i * stride * LINE_BYTES),
+                            chunk,
+                            stride_lines,
+                        );
+                        i += u64::from(chunk);
+                        remaining -= u64::from(chunk);
+                    }
+                }
+            }
+            ReadPattern::Random { touches, seed } => {
+                // Seed folded with the array index so two random reads
+                // of different arrays diverge.
+                let mut rng = StdRng::seed_from_u64(seed ^ (arr as u64) << 32);
+                for t in 0..touches {
+                    let w = (t % k.warps as u64) as usize;
+                    let line = rng.gen_range(0..lines);
+                    push_chunk(&mut warps[w], base.offset(line * LINE_BYTES), 1, 1);
+                }
+            }
+            ReadPattern::Tiled { tile_lines, reuse } => {
+                let tile = u64::from(tile_lines.max(1));
+                let tiles = lines.div_ceil(tile);
+                for t in 0..tiles {
+                    let w = (t % k.warps as u64) as usize;
+                    let start = t * tile;
+                    let count = tile.min(lines - start);
+                    for _ in 0..=reuse {
+                        let mut cursor = start;
+                        let mut remaining = count;
+                        while remaining > 0 {
+                            let chunk = remaining.min(u64::from(MAX_OP_LINES)) as u16;
+                            push_chunk(
+                                &mut warps[w],
+                                base.offset(cursor * LINE_BYTES),
+                                chunk,
+                                1,
+                            );
+                            cursor += u64::from(chunk);
+                            remaining -= u64::from(chunk);
+                        }
+                    }
+                }
+            }
+            ReadPattern::Stencil => {
+                // Each warp reads its band plus one halo line on each
+                // side.
+                for (w, (start, count)) in split_lines(lines, k.warps).enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let halo_start = start.saturating_sub(1);
+                    let halo_count = (count + 2).min(lines - halo_start);
+                    let mut cursor = halo_start;
+                    let mut remaining = halo_count;
+                    while remaining > 0 {
+                        let chunk = remaining.min(u64::from(MAX_OP_LINES)) as u16;
+                        push_chunk(&mut warps[w], base.offset(cursor * LINE_BYTES), chunk, 1);
+                        cursor += u64::from(chunk);
+                        remaining -= u64::from(chunk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splits `lines` into `warps` contiguous chunks, yielding
+/// `(start, count)` per warp (later warps may get zero lines).
+fn split_lines(lines: u64, warps: usize) -> impl Iterator<Item = (u64, u64)> {
+    let per = lines.div_ceil(warps as u64).max(1);
+    (0..warps as u64).map(move |w| {
+        let start = (w * per).min(lines);
+        let end = ((w + 1) * per).min(lines);
+        (start, end - start)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_layout(base: u64) -> impl Layout {
+        move |name: &str| {
+            // Deterministic spread: hash by first byte.
+            let off = u64::from(name.as_bytes()[0]) * 0x10_0000;
+            VirtAddr::new(base + off)
+        }
+    }
+
+    fn stream_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            arrays: vec![
+                ArraySpec {
+                    name: "a",
+                    bytes: 64 * LINE_BYTES,
+                },
+                ArraySpec {
+                    name: "out",
+                    bytes: 64 * LINE_BYTES,
+                },
+            ],
+            cpu_produces: vec![0],
+            cpu_readback: Some((1, 16)),
+            kernels: vec![KernelSpec {
+                name: "stream_k",
+                reads: vec![(0, ReadPattern::Stream)],
+                writes: vec![1],
+                warps: 8,
+                compute_per_op: 2,
+                shared_per_chunk: 0,
+                launches: 1,
+            }],
+            cpu_compute_per_line: 1,
+        }
+    }
+
+    #[test]
+    fn stream_compiles_with_full_coverage() {
+        let spec = stream_spec();
+        let (program, kernels) = spec.compile(&fixed_layout(0x1000_0000));
+        assert_eq!(program.stores(), 64);
+        assert_eq!(program.launches(), 1);
+        assert_eq!(program.loads(), 64, "full readback");
+        assert_eq!(kernels.len(), 1);
+        // Every line of `a` is read exactly once across warps.
+        let mut touched: Vec<u64> = Vec::new();
+        for w in 0..kernels[0].warp_count() {
+            for op in kernels[0].warp_ops(w) {
+                if matches!(op, WarpOp::GlobalLoad { .. }) {
+                    touched.extend(op.touched_lines().iter().map(|v| v.as_u64() / 128));
+                }
+            }
+        }
+        touched.sort();
+        assert_eq!(touched.len(), 64);
+        touched.dedup();
+        assert_eq!(touched.len(), 64, "no duplicate stream reads");
+    }
+
+    #[test]
+    fn multiple_launches_replay_the_trace() {
+        let mut spec = stream_spec();
+        spec.kernels[0].launches = 3;
+        let (program, kernels) = spec.compile(&fixed_layout(0x1000_0000));
+        assert_eq!(program.launches(), 3);
+        assert_eq!(kernels.len(), 1, "one trace, three launches");
+    }
+
+    #[test]
+    fn strided_reads_touch_every_stride() {
+        let mut spec = stream_spec();
+        spec.kernels[0].reads = vec![(
+            0,
+            ReadPattern::Strided { stride_lines: 4 },
+        )];
+        let zero = |_: &str| VirtAddr::new(0);
+        let (_, kernels) = spec.compile(&zero);
+        let mut touched: Vec<u64> = Vec::new();
+        for w in 0..kernels[0].warp_count() {
+            for op in kernels[0].warp_ops(w) {
+                if matches!(op, WarpOp::GlobalLoad { .. }) {
+                    touched.extend(op.touched_lines().iter().map(|v| v.as_u64() / 128));
+                }
+            }
+        }
+        touched.sort();
+        assert_eq!(touched, (0..64).step_by(4).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_reads_are_deterministic() {
+        let mut spec = stream_spec();
+        spec.kernels[0].reads = vec![(
+            0,
+            ReadPattern::Random {
+                touches: 100,
+                seed: 7,
+            },
+        )];
+        let (_, k1) = spec.compile(&fixed_layout(0));
+        let (_, k2) = spec.compile(&fixed_layout(0));
+        for w in 0..k1[0].warp_count() {
+            assert_eq!(k1[0].warp_ops(w), k2[0].warp_ops(w));
+        }
+    }
+
+    #[test]
+    fn tiled_reads_revisit_tiles() {
+        let mut spec = stream_spec();
+        spec.kernels[0].reads = vec![(
+            0,
+            ReadPattern::Tiled {
+                tile_lines: 16,
+                reuse: 2,
+            },
+        )];
+        let (_, kernels) = spec.compile(&fixed_layout(0));
+        let total: u64 = kernels[0].total_global_lines();
+        // 64 lines read (reuse+1) = 3 times, plus the 64-line output
+        // stream.
+        assert_eq!(total, 64 * 3 + 64);
+    }
+
+    #[test]
+    fn shared_chunks_interleave() {
+        let mut spec = stream_spec();
+        spec.kernels[0].shared_per_chunk = 32;
+        let (_, kernels) = spec.compile(&fixed_layout(0));
+        let has_shared = (0..kernels[0].warp_count()).any(|w| {
+            kernels[0]
+                .warp_ops(w)
+                .iter()
+                .any(|op| matches!(op, WarpOp::Shared { .. }))
+        });
+        assert!(has_shared);
+    }
+
+    #[test]
+    fn validation_catches_defects() {
+        let mut spec = stream_spec();
+        spec.cpu_produces = vec![9];
+        assert!(spec.validate().is_err());
+
+        let mut spec = stream_spec();
+        spec.kernels[0].warps = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = stream_spec();
+        spec.arrays[0].bytes = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = stream_spec();
+        spec.cpu_readback = Some((0, 17));
+        assert!(spec.validate().is_err());
+
+        assert!(stream_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn emitted_source_translates_fully() {
+        let spec = stream_spec();
+        let src = spec.emit_source();
+        let out = ds_xlat::Translator::new().translate(&src).unwrap();
+        assert_eq!(out.plan.len(), 2, "both arrays flow into the kernel");
+        assert_eq!(
+            out.plan.lookup("a").unwrap().size,
+            64 * LINE_BYTES
+        );
+    }
+
+    #[test]
+    fn split_lines_partitions_exactly() {
+        for (lines, warps) in [(64u64, 8usize), (65, 8), (7, 16), (1, 1)] {
+            let parts: Vec<(u64, u64)> = split_lines(lines, warps).collect();
+            let total: u64 = parts.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, lines, "lines={lines} warps={warps}");
+            // Contiguity.
+            let mut expect = 0;
+            for &(start, count) in &parts {
+                if count > 0 {
+                    assert_eq!(start, expect);
+                    expect = start + count;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Constant-expression evaluation for allocation sizes.
+//!
+//! Benchmark sources allocate with compile-time-constant expressions
+//! like `N * sizeof(float)` or `(ROWS+2) * COLS * 4`. This module
+//! evaluates such expressions against the `#define` table the scanner
+//! collects: integer literals, defined identifiers, `sizeof(type)`,
+//! `+ - * /` and parentheses.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`eval_const_expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// An identifier with no `#define` binding.
+    UnknownIdent(String),
+    /// A `sizeof` of a type the evaluator does not know.
+    UnknownType(String),
+    /// The expression is syntactically malformed.
+    Malformed(String),
+    /// Division by zero.
+    DivideByZero,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownIdent(s) => write!(f, "unknown identifier `{s}`"),
+            ExprError::UnknownType(s) => write!(f, "unknown type in sizeof: `{s}`"),
+            ExprError::Malformed(s) => write!(f, "malformed expression near `{s}`"),
+            ExprError::DivideByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+fn type_size(name: &str) -> Option<u64> {
+    // Pointer-free scalar C types that appear in benchmark allocations.
+    Some(match name.trim() {
+        "char" | "unsigned char" | "signed char" | "int8_t" | "uint8_t" => 1,
+        "short" | "unsigned short" | "int16_t" | "uint16_t" => 2,
+        "int" | "unsigned" | "unsigned int" | "float" | "int32_t" | "uint32_t" => 4,
+        "long" | "unsigned long" | "double" | "int64_t" | "uint64_t" | "size_t" => 8,
+        _ => return None,
+    })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(u64),
+    Ident(String),
+    Sizeof(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, ExprError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Swallow integer suffixes (100u, 2UL, ...).
+                while i < chars.len() && matches!(chars[i], 'u' | 'U' | 'l' | 'L') {
+                    i += 1;
+                }
+                let text: String = chars[start..i]
+                    .iter()
+                    .filter(|c| c.is_ascii_digit())
+                    .collect();
+                let n = text
+                    .parse()
+                    .map_err(|_| ExprError::Malformed(text.clone()))?;
+                toks.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word == "sizeof" {
+                    // Expect ( type ).
+                    while i < chars.len() && chars[i].is_whitespace() {
+                        i += 1;
+                    }
+                    if i >= chars.len() || chars[i] != '(' {
+                        return Err(ExprError::Malformed("sizeof".into()));
+                    }
+                    i += 1;
+                    let tstart = i;
+                    let mut depth = 1;
+                    while i < chars.len() && depth > 0 {
+                        match chars[i] {
+                            '(' => depth += 1,
+                            ')' => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    if depth != 0 {
+                        return Err(ExprError::Malformed("sizeof(".into()));
+                    }
+                    let ty: String = chars[tstart..i - 1].iter().collect();
+                    toks.push(Tok::Sizeof(ty.trim().to_string()));
+                } else {
+                    toks.push(Tok::Ident(word));
+                }
+            }
+            other => return Err(ExprError::Malformed(other.to_string())),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    defines: &'a HashMap<String, u64>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn expr(&mut self) -> Result<u64, ExprError> {
+        let mut acc = self.term()?;
+        while let Some(op) = self.peek() {
+            match op {
+                Tok::Plus => {
+                    self.pos += 1;
+                    acc = acc.wrapping_add(self.term()?);
+                }
+                Tok::Minus => {
+                    self.pos += 1;
+                    acc = acc.wrapping_sub(self.term()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn term(&mut self) -> Result<u64, ExprError> {
+        let mut acc = self.atom()?;
+        while let Some(op) = self.peek() {
+            match op {
+                Tok::Star => {
+                    self.pos += 1;
+                    acc = acc.wrapping_mul(self.atom()?);
+                }
+                Tok::Slash => {
+                    self.pos += 1;
+                    let d = self.atom()?;
+                    if d == 0 {
+                        return Err(ExprError::DivideByZero);
+                    }
+                    acc /= d;
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn atom(&mut self) -> Result<u64, ExprError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                Ok(n)
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                self.defines
+                    .get(&name)
+                    .copied()
+                    .ok_or(ExprError::UnknownIdent(name))
+            }
+            Some(Tok::Sizeof(ty)) => {
+                self.pos += 1;
+                type_size(&ty).ok_or(ExprError::UnknownType(ty))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let v = self.expr()?;
+                match self.peek() {
+                    Some(Tok::RParen) => {
+                        self.pos += 1;
+                        Ok(v)
+                    }
+                    _ => Err(ExprError::Malformed(")".into())),
+                }
+            }
+            other => Err(ExprError::Malformed(format!("{other:?}"))),
+        }
+    }
+}
+
+/// Evaluates a C-like constant expression against a `#define` table.
+///
+/// # Errors
+///
+/// Returns [`ExprError`] on unknown identifiers/types, malformed
+/// syntax or division by zero.
+///
+/// # Examples
+///
+/// ```
+/// use ds_xlat::eval_const_expr;
+/// use std::collections::HashMap;
+///
+/// let mut defs = HashMap::new();
+/// defs.insert("N".to_string(), 100u64);
+/// assert_eq!(eval_const_expr("N * sizeof(float)", &defs), Ok(400));
+/// assert_eq!(eval_const_expr("(N+2)*(N+2)", &defs), Ok(10404));
+/// ```
+pub fn eval_const_expr(src: &str, defines: &HashMap<String, u64>) -> Result<u64, ExprError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        defines,
+    };
+    let v = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(ExprError::Malformed(format!("{:?}", p.toks.get(p.pos))));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    #[test]
+    fn literals_and_arithmetic() {
+        let d = defs(&[]);
+        assert_eq!(eval_const_expr("42", &d), Ok(42));
+        assert_eq!(eval_const_expr("2 + 3 * 4", &d), Ok(14));
+        assert_eq!(eval_const_expr("(2 + 3) * 4", &d), Ok(20));
+        assert_eq!(eval_const_expr("100 / 3", &d), Ok(33));
+        assert_eq!(eval_const_expr("10 - 4", &d), Ok(6));
+    }
+
+    #[test]
+    fn defines_resolve() {
+        let d = defs(&[("ROWS", 512), ("COLS", 512)]);
+        assert_eq!(eval_const_expr("ROWS * COLS * 4", &d), Ok(1 << 20));
+    }
+
+    #[test]
+    fn sizeof_types() {
+        let d = defs(&[("N", 8)]);
+        assert_eq!(eval_const_expr("N * sizeof(double)", &d), Ok(64));
+        assert_eq!(eval_const_expr("sizeof(char)", &d), Ok(1));
+        assert_eq!(eval_const_expr("sizeof(unsigned int)", &d), Ok(4));
+        assert!(matches!(
+            eval_const_expr("sizeof(struct foo)", &d),
+            Err(ExprError::UnknownType(_))
+        ));
+    }
+
+    #[test]
+    fn integer_suffixes() {
+        let d = defs(&[]);
+        assert_eq!(eval_const_expr("100u * 2UL", &d), Ok(200));
+    }
+
+    #[test]
+    fn errors() {
+        let d = defs(&[]);
+        assert!(matches!(
+            eval_const_expr("N", &d),
+            Err(ExprError::UnknownIdent(_))
+        ));
+        assert_eq!(eval_const_expr("1/0", &d), Err(ExprError::DivideByZero));
+        assert!(matches!(
+            eval_const_expr("2 +", &d),
+            Err(ExprError::Malformed(_))
+        ));
+        assert!(matches!(
+            eval_const_expr("(2", &d),
+            Err(ExprError::Malformed(_))
+        ));
+        assert!(matches!(
+            eval_const_expr("2 3", &d),
+            Err(ExprError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ExprError::UnknownIdent("N".into())
+            .to_string()
+            .contains("`N`"));
+        assert!(ExprError::DivideByZero.to_string().contains("zero"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # ds-xlat — the automatic code translator
+//!
+//! Implements the paper's §III.C: a source-to-source translator that
+//! makes existing programs use direct store *"with no effort for the
+//! programmer"*. Given a CUDA-style source file, it
+//!
+//! 1. scans every kernel invocation
+//!    `name<<<Dg, Db, Ns, S>>>(x1, ..., xn)` and records the argument
+//!    variables (the data the GPU will access),
+//! 2. finds each such variable's `malloc`/`cudaMalloc` declaration and
+//!    statically evaluates its size (benchmarks allocate with
+//!    compile-time-constant expressions, resolved against `#define`s),
+//! 3. rewrites the allocation to
+//!    `mmap((void*)ADDR, SIZE, PROT_READ|PROT_WRITE, MAP_FIXED|MAP_ANONYMOUS, -1, 0)`
+//!    with `ADDR` in the reserved high-order window, incrementing the
+//!    base per variable so no regions overlap,
+//! 4. emits the modified source plus an [`AllocationPlan`] — the
+//!    variable → (address, size) map that drives the simulator's
+//!    memory layout.
+//!
+//! # Examples
+//!
+//! ```
+//! use ds_xlat::Translator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = r#"
+//! #define N 1024
+//! int main() {
+//!     float *a = (float*)malloc(N * sizeof(float));
+//!     float *b = (float*)malloc(N * sizeof(float));
+//!     float *scratch = (float*)malloc(64);
+//!     vecadd<<<N/256, 256>>>(a, b, N);
+//!     return 0;
+//! }
+//! "#;
+//! let out = Translator::new().translate(src)?;
+//! // `a` and `b` are kernel arguments: rewritten and planned.
+//! assert_eq!(out.plan.len(), 2);
+//! assert!(out.source.contains("mmap((void*)0x7f0000000000"));
+//! // `scratch` never reaches a kernel: left untouched.
+//! assert!(out.source.contains("malloc(64)"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod expr;
+pub mod plan;
+pub mod scan;
+pub mod translate;
+
+pub use expr::{eval_const_expr, ExprError};
+pub use plan::{AllocationPlan, PlannedVar};
+pub use scan::{scan_allocations, scan_defines, scan_kernel_launches, Allocation, KernelLaunch};
+pub use translate::{TranslateError, Translation, Translator};

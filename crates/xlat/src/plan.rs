@@ -1,0 +1,144 @@
+//! The allocation plan the translator emits.
+
+use std::fmt;
+
+use ds_mem::{VirtAddr, PAGE_BYTES};
+
+/// One GPU-homed variable's placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedVar {
+    /// Variable name in the source.
+    pub name: String,
+    /// Assigned base virtual address (page-aligned, in the direct
+    /// window).
+    pub base: VirtAddr,
+    /// Allocation size in bytes (as written; the reserved region is
+    /// page-rounded).
+    pub size: u64,
+}
+
+/// The variable → (address, size) map produced by translation.
+///
+/// Addresses are assigned by incrementing a cursor from the window
+/// base, page-rounding each variable, so "there is no overlapping
+/// starting virtual addresses for all variables" (§III.C).
+///
+/// # Examples
+///
+/// ```
+/// use ds_xlat::Translator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "#define N 4096\nfloat* a = (float*)malloc(N);\nk<<<1,1>>>(a);";
+/// let out = Translator::new().translate(src)?;
+/// let a = out.plan.lookup("a").expect("a is planned");
+/// assert_eq!(a.size, 4096);
+/// assert_eq!(a.base.as_u64() % 4096, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocationPlan {
+    vars: Vec<PlannedVar>,
+}
+
+impl AllocationPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a variable at the next free address after `cursor`,
+    /// returning the region's end (the new cursor).
+    pub(crate) fn place(&mut self, name: &str, cursor: VirtAddr, size: u64) -> VirtAddr {
+        let rounded = size.max(1).div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        self.vars.push(PlannedVar {
+            name: name.to_string(),
+            base: cursor,
+            size,
+        });
+        cursor.offset(rounded)
+    }
+
+    /// Looks a variable up by name.
+    pub fn lookup(&self, name: &str) -> Option<&PlannedVar> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// The planned variables, in placement order.
+    pub fn vars(&self) -> &[PlannedVar] {
+        &self.vars
+    }
+
+    /// Number of planned variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variables were planned.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Total bytes reserved (page-rounded).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.vars
+            .iter()
+            .map(|v| v.size.max(1).div_ceil(PAGE_BYTES) * PAGE_BYTES)
+            .sum()
+    }
+}
+
+impl fmt::Display for AllocationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "allocation plan ({} variables):", self.vars.len())?;
+        for v in &self.vars {
+            writeln!(f, "  {:<12} {:>10} bytes @ {}", v.name, v.size, v.base)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_never_overlaps() {
+        let mut plan = AllocationPlan::new();
+        let base = VirtAddr::new(0x7f00_0000_0000);
+        let c1 = plan.place("a", base, 100);
+        let c2 = plan.place("b", c1, PAGE_BYTES + 1);
+        let _ = plan.place("c", c2, 1);
+        let vs = plan.vars();
+        assert_eq!(vs[0].base, base);
+        assert_eq!(vs[1].base, base.offset(PAGE_BYTES));
+        assert_eq!(vs[2].base, base.offset(3 * PAGE_BYTES));
+        // No region intersects another.
+        for (i, v) in vs.iter().enumerate() {
+            for w in &vs[i + 1..] {
+                assert!(v.base.offset(v.size) <= w.base || w.base.offset(w.size) <= v.base);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_and_accessors() {
+        let mut plan = AllocationPlan::new();
+        plan.place("x", VirtAddr::new(0), 10);
+        assert!(plan.lookup("x").is_some());
+        assert!(plan.lookup("y").is_none());
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.reserved_bytes(), PAGE_BYTES);
+    }
+
+    #[test]
+    fn display_lists_vars() {
+        let mut plan = AllocationPlan::new();
+        plan.place("alpha", VirtAddr::new(0x1000), 64);
+        let text = plan.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("64"));
+    }
+}

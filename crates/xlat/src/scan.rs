@@ -1,0 +1,401 @@
+//! Source scanning: `#define`s, kernel launches, allocations.
+
+use std::collections::HashMap;
+
+/// A kernel invocation found in the source:
+/// `name<<<Dg, Db[, Ns[, S]]>>>(args...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelLaunch {
+    /// Kernel function name.
+    pub name: String,
+    /// The launch-configuration text between `<<<` and `>>>`.
+    pub config: String,
+    /// Identifier arguments, in order (non-identifier arguments such
+    /// as literals are kept too; the caller filters).
+    pub args: Vec<String>,
+    /// Byte offset of the launch in the source.
+    pub offset: usize,
+}
+
+/// An allocation statement found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// The variable being allocated.
+    pub var: String,
+    /// The size expression text.
+    pub size_expr: String,
+    /// Byte range of the whole allocation *call* (from the `malloc`/
+    /// `cudaMalloc` keyword through its closing parenthesis), for
+    /// rewriting.
+    pub span: (usize, usize),
+    /// Whether this was a `cudaMalloc` (vs. host `malloc`).
+    pub is_cuda: bool,
+}
+
+/// Collects `#define NAME VALUE` lines where `VALUE` is an integer
+/// literal or a previously defined constant expression.
+pub fn scan_defines(src: &str) -> HashMap<String, u64> {
+    let mut defs = HashMap::new();
+    for line in src.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix("#define") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(name_end) = rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        else {
+            continue;
+        };
+        let (name, value) = rest.split_at(name_end);
+        if name.is_empty() {
+            continue;
+        }
+        let value = value.trim();
+        if value.is_empty() {
+            continue;
+        }
+        if let Ok(v) = crate::eval_const_expr(value, &defs) {
+            defs.insert(name.to_string(), v);
+        }
+    }
+    defs
+}
+
+fn ident_before(src: &[u8], end: usize) -> Option<(usize, String)> {
+    let mut i = end;
+    while i > 0 && (src[i - 1] as char).is_whitespace() {
+        i -= 1;
+    }
+    let stop = i;
+    while i > 0 {
+        let c = src[i - 1] as char;
+        if c.is_ascii_alphanumeric() || c == '_' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    if i == stop {
+        return None;
+    }
+    Some((i, String::from_utf8_lossy(&src[i..stop]).into_owned()))
+}
+
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(s[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        parts.push(last.to_string());
+    }
+    parts
+}
+
+/// Finds every kernel launch in the source (the paper's pattern:
+/// `kernel_name<<<Dg, Db, Ns, S>>>(x1, x2, ..., xn)`).
+pub fn scan_kernel_launches(src: &str) -> Vec<KernelLaunch> {
+    let bytes = src.as_bytes();
+    let mut launches = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = src[i..].find("<<<") {
+        let open = i + pos;
+        let Some((name_start, name)) = ident_before(bytes, open) else {
+            i = open + 3;
+            continue;
+        };
+        let Some(close_rel) = src[open + 3..].find(">>>") else {
+            break;
+        };
+        let close = open + 3 + close_rel;
+        let config = src[open + 3..close].trim().to_string();
+        // Arguments: the parenthesized list right after `>>>`.
+        let mut j = close + 3;
+        while j < src.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let mut args = Vec::new();
+        if j < src.len() && bytes[j] == b'(' {
+            let mut depth = 0;
+            let arg_start = j + 1;
+            let mut k = j;
+            while k < src.len() {
+                match bytes[k] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k < src.len() {
+                args = split_top_level_commas(&src[arg_start..k]);
+            }
+        }
+        launches.push(KernelLaunch {
+            name,
+            config,
+            args,
+            offset: name_start,
+        });
+        i = close + 3;
+    }
+    launches
+}
+
+fn find_call_spans<'a>(src: &'a str, keyword: &str) -> Vec<(usize, usize, &'a str)> {
+    // Returns (start_of_keyword, end_after_close_paren, inner_text).
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = src[i..].find(keyword) {
+        let start = i + pos;
+        // Reject identifier contexts like `my_malloc`.
+        if start > 0 {
+            let prev = bytes[start - 1] as char;
+            if prev.is_ascii_alphanumeric() || prev == '_' {
+                i = start + keyword.len();
+                continue;
+            }
+        }
+        let mut j = start + keyword.len();
+        while j < src.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= src.len() || bytes[j] != b'(' {
+            i = start + keyword.len();
+            continue;
+        }
+        let inner_start = j + 1;
+        let mut depth = 0;
+        let mut k = j;
+        while k < src.len() {
+            match bytes[k] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= src.len() {
+            break;
+        }
+        out.push((start, k + 1, &src[inner_start..k]));
+        i = k + 1;
+    }
+    out
+}
+
+/// Finds every `malloc`/`calloc`/`cudaMalloc` allocation, pairing each
+/// with the variable it allocates.
+///
+/// `malloc`/`calloc` calls are paired with the assigned variable on
+/// their left (`x = (float*)malloc(...)` or
+/// `float *x = (float*)calloc(n, size)`); `cudaMalloc(&x, size)` names
+/// its variable in the first argument. A `calloc(n, size)` contributes
+/// the size expression `(n) * (size)`.
+pub fn scan_allocations(src: &str) -> Vec<Allocation> {
+    let bytes = src.as_bytes();
+    let mut allocs = Vec::new();
+
+    for (start, end, inner) in find_call_spans(src, "cudaMalloc") {
+        let parts = split_top_level_commas(inner);
+        if parts.len() != 2 {
+            continue;
+        }
+        let var = parts[0]
+            .trim_start_matches("(void**)")
+            .trim_start_matches("(void **)")
+            .trim()
+            .trim_start_matches('&')
+            .trim()
+            .to_string();
+        allocs.push(Allocation {
+            var,
+            size_expr: parts[1].clone(),
+            span: (start, end),
+            is_cuda: true,
+        });
+    }
+
+    for (start, end, inner) in find_call_spans(src, "calloc") {
+        let parts = split_top_level_commas(inner);
+        if parts.len() != 2 {
+            continue;
+        }
+        if let Some(var) = assigned_var(bytes, start) {
+            allocs.push(Allocation {
+                var,
+                size_expr: format!("({}) * ({})", parts[0], parts[1]),
+                span: (start, end),
+                is_cuda: false,
+            });
+        }
+    }
+
+    for (start, end, inner) in find_call_spans(src, "malloc") {
+        if let Some(var) = assigned_var(bytes, start) {
+            allocs.push(Allocation {
+                var,
+                size_expr: inner.trim().to_string(),
+                span: (start, end),
+                is_cuda: false,
+            });
+        }
+    }
+
+    allocs.sort_by_key(|a| a.span.0);
+    allocs
+}
+
+/// Walks left from a call keyword over an optional cast `(T*)` to an
+/// `=` and returns the assigned identifier, if the call is the
+/// right-hand side of an assignment or initializer.
+fn assigned_var(bytes: &[u8], call_start: usize) -> Option<String> {
+    let mut i = call_start;
+    while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+        i -= 1;
+    }
+    if i > 0 && bytes[i - 1] == b')' {
+        // Skip a cast.
+        let mut depth = 0;
+        while i > 0 {
+            match bytes[i - 1] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i -= 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i -= 1;
+        }
+        while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+            i -= 1;
+        }
+    }
+    if i == 0 || bytes[i - 1] != b'=' {
+        return None;
+    }
+    i -= 1; // over '='
+    ident_before(bytes, i).map(|(_, var)| var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_chain() {
+        let defs = scan_defines(
+            "#define N 256\n#define SIZE N*N\n#define BAD xyz\nint x;\n",
+        );
+        assert_eq!(defs.get("N"), Some(&256));
+        assert_eq!(defs.get("SIZE"), Some(&65536));
+        assert!(!defs.contains_key("BAD"));
+    }
+
+    #[test]
+    fn kernel_launch_with_four_config_args() {
+        let src = "foo_kernel<<<grid, block, ns, stream>>>(a, b, n);";
+        let l = scan_kernel_launches(src);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].name, "foo_kernel");
+        assert_eq!(l[0].config, "grid, block, ns, stream");
+        assert_eq!(l[0].args, vec!["a", "b", "n"]);
+    }
+
+    #[test]
+    fn kernel_launch_with_expressions() {
+        let src = "k<<<N/256, 256>>>(data, f(x), N*2);";
+        let l = scan_kernel_launches(src);
+        assert_eq!(l[0].args, vec!["data", "f(x)", "N*2"]);
+    }
+
+    #[test]
+    fn multiple_launches() {
+        let src = "a<<<1,1>>>(x);\nb<<<2,2>>>(y, z);";
+        let l = scan_kernel_launches(src);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[1].name, "b");
+        assert_eq!(l[1].args, vec!["y", "z"]);
+    }
+
+    #[test]
+    fn malloc_with_cast_and_decl() {
+        let src = "float *a = (float*)malloc(N * sizeof(float));";
+        let allocs = scan_allocations(src);
+        assert_eq!(allocs.len(), 1);
+        assert_eq!(allocs[0].var, "a");
+        assert_eq!(allocs[0].size_expr, "N * sizeof(float)");
+        assert!(!allocs[0].is_cuda);
+        assert_eq!(&src[allocs[0].span.0..allocs[0].span.1], "malloc(N * sizeof(float))");
+    }
+
+    #[test]
+    fn malloc_without_cast() {
+        let src = "buf = malloc(1024);";
+        let allocs = scan_allocations(src);
+        assert_eq!(allocs[0].var, "buf");
+    }
+
+    #[test]
+    fn cuda_malloc_variants() {
+        let src = "cudaMalloc(&d_a, bytes);\ncudaMalloc((void**)&d_b, N*4);";
+        let allocs = scan_allocations(src);
+        assert_eq!(allocs.len(), 2);
+        assert_eq!(allocs[0].var, "d_a");
+        assert!(allocs[0].is_cuda);
+        assert_eq!(allocs[1].var, "d_b");
+        assert_eq!(allocs[1].size_expr, "N*4");
+    }
+
+    #[test]
+    fn calloc_combines_count_and_size() {
+        let src = "float *a = (float*)calloc(N, sizeof(float));";
+        let allocs = scan_allocations(src);
+        assert_eq!(allocs.len(), 1);
+        assert_eq!(allocs[0].var, "a");
+        assert_eq!(allocs[0].size_expr, "(N) * (sizeof(float))");
+        assert!(!allocs[0].is_cuda);
+        assert_eq!(
+            &src[allocs[0].span.0..allocs[0].span.1],
+            "calloc(N, sizeof(float))"
+        );
+    }
+
+    #[test]
+    fn my_malloc_is_not_malloc() {
+        let src = "x = my_malloc(10);";
+        assert!(scan_allocations(src).is_empty());
+    }
+
+    #[test]
+    fn unassigned_malloc_is_skipped() {
+        let src = "use(malloc(10));";
+        assert!(scan_allocations(src).is_empty());
+    }
+}

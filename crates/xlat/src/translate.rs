@@ -1,0 +1,299 @@
+//! The translator proper: scan, plan, rewrite.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use ds_cpu::DirectWindow;
+
+use crate::{
+    eval_const_expr, scan_allocations, scan_defines, scan_kernel_launches, AllocationPlan,
+    ExprError,
+};
+
+/// Errors from [`Translator::translate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A kernel-argument variable's allocation size could not be
+    /// evaluated statically.
+    UnsizedAllocation {
+        /// The variable.
+        var: String,
+        /// The offending size expression.
+        expr: String,
+        /// The evaluator's complaint.
+        cause: ExprError,
+    },
+    /// A kernel argument is an identifier with no visible allocation.
+    ///
+    /// Scalars (e.g. a length `n`) are expected and skipped; this error
+    /// only fires when `require_all_args` is set.
+    MissingAllocation {
+        /// The variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnsizedAllocation { var, expr, cause } => {
+                write!(f, "cannot size allocation of `{var}` (`{expr}`): {cause}")
+            }
+            TranslateError::MissingAllocation { var } => {
+                write!(f, "kernel argument `{var}` has no visible allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A successful translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Translation {
+    /// The rewritten source, ready to "be compiled in the standard
+    /// way" (§III.C).
+    pub source: String,
+    /// The variable placements driving the simulator's memory layout.
+    pub plan: AllocationPlan,
+    /// Names of kernel-argument identifiers that had no allocation
+    /// (scalars passed by value).
+    pub scalar_args: Vec<String>,
+}
+
+/// The automatic code translator (paper §III.C).
+///
+/// See the [crate-level example](crate) for end-to-end use.
+#[derive(Debug, Clone)]
+pub struct Translator {
+    window: DirectWindow,
+    require_all_args: bool,
+}
+
+impl Translator {
+    /// A translator targeting the default direct window.
+    pub fn new() -> Self {
+        Translator {
+            window: DirectWindow::paper_default(),
+            require_all_args: false,
+        }
+    }
+
+    /// Targets a custom direct window.
+    pub fn with_window(mut self, window: DirectWindow) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Makes unallocated kernel-argument identifiers an error instead
+    /// of treating them as scalars.
+    pub fn require_all_args(mut self) -> Self {
+        self.require_all_args = true;
+        self
+    }
+
+    /// Translates `src`, rewriting the allocation of every variable
+    /// referenced by a kernel launch into an `mmap(MAP_FIXED)` in the
+    /// direct window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] when an allocation size cannot be
+    /// evaluated or (with [`Translator::require_all_args`]) when a
+    /// kernel argument has no allocation.
+    pub fn translate(&self, src: &str) -> Result<Translation, TranslateError> {
+        let defines = scan_defines(src);
+        let launches = scan_kernel_launches(src);
+        let allocations = scan_allocations(src);
+
+        // The set of identifiers that flow into any kernel.
+        let mut kernel_vars: HashSet<&str> = HashSet::new();
+        for launch in &launches {
+            for arg in &launch.args {
+                let ident = arg.trim().trim_start_matches('&');
+                if !ident.is_empty()
+                    && ident
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !ident.chars().next().is_some_and(|c| c.is_ascii_digit())
+                {
+                    kernel_vars.insert(ident);
+                }
+            }
+        }
+
+        let mut plan = AllocationPlan::new();
+        let mut cursor = self.window.base();
+        let mut rewrites: Vec<(usize, usize, String)> = Vec::new();
+        let mut planned: HashSet<&str> = HashSet::new();
+
+        for alloc in &allocations {
+            if !kernel_vars.contains(alloc.var.as_str()) || planned.contains(alloc.var.as_str())
+            {
+                continue;
+            }
+            let size = eval_const_expr(&alloc.size_expr, &defines).map_err(|cause| {
+                TranslateError::UnsizedAllocation {
+                    var: alloc.var.clone(),
+                    expr: alloc.size_expr.clone(),
+                    cause,
+                }
+            })?;
+            let base = cursor;
+            cursor = plan.place(&alloc.var, cursor, size);
+            planned.insert(alloc.var.as_str());
+            let replacement = format!(
+                "mmap((void*){:#x}, {}, PROT_READ|PROT_WRITE, MAP_FIXED|MAP_ANONYMOUS|MAP_PRIVATE, -1, 0)",
+                base.as_u64(),
+                alloc.size_expr
+            );
+            rewrites.push((alloc.span.0, alloc.span.1, replacement));
+        }
+
+        if self.require_all_args {
+            for v in &kernel_vars {
+                if !planned.contains(v) {
+                    return Err(TranslateError::MissingAllocation {
+                        var: (*v).to_string(),
+                    });
+                }
+            }
+        }
+
+        let mut scalar_args: Vec<String> = kernel_vars
+            .iter()
+            .filter(|v| !planned.contains(**v))
+            .map(|v| (*v).to_string())
+            .collect();
+        scalar_args.sort();
+
+        // Apply rewrites back to front so offsets stay valid.
+        let mut source = src.to_string();
+        rewrites.sort_by_key(|r| r.0);
+        for (start, end, text) in rewrites.into_iter().rev() {
+            source.replace_range(start..end, &text);
+        }
+        // Programs rewritten to mmap need the header, mirroring the
+        // paper's toolchain (idempotent if already present).
+        if source.contains("mmap((void*)") && !source.contains("<sys/mman.h>") {
+            source.insert_str(0, "#include <sys/mman.h>\n");
+        }
+
+        Ok(Translation {
+            source,
+            plan,
+            scalar_args,
+        })
+    }
+}
+
+impl Default for Translator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_mem::VirtAddr;
+
+    const SRC: &str = r#"
+#define N 1024
+int main() {
+    float *a = (float*)malloc(N * sizeof(float));
+    float *b = (float*)malloc(N * sizeof(float));
+    float *c;
+    cudaMalloc(&c, N * sizeof(float));
+    int *unrelated = (int*)malloc(4096);
+    vecadd<<<N/256, 256>>>(a, b, c, N);
+    return 0;
+}
+"#;
+
+    #[test]
+    fn plans_exactly_the_kernel_arguments() {
+        let out = Translator::new().translate(SRC).unwrap();
+        assert_eq!(out.plan.len(), 3);
+        for name in ["a", "b", "c"] {
+            let v = out.plan.lookup(name).unwrap();
+            assert_eq!(v.size, 4096);
+            assert!(v.base >= VirtAddr::new(0x7f00_0000_0000));
+        }
+        assert!(out.plan.lookup("unrelated").is_none());
+        assert_eq!(out.scalar_args, vec!["N"]);
+    }
+
+    #[test]
+    fn rewrites_are_textually_sound() {
+        let out = Translator::new().translate(SRC).unwrap();
+        assert!(out.source.starts_with("#include <sys/mman.h>"));
+        assert_eq!(out.source.matches("mmap((void*)").count(), 3);
+        assert!(out.source.contains("MAP_FIXED"));
+        // Untouched allocation survives verbatim.
+        assert!(out.source.contains("(int*)malloc(4096)"));
+        // No rewritten malloc remains for the planned variables.
+        assert!(!out.source.contains("malloc(N * sizeof(float))"));
+        // Kernel launch is untouched.
+        assert!(out.source.contains("vecadd<<<N/256, 256>>>(a, b, c, N);"));
+    }
+
+    #[test]
+    fn addresses_increment_without_overlap() {
+        let out = Translator::new().translate(SRC).unwrap();
+        let a = out.plan.lookup("a").unwrap().base;
+        let b = out.plan.lookup("b").unwrap().base;
+        let c = out.plan.lookup("c").unwrap().base;
+        assert!(a < b && b < c);
+        assert_eq!(b.as_u64() - a.as_u64(), 4096);
+    }
+
+    #[test]
+    fn unsized_allocation_errors() {
+        let src = "float* a = (float*)malloc(n * 4);\nk<<<1,1>>>(a);";
+        let err = Translator::new().translate(src).unwrap_err();
+        assert!(matches!(err, TranslateError::UnsizedAllocation { .. }));
+        assert!(err.to_string().contains("`a`"));
+    }
+
+    #[test]
+    fn require_all_args_flags_scalars_with_pointers_missing() {
+        let src = "k<<<1,1>>>(mystery);";
+        let err = Translator::new()
+            .require_all_args()
+            .translate(src)
+            .unwrap_err();
+        assert!(matches!(err, TranslateError::MissingAllocation { .. }));
+        // The default mode treats it as a scalar.
+        let ok = Translator::new().translate(src).unwrap();
+        assert_eq!(ok.scalar_args, vec!["mystery"]);
+        assert!(ok.plan.is_empty());
+    }
+
+    #[test]
+    fn calloc_translates_end_to_end() {
+        let src = "#define N 256\nfloat* z = (float*)calloc(N, sizeof(float));\nk<<<1,1>>>(z);";
+        let out = Translator::new().translate(src).unwrap();
+        let z = out.plan.lookup("z").expect("calloc'd kernel arg planned");
+        assert_eq!(z.size, 256 * 4);
+        assert!(out.source.contains("mmap((void*)"));
+        assert!(!out.source.contains("calloc"));
+    }
+
+    #[test]
+    fn no_kernels_means_no_rewrites() {
+        let src = "float* a = (float*)malloc(100);";
+        let out = Translator::new().translate(src).unwrap();
+        assert!(out.plan.is_empty());
+        assert_eq!(out.source, src);
+    }
+
+    #[test]
+    fn translation_is_idempotent_on_translated_source() {
+        let once = Translator::new().translate(SRC).unwrap();
+        let twice = Translator::new().translate(&once.source).unwrap();
+        // mmap-allocated variables no longer match malloc patterns.
+        assert!(twice.plan.is_empty());
+        assert_eq!(twice.source, once.source);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: the translator on generated sources.
+
+use proptest::prelude::*;
+
+use ds_xlat::Translator;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
+        !matches!(s.as_str(), "int" | "float" | "char" | "return" | "sizeof" | "main")
+    })
+}
+
+#[derive(Debug, Clone)]
+struct GenVar {
+    name: String,
+    elems: u64,
+    cuda: bool,
+    passed_to_kernel: bool,
+}
+
+fn var_strategy() -> impl Strategy<Value = GenVar> {
+    (ident(), 1u64..100_000, any::<bool>(), any::<bool>()).prop_map(
+        |(name, elems, cuda, passed_to_kernel)| GenVar {
+            name,
+            elems,
+            cuda,
+            passed_to_kernel,
+        },
+    )
+}
+
+fn render(vars: &[GenVar]) -> String {
+    let mut src = String::from("#define ELEMS 64\nint main() {\n");
+    for v in &*vars {
+        if v.cuda {
+            src.push_str(&format!(
+                "    float *{};\n    cudaMalloc(&{}, {} * sizeof(float));\n",
+                v.name, v.name, v.elems
+            ));
+        } else {
+            src.push_str(&format!(
+                "    float *{} = (float*)malloc({} * sizeof(float));\n",
+                v.name, v.elems
+            ));
+        }
+    }
+    let args: Vec<&str> = vars
+        .iter()
+        .filter(|v| v.passed_to_kernel)
+        .map(|v| v.name.as_str())
+        .collect();
+    if !args.is_empty() {
+        src.push_str(&format!("    work<<<ELEMS, 256>>>({});\n", args.join(", ")));
+    }
+    src.push_str("    return 0;\n}\n");
+    src
+}
+
+proptest! {
+    /// For arbitrary variable sets: exactly the kernel-passed
+    /// variables are planned, sizes are exact, regions never overlap,
+    /// and non-kernel allocations survive verbatim.
+    #[test]
+    fn translator_plans_exactly_kernel_args(mut vars in proptest::collection::vec(var_strategy(), 0..8)) {
+        // Unique names.
+        vars.sort_by(|a, b| a.name.cmp(&b.name));
+        vars.dedup_by(|a, b| a.name == b.name);
+        let src = render(&vars);
+        let out = Translator::new().translate(&src).unwrap();
+
+        let expected: Vec<&GenVar> = vars.iter().filter(|v| v.passed_to_kernel).collect();
+        prop_assert_eq!(out.plan.len(), expected.len());
+        for v in &expected {
+            let p = out.plan.lookup(&v.name).expect("kernel arg planned");
+            prop_assert_eq!(p.size, v.elems * 4);
+        }
+        // Non-overlap.
+        let planned = out.plan.vars();
+        for (i, a) in planned.iter().enumerate() {
+            for b in &planned[i + 1..] {
+                let a_end = a.base.offset(a.size);
+                let b_end = b.base.offset(b.size);
+                prop_assert!(a_end <= b.base || b_end <= a.base);
+            }
+        }
+        // Untouched allocations survive verbatim.
+        for v in vars.iter().filter(|v| !v.passed_to_kernel) {
+            let alloc_text = if v.cuda {
+                format!("cudaMalloc(&{}, {} * sizeof(float))", v.name, v.elems)
+            } else {
+                format!("(float*)malloc({} * sizeof(float))", v.elems)
+            };
+            prop_assert!(
+                out.source.contains(&alloc_text),
+                "{} should be untouched",
+                v.name
+            );
+        }
+        // Re-translating the output is a fixpoint.
+        let again = Translator::new().translate(&out.source).unwrap();
+        prop_assert_eq!(again.source, out.source.clone());
+        prop_assert!(again.plan.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! The capacity cliff: why direct store's benefit shrinks when the
+//! working set outgrows the GPU L2 (paper §IV.C, the MM/MT
+//! small-vs-big discussion).
+//!
+//! Sweeps the produced footprint across the 2 MB GPU L2 capacity and
+//! reports the speedup at each point. Pushes beyond capacity evict
+//! earlier pushes before the GPU reads them, so the first-access-hit
+//! benefit decays.
+//!
+//! Run with: `cargo run --release --example capacity_cliff`
+
+use direct_store::core::{Mode, System, SystemConfig};
+use direct_store::cpu::{CpuOp, Program};
+use direct_store::gpu::{KernelTrace, WarpOp};
+use direct_store::mem::VirtAddr;
+
+fn run_footprint(lines: u64, mode: Mode) -> u64 {
+    let base = VirtAddr::new(0x7f00_0000_0000);
+    let mut program = Program::new();
+    program.store_array(base, lines * 128, 8);
+    program.push(CpuOp::Launch(0));
+    program.push(CpuOp::WaitGpu);
+
+    let mut kernel = KernelTrace::new("consume");
+    let warps = (lines / 8).clamp(32, 512);
+    let per = lines.div_ceil(warps);
+    for w in 0..warps {
+        let start = (w * per).min(lines);
+        let count = ((w + 1) * per).min(lines) - start;
+        let mut ops = Vec::new();
+        let mut cursor = start;
+        let mut rem = count;
+        while rem > 0 {
+            let chunk = rem.min(8) as u16;
+            ops.push(WarpOp::global_load(base.offset(cursor * 128), chunk));
+            ops.push(WarpOp::Compute(4));
+            cursor += u64::from(chunk);
+            rem -= u64::from(chunk);
+        }
+        kernel.push_warp(ops);
+    }
+
+    let mut system = System::new(SystemConfig::paper_default(), mode);
+    system
+        .run(program, vec![kernel])
+        .total_cycles
+        .as_u64()
+}
+
+fn main() {
+    let l2_lines = SystemConfig::paper_default().gpu_l2_total_bytes() / 128;
+    println!("GPU L2 capacity: {l2_lines} lines (2 MB)");
+    println!();
+    println!("{:>10} {:>12} {:>10} {:>10}", "lines", "vs capacity", "speedup", "");
+    for factor in [2u64, 4, 8, 12, 16, 24, 32, 48] {
+        let lines = l2_lines * factor / 16; // 1/8x .. 3x capacity
+        let ccsm = run_footprint(lines, Mode::Ccsm);
+        let ds = run_footprint(lines, Mode::DirectStore);
+        let speedup = (ccsm as f64 / ds as f64 - 1.0) * 100.0;
+        let bar = "#".repeat((speedup / 2.0).max(0.0) as usize);
+        println!(
+            "{:>10} {:>11.2}x {:>9.2}% {}",
+            lines,
+            lines as f64 / l2_lines as f64,
+            speedup,
+            bar
+        );
+    }
+    println!();
+    println!("The benefit peaks while the pushed footprint fits in the L2 and");
+    println!("decays once pushes evict each other before the GPU consumes them.");
+}

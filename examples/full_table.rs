@@ -1,0 +1,40 @@
+//! Reproduce the full evaluation at one command: every Table II
+//! benchmark, both input sizes, speedup and miss rates side by side.
+//!
+//! This is the long-running "everything" example; the `ds-bench`
+//! binaries produce the same data figure by figure.
+//!
+//! Run with: `cargo run --release --example full_table [small|big]`
+
+use direct_store::core::{InputSize, Pipeline};
+use direct_store::workloads::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1);
+    let sizes: Vec<InputSize> = match arg.as_deref() {
+        Some("small") => vec![InputSize::Small],
+        Some("big") => vec![InputSize::Big],
+        _ => vec![InputSize::Small, InputSize::Big],
+    };
+    let pipeline = Pipeline::paper_default();
+    for input in sizes {
+        println!();
+        println!(
+            "{:<5} {:>9} {:>12} {:>12} {:>14}",
+            "name", "speedup", "miss(ccsm)", "miss(ds)", "pushes"
+        );
+        for b in catalog::all() {
+            let c = pipeline.run_comparison(&b, input)?;
+            let (mc, md) = c.miss_rates();
+            println!(
+                "{:<5} {:>8.2}% {:>11.2}% {:>11.2}% {:>14}",
+                c.code,
+                c.speedup_percent(),
+                mc * 100.0,
+                md * 100.0,
+                c.direct_store.direct_pushes
+            );
+        }
+    }
+    Ok(())
+}

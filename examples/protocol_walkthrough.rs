@@ -1,0 +1,49 @@
+//! A guided walk through the modified Hammer protocol (Fig. 3) and the
+//! single-line data-movement comparison (Fig. 1).
+//!
+//! Run with: `cargo run --example protocol_walkthrough`
+
+use direct_store::coherence::{
+    transition, Action, HammerState, ProtocolEvent,
+};
+use direct_store::core::trace::trace_single_line;
+use direct_store::core::Mode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("-- the ordinary write path (CCSM) --");
+    let t = transition(HammerState::I, ProtocolEvent::Store)?;
+    println!("I  + Store       -> {:?} via {:?}", t.next, t.actions);
+
+    println!();
+    println!("-- the paper's bold additions: remote stores --");
+    for s in [
+        HammerState::I,
+        HammerState::S,
+        HammerState::M,
+        HammerState::MM,
+    ] {
+        let t = transition(s, ProtocolEvent::RemoteStore)?;
+        println!(
+            "{s:<2} + RemoteStore -> {:?} via {:?}",
+            t.stable_next().expect("immediate"),
+            t.actions
+        );
+        assert_eq!(t.actions, vec![Action::ForwardDirect]);
+    }
+
+    println!();
+    println!("-- the blue dashed edge at the GPU L2 --");
+    let t = transition(HammerState::I, ProtocolEvent::PutXArrive)?;
+    println!(
+        "I  + PutXArrive  -> {:?} via {:?}",
+        t.stable_next().expect("immediate"),
+        t.actions
+    );
+
+    println!();
+    println!("-- what this buys: one line, CPU st x ... GPU ld x --");
+    for mode in [Mode::Ccsm, Mode::DirectStore, Mode::DirectStoreOnly] {
+        println!("{}", trace_single_line(mode));
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run one benchmark through the full paper pipeline.
+//!
+//! The pipeline translates the benchmark's mini-CUDA source with the
+//! automatic translator (§III.C), lays its arrays out in the
+//! GPU-homed window, and simulates the workload under both CCSM and
+//! direct store on the Table I system.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use direct_store::core::{InputSize, Pipeline};
+use direct_store::workloads::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let va = catalog::by_code("VA").expect("Table II lists vector-add");
+    println!(
+        "benchmark: {} ({}, shared memory: {})",
+        va.name(),
+        va.suite(),
+        if va.uses_shared_memory() { "yes" } else { "no" }
+    );
+
+    let pipeline = Pipeline::paper_default();
+    let outcome = pipeline.run_comparison(&va, InputSize::Small)?;
+
+    println!();
+    println!("CCSM        : {}", outcome.ccsm);
+    println!();
+    println!("direct store: {}", outcome.direct_store);
+    println!();
+    println!(
+        "speedup: {:+.2}%   GPU L2 miss rate: {:.2}% -> {:.2}%",
+        outcome.speedup_percent(),
+        outcome.miss_rates().0 * 100.0,
+        outcome.miss_rates().1 * 100.0
+    );
+    let (cc, cd) = outcome.compulsory_misses();
+    println!("compulsory misses: {cc} -> {cd}");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # direct-store
+//!
+//! A production-quality Rust reproduction of *"A Simple Cache Coherence
+//! Scheme for Integrated CPU-GPU Systems"* (Yudha, Pulungan, Hoffmann,
+//! Solihin — DAC 2020).
+//!
+//! The paper proposes **direct store**: a push-based coherence mechanism
+//! for integrated CPU-GPU chips in which data the GPU will consume is
+//! *homed* in the GPU L2. A source-to-source translator rewrites
+//! `malloc`/`cudaMalloc` of kernel-referenced variables into
+//! `mmap(MAP_FIXED)` allocations in a reserved high virtual-address
+//! range; the CPU TLB detects stores to that range and forwards them over
+//! a dedicated network straight to the GPU L2, where the arriving `PUTX`
+//! transitions the line `I → MM`. The GPU's first access then hits
+//! locally, cutting compulsory misses and load latency.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — event-driven simulation kernel
+//! * [`mem`] — addresses, virtual memory and the DRAM model
+//! * [`cache`] — set-associative arrays, MSHRs, miss classification
+//! * [`noc`] — interconnect models including the dedicated direct network
+//! * [`coherence`] — the MOESI-Hammer-style protocol and the direct-store
+//!   extension (the paper's Fig. 3)
+//! * [`cpu`] — CPU core, TLB with direct-range detection, MMU, allocators
+//! * [`gpu`] — SMs, warps, coalescing, per-SM L1s, sliced shared L2
+//! * [`xlat`] — the automatic source-to-source translator (paper §III.C)
+//! * [`core`] — system assembly and the end-to-end experiment pipeline
+//! * [`workloads`] — the 22 Table II benchmarks as pattern generators
+//!
+//! # Quickstart
+//!
+//! ```
+//! use direct_store::core::{InputSize, Pipeline};
+//! use direct_store::workloads::catalog;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let va = catalog::by_code("VA").expect("vector-add is in Table II");
+//! let outcome = Pipeline::paper_default().run_comparison(&va, InputSize::Small)?;
+//! println!(
+//!     "VA/small: speedup {:.2}%, GPU L2 miss rate {:.2}% -> {:.2}%",
+//!     outcome.speedup_percent(),
+//!     outcome.ccsm.gpu_l2_miss_rate() * 100.0,
+//!     outcome.direct_store.gpu_l2_miss_rate() * 100.0,
+//! );
+//! assert!(outcome.speedup() >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ds_cache as cache;
+pub use ds_coherence as coherence;
+pub use ds_core as core;
+pub use ds_cpu as cpu;
+pub use ds_gpu as gpu;
+pub use ds_mem as mem;
+pub use ds_noc as noc;
+pub use ds_sim as sim;
+pub use ds_workloads as workloads;
+pub use ds_xlat as xlat;

@@ -1,0 +1,66 @@
+//! The full 22-benchmark evaluation as a gated regression test.
+//!
+//! Runs the complete Fig. 4/Fig. 5 sweep at both input sizes (a few
+//! minutes) and asserts the paper-shape properties the reproduction
+//! stands on. Ignored by default; run with
+//!
+//! ```text
+//! cargo test --release --test full_sweep -- --ignored
+//! ```
+
+use direct_store::core::{InputSize, Pipeline, Scenario};
+use direct_store::workloads::catalog;
+
+#[test]
+#[ignore = "full sweep takes minutes; run with --ignored in release"]
+fn paper_shape_holds_across_the_full_suite() {
+    let pipeline = Pipeline::paper_default();
+
+    for input in [InputSize::Small, InputSize::Big] {
+        let mut speedups = Vec::new();
+        for b in catalog::all() {
+            let c = pipeline
+                .run_comparison(&b, input)
+                .unwrap_or_else(|e| panic!("{} {input}: {e}", b.code()));
+            let (mc, md) = c.miss_rates();
+            // Fig. 5 direction: the miss rate never increases under DS
+            // beyond measurement noise.
+            assert!(
+                md <= mc + 0.01,
+                "{} {input}: miss rate rose {mc} -> {md}",
+                c.code
+            );
+            // Compulsory misses never increase.
+            let (cc, cd) = c.compulsory_misses();
+            assert!(cd <= cc, "{} {input}: compulsory rose", c.code);
+            speedups.push((c.code.clone(), c.speedup_percent()));
+        }
+        // "Never hurts", with the documented MM/MT big-input exception
+        // (EXPERIMENTS.md).
+        for (code, pct) in &speedups {
+            let exempt = input == InputSize::Big && (code == "MM" || code == "MT");
+            assert!(
+                *pct > -1.5 || exempt,
+                "{code} {input}: direct store hurt by {pct:.2}%"
+            );
+        }
+        // The headline winners clear 10% at small inputs.
+        if input == InputSize::Small {
+            for code in ["NN", "VA", "MM"] {
+                let pct = speedups
+                    .iter()
+                    .find(|(c, _)| c == code)
+                    .map(|&(_, p)| p)
+                    .unwrap();
+                assert!(pct > 10.0, "{code} small: expected >10%, got {pct:.2}%");
+            }
+        }
+        // The null case stays null.
+        let pt = speedups
+            .iter()
+            .find(|(c, _)| c == "PT")
+            .map(|&(_, p)| p)
+            .unwrap();
+        assert!(pt.abs() < 3.0, "PT {input}: {pt:.2}%");
+    }
+}

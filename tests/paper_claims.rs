@@ -1,0 +1,112 @@
+//! Integration tests asserting the paper's qualitative claims hold in
+//! the reproduction, end to end (translator → layout → simulation).
+
+use direct_store::core::{trace, InputSize, Mode, Pipeline};
+use direct_store::workloads::catalog;
+
+fn compare(code: &str, input: InputSize) -> direct_store::core::Comparison {
+    let b = catalog::by_code(code).expect("catalog benchmark");
+    Pipeline::paper_default()
+        .run_comparison(&b, input)
+        .expect("pipeline run")
+}
+
+/// §IV.C: "the proposed approach never decreases performance".
+#[test]
+fn direct_store_never_hurts_representatives() {
+    for code in ["VA", "NN", "PT", "GA", "HT", "MS"] {
+        let c = compare(code, InputSize::Small);
+        assert!(
+            c.speedup() > 0.98,
+            "{code}: direct store slowed the run: {:.2}%",
+            c.speedup_percent()
+        );
+    }
+}
+
+/// §I: "performance by up to 37%" — the best benchmarks show large
+/// gains while the null case shows none.
+#[test]
+fn headline_winners_win_and_pt_is_flat() {
+    let nn = compare("NN", InputSize::Small);
+    assert!(
+        nn.speedup_percent() > 10.0,
+        "NN must exceed 10%: {:.2}%",
+        nn.speedup_percent()
+    );
+    let pt = compare("PT", InputSize::Small);
+    assert!(
+        pt.speedup_percent().abs() < 3.0,
+        "PT's CPU produces nothing for the GPU; got {:.2}%",
+        pt.speedup_percent()
+    );
+}
+
+/// §IV.D: the GPU L2 miss rate drops under direct store, and the
+/// reduction is specifically in compulsory misses.
+#[test]
+fn miss_rate_and_compulsory_reduction() {
+    for code in ["VA", "NN", "BP"] {
+        let c = compare(code, InputSize::Small);
+        let (mc, md) = c.miss_rates();
+        assert!(md < mc, "{code}: miss rate must drop ({mc} -> {md})");
+        let (cc, cd) = c.compulsory_misses();
+        assert!(
+            cd < cc,
+            "{code}: compulsory misses must drop ({cc} -> {cd})"
+        );
+    }
+}
+
+/// §IV.D (PT): "the total misses and the total cache accesses to GPU
+/// L2 cache also do not change" when the CPU produces nothing.
+#[test]
+fn pt_miss_behaviour_is_identical() {
+    let c = compare("PT", InputSize::Small);
+    assert_eq!(
+        c.ccsm.gpu_l2.misses.value(),
+        c.direct_store.gpu_l2.misses.value()
+    );
+    assert_eq!(c.direct_store.direct_pushes, 0);
+}
+
+/// Fig. 1: the direct-store path uses the dedicated network and
+/// removes the pull chain's coherence traffic.
+#[test]
+fn dataflow_comparison_matches_figure_one() {
+    let ccsm = trace::trace_single_line(Mode::Ccsm);
+    let ds = trace::trace_single_line(Mode::DirectStore);
+    assert_eq!(ccsm.direct_msgs, 0);
+    assert!(ds.direct_msgs >= 3, "GETX + PUTX + ack");
+    assert_eq!(ds.gpu_l2_misses, 0, "pushed line hits on first access");
+    assert_eq!(ccsm.gpu_l2_misses, 1);
+    assert!(ds.total_cycles < ccsm.total_cycles);
+}
+
+/// §III.H: direct store as a stand-alone replacement exchanges no
+/// coherence messages at all.
+#[test]
+fn replacement_mode_eliminates_coherence_traffic() {
+    let b = catalog::by_code("VA").unwrap();
+    let r = Pipeline::paper_default()
+        .replacement_mode()
+        .run_comparison(&b, InputSize::Small)
+        .unwrap();
+    assert_eq!(r.direct_store.coh_net.total_msgs(), 0);
+    assert!(r.direct_store.direct_pushes > 0);
+}
+
+/// The simulator is deterministic: identical runs produce identical
+/// tick counts and statistics.
+#[test]
+fn runs_are_deterministic() {
+    let a = compare("BF", InputSize::Small);
+    let b = compare("BF", InputSize::Small);
+    assert_eq!(a.ccsm.total_cycles, b.ccsm.total_cycles);
+    assert_eq!(a.direct_store.total_cycles, b.direct_store.total_cycles);
+    assert_eq!(
+        a.ccsm.gpu_l2.misses.value(),
+        b.ccsm.gpu_l2.misses.value()
+    );
+    assert_eq!(a.ccsm.events, b.ccsm.events);
+}

@@ -1,0 +1,93 @@
+//! Integration tests of the translator driving the simulator's memory
+//! layout — §III.C through §III.E glued together.
+
+use direct_store::core::{InputSize, Scenario};
+use direct_store::cpu::{CpuOp, DirectWindow};
+use direct_store::workloads::catalog;
+use direct_store::xlat::Translator;
+
+/// Every Table II benchmark's emitted source translates, and the plan
+/// covers every array with non-overlapping page-aligned regions in the
+/// direct window.
+#[test]
+fn all_benchmark_sources_translate_with_sound_plans() {
+    let window = DirectWindow::paper_default();
+    for b in catalog::all() {
+        for input in [InputSize::Small, InputSize::Big] {
+            let spec = b.spec(input);
+            let out = Translator::new()
+                .translate(&spec.emit_source())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.code()));
+            assert_eq!(out.plan.len(), spec.arrays.len(), "{}", b.code());
+            let vars = out.plan.vars();
+            for v in vars {
+                assert!(window.contains(v.base), "{}: {} outside window", b.code(), v.name);
+                assert_eq!(v.base.as_u64() % 4096, 0, "{}: unaligned", b.code());
+                let declared = spec
+                    .arrays
+                    .iter()
+                    .find(|a| a.name == v.name)
+                    .unwrap_or_else(|| panic!("{}: unknown var {}", b.code(), v.name));
+                assert_eq!(declared.bytes, v.size, "{}: size mismatch", b.code());
+            }
+            for (i, v) in vars.iter().enumerate() {
+                for w in &vars[i + 1..] {
+                    let v_end = v.base.offset(v.size);
+                    let w_end = w.base.offset(w.size);
+                    assert!(
+                        v_end <= w.base || w_end <= v.base,
+                        "{}: {} overlaps {}",
+                        b.code(),
+                        v.name,
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Under direct store, every produced store the CPU program issues
+/// targets the translator-planned window; under CCSM none do.
+#[test]
+fn programs_respect_their_layout() {
+    let window = DirectWindow::paper_default();
+    let b = catalog::by_code("BL").unwrap();
+
+    let ccsm = b.build(None, InputSize::Small);
+    for op in ccsm.program.ops() {
+        if let CpuOp::Store(va) = op {
+            assert!(!window.contains(*va), "CCSM store in window: {va}");
+        }
+    }
+
+    let plan = Translator::new()
+        .translate(&b.source(InputSize::Small))
+        .unwrap()
+        .plan;
+    let ds = b.build(Some(&plan), InputSize::Small);
+    let mut stores = 0;
+    for op in ds.program.ops() {
+        if let CpuOp::Store(va) = op {
+            assert!(window.contains(*va), "DS store outside window: {va}");
+            stores += 1;
+        }
+    }
+    assert!(stores > 0);
+    // Same shape either way: identical op counts.
+    assert_eq!(ccsm.program.len(), ds.program.len());
+    assert_eq!(ccsm.program.stores(), ds.program.stores());
+}
+
+/// Translation is a no-op for sources without kernels and idempotent
+/// on its own output.
+#[test]
+fn translation_is_idempotent_across_catalog() {
+    for b in catalog::all().into_iter().take(5) {
+        let src = b.source(InputSize::Small);
+        let once = Translator::new().translate(&src).unwrap();
+        let twice = Translator::new().translate(&once.source).unwrap();
+        assert!(twice.plan.is_empty(), "{}: second pass rewrote", b.code());
+        assert_eq!(once.source, twice.source, "{}", b.code());
+    }
+}
