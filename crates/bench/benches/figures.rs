@@ -10,10 +10,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ds_bench::run_single;
-use ds_core::trace::trace_single_line;
-use ds_core::topology::Topology;
-use ds_core::{InputSize, Mode, SystemConfig};
 use ds_coherence::transition_table;
+use ds_core::topology::Topology;
+use ds_core::trace::trace_single_line;
+use ds_core::{InputSize, Mode, SystemConfig};
 use ds_workloads::catalog;
 
 fn bench_table1(c: &mut Criterion) {
@@ -31,7 +31,12 @@ fn bench_table2(c: &mut Criterion) {
             let mut total = 0u64;
             for bench in catalog::all() {
                 for input in [InputSize::Small, InputSize::Big] {
-                    total += bench.spec(input).arrays.iter().map(|a| a.bytes).sum::<u64>();
+                    total += bench
+                        .spec(input)
+                        .arrays
+                        .iter()
+                        .map(|a| a.bytes)
+                        .sum::<u64>();
                 }
             }
             std::hint::black_box(total)
@@ -72,7 +77,9 @@ fn bench_fig4(c: &mut Criterion) {
     for code in ["NN", "PT", "HT"] {
         for mode in [Mode::Ccsm, Mode::DirectStore] {
             g.bench_function(format!("{code}/small/{mode}"), |b| {
-                b.iter(|| std::hint::black_box(run_single(&cfg, code, InputSize::Small, mode)))
+                b.iter(|| {
+                    std::hint::black_box(run_single(&cfg, code, InputSize::Small, mode).unwrap())
+                })
             });
         }
     }
@@ -89,7 +96,7 @@ fn bench_fig5(c: &mut Criterion) {
         for mode in [Mode::Ccsm, Mode::DirectStore] {
             g.bench_function(format!("{code}/small/{mode}"), |b| {
                 b.iter(|| {
-                    let r = run_single(&cfg, code, InputSize::Small, mode);
+                    let r = run_single(&cfg, code, InputSize::Small, mode).unwrap();
                     std::hint::black_box(r.gpu_l2_miss_rate())
                 })
             });
@@ -108,7 +115,8 @@ fn bench_ablation_net(c: &mut Criterion) {
         cfg.direct_hop_latency = lat;
         g.bench_function(format!("direct_lat_{lat}"), |b| {
             b.iter(|| {
-                std::hint::black_box(run_single(&cfg, "VA", InputSize::Small, Mode::DirectStore))
+                let r = run_single(&cfg, "VA", InputSize::Small, Mode::DirectStore).unwrap();
+                std::hint::black_box(r)
             })
         });
     }

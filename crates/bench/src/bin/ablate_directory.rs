@@ -8,10 +8,14 @@
 //! direct store's advantage persists on top of either — the mechanisms
 //! are complementary, as §II argues.
 //!
+//! The four runs per benchmark are batched through the `ds-runner`
+//! subsystem and simulated in parallel.
+//!
 //! Usage: `ablate_directory [CODE...]` (default VA NN BP GA)
 
-use ds_bench::run_single;
-use ds_core::{InputSize, Mode, SystemConfig};
+use ds_bench::exit_on_error;
+use ds_core::{InputSize, Mode, RunReport, SystemConfig};
+use ds_runner::{Runner, Task};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,17 +30,22 @@ fn main() {
         "{:<5} {:>13} {:>13} {:>12} {:>11} {:>11}",
         "name", "bcast msgs", "dir msgs", "msgs saved", "ds% bcast", "ds% dir"
     );
-    for code in codes {
-        let bcast = SystemConfig::paper_default();
-        let mut dir = SystemConfig::paper_default();
-        dir.directory_filter = true;
 
-        let b_ccsm = run_single(&bcast, code, InputSize::Small, Mode::Ccsm);
-        let b_ds = run_single(&bcast, code, InputSize::Small, Mode::DirectStore);
-        let d_ccsm = run_single(&dir, code, InputSize::Small, Mode::Ccsm);
-        let d_ds = run_single(&dir, code, InputSize::Small, Mode::DirectStore);
+    let bcast = SystemConfig::paper_default();
+    let mut dir = SystemConfig::paper_default();
+    dir.directory_filter = true;
+    let mut tasks = Vec::new();
+    for code in &codes {
+        for cfg in [&bcast, &dir] {
+            tasks.push(Task::new(cfg, code, InputSize::Small, Mode::Ccsm));
+            tasks.push(Task::new(cfg, code, InputSize::Small, Mode::DirectStore));
+        }
+    }
+    let reports = exit_on_error(Runner::new().run_tasks(&tasks));
 
-        let speedup = |c: &ds_core::RunReport, d: &ds_core::RunReport| {
+    for (code, quad) in codes.iter().zip(reports.chunks(4)) {
+        let (b_ccsm, b_ds, d_ccsm, d_ds) = (&quad[0], &quad[1], &quad[2], &quad[3]);
+        let speedup = |c: &RunReport, d: &RunReport| {
             (c.total_cycles.as_u64() as f64 / d.total_cycles.as_u64() as f64 - 1.0) * 100.0
         };
         println!(
@@ -44,10 +53,9 @@ fn main() {
             code,
             b_ccsm.coh_net.total_msgs(),
             d_ccsm.coh_net.total_msgs(),
-            (1.0 - d_ccsm.coh_net.total_msgs() as f64 / b_ccsm.coh_net.total_msgs() as f64)
-                * 100.0,
-            speedup(&b_ccsm, &b_ds),
-            speedup(&d_ccsm, &d_ds),
+            (1.0 - d_ccsm.coh_net.total_msgs() as f64 / b_ccsm.coh_net.total_msgs() as f64) * 100.0,
+            speedup(b_ccsm, b_ds),
+            speedup(d_ccsm, d_ds),
         );
     }
 }

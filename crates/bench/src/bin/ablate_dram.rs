@@ -7,7 +7,10 @@
 //! generates (demand reads interleaved with writebacks), bounding the
 //! error that the FCFS simplification introduces.
 
+use ds_bench::exit_on_error;
+use ds_core::{InputSize, Mode, SystemConfig};
 use ds_mem::{Dram, DramConfig, DramRequest, FrFcfsScheduler, LineAddr};
+use ds_runner::{Runner, Task};
 use ds_sim::Cycle;
 
 /// Row-interleaved read/write mix modelled on a kernel-phase trace:
@@ -75,4 +78,25 @@ fn main() {
     println!("The gain bounds the speedup a smarter controller could add to the");
     println!("CCSM baseline; it applies to both modes' DRAM traffic, so the");
     println!("CCSM-vs-direct-store comparison is insensitive to it.");
+
+    // Full-system cross-check through the runner: both modes of a
+    // representative benchmark, showing the DRAM traffic the row-hit
+    // argument above is about.
+    println!();
+    println!("full-system DRAM traffic (VA, small input):");
+    let sys_cfg = SystemConfig::paper_default();
+    let tasks = [
+        Task::new(&sys_cfg, "VA", InputSize::Small, Mode::Ccsm),
+        Task::new(&sys_cfg, "VA", InputSize::Small, Mode::DirectStore),
+    ];
+    let reports = exit_on_error(Runner::new().progress(false).run_tasks(&tasks));
+    for (task, r) in tasks.iter().zip(&reports) {
+        println!(
+            "  {:>7}: reads {:>7}  writes {:>7}  row hits {:>7}",
+            task.mode.to_string(),
+            r.dram_reads,
+            r.dram_writes,
+            r.dram_row_hits
+        );
+    }
 }

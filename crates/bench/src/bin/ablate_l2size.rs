@@ -4,11 +4,17 @@
 //! the GPU L2. Sweeping the slice size confirms the mechanism: the
 //! speedup collapses once the produced footprint no longer fits.
 //!
+//! All twelve runs are planned up front and batched through the
+//! `ds-runner` subsystem, so the configurations simulate in parallel.
+//!
 //! Usage: `ablate_l2size [CODE] [small|big]` (default MM small)
 
-use ds_bench::run_single;
+use ds_bench::exit_on_error;
 use ds_cache::CacheGeometry;
 use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::{Runner, Task};
+
+const SLICE_KB: [u64; 6] = [64, 128, 256, 512, 1024, 2048];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,14 +25,19 @@ fn main() {
     };
     println!("ABLATION — GPU L2 slice capacity ({code}, {input} input)");
     println!("========================================================");
-    for slice_kb in [64u64, 128, 256, 512, 1024, 2048] {
+
+    let mut tasks = Vec::new();
+    for slice_kb in SLICE_KB {
         let mut cfg = SystemConfig::paper_default();
-        cfg.gpu_l2_slice =
-            CacheGeometry::new(slice_kb * 1024, 16).expect("power-of-two slice");
-        let ccsm = run_single(&cfg, code, input, Mode::Ccsm).total_cycles.as_u64();
-        let ds = run_single(&cfg, code, input, Mode::DirectStore)
-            .total_cycles
-            .as_u64();
+        cfg.gpu_l2_slice = CacheGeometry::new(slice_kb * 1024, 16).expect("power-of-two slice");
+        tasks.push(Task::new(&cfg, code, input, Mode::Ccsm));
+        tasks.push(Task::new(&cfg, code, input, Mode::DirectStore));
+    }
+    let reports = exit_on_error(Runner::new().run_tasks(&tasks));
+
+    for (slice_kb, pair) in SLICE_KB.iter().zip(reports.chunks(2)) {
+        let ccsm = pair[0].total_cycles.as_u64();
+        let ds = pair[1].total_cycles.as_u64();
         let speedup = (ccsm as f64 / ds as f64 - 1.0) * 100.0;
         println!(
             "  L2 total {:>5} KB: speedup {:>6.2}%",

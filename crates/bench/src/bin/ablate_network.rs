@@ -6,10 +6,18 @@
 //! the producing computation, so even a slow direct network keeps most
 //! of the gain.
 //!
+//! The whole latency grid is batched through the `ds-runner`
+//! subsystem and simulated in parallel; the shared CCSM baselines are
+//! deduplicated automatically.
+//!
 //! Usage: `ablate_network [CODE...]` (default NN VA)
 
-use ds_bench::run_single;
+use ds_bench::exit_on_error;
 use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::{dedup_tasks, Runner, Task, TaskKey};
+use std::collections::HashMap;
+
+const LATENCIES: [u64; 6] = [5, 10, 20, 40, 80, 160];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,18 +28,32 @@ fn main() {
     };
     println!("ABLATION — direct-network per-hop latency (cycles)");
     println!("===================================================");
-    for code in codes {
-        let ccsm =
-            run_single(&SystemConfig::paper_default(), code, InputSize::Small, Mode::Ccsm)
-                .total_cycles
-                .as_u64();
-        println!("{code} (CCSM baseline: {ccsm} cycles)");
-        for lat in [5u64, 10, 20, 40, 80, 160] {
+
+    let base = SystemConfig::paper_default();
+    let mut tasks = Vec::new();
+    for code in &codes {
+        tasks.push(Task::new(&base, code, InputSize::Small, Mode::Ccsm));
+        for lat in LATENCIES {
             let mut cfg = SystemConfig::paper_default();
             cfg.direct_hop_latency = lat;
-            let ds = run_single(&cfg, code, InputSize::Small, Mode::DirectStore)
-                .total_cycles
-                .as_u64();
+            tasks.push(Task::new(&cfg, code, InputSize::Small, Mode::DirectStore));
+        }
+    }
+    let tasks = dedup_tasks(&tasks);
+    let reports = exit_on_error(Runner::new().run_tasks(&tasks));
+    let by_key: HashMap<TaskKey, u64> = tasks
+        .iter()
+        .zip(&reports)
+        .map(|(t, r)| (t.key(), r.total_cycles.as_u64()))
+        .collect();
+
+    for code in codes {
+        let ccsm = by_key[&Task::new(&base, code, InputSize::Small, Mode::Ccsm).key()];
+        println!("{code} (CCSM baseline: {ccsm} cycles)");
+        for lat in LATENCIES {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.direct_hop_latency = lat;
+            let ds = by_key[&Task::new(&cfg, code, InputSize::Small, Mode::DirectStore).key()];
             let speedup = (ccsm as f64 / ds as f64 - 1.0) * 100.0;
             println!("  latency {lat:>4}: {ds:>10} cycles  speedup {speedup:>6.2}%");
         }

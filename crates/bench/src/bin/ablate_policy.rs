@@ -8,11 +8,22 @@
 //! At small inputs nothing evicts and every policy ties — itself a
 //! finding; the big-input rows are where policies differentiate.
 //!
+//! The full (input × code × policy × mode) grid is batched through the
+//! `ds-runner` subsystem and simulated in parallel.
+//!
 //! Usage: `ablate_policy [CODE...]` (default MM VA SR)
 
-use ds_bench::run_single;
+use ds_bench::exit_on_error;
 use ds_cache::ReplacementPolicy;
 use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::{Runner, Task};
+
+const POLICIES: [(&str, ReplacementPolicy); 4] = [
+    ("lru", ReplacementPolicy::Lru),
+    ("tree-plru", ReplacementPolicy::TreePlru),
+    ("fifo", ReplacementPolicy::Fifo),
+    ("random", ReplacementPolicy::Random { seed: 7 }),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,14 +32,23 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
-    let policies = [
-        ("lru", ReplacementPolicy::Lru),
-        ("tree-plru", ReplacementPolicy::TreePlru),
-        ("fifo", ReplacementPolicy::Fifo),
-        ("random", ReplacementPolicy::Random { seed: 7 }),
-    ];
     println!("ABLATION — coherent-cache replacement policy");
     println!("=============================================");
+
+    let mut tasks = Vec::new();
+    for input in [InputSize::Small, InputSize::Big] {
+        for code in &codes {
+            for (_, policy) in POLICIES {
+                let mut cfg = SystemConfig::paper_default();
+                cfg.replacement = policy;
+                tasks.push(Task::new(&cfg, code, input, Mode::Ccsm));
+                tasks.push(Task::new(&cfg, code, input, Mode::DirectStore));
+            }
+        }
+    }
+    let reports = exit_on_error(Runner::new().run_tasks(&tasks));
+    let mut pairs = reports.chunks(2);
+
     for input in [InputSize::Small, InputSize::Big] {
         println!(
             "{:<10} {:>10} {:>12} {:>12} {:>12}",
@@ -40,15 +60,10 @@ fn main() {
         );
         for code in &codes {
             let mut row = format!("{code:<10}");
-            for (_, policy) in policies {
-                let mut cfg = SystemConfig::paper_default();
-                cfg.replacement = policy;
-                let ccsm = run_single(&cfg, code, input, Mode::Ccsm)
-                    .total_cycles
-                    .as_u64();
-                let ds = run_single(&cfg, code, input, Mode::DirectStore)
-                    .total_cycles
-                    .as_u64();
+            for _ in POLICIES {
+                let pair = pairs.next().expect("one report pair per grid cell");
+                let ccsm = pair[0].total_cycles.as_u64();
+                let ds = pair[1].total_cycles.as_u64();
                 row.push_str(&format!(
                     " {:>11.2}%",
                     (ccsm as f64 / ds as f64 - 1.0) * 100.0

@@ -5,10 +5,14 @@
 //! prefetching. This harness adds a next-line prefetcher to the
 //! baseline and re-measures.
 //!
+//! The three runs per benchmark are batched through the `ds-runner`
+//! subsystem and simulated in parallel.
+//!
 //! Usage: `ablate_prefetch [CODE...]` (default NN VA MM BP)
 
-use ds_bench::run_single;
+use ds_bench::exit_on_error;
 use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::{Runner, Task};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,19 +27,22 @@ fn main() {
         "{:<5} {:>10} {:>12} {:>10} {:>12} {:>12}",
         "name", "ccsm", "ccsm+pf", "ds", "ds vs ccsm", "ds vs pf"
     );
-    for code in codes {
-        let base = SystemConfig::paper_default();
-        let mut pf_cfg = SystemConfig::paper_default();
-        pf_cfg.gpu_l2_prefetch = true;
-        let ccsm = run_single(&base, code, InputSize::Small, Mode::Ccsm)
-            .total_cycles
-            .as_u64();
-        let pf = run_single(&pf_cfg, code, InputSize::Small, Mode::Ccsm)
-            .total_cycles
-            .as_u64();
-        let ds = run_single(&base, code, InputSize::Small, Mode::DirectStore)
-            .total_cycles
-            .as_u64();
+
+    let base = SystemConfig::paper_default();
+    let mut pf_cfg = SystemConfig::paper_default();
+    pf_cfg.gpu_l2_prefetch = true;
+    let mut tasks = Vec::new();
+    for code in &codes {
+        tasks.push(Task::new(&base, code, InputSize::Small, Mode::Ccsm));
+        tasks.push(Task::new(&pf_cfg, code, InputSize::Small, Mode::Ccsm));
+        tasks.push(Task::new(&base, code, InputSize::Small, Mode::DirectStore));
+    }
+    let reports = exit_on_error(Runner::new().run_tasks(&tasks));
+
+    for (code, triple) in codes.iter().zip(reports.chunks(3)) {
+        let ccsm = triple[0].total_cycles.as_u64();
+        let pf = triple[1].total_cycles.as_u64();
+        let ds = triple[2].total_cycles.as_u64();
         println!(
             "{:<5} {:>10} {:>12} {:>10} {:>11.2}% {:>11.2}%",
             code,

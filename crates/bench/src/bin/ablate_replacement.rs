@@ -4,17 +4,33 @@
 //! The replacement design removes the broadcast protocol entirely;
 //! the paper argues it is "a simpler design with better performance".
 //!
+//! All three modes of every catalog benchmark are batched through the
+//! `ds-runner` subsystem and simulated in parallel.
+//!
 //! Usage: `ablate_replacement [small|big]`
 
-use ds_bench::{parse_sizes, run_single};
-use ds_core::{Mode, SystemConfig};
-use ds_core::Scenario;
+use ds_bench::{exit_on_error, parse_sizes};
+use ds_core::{Mode, Scenario, SystemConfig};
+use ds_runner::{Runner, Task};
 use ds_workloads::catalog;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = SystemConfig::paper_default();
+    let mut runner = Runner::new();
     for input in parse_sizes(&args[..args.len().min(1)]) {
+        let codes: Vec<String> = catalog::all()
+            .iter()
+            .map(|b| b.code().to_string())
+            .collect();
+        let mut tasks = Vec::new();
+        for code in &codes {
+            for mode in [Mode::Ccsm, Mode::DirectStore, Mode::DirectStoreOnly] {
+                tasks.push(Task::new(&cfg, code, input, mode));
+            }
+        }
+        let reports = exit_on_error(runner.run_tasks(&tasks));
+
         println!();
         println!("ABLATION — DS-complement vs DS-replacement ({input} inputs)");
         println!("============================================================");
@@ -22,11 +38,8 @@ fn main() {
             "{:<5} {:>10} {:>10} {:>10} {:>14}",
             "name", "ccsm", "ds", "ds-only", "coh msgs saved"
         );
-        for b in catalog::all() {
-            let code = b.code().to_string();
-            let ccsm = run_single(&cfg, &code, input, Mode::Ccsm);
-            let ds = run_single(&cfg, &code, input, Mode::DirectStore);
-            let dso = run_single(&cfg, &code, input, Mode::DirectStoreOnly);
+        for (code, triple) in codes.iter().zip(reports.chunks(3)) {
+            let (ccsm, ds, dso) = (&triple[0], &triple[1], &triple[2]);
             println!(
                 "{:<5} {:>10} {:>10} {:>10} {:>14}",
                 code,

@@ -4,10 +4,16 @@
 //! load latency; the store buffer is what absorbs that extra latency.
 //! Shrinking it shows where the trade starts to bite the producer.
 //!
+//! All depths are batched through the `ds-runner` subsystem and
+//! simulated in parallel.
+//!
 //! Usage: `ablate_storebuf [CODE]` (default VA)
 
-use ds_bench::run_single;
+use ds_bench::exit_on_error;
 use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::{Runner, Task};
+
+const DEPTHS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 fn main() {
     let code_owned = std::env::args().nth(1).unwrap_or_else(|| "VA".to_string());
@@ -18,19 +24,25 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>10} {:>12}",
         "entries", "ccsm", "ds", "speedup", "sb stalls(ds)"
     );
-    for entries in [1usize, 2, 4, 8, 16, 32, 64] {
+
+    let mut tasks = Vec::new();
+    for entries in DEPTHS {
         let mut cfg = SystemConfig::paper_default();
         cfg.store_buffer_entries = entries;
         cfg.store_drain_parallelism = cfg.store_drain_parallelism.min(entries);
-        let ccsm = run_single(&cfg, code, InputSize::Small, Mode::Ccsm);
-        let ds = run_single(&cfg, code, InputSize::Small, Mode::DirectStore);
+        tasks.push(Task::new(&cfg, code, InputSize::Small, Mode::Ccsm));
+        tasks.push(Task::new(&cfg, code, InputSize::Small, Mode::DirectStore));
+    }
+    let reports = exit_on_error(Runner::new().run_tasks(&tasks));
+
+    for (entries, pair) in DEPTHS.iter().zip(reports.chunks(2)) {
+        let (ccsm, ds) = (&pair[0], &pair[1]);
         println!(
             "{:<8} {:>12} {:>12} {:>9.2}% {:>12}",
             entries,
             ccsm.total_cycles.as_u64(),
             ds.total_cycles.as_u64(),
-            (ccsm.total_cycles.as_u64() as f64 / ds.total_cycles.as_u64() as f64 - 1.0)
-                * 100.0,
+            (ccsm.total_cycles.as_u64() as f64 / ds.total_cycles.as_u64() as f64 - 1.0) * 100.0,
             ds.store_buffer_stalls
         );
     }

@@ -1,9 +1,13 @@
 //! Diagnostic tool: full run reports for one benchmark.
 //!
+//! Both modes are batched through the `ds-runner` subsystem and run in
+//! parallel.
+//!
 //! Usage: `diag <CODE> [small|big]`
 
-use ds_bench::run_single;
+use ds_bench::exit_on_error;
 use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::{Runner, Task};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,8 +17,13 @@ fn main() {
         _ => InputSize::Small,
     };
     let cfg = SystemConfig::paper_default();
-    for mode in [Mode::Ccsm, Mode::DirectStore] {
-        let r = run_single(&cfg, code, input, mode);
+    let modes = [Mode::Ccsm, Mode::DirectStore];
+    let tasks: Vec<Task> = modes
+        .iter()
+        .map(|&mode| Task::new(&cfg, code, input, mode))
+        .collect();
+    let reports = exit_on_error(Runner::new().progress(false).run_tasks(&tasks));
+    for r in &reports {
         println!("{r}");
         println!(
             "  gpu-l1: {}  push_hits={} pushed_fills={}",
@@ -34,7 +43,9 @@ fn main() {
             "  phases: produce ~{}  kernels ~{}  tail ~{}",
             r.first_kernel_start.as_u64(),
             r.last_kernel_end.as_u64() - r.first_kernel_start.as_u64(),
-            r.total_cycles.as_u64().saturating_sub(r.last_kernel_end.as_u64())
+            r.total_cycles
+                .as_u64()
+                .saturating_sub(r.last_kernel_end.as_u64())
         );
         println!();
     }

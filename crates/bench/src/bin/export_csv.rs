@@ -4,48 +4,46 @@
 //! cycles, GPU L2 accesses/misses/miss-rate/compulsory, pushes,
 //! coherence/direct/gpu network messages, DRAM reads/writes.
 //!
+//! The whole run plan is batched through the `ds-runner` subsystem, so
+//! rows are simulated in parallel (`DS_RUNNER_JOBS` sets the worker
+//! count) while the output order stays fixed.
+//!
 //! Usage: `export_csv [small|big|both]` (default both); writes to
 //! stdout.
 
-use ds_core::{Mode, Pipeline, Scenario};
+use ds_bench::{exit_on_error, parse_sizes};
+use ds_core::{Mode, Scenario, SystemConfig};
+use ds_runner::{report_csv_row, Runner, Task, REPORT_CSV_HEADER};
 use ds_workloads::catalog;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let sizes = ds_bench::parse_sizes(&args);
-    let pipeline = Pipeline::paper_default();
-    println!(
-        "benchmark,suite,shared_memory,input,mode,total_cycles,gpu_l2_accesses,\
-         gpu_l2_misses,gpu_l2_miss_rate,gpu_l2_compulsory,push_hits,direct_pushes,\
-         coh_msgs,direct_msgs,gpu_msgs,dram_reads,dram_writes"
-    );
-    for input in sizes {
+    let sizes = parse_sizes(&args);
+    let cfg = SystemConfig::paper_default();
+
+    let mut plan = Vec::new();
+    for &input in &sizes {
         for b in catalog::all() {
             for mode in [Mode::Ccsm, Mode::DirectStore] {
-                let r = pipeline
-                    .run_one(&b, input, mode)
-                    .unwrap_or_else(|e| panic!("{} {input} {mode}: {e}", b.code()));
-                println!(
-                    "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{}",
-                    b.code(),
-                    b.suite(),
-                    b.uses_shared_memory(),
-                    input,
-                    mode,
-                    r.total_cycles.as_u64(),
-                    r.gpu_l2.accesses(),
-                    r.gpu_l2.misses.value(),
-                    r.gpu_l2_miss_rate(),
-                    r.gpu_l2_compulsory_misses(),
-                    r.gpu_l2.push_hits.value(),
-                    r.direct_pushes,
-                    r.coh_net.total_msgs(),
-                    r.direct_net.total_msgs(),
-                    r.gpu_net.total_msgs(),
-                    r.dram_reads,
-                    r.dram_writes
-                );
+                plan.push((b.clone(), Task::new(&cfg, b.code(), input, mode)));
             }
         }
+    }
+    let tasks: Vec<Task> = plan.iter().map(|(_, t)| t.clone()).collect();
+    let mut runner = Runner::new();
+    let reports = exit_on_error(runner.run_tasks(&tasks));
+
+    println!("{REPORT_CSV_HEADER}");
+    for ((b, task), report) in plan.iter().zip(&reports) {
+        println!(
+            "{}",
+            report_csv_row(
+                b.code(),
+                &b.suite().to_string(),
+                b.uses_shared_memory(),
+                task.input,
+                report
+            )
+        );
     }
 }

@@ -2,19 +2,25 @@
 //! paper) and direct store (blue bars), small (top) and big (bottom)
 //! inputs, with geometric means as the right-most bars.
 //!
+//! Runs through the `ds-runner` subsystem: simulations execute in
+//! parallel (`DS_RUNNER_JOBS` sets the worker count) and are memoized
+//! across the two input sweeps.
+//!
 //! Usage: `fig5_missrate [small|big|both]`
 
-use ds_bench::{bar, geomean_miss_rate_percent, parse_sizes, run_sweep};
-use ds_core::SystemConfig;
+use ds_bench::{bar, exit_on_error, geomean_miss_rate_percent, parse_sizes};
+use ds_core::{Mode, SystemConfig};
+use ds_runner::Runner;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = SystemConfig::paper_default();
+    let mut runner = Runner::new();
     for input in parse_sizes(&args) {
         println!();
         println!("FIG. 5 ({input}) — GPU L2 MISS RATE, CCSM vs DIRECT STORE");
         println!("==========================================================");
-        let comparisons = run_sweep(&cfg, input);
+        let comparisons = exit_on_error(runner.sweep(&cfg, input, Mode::DirectStore, |_| true));
         let max = comparisons
             .iter()
             .map(|c| c.miss_rates().0.max(c.miss_rates().1) * 100.0)
@@ -31,12 +37,19 @@ fn main() {
                 c.code,
                 pc,
                 pd,
-                format!("{}|{}", bar(pc, max, 20), bar(pd, max, 20).replace('█', "▒"))
+                format!(
+                    "{}|{}",
+                    bar(pc, max, 20),
+                    bar(pd, max, 20).replace('█', "▒")
+                )
             );
         }
         let gc = geomean_miss_rate_percent(comparisons.iter().map(|c| c.miss_rates().0));
         let gd = geomean_miss_rate_percent(comparisons.iter().map(|c| c.miss_rates().1));
-        println!("{:<4} {:>7.2}% {:>7.2}%   (geomean of non-zero rates)", "GEO", gc, gd);
+        println!(
+            "{:<4} {:>7.2}% {:>7.2}%   (geomean of non-zero rates)",
+            "GEO", gc, gd
+        );
         println!(
             "paper reference geomeans: {}",
             match input {

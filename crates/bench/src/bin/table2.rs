@@ -8,7 +8,14 @@ fn main() {
     println!("=====================");
     println!(
         "{:<5} {:<26} {:<15} {:<15} {:<11} {:<6} {:>12} {:>12}",
-        "Name", "Benchmark", "Small input", "Big input", "Suite", "Shared", "small bytes", "big bytes"
+        "Name",
+        "Benchmark",
+        "Small input",
+        "Big input",
+        "Suite",
+        "Shared",
+        "small bytes",
+        "big bytes"
     );
     for b in catalog::all() {
         let small: u64 = b

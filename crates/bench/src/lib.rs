@@ -15,62 +15,81 @@
 //! | `ablate_*` | design-choice ablations (DESIGN.md) |
 //!
 //! This library holds the shared sweep/formatting code; the binaries
-//! are thin wrappers.
+//! are thin wrappers over the `ds-runner` orchestration subsystem
+//! (parallel execution, memoization, `DS_RUNNER_JOBS`).
 
-use ds_core::{Comparison, InputSize, Mode, Pipeline, RunReport, SystemConfig};
-use ds_workloads::{catalog, Benchmark};
+use ds_core::{Comparison, InputSize, Mode, PipelineError, RunReport, SystemConfig};
+use ds_runner::Runner;
+use ds_workloads::Benchmark;
 
 /// Runs the full 22-benchmark comparison sweep at `input`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any benchmark fails translation — a regression, since
-/// every catalog entry is translation-tested.
-pub fn run_sweep(cfg: &SystemConfig, input: InputSize) -> Vec<Comparison> {
+/// Returns the first benchmark's translation failure — a regression if
+/// it ever happens, since every catalog entry is translation-tested.
+pub fn run_sweep(cfg: &SystemConfig, input: InputSize) -> Result<Vec<Comparison>, PipelineError> {
     run_sweep_with(cfg, input, |_| true)
 }
 
 /// Runs the comparison sweep over the benchmarks `filter` selects.
 ///
-/// # Panics
+/// Thin wrapper over [`ds_runner::Runner::sweep`] with progress lines
+/// off; binaries that want cross-sweep memoization or progress build
+/// their own `Runner`.
 ///
-/// Panics if a selected benchmark fails translation.
+/// # Errors
+///
+/// Returns the first selected benchmark's failure.
 pub fn run_sweep_with(
     cfg: &SystemConfig,
     input: InputSize,
     filter: impl Fn(&Benchmark) -> bool,
-) -> Vec<Comparison> {
-    let pipeline = Pipeline::with_config(cfg.clone());
-    catalog::all()
-        .into_iter()
-        .filter(|b| filter(b))
-        .map(|b| {
-            pipeline
-                .run_comparison(&b, input)
-                .unwrap_or_else(|e| panic!("{}: {e}", ds_core::Scenario::code(&b)))
-        })
-        .collect()
+) -> Result<Vec<Comparison>, PipelineError> {
+    Runner::new()
+        .progress(false)
+        .sweep(cfg, input, Mode::DirectStore, filter)
 }
 
 /// Runs one benchmark under one mode.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on translation failure or unknown code.
-pub fn run_single(cfg: &SystemConfig, code: &str, input: InputSize, mode: Mode) -> RunReport {
-    let b = catalog::by_code(code).unwrap_or_else(|| panic!("unknown benchmark {code}"));
-    Pipeline::with_config(cfg.clone())
-        .run_one(&b, input, mode)
-        .unwrap_or_else(|e| panic!("{code}: {e}"))
+/// Returns [`PipelineError::UnknownBenchmark`] for a code not in the
+/// catalog, or the benchmark's translation failure.
+pub fn run_single(
+    cfg: &SystemConfig,
+    code: &str,
+    input: InputSize,
+    mode: Mode,
+) -> Result<RunReport, PipelineError> {
+    Runner::new()
+        .progress(false)
+        .run_one(cfg, code, input, mode)
 }
 
+/// Unwraps a pipeline result in a binary's `main`, exiting with a
+/// message instead of a panic backtrace.
+pub fn exit_on_error<T>(result: Result<T, PipelineError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Speedups within this of 1.0 count as "zero" for Fig. 4's geomean:
+/// the paper's summary bar averages only benchmarks direct store
+/// actually moves, and sub-half-percent deltas are scheduling noise on
+/// these workload sizes, not signal.
+pub const FLAT_SPEEDUP_EPSILON: f64 = 0.005;
+
 /// The paper's Fig. 4 summary statistic: geometric mean over the
-/// *non-zero* speedups, as a percentage.
+/// *non-zero* speedups (per [`FLAT_SPEEDUP_EPSILON`]), as a percentage.
 pub fn geomean_nonzero_speedup_percent(comparisons: &[Comparison]) -> f64 {
     let gains: Vec<f64> = comparisons
         .iter()
         .map(|c| c.speedup())
-        .filter(|&s| (s - 1.0).abs() > 0.005)
+        .filter(|&s| (s - 1.0).abs() > FLAT_SPEEDUP_EPSILON)
         .collect();
     (ds_sim::geomean(gains) - 1.0) * 100.0
 }
@@ -121,9 +140,16 @@ mod tests {
     #[test]
     fn single_run_smoke() {
         let cfg = SystemConfig::paper_default();
-        let r = run_single(&cfg, "VA", InputSize::Small, Mode::Ccsm);
+        let r = run_single(&cfg, "VA", InputSize::Small, Mode::Ccsm).unwrap();
         assert!(r.total_cycles.as_u64() > 0);
         assert!(r.gpu_l2.accesses() > 0);
+    }
+
+    #[test]
+    fn single_run_unknown_code_is_an_error() {
+        let cfg = SystemConfig::paper_default();
+        let err = run_single(&cfg, "NOPE", InputSize::Small, Mode::Ccsm).unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownBenchmark(_)), "{err}");
     }
 
     #[test]
@@ -132,7 +158,8 @@ mod tests {
         let cfg = SystemConfig::paper_default();
         let cs = run_sweep_with(&cfg, InputSize::Small, |b| {
             ds_core::Scenario::code(b) == "VA"
-        });
+        })
+        .unwrap();
         assert_eq!(cs.len(), 1);
         let g = geomean_nonzero_speedup_percent(&cs);
         assert!(g > 0.0, "VA small must show a gain, got {g}");

@@ -238,7 +238,9 @@ impl<S: LineState> CacheArray<S> {
             .state
             .filter(|s| s.is_valid())
             .map(|state| Evicted {
-                line: self.geom.line_of(self.geom.set_of(line), self.ways[idx].tag),
+                line: self
+                    .geom
+                    .line_of(self.geom.set_of(line), self.ways[idx].tag),
                 state,
             });
         self.ways[idx] = Way {
@@ -260,9 +262,9 @@ impl<S: LineState> CacheArray<S> {
             return None;
         }
         match self.policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => candidates
-                .into_iter()
-                .min_by_key(|&i| self.ways[i].stamp),
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                candidates.into_iter().min_by_key(|&i| self.ways[i].stamp)
+            }
             ReplacementPolicy::Random { .. } => {
                 let rng = self.rng.as_mut().expect("random policy has rng");
                 let pick = rng.gen_range(0..candidates.len());
@@ -414,15 +416,17 @@ mod tests {
         c.fill(b, V(2));
         c.access(a); // would save `a` under LRU
         let evicted = c.fill(d, V(3)).unwrap();
-        assert_eq!(evicted.line, a, "FIFO evicts oldest fill regardless of touches");
+        assert_eq!(
+            evicted.line, a,
+            "FIFO evicts oldest fill regardless of touches"
+        );
     }
 
     #[test]
     fn random_policy_is_deterministic_per_seed() {
         let run = |seed| {
             let geom = CacheGeometry::new(2 * 2 * 128, 2).unwrap();
-            let mut c: CacheArray<V> =
-                CacheArray::new(geom, ReplacementPolicy::Random { seed });
+            let mut c: CacheArray<V> = CacheArray::new(geom, ReplacementPolicy::Random { seed });
             c.fill(set0_line(1), V(1));
             c.fill(set0_line(2), V(2));
             c.fill(set0_line(3), V(3)).unwrap().line
@@ -524,11 +528,7 @@ mod tests {
         for touched in 0..4u64 {
             c.access(line(touched));
             let evicted = c.fill(line(100 + touched), V(0)).unwrap();
-            assert_ne!(
-                evicted.line,
-                line(touched),
-                "most-recent way evicted"
-            );
+            assert_ne!(evicted.line, line(touched), "most-recent way evicted");
             // Restore the evicted resident for the next round.
             c.invalidate(line(100 + touched));
             c.fill(evicted.line, evicted.state);

@@ -236,7 +236,9 @@ mod tests {
         // Line 0 homes at slice 0; put it in slice 2.
         c.observe(Agent::GpuL2(2), line(0), HammerState::MM);
         let errs = c.check();
-        assert!(errs.iter().any(|e| matches!(e, CheckError::WrongSlice { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CheckError::WrongSlice { .. })));
     }
 
     #[test]

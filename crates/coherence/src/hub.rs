@@ -256,14 +256,11 @@ impl Hub {
         debug_assert!(!upgrade || kind == ReqKind::GetX, "only GETX can upgrade");
         if self.busy(line) {
             self.stats.conflicts.incr();
-            self.queued
-                .entry(line)
-                .or_default()
-                .push_back(Pending {
-                    kind,
-                    upgrade,
-                    requester,
-                });
+            self.queued.entry(line).or_default().push_back(Pending {
+                kind,
+                upgrade,
+                requester,
+            });
             return Vec::new();
         }
         self.start(kind, line, requester, upgrade)
@@ -562,7 +559,10 @@ mod tests {
         let mut hub = Hub::new();
         let l = line(4);
         hub.on_request(ReqKind::GetS, l, Agent::CpuL2);
-        assert!(hub.on_mem_done(l, 0).is_empty(), "must wait for all probe replies");
+        assert!(
+            hub.on_mem_done(l, 0).is_empty(),
+            "must wait for all probe replies"
+        );
         let grant = reply_all_misses(&mut hub, l, Agent::CpuL2);
         assert_eq!(grant.len(), 1);
     }
@@ -672,7 +672,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(probed, vec![Agent::GpuL2(0)], "only the new owner is probed");
+        assert_eq!(
+            probed,
+            vec![Agent::GpuL2(0)],
+            "only the new owner is probed"
+        );
     }
 
     #[test]
@@ -686,7 +690,9 @@ mod tests {
         hub.on_put(l, true, Agent::GpuL2(2));
         let acts = hub.on_request(ReqKind::GetS, l, Agent::CpuL2);
         assert!(
-            !acts.iter().any(|a| matches!(a, HubAction::SendProbe { .. })),
+            !acts
+                .iter()
+                .any(|a| matches!(a, HubAction::SendProbe { .. })),
             "evicted holder must not be probed"
         );
     }

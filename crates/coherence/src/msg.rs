@@ -29,8 +29,7 @@ pub enum Agent {
 impl Agent {
     /// All cache agents (excludes the memory controller).
     pub fn caches() -> impl Iterator<Item = Agent> {
-        std::iter::once(Agent::CpuL2)
-            .chain((0..GPU_L2_SLICES as u8).map(Agent::GpuL2))
+        std::iter::once(Agent::CpuL2).chain((0..GPU_L2_SLICES as u8).map(Agent::GpuL2))
     }
 
     /// The GPU L2 slice that homes `line` (line-interleaved).

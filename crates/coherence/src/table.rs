@@ -236,10 +236,7 @@ impl std::error::Error for ProtocolError {}
 /// `I`, `S`, `M` and `MM`) and `PutXArrive` from any state but `I`
 /// (the hub guarantees pushes find the line invalid by first issuing
 /// GETX).
-pub fn transition(
-    state: HammerState,
-    event: ProtocolEvent,
-) -> Result<Transition, ProtocolError> {
+pub fn transition(state: HammerState, event: ProtocolEvent) -> Result<Transition, ProtocolError> {
     use Action::*;
     use HammerState::*;
     use ProtocolEvent::*;
@@ -371,7 +368,11 @@ mod tests {
     #[test]
     fn store_in_m_is_a_silent_upgrade() {
         let t = transition(M, Store).unwrap();
-        assert_eq!(t.actions, vec![Hit], "E-like state upgrades without traffic");
+        assert_eq!(
+            t.actions,
+            vec![Hit],
+            "E-like state upgrades without traffic"
+        );
     }
 
     #[test]
@@ -426,10 +427,22 @@ mod tests {
 
     #[test]
     fn replacement_writebacks_match_dirtiness() {
-        assert_eq!(transition(MM, Replacement).unwrap().actions, vec![WritebackData]);
-        assert_eq!(transition(O, Replacement).unwrap().actions, vec![WritebackData]);
-        assert_eq!(transition(M, Replacement).unwrap().actions, vec![SilentDrop]);
-        assert_eq!(transition(S, Replacement).unwrap().actions, vec![SilentDrop]);
+        assert_eq!(
+            transition(MM, Replacement).unwrap().actions,
+            vec![WritebackData]
+        );
+        assert_eq!(
+            transition(O, Replacement).unwrap().actions,
+            vec![WritebackData]
+        );
+        assert_eq!(
+            transition(M, Replacement).unwrap().actions,
+            vec![SilentDrop]
+        );
+        assert_eq!(
+            transition(S, Replacement).unwrap().actions,
+            vec![SilentDrop]
+        );
         assert!(transition(I, Replacement).is_err());
     }
 

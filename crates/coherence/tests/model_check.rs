@@ -81,7 +81,11 @@ fn probe(holder: HammerState, inv: bool) -> (HammerState, bool) {
 /// One agent performs a coherent load; returns the successor world.
 /// `cpu_side` selects which agent loads.
 fn coherent_load(w: World, cpu_side: bool) -> World {
-    let (me, other) = if cpu_side { (w.cpu, w.gpu) } else { (w.gpu, w.cpu) };
+    let (me, other) = if cpu_side {
+        (w.cpu, w.gpu)
+    } else {
+        (w.gpu, w.cpu)
+    };
     if me.can_read() {
         return w; // hit
     }
@@ -115,7 +119,11 @@ fn coherent_load(w: World, cpu_side: bool) -> World {
 
 /// One agent performs a coherent store.
 fn coherent_store(w: World, cpu_side: bool) -> World {
-    let (me, other) = if cpu_side { (w.cpu, w.gpu) } else { (w.gpu, w.cpu) };
+    let (me, other) = if cpu_side {
+        (w.cpu, w.gpu)
+    } else {
+        (w.gpu, w.cpu)
+    };
     let me_next = match me {
         HammerState::MM => HammerState::MM,
         HammerState::M => {

@@ -64,12 +64,18 @@ pub trait Scenario {
 pub enum PipelineError {
     /// The translator rejected the scenario's source.
     Translate(TranslateError),
+    /// A benchmark code the catalog does not know (raised by runners
+    /// that look scenarios up by code rather than holding them).
+    UnknownBenchmark(String),
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Translate(e) => write!(f, "translation failed: {e}"),
+            PipelineError::UnknownBenchmark(code) => {
+                write!(f, "unknown benchmark code {code:?} (see Table II)")
+            }
         }
     }
 }
@@ -78,6 +84,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Translate(e) => Some(e),
+            PipelineError::UnknownBenchmark(_) => None,
         }
     }
 }
@@ -102,12 +109,31 @@ pub struct Comparison {
 }
 
 impl Comparison {
+    /// Sentinel [`Comparison::speedup`] returns when the direct-store
+    /// run recorded zero cycles. A real simulation always advances the
+    /// clock, so zero cycles means the run never happened (e.g. a
+    /// hand-built report); `1.0` keeps such entries neutral in
+    /// geomeans and ranking instead of producing an infinity or NaN.
+    /// Debug builds assert instead of hiding the broken run.
+    pub const ZERO_CYCLE_SPEEDUP: f64 = 1.0;
+
     /// Speedup of direct store over CCSM (`ccsm_ticks / ds_ticks`,
     /// the paper's Fig. 4 metric; `> 1` means direct store is faster).
+    ///
+    /// A zero-cycle direct-store run — impossible for a simulation that
+    /// actually ran — panics in debug builds and yields
+    /// [`Comparison::ZERO_CYCLE_SPEEDUP`] in release builds.
     pub fn speedup(&self) -> f64 {
         let ds = self.direct_store.total_cycles.as_u64();
+        debug_assert!(
+            ds != 0,
+            "direct-store run for {} [{}] recorded zero cycles; \
+             this report cannot come from a real simulation",
+            self.code,
+            self.input,
+        );
         if ds == 0 {
-            return 1.0;
+            return Self::ZERO_CYCLE_SPEEDUP;
         }
         self.ccsm.total_cycles.as_u64() as f64 / ds as f64
     }
@@ -300,6 +326,36 @@ mod tests {
         // none is expected on this workload's GPU side either way;
         // the strong property is zero probe broadcasts:
         assert_eq!(out.direct_store.coh_net.total_msgs(), 0);
+    }
+
+    fn zero_cycle_comparison() -> Comparison {
+        let mut out = Pipeline::paper_default()
+            .run_comparison(&Mini, InputSize::Small)
+            .unwrap();
+        out.direct_store.total_cycles = ds_sim::Cycle::ZERO;
+        out
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn zero_cycle_direct_store_panics_in_debug() {
+        let out = zero_cycle_comparison();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| out.speedup()));
+        assert!(result.is_err(), "debug builds must flag the broken run");
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_cycle_direct_store_yields_sentinel_in_release() {
+        let out = zero_cycle_comparison();
+        assert_eq!(out.speedup(), Comparison::ZERO_CYCLE_SPEEDUP);
+    }
+
+    #[test]
+    fn unknown_benchmark_error_formats() {
+        let e = PipelineError::UnknownBenchmark("NOPE".into());
+        assert!(e.to_string().contains("NOPE"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

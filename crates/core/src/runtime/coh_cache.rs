@@ -3,7 +3,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use ds_cache::{CacheArray, CacheGeometry, CacheStats, MissClassifier, MshrFile, MshrOutcome, ReplacementPolicy};
+use ds_cache::{
+    CacheArray, CacheGeometry, CacheStats, MissClassifier, MshrFile, MshrOutcome, ReplacementPolicy,
+};
 use ds_coherence::{HammerState, ReqKind};
 use ds_mem::LineAddr;
 
@@ -23,11 +25,7 @@ pub(crate) struct CohCache {
 }
 
 impl CohCache {
-    pub fn new_with_policy(
-        geom: CacheGeometry,
-        mshrs: usize,
-        policy: ReplacementPolicy,
-    ) -> Self {
+    pub fn new_with_policy(geom: CacheGeometry, mshrs: usize, policy: ReplacementPolicy) -> Self {
         CohCache {
             array: CacheArray::new(geom, policy),
             mshr: MshrFile::new(mshrs),
@@ -72,10 +70,7 @@ impl CohCache {
 
     /// Completes an in-flight miss, returning `(kind, waiters)`.
     pub fn complete_miss(&mut self, line: LineAddr) -> (ReqKind, Vec<Waiter>) {
-        let kind = self
-            .pending_kind
-            .remove(&line)
-            .unwrap_or(ReqKind::GetS);
+        let kind = self.pending_kind.remove(&line).unwrap_or(ReqKind::GetS);
         (kind, self.mshr.complete(line))
     }
 

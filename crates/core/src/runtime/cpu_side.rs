@@ -179,8 +179,7 @@ impl System {
 
     /// Schedules a store-buffer drain attempt if capacity allows.
     pub(super) fn kick_drain(&mut self) {
-        if self.inflight_stores.len() < self.cfg.store_drain_parallelism && !self.sb.is_empty()
-        {
+        if self.inflight_stores.len() < self.cfg.store_drain_parallelism && !self.sb.is_empty() {
             self.queue.push(self.now, Ev::SbDrain);
         }
     }
@@ -236,12 +235,7 @@ impl System {
     /// latency already elapsed).
     pub(super) fn cpu_l2_access(&mut self, line: LineAddr, write: bool) {
         if !write {
-            if self
-                .cpu_l2
-                .array
-                .access(line)
-                .is_some_and(|s| s.can_read())
-            {
+            if self.cpu_l2.array.access(line).is_some_and(|s| s.can_read()) {
                 self.cpu_l2.record_hit(line);
                 self.fill_cpu_l1(line);
                 self.resume_cpu_load();
@@ -274,8 +268,8 @@ impl System {
 
     fn cpu_l2_miss(&mut self, line: LineAddr, kind: ReqKind, waiter: Waiter) {
         // A GETX from a valid (S/O) copy is a data-less upgrade.
-        let upgrade = kind == ReqKind::GetX
-            && self.cpu_l2.array.probe(line).is_some_and(|s| s.is_valid());
+        let upgrade =
+            kind == ReqKind::GetX && self.cpu_l2.array.probe(line).is_some_and(|s| s.is_valid());
         match self.cpu_l2.alloc_miss(line, kind, waiter) {
             MshrOutcome::Primary => {
                 self.cpu_l2.record_miss(line);

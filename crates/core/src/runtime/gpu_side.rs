@@ -94,8 +94,7 @@ impl System {
         }
         // One issue per SM per cycle.
         if self.last_issue[sm] == self.now {
-            self.queue
-                .push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+            self.queue.push(self.now + 1, Ev::SmTick { sm: sm as u32 });
             return;
         }
         match self.sms[sm].issue(self.now) {
@@ -120,8 +119,7 @@ impl System {
                 }
                 self.harvest_finished(sm);
                 if self.running_kernel.is_some() {
-                    self.queue
-                        .push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+                    self.queue.push(self.now + 1, Ev::SmTick { sm: sm as u32 });
                 }
             }
             None => {
@@ -299,7 +297,10 @@ impl System {
         let s = slice as usize;
         // A GETX from a valid (S/O) copy is a data-less upgrade.
         let upgrade = kind == ReqKind::GetX
-            && self.gpu_l2[s].array.probe(line).is_some_and(|st| st.is_valid());
+            && self.gpu_l2[s]
+                .array
+                .probe(line)
+                .is_some_and(|st| st.is_valid());
         match self.gpu_l2[s].alloc_miss(line, kind, waiter) {
             MshrOutcome::Primary => {
                 if waiter != Waiter::Prefetch {
@@ -328,11 +329,7 @@ impl System {
             }
             MshrOutcome::Full => {
                 // Stall until an MSHR frees (drained on completions).
-                self.gpu_l2_stalled[s].push_back((
-                    line,
-                    kind == ReqKind::GetX,
-                    waiter,
-                ));
+                self.gpu_l2_stalled[s].push_back((line, kind == ReqKind::GetX, waiter));
             }
         }
     }

@@ -2,8 +2,8 @@
 //! embedding of the Hammer hub and the direct-store path.
 
 use ds_coherence::{
-    transition, Action, Agent, CohMsg, DirectMsg, HammerState, HubAction, ProbeKind,
-    ProtocolEvent, ReqKind,
+    transition, Action, Agent, CohMsg, DirectMsg, HammerState, HubAction, ProbeKind, ProtocolEvent,
+    ReqKind,
 };
 use ds_mem::LineAddr;
 
@@ -21,9 +21,7 @@ impl System {
 
     fn at_hub(&mut self, msg: CohMsg) {
         let actions = match msg {
-            CohMsg::GetS { line, requester } => {
-                self.hub.on_request(ReqKind::GetS, line, requester)
-            }
+            CohMsg::GetS { line, requester } => self.hub.on_request(ReqKind::GetS, line, requester),
             CohMsg::GetX {
                 line,
                 requester,
@@ -278,7 +276,9 @@ impl System {
                     self.direct_send_to_cpu(slice, DirectMsg::ReadResp { line });
                 } else {
                     self.gpu_l2[s].record_miss(line);
-                    let done = self.dram.access(self.now + self.cfg.gpu_l2_latency, line, false);
+                    let done = self
+                        .dram
+                        .access(self.now + self.cfg.gpu_l2_latency, line, false);
                     self.queue.push(done, Ev::DirectReadMemDone { slice, line });
                 }
             }

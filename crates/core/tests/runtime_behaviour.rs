@@ -140,7 +140,11 @@ fn direct_stores_bypass_cpu_caches_entirely() {
     p.store_array(VirtAddr::new(WINDOW), 32 * 128, 0);
     let r = sys.run(p, Vec::new());
     assert_eq!(r.direct_pushes, 32);
-    assert_eq!(r.cpu_l2.accesses(), 0, "window stores never touch CPU caches");
+    assert_eq!(
+        r.cpu_l2.accesses(),
+        0,
+        "window stores never touch CPU caches"
+    );
     assert_eq!(r.gpu_l2.pushed_fills.value(), 32);
 }
 

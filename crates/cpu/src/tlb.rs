@@ -112,7 +112,11 @@ impl Tlb {
                 None
             }
         };
-        TlbLookup { vpn, ppn, is_direct }
+        TlbLookup {
+            vpn,
+            ppn,
+            is_direct,
+        }
     }
 
     /// Installs a translation after a page walk, evicting the LRU entry

@@ -151,7 +151,10 @@ impl fmt::Display for MmapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MmapError::Overlap { addr, len } => {
-                write!(f, "MAP_FIXED region {addr}+{len:#x} overlaps an existing mapping")
+                write!(
+                    f,
+                    "MAP_FIXED region {addr}+{len:#x} overlaps an existing mapping"
+                )
             }
             MmapError::Unaligned { addr } => write!(f, "mmap base {addr} is not page-aligned"),
             MmapError::ZeroLength => write!(f, "zero-length allocation"),
@@ -223,9 +226,7 @@ impl AddressSpace {
         }
         let base = self.heap_next;
         let aligned = len.div_ceil(16) * 16;
-        let next = base
-            .checked_offset(aligned)
-            .ok_or(MmapError::OutOfMemory)?;
+        let next = base.checked_offset(aligned).ok_or(MmapError::OutOfMemory)?;
         if self.window.contains(next) {
             return Err(MmapError::OutOfMemory);
         }
@@ -330,7 +331,9 @@ mod tests {
             Err(MmapError::Overlap { .. })
         ));
         // Adjacent (non-overlapping) is fine.
-        assert!(s.mmap_fixed(base.offset(2 * PAGE_BYTES), PAGE_BYTES).is_ok());
+        assert!(s
+            .mmap_fixed(base.offset(2 * PAGE_BYTES), PAGE_BYTES)
+            .is_ok());
     }
 
     #[test]

@@ -88,10 +88,7 @@ impl WarpOp {
 
     /// Whether this is a global memory operation.
     pub fn is_global(&self) -> bool {
-        matches!(
-            self,
-            WarpOp::GlobalLoad { .. } | WarpOp::GlobalStore { .. }
-        )
+        matches!(self, WarpOp::GlobalLoad { .. } | WarpOp::GlobalStore { .. })
     }
 }
 

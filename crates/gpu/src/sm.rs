@@ -218,8 +218,7 @@ impl Sm {
                 }
                 WarpOp::Shared { count } => {
                     self.stats.shared_ops.incr();
-                    ctx.state =
-                        WarpState::WaitUntil(now + SHARED_BASE_LATENCY + u64::from(count));
+                    ctx.state = WarpState::WaitUntil(now + SHARED_BASE_LATENCY + u64::from(count));
                 }
                 WarpOp::GlobalLoad { count, .. } => {
                     self.stats.global_loads.incr();

@@ -75,11 +75,11 @@ proptest! {
                         responses += 1;
                     }
                 }
-                now = now + 1;
+                now += 1;
             } else if let Some(wake) = sm.earliest_wake() {
                 now = wake.max(now + 1);
             } else {
-                now = now + 1;
+                now += 1;
             }
             finished += sm.take_finished();
         }

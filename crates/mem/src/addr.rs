@@ -216,7 +216,7 @@ mod tests {
     fn line_bytes_is_power_of_two() {
         assert!(LINE_BYTES.is_power_of_two());
         assert!(PAGE_BYTES.is_power_of_two());
-        assert!(PAGE_BYTES % LINE_BYTES == 0);
+        const { assert!(PAGE_BYTES.is_multiple_of(LINE_BYTES)) }
     }
 
     #[test]
@@ -240,10 +240,7 @@ mod tests {
                 LineAddr::from_index(0)
             );
         }
-        assert_eq!(
-            LineAddr::containing(PhysAddr::new(LINE_BYTES)).index(),
-            1
-        );
+        assert_eq!(LineAddr::containing(PhysAddr::new(LINE_BYTES)).index(), 1);
     }
 
     #[test]
@@ -257,10 +254,7 @@ mod tests {
     #[test]
     fn checked_offset_detects_overflow() {
         assert_eq!(VirtAddr::new(u64::MAX).checked_offset(1), None);
-        assert_eq!(
-            VirtAddr::new(10).checked_offset(5),
-            Some(VirtAddr::new(15))
-        );
+        assert_eq!(VirtAddr::new(10).checked_offset(5), Some(VirtAddr::new(15)));
     }
 
     #[test]

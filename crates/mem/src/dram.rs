@@ -304,8 +304,7 @@ mod tests {
         // Same bank, different row: index 0 and a row-crossing index.
         let mut d2 = Dram::new(c);
         let t1b = d2.access(Cycle::ZERO, LineAddr::from_index(0), false);
-        let conflict =
-            d2.access(t1b, LineAddr::from_index(banks * lines_per_row), false);
+        let conflict = d2.access(t1b, LineAddr::from_index(banks * lines_per_row), false);
         assert_eq!(d2.stats().row_conflicts.value(), 1);
 
         assert!(hit - t1 < conflict - t1b);
@@ -319,7 +318,10 @@ mod tests {
         // only the burst serializes after the first.
         let t1 = d.access(Cycle::ZERO, LineAddr::from_index(1), false);
         assert!(t1 > t0);
-        assert!(t1 - t0 <= cfg().t_burst, "bank-parallel access should only pay bus serialization");
+        assert!(
+            t1 - t0 <= cfg().t_burst,
+            "bank-parallel access should only pay bus serialization"
+        );
     }
 
     #[test]

@@ -217,7 +217,13 @@ mod tests {
         // Alternating rows in one bank: FCFS pays a conflict each time,
         // FR-FCFS groups them.
         let pattern: Vec<u64> = (0..8)
-            .map(|i| if i % 2 == 0 { b * (i / 2) } else { b * lines_per_row + b * (i / 2) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    b * (i / 2)
+                } else {
+                    b * lines_per_row + b * (i / 2)
+                }
+            })
             .collect();
 
         let mut fcfs = Dram::new(DramConfig::paper_default());

@@ -38,7 +38,7 @@ proptest! {
             let done = dram.access(now, LineAddr::from_index(l), i % 3 == 0);
             prop_assert!(done.as_u64() >= now.as_u64() + t_ctrl + t_cas + t_burst);
             completions.push(done.as_u64());
-            now = now + gap;
+            now += gap;
         }
         completions.sort_unstable();
         for w in completions.windows(2) {

@@ -89,7 +89,10 @@ impl Xbar {
     ///
     /// Panics if either port is out of range.
     pub fn send(&mut self, now: Cycle, src: PortId, dst: PortId, class: MsgClass) -> Cycle {
-        assert!(src.0 < self.ports && dst.0 < self.ports, "port out of range");
+        assert!(
+            src.0 < self.ports && dst.0 < self.ports,
+            "port out of range"
+        );
         match class {
             MsgClass::Control => self.stats.control_msgs += 1,
             MsgClass::Data => self.stats.data_msgs += 1,

@@ -1,0 +1,218 @@
+//! `dsrun` — the experiment-orchestration CLI.
+//!
+//! Runs the CCSM-vs-direct-store comparison sweep through the parallel
+//! [`Runner`], with optional benchmark selection, worker-count control,
+//! an on-disk result cache, and text/JSON/CSV output.
+//!
+//! ```text
+//! dsrun [--input small|big|both] [--bench VA,MM,...] [--mode ds|ds-only]
+//!       [--jobs N] [--cache [DIR]] [--format text|json|csv] [--quiet]
+//! ```
+
+use ds_core::Scenario as _;
+use ds_core::{Comparison, InputSize, Mode, SystemConfig};
+use ds_runner::{
+    comparison_csv_row, comparison_to_json, json::Json, Runner, COMPARISON_CSV_HEADER,
+};
+
+const USAGE: &str = "usage: dsrun [options]
+
+Runs the paper's CCSM-vs-direct-store comparison sweep in parallel.
+
+options:
+  --input small|big|both   input size(s) to sweep (default: both)
+  --bench A,B,...          only these Table II codes (default: all 22)
+  --mode ds|ds-only        direct-store variant: complement (default)
+                           or the Sec. III.H coherence replacement
+  --jobs N                 worker threads (default: DS_RUNNER_JOBS or
+                           the machine's available parallelism)
+  --cache [DIR]            reuse/populate the on-disk result cache
+                           (default DIR: results)
+  --format text|json|csv   output format on stdout (default: text)
+  --quiet                  suppress per-job progress lines on stderr
+  --help                   show this help";
+
+struct Options {
+    inputs: Vec<InputSize>,
+    codes: Option<Vec<String>>,
+    ds_mode: Mode,
+    jobs: Option<usize>,
+    cache: Option<String>,
+    format: Format,
+    quiet: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("dsrun: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        inputs: vec![InputSize::Small, InputSize::Big],
+        codes: None,
+        ds_mode: Mode::DirectStore,
+        jobs: None,
+        cache: None,
+        format: Format::Text,
+        quiet: false,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--input" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--input needs a value"));
+                opts.inputs = match v.as_str() {
+                    "small" => vec![InputSize::Small],
+                    "big" => vec![InputSize::Big],
+                    "both" => vec![InputSize::Small, InputSize::Big],
+                    other => usage_error(&format!("unknown input size {other:?}")),
+                };
+            }
+            "--bench" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--bench needs a value"));
+                opts.codes = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--mode" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--mode needs a value"));
+                opts.ds_mode = match v.as_str() {
+                    "ds" => Mode::DirectStore,
+                    "ds-only" => Mode::DirectStoreOnly,
+                    other => usage_error(&format!("unknown mode {other:?}")),
+                };
+            }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--jobs needs a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.jobs = Some(n),
+                    _ => usage_error(&format!("--jobs needs a positive integer, got {v:?}")),
+                }
+            }
+            "--cache" => {
+                // Directory operand is optional: `--cache` alone uses
+                // the conventional results/ directory.
+                let dir = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                    _ => "results".to_string(),
+                };
+                opts.cache = Some(dir);
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--format needs a value"));
+                opts.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => usage_error(&format!("unknown format {other:?}")),
+                };
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_options(&args);
+
+    let cfg = SystemConfig::paper_default();
+    let mut runner = Runner::new().progress(!opts.quiet);
+    if let Some(n) = opts.jobs {
+        runner = runner.jobs(n);
+    }
+    if let Some(dir) = &opts.cache {
+        runner = runner.with_disk_cache(dir);
+    }
+
+    let mut all: Vec<Comparison> = Vec::new();
+    for &input in &opts.inputs {
+        let sweep = runner
+            .sweep(&cfg, input, opts.ds_mode, |b| {
+                opts.codes
+                    .as_ref()
+                    .is_none_or(|codes| codes.iter().any(|c| c == b.code()))
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("dsrun: {e}");
+                std::process::exit(1);
+            });
+        all.extend(sweep);
+    }
+
+    if let Some(codes) = &opts.codes {
+        let per_input = all.len() / opts.inputs.len();
+        if per_input != codes.len() {
+            let known: Vec<&str> = all.iter().map(|c| c.code.as_str()).collect();
+            let missing: Vec<&String> = codes
+                .iter()
+                .filter(|c| !known.contains(&c.as_str()))
+                .collect();
+            eprintln!("dsrun: unknown benchmark code(s): {missing:?} (see Table II)");
+            std::process::exit(1);
+        }
+    }
+
+    match opts.format {
+        Format::Text => {
+            for c in &all {
+                println!("{c}");
+            }
+        }
+        Format::Json => {
+            let doc = Json::Obj(vec![
+                (
+                    "fingerprint".into(),
+                    Json::Str(format!("{:016x}", Runner::fingerprint(&cfg))),
+                ),
+                ("mode".into(), Json::Str(opts.ds_mode.to_string())),
+                (
+                    "comparisons".into(),
+                    Json::Arr(all.iter().map(comparison_to_json).collect()),
+                ),
+            ]);
+            println!("{}", doc.pretty());
+        }
+        Format::Csv => {
+            println!("{COMPARISON_CSV_HEADER}");
+            for c in &all {
+                println!("{}", comparison_csv_row(c));
+            }
+        }
+    }
+
+    if !opts.quiet {
+        eprintln!(
+            "dsrun: {} comparison(s), {} simulation(s) run{}",
+            all.len(),
+            runner.simulations_run(),
+            if opts.cache.is_some() {
+                " (rest served from cache)"
+            } else {
+                ""
+            }
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The parallel executor.
+//!
+//! [`Runner`] drains a deduplicated task list over `std::thread::scope`
+//! workers pulling indices from a shared atomic counter. This is sound
+//! because each `System::run` is a self-contained seeded simulation —
+//! no shared mutable state — so a parallel sweep is *bit-identical* to
+//! the serial one (asserted by the `determinism` integration test).
+//! Results land in per-task slots, making output order independent of
+//! scheduling.
+//!
+//! Worker count comes from, in priority order: an explicit
+//! [`Runner::jobs`] call, the `DS_RUNNER_JOBS` environment variable,
+//! and the machine's available parallelism.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use ds_core::{Comparison, InputSize, Mode, Pipeline, PipelineError, RunReport, SystemConfig};
+use ds_workloads::{catalog, Benchmark};
+
+use crate::fingerprint::config_fingerprint;
+use crate::job::{sweep_tasks, Task, TaskKey};
+use crate::store::ResultStore;
+
+/// Reads `DS_RUNNER_JOBS`, falling back to the machine's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var("DS_RUNNER_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// The experiment runner: plans, executes in parallel, memoizes.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ds_core::{InputSize, Mode, SystemConfig};
+/// use ds_runner::Runner;
+///
+/// let cfg = SystemConfig::paper_default();
+/// let mut runner = Runner::new().jobs(4);
+/// let comparisons = runner
+///     .sweep(&cfg, InputSize::Small, Mode::DirectStore, |_| true)
+///     .expect("catalog benchmarks translate");
+/// assert_eq!(comparisons.len(), 22);
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    jobs: usize,
+    progress: bool,
+    store: ResultStore,
+    simulations: u64,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner with [`default_jobs`] workers, progress lines enabled
+    /// and no disk cache.
+    pub fn new() -> Self {
+        Runner {
+            jobs: default_jobs(),
+            progress: true,
+            store: ResultStore::new(),
+            simulations: 0,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n.max(1);
+        self
+    }
+
+    /// Enables or disables per-job progress lines on stderr.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Enables the on-disk result cache under `dir` (conventionally
+    /// `results/`).
+    pub fn with_disk_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store.enable_disk(dir);
+        self
+    }
+
+    /// Simulations actually executed by this runner (memo and disk
+    /// hits excluded) — the metric the warm-cache tests assert on.
+    pub fn simulations_run(&self) -> u64 {
+        self.simulations
+    }
+
+    /// Runs every task, returning one report per input task in input
+    /// order. Duplicate and already-cached tasks are not re-simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing task's error (by task order):
+    /// [`PipelineError::UnknownBenchmark`] for a code the catalog does
+    /// not know, or a translation failure. Results of tasks that
+    /// succeeded before the failure stay memoized.
+    pub fn run_tasks(&mut self, tasks: &[Task]) -> Result<Vec<RunReport>, PipelineError> {
+        let keys: Vec<TaskKey> = tasks.iter().map(Task::key).collect();
+
+        // Plan: unique tasks not already served by the store.
+        let mut missing: Vec<(usize, Benchmark)> = Vec::new();
+        let mut planned = std::collections::HashSet::new();
+        for (i, (task, key)) in tasks.iter().zip(&keys).enumerate() {
+            if self.store.get(key).is_some() || !planned.insert(key.clone()) {
+                continue;
+            }
+            let bench = catalog::by_code(&task.code)
+                .ok_or_else(|| PipelineError::UnknownBenchmark(task.code.clone()))?;
+            missing.push((i, bench));
+        }
+
+        if !missing.is_empty() {
+            self.execute(tasks, &keys, &missing)?;
+        }
+
+        Ok(keys
+            .iter()
+            .map(|key| {
+                self.store
+                    .get(key)
+                    .expect("every task is memoized after execution")
+                    .clone()
+            })
+            .collect())
+    }
+
+    /// Runs the uncached subset in parallel and folds results into the
+    /// store.
+    fn execute(
+        &mut self,
+        tasks: &[Task],
+        keys: &[TaskKey],
+        missing: &[(usize, Benchmark)],
+    ) -> Result<(), PipelineError> {
+        let total = missing.len();
+        let workers = self.jobs.min(total).max(1);
+        let progress = self.progress;
+        if progress {
+            eprintln!("ds-runner: {total} job(s) to simulate on {workers} worker(s)");
+        }
+
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let simulated = AtomicU64::new(0);
+        let slots: Vec<OnceLock<Result<RunReport, PipelineError>>> =
+            (0..total).map(|_| OnceLock::new()).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= total {
+                        break;
+                    }
+                    let (task_idx, bench) = &missing[slot];
+                    let task = &tasks[*task_idx];
+                    let started = Instant::now();
+                    let result = Pipeline::with_config(task.cfg.clone())
+                        .run_one(bench, task.input, task.mode);
+                    simulated.fetch_add(1, Ordering::Relaxed);
+                    if progress {
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        match &result {
+                            Ok(r) => eprintln!(
+                                "ds-runner: [{n}/{total}] {} {} {}: {} cycles ({} ms)",
+                                task.code,
+                                task.input,
+                                task.mode,
+                                r.total_cycles.as_u64(),
+                                started.elapsed().as_millis()
+                            ),
+                            Err(e) => eprintln!(
+                                "ds-runner: [{n}/{total}] {} {} {}: FAILED: {e}",
+                                task.code, task.input, task.mode
+                            ),
+                        }
+                    }
+                    slots[slot]
+                        .set(result)
+                        .unwrap_or_else(|_| panic!("slot {slot} written twice"));
+                });
+            }
+        });
+        self.simulations += simulated.into_inner();
+
+        // Fold results in task order so the returned error (if any) is
+        // deterministic regardless of worker scheduling.
+        let mut first_error = None;
+        let mut touched_fingerprints = Vec::new();
+        for ((task_idx, _), slot) in missing.iter().zip(slots) {
+            let key = &keys[*task_idx];
+            match slot.into_inner().expect("worker filled every slot") {
+                Ok(report) => {
+                    if !touched_fingerprints.contains(&key.fingerprint) {
+                        touched_fingerprints.push(key.fingerprint);
+                    }
+                    self.store.insert(key.clone(), report);
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        if self.store.disk_enabled() {
+            for fp in touched_fingerprints {
+                let (idx, _) = missing
+                    .iter()
+                    .find(|(i, _)| keys[*i].fingerprint == fp)
+                    .expect("fingerprint came from this missing set");
+                self.store.persist(fp, &tasks[*idx].cfg);
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs one benchmark under one mode and configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::run_tasks`].
+    pub fn run_one(
+        &mut self,
+        cfg: &SystemConfig,
+        code: &str,
+        input: InputSize,
+        mode: Mode,
+    ) -> Result<RunReport, PipelineError> {
+        let reports = self.run_tasks(&[Task::new(cfg, code, input, mode)])?;
+        Ok(reports.into_iter().next().expect("one task, one report"))
+    }
+
+    /// Runs the CCSM-vs-`ds_mode` comparison sweep over the benchmarks
+    /// `filter` selects, in catalog order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::run_tasks`].
+    pub fn sweep(
+        &mut self,
+        cfg: &SystemConfig,
+        input: InputSize,
+        ds_mode: Mode,
+        filter: impl Fn(&Benchmark) -> bool,
+    ) -> Result<Vec<Comparison>, PipelineError> {
+        let tasks = sweep_tasks(cfg, input, ds_mode, filter);
+        let reports = self.run_tasks(&tasks)?;
+        Ok(tasks
+            .chunks(2)
+            .zip(reports.chunks(2))
+            .map(|(pair, reports)| Comparison {
+                code: pair[0].code.clone(),
+                input,
+                ccsm: reports[0].clone(),
+                direct_store: reports[1].clone(),
+            })
+            .collect())
+    }
+
+    /// The fingerprint the store files results under for `cfg` —
+    /// exposed so tools can point users at the right cache file.
+    pub fn fingerprint(cfg: &SystemConfig) -> u64 {
+        config_fingerprint(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_benchmark_is_a_clean_error() {
+        let cfg = SystemConfig::paper_default();
+        let mut runner = Runner::new().jobs(2).progress(false);
+        let err = runner
+            .run_one(&cfg, "NOPE", InputSize::Small, Mode::Ccsm)
+            .unwrap_err();
+        assert!(
+            matches!(err, PipelineError::UnknownBenchmark(ref c) if c == "NOPE"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_tasks_simulate_once() {
+        let cfg = SystemConfig::paper_default();
+        let mut runner = Runner::new().jobs(2).progress(false);
+        let task = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm);
+        let reports = runner
+            .run_tasks(&[task.clone(), task.clone(), task])
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(runner.simulations_run(), 1);
+        assert_eq!(
+            format!("{:?}", reports[0]),
+            format!("{:?}", reports[2]),
+            "duplicates share the memoized report"
+        );
+    }
+
+    #[test]
+    fn memo_spans_calls() {
+        let cfg = SystemConfig::paper_default();
+        let mut runner = Runner::new().jobs(1).progress(false);
+        runner
+            .run_one(&cfg, "VA", InputSize::Small, Mode::Ccsm)
+            .unwrap();
+        let after_first = runner.simulations_run();
+        runner
+            .run_one(&cfg, "VA", InputSize::Small, Mode::Ccsm)
+            .unwrap();
+        assert_eq!(runner.simulations_run(), after_first);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Stable configuration fingerprints.
+//!
+//! The result store keys cached runs by a hash of the full
+//! [`SystemConfig`]. The hash is FNV-1a over the config's canonical
+//! `Debug` rendering: every field participates (adding a field to the
+//! config automatically invalidates old cache entries), no new
+//! dependencies are needed, and the value is stable across processes —
+//! unlike `std`'s randomized default hasher — so it can name on-disk
+//! cache files.
+
+use ds_core::SystemConfig;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The stable fingerprint of a configuration.
+///
+/// Equal configs always agree; distinct configs collide only with FNV's
+/// negligible probability, and a collision merely aliases two cache
+/// entries (caught by the per-file config string, see the store).
+pub fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn equal_configs_agree() {
+        assert_eq!(
+            config_fingerprint(&SystemConfig::paper_default()),
+            config_fingerprint(&SystemConfig::paper_default())
+        );
+    }
+
+    #[test]
+    fn field_edits_change_the_fingerprint() {
+        let base = config_fingerprint(&SystemConfig::paper_default());
+        let mut sms = SystemConfig::paper_default();
+        sms.sms = 8;
+        let mut lat = SystemConfig::paper_default();
+        lat.direct_hop_latency += 1;
+        let mut pf = SystemConfig::paper_default();
+        pf.gpu_l2_prefetch = true;
+        for (name, cfg) in [("sms", sms), ("latency", lat), ("prefetch", pf)] {
+            assert_ne!(base, config_fingerprint(&cfg), "{name} edit must rehash");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The job model and the fan-out planner.
+//!
+//! A [`Task`] is one self-contained simulation: a benchmark code, an
+//! input size, a coherence mode and the full [`SystemConfig`] to run
+//! under. Its [`TaskKey`] — the config fingerprint plus the three
+//! coordinates — is the identity used by the memo, the on-disk cache
+//! and deduplication.
+//!
+//! The planner functions expand sweep/ablation requests into flat,
+//! deduplicated task lists; the executor in [`crate::exec`] runs those
+//! lists in parallel.
+
+use std::collections::HashSet;
+
+use ds_core::{InputSize, Mode, Scenario, SystemConfig};
+use ds_workloads::{catalog, Benchmark};
+
+use crate::fingerprint::config_fingerprint;
+
+/// One simulation to run.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Full system configuration for this run.
+    pub cfg: SystemConfig,
+    /// Table II benchmark code (`"VA"`, `"MM"`, ...).
+    pub code: String,
+    /// Input size.
+    pub input: InputSize,
+    /// Coherence mode.
+    pub mode: Mode,
+}
+
+impl Task {
+    /// Builds a task.
+    pub fn new(cfg: &SystemConfig, code: &str, input: InputSize, mode: Mode) -> Self {
+        Task {
+            cfg: cfg.clone(),
+            code: code.to_string(),
+            input,
+            mode,
+        }
+    }
+
+    /// The task's cache identity.
+    pub fn key(&self) -> TaskKey {
+        TaskKey {
+            fingerprint: config_fingerprint(&self.cfg),
+            code: self.code.clone(),
+            input: self.input,
+            mode: self.mode,
+        }
+    }
+}
+
+/// The identity of a task's result: config fingerprint + benchmark
+/// coordinates. Two tasks with equal keys produce bit-identical
+/// reports (the simulator is deterministic), so results are shared.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaskKey {
+    /// [`config_fingerprint`] of the task's configuration.
+    pub fingerprint: u64,
+    /// Benchmark code.
+    pub code: String,
+    /// Input size.
+    pub input: InputSize,
+    /// Coherence mode.
+    pub mode: Mode,
+}
+
+/// Expands a comparison sweep into tasks: for every catalog benchmark
+/// `filter` selects, a CCSM run followed by a `ds_mode` run.
+///
+/// The pairing order is the contract [`crate::Runner::sweep`] relies
+/// on to zip reports back into `Comparison`s.
+pub fn sweep_tasks(
+    cfg: &SystemConfig,
+    input: InputSize,
+    ds_mode: Mode,
+    filter: impl Fn(&Benchmark) -> bool,
+) -> Vec<Task> {
+    catalog::all()
+        .into_iter()
+        .filter(filter)
+        .flat_map(|b| {
+            [
+                Task::new(cfg, b.code(), input, Mode::Ccsm),
+                Task::new(cfg, b.code(), input, ds_mode),
+            ]
+        })
+        .collect()
+}
+
+/// Drops duplicate tasks (same [`TaskKey`]), keeping first-occurrence
+/// order. Multi-figure plans overlap heavily — e.g. every ablation
+/// re-runs the paper-default CCSM baseline — and deduplication is what
+/// turns that overlap into shared work.
+pub fn dedup_tasks(tasks: &[Task]) -> Vec<Task> {
+    let mut seen = HashSet::new();
+    tasks
+        .iter()
+        .filter(|t| seen.insert(t.key()))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_tasks_pair_modes_in_catalog_order() {
+        let cfg = SystemConfig::paper_default();
+        let tasks = sweep_tasks(&cfg, InputSize::Small, Mode::DirectStore, |_| true);
+        assert_eq!(tasks.len(), 44, "22 benchmarks x 2 modes");
+        for pair in tasks.chunks(2) {
+            assert_eq!(pair[0].code, pair[1].code);
+            assert_eq!(pair[0].mode, Mode::Ccsm);
+            assert_eq!(pair[1].mode, Mode::DirectStore);
+        }
+    }
+
+    #[test]
+    fn sweep_tasks_respects_filter_and_ds_mode() {
+        let cfg = SystemConfig::paper_default();
+        let tasks = sweep_tasks(&cfg, InputSize::Big, Mode::DirectStoreOnly, |b| {
+            b.code() == "VA"
+        });
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[1].mode, Mode::DirectStoreOnly);
+        assert_eq!(tasks[0].input, InputSize::Big);
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let cfg = SystemConfig::paper_default();
+        let mut other = SystemConfig::paper_default();
+        other.sms = 8;
+        let tasks = vec![
+            Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm),
+            Task::new(&cfg, "MM", InputSize::Small, Mode::Ccsm),
+            Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm),
+            Task::new(&other, "VA", InputSize::Small, Mode::Ccsm),
+        ];
+        let unique = dedup_tasks(&tasks);
+        assert_eq!(unique.len(), 3, "same-config duplicate dropped");
+        assert_eq!(unique[0].code, "VA");
+        assert_eq!(unique[1].code, "MM");
+        assert_ne!(unique[2].key(), unique[0].key(), "config edit kept");
+    }
+
+    #[test]
+    fn keys_separate_every_coordinate() {
+        let cfg = SystemConfig::paper_default();
+        let base = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+        assert_ne!(
+            base,
+            Task::new(&cfg, "NN", InputSize::Small, Mode::Ccsm).key()
+        );
+        assert_ne!(
+            base,
+            Task::new(&cfg, "VA", InputSize::Big, Mode::Ccsm).key()
+        );
+        assert_ne!(
+            base,
+            Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore).key()
+        );
+    }
+}

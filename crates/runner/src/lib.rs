@@ -1,0 +1,60 @@
+//! # ds-runner — experiment orchestration
+//!
+//! The subsystem that owns *running experiments*: every figure,
+//! ablation and export binary plans its simulations as [`Task`]s and
+//! hands them to a [`Runner`], which executes them on a worker pool,
+//! memoizes results, and (opt-in) caches them on disk so repeated
+//! invocations re-simulate nothing.
+//!
+//! * [`Task`] / [`TaskKey`] — the job model: one simulation =
+//!   benchmark code + input size + mode + full [`SystemConfig`];
+//!   identity is the config's stable [`config_fingerprint`] plus the
+//!   three coordinates ([`job`]).
+//! * [`Runner`] — the parallel executor: `std::thread::scope` workers
+//!   over a shared atomic queue, `--jobs N` / `DS_RUNNER_JOBS`
+//!   control, results bit-identical to a serial run ([`exec`]).
+//! * [`store::ResultStore`] — in-process memo plus the on-disk JSON
+//!   cache under `results/`, invalidated by fingerprint ([`store`]).
+//! * [`report`] — the machine-readable serializers: JSON and CSV for
+//!   [`RunReport`]s and [`Comparison`]s, shared by every binary.
+//! * `dsrun` — the CLI over all of the above (`src/bin/dsrun.rs`).
+//!
+//! [`SystemConfig`]: ds_core::SystemConfig
+//! [`RunReport`]: ds_core::RunReport
+//! [`Comparison`]: ds_core::Comparison
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ds_core::{InputSize, Mode, SystemConfig};
+//! use ds_runner::Runner;
+//!
+//! let mut runner = Runner::new().jobs(4).with_disk_cache("results");
+//! let comparisons = runner
+//!     .sweep(
+//!         &SystemConfig::paper_default(),
+//!         InputSize::Small,
+//!         Mode::DirectStore,
+//!         |_| true,
+//!     )
+//!     .expect("catalog benchmarks translate");
+//! for c in &comparisons {
+//!     println!("{c}");
+//! }
+//! ```
+
+pub mod exec;
+pub mod fingerprint;
+pub mod job;
+pub mod json;
+pub mod report;
+pub mod store;
+
+pub use exec::{default_jobs, Runner};
+pub use fingerprint::{config_fingerprint, fnv1a};
+pub use job::{dedup_tasks, sweep_tasks, Task, TaskKey};
+pub use report::{
+    comparison_csv_row, comparison_to_json, report_csv_row, report_to_json, COMPARISON_CSV_HEADER,
+    REPORT_CSV_HEADER,
+};
+pub use store::ResultStore;

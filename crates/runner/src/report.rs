@@ -1,0 +1,386 @@
+//! Machine-readable report serialization: JSON and CSV for
+//! [`RunReport`] and [`Comparison`], in one place.
+//!
+//! The JSON encoding is lossless over `RunReport` — every field is an
+//! integer or a list of integer pairs — so the on-disk result cache
+//! round-trips reports bit-identically ([`report_to_json`] /
+//! [`report_from_json`] are exact inverses, asserted by test).
+
+use ds_cache::CacheStats;
+use ds_core::{Comparison, InputSize, Mode, RunReport};
+use ds_noc::XbarStats;
+use ds_sim::Cycle;
+
+use crate::json::Json;
+
+/// Renders a mode the way [`parse_mode`] reads it back (`Display`).
+pub fn mode_name(mode: Mode) -> String {
+    mode.to_string()
+}
+
+/// Parses a mode name produced by its `Display` impl.
+pub fn parse_mode(name: &str) -> Option<Mode> {
+    match name {
+        "CCSM" => Some(Mode::Ccsm),
+        "DS" => Some(Mode::DirectStore),
+        "DS-only" => Some(Mode::DirectStoreOnly),
+        _ => None,
+    }
+}
+
+/// Parses an input-size name produced by its `Display` impl.
+pub fn parse_input(name: &str) -> Option<InputSize> {
+    match name {
+        "small" => Some(InputSize::Small),
+        "big" => Some(InputSize::Big),
+        _ => None,
+    }
+}
+
+fn cache_stats_to_json(s: &CacheStats) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::Int(s.hits.value())),
+        ("misses".into(), Json::Int(s.misses.value())),
+        (
+            "compulsory_misses".into(),
+            Json::Int(s.compulsory_misses.value()),
+        ),
+        ("evictions".into(), Json::Int(s.evictions.value())),
+        ("writebacks".into(), Json::Int(s.writebacks.value())),
+        ("pushed_fills".into(), Json::Int(s.pushed_fills.value())),
+        ("push_hits".into(), Json::Int(s.push_hits.value())),
+    ])
+}
+
+fn xbar_stats_to_json(s: &XbarStats) -> Json {
+    Json::Obj(vec![
+        ("control_msgs".into(), Json::Int(s.control_msgs)),
+        ("data_msgs".into(), Json::Int(s.data_msgs)),
+        ("bytes".into(), Json::Int(s.bytes)),
+    ])
+}
+
+/// Serializes a full run report.
+pub fn report_to_json(r: &RunReport) -> Json {
+    Json::Obj(vec![
+        ("mode".into(), Json::Str(mode_name(r.mode))),
+        ("total_cycles".into(), Json::Int(r.total_cycles.as_u64())),
+        ("gpu_l2".into(), cache_stats_to_json(&r.gpu_l2)),
+        ("cpu_l2".into(), cache_stats_to_json(&r.cpu_l2)),
+        ("gpu_l1".into(), cache_stats_to_json(&r.gpu_l1)),
+        ("cpu_l1".into(), cache_stats_to_json(&r.cpu_l1)),
+        ("coh_net".into(), xbar_stats_to_json(&r.coh_net)),
+        ("direct_net".into(), xbar_stats_to_json(&r.direct_net)),
+        ("gpu_net".into(), xbar_stats_to_json(&r.gpu_net)),
+        ("dram_reads".into(), Json::Int(r.dram_reads)),
+        ("dram_writes".into(), Json::Int(r.dram_writes)),
+        ("direct_pushes".into(), Json::Int(r.direct_pushes)),
+        (
+            "store_buffer_stalls".into(),
+            Json::Int(r.store_buffer_stalls),
+        ),
+        ("kernels_run".into(), Json::Int(r.kernels_run)),
+        ("warps_completed".into(), Json::Int(r.warps_completed)),
+        (
+            "first_kernel_start".into(),
+            Json::Int(r.first_kernel_start.as_u64()),
+        ),
+        (
+            "last_kernel_end".into(),
+            Json::Int(r.last_kernel_end.as_u64()),
+        ),
+        (
+            "kernel_spans".into(),
+            Json::Arr(
+                r.kernel_spans
+                    .iter()
+                    .map(|&(s, e)| Json::Arr(vec![Json::Int(s.as_u64()), Json::Int(e.as_u64())]))
+                    .collect(),
+            ),
+        ),
+        ("push_bypasses".into(), Json::Int(r.push_bypasses)),
+        ("hub_transactions".into(), Json::Int(r.hub_transactions)),
+        ("hub_conflicts".into(), Json::Int(r.hub_conflicts)),
+        ("hub_probes".into(), Json::Int(r.hub_probes)),
+        ("dram_row_hits".into(), Json::Int(r.dram_row_hits)),
+        ("events".into(), Json::Int(r.events)),
+    ])
+}
+
+/// Serializes a comparison: coordinates, both reports, and the derived
+/// figure metrics for plotting convenience.
+pub fn comparison_to_json(c: &Comparison) -> Json {
+    let (miss_ccsm, miss_ds) = c.miss_rates();
+    Json::Obj(vec![
+        ("code".into(), Json::Str(c.code.clone())),
+        ("input".into(), Json::Str(c.input.to_string())),
+        ("speedup".into(), Json::Float(c.speedup())),
+        ("speedup_percent".into(), Json::Float(c.speedup_percent())),
+        ("miss_rate_ccsm".into(), Json::Float(miss_ccsm)),
+        ("miss_rate_ds".into(), Json::Float(miss_ds)),
+        ("ccsm".into(), report_to_json(&c.ccsm)),
+        ("direct_store".into(), report_to_json(&c.direct_store)),
+    ])
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn cache_stats_from_json(json: &Json) -> Result<CacheStats, String> {
+    let mut s = CacheStats::new();
+    s.hits.add(u64_field(json, "hits")?);
+    s.misses.add(u64_field(json, "misses")?);
+    s.compulsory_misses
+        .add(u64_field(json, "compulsory_misses")?);
+    s.evictions.add(u64_field(json, "evictions")?);
+    s.writebacks.add(u64_field(json, "writebacks")?);
+    s.pushed_fills.add(u64_field(json, "pushed_fills")?);
+    s.push_hits.add(u64_field(json, "push_hits")?);
+    Ok(s)
+}
+
+fn xbar_stats_from_json(json: &Json) -> Result<XbarStats, String> {
+    Ok(XbarStats {
+        control_msgs: u64_field(json, "control_msgs")?,
+        data_msgs: u64_field(json, "data_msgs")?,
+        bytes: u64_field(json, "bytes")?,
+    })
+}
+
+fn sub(json: &Json, key: &str) -> Result<Json, String> {
+    json.get(key)
+        .cloned()
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Deserializes a report written by [`report_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field.
+pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
+    let mode_str = json
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing field \"mode\"")?;
+    let mode = parse_mode(mode_str).ok_or_else(|| format!("unknown mode {mode_str:?}"))?;
+    let kernel_spans = json
+        .get("kernel_spans")
+        .and_then(Json::as_arr)
+        .ok_or("missing field \"kernel_spans\"")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().filter(|p| p.len() == 2);
+            let (s, e) = match pair {
+                Some([s, e]) => (s.as_u64(), e.as_u64()),
+                _ => (None, None),
+            };
+            match (s, e) {
+                (Some(s), Some(e)) => Ok((Cycle::new(s), Cycle::new(e))),
+                _ => Err("malformed kernel span".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(RunReport {
+        mode,
+        total_cycles: Cycle::new(u64_field(json, "total_cycles")?),
+        gpu_l2: cache_stats_from_json(&sub(json, "gpu_l2")?)?,
+        cpu_l2: cache_stats_from_json(&sub(json, "cpu_l2")?)?,
+        gpu_l1: cache_stats_from_json(&sub(json, "gpu_l1")?)?,
+        cpu_l1: cache_stats_from_json(&sub(json, "cpu_l1")?)?,
+        coh_net: xbar_stats_from_json(&sub(json, "coh_net")?)?,
+        direct_net: xbar_stats_from_json(&sub(json, "direct_net")?)?,
+        gpu_net: xbar_stats_from_json(&sub(json, "gpu_net")?)?,
+        dram_reads: u64_field(json, "dram_reads")?,
+        dram_writes: u64_field(json, "dram_writes")?,
+        direct_pushes: u64_field(json, "direct_pushes")?,
+        store_buffer_stalls: u64_field(json, "store_buffer_stalls")?,
+        kernels_run: u64_field(json, "kernels_run")?,
+        warps_completed: u64_field(json, "warps_completed")?,
+        first_kernel_start: Cycle::new(u64_field(json, "first_kernel_start")?),
+        last_kernel_end: Cycle::new(u64_field(json, "last_kernel_end")?),
+        kernel_spans,
+        push_bypasses: u64_field(json, "push_bypasses")?,
+        hub_transactions: u64_field(json, "hub_transactions")?,
+        hub_conflicts: u64_field(json, "hub_conflicts")?,
+        hub_probes: u64_field(json, "hub_probes")?,
+        dram_row_hits: u64_field(json, "dram_row_hits")?,
+        events: u64_field(json, "events")?,
+    })
+}
+
+/// Header row matching [`report_csv_row`] (the `export_csv` schema).
+pub const REPORT_CSV_HEADER: &str = "benchmark,suite,shared_memory,input,mode,total_cycles,\
+     gpu_l2_accesses,gpu_l2_misses,gpu_l2_miss_rate,gpu_l2_compulsory,push_hits,\
+     direct_pushes,coh_msgs,direct_msgs,gpu_msgs,dram_reads,dram_writes";
+
+/// One per-run CSV row; `suite` / `shared_memory` come from the
+/// benchmark's Table II metadata.
+pub fn report_csv_row(
+    code: &str,
+    suite: &str,
+    shared_memory: bool,
+    input: InputSize,
+    r: &RunReport,
+) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{}",
+        code,
+        suite,
+        shared_memory,
+        input,
+        r.mode,
+        r.total_cycles.as_u64(),
+        r.gpu_l2.accesses(),
+        r.gpu_l2.misses.value(),
+        r.gpu_l2_miss_rate(),
+        r.gpu_l2_compulsory_misses(),
+        r.gpu_l2.push_hits.value(),
+        r.direct_pushes,
+        r.coh_net.total_msgs(),
+        r.direct_net.total_msgs(),
+        r.gpu_net.total_msgs(),
+        r.dram_reads,
+        r.dram_writes
+    )
+}
+
+/// Header row matching [`comparison_csv_row`].
+pub const COMPARISON_CSV_HEADER: &str = "benchmark,input,speedup,speedup_percent,\
+     ccsm_cycles,ds_cycles,ccsm_miss_rate,ds_miss_rate,ccsm_compulsory,ds_compulsory";
+
+/// One comparison CSV row (the Fig. 4 / Fig. 5 metrics).
+pub fn comparison_csv_row(c: &Comparison) -> String {
+    let (miss_ccsm, miss_ds) = c.miss_rates();
+    let (comp_ccsm, comp_ds) = c.compulsory_misses();
+    format!(
+        "{},{},{:.6},{:.4},{},{},{:.6},{:.6},{},{}",
+        c.code,
+        c.input,
+        c.speedup(),
+        c.speedup_percent(),
+        c.ccsm.total_cycles.as_u64(),
+        c.direct_store.total_cycles.as_u64(),
+        miss_ccsm,
+        miss_ds,
+        comp_ccsm,
+        comp_ds
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_cache::MissKind;
+
+    fn sample_report(mode: Mode) -> RunReport {
+        let mut gpu_l2 = CacheStats::new();
+        gpu_l2.record_hit();
+        gpu_l2.record_miss(MissKind::Compulsory);
+        gpu_l2.pushed_fills.add(9);
+        RunReport {
+            mode,
+            total_cycles: Cycle::new(123_456),
+            gpu_l2,
+            cpu_l2: CacheStats::new(),
+            gpu_l1: CacheStats::new(),
+            cpu_l1: CacheStats::new(),
+            coh_net: XbarStats {
+                control_msgs: 10,
+                data_msgs: 20,
+                bytes: 30,
+            },
+            direct_net: XbarStats::default(),
+            gpu_net: XbarStats::default(),
+            dram_reads: 7,
+            dram_writes: 3,
+            direct_pushes: 42,
+            store_buffer_stalls: 1,
+            kernels_run: 2,
+            warps_completed: 64,
+            first_kernel_start: Cycle::new(100),
+            last_kernel_end: Cycle::new(9000),
+            kernel_spans: vec![
+                (Cycle::new(100), Cycle::new(4000)),
+                (Cycle::new(4100), Cycle::new(9000)),
+            ],
+            push_bypasses: 5,
+            hub_transactions: 11,
+            hub_conflicts: 2,
+            hub_probes: 33,
+            dram_row_hits: 4,
+            events: 99_999,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trip_is_exact() {
+        for mode in [Mode::Ccsm, Mode::DirectStore, Mode::DirectStoreOnly] {
+            let original = sample_report(mode);
+            let text = report_to_json(&original).pretty();
+            let parsed = crate::json::parse(&text).unwrap();
+            let back = report_from_json(&parsed).unwrap();
+            assert_eq!(format!("{original:?}"), format!("{back:?}"), "{mode}");
+        }
+    }
+
+    #[test]
+    fn report_from_json_names_the_bad_field() {
+        let mut json = report_to_json(&sample_report(Mode::Ccsm));
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "dram_reads");
+        }
+        let err = report_from_json(&json).unwrap_err();
+        assert!(err.contains("dram_reads"), "{err}");
+    }
+
+    #[test]
+    fn mode_and_input_names_round_trip() {
+        for mode in [Mode::Ccsm, Mode::DirectStore, Mode::DirectStoreOnly] {
+            assert_eq!(parse_mode(&mode_name(mode)), Some(mode));
+        }
+        for input in [InputSize::Small, InputSize::Big] {
+            assert_eq!(parse_input(&input.to_string()), Some(input));
+        }
+        assert_eq!(parse_mode("bogus"), None);
+        assert_eq!(parse_input("bogus"), None);
+    }
+
+    #[test]
+    fn csv_rows_match_headers() {
+        let r = sample_report(Mode::DirectStore);
+        let row = report_csv_row("VA", "Rodinia", false, InputSize::Small, &r);
+        assert_eq!(row.split(',').count(), REPORT_CSV_HEADER.split(',').count());
+        assert!(row.starts_with("VA,Rodinia,false,small,DS,123456,"));
+
+        let c = Comparison {
+            code: "VA".into(),
+            input: InputSize::Small,
+            ccsm: sample_report(Mode::Ccsm),
+            direct_store: r,
+        };
+        let crow = comparison_csv_row(&c);
+        assert_eq!(
+            crow.split(',').count(),
+            COMPARISON_CSV_HEADER.split(',').count()
+        );
+    }
+
+    #[test]
+    fn comparison_json_carries_figure_metrics() {
+        let c = Comparison {
+            code: "NN".into(),
+            input: InputSize::Big,
+            ccsm: sample_report(Mode::Ccsm),
+            direct_store: sample_report(Mode::DirectStore),
+        };
+        let json = comparison_to_json(&c);
+        assert_eq!(json.get("code").unwrap().as_str(), Some("NN"));
+        assert_eq!(json.get("input").unwrap().as_str(), Some("big"));
+        assert!(json.get("speedup").is_some());
+        assert!(json.get("ccsm").unwrap().get("total_cycles").is_some());
+    }
+}

@@ -1,0 +1,339 @@
+//! The result store: an in-process memo plus an opt-in on-disk JSON
+//! cache.
+//!
+//! The memo shares results between figures inside one process (e.g.
+//! `dsrun --format csv` after a sweep re-simulates nothing). The disk
+//! cache extends that across processes: one file per configuration
+//! fingerprint under the cache directory (`results/` by convention),
+//! named `ds-runner-cache-<fingerprint>.json`. Invalidation is by
+//! fingerprint: any config edit changes the fingerprint, pointing at a
+//! different (initially absent) file; stale files are simply never
+//! read again. A file whose recorded fingerprint disagrees with its
+//! name — hand-edited or corrupt — is ignored and later overwritten.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use ds_core::{InputSize, Mode, RunReport, SystemConfig};
+
+use crate::job::TaskKey;
+use crate::json::{self, Json};
+use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report_to_json};
+
+/// On-disk cache format version; bump on schema changes to orphan old
+/// files.
+const FORMAT_VERSION: u64 = 1;
+
+/// Memo + optional disk cache, keyed by [`TaskKey`].
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    memo: HashMap<TaskKey, RunReport>,
+    disk_dir: Option<PathBuf>,
+    /// Fingerprints whose cache file has already been read this
+    /// process (whether or not it existed).
+    loaded: HashSet<u64>,
+}
+
+impl ResultStore {
+    /// An empty, memory-only store.
+    pub fn new() -> Self {
+        ResultStore::default()
+    }
+
+    /// Enables the on-disk cache under `dir` (created on first write).
+    pub fn enable_disk(&mut self, dir: impl Into<PathBuf>) {
+        self.disk_dir = Some(dir.into());
+        self.loaded.clear();
+    }
+
+    /// Whether the disk cache is enabled.
+    pub fn disk_enabled(&self) -> bool {
+        self.disk_dir.is_some()
+    }
+
+    /// Looks up a result, consulting (and lazily loading) the disk
+    /// cache for the key's fingerprint.
+    pub fn get(&mut self, key: &TaskKey) -> Option<&RunReport> {
+        self.ensure_loaded(key.fingerprint);
+        self.memo.get(key)
+    }
+
+    /// Records a freshly computed result.
+    pub fn insert(&mut self, key: TaskKey, report: RunReport) {
+        self.memo.insert(key, report);
+    }
+
+    /// Number of memoized results.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    fn cache_path(dir: &Path, fingerprint: u64) -> PathBuf {
+        dir.join(format!("ds-runner-cache-{fingerprint:016x}.json"))
+    }
+
+    fn ensure_loaded(&mut self, fingerprint: u64) {
+        let Some(dir) = &self.disk_dir else { return };
+        if !self.loaded.insert(fingerprint) {
+            return;
+        }
+        let path = Self::cache_path(dir, fingerprint);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return; // no cache file yet
+        };
+        match parse_cache_file(&text, fingerprint) {
+            Ok(entries) => {
+                for (key, report) in entries {
+                    self.memo.entry(key).or_insert(report);
+                }
+            }
+            Err(reason) => {
+                eprintln!(
+                    "ds-runner: ignoring cache file {} ({reason})",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Writes every memoized result for `fingerprint` to its cache
+    /// file. `config` is the configuration the fingerprint names,
+    /// recorded for human inspection.
+    ///
+    /// Best-effort: IO failures are reported on stderr, not fatal — a
+    /// missing cache only costs re-simulation.
+    pub fn persist(&self, fingerprint: u64, config: &SystemConfig) {
+        let Some(dir) = &self.disk_dir else { return };
+        let mut entries: Vec<(&TaskKey, &RunReport)> = self
+            .memo
+            .iter()
+            .filter(|(k, _)| k.fingerprint == fingerprint)
+            .collect();
+        entries.sort_by_key(|(k, _)| (k.code.clone(), rank_input(k.input), rank_mode(k.mode)));
+        let doc = Json::Obj(vec![
+            ("format".into(), Json::Int(FORMAT_VERSION)),
+            (
+                "fingerprint".into(),
+                Json::Str(format!("{fingerprint:016x}")),
+            ),
+            ("config".into(), Json::Str(format!("{config:?}"))),
+            (
+                "entries".into(),
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|(k, r)| {
+                            Json::Obj(vec![
+                                ("code".into(), Json::Str(k.code.clone())),
+                                ("input".into(), Json::Str(k.input.to_string())),
+                                ("mode".into(), Json::Str(mode_name(k.mode))),
+                                ("report".into(), report_to_json(r)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("ds-runner: cannot create cache dir {}: {e}", dir.display());
+            return;
+        }
+        let path = Self::cache_path(dir, fingerprint);
+        if let Err(e) = std::fs::write(&path, doc.pretty()) {
+            eprintln!("ds-runner: cannot write cache {}: {e}", path.display());
+        }
+    }
+}
+
+fn rank_input(input: InputSize) -> u8 {
+    match input {
+        InputSize::Small => 0,
+        InputSize::Big => 1,
+    }
+}
+
+fn rank_mode(mode: Mode) -> u8 {
+    match mode {
+        Mode::Ccsm => 0,
+        Mode::DirectStore => 1,
+        Mode::DirectStoreOnly => 2,
+    }
+}
+
+fn parse_cache_file(
+    text: &str,
+    expected_fingerprint: u64,
+) -> Result<Vec<(TaskKey, RunReport)>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("format").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
+        return Err("unsupported format version".into());
+    }
+    let recorded = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("missing fingerprint")?;
+    if recorded != expected_fingerprint {
+        return Err(format!(
+            "fingerprint mismatch: file says {recorded:016x}, name says {expected_fingerprint:016x}"
+        ));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing entries")?;
+    entries
+        .iter()
+        .map(|entry| {
+            let code = entry
+                .get("code")
+                .and_then(Json::as_str)
+                .ok_or("entry missing code")?
+                .to_string();
+            let input = entry
+                .get("input")
+                .and_then(Json::as_str)
+                .and_then(parse_input)
+                .ok_or("entry missing input")?;
+            let mode = entry
+                .get("mode")
+                .and_then(Json::as_str)
+                .and_then(parse_mode)
+                .ok_or("entry missing mode")?;
+            let report = report_from_json(entry.get("report").ok_or("entry missing report")?)?;
+            Ok((
+                TaskKey {
+                    fingerprint: expected_fingerprint,
+                    code,
+                    input,
+                    mode,
+                },
+                report,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::config_fingerprint;
+    use crate::job::Task;
+    use ds_cache::CacheStats;
+    use ds_noc::XbarStats;
+    use ds_sim::Cycle;
+
+    fn tiny_report(cycles: u64) -> RunReport {
+        RunReport {
+            mode: Mode::Ccsm,
+            total_cycles: Cycle::new(cycles),
+            gpu_l2: CacheStats::new(),
+            cpu_l2: CacheStats::new(),
+            gpu_l1: CacheStats::new(),
+            cpu_l1: CacheStats::new(),
+            coh_net: XbarStats::default(),
+            direct_net: XbarStats::default(),
+            gpu_net: XbarStats::default(),
+            dram_reads: 0,
+            dram_writes: 0,
+            direct_pushes: 0,
+            store_buffer_stalls: 0,
+            kernels_run: 0,
+            warps_completed: 0,
+            first_kernel_start: Cycle::ZERO,
+            last_kernel_end: Cycle::ZERO,
+            kernel_spans: vec![],
+            push_bypasses: 0,
+            hub_transactions: 0,
+            hub_conflicts: 0,
+            hub_probes: 0,
+            dram_row_hits: 0,
+            events: 0,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ds-runner-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memo_round_trip() {
+        let cfg = SystemConfig::paper_default();
+        let key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+        let mut store = ResultStore::new();
+        assert!(store.get(&key).is_none());
+        store.insert(key.clone(), tiny_report(777));
+        assert_eq!(store.get(&key).unwrap().total_cycles.as_u64(), 777);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn disk_round_trip_and_reload() {
+        let dir = tmp_dir("roundtrip");
+        let cfg = SystemConfig::paper_default();
+        let fp = config_fingerprint(&cfg);
+        let key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+
+        let mut writer = ResultStore::new();
+        writer.enable_disk(&dir);
+        writer.insert(key.clone(), tiny_report(4242));
+        writer.persist(fp, &cfg);
+
+        let mut reader = ResultStore::new();
+        reader.enable_disk(&dir);
+        let loaded = reader.get(&key).expect("cache file supplies the result");
+        assert_eq!(loaded.total_cycles.as_u64(), 4242);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_files_are_ignored() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SystemConfig::paper_default();
+        let fp = config_fingerprint(&cfg);
+        let path = ResultStore::cache_path(&dir, fp);
+        std::fs::write(&path, "{ not json").unwrap();
+
+        let key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+        let mut store = ResultStore::new();
+        store.enable_disk(&dir);
+        assert!(store.get(&key).is_none(), "corrupt file must not poison");
+
+        // A syntactically fine file whose fingerprint disagrees with
+        // its name is also rejected.
+        let doc = Json::Obj(vec![
+            ("format".into(), Json::Int(FORMAT_VERSION)),
+            ("fingerprint".into(), Json::Str("00000000deadbeef".into())),
+            ("config".into(), Json::Str("x".into())),
+            ("entries".into(), Json::Arr(vec![])),
+        ]);
+        std::fs::write(&path, doc.pretty()).unwrap();
+        let mut store2 = ResultStore::new();
+        store2.enable_disk(&dir);
+        assert!(store2.get(&key).is_none());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_edits_point_at_different_files() {
+        let cfg = SystemConfig::paper_default();
+        let mut edited = SystemConfig::paper_default();
+        edited.gpu_l2_prefetch = true;
+        let dir = Path::new("results");
+        assert_ne!(
+            ResultStore::cache_path(dir, config_fingerprint(&cfg)),
+            ResultStore::cache_path(dir, config_fingerprint(&edited))
+        );
+    }
+}

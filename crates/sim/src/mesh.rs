@@ -198,8 +198,14 @@ mod tests {
     #[test]
     fn token_ring_terminates_with_correct_time() {
         let mut mesh = Mesh::new();
-        let a = mesh.add(Ring { next: None, seen: 0 });
-        let b = mesh.add(Ring { next: Some(a), seen: 0 });
+        let a = mesh.add(Ring {
+            next: None,
+            seen: 0,
+        });
+        let b = mesh.add(Ring {
+            next: Some(a),
+            seen: 0,
+        });
         // a -> b not wired; we inject at b, b forwards to a, a stops.
         mesh.inject(Cycle::ZERO, a, b, 1);
         let end = mesh.run_to_completion();

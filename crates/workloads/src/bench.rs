@@ -42,6 +42,7 @@ impl fmt::Display for Suite {
 /// Construct via [`catalog`](crate::catalog); each carries the paper's
 /// metadata (code name, suite, input labels, shared-memory usage) and
 /// a generator producing the [`WorkloadSpec`] for either input size.
+#[derive(Clone)]
 pub struct Benchmark {
     pub(crate) code: &'static str,
     pub(crate) name: &'static str,

@@ -691,36 +691,212 @@ fn ch(input: InputSize) -> WorkloadSpec {
 /// All 22 benchmarks, in Table II order.
 pub fn all() -> Vec<Benchmark> {
     vec![
-        Benchmark { code: "BP", name: "backprop", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "1536", big_label: "10000", spec_fn: bp },
-        Benchmark { code: "BF", name: "bfs", suite: Suite::Rodinia, uses_shared_memory: false, small_label: "4096", big_label: "6000", spec_fn: bf },
-        Benchmark { code: "GA", name: "gaussian", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "256x256", big_label: "700x700", spec_fn: ga },
-        Benchmark { code: "HT", name: "hotspot", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "64x64", big_label: "512x512", spec_fn: ht },
-        Benchmark { code: "KM", name: "kmeans", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "2000, 34 feat", big_label: "5000, 34 feat.", spec_fn: km },
-        Benchmark { code: "LV", name: "lavaMD", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "2", big_label: "4", spec_fn: lv },
-        Benchmark { code: "LU", name: "lud", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "256x256", big_label: "512x512", spec_fn: lu },
-        Benchmark { code: "NN", name: "nearest-neighbor", suite: Suite::Rodinia, uses_shared_memory: false, small_label: "10691", big_label: "42764", spec_fn: nn },
-        Benchmark { code: "NW", name: "needleman-wunsch", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "160x160", big_label: "320x320", spec_fn: nw },
-        Benchmark { code: "PT", name: "particle-filter", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "2500", big_label: "5000", spec_fn: pt },
-        Benchmark { code: "SR", name: "srad", suite: Suite::Rodinia, uses_shared_memory: true, small_label: "256x256", big_label: "512x512", spec_fn: sr },
-        Benchmark { code: "ST", name: "stencil", suite: Suite::Parboil, uses_shared_memory: true, small_label: "128x128x32", big_label: "164x164x32", spec_fn: st },
-        Benchmark { code: "GC", name: "graph-coloring", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "power", big_label: "delaunay-n15", spec_fn: gc },
-        Benchmark { code: "FW", name: "floyd-warshall", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "256_16384", big_label: "512_65536", spec_fn: fw },
-        Benchmark { code: "MS", name: "maximal-independent-set", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "power", big_label: "delaunay-n13", spec_fn: ms },
-        Benchmark { code: "SP", name: "sssp", suite: Suite::Pannotia, uses_shared_memory: false, small_label: "power", big_label: "delaunay-n13", spec_fn: sp },
-        Benchmark { code: "BL", name: "black-scholes", suite: Suite::NvidiaSdk, uses_shared_memory: false, small_label: "5000", big_label: "10000", spec_fn: bl },
-        Benchmark { code: "VA", name: "vector-add", suite: Suite::NvidiaSdk, uses_shared_memory: false, small_label: "50000", big_label: "200000", spec_fn: va },
-        Benchmark { code: "BS", name: "bitonic-sort", suite: Suite::Standalone, uses_shared_memory: false, small_label: "262144", big_label: "524288", spec_fn: bs },
-        Benchmark { code: "MM", name: "matrix-multiply", suite: Suite::Standalone, uses_shared_memory: false, small_label: "256x256", big_label: "900x900", spec_fn: mm },
-        Benchmark { code: "MT", name: "matrix-transpose", suite: Suite::Standalone, uses_shared_memory: false, small_label: "32x32", big_label: "1600x1600", spec_fn: mt },
-        Benchmark { code: "CH", name: "cholesky", suite: Suite::Standalone, uses_shared_memory: false, small_label: "150x150", big_label: "600x600", spec_fn: ch },
+        Benchmark {
+            code: "BP",
+            name: "backprop",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "1536",
+            big_label: "10000",
+            spec_fn: bp,
+        },
+        Benchmark {
+            code: "BF",
+            name: "bfs",
+            suite: Suite::Rodinia,
+            uses_shared_memory: false,
+            small_label: "4096",
+            big_label: "6000",
+            spec_fn: bf,
+        },
+        Benchmark {
+            code: "GA",
+            name: "gaussian",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "256x256",
+            big_label: "700x700",
+            spec_fn: ga,
+        },
+        Benchmark {
+            code: "HT",
+            name: "hotspot",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "64x64",
+            big_label: "512x512",
+            spec_fn: ht,
+        },
+        Benchmark {
+            code: "KM",
+            name: "kmeans",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "2000, 34 feat",
+            big_label: "5000, 34 feat.",
+            spec_fn: km,
+        },
+        Benchmark {
+            code: "LV",
+            name: "lavaMD",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "2",
+            big_label: "4",
+            spec_fn: lv,
+        },
+        Benchmark {
+            code: "LU",
+            name: "lud",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "256x256",
+            big_label: "512x512",
+            spec_fn: lu,
+        },
+        Benchmark {
+            code: "NN",
+            name: "nearest-neighbor",
+            suite: Suite::Rodinia,
+            uses_shared_memory: false,
+            small_label: "10691",
+            big_label: "42764",
+            spec_fn: nn,
+        },
+        Benchmark {
+            code: "NW",
+            name: "needleman-wunsch",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "160x160",
+            big_label: "320x320",
+            spec_fn: nw,
+        },
+        Benchmark {
+            code: "PT",
+            name: "particle-filter",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "2500",
+            big_label: "5000",
+            spec_fn: pt,
+        },
+        Benchmark {
+            code: "SR",
+            name: "srad",
+            suite: Suite::Rodinia,
+            uses_shared_memory: true,
+            small_label: "256x256",
+            big_label: "512x512",
+            spec_fn: sr,
+        },
+        Benchmark {
+            code: "ST",
+            name: "stencil",
+            suite: Suite::Parboil,
+            uses_shared_memory: true,
+            small_label: "128x128x32",
+            big_label: "164x164x32",
+            spec_fn: st,
+        },
+        Benchmark {
+            code: "GC",
+            name: "graph-coloring",
+            suite: Suite::Pannotia,
+            uses_shared_memory: false,
+            small_label: "power",
+            big_label: "delaunay-n15",
+            spec_fn: gc,
+        },
+        Benchmark {
+            code: "FW",
+            name: "floyd-warshall",
+            suite: Suite::Pannotia,
+            uses_shared_memory: false,
+            small_label: "256_16384",
+            big_label: "512_65536",
+            spec_fn: fw,
+        },
+        Benchmark {
+            code: "MS",
+            name: "maximal-independent-set",
+            suite: Suite::Pannotia,
+            uses_shared_memory: false,
+            small_label: "power",
+            big_label: "delaunay-n13",
+            spec_fn: ms,
+        },
+        Benchmark {
+            code: "SP",
+            name: "sssp",
+            suite: Suite::Pannotia,
+            uses_shared_memory: false,
+            small_label: "power",
+            big_label: "delaunay-n13",
+            spec_fn: sp,
+        },
+        Benchmark {
+            code: "BL",
+            name: "black-scholes",
+            suite: Suite::NvidiaSdk,
+            uses_shared_memory: false,
+            small_label: "5000",
+            big_label: "10000",
+            spec_fn: bl,
+        },
+        Benchmark {
+            code: "VA",
+            name: "vector-add",
+            suite: Suite::NvidiaSdk,
+            uses_shared_memory: false,
+            small_label: "50000",
+            big_label: "200000",
+            spec_fn: va,
+        },
+        Benchmark {
+            code: "BS",
+            name: "bitonic-sort",
+            suite: Suite::Standalone,
+            uses_shared_memory: false,
+            small_label: "262144",
+            big_label: "524288",
+            spec_fn: bs,
+        },
+        Benchmark {
+            code: "MM",
+            name: "matrix-multiply",
+            suite: Suite::Standalone,
+            uses_shared_memory: false,
+            small_label: "256x256",
+            big_label: "900x900",
+            spec_fn: mm,
+        },
+        Benchmark {
+            code: "MT",
+            name: "matrix-transpose",
+            suite: Suite::Standalone,
+            uses_shared_memory: false,
+            small_label: "32x32",
+            big_label: "1600x1600",
+            spec_fn: mt,
+        },
+        Benchmark {
+            code: "CH",
+            name: "cholesky",
+            suite: Suite::Standalone,
+            uses_shared_memory: false,
+            small_label: "150x150",
+            big_label: "600x600",
+            spec_fn: ch,
+        },
     ]
 }
 
 /// Looks up a benchmark by its Table II code name.
 pub fn by_code(code: &str) -> Option<Benchmark> {
-    all().into_iter().find(|b| {
-        ds_core::Scenario::code(b).eq_ignore_ascii_case(code)
-    })
+    all()
+        .into_iter()
+        .find(|b| ds_core::Scenario::code(b).eq_ignore_ascii_case(code))
 }
 
 #[cfg(test)]
@@ -783,7 +959,12 @@ mod tests {
     #[test]
     fn big_inputs_are_bigger() {
         for b in all() {
-            let small: u64 = b.spec(InputSize::Small).arrays.iter().map(|a| a.bytes).sum();
+            let small: u64 = b
+                .spec(InputSize::Small)
+                .arrays
+                .iter()
+                .map(|a| a.bytes)
+                .sum();
             let big: u64 = b.spec(InputSize::Big).arrays.iter().map(|a| a.bytes).sum();
             assert!(big > small, "{}: big ({big}) <= small ({small})", b.code);
         }

@@ -224,11 +224,7 @@ impl WorkloadSpec {
         if let Err(e) = self.validate() {
             panic!("invalid WorkloadSpec: {e}");
         }
-        let bases: Vec<VirtAddr> = self
-            .arrays
-            .iter()
-            .map(|a| layout.base(a.name))
-            .collect();
+        let bases: Vec<VirtAddr> = self.arrays.iter().map(|a| layout.base(a.name)).collect();
 
         let mut program = Program::new();
         for &i in &self.cpu_produces {
@@ -371,12 +367,7 @@ impl WorkloadSpec {
                         let mut remaining = count;
                         while remaining > 0 {
                             let chunk = remaining.min(u64::from(MAX_OP_LINES)) as u16;
-                            push_chunk(
-                                &mut warps[w],
-                                base.offset(cursor * LINE_BYTES),
-                                chunk,
-                                1,
-                            );
+                            push_chunk(&mut warps[w], base.offset(cursor * LINE_BYTES), chunk, 1);
                             cursor += u64::from(chunk);
                             remaining -= u64::from(chunk);
                         }
@@ -491,10 +482,7 @@ mod tests {
     #[test]
     fn strided_reads_touch_every_stride() {
         let mut spec = stream_spec();
-        spec.kernels[0].reads = vec![(
-            0,
-            ReadPattern::Strided { stride_lines: 4 },
-        )];
+        spec.kernels[0].reads = vec![(0, ReadPattern::Strided { stride_lines: 4 })];
         let zero = |_: &str| VirtAddr::new(0);
         let (_, kernels) = spec.compile(&zero);
         let mut touched: Vec<u64> = Vec::new();
@@ -584,10 +572,7 @@ mod tests {
         let src = spec.emit_source();
         let out = ds_xlat::Translator::new().translate(&src).unwrap();
         assert_eq!(out.plan.len(), 2, "both arrays flow into the kernel");
-        assert_eq!(
-            out.plan.lookup("a").unwrap().size,
-            64 * LINE_BYTES
-        );
+        assert_eq!(out.plan.lookup("a").unwrap().size, 64 * LINE_BYTES);
     }
 
     #[test]

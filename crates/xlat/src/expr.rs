@@ -270,10 +270,7 @@ mod tests {
     use super::*;
 
     fn defs(pairs: &[(&str, u64)]) -> HashMap<String, u64> {
-        pairs
-            .iter()
-            .map(|&(k, v)| (k.to_string(), v))
-            .collect()
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
     }
 
     #[test]

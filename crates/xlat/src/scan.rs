@@ -42,8 +42,7 @@ pub fn scan_defines(src: &str) -> HashMap<String, u64> {
             continue;
         };
         let rest = rest.trim_start();
-        let Some(name_end) = rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        else {
+        let Some(name_end) = rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_')) else {
             continue;
         };
         let (name, value) = rest.split_at(name_end);
@@ -310,9 +309,7 @@ mod tests {
 
     #[test]
     fn defines_chain() {
-        let defs = scan_defines(
-            "#define N 256\n#define SIZE N*N\n#define BAD xyz\nint x;\n",
-        );
+        let defs = scan_defines("#define N 256\n#define SIZE N*N\n#define BAD xyz\nint x;\n");
         assert_eq!(defs.get("N"), Some(&256));
         assert_eq!(defs.get("SIZE"), Some(&65536));
         assert!(!defs.contains_key("BAD"));
@@ -352,7 +349,10 @@ mod tests {
         assert_eq!(allocs[0].var, "a");
         assert_eq!(allocs[0].size_expr, "N * sizeof(float)");
         assert!(!allocs[0].is_cuda);
-        assert_eq!(&src[allocs[0].span.0..allocs[0].span.1], "malloc(N * sizeof(float))");
+        assert_eq!(
+            &src[allocs[0].span.0..allocs[0].span.1],
+            "malloc(N * sizeof(float))"
+        );
     }
 
     #[test]

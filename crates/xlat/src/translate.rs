@@ -112,9 +112,7 @@ impl Translator {
             for arg in &launch.args {
                 let ident = arg.trim().trim_start_matches('&');
                 if !ident.is_empty()
-                    && ident
-                        .chars()
-                        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                     && !ident.chars().next().is_some_and(|c| c.is_ascii_digit())
                 {
                     kernel_vars.insert(ident);
@@ -128,8 +126,7 @@ impl Translator {
         let mut planned: HashSet<&str> = HashSet::new();
 
         for alloc in &allocations {
-            if !kernel_vars.contains(alloc.var.as_str()) || planned.contains(alloc.var.as_str())
-            {
+            if !kernel_vars.contains(alloc.var.as_str()) || planned.contains(alloc.var.as_str()) {
                 continue;
             }
             let size = eval_const_expr(&alloc.size_expr, &defines).map_err(|cause| {

@@ -6,7 +6,10 @@ use ds_xlat::Translator;
 
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
-        !matches!(s.as_str(), "int" | "float" | "char" | "return" | "sizeof" | "main")
+        !matches!(
+            s.as_str(),
+            "int" | "float" | "char" | "return" | "sizeof" | "main"
+        )
     })
 }
 
@@ -31,7 +34,7 @@ fn var_strategy() -> impl Strategy<Value = GenVar> {
 
 fn render(vars: &[GenVar]) -> String {
     let mut src = String::from("#define ELEMS 64\nint main() {\n");
-    for v in &*vars {
+    for v in vars {
         if v.cuda {
             src.push_str(&format!(
                 "    float *{};\n    cudaMalloc(&{}, {} * sizeof(float));\n",

@@ -41,17 +41,17 @@ fn run_footprint(lines: u64, mode: Mode) -> u64 {
     }
 
     let mut system = System::new(SystemConfig::paper_default(), mode);
-    system
-        .run(program, vec![kernel])
-        .total_cycles
-        .as_u64()
+    system.run(program, vec![kernel]).total_cycles.as_u64()
 }
 
 fn main() {
     let l2_lines = SystemConfig::paper_default().gpu_l2_total_bytes() / 128;
     println!("GPU L2 capacity: {l2_lines} lines (2 MB)");
     println!();
-    println!("{:>10} {:>12} {:>10} {:>10}", "lines", "vs capacity", "speedup", "");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "lines", "vs capacity", "speedup", ""
+    );
     for factor in [2u64, 4, 8, 12, 16, 24, 32, 48] {
         let lines = l2_lines * factor / 16; // 1/8x .. 3x capacity
         let ccsm = run_footprint(lines, Mode::Ccsm);

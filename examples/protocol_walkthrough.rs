@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --example protocol_walkthrough`
 
-use direct_store::coherence::{
-    transition, Action, HammerState, ProtocolEvent,
-};
+use direct_store::coherence::{transition, Action, HammerState, ProtocolEvent};
 use direct_store::core::trace::trace_single_line;
 use direct_store::core::Mode;
 

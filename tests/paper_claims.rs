@@ -104,9 +104,6 @@ fn runs_are_deterministic() {
     let b = compare("BF", InputSize::Small);
     assert_eq!(a.ccsm.total_cycles, b.ccsm.total_cycles);
     assert_eq!(a.direct_store.total_cycles, b.direct_store.total_cycles);
-    assert_eq!(
-        a.ccsm.gpu_l2.misses.value(),
-        b.ccsm.gpu_l2.misses.value()
-    );
+    assert_eq!(a.ccsm.gpu_l2.misses.value(), b.ccsm.gpu_l2.misses.value());
     assert_eq!(a.ccsm.events, b.ccsm.events);
 }

@@ -21,26 +21,18 @@ struct RandomWorkload {
 }
 
 fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
-    (
-        8u64..400,
-        1u32..6,
-        1u64..40,
-        0u32..12,
-        0u64..64,
-        1u8..3,
+    (8u64..400, 1u32..6, 1u64..40, 0u32..12, 0u64..64, 1u8..3).prop_map(
+        |(produced_lines, consume_stride, warps, compute, write_back_lines, launches)| {
+            RandomWorkload {
+                produced_lines,
+                consume_stride,
+                warps,
+                compute,
+                write_back_lines,
+                launches,
+            }
+        },
     )
-        .prop_map(
-            |(produced_lines, consume_stride, warps, compute, write_back_lines, launches)| {
-                RandomWorkload {
-                    produced_lines,
-                    consume_stride,
-                    warps,
-                    compute,
-                    write_back_lines,
-                    launches,
-                }
-            },
-        )
 }
 
 fn build(w: &RandomWorkload) -> (Program, Vec<KernelTrace>) {

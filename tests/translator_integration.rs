@@ -21,7 +21,12 @@ fn all_benchmark_sources_translate_with_sound_plans() {
             assert_eq!(out.plan.len(), spec.arrays.len(), "{}", b.code());
             let vars = out.plan.vars();
             for v in vars {
-                assert!(window.contains(v.base), "{}: {} outside window", b.code(), v.name);
+                assert!(
+                    window.contains(v.base),
+                    "{}: {} outside window",
+                    b.code(),
+                    v.name
+                );
                 assert_eq!(v.base.as_u64() % 4096, 0, "{}: unaligned", b.code());
                 let declared = spec
                     .arrays

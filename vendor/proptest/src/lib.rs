@@ -1,0 +1,605 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate
+//! re-implements the slice of proptest's API that the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter`, range / tuple / [`Just`] / [`any`] strategies,
+//! `collection::vec`, a regex-literal string strategy (character
+//! classes and `{m,n}` quantifiers only), and the `proptest!`,
+//! `prop_assert*` and `prop_oneof!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the assertion
+//!   message; inputs are deterministic per test, so failures replay
+//!   exactly by re-running the test.
+//! * **Deterministic generation.** Cases come from a fixed-seed
+//!   splitmix64 stream; `PROPTEST_CASES` overrides the case count
+//!   (default 64).
+
+pub use strategy::{any, Just, Strategy};
+
+/// The number of generated cases per property, honouring the
+/// `PROPTEST_CASES` environment variable.
+pub fn cases() -> u32 {
+    cases_with(ProptestConfig::default().cases)
+}
+
+/// Like [`cases`], but with an explicit default from a
+/// `#![proptest_config(..)]` block attribute.
+pub fn cases_with(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Error type of a failed property case (stub: a plain message; the
+/// stub's `prop_assert*` macros panic instead of returning it, but
+/// bodies may still `return Ok(())` / `Err(..)` explicitly).
+pub type TestCaseError = String;
+
+/// Result type of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-block test configuration (stub: only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; ignored (no shrinking).
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; ignored (filters retry a fixed
+    /// 1000 times).
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            max_local_rejects: 1000,
+        }
+    }
+}
+
+/// Deterministic test RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A fixed-seed generator; every property test starts here so runs
+    /// are reproducible.
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x8505_7ED6_CA35_D9D1,
+        }
+    }
+
+    /// Next word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The strategy trait and its combinators.
+pub mod strategy {
+    use crate::TestRng;
+
+    /// A generator of values for property tests.
+    ///
+    /// Object safe: `prop_map` / `prop_filter` are `Self: Sized`, so
+    /// `Box<dyn Strategy<Value = T>>` works (the basis of
+    /// `prop_oneof!`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards values failing `pred`, regenerating (bounded
+        /// retries; `reason` names the filter in the give-up panic).
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy (for heterogeneous `prop_oneof!`
+        /// arms).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates", self.reason);
+        }
+    }
+
+    /// A strategy producing exactly its payload, every time.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; `arms` must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.arms.len() as u64) as usize;
+            self.arms[pick].generate(rng)
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy ([`any`]).
+    pub trait Arbitrary {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String literals act as regex-shaped string strategies.
+    ///
+    /// Supported subset: literal characters, `[...]` classes with
+    /// ranges, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers on the
+    /// preceding atom (unbounded quantifiers cap at 8 repeats).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let class = expand_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match spec.split_once(',') {
+                        Some((m, n)) => (parse_count(&spec, m), parse_count(&spec, n)),
+                        None => {
+                            let m = parse_count(&spec, &spec);
+                            (m, m)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom[rng.below(atom.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn parse_count(spec: &str, field: &str) -> usize {
+        field
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier {{{spec}}}"))
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                assert!(lo <= hi, "inverted class range");
+                set.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// item becomes a `#[test]` that runs the body over generated inputs.
+/// An optional leading `#![proptest_config(expr)]` sets the per-block
+/// case count.
+#[macro_export]
+macro_rules! proptest {
+    (@cases ($cases:expr)
+     $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic();
+                for _case in 0..$crate::cases_with($cases) {
+                    $(let $p = $crate::strategy::Strategy::generate(&$s, &mut rng);)+
+                    // Bodies may `return Ok(())` early, like real
+                    // proptest's Result-typed test cases.
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(e) = outcome {
+                        panic!("property {} failed: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cases (($cfg).cases) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cases ($crate::ProptestConfig::default().cases) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::deterministic();
+        let s = (0u64..10, 1usize..3, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert!((1..3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = TestRng::deterministic();
+        let s = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)];
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && (seen[5] || seen[6]));
+    }
+
+    #[test]
+    fn regex_subset_identifiers() {
+        let mut rng = TestRng::deterministic();
+        let s = "[a-z][a-z0-9_]{0,8}";
+        for _ in 0..200 {
+            let ident = Strategy::generate(&s, &mut rng);
+            assert!(!ident.is_empty() && ident.len() <= 9, "{ident:?}");
+            assert!(ident.chars().next().unwrap().is_ascii_lowercase());
+            assert!(ident
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn filter_and_vec() {
+        let mut rng = TestRng::deterministic();
+        let s = crate::collection::vec((0u32..100).prop_filter("even", |v| v % 2 == 0), 1..20);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 20);
+            assert!(v.iter().all(|x| x % 2 == 0));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: bindings, multiple params, trailing comma.
+        #[test]
+        fn macro_generates_cases(
+            xs in crate::collection::vec(0u64..50, 1..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 10);
+            let _ = flag;
+            prop_assert_eq!(xs.iter().filter(|&&x| x >= 50).count(), 0);
+            prop_assert_ne!(xs.len(), 0);
+        }
+    }
+}
