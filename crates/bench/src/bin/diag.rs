@@ -47,6 +47,9 @@ fn main() {
                 .as_u64()
                 .saturating_sub(r.last_kernel_end.as_u64())
         );
+        for line in r.latency.to_string().lines() {
+            println!("  {line}");
+        }
         println!();
     }
 }

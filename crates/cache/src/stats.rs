@@ -90,12 +90,14 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "accesses={} miss_rate={} compulsory={} evictions={} writebacks={}",
+            "accesses={} miss_rate={} compulsory={} evictions={} writebacks={} pushed_fills={} push_hits={}",
             self.accesses(),
             self.miss_rate(),
             self.compulsory_misses.value(),
             self.evictions.value(),
-            self.writebacks.value()
+            self.writebacks.value(),
+            self.pushed_fills.value(),
+            self.push_hits.value()
         )
     }
 }
@@ -128,5 +130,15 @@ mod tests {
     fn display_is_nonempty() {
         let s = CacheStats::new();
         assert!(s.to_string().contains("accesses=0"));
+    }
+
+    #[test]
+    fn display_includes_push_counters() {
+        let mut s = CacheStats::new();
+        s.pushed_fills.add(3);
+        s.push_hits.add(2);
+        let text = s.to_string();
+        assert!(text.contains("pushed_fills=3"), "{text}");
+        assert!(text.contains("push_hits=2"), "{text}");
     }
 }

@@ -226,6 +226,28 @@ impl Pipeline {
         input: InputSize,
         mode: Mode,
     ) -> Result<RunReport, PipelineError> {
+        self.run_one_instrumented(scenario, input, mode, ds_probe::NullTracer, None)
+            .map(|(report, _)| report)
+    }
+
+    /// Runs `scenario` once under `mode` with instrumentation: trace
+    /// events go to `tracer` (pass [`ds_probe::NullTracer`] to compile
+    /// them away) and, when `epoch_window` is `Some(n)`, the report
+    /// carries one activity sample per `n` cycles. Returns the report
+    /// together with the tracer and everything it collected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Translate`] if the scenario's source
+    /// fails translation (direct-store modes only).
+    pub fn run_one_instrumented<T: ds_probe::Tracer>(
+        &self,
+        scenario: &dyn Scenario,
+        input: InputSize,
+        mode: Mode,
+        tracer: T,
+        epoch_window: Option<u64>,
+    ) -> Result<(RunReport, T), PipelineError> {
         let plan = if mode.pushes() {
             let translation = Translator::new().translate(&scenario.source(input))?;
             Some(translation.plan)
@@ -233,8 +255,12 @@ impl Pipeline {
             None
         };
         let build = scenario.build(plan.as_ref(), input);
-        let mut system = System::new(self.cfg.clone(), mode);
-        Ok(system.run(build.program, build.kernels))
+        let mut system = System::with_tracer(self.cfg.clone(), mode, tracer);
+        if let Some(window) = epoch_window {
+            system.enable_epochs(window);
+        }
+        let report = system.run(build.program, build.kernels);
+        Ok((report, system.into_tracer()))
     }
 
     /// Runs `scenario` under CCSM and under direct store, returning

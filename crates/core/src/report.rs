@@ -4,6 +4,7 @@ use std::fmt;
 
 use ds_cache::CacheStats;
 use ds_noc::XbarStats;
+use ds_probe::{EpochSample, LatencyReport};
 use ds_sim::Cycle;
 
 use crate::Mode;
@@ -65,6 +66,15 @@ pub struct RunReport {
     pub dram_row_hits: u64,
     /// Total simulation events processed (simulator-effort metric).
     pub events: u64,
+    /// Sim-wide latency distributions (GPU load-to-use, direct-push
+    /// end-to-end, hub transaction, DRAM queue) with p50/p95/p99
+    /// summaries.
+    pub latency: LatencyReport,
+    /// Windowed activity series; empty unless epoch sampling was
+    /// enabled (`System::enable_epochs`).
+    pub epochs: Vec<EpochSample>,
+    /// The epoch window length in cycles (zero when sampling was off).
+    pub epoch_window: u64,
 }
 
 impl RunReport {
@@ -143,6 +153,9 @@ mod tests {
             hub_probes: 0,
             dram_row_hits: 0,
             events: 0,
+            latency: LatencyReport::new(),
+            epochs: Vec::new(),
+            epoch_window: 0,
         }
     }
 

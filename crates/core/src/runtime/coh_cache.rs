@@ -4,7 +4,8 @@
 use std::collections::{HashMap, HashSet};
 
 use ds_cache::{
-    CacheArray, CacheGeometry, CacheStats, MissClassifier, MshrFile, MshrOutcome, ReplacementPolicy,
+    CacheArray, CacheGeometry, CacheStats, MissClassifier, MissKind, MshrFile, MshrOutcome,
+    ReplacementPolicy,
 };
 use ds_coherence::{HammerState, ReqKind};
 use ds_mem::LineAddr;
@@ -42,10 +43,11 @@ impl CohCache {
     }
 
     /// Records a demand miss (with compulsory classification) on
-    /// `line`.
-    pub fn record_miss(&mut self, line: LineAddr) {
+    /// `line`, returning the classification for tracing.
+    pub fn record_miss(&mut self, line: LineAddr) -> MissKind {
         let kind = self.classifier.classify_miss(line);
         self.stats.record_miss(kind);
+        kind
     }
 
     /// Records a demand hit, tracking hits on pushed lines.

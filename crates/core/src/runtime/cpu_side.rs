@@ -12,6 +12,7 @@ use ds_cpu::CpuOp;
 use ds_gpu::L1Valid;
 use ds_mem::{LineAddr, VirtAddr};
 use ds_noc::{MsgClass, PortId};
+use ds_probe::{Component, NetId, TraceKind, Tracer};
 
 use super::{CpuBlock, Ev, System, Waiter};
 
@@ -19,7 +20,7 @@ use super::{CpuBlock, Ev, System, Waiter};
 /// front-end (driver + command processor), in cycles.
 pub(super) const KERNEL_LAUNCH_OVERHEAD: u64 = 500;
 
-impl System {
+impl<T: Tracer> System<T> {
     /// Sends a coherence-network message and schedules its arrival.
     pub(super) fn coh_send(&mut self, src: Agent, dst: Agent, msg: CohMsg) {
         let class = if msg.carries_data() {
@@ -27,25 +28,56 @@ impl System {
         } else {
             MsgClass::Control
         };
-        let arrival = self.coh_net.send(
-            self.now,
-            PortId(src.port_index()),
-            PortId(dst.port_index()),
-            class,
+        let (sp, dp) = (src.port_index(), dst.port_index());
+        let info = self
+            .coh_net
+            .send_info(self.now, PortId(sp), PortId(dp), class);
+        self.trace(
+            Component::Net {
+                net: NetId::Coherence,
+            },
+            Some(msg.line().index()),
+            TraceKind::NetMsg {
+                src: sp as u8,
+                dst: dp as u8,
+                data: class == MsgClass::Data,
+                start: info.start.as_u64(),
+                depart: info.depart.as_u64(),
+                arrive: info.arrival.as_u64(),
+            },
         );
-        self.queue.push(arrival, Ev::Coh { dst, msg });
+        self.queue.push(info.arrival, Ev::Coh { dst, msg });
     }
 
-    /// Sends a direct-network message from the CPU to a slice.
-    pub(super) fn direct_send_to_slice(&mut self, slice: u8, msg: DirectMsg) {
+    /// Sends a direct-network message over ports `src → dst`, tracing
+    /// the link occupancy, and returns the arrival time.
+    fn direct_send(&mut self, src: usize, dst: usize, msg: &DirectMsg) -> ds_sim::Cycle {
         let class = if msg.carries_data() {
             MsgClass::Data
         } else {
             MsgClass::Control
         };
-        let arrival = self
+        let info = self
             .direct_net
-            .send(self.now, PortId(0), PortId(1 + slice as usize), class);
+            .send_info(self.now, PortId(src), PortId(dst), class);
+        self.trace(
+            Component::Net { net: NetId::Direct },
+            Some(msg.line().index()),
+            TraceKind::NetMsg {
+                src: src as u8,
+                dst: dst as u8,
+                data: class == MsgClass::Data,
+                start: info.start.as_u64(),
+                depart: info.depart.as_u64(),
+                arrive: info.arrival.as_u64(),
+            },
+        );
+        info.arrival
+    }
+
+    /// Sends a direct-network message from the CPU to a slice.
+    pub(super) fn direct_send_to_slice(&mut self, slice: u8, msg: DirectMsg) {
+        let arrival = self.direct_send(0, 1 + slice as usize, &msg);
         self.queue.push(
             arrival,
             Ev::DirectAtSlice {
@@ -58,21 +90,15 @@ impl System {
 
     /// Sends a direct-network message from a slice back to the CPU.
     pub(super) fn direct_send_to_cpu(&mut self, slice: u8, msg: DirectMsg) {
-        let class = if msg.carries_data() {
-            MsgClass::Data
-        } else {
-            MsgClass::Control
-        };
-        let arrival = self
-            .direct_net
-            .send(self.now, PortId(1 + slice as usize), PortId(0), class);
+        let arrival = self.direct_send(1 + slice as usize, 0, &msg);
         self.queue.push(arrival, Ev::DirectAtCpu { msg });
     }
 
     fn translate_cpu(&mut self, va: VirtAddr) -> (LineAddr, bool, u64) {
         let look = self.tlb.lookup(va);
         let mut cost = 1;
-        if !look.is_hit() {
+        let missed = !look.is_hit();
+        if missed {
             cost += self.cfg.tlb_miss_penalty;
             let is_direct = look.is_direct;
             let ppn = self
@@ -82,7 +108,11 @@ impl System {
             self.tlb.fill(look.vpn, ppn);
         }
         let pa = self.space.translate(va);
-        (LineAddr::containing(pa), look.is_direct, cost)
+        let line = LineAddr::containing(pa);
+        if missed {
+            self.trace(Component::CpuTlb, Some(line.index()), TraceKind::TlbMiss);
+        }
+        (line, look.is_direct, cost)
     }
 
     /// Executes the CPU's next program operation (`Ev::CpuAdvance`).
@@ -151,18 +181,31 @@ impl System {
             );
             return;
         }
-        if self.sb.contains(line) || self.inflight_stores.iter().any(|e| e.line == line) {
+        if self.sb.contains(line) || self.inflight_stores.iter().any(|(e, _)| e.line == line) {
             // Store-to-load forwarding (buffered or draining stores).
             self.queue.push(self.now + cost, Ev::CpuAdvance);
             return;
         }
         if self.cpu_l1d.access(line).is_some() {
             self.cpu_l1_stats.record_hit();
+            self.trace(
+                Component::CpuL1,
+                Some(line.index()),
+                TraceKind::Hit { push_hit: false },
+            );
             self.queue
                 .push(self.now + cost + self.cfg.cpu_l1_latency, Ev::CpuAdvance);
             return;
         }
         self.cpu_l1_stats.record_miss(MissKind::NonCompulsory);
+        self.trace(
+            Component::CpuL1,
+            Some(line.index()),
+            TraceKind::Miss {
+                write: false,
+                compulsory: false,
+            },
+        );
         self.cpu.block = CpuBlock::Load;
         self.queue.push(
             self.now + cost + self.cfg.cpu_l1_latency + self.cfg.cpu_l2_latency,
@@ -191,7 +234,14 @@ impl System {
             let Some(entry) = self.sb.pop() else {
                 break;
             };
-            self.inflight_stores.push(entry);
+            self.inflight_stores.push((entry, self.now));
+            self.trace(
+                Component::StoreBuffer,
+                Some(entry.line.index()),
+                TraceKind::SbDrain {
+                    direct: entry.is_direct,
+                },
+            );
             // Popping freed buffer space: a stalled store can retry.
             if self.cpu.block == CpuBlock::SbFull {
                 self.cpu.block = CpuBlock::None;
@@ -221,14 +271,16 @@ impl System {
     }
 
     /// Finishes an in-flight drain of `line` and kicks the next one.
-    pub(super) fn complete_drain(&mut self, line: LineAddr) {
+    /// Returns the cycle the drain began (for end-to-end latency).
+    pub(super) fn complete_drain(&mut self, line: LineAddr) -> ds_sim::Cycle {
         let pos = self
             .inflight_stores
             .iter()
-            .position(|e| e.line == line)
+            .position(|(e, _)| e.line == line)
             .unwrap_or_else(|| panic!("drain completion for idle {line}"));
-        self.inflight_stores.swap_remove(pos);
+        let (_, started) = self.inflight_stores.swap_remove(pos);
         self.kick_drain();
+        started
     }
 
     /// A demand access arrives at the CPU L2 (`Ev::CpuL2Access`; tag
@@ -237,6 +289,11 @@ impl System {
         if !write {
             if self.cpu_l2.array.access(line).is_some_and(|s| s.can_read()) {
                 self.cpu_l2.record_hit(line);
+                self.trace(
+                    Component::CpuL2,
+                    Some(line.index()),
+                    TraceKind::Hit { push_hit: false },
+                );
                 self.fill_cpu_l1(line);
                 self.resume_cpu_load();
                 return;
@@ -246,6 +303,11 @@ impl System {
             match self.cpu_l2.array.access(line).copied() {
                 Some(HammerState::MM) => {
                     self.cpu_l2.record_hit(line);
+                    self.trace(
+                        Component::CpuL2,
+                        Some(line.index()),
+                        TraceKind::Hit { push_hit: false },
+                    );
                     self.complete_drain(line);
                 }
                 Some(HammerState::M) => {
@@ -256,6 +318,11 @@ impl System {
                         .state_mut(line)
                         .expect("state checked above") = HammerState::MM;
                     self.cpu_l2.record_hit(line);
+                    self.trace(
+                        Component::CpuL2,
+                        Some(line.index()),
+                        TraceKind::Hit { push_hit: false },
+                    );
                     self.complete_drain(line);
                 }
                 Some(HammerState::S) | Some(HammerState::O) | Some(HammerState::I) | None => {
@@ -272,7 +339,15 @@ impl System {
             kind == ReqKind::GetX && self.cpu_l2.array.probe(line).is_some_and(|s| s.is_valid());
         match self.cpu_l2.alloc_miss(line, kind, waiter) {
             MshrOutcome::Primary => {
-                self.cpu_l2.record_miss(line);
+                let miss_kind = self.cpu_l2.record_miss(line);
+                self.trace(
+                    Component::CpuL2,
+                    Some(line.index()),
+                    TraceKind::Miss {
+                        write: kind == ReqKind::GetX,
+                        compulsory: miss_kind == MissKind::Compulsory,
+                    },
+                );
                 if self.mode.coherent() {
                     let msg = match kind {
                         ReqKind::GetS => CohMsg::GetS {
@@ -290,12 +365,20 @@ impl System {
                     // DS-only mode: no coherence; fetch straight from
                     // DRAM. (For a full-line write the fetch is still
                     // modelled — conservative.)
-                    let done = self.dram.access(self.now, line, false);
+                    let done = self.dram_access(self.now, line, false);
                     self.queue.push(done, Ev::CpuL2MemDone { line });
                 }
             }
             MshrOutcome::Secondary => {
-                self.cpu_l2.record_miss(line);
+                let miss_kind = self.cpu_l2.record_miss(line);
+                self.trace(
+                    Component::CpuL2,
+                    Some(line.index()),
+                    TraceKind::Miss {
+                        write: kind == ReqKind::GetX,
+                        compulsory: miss_kind == MissKind::Compulsory,
+                    },
+                );
             }
             MshrOutcome::Full => {
                 // Stall until an MSHR frees (drained by completions).
@@ -333,7 +416,7 @@ impl System {
                         },
                     );
                 } else {
-                    self.dram.access(self.now, victim, true);
+                    self.dram_access(self.now, victim, true);
                 }
             }
         }
@@ -392,7 +475,14 @@ impl System {
         match msg {
             DirectMsg::PutXAck { line } => {
                 self.direct_pushes += 1;
-                self.complete_drain(line);
+                let started = self.complete_drain(line);
+                let latency = self.now.saturating_since(started);
+                self.probes.push_e2e.record(latency);
+                self.trace(
+                    Component::StoreBuffer,
+                    Some(line.index()),
+                    TraceKind::PushDone { latency },
+                );
             }
             DirectMsg::ReadResp { .. } => self.resume_cpu_load(),
             other => unreachable!("unexpected direct message at CPU: {other:?}"),

@@ -1,22 +1,51 @@
 //! GPU-side event handlers: kernel dispatch, SM issue, L1s and the L2
 //! slice controllers.
 
-use ds_cache::{LineState, MshrOutcome};
+use ds_cache::{LineState, MissKind, MshrOutcome};
 use ds_coherence::{msg::slice_index, Agent, CohMsg, HammerState, ReqKind};
 use ds_gpu::WarpOp;
 use ds_mem::LineAddr;
 use ds_noc::{MsgClass, PortId};
+use ds_probe::{Component, NetId, TraceKind, Tracer};
 use ds_sim::Cycle;
 
 use super::{CpuBlock, Ev, System, Waiter};
 
-impl System {
+impl<T: Tracer> System<T> {
     fn gpu_port_sm(&self, sm: usize) -> PortId {
         PortId(sm)
     }
 
     fn gpu_port_slice(&self, slice: u8) -> PortId {
         PortId(self.cfg.sms + slice as usize)
+    }
+
+    /// Sends one message over the GPU-internal crossbar, tracing the
+    /// link occupancy, and returns the arrival time.
+    fn gpu_net_send(
+        &mut self,
+        at: Cycle,
+        src: PortId,
+        dst: PortId,
+        class: MsgClass,
+        line: LineAddr,
+    ) -> Cycle {
+        let info = self.gpu_net.send_info(at, src, dst, class);
+        self.trace(
+            Component::Net {
+                net: NetId::GpuInternal,
+            },
+            Some(line.index()),
+            TraceKind::NetMsg {
+                src: src.0 as u8,
+                dst: dst.0 as u8,
+                data: class == MsgClass::Data,
+                start: info.start.as_u64(),
+                depart: info.depart.as_u64(),
+                arrive: info.arrival.as_u64(),
+            },
+        );
+        info.arrival
     }
 
     /// Starts the next queued kernel (`Ev::KernelStart`).
@@ -29,6 +58,11 @@ impl System {
         if self.first_kernel_start.is_none() {
             self.first_kernel_start = Some(self.now);
         }
+        self.trace(
+            Component::Kernel,
+            None,
+            TraceKind::KernelBegin { kernel: k as u32 },
+        );
         self.kernel_spans.push((self.now, Cycle::MAX));
         let trace = self.kernels[k].clone();
         // Software coherence at kernel launch: flash-invalidate every
@@ -59,6 +93,11 @@ impl System {
 
     fn finish_kernel(&mut self) {
         let k = self.running_kernel.take().expect("kernel running");
+        self.trace(
+            Component::Kernel,
+            None,
+            TraceKind::KernelEnd { kernel: k as u32 },
+        );
         self.last_kernel_end = self.now;
         if let Some(span) = self.kernel_spans.last_mut() {
             span.1 = self.now;
@@ -141,7 +180,8 @@ impl System {
     fn translate_gpu(&mut self, sm: usize, va: ds_mem::VirtAddr) -> (LineAddr, u64) {
         let look = self.gpu_tlbs[sm].lookup(va);
         let mut walk = 0;
-        if !look.is_hit() {
+        let missed = !look.is_hit();
+        if missed {
             walk = self.cfg.gpu_tlb_miss_penalty;
             let ppn = self
                 .space
@@ -150,26 +190,50 @@ impl System {
             self.gpu_tlbs[sm].fill(look.vpn, ppn);
         }
         let pa = self.space.translate(va);
-        (LineAddr::containing(pa), walk)
+        let line = LineAddr::containing(pa);
+        if missed {
+            self.trace(
+                Component::GpuTlb { sm: sm as u16 },
+                Some(line.index()),
+                TraceKind::TlbMiss,
+            );
+        }
+        (line, walk)
     }
 
     fn gpu_load(&mut self, sm: usize, warp: usize, line: LineAddr, walk: u64) {
+        let issued = self.now;
         if self.gpu_l1s[sm].load(line) {
+            self.trace(
+                Component::GpuL1 { sm: sm as u16 },
+                Some(line.index()),
+                TraceKind::Hit { push_hit: false },
+            );
             self.queue.push(
                 self.now + walk + self.cfg.gpu_l1_latency,
                 Ev::MemArrive {
                     sm: sm as u32,
                     warp: warp as u32,
+                    issued,
                 },
             );
             return;
         }
+        self.trace(
+            Component::GpuL1 { sm: sm as u16 },
+            Some(line.index()),
+            TraceKind::Miss {
+                write: false,
+                compulsory: false,
+            },
+        );
         let slice = slice_index(line);
-        let arrival = self.gpu_net.send(
+        let arrival = self.gpu_net_send(
             self.now + walk + self.cfg.gpu_l1_latency,
             self.gpu_port_sm(sm),
             self.gpu_port_slice(slice),
             MsgClass::Control,
+            line,
         );
         self.queue.push(
             arrival + self.cfg.gpu_l2_latency,
@@ -180,6 +244,7 @@ impl System {
                 waiter: Waiter::Gpu {
                     sm: sm as u32,
                     warp: warp as u32,
+                    issued,
                 },
                 slotted: false,
             },
@@ -190,11 +255,12 @@ impl System {
         // Write-through, write-no-allocate L1.
         self.gpu_l1s[sm].store(line);
         let slice = slice_index(line);
-        let arrival = self.gpu_net.send(
+        let arrival = self.gpu_net_send(
             self.now + walk + self.cfg.gpu_l1_latency,
             self.gpu_port_sm(sm),
             self.gpu_port_slice(slice),
             MsgClass::Data,
+            line,
         );
         self.queue.push(
             arrival + self.cfg.gpu_l2_latency,
@@ -209,7 +275,17 @@ impl System {
     }
 
     /// A memory response reaches a warp (`Ev::MemArrive`).
-    pub(super) fn on_mem_arrive(&mut self, sm: usize, warp: usize) {
+    pub(super) fn on_mem_arrive(&mut self, sm: usize, warp: usize, issued: Cycle) {
+        let latency = self.now.saturating_since(issued);
+        self.probes.load_to_use.record(latency);
+        self.trace(
+            Component::Sm { sm: sm as u16 },
+            None,
+            TraceKind::LoadDone {
+                warp: warp as u32,
+                latency,
+            },
+        );
         self.sms[sm].mem_arrived(warp);
         self.harvest_finished(sm);
         if self.running_kernel.is_some() {
@@ -269,6 +345,7 @@ impl System {
                 .is_some_and(|st| st.can_read())
             {
                 self.gpu_l2[s].record_hit(line);
+                self.trace_slice_hit(slice, line);
                 self.respond_gpu_load(slice, waiter, line);
                 return;
             }
@@ -278,6 +355,7 @@ impl System {
             match self.gpu_l2[s].array.access(line).copied() {
                 Some(HammerState::MM) => {
                     self.gpu_l2[s].record_hit(line);
+                    self.trace_slice_hit(slice, line);
                 }
                 Some(HammerState::M) => {
                     *self.gpu_l2[s]
@@ -285,12 +363,44 @@ impl System {
                         .state_mut(line)
                         .expect("state checked above") = HammerState::MM;
                     self.gpu_l2[s].record_hit(line);
+                    self.trace_slice_hit(slice, line);
                 }
                 Some(HammerState::S) | Some(HammerState::O) | Some(HammerState::I) | None => {
                     self.slice_miss(slice, line, ReqKind::GetX, waiter);
                 }
             }
         }
+    }
+
+    /// Traces a demand hit at a slice (push-provenance resolved here
+    /// so the emission site stays one line).
+    pub(super) fn trace_slice_hit(&mut self, slice: u8, line: LineAddr) {
+        if T::ENABLED {
+            let push_hit = self.gpu_l2[slice as usize].pushed.contains(&line);
+            self.trace(
+                Component::GpuL2 { slice },
+                Some(line.index()),
+                TraceKind::Hit { push_hit },
+            );
+        }
+    }
+
+    /// Traces a demand miss at a slice.
+    pub(super) fn trace_slice_miss(
+        &mut self,
+        slice: u8,
+        line: LineAddr,
+        write: bool,
+        miss_kind: MissKind,
+    ) {
+        self.trace(
+            Component::GpuL2 { slice },
+            Some(line.index()),
+            TraceKind::Miss {
+                write,
+                compulsory: miss_kind == MissKind::Compulsory,
+            },
+        );
     }
 
     fn slice_miss(&mut self, slice: u8, line: LineAddr, kind: ReqKind, waiter: Waiter) {
@@ -304,7 +414,8 @@ impl System {
         match self.gpu_l2[s].alloc_miss(line, kind, waiter) {
             MshrOutcome::Primary => {
                 if waiter != Waiter::Prefetch {
-                    self.gpu_l2[s].record_miss(line);
+                    let miss_kind = self.gpu_l2[s].record_miss(line);
+                    self.trace_slice_miss(slice, line, kind == ReqKind::GetX, miss_kind);
                 }
                 if self.mode.coherent() {
                     let requester = Agent::GpuL2(slice);
@@ -318,13 +429,14 @@ impl System {
                     };
                     self.coh_send(requester, Agent::MemCtrl, msg);
                 } else {
-                    let done = self.dram.access(self.now, line, false);
+                    let done = self.dram_access(self.now, line, false);
                     self.queue.push(done, Ev::SliceMemDone { slice, line });
                 }
             }
             MshrOutcome::Secondary => {
                 if waiter != Waiter::Prefetch {
-                    self.gpu_l2[s].record_miss(line);
+                    let miss_kind = self.gpu_l2[s].record_miss(line);
+                    self.trace_slice_miss(slice, line, kind == ReqKind::GetX, miss_kind);
                 }
             }
             MshrOutcome::Full => {
@@ -374,15 +486,16 @@ impl System {
     /// Sends a load response from a slice back to its requesting warp.
     fn respond_gpu_load(&mut self, slice: u8, waiter: Waiter, line: LineAddr) {
         match waiter {
-            Waiter::Gpu { sm, warp } => {
-                let arrival = self.gpu_net.send(
+            Waiter::Gpu { sm, warp, issued } => {
+                let arrival = self.gpu_net_send(
                     self.now,
                     self.gpu_port_slice(slice),
                     self.gpu_port_sm(sm as usize),
                     MsgClass::Data,
+                    line,
                 );
                 self.gpu_l1s[sm as usize].fill(line);
-                self.queue.push(arrival, Ev::MemArrive { sm, warp });
+                self.queue.push(arrival, Ev::MemArrive { sm, warp, issued });
             }
             Waiter::GpuStore | Waiter::Prefetch => {}
             Waiter::CpuLoad | Waiter::CpuStoreDrain => {
@@ -407,7 +520,7 @@ impl System {
                         },
                     );
                 } else {
-                    self.dram.access(self.now, victim, true);
+                    self.dram_access(self.now, victim, true);
                 }
             }
         }

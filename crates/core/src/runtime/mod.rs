@@ -19,7 +19,7 @@ mod cpu_side;
 mod gpu_side;
 mod protocol;
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use ds_cache::{CacheArray, CacheStats, ReplacementPolicy};
 use ds_coherence::{Agent, CohMsg, DirectMsg, Hub, ProtocolChecker};
@@ -27,6 +27,9 @@ use ds_cpu::{AddressSpace, DirectWindow, Program, StoreBuffer, StoreEntry, Tlb};
 use ds_gpu::{GpuL1, KernelTrace, L1Valid, Sm};
 use ds_mem::{Dram, LineAddr};
 use ds_noc::Xbar;
+use ds_probe::{
+    Component, EpochRecorder, EpochTotals, LatencyReport, NullTracer, TraceEvent, TraceKind, Tracer,
+};
 use ds_sim::{Cycle, EventQueue};
 
 pub(crate) use coh_cache::CohCache;
@@ -50,6 +53,8 @@ pub(crate) enum Waiter {
         sm: u32,
         /// Kernel-wide warp index.
         warp: u32,
+        /// Cycle the SM issued the load (for load-to-use latency).
+        issued: Cycle,
     },
     /// A GPU store (nothing to notify; permission upgrade may
     /// re-dispatch).
@@ -85,8 +90,9 @@ enum Ev {
     HubMemDone { line: LineAddr, txn: u64 },
     /// Give SM `sm` an issue opportunity.
     SmTick { sm: u32 },
-    /// One memory response reached warp `warp` on SM `sm`.
-    MemArrive { sm: u32, warp: u32 },
+    /// One memory response reached warp `warp` on SM `sm`. `issued`
+    /// is the load's original issue cycle.
+    MemArrive { sm: u32, warp: u32, issued: Cycle },
     /// A demand access arrives at GPU L2 slice `slice`. `slotted`
     /// marks a retry that already reserved the slice's service port.
     SliceDemand {
@@ -126,10 +132,18 @@ struct CpuExec {
     block: CpuBlock,
 }
 
-/// The full-system model. Construct with [`System::new`], execute with
+/// The full-system model. Construct with [`System::new`] (or
+/// [`System::with_tracer`] for instrumented runs), execute with
 /// [`System::run`]. See the crate-level example.
+///
+/// The type is generic over its [`Tracer`]; the default
+/// [`NullTracer`] has `Tracer::ENABLED == false`, so every trace
+/// emission site is compiled away and an uninstrumented system is
+/// exactly as fast as one built before tracing existed. Latency
+/// histograms ([`LatencyReport`]) are recorded unconditionally — they
+/// never feed back into timing, so they cannot change a result.
 #[derive(Debug)]
-pub struct System {
+pub struct System<T: Tracer = NullTracer> {
     cfg: SystemConfig,
     mode: Mode,
     queue: EventQueue<Ev>,
@@ -137,13 +151,25 @@ pub struct System {
 
     space: AddressSpace,
 
+    // Instrumentation.
+    tracer: T,
+    probes: LatencyReport,
+    epochs: Option<EpochRecorder>,
+    /// Open hub transactions: line → (start cycle, was-a-GetX).
+    hub_txn_started: HashMap<LineAddr, (Cycle, bool)>,
+    /// Request kinds queued behind a busy line, FIFO (mirrors the
+    /// hub's own conflict queue so requeued HubStart events keep the
+    /// right read/write flag).
+    hub_txn_queued: HashMap<LineAddr, VecDeque<bool>>,
+
     // CPU side.
     cpu: CpuExec,
     tlb: Tlb,
     cpu_l1d: CacheArray<L1Valid>,
     cpu_l1_stats: CacheStats,
     sb: StoreBuffer,
-    inflight_stores: Vec<StoreEntry>,
+    /// Draining stores, each with the cycle its drain began.
+    inflight_stores: Vec<(StoreEntry, Cycle)>,
     cpu_l2: CohCache,
     cpu_l2_stalled: VecDeque<(LineAddr, bool)>,
 
@@ -177,12 +203,24 @@ pub struct System {
 }
 
 impl System {
-    /// Builds an idle system.
+    /// Builds an idle, uninstrumented system (the [`NullTracer`]
+    /// compiles all trace emission away).
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails [`SystemConfig::validate`].
     pub fn new(cfg: SystemConfig, mode: Mode) -> Self {
+        Self::with_tracer(cfg, mode, NullTracer)
+    }
+}
+
+impl<T: Tracer> System<T> {
+    /// Builds an idle system that records trace events into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SystemConfig::validate`].
+    pub fn with_tracer(cfg: SystemConfig, mode: Mode, tracer: T) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid SystemConfig: {e}");
         }
@@ -244,6 +282,11 @@ impl System {
             ),
             queue: EventQueue::new(),
             now: Cycle::ZERO,
+            tracer,
+            probes: LatencyReport::new(),
+            epochs: None,
+            hub_txn_started: HashMap::new(),
+            hub_txn_queued: HashMap::new(),
             direct_pushes: 0,
             push_overwrites: 0,
             push_bypasses: 0,
@@ -263,6 +306,87 @@ impl System {
     /// The coherence mode this system runs in.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// Enables windowed activity sampling: one [`ds_probe::EpochSample`]
+    /// per `window` cycles, surfaced on the run's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn enable_epochs(&mut self, window: u64) {
+        self.epochs = Some(EpochRecorder::new(window));
+    }
+
+    /// The tracer, for inspection mid- or post-run.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the system, yielding its tracer (and the events it
+    /// collected).
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// The latency histograms recorded so far.
+    pub fn latency(&self) -> &LatencyReport {
+        &self.probes
+    }
+
+    /// Records one trace event at the current cycle. With the
+    /// [`NullTracer`] this is a no-op the optimizer removes entirely.
+    #[inline(always)]
+    pub(super) fn trace(&mut self, component: Component, line: Option<u64>, kind: TraceKind) {
+        if T::ENABLED {
+            self.tracer.record(TraceEvent {
+                cycle: self.now.as_u64(),
+                component,
+                line,
+                kind,
+            });
+        }
+    }
+
+    /// Routes every DRAM access so queue latency and bank occupancy
+    /// are observed exactly once per access.
+    pub(super) fn dram_access(&mut self, at: Cycle, line: LineAddr, write: bool) -> Cycle {
+        let info = self.dram.access_info(at, line, write);
+        self.probes
+            .dram_queue
+            .record(info.done.saturating_since(at));
+        self.trace(
+            Component::DramBank { bank: info.bank },
+            Some(line.index()),
+            TraceKind::DramAccess {
+                write,
+                row_hit: info.row_hit,
+                start: info.start.as_u64(),
+                done: info.done.as_u64(),
+            },
+        );
+        info.done
+    }
+
+    /// Snapshot of the cumulative counters the epoch sampler watches.
+    fn epoch_totals(&self) -> EpochTotals {
+        let mut gpu_hits = 0;
+        let mut gpu_misses = 0;
+        for s in &self.gpu_l2 {
+            gpu_hits += s.stats.hits.value();
+            gpu_misses += s.stats.misses.value();
+        }
+        EpochTotals {
+            gpu_l2_accesses: gpu_hits + gpu_misses,
+            gpu_l2_misses: gpu_misses,
+            cpu_l2_accesses: self.cpu_l2.stats.hits.value() + self.cpu_l2.stats.misses.value(),
+            cpu_l2_misses: self.cpu_l2.stats.misses.value(),
+            coh_msgs: self.coh_net.stats().total_msgs(),
+            direct_msgs: self.direct_net.stats().total_msgs(),
+            gpu_msgs: self.gpu_net.stats().total_msgs(),
+            dram_accesses: self.dram.stats().reads.value() + self.dram.stats().writes.value(),
+            direct_pushes: self.direct_pushes,
+        }
     }
 
     /// Executes `program` against `kernels` to completion and reports.
@@ -287,9 +411,21 @@ impl System {
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            if self.epochs.is_some() {
+                let totals = self.epoch_totals();
+                if let Some(epochs) = self.epochs.as_mut() {
+                    epochs.observe(t.as_u64(), totals);
+                }
+            }
             self.dispatch(ev);
             if self.queue.total_pushed() > EVENT_LIMIT {
                 panic!("event limit exceeded: livelocked at {t}");
+            }
+        }
+        if self.epochs.is_some() {
+            let totals = self.epoch_totals();
+            if let Some(epochs) = self.epochs.as_mut() {
+                epochs.finish(self.now.as_u64(), totals);
             }
         }
 
@@ -330,7 +466,9 @@ impl System {
             Ev::DirectAtCpu { msg } => self.on_direct_at_cpu(msg),
             Ev::HubMemDone { line, txn } => self.on_hub_mem_done(line, txn),
             Ev::SmTick { sm } => self.sm_tick(sm as usize),
-            Ev::MemArrive { sm, warp } => self.on_mem_arrive(sm as usize, warp as usize),
+            Ev::MemArrive { sm, warp, issued } => {
+                self.on_mem_arrive(sm as usize, warp as usize, issued)
+            }
             Ev::SliceDemand {
                 slice,
                 line,
@@ -417,6 +555,13 @@ impl System {
             hub_probes: self.hub.stats().probes_sent.value(),
             dram_row_hits: self.dram.stats().row_hits.value(),
             events: self.queue.total_pushed(),
+            latency: self.probes.clone(),
+            epochs: self
+                .epochs
+                .as_ref()
+                .map(|e| e.samples().to_vec())
+                .unwrap_or_default(),
+            epoch_window: self.epochs.as_ref().map(|e| e.window()).unwrap_or(0),
         }
     }
 }

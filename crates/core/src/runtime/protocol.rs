@@ -6,10 +6,11 @@ use ds_coherence::{
     ReqKind,
 };
 use ds_mem::LineAddr;
+use ds_probe::{Component, TraceKind, Tracer};
 
 use super::{Ev, System, Waiter};
 
-impl System {
+impl<T: Tracer> System<T> {
     /// Dispatches a coherence message arriving at `dst` (`Ev::Coh`).
     pub(super) fn on_coh(&mut self, dst: Agent, msg: CohMsg) {
         match dst {
@@ -19,16 +20,76 @@ impl System {
         }
     }
 
+    /// Notes a GETS/GETX reaching the hub: either a transaction opens
+    /// now, or the request queues behind a same-line transaction (its
+    /// kind is remembered so the deferred start keeps the right flag).
+    fn note_hub_request(&mut self, line: LineAddr, write: bool) {
+        if self.hub.busy(line) {
+            self.hub_txn_queued
+                .entry(line)
+                .or_default()
+                .push_back(write);
+        } else {
+            self.hub_txn_started.insert(line, (self.now, write));
+            self.trace(
+                Component::Hub,
+                Some(line.index()),
+                TraceKind::HubStart { write },
+            );
+        }
+    }
+
+    /// Notes the unblock retiring the open transaction on `line`.
+    fn note_hub_unblock(&mut self, line: LineAddr) {
+        if let Some((start, _)) = self.hub_txn_started.remove(&line) {
+            let latency = self.now.saturating_since(start);
+            self.probes.hub_txn.record(latency);
+            self.trace(
+                Component::Hub,
+                Some(line.index()),
+                TraceKind::HubDone { latency },
+            );
+        }
+    }
+
+    /// After an unblock, the hub may have promoted a queued same-line
+    /// request into a fresh transaction — open its interval now.
+    fn note_hub_requeue(&mut self, line: LineAddr) {
+        if self.hub.busy(line) {
+            let write = match self.hub_txn_queued.get_mut(&line) {
+                Some(q) => {
+                    let w = q.pop_front().unwrap_or(false);
+                    if q.is_empty() {
+                        self.hub_txn_queued.remove(&line);
+                    }
+                    w
+                }
+                None => false,
+            };
+            self.hub_txn_started.insert(line, (self.now, write));
+            self.trace(
+                Component::Hub,
+                Some(line.index()),
+                TraceKind::HubStart { write },
+            );
+        }
+    }
+
     fn at_hub(&mut self, msg: CohMsg) {
         let actions = match msg {
-            CohMsg::GetS { line, requester } => self.hub.on_request(ReqKind::GetS, line, requester),
+            CohMsg::GetS { line, requester } => {
+                self.note_hub_request(line, false);
+                self.hub.on_request(ReqKind::GetS, line, requester)
+            }
             CohMsg::GetX {
                 line,
                 requester,
                 upgrade,
-            } => self
-                .hub
-                .on_request_upgrade(ReqKind::GetX, line, requester, upgrade),
+            } => {
+                self.note_hub_request(line, true);
+                self.hub
+                    .on_request_upgrade(ReqKind::GetX, line, requester, upgrade)
+            }
             CohMsg::Put {
                 line,
                 dirty,
@@ -40,7 +101,12 @@ impl System {
                 with_data,
                 retains_copy,
             } => self.hub.on_probe_reply(line, from, with_data, retains_copy),
-            CohMsg::Unblock { line } => self.hub.on_unblock(line),
+            CohMsg::Unblock { line } => {
+                self.note_hub_unblock(line);
+                let actions = self.hub.on_unblock(line);
+                self.note_hub_requeue(line);
+                actions
+            }
             other => unreachable!("unexpected message at hub: {other:?}"),
         };
         self.exec_hub_actions(actions);
@@ -53,11 +119,11 @@ impl System {
                     self.coh_send(Agent::MemCtrl, to, CohMsg::Probe { line, kind });
                 }
                 HubAction::StartMemRead { line, txn } => {
-                    let done = self.dram.access(self.now, line, false);
+                    let done = self.dram_access(self.now, line, false);
                     self.queue.push(done, Ev::HubMemDone { line, txn });
                 }
                 HubAction::MemWrite { line } => {
-                    self.dram.access(self.now, line, true);
+                    self.dram_access(self.now, line, true);
                 }
                 HubAction::SendData {
                     to,
@@ -239,6 +305,11 @@ impl System {
                 if self.gpu_l2[s].array.invalidate(line).is_some() {
                     self.push_overwrites += 1;
                     self.gpu_l2[s].pushed.remove(&line);
+                    self.trace(
+                        Component::GpuL2 { slice },
+                        Some(line.index()),
+                        TraceKind::PushOverwrite,
+                    );
                 }
             }
             DirectMsg::PutX { line } => {
@@ -250,7 +321,12 @@ impl System {
                     && self.gpu_l2[s].array.set_is_full(line)
                 {
                     self.push_bypasses += 1;
-                    self.dram.access(self.now, line, true);
+                    self.trace(
+                        Component::GpuL2 { slice },
+                        Some(line.index()),
+                        TraceKind::PushBypass,
+                    );
+                    self.dram_access(self.now, line, true);
                     self.direct_send_to_cpu(slice, DirectMsg::PutXAck { line });
                     return;
                 }
@@ -261,6 +337,11 @@ impl System {
                 debug_assert_eq!(t.stable_next(), Some(HammerState::MM));
                 self.gpu_l2[s].stats.pushed_fills.incr();
                 self.gpu_l2[s].classifier.mark_seen(line);
+                self.trace(
+                    Component::GpuL2 { slice },
+                    Some(line.index()),
+                    TraceKind::PushFill,
+                );
                 self.fill_slice(slice, line, HammerState::MM);
                 self.gpu_l2[s].pushed.insert(line);
                 self.direct_send_to_cpu(slice, DirectMsg::PutXAck { line });
@@ -273,12 +354,12 @@ impl System {
                     .is_some_and(|st| st.can_read())
                 {
                     self.gpu_l2[s].record_hit(line);
+                    self.trace_slice_hit(slice, line);
                     self.direct_send_to_cpu(slice, DirectMsg::ReadResp { line });
                 } else {
-                    self.gpu_l2[s].record_miss(line);
-                    let done = self
-                        .dram
-                        .access(self.now + self.cfg.gpu_l2_latency, line, false);
+                    let miss_kind = self.gpu_l2[s].record_miss(line);
+                    self.trace_slice_miss(slice, line, false, miss_kind);
+                    let done = self.dram_access(self.now + self.cfg.gpu_l2_latency, line, false);
                     self.queue.push(done, Ev::DirectReadMemDone { slice, line });
                 }
             }

@@ -125,6 +125,21 @@ struct Bank {
     busy_until: Cycle,
 }
 
+/// The timing and routing of one DRAM access, for instrumentation:
+/// the serviced bank was occupied over `start..done`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccessInfo {
+    /// Bank index the line mapped to.
+    pub bank: u16,
+    /// Whether the access hit the bank's open row buffer.
+    pub row_hit: bool,
+    /// Cycle the bank began servicing (after queueing and controller
+    /// overhead).
+    pub start: Cycle,
+    /// Absolute completion time (what [`Dram::access`] returns).
+    pub done: Cycle,
+}
+
 /// The DRAM device array plus its (simplified) controller.
 ///
 /// [`Dram::access`] is the sole entry point: given the current time and
@@ -210,6 +225,14 @@ impl Dram {
     /// bus are free; row-buffer state determines whether a precharge
     /// and/or activate is needed.
     pub fn access(&mut self, now: Cycle, line: LineAddr, is_write: bool) -> Cycle {
+        self.access_info(now, line, is_write).done
+    }
+
+    /// Like [`Dram::access`] but exposing which bank serviced the
+    /// request and over what interval ([`DramAccessInfo`]), for
+    /// instrumentation. Identical state mutation — `access` delegates
+    /// here.
+    pub fn access_info(&mut self, now: Cycle, line: LineAddr, is_write: bool) -> DramAccessInfo {
         if is_write {
             self.stats.writes.incr();
         } else {
@@ -219,6 +242,7 @@ impl Dram {
         let bank = &mut self.banks[bank_idx];
 
         let start = now.max(bank.busy_until) + self.cfg.t_ctrl;
+        let row_hit = matches!(bank.open_row, Some(open) if open == row);
         let array_latency = match bank.open_row {
             Some(open) if open == row => {
                 self.stats.row_hits.incr();
@@ -241,7 +265,12 @@ impl Dram {
         let done = burst_start + self.cfg.t_burst;
         self.bus_free = done;
         bank.busy_until = done;
-        done
+        DramAccessInfo {
+            bank: bank_idx as u16,
+            row_hit,
+            start,
+            done,
+        }
     }
 }
 

@@ -25,5 +25,5 @@ pub mod dram;
 pub mod sched;
 
 pub use addr::{LineAddr, PageNum, PhysAddr, VirtAddr, LINE_BYTES, PAGE_BYTES};
-pub use dram::{Dram, DramConfig, DramStats};
+pub use dram::{Dram, DramAccessInfo, DramConfig, DramStats};
 pub use sched::{DramCompletion, DramRequest, FrFcfsScheduler};

@@ -31,5 +31,5 @@
 pub mod link;
 pub mod xbar;
 
-pub use link::{Link, MsgClass};
+pub use link::{Link, MsgClass, SendInfo};
 pub use xbar::{PortId, Xbar, XbarStats};

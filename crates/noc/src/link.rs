@@ -34,6 +34,19 @@ impl std::fmt::Display for MsgClass {
     }
 }
 
+/// The timing of one message through a [`Link`], for instrumentation:
+/// `start..depart` is the serialization interval during which the link
+/// is occupied; `arrival` adds the propagation latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendInfo {
+    /// Cycle serialization began (after waiting for the link).
+    pub start: Cycle,
+    /// Cycle the tail flit left the link (`busy_until` afterwards).
+    pub depart: Cycle,
+    /// Cycle the message reaches the far end.
+    pub arrival: Cycle,
+}
+
 /// A unidirectional link with fixed propagation latency and finite
 /// bandwidth.
 ///
@@ -91,12 +104,23 @@ impl Link {
     /// Sends an arbitrary-size payload (used by tests and by
     /// variable-size transfers in ablation studies).
     pub fn send_bytes(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        self.send_bytes_info(now, bytes).arrival
+    }
+
+    /// Like [`Link::send_bytes`] but exposing the full timing, so
+    /// tracers can render link-occupancy intervals. Identical state
+    /// mutation — `send` delegates here.
+    pub fn send_bytes_info(&mut self, now: Cycle, bytes: u64) -> SendInfo {
         let start = now.max(self.busy_until);
         let ser = bytes.div_ceil(self.bytes_per_cycle).max(1);
         self.busy_until = start + ser;
         self.sent.incr();
         self.bytes.add(bytes);
-        self.busy_until + self.latency
+        SendInfo {
+            start,
+            depart: self.busy_until,
+            arrival: self.busy_until + self.latency,
+        }
     }
 
     /// Messages sent over this link so far.

@@ -2,7 +2,7 @@
 
 use ds_sim::Cycle;
 
-use crate::{Link, MsgClass};
+use crate::{Link, MsgClass, SendInfo};
 
 /// A port on an [`Xbar`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -89,6 +89,17 @@ impl Xbar {
     ///
     /// Panics if either port is out of range.
     pub fn send(&mut self, now: Cycle, src: PortId, dst: PortId, class: MsgClass) -> Cycle {
+        self.send_info(now, src, dst, class).arrival
+    }
+
+    /// Like [`Xbar::send`] but exposing the link's full timing
+    /// ([`SendInfo`]) for instrumentation. Identical state mutation —
+    /// `send` delegates here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is out of range.
+    pub fn send_info(&mut self, now: Cycle, src: PortId, dst: PortId, class: MsgClass) -> SendInfo {
         assert!(
             src.0 < self.ports && dst.0 < self.ports,
             "port out of range"
@@ -98,7 +109,7 @@ impl Xbar {
             MsgClass::Data => self.stats.data_msgs += 1,
         }
         self.stats.bytes += class.bytes();
-        self.links[src.0 * self.ports + dst.0].send(now, class)
+        self.links[src.0 * self.ports + dst.0].send_bytes_info(now, class.bytes())
     }
 
     /// Accumulated traffic statistics.

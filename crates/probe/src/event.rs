@@ -1,0 +1,254 @@
+//! The typed trace record: what happened, where, and when.
+
+/// Which network a [`Component::Net`] event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetId {
+    /// The MESI/Hammer coherence crossbar (CPU L2 ↔ hub ↔ GPU L2).
+    Coherence,
+    /// The dedicated direct-store push network.
+    Direct,
+    /// The GPU-internal SM ↔ L2-slice crossbar.
+    GpuInternal,
+}
+
+impl NetId {
+    /// Stable lower-case name used by the sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetId::Coherence => "coh",
+            NetId::Direct => "direct",
+            NetId::GpuInternal => "gpu",
+        }
+    }
+}
+
+/// The modelled component an event originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The in-order CPU core.
+    Cpu,
+    /// The CPU store buffer.
+    StoreBuffer,
+    /// The CPU-side TLB.
+    CpuTlb,
+    /// A per-SM GPU TLB.
+    GpuTlb {
+        /// SM index.
+        sm: u16,
+    },
+    /// The CPU L1 data cache.
+    CpuL1,
+    /// The CPU L2 (coherent).
+    CpuL2,
+    /// A per-SM GPU L1.
+    GpuL1 {
+        /// SM index.
+        sm: u16,
+    },
+    /// A GPU L2 slice (coherent).
+    GpuL2 {
+        /// Slice index.
+        slice: u8,
+    },
+    /// A streaming multiprocessor.
+    Sm {
+        /// SM index.
+        sm: u16,
+    },
+    /// The coherence hub / directory at the memory controller.
+    Hub,
+    /// A DRAM bank.
+    DramBank {
+        /// Bank index.
+        bank: u16,
+    },
+    /// A network crossbar (see [`NetId`]).
+    Net {
+        /// Which crossbar.
+        net: NetId,
+    },
+    /// Kernel lifecycle events (launch/retire).
+    Kernel,
+}
+
+impl Component {
+    /// Stable lower-case component name used by the sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Cpu => "cpu",
+            Component::StoreBuffer => "store_buffer",
+            Component::CpuTlb => "cpu_tlb",
+            Component::GpuTlb { .. } => "gpu_tlb",
+            Component::CpuL1 => "cpu_l1",
+            Component::CpuL2 => "cpu_l2",
+            Component::GpuL1 { .. } => "gpu_l1",
+            Component::GpuL2 { .. } => "gpu_l2",
+            Component::Sm { .. } => "sm",
+            Component::Hub => "hub",
+            Component::DramBank { .. } => "dram",
+            Component::Net { net } => match net {
+                NetId::Coherence => "net_coh",
+                NetId::Direct => "net_direct",
+                NetId::GpuInternal => "net_gpu",
+            },
+            Component::Kernel => "kernel",
+        }
+    }
+
+    /// The sub-unit index (SM, slice, bank) when the component is
+    /// replicated.
+    pub fn unit(self) -> Option<u64> {
+        match self {
+            Component::GpuTlb { sm } | Component::GpuL1 { sm } | Component::Sm { sm } => {
+                Some(u64::from(sm))
+            }
+            Component::GpuL2 { slice } => Some(u64::from(slice)),
+            Component::DramBank { bank } => Some(u64::from(bank)),
+            _ => None,
+        }
+    }
+}
+
+/// What happened. Interval-shaped kinds (network serialization, DRAM
+/// bank busy) carry their endpoints so the Chrome sink can render
+/// occupancy tracks without re-deriving timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Demand hit; `push_hit` marks a hit on a line installed by a
+    /// direct-store push and not yet re-fetched.
+    Hit {
+        /// Hit on a pushed line.
+        push_hit: bool,
+    },
+    /// Demand miss.
+    Miss {
+        /// The access was a store.
+        write: bool,
+        /// First-ever access to the line (cold miss).
+        compulsory: bool,
+    },
+    /// A direct-store push installed this line in a GPU L2 slice.
+    PushFill,
+    /// A push invalidated an older pushed copy of the same line.
+    PushOverwrite,
+    /// A push found its set full of pushed lines and bypassed to DRAM.
+    PushBypass,
+    /// The store buffer released one entry toward memory.
+    SbDrain {
+        /// Entry drains over the direct network (vs. coherent L2).
+        direct: bool,
+    },
+    /// A direct-store push fully completed (PutX acknowledged).
+    PushDone {
+        /// Cycles from store-buffer drain to acknowledgement.
+        latency: u64,
+    },
+    /// Address translation missed the TLB (page-walk penalty charged).
+    TlbMiss,
+    /// One message traversed a crossbar link. `start..depart` is the
+    /// serialization interval on the link; `arrive` adds propagation.
+    NetMsg {
+        /// Source port index.
+        src: u8,
+        /// Destination port index.
+        dst: u8,
+        /// Carries a full cache line (vs. control-sized).
+        data: bool,
+        /// Cycle serialization began.
+        start: u64,
+        /// Cycle the tail flit left the link.
+        depart: u64,
+        /// Cycle the message reaches the destination.
+        arrive: u64,
+    },
+    /// One DRAM access occupied its bank for `start..done`.
+    DramAccess {
+        /// The access was a write.
+        write: bool,
+        /// The row buffer already held the row.
+        row_hit: bool,
+        /// Cycle the bank started servicing.
+        start: u64,
+        /// Cycle the data burst completed.
+        done: u64,
+    },
+    /// The hub began a coherence transaction.
+    HubStart {
+        /// The request was a GetX (vs. GetS).
+        write: bool,
+    },
+    /// The hub retired a coherence transaction (unblock received).
+    HubDone {
+        /// Cycles from request arrival to unblock.
+        latency: u64,
+    },
+    /// A kernel began executing on the SMs.
+    KernelBegin {
+        /// Kernel sequence number.
+        kernel: u32,
+    },
+    /// A kernel retired (all warps done).
+    KernelEnd {
+        /// Kernel sequence number.
+        kernel: u32,
+    },
+    /// A GPU load's data arrived back at its SM.
+    LoadDone {
+        /// Warp index within the kernel.
+        warp: u32,
+        /// Load-to-use latency in cycles.
+        latency: u64,
+    },
+}
+
+impl TraceKind {
+    /// Stable lower-case kind name used by the sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Hit { .. } => "hit",
+            TraceKind::Miss { .. } => "miss",
+            TraceKind::PushFill => "push_fill",
+            TraceKind::PushOverwrite => "push_overwrite",
+            TraceKind::PushBypass => "push_bypass",
+            TraceKind::SbDrain { .. } => "sb_drain",
+            TraceKind::PushDone { .. } => "push_done",
+            TraceKind::TlbMiss => "tlb_miss",
+            TraceKind::NetMsg { .. } => "net_msg",
+            TraceKind::DramAccess { .. } => "dram_access",
+            TraceKind::HubStart { .. } => "hub_start",
+            TraceKind::HubDone { .. } => "hub_done",
+            TraceKind::KernelBegin { .. } => "kernel_begin",
+            TraceKind::KernelEnd { .. } => "kernel_end",
+            TraceKind::LoadDone { .. } => "load_done",
+        }
+    }
+}
+
+/// One structured trace record. `Copy` and allocation-free by design:
+/// recording an event is a handful of word moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle the event was recorded at.
+    pub cycle: u64,
+    /// Originating component.
+    pub component: Component,
+    /// Cache-line index the event concerns, when there is one.
+    pub line: Option<u64>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_units_extracted() {
+        assert_eq!(Component::GpuL2 { slice: 2 }.name(), "gpu_l2");
+        assert_eq!(Component::GpuL2 { slice: 2 }.unit(), Some(2));
+        assert_eq!(Component::Hub.unit(), None);
+        assert_eq!(Component::Net { net: NetId::Direct }.name(), "net_direct");
+        assert_eq!(TraceKind::PushFill.name(), "push_fill");
+        assert_eq!(NetId::GpuInternal.name(), "gpu");
+    }
+}

@@ -1,0 +1,97 @@
+//! The four sim-wide latency distributions.
+
+use std::fmt;
+
+use ds_sim::Histogram;
+
+/// The latency histograms every run collects. They are recorded
+/// unconditionally (a histogram update is a few integer ops — far
+/// cheaper than the event-queue work around it) and never feed back
+/// into timing, so enabling them cannot change a simulation result.
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    /// GPU load-to-use: SM issue to data arriving back at the SM.
+    pub load_to_use: Histogram,
+    /// Direct-store push end-to-end: store-buffer drain to PutX-Ack.
+    pub push_e2e: Histogram,
+    /// Coherence-hub transaction: request arrival to unblock.
+    pub hub_txn: Histogram,
+    /// DRAM queue + service: request arrival to burst completion.
+    pub dram_queue: Histogram,
+}
+
+impl LatencyReport {
+    /// Canonical histogram names, also used by serialized forms.
+    pub const LOAD_TO_USE: &'static str = "load_to_use";
+    /// Name of [`LatencyReport::push_e2e`].
+    pub const PUSH_E2E: &'static str = "push_e2e";
+    /// Name of [`LatencyReport::hub_txn`].
+    pub const HUB_TXN: &'static str = "hub_txn";
+    /// Name of [`LatencyReport::dram_queue`].
+    pub const DRAM_QUEUE: &'static str = "dram_queue";
+
+    /// Four empty histograms.
+    pub fn new() -> Self {
+        LatencyReport {
+            load_to_use: Histogram::new(Self::LOAD_TO_USE),
+            push_e2e: Histogram::new(Self::PUSH_E2E),
+            hub_txn: Histogram::new(Self::HUB_TXN),
+            dram_queue: Histogram::new(Self::DRAM_QUEUE),
+        }
+    }
+
+    /// The histograms in declaration order, for uniform reporting.
+    pub fn all(&self) -> [&Histogram; 4] {
+        [
+            &self.load_to_use,
+            &self.push_e2e,
+            &self.hub_txn,
+            &self.dram_queue,
+        ]
+    }
+}
+
+impl Default for LatencyReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for LatencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, h) in self.all().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "{}: n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+                h.name(),
+                h.samples(),
+                h.mean(),
+                h.min(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_all_four_with_percentiles() {
+        let mut r = LatencyReport::new();
+        r.load_to_use.record(100);
+        let text = r.to_string();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("load_to_use: n=1"));
+        assert!(text.contains("p95=64"), "{text}");
+        assert!(text.contains("push_e2e: n=0"), "{text}");
+    }
+}

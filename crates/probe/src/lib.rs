@@ -1,0 +1,43 @@
+//! `ds-probe`: sim-wide instrumentation for the direct-store
+//! simulator.
+//!
+//! Every claim the paper makes is an aggregate (total ticks, miss
+//! rate), but the mechanism behind each one is temporal: direct store
+//! wins because pushed lines arrive *before* the kernel's first
+//! access. This crate supplies the layer that makes the when/where
+//! observable:
+//!
+//! * **structured trace events** — the [`Tracer`] trait with typed
+//!   [`TraceEvent`] records, a zero-overhead [`NullTracer`] default
+//!   (the simulator is generic over the tracer, so with `NullTracer`
+//!   every emission site compiles away — no allocation, no branch),
+//!   and an in-memory [`BufferTracer`] feeding two sinks: a JSONL
+//!   dump ([`jsonl`]) and a Chrome-trace-format file ([`chrome`])
+//!   loadable in Perfetto / `chrome://tracing` with kernel spans,
+//!   DRAM bank busy intervals and per-link NoC occupancy;
+//! * **latency histograms** — [`LatencyReport`] bundles the four
+//!   sim-wide latency distributions (GPU load-to-use, direct-push
+//!   end-to-end, hub transaction, DRAM queue) as
+//!   [`ds_sim::Histogram`]s with p50/p95/p99 summaries;
+//! * **an epoch sampler** — [`EpochRecorder`] captures windowed
+//!   miss-rate and network-occupancy series that make the produce →
+//!   kernel → readback phases visible.
+//!
+//! The crate deliberately depends only on `ds-sim`: events carry raw
+//! line indices (`u64`), not typed addresses, so every other model
+//! crate can sit above it.
+
+pub mod chrome;
+mod epoch;
+mod event;
+pub mod jsonl;
+mod latency;
+mod tracer;
+
+pub use epoch::{
+    render_csv as render_epoch_csv, EpochRecorder, EpochSample, EpochTotals,
+    CSV_HEADER as EPOCH_CSV_HEADER,
+};
+pub use event::{Component, NetId, TraceEvent, TraceKind};
+pub use latency::LatencyReport;
+pub use tracer::{BufferTracer, NullTracer, Tracer};

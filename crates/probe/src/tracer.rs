@@ -1,0 +1,106 @@
+//! The tracer trait and its two stock implementations.
+
+use crate::TraceEvent;
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// The simulator is *generic* over its tracer, so the choice is made
+/// at compile time: with [`NullTracer`] (the default) the associated
+/// `ENABLED` constant is `false` and every emission site — including
+/// the argument computation guarded behind `ENABLED` — is dead code
+/// the optimizer removes. Tracing a run costs nothing unless you ask
+/// for it.
+pub trait Tracer {
+    /// Whether this tracer wants events at all. Emission sites check
+    /// this constant before building the event, so a disabled tracer
+    /// has no hot-path cost.
+    const ENABLED: bool = true;
+
+    /// Consumes one event. Called only when [`Tracer::ENABLED`] is
+    /// true (guarded at the emission site).
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The zero-overhead default: discards everything at compile time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Collects every event in memory, in emission order, for the sinks.
+///
+/// ```
+/// use ds_probe::{BufferTracer, Component, TraceEvent, TraceKind, Tracer};
+///
+/// let mut t = BufferTracer::new();
+/// t.record(TraceEvent {
+///     cycle: 7,
+///     component: Component::Hub,
+///     line: Some(3),
+///     kind: TraceKind::HubStart { write: true },
+/// });
+/// assert_eq!(t.events().len(), 1);
+/// assert_eq!(t.events()[0].cycle, 7);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BufferTracer {
+    events: Vec<TraceEvent>,
+}
+
+impl BufferTracer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufferTracer::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the buffer, yielding the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl Tracer for BufferTracer {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Component, TraceKind};
+
+    #[test]
+    fn null_tracer_is_disabled_and_buffer_enabled() {
+        fn enabled<T: Tracer>() -> bool {
+            T::ENABLED
+        }
+        assert!(!enabled::<NullTracer>());
+        assert!(enabled::<BufferTracer>());
+    }
+
+    #[test]
+    fn buffer_preserves_order() {
+        let mut t = BufferTracer::new();
+        for cycle in [5, 1, 9] {
+            t.record(TraceEvent {
+                cycle,
+                component: Component::Cpu,
+                line: None,
+                kind: TraceKind::TlbMiss,
+            });
+        }
+        let cycles: Vec<u64> = t.into_events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![5, 1, 9], "emission order, not sorted");
+    }
+}

@@ -9,7 +9,8 @@
 use ds_cache::CacheStats;
 use ds_core::{Comparison, InputSize, Mode, RunReport};
 use ds_noc::XbarStats;
-use ds_sim::Cycle;
+use ds_probe::{EpochSample, EpochTotals, LatencyReport};
+use ds_sim::{Cycle, Histogram};
 
 use crate::json::Json;
 
@@ -60,6 +61,136 @@ fn xbar_stats_to_json(s: &XbarStats) -> Json {
     ])
 }
 
+/// Lossless histogram encoding: the non-empty `(floor, count)` bucket
+/// pairs plus exact sum/min/max (`sum` as a decimal string — u128
+/// exceeds the integer range of the JSON writer). The p50/p95/p99
+/// fields are derived conveniences for downstream plotting scripts and
+/// are ignored on parse (recomputed from the buckets).
+fn histogram_to_json(h: &Histogram) -> Json {
+    Json::Obj(vec![
+        (
+            "buckets".into(),
+            Json::Arr(
+                h.iter()
+                    .map(|(floor, count)| Json::Arr(vec![Json::Int(floor), Json::Int(count)]))
+                    .collect(),
+            ),
+        ),
+        ("sum".into(), Json::Str(h.sum().to_string())),
+        ("min".into(), Json::Int(h.min())),
+        ("max".into(), Json::Int(h.max())),
+        ("p50".into(), Json::Int(h.percentile(50.0))),
+        ("p95".into(), Json::Int(h.percentile(95.0))),
+        ("p99".into(), Json::Int(h.percentile(99.0))),
+    ])
+}
+
+fn histogram_from_json(json: &Json, name: &'static str) -> Result<Histogram, String> {
+    let pairs = json
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing field \"buckets\" in histogram {name:?}"))?
+        .iter()
+        .map(|pair| {
+            let parts = match pair.as_arr() {
+                Some([floor, count]) => (floor.as_u64(), count.as_u64()),
+                _ => (None, None),
+            };
+            match parts {
+                (Some(floor), Some(count)) => Ok((floor, count)),
+                _ => Err(format!("malformed bucket in histogram {name:?}")),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let sum = json
+        .get("sum")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing field \"sum\" in histogram {name:?}"))?
+        .parse::<u128>()
+        .map_err(|e| format!("bad sum in histogram {name:?}: {e}"))?;
+    Histogram::restore(
+        name,
+        pairs,
+        sum,
+        u64_field(json, "min")?,
+        u64_field(json, "max")?,
+    )
+}
+
+fn latency_to_json(l: &LatencyReport) -> Json {
+    Json::Obj(vec![
+        (
+            LatencyReport::LOAD_TO_USE.into(),
+            histogram_to_json(&l.load_to_use),
+        ),
+        (
+            LatencyReport::PUSH_E2E.into(),
+            histogram_to_json(&l.push_e2e),
+        ),
+        (LatencyReport::HUB_TXN.into(), histogram_to_json(&l.hub_txn)),
+        (
+            LatencyReport::DRAM_QUEUE.into(),
+            histogram_to_json(&l.dram_queue),
+        ),
+    ])
+}
+
+fn latency_from_json(json: &Json) -> Result<LatencyReport, String> {
+    let field = |name: &'static str| histogram_from_json(&sub(json, name)?, name);
+    Ok(LatencyReport {
+        load_to_use: field(LatencyReport::LOAD_TO_USE)?,
+        push_e2e: field(LatencyReport::PUSH_E2E)?,
+        hub_txn: field(LatencyReport::HUB_TXN)?,
+        dram_queue: field(LatencyReport::DRAM_QUEUE)?,
+    })
+}
+
+/// Compact epoch encoding: one fixed-order integer array per window.
+fn epoch_to_json(s: &EpochSample) -> Json {
+    let d = s.delta;
+    Json::Arr(
+        [
+            s.index,
+            d.gpu_l2_accesses,
+            d.gpu_l2_misses,
+            d.cpu_l2_accesses,
+            d.cpu_l2_misses,
+            d.coh_msgs,
+            d.direct_msgs,
+            d.gpu_msgs,
+            d.dram_accesses,
+            d.direct_pushes,
+        ]
+        .iter()
+        .map(|&v| Json::Int(v))
+        .collect(),
+    )
+}
+
+fn epoch_from_json(json: &Json) -> Result<EpochSample, String> {
+    let vals = json
+        .as_arr()
+        .filter(|a| a.len() == 10)
+        .ok_or("malformed epoch sample")?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| "malformed epoch sample".into()))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(EpochSample {
+        index: vals[0],
+        delta: EpochTotals {
+            gpu_l2_accesses: vals[1],
+            gpu_l2_misses: vals[2],
+            cpu_l2_accesses: vals[3],
+            cpu_l2_misses: vals[4],
+            coh_msgs: vals[5],
+            direct_msgs: vals[6],
+            gpu_msgs: vals[7],
+            dram_accesses: vals[8],
+            direct_pushes: vals[9],
+        },
+    })
+}
+
 /// Serializes a full run report.
 pub fn report_to_json(r: &RunReport) -> Json {
     Json::Obj(vec![
@@ -103,6 +234,12 @@ pub fn report_to_json(r: &RunReport) -> Json {
         ("hub_conflicts".into(), Json::Int(r.hub_conflicts)),
         ("hub_probes".into(), Json::Int(r.hub_probes)),
         ("dram_row_hits".into(), Json::Int(r.dram_row_hits)),
+        ("latency".into(), latency_to_json(&r.latency)),
+        ("epoch_window".into(), Json::Int(r.epoch_window)),
+        (
+            "epochs".into(),
+            Json::Arr(r.epochs.iter().map(epoch_to_json).collect()),
+        ),
         ("events".into(), Json::Int(r.events)),
     ])
 }
@@ -208,6 +345,15 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
         hub_conflicts: u64_field(json, "hub_conflicts")?,
         hub_probes: u64_field(json, "hub_probes")?,
         dram_row_hits: u64_field(json, "dram_row_hits")?,
+        latency: latency_from_json(&sub(json, "latency")?)?,
+        epochs: json
+            .get("epochs")
+            .and_then(Json::as_arr)
+            .ok_or("missing field \"epochs\"")?
+            .iter()
+            .map(epoch_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        epoch_window: u64_field(json, "epoch_window")?,
         events: u64_field(json, "events")?,
     })
 }
@@ -215,7 +361,8 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
 /// Header row matching [`report_csv_row`] (the `export_csv` schema).
 pub const REPORT_CSV_HEADER: &str = "benchmark,suite,shared_memory,input,mode,total_cycles,\
      gpu_l2_accesses,gpu_l2_misses,gpu_l2_miss_rate,gpu_l2_compulsory,push_hits,\
-     direct_pushes,coh_msgs,direct_msgs,gpu_msgs,dram_reads,dram_writes";
+     direct_pushes,coh_msgs,direct_msgs,gpu_msgs,dram_reads,dram_writes,\
+     load_to_use_p50,load_to_use_p95,load_to_use_p99";
 
 /// One per-run CSV row; `suite` / `shared_memory` come from the
 /// benchmark's Table II metadata.
@@ -227,7 +374,7 @@ pub fn report_csv_row(
     r: &RunReport,
 ) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{}",
         code,
         suite,
         shared_memory,
@@ -244,7 +391,10 @@ pub fn report_csv_row(
         r.direct_net.total_msgs(),
         r.gpu_net.total_msgs(),
         r.dram_reads,
-        r.dram_writes
+        r.dram_writes,
+        r.latency.load_to_use.percentile(50.0),
+        r.latency.load_to_use.percentile(95.0),
+        r.latency.load_to_use.percentile(99.0)
     )
 }
 
@@ -281,6 +431,11 @@ mod tests {
         gpu_l2.record_hit();
         gpu_l2.record_miss(MissKind::Compulsory);
         gpu_l2.pushed_fills.add(9);
+        let mut latency = LatencyReport::new();
+        latency.load_to_use.record(120);
+        latency.load_to_use.record(641);
+        latency.hub_txn.record(77);
+        latency.dram_queue.record(0);
         RunReport {
             mode,
             total_cycles: Cycle::new(123_456),
@@ -312,6 +467,23 @@ mod tests {
             hub_conflicts: 2,
             hub_probes: 33,
             dram_row_hits: 4,
+            latency,
+            epochs: vec![
+                EpochSample {
+                    index: 0,
+                    delta: EpochTotals {
+                        gpu_l2_accesses: 8,
+                        gpu_l2_misses: 2,
+                        direct_pushes: 1,
+                        ..EpochTotals::default()
+                    },
+                },
+                EpochSample {
+                    index: 1,
+                    delta: EpochTotals::default(),
+                },
+            ],
+            epoch_window: 1000,
             events: 99_999,
         }
     }

@@ -21,8 +21,9 @@ use crate::json::{self, Json};
 use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report_to_json};
 
 /// On-disk cache format version; bump on schema changes to orphan old
-/// files.
-const FORMAT_VERSION: u64 = 1;
+/// files. Version 2 added latency histograms and epoch series to the
+/// per-run report.
+const FORMAT_VERSION: u64 = 2;
 
 /// Memo + optional disk cache, keyed by [`TaskKey`].
 #[derive(Debug, Default)]
@@ -253,6 +254,9 @@ mod tests {
             hub_conflicts: 0,
             hub_probes: 0,
             dram_row_hits: 0,
+            latency: ds_probe::LatencyReport::new(),
+            epochs: vec![],
+            epoch_window: 0,
             events: 0,
         }
     }

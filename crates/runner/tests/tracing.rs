@@ -1,0 +1,107 @@
+//! End-to-end guarantees of the tracing layer:
+//!
+//! 1. a CCSM run never touches the direct-store machinery — the trace
+//!    carries zero direct-network events and the caches record zero
+//!    pushed fills (golden negative control for the mode split);
+//! 2. the JSONL rendering of a traced run is byte-identical whether
+//!    the simulation executes alone ("--jobs 1") or concurrently with
+//!    other worker threads ("--jobs N") — tracing inherits the
+//!    simulator's determinism;
+//! 3. attaching a recording tracer does not perturb the simulation:
+//!    the report equals the untraced (NullTracer) run bit for bit.
+
+use ds_core::{InputSize, Mode, Pipeline, SystemConfig};
+use ds_probe::{jsonl, BufferTracer, Component, NetId, TraceKind};
+use ds_workloads::catalog;
+
+fn traced_run(code: &str, mode: Mode) -> (ds_core::RunReport, BufferTracer) {
+    let cfg = SystemConfig::paper_default();
+    let bench = catalog::by_code(code).expect("test codes are in the catalog");
+    Pipeline::with_config(cfg)
+        .run_one_instrumented(&bench, InputSize::Small, mode, BufferTracer::new(), None)
+        .expect("translates and runs")
+}
+
+#[test]
+fn ccsm_run_emits_no_direct_network_activity_and_no_pushed_fills() {
+    let (report, tracer) = traced_run("VA", Mode::Ccsm);
+    let direct_events = tracer
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(e.component, Component::Net { net: NetId::Direct })
+                || matches!(
+                    e.kind,
+                    TraceKind::PushFill | TraceKind::PushOverwrite | TraceKind::PushBypass
+                )
+        })
+        .count();
+    assert_eq!(direct_events, 0, "CCSM must not use the direct network");
+    assert_eq!(report.gpu_l2.pushed_fills.value(), 0);
+    assert_eq!(report.direct_pushes, 0);
+    assert_eq!(report.direct_net.total_msgs(), 0);
+
+    // Positive control: the same benchmark under direct store does
+    // push, so the zero above is not a tracing blind spot.
+    let (ds_report, ds_tracer) = traced_run("VA", Mode::DirectStore);
+    assert!(ds_report.gpu_l2.pushed_fills.value() > 0);
+    assert!(ds_tracer
+        .events()
+        .iter()
+        .any(|e| matches!(e.component, Component::Net { net: NetId::Direct })));
+    assert!(ds_tracer
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::PushFill)));
+}
+
+#[test]
+fn jsonl_trace_is_byte_identical_between_serial_and_parallel_execution() {
+    // "--jobs 1": one traced run on the calling thread.
+    let (_, tracer) = traced_run("MM", Mode::DirectStore);
+    let serial = jsonl::render(tracer.events());
+
+    // "--jobs N": the same traced run on 4 concurrent worker threads.
+    let parallel: Vec<String> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let (_, tracer) = traced_run("MM", Mode::DirectStore);
+                    jsonl::render(tracer.events())
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    for text in &parallel {
+        assert_eq!(
+            text, &serial,
+            "trace bytes must not depend on worker-thread count"
+        );
+    }
+}
+
+#[test]
+fn recording_tracer_does_not_perturb_the_simulation() {
+    let cfg = SystemConfig::paper_default();
+    let bench = catalog::by_code("NN").expect("NN is in the catalog");
+    let pipeline = Pipeline::with_config(cfg);
+    let baseline = pipeline
+        .run_one(&bench, InputSize::Small, Mode::DirectStore)
+        .expect("untraced run succeeds");
+    let (traced, _) = pipeline
+        .run_one_instrumented(
+            &bench,
+            InputSize::Small,
+            Mode::DirectStore,
+            BufferTracer::new(),
+            None,
+        )
+        .expect("traced run succeeds");
+    assert_eq!(
+        format!("{baseline:?}"),
+        format!("{traced:?}"),
+        "tracing must be observation only"
+    );
+}

@@ -144,6 +144,7 @@ pub struct Histogram {
     buckets: [u64; 64],
     samples: u64,
     sum: u128,
+    min: u64,
     max: u64,
 }
 
@@ -155,6 +156,7 @@ impl Histogram {
             buckets: [0; 64],
             samples: 0,
             sum: 0,
+            min: u64::MAX,
             max: 0,
         }
     }
@@ -165,6 +167,9 @@ impl Histogram {
         self.buckets[idx.min(63)] += 1;
         self.samples += 1;
         self.sum += u128::from(value);
+        if value < self.min {
+            self.min = value;
+        }
         if value > self.max {
             self.max = value;
         }
@@ -184,9 +189,75 @@ impl Histogram {
         }
     }
 
+    /// Minimum recorded sample, zero if empty.
+    pub fn min(&self) -> u64 {
+        if self.samples == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
     /// Maximum recorded sample.
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The `p`-th percentile at bucket granularity: the floor of the
+    /// bucket containing the sample of rank `ceil(p/100 * n)` (ranks
+    /// counted from 1 in ascending order). Zero if empty. `p` is
+    /// clamped to `[0, 100]`; `p = 0` reports the lowest non-empty
+    /// bucket and `p = 100` the highest.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.samples);
+        let mut seen = 0u64;
+        for (floor, count) in self.iter() {
+            seen += count;
+            if seen >= rank {
+                return floor;
+            }
+        }
+        self.max // unreachable: bucket counts sum to `samples`
+    }
+
+    /// Restores a histogram from previously serialized parts: the
+    /// non-empty `(bucket_floor, count)` pairs as produced by
+    /// [`Histogram::iter`], plus the exact sum, min and max. `min` is
+    /// the [`Histogram::min`] accessor value (zero when empty).
+    ///
+    /// Fails on an unrecognized bucket floor (must be 0 or a power of
+    /// two below 2^64).
+    pub fn restore(
+        name: &'static str,
+        bucket_pairs: impl IntoIterator<Item = (u64, u64)>,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Result<Self, String> {
+        let mut h = Histogram::new(name);
+        for (floor, count) in bucket_pairs {
+            let idx = match floor {
+                0 => 0,
+                f if f.is_power_of_two() => f.trailing_zeros() as usize,
+                f => return Err(format!("bad histogram bucket floor {f}")),
+            };
+            h.buckets[idx] += count;
+            h.samples += count;
+        }
+        h.sum = sum;
+        h.min = if h.samples == 0 { u64::MAX } else { min };
+        h.max = max;
+        Ok(h)
     }
 
     /// Display name given at construction.
@@ -281,6 +352,75 @@ mod tests {
         assert_eq!(buckets, vec![(0, 2), (2, 2), (1024, 1)]);
         assert_eq!(h.max(), 1024);
         assert_eq!(h.samples(), 5);
+    }
+
+    #[test]
+    fn histogram_percentile_empty_is_zero() {
+        let h = Histogram::new("empty");
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_percentile_single_sample() {
+        let mut h = Histogram::new("one");
+        h.record(37); // bucket [32, 64)
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 32, "p={p}");
+        }
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+    }
+
+    #[test]
+    fn histogram_percentile_bucket_boundaries() {
+        let mut h = Histogram::new("edges");
+        h.record(4); // bucket [4, 8)
+        h.record(8); // bucket [8, 16)
+                     // Rank 1 of 2 covers up to p=50; rank 2 starts just above.
+        assert_eq!(h.percentile(50.0), 4);
+        assert_eq!(h.percentile(50.1), 8);
+        assert_eq!(h.percentile(100.0), 8);
+        assert_eq!(h.min(), 4);
+
+        // A skewed distribution: p99 must land in the tail bucket only
+        // when the tail holds at least 1% of the mass.
+        let mut h = Histogram::new("skew");
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16)
+        }
+        h.record(1000); // bucket [512, 1024)
+        assert_eq!(h.percentile(50.0), 8);
+        assert_eq!(h.percentile(99.0), 8, "rank ceil(0.99*100)=99 is still 10");
+        assert_eq!(h.percentile(99.5), 512);
+    }
+
+    #[test]
+    fn histogram_percentile_out_of_range_p_is_clamped() {
+        let mut h = Histogram::new("clamp");
+        h.record(1);
+        h.record(100);
+        assert_eq!(h.percentile(-5.0), 0, "p<0 behaves like p=0");
+        assert_eq!(h.percentile(250.0), 64, "p>100 behaves like p=100");
+    }
+
+    #[test]
+    fn histogram_restore_round_trips() {
+        let mut h = Histogram::new("rt");
+        for v in [0, 1, 5, 5, 700, u64::MAX] {
+            h.record(v);
+        }
+        let pairs: Vec<(u64, u64)> = h.iter().collect();
+        let r = Histogram::restore("rt", pairs, h.sum, h.min(), h.max()).unwrap();
+        assert_eq!(format!("{r:?}"), format!("{h:?}"));
+
+        let empty = Histogram::new("rt");
+        let r = Histogram::restore("rt", [], 0, 0, 0).unwrap();
+        assert_eq!(format!("{r:?}"), format!("{empty:?}"));
+
+        assert!(Histogram::restore("rt", [(3, 1)], 3, 3, 3).is_err());
     }
 
     #[test]

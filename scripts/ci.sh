@@ -16,4 +16,18 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> dstrace smoke run (both modes, validated output)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+for mode in ccsm ds; do
+  cargo run --release -q -p ds-runner --bin dstrace -- \
+    --bench VA --input small --mode "$mode" \
+    --format jsonl --check --out "$smoke_dir/va-$mode.jsonl"
+  cargo run --release -q -p ds-runner --bin dstrace -- \
+    --bench VA --input small --mode "$mode" \
+    --format chrome --check --out "$smoke_dir/va-$mode.json"
+  test -s "$smoke_dir/va-$mode.jsonl"
+  test -s "$smoke_dir/va-$mode.json"
+done
+
 echo "==> ci.sh: all gates passed"
