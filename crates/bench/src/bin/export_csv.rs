@@ -2,7 +2,12 @@
 //!
 //! Columns: benchmark, suite, shared memory, input size, mode, total
 //! cycles, GPU L2 accesses/misses/miss-rate/compulsory, pushes,
-//! coherence/direct/gpu network messages, DRAM reads/writes.
+//! coherence/direct/gpu network messages, DRAM reads/writes,
+//! load-to-use latency percentiles (p50/p95/p99), then the
+//! per-stage cycle breakdown: one `stage_<name>` column per
+//! lifecycle stage (`sm_l1` … `direct_ack`, see `ds_probe::Stage`)
+//! plus `stage_loads`/`stage_load_cycles` and
+//! `stage_pushes`/`stage_push_cycles` aggregates.
 //!
 //! The whole run plan is batched through the `ds-runner` subsystem, so
 //! rows are simulated in parallel (`DS_RUNNER_JOBS` sets the worker

@@ -1,0 +1,199 @@
+//! `perf_baseline` — the machine-readable performance baseline.
+//!
+//! Runs the Table II catalog under both CCSM and direct store and
+//! writes one JSON document capturing the numbers a regression would
+//! move: per-benchmark cycle totals, speedups, miss rates, push
+//! counts, load-latency percentiles and the full per-stage cycle
+//! breakdown, plus the sweep's geomean speedup. `scripts/bench.sh`
+//! wraps this binary and names the output `BENCH_<date>.json`
+//! (schema documented in `results/README.md`).
+//!
+//! Usage: `perf_baseline [--smoke] [--input small|big|both]
+//!                       [--out FILE] [--date STR]`
+//!
+//! `--smoke` restricts the sweep to VA/small — enough to validate the
+//! schema in CI without paying for the full catalog.
+
+use ds_core::{InputSize, Mode, RunReport, Scenario, SystemConfig};
+use ds_runner::json::Json;
+use ds_runner::{stages_to_json, Runner, Task};
+
+const USAGE: &str = "usage: perf_baseline [options]
+
+Writes the JSON performance baseline for the Table II catalog.
+
+options:
+  --smoke            run only VA/small (schema smoke test)
+  --input small|big|both
+                     input sizes to sweep (default: both)
+  --out FILE         write to FILE instead of stdout
+  --date STR         date string recorded in the document
+                     (default: unset, written as \"unknown\")
+  --help             show this help";
+
+struct Options {
+    smoke: bool,
+    inputs: Vec<InputSize>,
+    out: Option<String>,
+    date: String,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("perf_baseline: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        smoke: false,
+        inputs: vec![InputSize::Small, InputSize::Big],
+        out: None,
+        date: "unknown".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--input" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--input needs a value"));
+                opts.inputs = match v.as_str() {
+                    "small" => vec![InputSize::Small],
+                    "big" => vec![InputSize::Big],
+                    "both" => vec![InputSize::Small, InputSize::Big],
+                    other => usage_error(&format!("unknown input size {other:?}")),
+                };
+            }
+            "--out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--out needs a value"));
+                opts.out = Some(v.clone());
+            }
+            "--date" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--date needs a value"));
+                opts.date = v.clone();
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.smoke {
+        opts.inputs = vec![InputSize::Small];
+    }
+    opts
+}
+
+/// The per-mode slice of one benchmark entry.
+fn mode_to_json(r: &RunReport) -> Json {
+    Json::Obj(vec![
+        ("total_cycles".into(), Json::Int(r.total_cycles.as_u64())),
+        ("gpu_l2_miss_rate".into(), Json::Float(r.gpu_l2_miss_rate())),
+        ("gpu_l2_misses".into(), Json::Int(r.gpu_l2.misses.value())),
+        ("direct_pushes".into(), Json::Int(r.direct_pushes)),
+        (
+            "load_to_use_p50".into(),
+            Json::Int(r.latency.load_to_use.percentile(50.0).unwrap_or(0)),
+        ),
+        (
+            "load_to_use_p99".into(),
+            Json::Int(r.latency.load_to_use.percentile(99.0).unwrap_or(0)),
+        ),
+        ("stages".into(), stages_to_json(&r.stages)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_options(&args);
+
+    let cfg = SystemConfig::paper_default();
+    let codes: Vec<String> = if opts.smoke {
+        vec!["VA".to_string()]
+    } else {
+        ds_workloads::catalog::all()
+            .iter()
+            .map(|b| b.code().to_string())
+            .collect()
+    };
+
+    let mut tasks = Vec::new();
+    for &input in &opts.inputs {
+        for code in &codes {
+            for mode in [Mode::Ccsm, Mode::DirectStore] {
+                tasks.push(Task::new(&cfg, code, input, mode));
+            }
+        }
+    }
+
+    let mut runner = Runner::new();
+    let reports = runner.run_tasks(&tasks).unwrap_or_else(|e| {
+        eprintln!("perf_baseline: {e}");
+        std::process::exit(1);
+    });
+
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    for (pair, rep) in tasks.chunks(2).zip(reports.chunks(2)) {
+        let (ccsm, ds) = (&rep[0], &rep[1]);
+        let speedup = if ds.total_cycles.as_u64() == 0 {
+            1.0
+        } else {
+            ccsm.total_cycles.as_u64() as f64 / ds.total_cycles.as_u64() as f64
+        };
+        speedups.push(speedup);
+        entries.push(Json::Obj(vec![
+            ("code".into(), Json::Str(pair[0].code.clone())),
+            ("input".into(), Json::Str(pair[0].input.to_string())),
+            ("speedup".into(), Json::Float(speedup)),
+            ("ccsm".into(), mode_to_json(ccsm)),
+            ("ds".into(), mode_to_json(ds)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("ds-bench-baseline".into())),
+        ("version".into(), Json::Int(1)),
+        ("date".into(), Json::Str(opts.date.clone())),
+        (
+            "config_fingerprint".into(),
+            Json::Str(format!("{:016x}", Runner::fingerprint(&cfg))),
+        ),
+        (
+            "inputs".into(),
+            Json::Arr(
+                opts.inputs
+                    .iter()
+                    .map(|i| Json::Str(i.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "geomean_speedup".into(),
+            Json::Float(ds_sim::geomean(speedups.iter().copied())),
+        ),
+        ("benchmarks".into(), Json::Arr(entries)),
+    ]);
+
+    let text = doc.pretty();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("perf_baseline: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "perf_baseline: {} benchmark entr{} -> {path}",
+                speedups.len(),
+                if speedups.len() == 1 { "y" } else { "ies" },
+            );
+        }
+        None => println!("{text}"),
+    }
+}

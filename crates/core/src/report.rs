@@ -4,7 +4,7 @@ use std::fmt;
 
 use ds_cache::CacheStats;
 use ds_noc::XbarStats;
-use ds_probe::{EpochSample, LatencyReport};
+use ds_probe::{EpochSample, LatencyReport, StageBreakdown};
 use ds_sim::Cycle;
 
 use crate::Mode;
@@ -70,6 +70,13 @@ pub struct RunReport {
     /// end-to-end, hub transaction, DRAM queue) with p50/p95/p99
     /// summaries.
     pub latency: LatencyReport,
+    /// Per-transaction cycle accounting aggregated over all completed
+    /// GPU loads and direct-store pushes: total cycles per lifecycle
+    /// stage plus per-path counts and end-to-end sums. Collected
+    /// unconditionally (like [`RunReport::latency`]); for every
+    /// completed transaction the stage cycles sum exactly to its
+    /// end-to-end latency.
+    pub stages: StageBreakdown,
     /// Windowed activity series; empty unless epoch sampling was
     /// enabled (`System::enable_epochs`).
     pub epochs: Vec<EpochSample>,
@@ -154,6 +161,7 @@ mod tests {
             dram_row_hits: 0,
             events: 0,
             latency: LatencyReport::new(),
+            stages: StageBreakdown::new(),
             epochs: Vec::new(),
             epoch_window: 0,
         }

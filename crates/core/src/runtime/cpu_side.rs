@@ -12,7 +12,7 @@ use ds_cpu::CpuOp;
 use ds_gpu::L1Valid;
 use ds_mem::{LineAddr, VirtAddr};
 use ds_noc::{MsgClass, PortId};
-use ds_probe::{Component, NetId, TraceKind, Tracer};
+use ds_probe::{Component, NetId, Stage, TraceKind, Tracer};
 
 use super::{CpuBlock, Ev, System, Waiter};
 
@@ -75,8 +75,9 @@ impl<T: Tracer> System<T> {
         info.arrival
     }
 
-    /// Sends a direct-network message from the CPU to a slice.
-    pub(super) fn direct_send_to_slice(&mut self, slice: u8, msg: DirectMsg) {
+    /// Sends a direct-network message from the CPU to a slice. `txn`
+    /// is the stage-accounting transaction riding the message, if any.
+    pub(super) fn direct_send_to_slice(&mut self, slice: u8, msg: DirectMsg, txn: Option<u64>) {
         let arrival = self.direct_send(0, 1 + slice as usize, &msg);
         self.queue.push(
             arrival,
@@ -84,14 +85,15 @@ impl<T: Tracer> System<T> {
                 slice,
                 msg,
                 slotted: false,
+                txn,
             },
         );
     }
 
     /// Sends a direct-network message from a slice back to the CPU.
-    pub(super) fn direct_send_to_cpu(&mut self, slice: u8, msg: DirectMsg) {
+    pub(super) fn direct_send_to_cpu(&mut self, slice: u8, msg: DirectMsg, txn: Option<u64>) {
         let arrival = self.direct_send(1 + slice as usize, 0, &msg);
-        self.queue.push(arrival, Ev::DirectAtCpu { msg });
+        self.queue.push(arrival, Ev::DirectAtCpu { msg, txn });
     }
 
     fn translate_cpu(&mut self, va: VirtAddr) -> (LineAddr, bool, u64) {
@@ -157,7 +159,22 @@ impl<T: Tracer> System<T> {
     fn cpu_store(&mut self, va: VirtAddr) {
         let (line, is_direct, cost) = self.translate_cpu(va);
         let push = is_direct && self.mode.pushes();
+        let before = self.sb.len();
         if self.sb.push(line, push) {
+            if self.sb.len() > before {
+                // A genuinely new entry (not a same-line coalesce):
+                // mirror it in the txn FIFO. Only direct pushes are
+                // tracked; coalesced stores join the first store's
+                // transaction (one drain serves them all).
+                let txn = if push {
+                    let txn = self.next_txn();
+                    self.stage_begin(txn, Stage::SbWait, self.now);
+                    Some(txn)
+                } else {
+                    None
+                };
+                self.sb_txns.push_back(txn);
+            }
             self.cpu.pc += 1;
             self.queue.push(self.now + cost, Ev::CpuAdvance);
             self.kick_drain();
@@ -178,6 +195,7 @@ impl<T: Tracer> System<T> {
             self.direct_send_to_slice(
                 ds_coherence::msg::slice_index(line),
                 DirectMsg::ReadReq { line },
+                None,
             );
             return;
         }
@@ -234,6 +252,7 @@ impl<T: Tracer> System<T> {
             let Some(entry) = self.sb.pop() else {
                 break;
             };
+            let txn = self.sb_txns.pop_front().flatten();
             self.inflight_stores.push((entry, self.now));
             self.trace(
                 Component::StoreBuffer,
@@ -251,9 +270,12 @@ impl<T: Tracer> System<T> {
                 // §III.F: the CPU issues a GETX on the direct network,
                 // then the store travels as a PUTX. The GETX is an
                 // invalidate-only control message to the home slice.
+                // The stage transaction rides the PUTX (the message
+                // whose acknowledgement completes the push).
+                self.stage_advance(txn, Stage::DirectNoc, self.now);
                 let slice = ds_coherence::msg::slice_index(entry.line);
-                self.direct_send_to_slice(slice, DirectMsg::GetX { line: entry.line });
-                self.direct_send_to_slice(slice, DirectMsg::PutX { line: entry.line });
+                self.direct_send_to_slice(slice, DirectMsg::GetX { line: entry.line }, None);
+                self.direct_send_to_slice(slice, DirectMsg::PutX { line: entry.line }, txn);
             } else {
                 // Write-through the L1D (update-in-place, no allocate).
                 if self.cpu_l1d.access(entry.line).is_some() {
@@ -471,10 +493,11 @@ impl<T: Tracer> System<T> {
     }
 
     /// Handles direct-network messages arriving back at the CPU.
-    pub(super) fn on_direct_at_cpu(&mut self, msg: DirectMsg) {
+    pub(super) fn on_direct_at_cpu(&mut self, msg: DirectMsg, txn: Option<u64>) {
         match msg {
             DirectMsg::PutXAck { line } => {
                 self.direct_pushes += 1;
+                self.stage_finish(txn, self.now);
                 let started = self.complete_drain(line);
                 let latency = self.now.saturating_since(started);
                 self.probes.push_e2e.record(latency);

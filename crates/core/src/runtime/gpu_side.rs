@@ -6,10 +6,19 @@ use ds_coherence::{msg::slice_index, Agent, CohMsg, HammerState, ReqKind};
 use ds_gpu::WarpOp;
 use ds_mem::LineAddr;
 use ds_noc::{MsgClass, PortId};
-use ds_probe::{Component, NetId, TraceKind, Tracer};
+use ds_probe::{Component, NetId, Stage, TraceKind, Tracer};
 use ds_sim::Cycle;
 
 use super::{CpuBlock, Ev, System, Waiter};
+
+/// The stage-accounting transaction of a waiter, when it carries one
+/// (only GPU loads are tracked).
+fn waiter_txn(w: Waiter) -> Option<u64> {
+    match w {
+        Waiter::Gpu { txn, .. } => Some(txn),
+        _ => None,
+    }
+}
 
 impl<T: Tracer> System<T> {
     fn gpu_port_sm(&self, sm: usize) -> PortId {
@@ -203,6 +212,8 @@ impl<T: Tracer> System<T> {
 
     fn gpu_load(&mut self, sm: usize, warp: usize, line: LineAddr, walk: u64) {
         let issued = self.now;
+        let txn = self.next_txn();
+        self.stage_begin(txn, Stage::SmL1, issued);
         if self.gpu_l1s[sm].load(line) {
             self.trace(
                 Component::GpuL1 { sm: sm as u16 },
@@ -215,6 +226,7 @@ impl<T: Tracer> System<T> {
                     sm: sm as u32,
                     warp: warp as u32,
                     issued,
+                    txn,
                 },
             );
             return;
@@ -228,13 +240,16 @@ impl<T: Tracer> System<T> {
             },
         );
         let slice = slice_index(line);
+        let depart = self.now + walk + self.cfg.gpu_l1_latency;
         let arrival = self.gpu_net_send(
-            self.now + walk + self.cfg.gpu_l1_latency,
+            depart,
             self.gpu_port_sm(sm),
             self.gpu_port_slice(slice),
             MsgClass::Control,
             line,
         );
+        self.stage_advance(Some(txn), Stage::GpuNocReq, depart);
+        self.stage_advance(Some(txn), Stage::SliceQueue, arrival);
         self.queue.push(
             arrival + self.cfg.gpu_l2_latency,
             Ev::SliceDemand {
@@ -245,6 +260,7 @@ impl<T: Tracer> System<T> {
                     sm: sm as u32,
                     warp: warp as u32,
                     issued,
+                    txn,
                 },
                 slotted: false,
             },
@@ -275,9 +291,10 @@ impl<T: Tracer> System<T> {
     }
 
     /// A memory response reaches a warp (`Ev::MemArrive`).
-    pub(super) fn on_mem_arrive(&mut self, sm: usize, warp: usize, issued: Cycle) {
+    pub(super) fn on_mem_arrive(&mut self, sm: usize, warp: usize, issued: Cycle, txn: u64) {
         let latency = self.now.saturating_since(issued);
         self.probes.load_to_use.record(latency);
+        self.stage_finish(Some(txn), self.now);
         self.trace(
             Component::Sm { sm: sm as u16 },
             None,
@@ -419,6 +436,11 @@ impl<T: Tracer> System<T> {
                 }
                 if self.mode.coherent() {
                     let requester = Agent::GpuL2(slice);
+                    if let Some(txn) = waiter_txn(waiter) {
+                        self.stage_advance(Some(txn), Stage::CohReq, self.now);
+                        self.coh_req_obs
+                            .insert((requester.port_index() as u8, line), txn);
+                    }
                     let msg = match kind {
                         ReqKind::GetS => CohMsg::GetS { line, requester },
                         ReqKind::GetX => CohMsg::GetX {
@@ -429,8 +451,11 @@ impl<T: Tracer> System<T> {
                     };
                     self.coh_send(requester, Agent::MemCtrl, msg);
                 } else {
-                    let done = self.dram_access(self.now, line, false);
-                    self.queue.push(done, Ev::SliceMemDone { slice, line });
+                    let info = self.dram_access_info(self.now, line, false);
+                    let txn = waiter_txn(waiter);
+                    self.stage_advance(txn, Stage::DramQueue, self.now);
+                    self.stage_advance(txn, Stage::DramService, info.start);
+                    self.queue.push(info.done, Ev::SliceMemDone { slice, line });
                 }
             }
             MshrOutcome::Secondary => {
@@ -438,9 +463,11 @@ impl<T: Tracer> System<T> {
                     let miss_kind = self.gpu_l2[s].record_miss(line);
                     self.trace_slice_miss(slice, line, kind == ReqKind::GetX, miss_kind);
                 }
+                self.stage_advance(waiter_txn(waiter), Stage::MshrWait, self.now);
             }
             MshrOutcome::Full => {
                 // Stall until an MSHR frees (drained on completions).
+                self.stage_advance(waiter_txn(waiter), Stage::MshrStall, self.now);
                 self.gpu_l2_stalled[s].push_back((line, kind == ReqKind::GetX, waiter));
             }
         }
@@ -486,7 +513,17 @@ impl<T: Tracer> System<T> {
     /// Sends a load response from a slice back to its requesting warp.
     fn respond_gpu_load(&mut self, slice: u8, waiter: Waiter, line: LineAddr) {
         match waiter {
-            Waiter::Gpu { sm, warp, issued } => {
+            Waiter::Gpu {
+                sm,
+                warp,
+                issued,
+                txn,
+            } => {
+                // The single hand-off into the final stage: every load
+                // path (slice hit, primary fill, merged secondary)
+                // funnels through here, accruing whatever stage the
+                // transaction was in until now.
+                self.stage_advance(Some(txn), Stage::SliceToSm, self.now);
                 let arrival = self.gpu_net_send(
                     self.now,
                     self.gpu_port_slice(slice),
@@ -495,7 +532,15 @@ impl<T: Tracer> System<T> {
                     line,
                 );
                 self.gpu_l1s[sm as usize].fill(line);
-                self.queue.push(arrival, Ev::MemArrive { sm, warp, issued });
+                self.queue.push(
+                    arrival,
+                    Ev::MemArrive {
+                        sm,
+                        warp,
+                        issued,
+                        txn,
+                    },
+                );
             }
             Waiter::GpuStore | Waiter::Prefetch => {}
             Waiter::CpuLoad | Waiter::CpuStoreDrain => {
@@ -579,7 +624,7 @@ impl<T: Tracer> System<T> {
     pub(super) fn direct_read_mem_done(&mut self, slice: u8, line: LineAddr) {
         // Install clean-exclusive: the GPU is the line's home.
         self.fill_slice(slice, line, HammerState::M);
-        self.direct_send_to_cpu(slice, ds_coherence::DirectMsg::ReadResp { line });
+        self.direct_send_to_cpu(slice, ds_coherence::DirectMsg::ReadResp { line }, None);
     }
 
     /// Earliest pending wake time across SMs (used by tests).

@@ -25,10 +25,11 @@ use ds_cache::{CacheArray, CacheStats, ReplacementPolicy};
 use ds_coherence::{Agent, CohMsg, DirectMsg, Hub, ProtocolChecker};
 use ds_cpu::{AddressSpace, DirectWindow, Program, StoreBuffer, StoreEntry, Tlb};
 use ds_gpu::{GpuL1, KernelTrace, L1Valid, Sm};
-use ds_mem::{Dram, LineAddr};
+use ds_mem::{Dram, DramAccessInfo, LineAddr};
 use ds_noc::Xbar;
 use ds_probe::{
-    Component, EpochRecorder, EpochTotals, LatencyReport, NullTracer, TraceEvent, TraceKind, Tracer,
+    Component, EpochRecorder, EpochTotals, LatencyReport, NullTracer, Stage, StageTracker,
+    TraceEvent, TraceKind, Tracer,
 };
 use ds_sim::{Cycle, EventQueue};
 
@@ -55,6 +56,8 @@ pub(crate) enum Waiter {
         warp: u32,
         /// Cycle the SM issued the load (for load-to-use latency).
         issued: Cycle,
+        /// Stage-accounting transaction id.
+        txn: u64,
     },
     /// A GPU store (nothing to notify; permission upgrade may
     /// re-dispatch).
@@ -78,21 +81,30 @@ enum Ev {
     /// A coherence-network message arrives at `dst`.
     Coh { dst: Agent, msg: CohMsg },
     /// A direct-network message arrives at GPU L2 slice `slice`.
-    /// `slotted` marks a retry holding a reserved service slot.
+    /// `slotted` marks a retry holding a reserved service slot; `txn`
+    /// is the stage-accounting transaction the message belongs to,
+    /// when it carries a tracked push.
     DirectAtSlice {
         slice: u8,
         msg: DirectMsg,
         slotted: bool,
+        txn: Option<u64>,
     },
     /// A direct-network message arrives back at the CPU.
-    DirectAtCpu { msg: DirectMsg },
+    DirectAtCpu { msg: DirectMsg, txn: Option<u64> },
     /// The hub's speculative DRAM read completed for transaction `txn`.
     HubMemDone { line: LineAddr, txn: u64 },
     /// Give SM `sm` an issue opportunity.
     SmTick { sm: u32 },
     /// One memory response reached warp `warp` on SM `sm`. `issued`
-    /// is the load's original issue cycle.
-    MemArrive { sm: u32, warp: u32, issued: Cycle },
+    /// is the load's original issue cycle, `txn` its stage-accounting
+    /// transaction.
+    MemArrive {
+        sm: u32,
+        warp: u32,
+        issued: Cycle,
+        txn: u64,
+    },
     /// A demand access arrives at GPU L2 slice `slice`. `slotted`
     /// marks a retry that already reserved the slice's service port.
     SliceDemand {
@@ -155,12 +167,29 @@ pub struct System<T: Tracer = NullTracer> {
     tracer: T,
     probes: LatencyReport,
     epochs: Option<EpochRecorder>,
-    /// Open hub transactions: line → (start cycle, was-a-GetX).
-    hub_txn_started: HashMap<LineAddr, (Cycle, bool)>,
+    /// Per-transaction stage accounting (unconditional, like
+    /// `probes`).
+    stages: StageTracker,
+    /// Next stage-accounting transaction id.
+    txn_seq: u64,
+    /// Stage transactions of store-buffer entries, mirroring the
+    /// buffer's FIFO order (`None` for untracked, non-push entries).
+    sb_txns: VecDeque<Option<u64>>,
+    /// Transactions of coherence requests in flight toward the hub:
+    /// (requester port, line) → txn. Keyed per requester so two
+    /// slices missing the same line stay distinct.
+    coh_req_obs: HashMap<(u8, LineAddr), u64>,
+    /// Timing of the hub's speculative DRAM read per open transaction:
+    /// line → (enqueue, service start, done), attributed only if the
+    /// data is actually used (`from_mem`).
+    hub_dram_pending: HashMap<LineAddr, (u64, u64, u64)>,
+    /// Open hub transactions: line → (start cycle, was-a-GetX,
+    /// observed txn).
+    hub_txn_started: HashMap<LineAddr, (Cycle, bool, Option<u64>)>,
     /// Request kinds queued behind a busy line, FIFO (mirrors the
     /// hub's own conflict queue so requeued HubStart events keep the
-    /// right read/write flag).
-    hub_txn_queued: HashMap<LineAddr, VecDeque<bool>>,
+    /// right read/write flag and stage transaction).
+    hub_txn_queued: HashMap<LineAddr, VecDeque<(bool, Option<u64>)>>,
 
     // CPU side.
     cpu: CpuExec,
@@ -285,6 +314,11 @@ impl<T: Tracer> System<T> {
             tracer,
             probes: LatencyReport::new(),
             epochs: None,
+            stages: StageTracker::new(),
+            txn_seq: 0,
+            sb_txns: VecDeque::new(),
+            coh_req_obs: HashMap::new(),
+            hub_dram_pending: HashMap::new(),
             hub_txn_started: HashMap::new(),
             hub_txn_queued: HashMap::new(),
             direct_pushes: 0,
@@ -349,8 +383,14 @@ impl<T: Tracer> System<T> {
     }
 
     /// Routes every DRAM access so queue latency and bank occupancy
-    /// are observed exactly once per access.
-    pub(super) fn dram_access(&mut self, at: Cycle, line: LineAddr, write: bool) -> Cycle {
+    /// are observed exactly once per access. Returns the full access
+    /// timing for callers that attribute queueing vs. service time.
+    pub(super) fn dram_access_info(
+        &mut self,
+        at: Cycle,
+        line: LineAddr,
+        write: bool,
+    ) -> DramAccessInfo {
         let info = self.dram.access_info(at, line, write);
         self.probes
             .dram_queue
@@ -365,7 +405,69 @@ impl<T: Tracer> System<T> {
                 done: info.done.as_u64(),
             },
         );
-        info.done
+        info
+    }
+
+    /// [`System::dram_access_info`] for callers that only need the
+    /// completion cycle.
+    pub(super) fn dram_access(&mut self, at: Cycle, line: LineAddr, write: bool) -> Cycle {
+        self.dram_access_info(at, line, write).done
+    }
+
+    /// Allocates the next stage-accounting transaction id.
+    pub(super) fn next_txn(&mut self) -> u64 {
+        let txn = self.txn_seq;
+        self.txn_seq += 1;
+        txn
+    }
+
+    /// Starts stage accounting for `txn` in `stage` at `at`, and
+    /// emits the corresponding trace mark when tracing is enabled.
+    /// `at` may lie in the future of `self.now` (hand-offs are often
+    /// scheduled ahead); the tracker only ever compares a
+    /// transaction's own marks, which callers keep nondecreasing.
+    pub(super) fn stage_begin(&mut self, txn: u64, stage: Stage, at: Cycle) {
+        self.stages.begin(txn, stage, at.as_u64());
+        if T::ENABLED {
+            self.tracer.record(TraceEvent {
+                cycle: at.as_u64(),
+                component: Component::Txn,
+                line: None,
+                kind: TraceKind::StageMark { txn, stage },
+            });
+        }
+    }
+
+    /// Moves `txn` into `stage` at `at` (see [`System::stage_begin`]).
+    /// `None` and untracked ids are ignored, so un-instrumented
+    /// requests flow through shared paths at zero cost.
+    pub(super) fn stage_advance(&mut self, txn: Option<u64>, stage: Stage, at: Cycle) {
+        if let Some(txn) = txn {
+            self.stages.advance(txn, stage, at.as_u64());
+            if T::ENABLED {
+                self.tracer.record(TraceEvent {
+                    cycle: at.as_u64(),
+                    component: Component::Txn,
+                    line: None,
+                    kind: TraceKind::StageMark { txn, stage },
+                });
+            }
+        }
+    }
+
+    /// Completes stage accounting for `txn` at `at`.
+    pub(super) fn stage_finish(&mut self, txn: Option<u64>, at: Cycle) {
+        if let Some(txn) = txn {
+            self.stages.finish(txn, at.as_u64());
+            if T::ENABLED {
+                self.tracer.record(TraceEvent {
+                    cycle: at.as_u64(),
+                    component: Component::Txn,
+                    line: None,
+                    kind: TraceKind::TxnDone { txn },
+                });
+            }
+        }
     }
 
     /// Snapshot of the cumulative counters the epoch sampler watches.
@@ -440,6 +542,20 @@ impl<T: Tracer> System<T> {
         if cfg!(debug_assertions) {
             self.check_invariants();
         }
+        // Stage-accounting invariants: every tracked transaction
+        // completed, loads agree with the load-to-use histogram, and
+        // pushes with the direct-push counter.
+        debug_assert_eq!(self.stages.inflight(), 0, "unfinished stage transactions");
+        debug_assert_eq!(
+            self.stages.breakdown().loads,
+            self.probes.load_to_use.samples()
+        );
+        debug_assert_eq!(
+            u128::from(self.stages.breakdown().load_cycles),
+            self.probes.load_to_use.sum(),
+            "stage sums must telescope to end-to-end load latency"
+        );
+        debug_assert_eq!(self.stages.breakdown().pushes, self.direct_pushes);
         self.report()
     }
 
@@ -462,13 +578,17 @@ impl<T: Tracer> System<T> {
                 slice,
                 msg,
                 slotted,
-            } => self.on_direct_at_slice(slice, msg, slotted),
-            Ev::DirectAtCpu { msg } => self.on_direct_at_cpu(msg),
+                txn,
+            } => self.on_direct_at_slice(slice, msg, slotted, txn),
+            Ev::DirectAtCpu { msg, txn } => self.on_direct_at_cpu(msg, txn),
             Ev::HubMemDone { line, txn } => self.on_hub_mem_done(line, txn),
             Ev::SmTick { sm } => self.sm_tick(sm as usize),
-            Ev::MemArrive { sm, warp, issued } => {
-                self.on_mem_arrive(sm as usize, warp as usize, issued)
-            }
+            Ev::MemArrive {
+                sm,
+                warp,
+                issued,
+                txn,
+            } => self.on_mem_arrive(sm as usize, warp as usize, issued, txn),
             Ev::SliceDemand {
                 slice,
                 line,
@@ -556,6 +676,7 @@ impl<T: Tracer> System<T> {
             dram_row_hits: self.dram.stats().row_hits.value(),
             events: self.queue.total_pushed(),
             latency: self.probes.clone(),
+            stages: self.stages.breakdown().clone(),
             epochs: self
                 .epochs
                 .as_ref()

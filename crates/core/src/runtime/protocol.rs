@@ -6,7 +6,8 @@ use ds_coherence::{
     ReqKind,
 };
 use ds_mem::LineAddr;
-use ds_probe::{Component, TraceKind, Tracer};
+use ds_probe::{Component, Stage, TraceKind, Tracer};
+use ds_sim::Cycle;
 
 use super::{Ev, System, Waiter};
 
@@ -22,15 +23,16 @@ impl<T: Tracer> System<T> {
 
     /// Notes a GETS/GETX reaching the hub: either a transaction opens
     /// now, or the request queues behind a same-line transaction (its
-    /// kind is remembered so the deferred start keeps the right flag).
-    fn note_hub_request(&mut self, line: LineAddr, write: bool) {
+    /// kind and stage transaction are remembered so the deferred start
+    /// keeps both).
+    fn note_hub_request(&mut self, line: LineAddr, write: bool, obs: Option<u64>) {
         if self.hub.busy(line) {
             self.hub_txn_queued
                 .entry(line)
                 .or_default()
-                .push_back(write);
+                .push_back((write, obs));
         } else {
-            self.hub_txn_started.insert(line, (self.now, write));
+            self.hub_txn_started.insert(line, (self.now, write, obs));
             self.trace(
                 Component::Hub,
                 Some(line.index()),
@@ -41,7 +43,10 @@ impl<T: Tracer> System<T> {
 
     /// Notes the unblock retiring the open transaction on `line`.
     fn note_hub_unblock(&mut self, line: LineAddr) {
-        if let Some((start, _)) = self.hub_txn_started.remove(&line) {
+        // Any speculative read the transaction never consumed stays
+        // unattributed; drop its pending timing with the transaction.
+        self.hub_dram_pending.remove(&line);
+        if let Some((start, _, _)) = self.hub_txn_started.remove(&line) {
             let latency = self.now.saturating_since(start);
             self.probes.hub_txn.record(latency);
             self.trace(
@@ -56,17 +61,17 @@ impl<T: Tracer> System<T> {
     /// request into a fresh transaction — open its interval now.
     fn note_hub_requeue(&mut self, line: LineAddr) {
         if self.hub.busy(line) {
-            let write = match self.hub_txn_queued.get_mut(&line) {
+            let (write, obs) = match self.hub_txn_queued.get_mut(&line) {
                 Some(q) => {
-                    let w = q.pop_front().unwrap_or(false);
+                    let pair = q.pop_front().unwrap_or((false, None));
                     if q.is_empty() {
                         self.hub_txn_queued.remove(&line);
                     }
-                    w
+                    pair
                 }
-                None => false,
+                None => (false, None),
             };
-            self.hub_txn_started.insert(line, (self.now, write));
+            self.hub_txn_started.insert(line, (self.now, write, obs));
             self.trace(
                 Component::Hub,
                 Some(line.index()),
@@ -75,10 +80,24 @@ impl<T: Tracer> System<T> {
         }
     }
 
+    /// Claims the stage transaction riding a GETS/GETX from `requester`
+    /// and marks its hub arrival (conflict queueing counts as hub
+    /// time).
+    fn observe_hub_arrival(&mut self, requester: Agent, line: LineAddr) -> Option<u64> {
+        let obs = self
+            .coh_req_obs
+            .remove(&(requester.port_index() as u8, line));
+        if obs.is_some() {
+            self.stage_advance(obs, Stage::HubDir, self.now);
+        }
+        obs
+    }
+
     fn at_hub(&mut self, msg: CohMsg) {
         let actions = match msg {
             CohMsg::GetS { line, requester } => {
-                self.note_hub_request(line, false);
+                let obs = self.observe_hub_arrival(requester, line);
+                self.note_hub_request(line, false, obs);
                 self.hub.on_request(ReqKind::GetS, line, requester)
             }
             CohMsg::GetX {
@@ -86,7 +105,8 @@ impl<T: Tracer> System<T> {
                 requester,
                 upgrade,
             } => {
-                self.note_hub_request(line, true);
+                let obs = self.observe_hub_arrival(requester, line);
+                self.note_hub_request(line, true, obs);
                 self.hub
                     .on_request_upgrade(ReqKind::GetX, line, requester, upgrade)
             }
@@ -119,8 +139,16 @@ impl<T: Tracer> System<T> {
                     self.coh_send(Agent::MemCtrl, to, CohMsg::Probe { line, kind });
                 }
                 HubAction::StartMemRead { line, txn } => {
-                    let done = self.dram_access(self.now, line, false);
-                    self.queue.push(done, Ev::HubMemDone { line, txn });
+                    let info = self.dram_access_info(self.now, line, false);
+                    // Remember the access timing; it is attributed to
+                    // the open transaction only if the data is used
+                    // (`from_mem` on the eventual SendData) — a probe
+                    // response can outrun the speculative read.
+                    self.hub_dram_pending.insert(
+                        line,
+                        (self.now.as_u64(), info.start.as_u64(), info.done.as_u64()),
+                    );
+                    self.queue.push(info.done, Ev::HubMemDone { line, txn });
                 }
                 HubAction::MemWrite { line } => {
                     self.dram_access(self.now, line, true);
@@ -131,6 +159,17 @@ impl<T: Tracer> System<T> {
                     exclusive,
                     from_mem,
                 } => {
+                    let obs = self.hub_txn_started.get(&line).and_then(|&(_, _, o)| o);
+                    if obs.is_some() {
+                        if from_mem {
+                            if let Some((enq, start, done)) = self.hub_dram_pending.remove(&line) {
+                                self.stage_advance(obs, Stage::DramQueue, Cycle::new(enq));
+                                self.stage_advance(obs, Stage::DramService, Cycle::new(start));
+                                self.stage_advance(obs, Stage::HubDir, Cycle::new(done));
+                            }
+                        }
+                        self.stage_advance(obs, Stage::RespNoc, self.now);
+                    }
                     self.coh_send(
                         Agent::MemCtrl,
                         to,
@@ -278,7 +317,13 @@ impl<T: Tracer> System<T> {
 
     /// Dispatches a direct-network message arriving at a slice
     /// (`Ev::DirectAtSlice`).
-    pub(super) fn on_direct_at_slice(&mut self, slice: u8, msg: DirectMsg, slotted: bool) {
+    pub(super) fn on_direct_at_slice(
+        &mut self,
+        slice: u8,
+        msg: DirectMsg,
+        slotted: bool,
+        txn: Option<u64>,
+    ) {
         let s = slice as usize;
         // Pushes and uncached reads occupy the slice's service port
         // like any other access (control-only GETX rides along free).
@@ -290,6 +335,7 @@ impl<T: Tracer> System<T> {
                         slice,
                         msg,
                         slotted: true,
+                        txn,
                     },
                 );
                 return;
@@ -313,6 +359,9 @@ impl<T: Tracer> System<T> {
                 }
             }
             DirectMsg::PutX { line } => {
+                // The push is at the slice: everything from here to
+                // the acknowledgement is the ack leg.
+                self.stage_advance(txn, Stage::DirectAck, self.now);
                 // §III.A: "If the GPU L2 cache is full, the system then
                 // writes data to DRAM" — a push finding its set full
                 // bypasses to memory rather than evicting resident
@@ -327,7 +376,7 @@ impl<T: Tracer> System<T> {
                         TraceKind::PushBypass,
                     );
                     self.dram_access(self.now, line, true);
-                    self.direct_send_to_cpu(slice, DirectMsg::PutXAck { line });
+                    self.direct_send_to_cpu(slice, DirectMsg::PutXAck { line }, txn);
                     return;
                 }
                 // The blue dashed Fig. 3 edge: I -> MM on the pushed
@@ -344,7 +393,7 @@ impl<T: Tracer> System<T> {
                 );
                 self.fill_slice(slice, line, HammerState::MM);
                 self.gpu_l2[s].pushed.insert(line);
-                self.direct_send_to_cpu(slice, DirectMsg::PutXAck { line });
+                self.direct_send_to_cpu(slice, DirectMsg::PutXAck { line }, txn);
             }
             DirectMsg::ReadReq { line } => {
                 // Uncached CPU read of GPU-homed data.
@@ -355,7 +404,7 @@ impl<T: Tracer> System<T> {
                 {
                     self.gpu_l2[s].record_hit(line);
                     self.trace_slice_hit(slice, line);
-                    self.direct_send_to_cpu(slice, DirectMsg::ReadResp { line });
+                    self.direct_send_to_cpu(slice, DirectMsg::ReadResp { line }, None);
                 } else {
                     let miss_kind = self.gpu_l2[s].record_miss(line);
                     self.trace_slice_miss(slice, line, false, miss_kind);

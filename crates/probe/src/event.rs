@@ -1,5 +1,7 @@
 //! The typed trace record: what happened, where, and when.
 
+use crate::stage::Stage;
+
 /// Which network a [`Component::Net`] event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetId {
@@ -69,6 +71,9 @@ pub enum Component {
     },
     /// Kernel lifecycle events (launch/retire).
     Kernel,
+    /// Transaction-lifecycle events (stage marks), not tied to one
+    /// physical component.
+    Txn,
 }
 
 impl Component {
@@ -92,6 +97,7 @@ impl Component {
                 NetId::GpuInternal => "net_gpu",
             },
             Component::Kernel => "kernel",
+            Component::Txn => "txn",
         }
     }
 
@@ -199,6 +205,19 @@ pub enum TraceKind {
         /// Load-to-use latency in cycles.
         latency: u64,
     },
+    /// A tracked transaction entered `stage` (leaving its previous
+    /// stage at this cycle).
+    StageMark {
+        /// Transaction id.
+        txn: u64,
+        /// Stage entered.
+        stage: Stage,
+    },
+    /// A tracked transaction completed.
+    TxnDone {
+        /// Transaction id.
+        txn: u64,
+    },
 }
 
 impl TraceKind {
@@ -220,6 +239,8 @@ impl TraceKind {
             TraceKind::KernelBegin { .. } => "kernel_begin",
             TraceKind::KernelEnd { .. } => "kernel_end",
             TraceKind::LoadDone { .. } => "load_done",
+            TraceKind::StageMark { .. } => "stage_mark",
+            TraceKind::TxnDone { .. } => "txn_done",
         }
     }
 }

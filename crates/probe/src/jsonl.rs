@@ -67,6 +67,10 @@ pub fn render_event(e: &TraceEvent) -> String {
         TraceKind::LoadDone { warp, latency } => {
             write!(s, ",\"warp\":{warp},\"latency\":{latency}").unwrap()
         }
+        TraceKind::StageMark { txn, stage } => {
+            write!(s, ",\"txn\":{txn},\"stage\":\"{}\"", stage.name()).unwrap()
+        }
+        TraceKind::TxnDone { txn } => write!(s, ",\"txn\":{txn}").unwrap(),
     }
     s.push('}');
     s

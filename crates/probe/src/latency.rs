@@ -57,6 +57,12 @@ impl Default for LatencyReport {
     }
 }
 
+/// Formats an optional statistic: the value, or `-` when the
+/// histogram was empty and the statistic does not exist.
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
 impl fmt::Display for LatencyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, h) in self.all().iter().enumerate() {
@@ -69,10 +75,10 @@ impl fmt::Display for LatencyReport {
                 h.name(),
                 h.samples(),
                 h.mean(),
-                h.min(),
-                h.percentile(50.0),
-                h.percentile(95.0),
-                h.percentile(99.0),
+                opt(h.min()),
+                opt(h.percentile(50.0)),
+                opt(h.percentile(95.0)),
+                opt(h.percentile(99.0)),
                 h.max()
             )?;
         }
@@ -93,5 +99,7 @@ mod tests {
         assert!(text.starts_with("load_to_use: n=1"));
         assert!(text.contains("p95=64"), "{text}");
         assert!(text.contains("push_e2e: n=0"), "{text}");
+        // Empty histograms have no min/percentiles; shown as dashes.
+        assert!(text.contains("min=- p50=- p95=- p99=-"), "{text}");
     }
 }

@@ -21,7 +21,13 @@
 //!   [`ds_sim::Histogram`]s with p50/p95/p99 summaries;
 //! * **an epoch sampler** — [`EpochRecorder`] captures windowed
 //!   miss-rate and network-occupancy series that make the produce →
-//!   kernel → readback phases visible.
+//!   kernel → readback phases visible;
+//! * **per-transaction cycle accounting** — [`StageTracker`] accrues
+//!   every tracked request's cycles into lifecycle [`Stage`]s
+//!   (telescoping intervals: stage sums equal end-to-end latency
+//!   exactly), aggregated as a [`StageBreakdown`]; the [`xray`] module
+//!   stitches `StageMark`/`TxnDone` trace events back into
+//!   per-transaction records and critical paths for the `dsxray` CLI.
 //!
 //! The crate deliberately depends only on `ds-sim`: events carry raw
 //! line indices (`u64`), not typed addresses, so every other model
@@ -32,7 +38,9 @@ mod epoch;
 mod event;
 pub mod jsonl;
 mod latency;
+mod stage;
 mod tracer;
+pub mod xray;
 
 pub use epoch::{
     render_csv as render_epoch_csv, EpochRecorder, EpochSample, EpochTotals,
@@ -40,4 +48,5 @@ pub use epoch::{
 };
 pub use event::{Component, NetId, TraceEvent, TraceKind};
 pub use latency::LatencyReport;
+pub use stage::{Stage, StageBreakdown, StageTracker, TxnPath};
 pub use tracer::{BufferTracer, NullTracer, Tracer};

@@ -1,0 +1,336 @@
+//! Per-transaction stage accounting: where each request's cycles go.
+//!
+//! A *transaction* is one tracked request — a GPU load (SM issue to
+//! data back at the SM) or a CPU direct-store push (store-buffer
+//! enqueue to PutX-Ack). The runtime allocates a transaction id at the
+//! start of each and calls into a [`StageTracker`] at every hand-off;
+//! the tracker accrues the elapsed cycles into the stage the
+//! transaction was *leaving*. Because each stage's interval ends
+//! exactly where the next begins, the per-stage sums telescope: for
+//! every completed transaction, the sum over stages equals the
+//! end-to-end latency — cycle accounting with no residue.
+//!
+//! Like [`crate::LatencyReport`], the tracker runs unconditionally
+//! (updates are a hash-map probe plus integer adds) and never feeds
+//! back into timing, so it cannot perturb a simulation result.
+
+/// Which request lifecycle a transaction (or stage) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnPath {
+    /// A GPU load: SM issue to data arriving back at the SM.
+    GpuLoad,
+    /// A CPU direct-store push: enqueue to PutX acknowledgement.
+    Push,
+}
+
+impl TxnPath {
+    /// Stable lower-case name used by the sinks and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnPath::GpuLoad => "gpu_load",
+            TxnPath::Push => "push",
+        }
+    }
+}
+
+/// One stage of a transaction's lifecycle. The first eleven belong to
+/// the GPU load path, the last three to the direct-store push path;
+/// a transaction only ever visits stages of its own path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// SM issue, TLB walk and L1 lookup (the whole latency for an L1
+    /// hit).
+    SmL1,
+    /// Request crossing the GPU-internal NoC toward an L2 slice.
+    GpuNocReq,
+    /// Waiting in the slice's slot queue plus the tag lookup.
+    SliceQueue,
+    /// Stalled because the slice's MSHR file was full.
+    MshrStall,
+    /// Waiting on an MSHR as a secondary (merged) miss.
+    MshrWait,
+    /// Coherence request crossing the CPU-GPU crossbar to the hub.
+    CohReq,
+    /// At the hub/directory: conflict queueing, lookup and probes.
+    HubDir,
+    /// Queued at a DRAM bank behind earlier accesses.
+    DramQueue,
+    /// DRAM bank actively servicing (row activate + burst).
+    DramService,
+    /// Data response crossing back to the GPU L2 slice.
+    RespNoc,
+    /// Fill at the slice and data return to the issuing SM.
+    SliceToSm,
+    /// Sitting in the CPU store buffer awaiting drain.
+    SbWait,
+    /// GetX + PutX crossing the direct network, including slot-retry
+    /// queueing at the target slice.
+    DirectNoc,
+    /// Slice processing the PutX and the acknowledgement hop back.
+    DirectAck,
+}
+
+impl Stage {
+    /// Every stage, load path first, in pipeline order. Array order is
+    /// the canonical serialization order for breakdowns.
+    pub const ALL: [Stage; 14] = [
+        Stage::SmL1,
+        Stage::GpuNocReq,
+        Stage::SliceQueue,
+        Stage::MshrStall,
+        Stage::MshrWait,
+        Stage::CohReq,
+        Stage::HubDir,
+        Stage::DramQueue,
+        Stage::DramService,
+        Stage::RespNoc,
+        Stage::SliceToSm,
+        Stage::SbWait,
+        Stage::DirectNoc,
+        Stage::DirectAck,
+    ];
+
+    /// Number of stages ([`Stage::ALL`] length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable lower-case name used by the sinks and serialized forms.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::SmL1 => "sm_l1",
+            Stage::GpuNocReq => "gpu_noc_req",
+            Stage::SliceQueue => "slice_queue",
+            Stage::MshrStall => "mshr_stall",
+            Stage::MshrWait => "mshr_wait",
+            Stage::CohReq => "coh_req",
+            Stage::HubDir => "hub_dir",
+            Stage::DramQueue => "dram_queue",
+            Stage::DramService => "dram_service",
+            Stage::RespNoc => "resp_noc",
+            Stage::SliceToSm => "slice_to_sm",
+            Stage::SbWait => "sb_wait",
+            Stage::DirectNoc => "direct_noc",
+            Stage::DirectAck => "direct_ack",
+        }
+    }
+
+    /// Which lifecycle the stage belongs to.
+    pub fn path(self) -> TxnPath {
+        match self {
+            Stage::SbWait | Stage::DirectNoc | Stage::DirectAck => TxnPath::Push,
+            _ => TxnPath::GpuLoad,
+        }
+    }
+
+    /// Position in [`Stage::ALL`], the canonical index for fixed-size
+    /// per-stage arrays. `ALL` lists the variants in declaration
+    /// order, so the discriminant is the index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Aggregated cycle accounting over all completed transactions of a
+/// run: per-stage cycle totals plus per-path counts and end-to-end
+/// cycle sums. The per-path sums equal the sums of that path's stages
+/// exactly (telescoping intervals, see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Total cycles accrued per stage, indexed by [`Stage::index`].
+    pub cycles: [u64; Stage::COUNT],
+    /// Completed GPU-load transactions.
+    pub loads: u64,
+    /// Summed end-to-end cycles of completed loads.
+    pub load_cycles: u64,
+    /// Completed direct-store push transactions.
+    pub pushes: u64,
+    /// Summed end-to-end cycles of completed pushes, counted from
+    /// store-buffer *enqueue* (unlike `push_e2e`, which starts at
+    /// drain).
+    pub push_cycles: u64,
+}
+
+impl StageBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        StageBreakdown {
+            cycles: [0; Stage::COUNT],
+            loads: 0,
+            load_cycles: 0,
+            pushes: 0,
+            push_cycles: 0,
+        }
+    }
+
+    /// Cycles accrued in `stage`.
+    pub fn stage_cycles(&self, stage: Stage) -> u64 {
+        self.cycles[stage.index()]
+    }
+
+    /// Sum of stage cycles over one path. Equals `load_cycles` /
+    /// `push_cycles` for any breakdown built from completed
+    /// transactions only.
+    pub fn path_stage_sum(&self, path: TxnPath) -> u64 {
+        Stage::ALL
+            .iter()
+            .filter(|s| s.path() == path)
+            .map(|&s| self.stage_cycles(s))
+            .sum()
+    }
+}
+
+impl Default for StageBreakdown {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A transaction currently between `begin` and `finish`.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    /// Stage the transaction is currently in.
+    stage: Stage,
+    /// Cycle it entered the current stage.
+    entered: u64,
+    /// Cycle the transaction began (entered its first stage).
+    begun: u64,
+}
+
+/// The live side of stage accounting: tracks in-flight transactions
+/// and folds each completed one into a [`StageBreakdown`].
+///
+/// Determinism: the map is only ever probed by key and aggregated into
+/// fixed arrays — iteration order is never observed — so results are
+/// identical regardless of hasher or insertion history.
+#[derive(Debug, Clone, Default)]
+pub struct StageTracker {
+    inflight: std::collections::HashMap<u64, Inflight>,
+    breakdown: StageBreakdown,
+}
+
+impl StageTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts tracking `txn` in `stage` at `cycle`.
+    pub fn begin(&mut self, txn: u64, stage: Stage, cycle: u64) {
+        self.inflight.insert(
+            txn,
+            Inflight {
+                stage,
+                entered: cycle,
+                begun: cycle,
+            },
+        );
+    }
+
+    /// Moves `txn` into `stage` at `cycle`, accruing the interval
+    /// since the last hand-off into the stage it was leaving. Unknown
+    /// transaction ids are ignored, so callers may pass ids for
+    /// requests that are not tracked (e.g. GPU stores).
+    pub fn advance(&mut self, txn: u64, stage: Stage, cycle: u64) {
+        if let Some(f) = self.inflight.get_mut(&txn) {
+            self.breakdown.cycles[f.stage.index()] += cycle.saturating_sub(f.entered);
+            f.stage = stage;
+            f.entered = cycle;
+        }
+    }
+
+    /// Completes `txn` at `cycle`: accrues the final interval and
+    /// folds the whole transaction into the breakdown. Unknown ids
+    /// are ignored.
+    pub fn finish(&mut self, txn: u64, cycle: u64) {
+        if let Some(f) = self.inflight.remove(&txn) {
+            self.breakdown.cycles[f.stage.index()] += cycle.saturating_sub(f.entered);
+            let total = cycle.saturating_sub(f.begun);
+            match f.stage.path() {
+                TxnPath::GpuLoad => {
+                    self.breakdown.loads += 1;
+                    self.breakdown.load_cycles += total;
+                }
+                TxnPath::Push => {
+                    self.breakdown.pushes += 1;
+                    self.breakdown.push_cycles += total;
+                }
+            }
+        }
+    }
+
+    /// The aggregate so far (completed transactions only).
+    pub fn breakdown(&self) -> &StageBreakdown {
+        &self.breakdown
+    }
+
+    /// Number of transactions begun but not finished.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_paths_and_indices_are_consistent() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Stage::SmL1.name(), "sm_l1");
+        assert_eq!(Stage::SmL1.path(), TxnPath::GpuLoad);
+        assert_eq!(Stage::SbWait.path(), TxnPath::Push);
+        assert_eq!(Stage::COUNT, 14);
+    }
+
+    #[test]
+    fn telescoping_sum_equals_end_to_end() {
+        let mut t = StageTracker::new();
+        t.begin(7, Stage::SmL1, 100);
+        t.advance(7, Stage::GpuNocReq, 104);
+        t.advance(7, Stage::SliceQueue, 110);
+        t.advance(7, Stage::SliceToSm, 150);
+        t.finish(7, 163);
+        let b = t.breakdown();
+        assert_eq!(b.stage_cycles(Stage::SmL1), 4);
+        assert_eq!(b.stage_cycles(Stage::GpuNocReq), 6);
+        assert_eq!(b.stage_cycles(Stage::SliceQueue), 40);
+        assert_eq!(b.stage_cycles(Stage::SliceToSm), 13);
+        assert_eq!(b.loads, 1);
+        assert_eq!(b.load_cycles, 63);
+        assert_eq!(b.path_stage_sum(TxnPath::GpuLoad), 63);
+        assert_eq!(t.inflight(), 0);
+    }
+
+    #[test]
+    fn unknown_and_revisited_transactions_are_safe() {
+        let mut t = StageTracker::new();
+        t.advance(99, Stage::HubDir, 10); // never begun: no-op
+        t.finish(99, 20);
+        assert_eq!(t.breakdown().loads, 0);
+
+        // Re-entering a stage already visited accrues again.
+        t.begin(1, Stage::SliceQueue, 0);
+        t.advance(1, Stage::MshrStall, 5);
+        t.advance(1, Stage::SliceQueue, 9);
+        t.finish(1, 12);
+        let b = t.breakdown();
+        assert_eq!(b.stage_cycles(Stage::SliceQueue), 5 + 3);
+        assert_eq!(b.stage_cycles(Stage::MshrStall), 4);
+        assert_eq!(b.load_cycles, 12);
+    }
+
+    #[test]
+    fn push_path_counts_separately() {
+        let mut t = StageTracker::new();
+        t.begin(2, Stage::SbWait, 1000);
+        t.advance(2, Stage::DirectNoc, 1020);
+        t.advance(2, Stage::DirectAck, 1030);
+        t.finish(2, 1036);
+        let b = t.breakdown();
+        assert_eq!(b.pushes, 1);
+        assert_eq!(b.push_cycles, 36);
+        assert_eq!(b.loads, 0);
+        assert_eq!(b.path_stage_sum(TxnPath::Push), 36);
+    }
+}

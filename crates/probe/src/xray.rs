@@ -1,0 +1,224 @@
+//! `ds-xray`: stitching trace events back into per-transaction
+//! records.
+//!
+//! The runtime emits a [`crate::TraceKind::StageMark`] at every
+//! lifecycle hand-off and a [`crate::TraceKind::TxnDone`] at
+//! completion. This module reassembles that flat stream into
+//! [`TxnRecord`]s — one per completed transaction, with the ordered
+//! `(stage, cycle)` marks — and derives the two views the `dsxray`
+//! CLI prints: an aggregate [`StageBreakdown`] (which must agree
+//! exactly with the one the live [`crate::StageTracker`] accumulated)
+//! and the slowest-transaction critical paths.
+
+use crate::stage::{Stage, StageBreakdown, TxnPath};
+use crate::{TraceEvent, TraceKind};
+
+/// One completed transaction reassembled from the trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// Transaction id (allocation order within the run).
+    pub txn: u64,
+    /// Which lifecycle the transaction followed.
+    pub path: TxnPath,
+    /// `(stage, cycle entered)` marks in emission order. The first
+    /// mark is the transaction's start.
+    pub marks: Vec<(Stage, u64)>,
+    /// Cycle the transaction completed.
+    pub end: u64,
+}
+
+impl TxnRecord {
+    /// End-to-end latency: completion minus the first mark.
+    pub fn total(&self) -> u64 {
+        self.marks
+            .first()
+            .map_or(0, |&(_, start)| self.end.saturating_sub(start))
+    }
+
+    /// Per-segment `(stage, cycles)` pairs: each mark's stage paired
+    /// with the distance to the next mark (or to `end` for the last).
+    pub fn segments(&self) -> Vec<(Stage, u64)> {
+        let mut out = Vec::with_capacity(self.marks.len());
+        for (i, &(stage, at)) in self.marks.iter().enumerate() {
+            let next = self.marks.get(i + 1).map_or(self.end, |&(_, cycle)| cycle);
+            out.push((stage, next.saturating_sub(at)));
+        }
+        out
+    }
+}
+
+/// Reassembles completed transactions from a trace stream. Records are
+/// returned in completion order (the order `TxnDone` events appear),
+/// which is deterministic because the trace stream itself is.
+/// Transactions still in flight at the end of the stream are dropped.
+pub fn stitch(events: &[TraceEvent]) -> Vec<TxnRecord> {
+    let mut open: std::collections::HashMap<u64, Vec<(Stage, u64)>> =
+        std::collections::HashMap::new();
+    let mut done = Vec::new();
+    for e in events {
+        match e.kind {
+            TraceKind::StageMark { txn, stage } => {
+                open.entry(txn).or_default().push((stage, e.cycle));
+            }
+            TraceKind::TxnDone { txn } => {
+                if let Some(marks) = open.remove(&txn) {
+                    let path = marks.first().map_or(TxnPath::GpuLoad, |&(s, _)| s.path());
+                    done.push(TxnRecord {
+                        txn,
+                        path,
+                        marks,
+                        end: e.cycle,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    done
+}
+
+/// Folds stitched records into an aggregate [`StageBreakdown`]. For a
+/// complete trace this equals the breakdown the live tracker computed
+/// during the run — `dsxray --check` asserts exactly that.
+pub fn breakdown(records: &[TxnRecord]) -> StageBreakdown {
+    let mut b = StageBreakdown::new();
+    for r in records {
+        for (stage, cycles) in r.segments() {
+            b.cycles[stage.index()] += cycles;
+        }
+        match r.path {
+            TxnPath::GpuLoad => {
+                b.loads += 1;
+                b.load_cycles += r.total();
+            }
+            TxnPath::Push => {
+                b.pushes += 1;
+                b.push_cycles += r.total();
+            }
+        }
+    }
+    b
+}
+
+/// The `k` slowest records (by end-to-end latency, ties broken by
+/// transaction id for determinism), slowest first.
+pub fn slowest(records: &[TxnRecord], k: usize) -> Vec<&TxnRecord> {
+    let mut refs: Vec<&TxnRecord> = records.iter().collect();
+    refs.sort_by(|a, b| b.total().cmp(&a.total()).then(a.txn.cmp(&b.txn)));
+    refs.truncate(k);
+    refs
+}
+
+/// Latency at or above which a record is in the slowest 1% of `path`
+/// transactions (the p99 tail), or `None` if the path has no records.
+pub fn p99_threshold(records: &[TxnRecord], path: TxnPath) -> Option<u64> {
+    let mut totals: Vec<u64> = records
+        .iter()
+        .filter(|r| r.path == path)
+        .map(TxnRecord::total)
+        .collect();
+    if totals.is_empty() {
+        return None;
+    }
+    totals.sort_unstable();
+    let rank = ((totals.len() as f64) * 0.99).ceil() as usize;
+    Some(totals[rank.clamp(1, totals.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Component;
+
+    fn mark(cycle: u64, txn: u64, stage: Stage) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            component: Component::Txn,
+            line: None,
+            kind: TraceKind::StageMark { txn, stage },
+        }
+    }
+
+    fn finish(cycle: u64, txn: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            component: Component::Txn,
+            line: None,
+            kind: TraceKind::TxnDone { txn },
+        }
+    }
+
+    #[test]
+    fn stitch_reassembles_interleaved_transactions() {
+        let events = vec![
+            mark(10, 0, Stage::SmL1),
+            mark(12, 1, Stage::SbWait),
+            mark(14, 0, Stage::GpuNocReq),
+            mark(20, 1, Stage::DirectNoc),
+            finish(30, 0),
+            mark(33, 1, Stage::DirectAck),
+            finish(40, 1),
+            mark(50, 2, Stage::SmL1), // never completes: dropped
+        ];
+        let records = stitch(&events);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].txn, 0);
+        assert_eq!(records[0].path, TxnPath::GpuLoad);
+        assert_eq!(records[0].total(), 20);
+        assert_eq!(
+            records[0].segments(),
+            vec![(Stage::SmL1, 4), (Stage::GpuNocReq, 16)]
+        );
+        assert_eq!(records[1].path, TxnPath::Push);
+        assert_eq!(records[1].total(), 28);
+    }
+
+    #[test]
+    fn breakdown_matches_hand_computation_and_telescopes() {
+        let events = vec![
+            mark(0, 0, Stage::SmL1),
+            mark(7, 0, Stage::SliceToSm),
+            finish(9, 0),
+            mark(5, 1, Stage::SbWait),
+            finish(11, 1),
+        ];
+        let records = stitch(&events);
+        let b = breakdown(&records);
+        assert_eq!(b.stage_cycles(Stage::SmL1), 7);
+        assert_eq!(b.stage_cycles(Stage::SliceToSm), 2);
+        assert_eq!(b.stage_cycles(Stage::SbWait), 6);
+        assert_eq!((b.loads, b.load_cycles), (1, 9));
+        assert_eq!((b.pushes, b.push_cycles), (1, 6));
+        assert_eq!(b.path_stage_sum(TxnPath::GpuLoad), b.load_cycles);
+        assert_eq!(b.path_stage_sum(TxnPath::Push), b.push_cycles);
+    }
+
+    #[test]
+    fn slowest_orders_by_latency_then_txn() {
+        let events = vec![
+            mark(0, 0, Stage::SmL1),
+            finish(10, 0),
+            mark(0, 1, Stage::SmL1),
+            finish(30, 1),
+            mark(5, 2, Stage::SmL1),
+            finish(15, 2), // same latency as txn 0: id breaks the tie
+        ];
+        let records = stitch(&events);
+        let top = slowest(&records, 2);
+        assert_eq!(top[0].txn, 1);
+        assert_eq!(top[1].txn, 0);
+        assert_eq!(slowest(&records, 10).len(), 3);
+    }
+
+    #[test]
+    fn p99_threshold_picks_the_tail() {
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            events.push(mark(0, i, Stage::SmL1));
+            events.push(finish(i + 1, i)); // latencies 1..=100
+        }
+        let records = stitch(&events);
+        assert_eq!(p99_threshold(&records, TxnPath::GpuLoad), Some(99));
+        assert_eq!(p99_threshold(&records, TxnPath::Push), None);
+    }
+}

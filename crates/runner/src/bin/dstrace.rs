@@ -143,7 +143,7 @@ fn parse_options(args: &[String]) -> Options {
 
 /// Validates rendered output before it is written: JSONL must parse
 /// line by line, a Chrome trace as one document, an epoch CSV must
-/// carry its header.
+/// carry its exact header and well-formed, non-overlapping windows.
 fn check_output(format: Format, text: &str) -> Result<(), String> {
     match format {
         Format::Jsonl => {
@@ -159,15 +159,45 @@ fn check_output(format: Format, text: &str) -> Result<(), String> {
                 .map(|_| ())
                 .ok_or_else(|| "missing traceEvents array".to_string())
         }
-        Format::Epochs => {
-            if text.starts_with(ds_probe::EPOCH_CSV_HEADER) {
-                Ok(())
-            } else {
-                Err("missing epoch CSV header".to_string())
-            }
-        }
+        Format::Epochs => check_epoch_csv(text),
         Format::Summary => Ok(()),
     }
+}
+
+/// Epoch-CSV validation: the header line must match exactly, every
+/// row's `[start, end)` window must be non-empty (`end > start`), and
+/// consecutive windows must not overlap (`start >= previous end`).
+fn check_epoch_csv(text: &str) -> Result<(), String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(header) if header == ds_probe::EPOCH_CSV_HEADER => {}
+        _ => return Err("missing epoch CSV header".to_string()),
+    }
+    let mut prev_end = 0u64;
+    for (i, line) in lines.enumerate() {
+        let row = i + 2; // 1-based, after the header
+        let mut fields = line.split(',');
+        let start: u64 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("row {row}: window_start is not an integer"))?;
+        let end: u64 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("row {row}: window_end is not an integer"))?;
+        if end <= start {
+            return Err(format!(
+                "row {row}: window [{start}, {end}) is zero-width or inverted"
+            ));
+        }
+        if start < prev_end {
+            return Err(format!(
+                "row {row}: window [{start}, {end}) overlaps previous (ends at {prev_end})"
+            ));
+        }
+        prev_end = end;
+    }
+    Ok(())
 }
 
 fn summary(report: &RunReport, events: usize) -> String {
@@ -255,5 +285,50 @@ fn main() {
             );
         }
         None => print!("{text}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch_csv(rows: &[(u64, u64)]) -> String {
+        let mut s = format!("{}\n", ds_probe::EPOCH_CSV_HEADER);
+        for (start, end) in rows {
+            s.push_str(&format!("{start},{end},0,0,0.0000,0,0,0,0,0,0,0\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn epoch_check_accepts_well_formed_windows() {
+        assert!(check_epoch_csv(&epoch_csv(&[(0, 1000), (1000, 2000), (2000, 3000)])).is_ok());
+        // Gaps are fine (idle windows are not emitted); only overlap
+        // and emptiness are errors.
+        assert!(check_epoch_csv(&epoch_csv(&[(0, 1000), (5000, 6000)])).is_ok());
+        assert!(check_epoch_csv(&epoch_csv(&[])).is_ok());
+    }
+
+    #[test]
+    fn epoch_check_rejects_zero_width_and_inverted_windows() {
+        let err = check_epoch_csv(&epoch_csv(&[(0, 1000), (1000, 1000)])).unwrap_err();
+        assert!(err.contains("zero-width or inverted"), "{err}");
+        let err = check_epoch_csv(&epoch_csv(&[(2000, 1000)])).unwrap_err();
+        assert!(err.contains("zero-width or inverted"), "{err}");
+    }
+
+    #[test]
+    fn epoch_check_rejects_overlapping_windows() {
+        let err = check_epoch_csv(&epoch_csv(&[(0, 1000), (500, 1500)])).unwrap_err();
+        assert!(err.contains("overlaps previous"), "{err}");
+    }
+
+    #[test]
+    fn epoch_check_rejects_bad_header_and_malformed_rows() {
+        assert!(check_epoch_csv("nope\n0,1000\n").is_err());
+        let mut s = format!("{}\n", ds_probe::EPOCH_CSV_HEADER);
+        s.push_str("abc,1000,0,0,0.0,0,0,0,0,0,0,0\n");
+        let err = check_epoch_csv(&s).unwrap_err();
+        assert!(err.contains("window_start"), "{err}");
     }
 }

@@ -9,7 +9,7 @@
 use ds_cache::CacheStats;
 use ds_core::{Comparison, InputSize, Mode, RunReport};
 use ds_noc::XbarStats;
-use ds_probe::{EpochSample, EpochTotals, LatencyReport};
+use ds_probe::{EpochSample, EpochTotals, LatencyReport, Stage, StageBreakdown};
 use ds_sim::{Cycle, Histogram};
 
 use crate::json::Json;
@@ -77,11 +77,11 @@ fn histogram_to_json(h: &Histogram) -> Json {
             ),
         ),
         ("sum".into(), Json::Str(h.sum().to_string())),
-        ("min".into(), Json::Int(h.min())),
+        ("min".into(), Json::Int(h.min().unwrap_or(0))),
         ("max".into(), Json::Int(h.max())),
-        ("p50".into(), Json::Int(h.percentile(50.0))),
-        ("p95".into(), Json::Int(h.percentile(95.0))),
-        ("p99".into(), Json::Int(h.percentile(99.0))),
+        ("p50".into(), Json::Int(h.percentile(50.0).unwrap_or(0))),
+        ("p95".into(), Json::Int(h.percentile(95.0).unwrap_or(0))),
+        ("p99".into(), Json::Int(h.percentile(99.0).unwrap_or(0))),
     ])
 }
 
@@ -142,6 +142,49 @@ fn latency_from_json(json: &Json) -> Result<LatencyReport, String> {
         push_e2e: field(LatencyReport::PUSH_E2E)?,
         hub_txn: field(LatencyReport::HUB_TXN)?,
         dram_queue: field(LatencyReport::DRAM_QUEUE)?,
+    })
+}
+
+/// Serializes a stage breakdown: the per-stage cycle totals keyed by
+/// stage name (in [`Stage::ALL`] order) plus the per-path counts and
+/// end-to-end cycle sums. Public so the perf-baseline harness can
+/// embed the same encoding in `BENCH_*.json`.
+pub fn stages_to_json(b: &StageBreakdown) -> Json {
+    Json::Obj(vec![
+        ("loads".into(), Json::Int(b.loads)),
+        ("load_cycles".into(), Json::Int(b.load_cycles)),
+        ("pushes".into(), Json::Int(b.pushes)),
+        ("push_cycles".into(), Json::Int(b.push_cycles)),
+        (
+            "cycles".into(),
+            Json::Obj(
+                Stage::ALL
+                    .iter()
+                    .map(|&s| (s.name().to_string(), Json::Int(b.stage_cycles(s))))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserializes a breakdown written by [`stages_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field.
+pub fn stages_from_json(json: &Json) -> Result<StageBreakdown, String> {
+    let cycles_obj = sub(json, "cycles")?;
+    let mut cycles = [0u64; Stage::COUNT];
+    for s in Stage::ALL {
+        cycles[s.index()] = u64_field(&cycles_obj, s.name())
+            .map_err(|e| format!("in stage breakdown cycles: {e}"))?;
+    }
+    Ok(StageBreakdown {
+        cycles,
+        loads: u64_field(json, "loads")?,
+        load_cycles: u64_field(json, "load_cycles")?,
+        pushes: u64_field(json, "pushes")?,
+        push_cycles: u64_field(json, "push_cycles")?,
     })
 }
 
@@ -235,6 +278,7 @@ pub fn report_to_json(r: &RunReport) -> Json {
         ("hub_probes".into(), Json::Int(r.hub_probes)),
         ("dram_row_hits".into(), Json::Int(r.dram_row_hits)),
         ("latency".into(), latency_to_json(&r.latency)),
+        ("stages".into(), stages_to_json(&r.stages)),
         ("epoch_window".into(), Json::Int(r.epoch_window)),
         (
             "epochs".into(),
@@ -346,6 +390,7 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
         hub_probes: u64_field(json, "hub_probes")?,
         dram_row_hits: u64_field(json, "dram_row_hits")?,
         latency: latency_from_json(&sub(json, "latency")?)?,
+        stages: stages_from_json(&sub(json, "stages")?)?,
         epochs: json
             .get("epochs")
             .and_then(Json::as_arr)
@@ -359,10 +404,16 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
 }
 
 /// Header row matching [`report_csv_row`] (the `export_csv` schema).
+/// The `stage_*` columns follow [`Stage::ALL`] order, then the four
+/// per-path aggregates.
 pub const REPORT_CSV_HEADER: &str = "benchmark,suite,shared_memory,input,mode,total_cycles,\
      gpu_l2_accesses,gpu_l2_misses,gpu_l2_miss_rate,gpu_l2_compulsory,push_hits,\
      direct_pushes,coh_msgs,direct_msgs,gpu_msgs,dram_reads,dram_writes,\
-     load_to_use_p50,load_to_use_p95,load_to_use_p99";
+     load_to_use_p50,load_to_use_p95,load_to_use_p99,\
+     stage_sm_l1,stage_gpu_noc_req,stage_slice_queue,stage_mshr_stall,stage_mshr_wait,\
+     stage_coh_req,stage_hub_dir,stage_dram_queue,stage_dram_service,stage_resp_noc,\
+     stage_slice_to_sm,stage_sb_wait,stage_direct_noc,stage_direct_ack,\
+     stage_loads,stage_load_cycles,stage_pushes,stage_push_cycles";
 
 /// One per-run CSV row; `suite` / `shared_memory` come from the
 /// benchmark's Table II metadata.
@@ -373,7 +424,7 @@ pub fn report_csv_row(
     input: InputSize,
     r: &RunReport,
 ) -> String {
-    format!(
+    let mut row = format!(
         "{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{}",
         code,
         suite,
@@ -392,10 +443,18 @@ pub fn report_csv_row(
         r.gpu_net.total_msgs(),
         r.dram_reads,
         r.dram_writes,
-        r.latency.load_to_use.percentile(50.0),
-        r.latency.load_to_use.percentile(95.0),
-        r.latency.load_to_use.percentile(99.0)
-    )
+        r.latency.load_to_use.percentile(50.0).unwrap_or(0),
+        r.latency.load_to_use.percentile(95.0).unwrap_or(0),
+        r.latency.load_to_use.percentile(99.0).unwrap_or(0)
+    );
+    for s in Stage::ALL {
+        row.push_str(&format!(",{}", r.stages.stage_cycles(s)));
+    }
+    row.push_str(&format!(
+        ",{},{},{},{}",
+        r.stages.loads, r.stages.load_cycles, r.stages.pushes, r.stages.push_cycles
+    ));
+    row
 }
 
 /// Header row matching [`comparison_csv_row`].
@@ -436,6 +495,15 @@ mod tests {
         latency.load_to_use.record(641);
         latency.hub_txn.record(77);
         latency.dram_queue.record(0);
+        let mut stages = StageBreakdown::new();
+        stages.cycles[Stage::SmL1.index()] = 100;
+        stages.cycles[Stage::HubDir.index()] = 511;
+        stages.cycles[Stage::SliceToSm.index()] = 150;
+        stages.cycles[Stage::SbWait.index()] = 40;
+        stages.loads = 2;
+        stages.load_cycles = 761;
+        stages.pushes = 1;
+        stages.push_cycles = 40;
         RunReport {
             mode,
             total_cycles: Cycle::new(123_456),
@@ -468,6 +536,7 @@ mod tests {
             hub_probes: 33,
             dram_row_hits: 4,
             latency,
+            stages,
             epochs: vec![
                 EpochSample {
                     index: 0,

@@ -22,8 +22,8 @@ use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report
 
 /// On-disk cache format version; bump on schema changes to orphan old
 /// files. Version 2 added latency histograms and epoch series to the
-/// per-run report.
-const FORMAT_VERSION: u64 = 2;
+/// per-run report; version 3 added the per-stage cycle breakdown.
+const FORMAT_VERSION: u64 = 3;
 
 /// Memo + optional disk cache, keyed by [`TaskKey`].
 #[derive(Debug, Default)]
@@ -255,6 +255,7 @@ mod tests {
             hub_probes: 0,
             dram_row_hits: 0,
             latency: ds_probe::LatencyReport::new(),
+            stages: ds_probe::StageBreakdown::new(),
             epochs: vec![],
             epoch_window: 0,
             events: 0,

@@ -189,33 +189,40 @@ impl Histogram {
         }
     }
 
-    /// Minimum recorded sample, zero if empty.
-    pub fn min(&self) -> u64 {
+    /// Minimum recorded sample; `None` if the histogram is empty (an
+    /// empty histogram has no minimum, and returning a sentinel value
+    /// would be indistinguishable from a real zero-cycle sample).
+    pub fn min(&self) -> Option<u64> {
         if self.samples == 0 {
-            0
+            None
         } else {
-            self.min
+            Some(self.min)
         }
     }
 
-    /// Maximum recorded sample.
+    /// Maximum recorded sample; zero if empty. Unlike [`Histogram::min`]
+    /// the sentinel is unambiguous here only by convention — callers
+    /// needing to distinguish "empty" from "all-zero samples" must
+    /// check [`Histogram::samples`] first.
     pub fn max(&self) -> u64 {
         self.max
     }
 
-    /// Exact sum of all recorded samples.
+    /// Exact sum of all recorded samples. Zero if empty — for a sum
+    /// that is the mathematically correct value, not a sentinel.
     pub fn sum(&self) -> u128 {
         self.sum
     }
 
     /// The `p`-th percentile at bucket granularity: the floor of the
     /// bucket containing the sample of rank `ceil(p/100 * n)` (ranks
-    /// counted from 1 in ascending order). Zero if empty. `p` is
-    /// clamped to `[0, 100]`; `p = 0` reports the lowest non-empty
-    /// bucket and `p = 100` the highest.
-    pub fn percentile(&self, p: f64) -> u64 {
+    /// counted from 1 in ascending order). `None` if the histogram is
+    /// empty — there is no sample to report. `p` is clamped to
+    /// `[0, 100]`; `p = 0` reports the lowest non-empty bucket and
+    /// `p = 100` the highest.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.samples == 0 {
-            return 0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0) * self.samples as f64).ceil() as u64;
@@ -224,16 +231,17 @@ impl Histogram {
         for (floor, count) in self.iter() {
             seen += count;
             if seen >= rank {
-                return floor;
+                return Some(floor);
             }
         }
-        self.max // unreachable: bucket counts sum to `samples`
+        Some(self.max) // unreachable: bucket counts sum to `samples`
     }
 
     /// Restores a histogram from previously serialized parts: the
     /// non-empty `(bucket_floor, count)` pairs as produced by
     /// [`Histogram::iter`], plus the exact sum, min and max. `min` is
-    /// the [`Histogram::min`] accessor value (zero when empty).
+    /// the [`Histogram::min`] accessor value, `min().unwrap_or(0)`
+    /// (the value is ignored when the bucket pairs are empty).
     ///
     /// Fails on an unrecognized bucket floor (must be 0 or a power of
     /// two below 2^64).
@@ -355,12 +363,16 @@ mod tests {
     }
 
     #[test]
-    fn histogram_percentile_empty_is_zero() {
+    fn histogram_empty_has_no_percentile_or_min() {
         let h = Histogram::new("empty");
-        assert_eq!(h.percentile(0.0), 0);
-        assert_eq!(h.percentile(50.0), 0);
-        assert_eq!(h.percentile(100.0), 0);
-        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(100.0), None);
+        assert_eq!(h.min(), None);
+        // Documented sentinels for the non-Option accessors.
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
     }
 
     #[test]
@@ -368,10 +380,20 @@ mod tests {
         let mut h = Histogram::new("one");
         h.record(37); // bucket [32, 64)
         for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
-            assert_eq!(h.percentile(p), 32, "p={p}");
+            assert_eq!(h.percentile(p), Some(32), "p={p}");
         }
-        assert_eq!(h.min(), 37);
+        assert_eq!(h.min(), Some(37));
         assert_eq!(h.max(), 37);
+    }
+
+    #[test]
+    fn histogram_zero_sample_is_distinct_from_empty() {
+        let mut h = Histogram::new("zero");
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.percentile(50.0), Some(0));
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.samples(), 1);
     }
 
     #[test]
@@ -380,10 +402,10 @@ mod tests {
         h.record(4); // bucket [4, 8)
         h.record(8); // bucket [8, 16)
                      // Rank 1 of 2 covers up to p=50; rank 2 starts just above.
-        assert_eq!(h.percentile(50.0), 4);
-        assert_eq!(h.percentile(50.1), 8);
-        assert_eq!(h.percentile(100.0), 8);
-        assert_eq!(h.min(), 4);
+        assert_eq!(h.percentile(50.0), Some(4));
+        assert_eq!(h.percentile(50.1), Some(8));
+        assert_eq!(h.percentile(100.0), Some(8));
+        assert_eq!(h.min(), Some(4));
 
         // A skewed distribution: p99 must land in the tail bucket only
         // when the tail holds at least 1% of the mass.
@@ -392,9 +414,13 @@ mod tests {
             h.record(10); // bucket [8, 16)
         }
         h.record(1000); // bucket [512, 1024)
-        assert_eq!(h.percentile(50.0), 8);
-        assert_eq!(h.percentile(99.0), 8, "rank ceil(0.99*100)=99 is still 10");
-        assert_eq!(h.percentile(99.5), 512);
+        assert_eq!(h.percentile(50.0), Some(8));
+        assert_eq!(
+            h.percentile(99.0),
+            Some(8),
+            "rank ceil(0.99*100)=99 is still 10"
+        );
+        assert_eq!(h.percentile(99.5), Some(512));
     }
 
     #[test]
@@ -402,8 +428,8 @@ mod tests {
         let mut h = Histogram::new("clamp");
         h.record(1);
         h.record(100);
-        assert_eq!(h.percentile(-5.0), 0, "p<0 behaves like p=0");
-        assert_eq!(h.percentile(250.0), 64, "p>100 behaves like p=100");
+        assert_eq!(h.percentile(-5.0), Some(0), "p<0 behaves like p=0");
+        assert_eq!(h.percentile(250.0), Some(64), "p>100 behaves like p=100");
     }
 
     #[test]
@@ -413,7 +439,7 @@ mod tests {
             h.record(v);
         }
         let pairs: Vec<(u64, u64)> = h.iter().collect();
-        let r = Histogram::restore("rt", pairs, h.sum, h.min(), h.max()).unwrap();
+        let r = Histogram::restore("rt", pairs, h.sum, h.min().unwrap_or(0), h.max()).unwrap();
         assert_eq!(format!("{r:?}"), format!("{h:?}"));
 
         let empty = Histogram::new("rt");

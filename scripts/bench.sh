@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Performance-baseline harness: runs the Table II catalog under both
+# CCSM and direct store and writes a dated, schema-validated JSON
+# baseline (`BENCH_<date>.json` by default; schema documented in
+# results/README.md). Compare two baselines to spot perf regressions.
+#
+# usage: scripts/bench.sh [--smoke] [--out FILE]
+#
+#   --smoke   run only VA/small (CI schema check, a few seconds)
+#   --out F   write to F instead of BENCH_<date>.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke=""
+out=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) smoke="--smoke" ;;
+    --out)
+      shift
+      [ $# -gt 0 ] || { echo "bench.sh: --out needs a value" >&2; exit 2; }
+      out="$1"
+      ;;
+    *) echo "bench.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+date_str="$(date +%F)"
+[ -n "$out" ] || out="BENCH_${date_str}.json"
+
+echo "==> perf_baseline ${smoke:-(full catalog)} -> $out"
+cargo run --release -q -p ds-bench --bin perf_baseline -- \
+  ${smoke:+"$smoke"} --date "$date_str" --out "$out"
+
+echo "==> validating $out"
+test -s "$out" || { echo "bench.sh: $out is missing or empty" >&2; exit 1; }
+for key in '"schema"' '"date"' '"config_fingerprint"' '"benchmarks"' \
+           '"geomean_speedup"' '"stages"'; do
+  grep -q "$key" "$out" || {
+    echo "bench.sh: $out is missing required key $key" >&2
+    exit 1
+  }
+done
+
+echo "==> bench.sh: baseline written to $out"

@@ -30,4 +30,18 @@ for mode in ccsm ds; do
   test -s "$smoke_dir/va-$mode.json"
 done
 
+echo "==> dstrace epoch-window validation"
+cargo run --release -q -p ds-runner --bin dstrace -- \
+  --bench VA --input small --format epochs --check \
+  --out "$smoke_dir/va-epochs.csv"
+test -s "$smoke_dir/va-epochs.csv"
+
+echo "==> dsxray smoke run (both modes, invariants checked)"
+cargo run --release -q -p ds-runner --bin dsxray -- \
+  --bench VA --input small --check --out "$smoke_dir/va-xray.txt"
+test -s "$smoke_dir/va-xray.txt"
+
+echo "==> bench.sh schema smoke"
+scripts/bench.sh --smoke --out "$smoke_dir/bench-smoke.json"
+
 echo "==> ci.sh: all gates passed"
