@@ -10,17 +10,23 @@
 //!
 //! Usage: `perf_baseline [--smoke] [--input small|big|both]
 //!                       [--out FILE] [--date STR]`
+//!        `perf_baseline --diff OLD.json NEW.json [--tolerance PCT]`
 //!
 //! `--smoke` restricts the sweep to VA/small — enough to validate the
-//! schema in CI without paying for the full catalog.
+//! schema in CI without paying for the full catalog. `--diff` runs
+//! nothing: it compares two previously written baselines entry by
+//! entry and exits non-zero when any mode's cycle count regressed
+//! beyond the tolerance (default 5%).
 
 use ds_core::{InputSize, Mode, RunReport, Scenario, SystemConfig};
-use ds_runner::json::Json;
+use ds_runner::json::{self, Json};
 use ds_runner::{stages_to_json, Runner, Task};
 
 const USAGE: &str = "usage: perf_baseline [options]
+       perf_baseline --diff OLD.json NEW.json [--tolerance PCT]
 
-Writes the JSON performance baseline for the Table II catalog.
+Writes the JSON performance baseline for the Table II catalog, or
+compares two baseline files and fails on cycle regressions.
 
 options:
   --smoke            run only VA/small (schema smoke test)
@@ -29,13 +35,24 @@ options:
   --out FILE         write to FILE instead of stdout
   --date STR         date string recorded in the document
                      (default: unset, written as \"unknown\")
+  --diff OLD NEW     compare two BENCH_<date>.json files; exit 1 if
+                     any benchmark's cycles grew by more than the
+                     tolerance in either mode
+  --tolerance PCT    regression threshold for --diff in percent
+                     (default: 5)
   --help             show this help";
+
+/// Exit code for `--diff` when a cycle regression beyond the
+/// tolerance is found (2 stays reserved for usage errors).
+const EXIT_REGRESSION: i32 = 1;
 
 struct Options {
     smoke: bool,
     inputs: Vec<InputSize>,
     out: Option<String>,
     date: String,
+    diff: Option<(String, String)>,
+    tolerance: f64,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -49,6 +66,8 @@ fn parse_options(args: &[String]) -> Options {
         inputs: vec![InputSize::Small, InputSize::Big],
         out: None,
         date: "unknown".to_string(),
+        diff: None,
+        tolerance: 5.0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -76,6 +95,26 @@ fn parse_options(args: &[String]) -> Options {
                     .next()
                     .unwrap_or_else(|| usage_error("--date needs a value"));
                 opts.date = v.clone();
+            }
+            "--diff" => {
+                let old = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--diff needs two files: OLD.json NEW.json"));
+                let new = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--diff needs two files: OLD.json NEW.json"));
+                opts.diff = Some((old.clone(), new.clone()));
+            }
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--tolerance needs a value"));
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => opts.tolerance = t,
+                    _ => usage_error(&format!(
+                        "--tolerance needs a non-negative percentage, got {v:?}"
+                    )),
+                }
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -109,9 +148,193 @@ fn mode_to_json(r: &RunReport) -> Json {
     ])
 }
 
+/// One benchmark row pulled out of a baseline document.
+#[derive(Debug, PartialEq)]
+struct BaselineEntry {
+    code: String,
+    input: String,
+    ccsm_cycles: u64,
+    ds_cycles: u64,
+}
+
+/// The slice of a baseline document that `--diff` compares.
+#[derive(Debug)]
+struct Baseline {
+    date: String,
+    fingerprint: String,
+    geomean: f64,
+    entries: Vec<BaselineEntry>,
+}
+
+fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(Json::as_str) != Some("ds-bench-baseline") {
+        return Err("not a ds-bench-baseline document".into());
+    }
+    let mode_cycles = |entry: &Json, mode: &str| {
+        entry
+            .get(mode)
+            .and_then(|m| m.get("total_cycles"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("benchmark entry missing {mode}.total_cycles"))
+    };
+    let entries = doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("missing benchmarks array")?
+        .iter()
+        .map(|entry| {
+            Ok(BaselineEntry {
+                code: entry
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .ok_or("benchmark entry missing code")?
+                    .to_string(),
+                input: entry
+                    .get("input")
+                    .and_then(Json::as_str)
+                    .ok_or("benchmark entry missing input")?
+                    .to_string(),
+                ccsm_cycles: mode_cycles(entry, "ccsm")?,
+                ds_cycles: mode_cycles(entry, "ds")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Baseline {
+        date: doc
+            .get("date")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        fingerprint: doc
+            .get("config_fingerprint")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        geomean: doc
+            .get("geomean_speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        entries,
+    })
+}
+
+fn load_baseline(path: &str) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_baseline(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Relative cycle change in percent; positive means `new` is slower.
+fn delta_pct(old: u64, new: u64) -> f64 {
+    if old == 0 {
+        if new == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (new as f64 - old as f64) / old as f64
+    }
+}
+
+/// Renders the diff table and returns the number of per-mode cycle
+/// regressions beyond `tolerance` percent.
+fn render_diff(old: &Baseline, new: &Baseline, tolerance: f64) -> (String, usize) {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "baseline diff: {} (fp {}) -> {} (fp {}), tolerance +{tolerance}%\n",
+        old.date, old.fingerprint, new.date, new.fingerprint,
+    ));
+    if old.fingerprint != new.fingerprint {
+        out.push_str("warning: config fingerprints differ; cycle deltas may reflect deliberate configuration changes\n");
+    }
+    out.push_str(&format!(
+        "{:6} {:6} {:5} {:>14} {:>14} {:>9}\n",
+        "bench", "input", "mode", "old cycles", "new cycles", "delta"
+    ));
+    let mut regressions = 0;
+    let mut matched = 0;
+    for o in &old.entries {
+        let Some(n) = new
+            .entries
+            .iter()
+            .find(|n| n.code == o.code && n.input == o.input)
+        else {
+            out.push_str(&format!(
+                "{:6} {:6} dropped from new baseline\n",
+                o.code, o.input
+            ));
+            continue;
+        };
+        matched += 1;
+        for (mode, old_c, new_c) in [
+            ("ccsm", o.ccsm_cycles, n.ccsm_cycles),
+            ("ds", o.ds_cycles, n.ds_cycles),
+        ] {
+            let delta = delta_pct(old_c, new_c);
+            let flag = if delta > tolerance {
+                regressions += 1;
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{:6} {:6} {:5} {:>14} {:>14} {:>+8.2}%{flag}\n",
+                o.code, o.input, mode, old_c, new_c, delta,
+            ));
+        }
+    }
+    for n in &new.entries {
+        if !old
+            .entries
+            .iter()
+            .any(|o| o.code == n.code && o.input == n.input)
+        {
+            out.push_str(&format!(
+                "{:6} {:6} new in new baseline (not compared)\n",
+                n.code, n.input
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "geomean speedup: {:.3} -> {:.3}\n",
+        old.geomean, new.geomean,
+    ));
+    if regressions > 0 {
+        out.push_str(&format!(
+            "FAIL: {regressions} cycle regression{} beyond +{tolerance}% across {matched} compared benchmark{}\n",
+            if regressions == 1 { "" } else { "s" },
+            if matched == 1 { "" } else { "s" },
+        ));
+    } else {
+        out.push_str(&format!(
+            "OK: no cycle regression beyond +{tolerance}% across {matched} compared benchmark{}\n",
+            if matched == 1 { "" } else { "s" },
+        ));
+    }
+    (out, regressions)
+}
+
+fn run_diff(old_path: &str, new_path: &str, tolerance: f64) -> ! {
+    let load = |path: &str| {
+        load_baseline(path).unwrap_or_else(|e| {
+            eprintln!("perf_baseline: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (old, new) = (load(old_path), load(new_path));
+    let (report, regressions) = render_diff(&old, &new, tolerance);
+    print!("{report}");
+    std::process::exit(if regressions > 0 { EXIT_REGRESSION } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_options(&args);
+
+    if let Some((old_path, new_path)) = &opts.diff {
+        run_diff(old_path, new_path, opts.tolerance);
+    }
 
     let cfg = SystemConfig::paper_default();
     let codes: Vec<String> = if opts.smoke {
@@ -195,5 +418,118 @@ fn main() {
             );
         }
         None => println!("{text}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(date: &str, fp: &str, rows: &[(&str, &str, u64, u64)]) -> String {
+        let entries: Vec<Json> = rows
+            .iter()
+            .map(|(code, input, ccsm, ds)| {
+                Json::Obj(vec![
+                    ("code".into(), Json::Str(code.to_string())),
+                    ("input".into(), Json::Str(input.to_string())),
+                    (
+                        "ccsm".into(),
+                        Json::Obj(vec![("total_cycles".into(), Json::Int(*ccsm))]),
+                    ),
+                    (
+                        "ds".into(),
+                        Json::Obj(vec![("total_cycles".into(), Json::Int(*ds))]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("ds-bench-baseline".into())),
+            ("version".into(), Json::Int(1)),
+            ("date".into(), Json::Str(date.into())),
+            ("config_fingerprint".into(), Json::Str(fp.into())),
+            ("geomean_speedup".into(), Json::Float(1.25)),
+            ("benchmarks".into(), Json::Arr(entries)),
+        ])
+        .pretty()
+    }
+
+    #[test]
+    fn parse_baseline_extracts_cycles() {
+        let b = parse_baseline(&doc("d1", "f1", &[("VA", "small", 100, 80)])).unwrap();
+        assert_eq!(b.date, "d1");
+        assert_eq!(b.fingerprint, "f1");
+        assert!((b.geomean - 1.25).abs() < 1e-12);
+        assert_eq!(
+            b.entries,
+            vec![BaselineEntry {
+                code: "VA".into(),
+                input: "small".into(),
+                ccsm_cycles: 100,
+                ds_cycles: 80,
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_baseline_rejects_foreign_documents() {
+        assert!(parse_baseline("{\"schema\": \"other\"}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+
+    #[test]
+    fn identical_baselines_have_no_regressions() {
+        let rows = [("VA", "small", 100, 80), ("BS", "small", 200, 150)];
+        let b = parse_baseline(&doc("d", "f", &rows)).unwrap();
+        let (report, regressions) = render_diff(&b, &b, 5.0);
+        assert_eq!(regressions, 0);
+        assert!(report.contains("OK: no cycle regression"));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_is_flagged() {
+        let old = parse_baseline(&doc("d1", "f", &[("VA", "small", 100, 100)])).unwrap();
+        // ds mode got 6% slower: past the 5% gate. ccsm is unchanged.
+        let new = parse_baseline(&doc("d2", "f", &[("VA", "small", 100, 106)])).unwrap();
+        let (report, regressions) = render_diff(&old, &new, 5.0);
+        assert_eq!(regressions, 1);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("FAIL: 1 cycle regression"));
+    }
+
+    #[test]
+    fn regression_within_tolerance_passes() {
+        let old = parse_baseline(&doc("d1", "f", &[("VA", "small", 100, 100)])).unwrap();
+        let new = parse_baseline(&doc("d2", "f", &[("VA", "small", 104, 105)])).unwrap();
+        // +4% and exactly +5%: both inside the (strictly greater) gate.
+        let (_, regressions) = render_diff(&old, &new, 5.0);
+        assert_eq!(regressions, 0);
+    }
+
+    #[test]
+    fn speedups_count_as_improvements_not_regressions() {
+        let old = parse_baseline(&doc("d1", "f", &[("VA", "small", 100, 100)])).unwrap();
+        let new = parse_baseline(&doc("d2", "f", &[("VA", "small", 50, 40)])).unwrap();
+        let (report, regressions) = render_diff(&old, &new, 5.0);
+        assert_eq!(regressions, 0);
+        assert!(report.contains("-50.00%"));
+    }
+
+    #[test]
+    fn unmatched_entries_are_reported_not_compared() {
+        let old = parse_baseline(&doc("d1", "f", &[("VA", "small", 100, 80)])).unwrap();
+        let new = parse_baseline(&doc("d2", "f", &[("BS", "small", 900, 900)])).unwrap();
+        let (report, regressions) = render_diff(&old, &new, 5.0);
+        assert_eq!(regressions, 0);
+        assert!(report.contains("VA     small  dropped from new baseline"));
+        assert!(report.contains("BS     small  new in new baseline"));
+    }
+
+    #[test]
+    fn growth_from_zero_cycles_is_a_regression() {
+        let old = parse_baseline(&doc("d1", "f", &[("VA", "small", 0, 100)])).unwrap();
+        let new = parse_baseline(&doc("d2", "f", &[("VA", "small", 10, 100)])).unwrap();
+        let (_, regressions) = render_diff(&old, &new, 5.0);
+        assert_eq!(regressions, 1);
     }
 }

@@ -10,6 +10,7 @@ use std::fmt;
 
 use ds_cpu::Program;
 use ds_gpu::KernelTrace;
+use ds_probe::LineLens;
 use ds_xlat::{AllocationPlan, TranslateError, Translator};
 
 use crate::{Mode, RunReport, System, SystemConfig};
@@ -261,6 +262,39 @@ impl Pipeline {
         }
         let report = system.run(build.program, build.kernels);
         Ok((report, system.into_tracer()))
+    }
+
+    /// Like [`Pipeline::run_one_instrumented`], but also hands back
+    /// the per-cacheline [`LineLens`] with full event histories (the
+    /// report only carries its aggregate [`ds_probe::LensReport`]) —
+    /// the `dslens` CLI's forensics views are built from this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Translate`] if the scenario's source
+    /// fails translation (direct-store modes only).
+    pub fn run_one_lensed<T: ds_probe::Tracer>(
+        &self,
+        scenario: &dyn Scenario,
+        input: InputSize,
+        mode: Mode,
+        tracer: T,
+        epoch_window: Option<u64>,
+    ) -> Result<(RunReport, T, LineLens), PipelineError> {
+        let plan = if mode.pushes() {
+            let translation = Translator::new().translate(&scenario.source(input))?;
+            Some(translation.plan)
+        } else {
+            None
+        };
+        let build = scenario.build(plan.as_ref(), input);
+        let mut system = System::with_tracer(self.cfg.clone(), mode, tracer);
+        if let Some(window) = epoch_window {
+            system.enable_epochs(window);
+        }
+        let report = system.run(build.program, build.kernels);
+        let (tracer, lens) = system.into_instruments();
+        Ok((report, tracer, lens))
     }
 
     /// Runs `scenario` under CCSM and under direct store, returning

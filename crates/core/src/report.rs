@@ -4,7 +4,7 @@ use std::fmt;
 
 use ds_cache::CacheStats;
 use ds_noc::XbarStats;
-use ds_probe::{EpochSample, LatencyReport, StageBreakdown};
+use ds_probe::{EpochSample, LatencyReport, LensReport, StageBreakdown};
 use ds_sim::Cycle;
 
 use crate::Mode;
@@ -77,6 +77,13 @@ pub struct RunReport {
     /// completed transaction the stage cycles sum exactly to its
     /// end-to-end latency.
     pub stages: StageBreakdown,
+    /// Per-cacheline forensics aggregated over the run: push efficacy
+    /// (useful / dead / clobbered, reconciling exactly against
+    /// `gpu_l2.pushed_fills`), sharing pathologies (ping-pong,
+    /// write-after-push), first-touch / reuse histograms, and
+    /// per-slice / per-bank / per-link traffic heatmaps. Collected
+    /// unconditionally (like [`RunReport::latency`]).
+    pub lens: LensReport,
     /// Windowed activity series; empty unless epoch sampling was
     /// enabled (`System::enable_epochs`).
     pub epochs: Vec<EpochSample>,
@@ -162,6 +169,7 @@ mod tests {
             events: 0,
             latency: LatencyReport::new(),
             stages: StageBreakdown::new(),
+            lens: LensReport::empty(),
             epochs: Vec::new(),
             epoch_window: 0,
         }

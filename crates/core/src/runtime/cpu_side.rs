@@ -32,6 +32,12 @@ impl<T: Tracer> System<T> {
         let info = self
             .coh_net
             .send_info(self.now, PortId(sp), PortId(dp), class);
+        self.lens.net_msg(
+            NetId::Coherence,
+            sp as u8,
+            dp as u8,
+            class == MsgClass::Data,
+        );
         self.trace(
             Component::Net {
                 net: NetId::Coherence,
@@ -60,6 +66,8 @@ impl<T: Tracer> System<T> {
         let info = self
             .direct_net
             .send_info(self.now, PortId(src), PortId(dst), class);
+        self.lens
+            .net_msg(NetId::Direct, src as u8, dst as u8, class == MsgClass::Data);
         self.trace(
             Component::Net { net: NetId::Direct },
             Some(msg.line().index()),
@@ -161,6 +169,7 @@ impl<T: Tracer> System<T> {
         let push = is_direct && self.mode.pushes();
         let before = self.sb.len();
         if self.sb.push(line, push) {
+            self.lens.cpu_store(line.index(), push, self.now.as_u64());
             if self.sb.len() > before {
                 // A genuinely new entry (not a same-line coalesce):
                 // mirror it in the txn FIFO. Only direct pushes are

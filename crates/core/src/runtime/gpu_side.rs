@@ -40,6 +40,12 @@ impl<T: Tracer> System<T> {
         line: LineAddr,
     ) -> Cycle {
         let info = self.gpu_net.send_info(at, src, dst, class);
+        self.lens.net_msg(
+            NetId::GpuInternal,
+            src.0 as u8,
+            dst.0 as u8,
+            class == MsgClass::Data,
+        );
         self.trace(
             Component::Net {
                 net: NetId::GpuInternal,
@@ -362,7 +368,7 @@ impl<T: Tracer> System<T> {
                 .is_some_and(|st| st.can_read())
             {
                 self.gpu_l2[s].record_hit(line);
-                self.trace_slice_hit(slice, line);
+                self.note_slice_hit(slice, line, false, true);
                 self.respond_gpu_load(slice, waiter, line);
                 return;
             }
@@ -372,7 +378,7 @@ impl<T: Tracer> System<T> {
             match self.gpu_l2[s].array.access(line).copied() {
                 Some(HammerState::MM) => {
                     self.gpu_l2[s].record_hit(line);
-                    self.trace_slice_hit(slice, line);
+                    self.note_slice_hit(slice, line, true, true);
                 }
                 Some(HammerState::M) => {
                     *self.gpu_l2[s]
@@ -380,7 +386,7 @@ impl<T: Tracer> System<T> {
                         .state_mut(line)
                         .expect("state checked above") = HammerState::MM;
                     self.gpu_l2[s].record_hit(line);
-                    self.trace_slice_hit(slice, line);
+                    self.note_slice_hit(slice, line, true, true);
                 }
                 Some(HammerState::S) | Some(HammerState::O) | Some(HammerState::I) | None => {
                     self.slice_miss(slice, line, ReqKind::GetX, waiter);
@@ -389,27 +395,40 @@ impl<T: Tracer> System<T> {
         }
     }
 
-    /// Traces a demand hit at a slice (push-provenance resolved here
-    /// so the emission site stays one line).
-    pub(super) fn trace_slice_hit(&mut self, slice: u8, line: LineAddr) {
-        if T::ENABLED {
-            let push_hit = self.gpu_l2[slice as usize].pushed.contains(&line);
-            self.trace(
-                Component::GpuL2 { slice },
-                Some(line.index()),
-                TraceKind::Hit { push_hit },
-            );
-        }
+    /// Notes a demand hit at a slice: updates the line lens
+    /// (push-provenance resolved here so every emission site stays one
+    /// line) and traces the event. `gpu` distinguishes GPU demand
+    /// accesses from uncached CPU read-backs — only the former count
+    /// as consumption of a pushed line.
+    pub(super) fn note_slice_hit(&mut self, slice: u8, line: LineAddr, write: bool, gpu: bool) {
+        let push_hit = self.gpu_l2[slice as usize].pushed.contains(&line);
+        self.lens.slice_hit(
+            slice as usize,
+            line.index(),
+            write,
+            push_hit,
+            gpu,
+            self.now.as_u64(),
+        );
+        self.trace(
+            Component::GpuL2 { slice },
+            Some(line.index()),
+            TraceKind::Hit { push_hit },
+        );
     }
 
-    /// Traces a demand miss at a slice.
-    pub(super) fn trace_slice_miss(
+    /// Notes a demand miss at a slice (lens + trace; see
+    /// [`System::note_slice_hit`] for `gpu`).
+    pub(super) fn note_slice_miss(
         &mut self,
         slice: u8,
         line: LineAddr,
         write: bool,
         miss_kind: MissKind,
+        gpu: bool,
     ) {
+        self.lens
+            .slice_miss(slice as usize, line.index(), write, gpu, self.now.as_u64());
         self.trace(
             Component::GpuL2 { slice },
             Some(line.index()),
@@ -432,7 +451,7 @@ impl<T: Tracer> System<T> {
             MshrOutcome::Primary => {
                 if waiter != Waiter::Prefetch {
                     let miss_kind = self.gpu_l2[s].record_miss(line);
-                    self.trace_slice_miss(slice, line, kind == ReqKind::GetX, miss_kind);
+                    self.note_slice_miss(slice, line, kind == ReqKind::GetX, miss_kind, true);
                 }
                 if self.mode.coherent() {
                     let requester = Agent::GpuL2(slice);
@@ -461,7 +480,7 @@ impl<T: Tracer> System<T> {
             MshrOutcome::Secondary => {
                 if waiter != Waiter::Prefetch {
                     let miss_kind = self.gpu_l2[s].record_miss(line);
-                    self.trace_slice_miss(slice, line, kind == ReqKind::GetX, miss_kind);
+                    self.note_slice_miss(slice, line, kind == ReqKind::GetX, miss_kind, true);
                 }
                 self.stage_advance(waiter_txn(waiter), Stage::MshrWait, self.now);
             }
@@ -550,9 +569,15 @@ impl<T: Tracer> System<T> {
     }
 
     /// Installs a line into a slice, handling the victim writeback.
-    pub(super) fn fill_slice(&mut self, slice: u8, line: LineAddr, state: HammerState) {
+    /// `push` distinguishes direct-store pushes (lens-recorded at the
+    /// PutX site, where the push is classified) from demand fills.
+    pub(super) fn fill_slice(&mut self, slice: u8, line: LineAddr, state: HammerState, push: bool) {
         let s = slice as usize;
+        if !push {
+            self.lens.demand_fill(s, line.index(), self.now.as_u64());
+        }
         if let Some((victim, dirty)) = self.gpu_l2[s].fill(line, state) {
+            self.lens.evict(s, victim.index(), dirty, self.now.as_u64());
             if dirty {
                 if self.mode.coherent() {
                     self.coh_send(
@@ -614,7 +639,7 @@ impl<T: Tracer> System<T> {
             ReqKind::GetX => HammerState::MM,
             ReqKind::GetS => HammerState::M,
         };
-        self.fill_slice(slice, line, state);
+        self.fill_slice(slice, line, state, false);
         self.dispatch_slice_waiters(slice, line, state, waiters);
         self.drain_slice_stalled(slice);
     }
@@ -623,7 +648,7 @@ impl<T: Tracer> System<T> {
     /// missed at a slice (`Ev::DirectReadMemDone`).
     pub(super) fn direct_read_mem_done(&mut self, slice: u8, line: LineAddr) {
         // Install clean-exclusive: the GPU is the line's home.
-        self.fill_slice(slice, line, HammerState::M);
+        self.fill_slice(slice, line, HammerState::M, false);
         self.direct_send_to_cpu(slice, ds_coherence::DirectMsg::ReadResp { line }, None);
     }
 

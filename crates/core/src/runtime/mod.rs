@@ -28,8 +28,8 @@ use ds_gpu::{GpuL1, KernelTrace, L1Valid, Sm};
 use ds_mem::{Dram, DramAccessInfo, LineAddr};
 use ds_noc::Xbar;
 use ds_probe::{
-    Component, EpochRecorder, EpochTotals, LatencyReport, NullTracer, Stage, StageTracker,
-    TraceEvent, TraceKind, Tracer,
+    Component, EpochRecorder, EpochTotals, LatencyReport, LineLens, NullTracer, Stage,
+    StageTracker, TraceEvent, TraceKind, Tracer,
 };
 use ds_sim::{Cycle, EventQueue};
 
@@ -170,6 +170,9 @@ pub struct System<T: Tracer = NullTracer> {
     /// Per-transaction stage accounting (unconditional, like
     /// `probes`).
     stages: StageTracker,
+    /// Per-cacheline lifetime forensics (unconditional, like `probes`
+    /// and `stages`: never feeds back into timing).
+    lens: LineLens,
     /// Next stage-accounting transaction id.
     txn_seq: u64,
     /// Stage transactions of store-buffer entries, mirroring the
@@ -315,6 +318,7 @@ impl<T: Tracer> System<T> {
             probes: LatencyReport::new(),
             epochs: None,
             stages: StageTracker::new(),
+            lens: LineLens::new(slices, cfg.dram.total_banks() as usize),
             txn_seq: 0,
             sb_txns: VecDeque::new(),
             coh_req_obs: HashMap::new(),
@@ -363,6 +367,17 @@ impl<T: Tracer> System<T> {
         self.tracer
     }
 
+    /// The per-cacheline lens, for inspection mid- or post-run.
+    pub fn lens(&self) -> &LineLens {
+        &self.lens
+    }
+
+    /// Consumes the system, yielding its tracer and the per-line lens
+    /// (with every line's full event history).
+    pub fn into_instruments(self) -> (T, LineLens) {
+        (self.tracer, self.lens)
+    }
+
     /// The latency histograms recorded so far.
     pub fn latency(&self) -> &LatencyReport {
         &self.probes
@@ -395,6 +410,8 @@ impl<T: Tracer> System<T> {
         self.probes
             .dram_queue
             .record(info.done.saturating_since(at));
+        self.lens
+            .dram_access(info.bank as usize, write, info.row_hit);
         self.trace(
             Component::DramBank { bank: info.bank },
             Some(line.index()),
@@ -556,7 +573,75 @@ impl<T: Tracer> System<T> {
             "stage sums must telescope to end-to-end load latency"
         );
         debug_assert_eq!(self.stages.breakdown().pushes, self.direct_pushes);
+        // Close still-open pushes (installed but never consumed) so
+        // the useful/dead/clobbered partition is total, then check it
+        // reconciles against every independently-kept counter.
+        self.lens.finalize(self.now.as_u64());
+        if cfg!(debug_assertions) {
+            self.check_lens_reconciliation();
+        }
         self.report()
+    }
+
+    /// Asserts the lens's derived aggregates agree exactly with the
+    /// counters the caches, DRAM and crossbars keep on their own.
+    /// Debug-only (called from [`System::run`]); `dslens --check`
+    /// re-proves the same identities from a release build's report.
+    fn check_lens_reconciliation(&self) {
+        let lr = self.lens.report();
+        let mut pushed_fills = 0;
+        for (s, slice) in self.gpu_l2.iter().enumerate() {
+            let row = &lr.slices[s];
+            assert_eq!(row.hits, slice.stats.hits.value(), "slice {s} hits");
+            assert_eq!(row.misses, slice.stats.misses.value(), "slice {s} misses");
+            assert_eq!(
+                row.push_fills,
+                slice.stats.pushed_fills.value(),
+                "slice {s} push fills"
+            );
+            assert_eq!(
+                row.push_hits,
+                slice.stats.push_hits.value(),
+                "slice {s} push hits"
+            );
+            assert_eq!(
+                row.evictions,
+                slice.stats.evictions.value(),
+                "slice {s} evictions"
+            );
+            assert_eq!(
+                row.writebacks,
+                slice.stats.writebacks.value(),
+                "slice {s} writebacks"
+            );
+            pushed_fills += slice.stats.pushed_fills.value();
+        }
+        assert_eq!(
+            lr.push_total(),
+            pushed_fills,
+            "useful+dead+clobbered must partition the installed pushes"
+        );
+        assert_eq!(lr.push_bypasses, self.push_bypasses);
+        assert_eq!(lr.first_touch.samples(), lr.push_useful);
+        let (reads, writes, row_hits) = lr.banks.iter().fold((0, 0, 0), |(r, w, h), b| {
+            (r + b.reads, w + b.writes, h + b.row_hits)
+        });
+        assert_eq!(reads, self.dram.stats().reads.value(), "bank read sums");
+        assert_eq!(writes, self.dram.stats().writes.value(), "bank write sums");
+        assert_eq!(
+            row_hits,
+            self.dram.stats().row_hits.value(),
+            "bank row-hit sums"
+        );
+        for (net, xbar) in [
+            (ds_probe::NetId::Coherence, &self.coh_net),
+            (ds_probe::NetId::Direct, &self.direct_net),
+            (ds_probe::NetId::GpuInternal, &self.gpu_net),
+        ] {
+            let (control, data) = lr.net_sums(net);
+            assert_eq!(control, xbar.stats().control_msgs, "{} control", net.name());
+            assert_eq!(data, xbar.stats().data_msgs, "{} data", net.name());
+        }
     }
 
     fn finished(&self) -> bool {
@@ -677,6 +762,7 @@ impl<T: Tracer> System<T> {
             events: self.queue.total_pushed(),
             latency: self.probes.clone(),
             stages: self.stages.breakdown().clone(),
+            lens: self.lens.report(),
             epochs: self
                 .epochs
                 .as_ref()

@@ -246,7 +246,7 @@ impl<T: Tracer> System<T> {
                 self.gpu_l2[s].pushed.remove(&line);
                 let (kind, waiters) = self.gpu_l2[s].complete_miss(line);
                 let state = grant_state(kind, exclusive);
-                self.fill_slice(slice, line, state);
+                self.fill_slice(slice, line, state, false);
                 self.coh_send(
                     Agent::GpuL2(slice),
                     Agent::MemCtrl,
@@ -303,6 +303,8 @@ impl<T: Tracer> System<T> {
         if next == HammerState::I {
             self.gpu_l2[s].array.invalidate(line);
             self.gpu_l2[s].pushed.remove(&line);
+            self.lens
+                .invalidate(s, line.index(), false, self.now.as_u64());
         } else if next != state {
             *self.gpu_l2[s]
                 .array
@@ -351,6 +353,8 @@ impl<T: Tracer> System<T> {
                 if self.gpu_l2[s].array.invalidate(line).is_some() {
                     self.push_overwrites += 1;
                     self.gpu_l2[s].pushed.remove(&line);
+                    self.lens
+                        .invalidate(s, line.index(), true, self.now.as_u64());
                     self.trace(
                         Component::GpuL2 { slice },
                         Some(line.index()),
@@ -370,6 +374,7 @@ impl<T: Tracer> System<T> {
                     && self.gpu_l2[s].array.set_is_full(line)
                 {
                     self.push_bypasses += 1;
+                    self.lens.push_bypass(s, line.index(), self.now.as_u64());
                     self.trace(
                         Component::GpuL2 { slice },
                         Some(line.index()),
@@ -386,12 +391,13 @@ impl<T: Tracer> System<T> {
                 debug_assert_eq!(t.stable_next(), Some(HammerState::MM));
                 self.gpu_l2[s].stats.pushed_fills.incr();
                 self.gpu_l2[s].classifier.mark_seen(line);
+                self.lens.push_fill(s, line.index(), self.now.as_u64());
                 self.trace(
                     Component::GpuL2 { slice },
                     Some(line.index()),
                     TraceKind::PushFill,
                 );
-                self.fill_slice(slice, line, HammerState::MM);
+                self.fill_slice(slice, line, HammerState::MM, true);
                 self.gpu_l2[s].pushed.insert(line);
                 self.direct_send_to_cpu(slice, DirectMsg::PutXAck { line }, txn);
             }
@@ -403,11 +409,11 @@ impl<T: Tracer> System<T> {
                     .is_some_and(|st| st.can_read())
                 {
                     self.gpu_l2[s].record_hit(line);
-                    self.trace_slice_hit(slice, line);
+                    self.note_slice_hit(slice, line, false, false);
                     self.direct_send_to_cpu(slice, DirectMsg::ReadResp { line }, None);
                 } else {
                     let miss_kind = self.gpu_l2[s].record_miss(line);
-                    self.trace_slice_miss(slice, line, false, miss_kind);
+                    self.note_slice_miss(slice, line, false, miss_kind, false);
                     let done = self.dram_access(self.now + self.cfg.gpu_l2_latency, line, false);
                     self.queue.push(done, Ev::DirectReadMemDone { slice, line });
                 }

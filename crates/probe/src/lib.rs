@@ -27,7 +27,15 @@
 //!   (telescoping intervals: stage sums equal end-to-end latency
 //!   exactly), aggregated as a [`StageBreakdown`]; the [`xray`] module
 //!   stitches `StageMark`/`TxnDone` trace events back into
-//!   per-transaction records and critical paths for the `dsxray` CLI.
+//!   per-transaction records and critical paths for the `dsxray` CLI;
+//! * **per-cacheline forensics** — [`LineLens`] records every touched
+//!   line's cycle-stamped event history (stores, pushes, fills, hits,
+//!   invalidations, evictions) and derives push efficacy
+//!   (useful / dead / clobbered, reconciling exactly against
+//!   `pushed_fills`), sharing forensics (ping-pong, write-after-push,
+//!   reuse distances, first-touch latency) and per-slice / per-bank /
+//!   per-link traffic heatmaps, aggregated as a [`LensReport`] for the
+//!   `dslens` CLI.
 //!
 //! The crate deliberately depends only on `ds-sim`: events carry raw
 //! line indices (`u64`), not typed addresses, so every other model
@@ -38,6 +46,7 @@ mod epoch;
 mod event;
 pub mod jsonl;
 mod latency;
+mod lens;
 mod stage;
 mod tracer;
 pub mod xray;
@@ -48,5 +57,9 @@ pub use epoch::{
 };
 pub use event::{Component, NetId, TraceEvent, TraceKind};
 pub use latency::LatencyReport;
+pub use lens::{
+    BankTraffic, LensReport, LineEvent, LineEventKind, LineHistory, LineLens, LinkTraffic,
+    SliceTraffic,
+};
 pub use stage::{Stage, StageBreakdown, StageTracker, TxnPath};
 pub use tracer::{BufferTracer, NullTracer, Tracer};

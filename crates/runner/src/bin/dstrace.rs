@@ -141,6 +141,25 @@ fn parse_options(args: &[String]) -> Options {
     opts
 }
 
+/// `--check` exit code for an empty trace: distinct from validation
+/// failure (1) and usage errors (2), so callers can tell "nothing was
+/// recorded" apart from "output malformed". An empty stream passes
+/// every per-line/per-row validation vacuously; that must not read as
+/// success.
+const EXIT_EMPTY_TRACE: i32 = 3;
+
+/// Full `--check` validation: an empty trace fails with
+/// [`EXIT_EMPTY_TRACE`], anything malformed with exit code 1.
+fn check_trace(format: Format, events: usize, text: &str) -> Result<(), (i32, String)> {
+    if events == 0 {
+        return Err((
+            EXIT_EMPTY_TRACE,
+            "trace is empty (no events recorded)".to_string(),
+        ));
+    }
+    check_output(format, text).map_err(|e| (1, e))
+}
+
 /// Validates rendered output before it is written: JSONL must parse
 /// line by line, a Chrome trace as one document, an epoch CSV must
 /// carry its exact header and well-formed, non-overlapping windows.
@@ -264,9 +283,9 @@ fn main() {
     };
 
     if opts.check {
-        if let Err(e) = check_output(opts.format, &text) {
+        if let Err((code, e)) = check_trace(opts.format, events.len(), &text) {
             eprintln!("dstrace: output failed validation: {e}");
-            std::process::exit(1);
+            std::process::exit(code);
         }
     }
 
@@ -298,6 +317,25 @@ mod tests {
             s.push_str(&format!("{start},{end},0,0,0.0000,0,0,0,0,0,0,0\n"));
         }
         s
+    }
+
+    #[test]
+    fn empty_trace_fails_check_with_distinct_code() {
+        for format in [
+            Format::Summary,
+            Format::Jsonl,
+            Format::Chrome,
+            Format::Epochs,
+        ] {
+            let (code, msg) = check_trace(format, 0, "").unwrap_err();
+            assert_eq!(code, EXIT_EMPTY_TRACE);
+            assert!(msg.contains("empty"), "{msg}");
+        }
+        // A non-empty trace with valid output still passes...
+        assert!(check_trace(Format::Jsonl, 3, "{\"a\": 1}\n{\"b\": 2}\n").is_ok());
+        // ...and malformed output still fails with the plain code.
+        let (code, _) = check_trace(Format::Jsonl, 3, "not json\n").unwrap_err();
+        assert_eq!(code, 1);
     }
 
     #[test]

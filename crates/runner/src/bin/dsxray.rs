@@ -240,6 +240,16 @@ fn render(code: &str, input: InputSize, ccsm: &ModeView, ds: &ModeView, top: usi
     out
 }
 
+/// `--check` exit code for an empty trace: every invariant below holds
+/// vacuously over zero transaction records, so an instrumented run
+/// that recorded nothing must fail distinctly rather than "pass".
+const EXIT_EMPTY_TRACE: i32 = 3;
+
+/// True when neither mode's run produced any transaction records.
+fn traces_are_empty(ccsm: &[xray::TxnRecord], ds: &[xray::TxnRecord]) -> bool {
+    ccsm.is_empty() && ds.is_empty()
+}
+
 /// Verifies the accounting invariants for one mode's view; returns a
 /// list of human-readable violations (empty means all hold).
 fn check_view(label: &str, view: &ModeView) -> Vec<String> {
@@ -349,6 +359,10 @@ fn main() {
     let text = render(&opts.code, opts.input, &ccsm, &ds, opts.top);
 
     if opts.check {
+        if traces_are_empty(&ccsm.records, &ds.records) {
+            eprintln!("dsxray: check failed: no transaction records in either mode (empty trace)");
+            std::process::exit(EXIT_EMPTY_TRACE);
+        }
         let mut errs = check_view("ccsm", &ccsm);
         errs.extend(check_view("ds", &ds));
         errs.extend(check_ccsm_quiescence(&ccsm));
@@ -370,5 +384,45 @@ fn main() {
             eprintln!("dsxray: {} {} -> {path}", opts.code, opts.input);
         }
         None => print!("{text}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_detection_requires_both_modes_empty() {
+        let none = xray::stitch(&[]);
+        assert!(traces_are_empty(&none, &none));
+        assert_eq!(
+            EXIT_EMPTY_TRACE, 3,
+            "distinct from failure (1) and usage (2)"
+        );
+    }
+
+    #[test]
+    fn one_nonempty_mode_is_not_an_empty_trace() {
+        use ds_probe::{Component, Stage, TraceEvent, TraceKind};
+        let events = vec![
+            TraceEvent {
+                cycle: 10,
+                component: Component::GpuL1 { sm: 0 },
+                line: Some(4),
+                kind: TraceKind::StageMark {
+                    txn: 1,
+                    stage: Stage::SmL1,
+                },
+            },
+            TraceEvent {
+                cycle: 30,
+                component: Component::GpuL1 { sm: 0 },
+                line: Some(4),
+                kind: TraceKind::TxnDone { txn: 1 },
+            },
+        ];
+        let records = xray::stitch(&events);
+        assert_eq!(records.len(), 1);
+        assert!(!traces_are_empty(&records, &xray::stitch(&[])));
     }
 }

@@ -9,7 +9,10 @@
 use ds_cache::CacheStats;
 use ds_core::{Comparison, InputSize, Mode, RunReport};
 use ds_noc::XbarStats;
-use ds_probe::{EpochSample, EpochTotals, LatencyReport, Stage, StageBreakdown};
+use ds_probe::{
+    BankTraffic, EpochSample, EpochTotals, LatencyReport, LensReport, LinkTraffic, NetId,
+    SliceTraffic, Stage, StageBreakdown,
+};
 use ds_sim::{Cycle, Histogram};
 
 use crate::json::Json;
@@ -234,6 +237,152 @@ fn epoch_from_json(json: &Json) -> Result<EpochSample, String> {
     })
 }
 
+fn parse_net(name: &str) -> Option<NetId> {
+    [NetId::Coherence, NetId::Direct, NetId::GpuInternal]
+        .into_iter()
+        .find(|n| n.name() == name)
+}
+
+/// Serializes the per-cacheline forensics: efficacy/pathology scalars,
+/// the two line histograms, and the three spatial matrices (slices and
+/// banks as fixed-order integer rows, links as `[net, src, dst,
+/// control, data]` tuples in the report's sorted order).
+fn lens_to_json(l: &LensReport) -> Json {
+    Json::Obj(vec![
+        ("push_useful".into(), Json::Int(l.push_useful)),
+        ("push_dead".into(), Json::Int(l.push_dead)),
+        ("push_clobbered".into(), Json::Int(l.push_clobbered)),
+        ("push_bypasses".into(), Json::Int(l.push_bypasses)),
+        ("write_after_push".into(), Json::Int(l.write_after_push)),
+        ("ping_pongs".into(), Json::Int(l.ping_pongs)),
+        ("lines_touched".into(), Json::Int(l.lines_touched)),
+        ("lines_pushed".into(), Json::Int(l.lines_pushed)),
+        (
+            LensReport::FIRST_TOUCH.into(),
+            histogram_to_json(&l.first_touch),
+        ),
+        (LensReport::REUSE.into(), histogram_to_json(&l.reuse)),
+        (
+            "slices".into(),
+            Json::Arr(
+                l.slices
+                    .iter()
+                    .map(|s| Json::Arr(s.row().iter().map(|&v| Json::Int(v)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "banks".into(),
+            Json::Arr(
+                l.banks
+                    .iter()
+                    .map(|b| Json::Arr(b.row().iter().map(|&v| Json::Int(v)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "links".into(),
+            Json::Arr(
+                l.links
+                    .iter()
+                    .map(|k| {
+                        Json::Arr(vec![
+                            Json::Str(k.net.name().into()),
+                            Json::Int(u64::from(k.src)),
+                            Json::Int(u64::from(k.dst)),
+                            Json::Int(k.control),
+                            Json::Int(k.data),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn lens_from_json(json: &Json) -> Result<LensReport, String> {
+    fn rows<const N: usize>(json: &Json, key: &str) -> Result<Vec<[u64; N]>, String> {
+        json.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing field {key:?} in lens"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .filter(|r| r.len() == N)
+                    .and_then(|r| {
+                        let mut out = [0u64; N];
+                        for (slot, v) in out.iter_mut().zip(r) {
+                            *slot = v.as_u64()?;
+                        }
+                        Some(out)
+                    })
+                    .ok_or_else(|| format!("malformed {key} row in lens"))
+            })
+            .collect()
+    }
+    let slices = rows::<9>(json, "slices")?
+        .into_iter()
+        .map(|[hits, misses, demand_fills, push_fills, push_hits, push_bypasses, evictions, writebacks, invalidations]| {
+            SliceTraffic {
+                hits,
+                misses,
+                demand_fills,
+                push_fills,
+                push_hits,
+                push_bypasses,
+                evictions,
+                writebacks,
+                invalidations,
+            }
+        })
+        .collect();
+    let banks = rows::<3>(json, "banks")?
+        .into_iter()
+        .map(|[reads, writes, row_hits]| BankTraffic {
+            reads,
+            writes,
+            row_hits,
+        })
+        .collect();
+    let links = json
+        .get("links")
+        .and_then(Json::as_arr)
+        .ok_or("missing field \"links\" in lens")?
+        .iter()
+        .map(|row| {
+            let parts = row.as_arr().filter(|r| r.len() == 5);
+            let link = parts.and_then(|r| {
+                Some(LinkTraffic {
+                    net: parse_net(r[0].as_str()?)?,
+                    src: u8::try_from(r[1].as_u64()?).ok()?,
+                    dst: u8::try_from(r[2].as_u64()?).ok()?,
+                    control: r[3].as_u64()?,
+                    data: r[4].as_u64()?,
+                })
+            });
+            link.ok_or_else(|| "malformed link row in lens".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(LensReport {
+        push_useful: u64_field(json, "push_useful")?,
+        push_dead: u64_field(json, "push_dead")?,
+        push_clobbered: u64_field(json, "push_clobbered")?,
+        push_bypasses: u64_field(json, "push_bypasses")?,
+        write_after_push: u64_field(json, "write_after_push")?,
+        ping_pongs: u64_field(json, "ping_pongs")?,
+        lines_touched: u64_field(json, "lines_touched")?,
+        lines_pushed: u64_field(json, "lines_pushed")?,
+        first_touch: histogram_from_json(
+            &sub(json, LensReport::FIRST_TOUCH)?,
+            LensReport::FIRST_TOUCH,
+        )?,
+        reuse: histogram_from_json(&sub(json, LensReport::REUSE)?, LensReport::REUSE)?,
+        slices,
+        banks,
+        links,
+    })
+}
+
 /// Serializes a full run report.
 pub fn report_to_json(r: &RunReport) -> Json {
     Json::Obj(vec![
@@ -279,6 +428,7 @@ pub fn report_to_json(r: &RunReport) -> Json {
         ("dram_row_hits".into(), Json::Int(r.dram_row_hits)),
         ("latency".into(), latency_to_json(&r.latency)),
         ("stages".into(), stages_to_json(&r.stages)),
+        ("lens".into(), lens_to_json(&r.lens)),
         ("epoch_window".into(), Json::Int(r.epoch_window)),
         (
             "epochs".into(),
@@ -391,6 +541,7 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
         dram_row_hits: u64_field(json, "dram_row_hits")?,
         latency: latency_from_json(&sub(json, "latency")?)?,
         stages: stages_from_json(&sub(json, "stages")?)?,
+        lens: lens_from_json(&sub(json, "lens")?)?,
         epochs: json
             .get("epochs")
             .and_then(Json::as_arr)
@@ -413,7 +564,10 @@ pub const REPORT_CSV_HEADER: &str = "benchmark,suite,shared_memory,input,mode,to
      stage_sm_l1,stage_gpu_noc_req,stage_slice_queue,stage_mshr_stall,stage_mshr_wait,\
      stage_coh_req,stage_hub_dir,stage_dram_queue,stage_dram_service,stage_resp_noc,\
      stage_slice_to_sm,stage_sb_wait,stage_direct_noc,stage_direct_ack,\
-     stage_loads,stage_load_cycles,stage_pushes,stage_push_cycles";
+     stage_loads,stage_load_cycles,stage_pushes,stage_push_cycles,\
+     push_eff_useful,push_eff_dead,push_eff_clobbered,\
+     line_write_after_push,line_ping_pongs,line_lines_touched,line_lines_pushed,\
+     line_first_touch_p50,line_first_touch_p99,line_reuse_p50";
 
 /// One per-run CSV row; `suite` / `shared_memory` come from the
 /// benchmark's Table II metadata.
@@ -453,6 +607,20 @@ pub fn report_csv_row(
     row.push_str(&format!(
         ",{},{},{},{}",
         r.stages.loads, r.stages.load_cycles, r.stages.pushes, r.stages.push_cycles
+    ));
+    let l = &r.lens;
+    row.push_str(&format!(
+        ",{},{},{},{},{},{},{},{},{},{}",
+        l.push_useful,
+        l.push_dead,
+        l.push_clobbered,
+        l.write_after_push,
+        l.ping_pongs,
+        l.lines_touched,
+        l.lines_pushed,
+        l.first_touch.percentile(50.0).unwrap_or(0),
+        l.first_touch.percentile(99.0).unwrap_or(0),
+        l.reuse.percentile(50.0).unwrap_or(0)
     ));
     row
 }
@@ -504,6 +672,56 @@ mod tests {
         stages.load_cycles = 761;
         stages.pushes = 1;
         stages.push_cycles = 40;
+        let mut lens = LensReport::empty();
+        lens.push_useful = 6;
+        lens.push_dead = 2;
+        lens.push_clobbered = 1;
+        lens.push_bypasses = 5;
+        lens.write_after_push = 1;
+        lens.ping_pongs = 1;
+        lens.lines_touched = 12;
+        lens.lines_pushed = 8;
+        lens.first_touch.record(35);
+        lens.first_touch.record(90);
+        lens.reuse.record(128);
+        lens.slices = vec![
+            SliceTraffic {
+                hits: 3,
+                misses: 1,
+                demand_fills: 1,
+                push_fills: 9,
+                push_hits: 2,
+                push_bypasses: 5,
+                evictions: 1,
+                writebacks: 0,
+                invalidations: 2,
+            },
+            SliceTraffic::default(),
+        ];
+        lens.banks = vec![
+            BankTraffic {
+                reads: 7,
+                writes: 3,
+                row_hits: 4,
+            },
+            BankTraffic::default(),
+        ];
+        lens.links = vec![
+            LinkTraffic {
+                net: NetId::Coherence,
+                src: 0,
+                dst: 5,
+                control: 10,
+                data: 20,
+            },
+            LinkTraffic {
+                net: NetId::Direct,
+                src: 0,
+                dst: 1,
+                control: 1,
+                data: 42,
+            },
+        ];
         RunReport {
             mode,
             total_cycles: Cycle::new(123_456),
@@ -537,6 +755,7 @@ mod tests {
             dram_row_hits: 4,
             latency,
             stages,
+            lens,
             epochs: vec![
                 EpochSample {
                     index: 0,

@@ -22,8 +22,10 @@ use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report
 
 /// On-disk cache format version; bump on schema changes to orphan old
 /// files. Version 2 added latency histograms and epoch series to the
-/// per-run report; version 3 added the per-stage cycle breakdown.
-const FORMAT_VERSION: u64 = 3;
+/// per-run report; version 3 added the per-stage cycle breakdown;
+/// version 4 added the per-cacheline lens (push efficacy, sharing
+/// forensics, spatial heatmaps).
+const FORMAT_VERSION: u64 = 4;
 
 /// Memo + optional disk cache, keyed by [`TaskKey`].
 #[derive(Debug, Default)]
@@ -256,6 +258,7 @@ mod tests {
             dram_row_hits: 0,
             latency: ds_probe::LatencyReport::new(),
             stages: ds_probe::StageBreakdown::new(),
+            lens: ds_probe::LensReport::empty(),
             epochs: vec![],
             epoch_window: 0,
             events: 0,

@@ -105,3 +105,102 @@ fn recording_tracer_does_not_perturb_the_simulation() {
         "tracing must be observation only"
     );
 }
+
+/// Chrome-trace sink guarantees, on real traced runs: the document is
+/// well-formed JSON, every track's spans begin in non-decreasing
+/// timestamp order (links and banks serialize FIFO, kernels are
+/// sequential), and a CCSM trace renders no direct-network tracks.
+mod chrome_sink {
+    use super::*;
+    use ds_probe::chrome;
+    use ds_runner::json::{self, Json};
+
+    fn chrome_doc(code: &str, mode: Mode) -> Json {
+        let (_, tracer) = traced_run(code, mode);
+        let text = chrome::render(tracer.events());
+        json::parse(&text).expect("chrome trace must be valid JSON")
+    }
+
+    fn trace_events(doc: &Json) -> &[Json] {
+        doc.get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("document has a traceEvents array")
+    }
+
+    #[test]
+    fn direct_store_trace_is_valid_json_with_expected_tracks() {
+        let doc = chrome_doc("VA", Mode::DirectStore);
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("time_unit"))
+                .and_then(Json::as_str),
+            Some("cycles"),
+        );
+        let events = trace_events(&doc);
+        assert!(!events.is_empty());
+        // Both phases appear: naming metadata and complete spans.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("M")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+        // A direct-store run uses the direct network (pid 3).
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("pid").and_then(Json::as_u64) == Some(3)
+        }));
+    }
+
+    #[test]
+    fn span_timestamps_are_monotonic_per_track() {
+        for mode in [Mode::Ccsm, Mode::DirectStore] {
+            let doc = chrome_doc("MM", mode);
+            let mut last_ts: std::collections::HashMap<(u64, u64), u64> =
+                std::collections::HashMap::new();
+            let mut spans = 0;
+            for e in trace_events(&doc) {
+                if e.get("ph").and_then(Json::as_str) != Some("X") {
+                    continue;
+                }
+                let pid = e.get("pid").and_then(Json::as_u64).expect("span has pid");
+                let tid = e.get("tid").and_then(Json::as_u64).expect("span has tid");
+                let ts = e.get("ts").and_then(Json::as_u64).expect("span has ts");
+                if let Some(prev) = last_ts.insert((pid, tid), ts) {
+                    assert!(
+                        ts >= prev,
+                        "track ({pid},{tid}) went backwards: {prev} then {ts}"
+                    );
+                }
+                spans += 1;
+            }
+            assert!(spans > 0, "mode {mode:?} rendered no spans");
+        }
+    }
+
+    #[test]
+    fn ccsm_trace_has_no_direct_network_tracks() {
+        let doc = chrome_doc("VA", Mode::Ccsm);
+        let direct_spans = trace_events(&doc)
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("pid").and_then(Json::as_u64) == Some(3)
+            })
+            .count();
+        assert_eq!(direct_spans, 0, "CCSM must not serialize direct-net spans");
+        // No direct-net link thread is even named: the only pid-3
+        // metadata row is the process name itself.
+        for e in trace_events(&doc) {
+            if e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("pid").and_then(Json::as_u64) == Some(3)
+            {
+                assert_eq!(
+                    e.get("name").and_then(Json::as_str),
+                    Some("process_name"),
+                    "CCSM trace must not name direct-net link threads"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Baseline comparison harness: diffs two BENCH_<date>.json files
+# written by scripts/bench.sh and fails when any benchmark's cycle
+# count regressed beyond the tolerance in either mode. Thin wrapper
+# over `perf_baseline --diff` so CI and humans share one code path.
+#
+# usage: scripts/bench_diff.sh OLD.json NEW.json [--tolerance PCT]
+#
+#   OLD.json         the reference baseline (e.g. last release's)
+#   NEW.json         the freshly measured baseline
+#   --tolerance PCT  regression threshold in percent (default: 5)
+#
+# Exit status: 0 when no mode's cycles grew by more than the
+# tolerance, 1 on a regression (or unreadable input), 2 on usage
+# errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[ $# -ge 2 ] || {
+  echo "usage: scripts/bench_diff.sh OLD.json NEW.json [--tolerance PCT]" >&2
+  exit 2
+}
+old="$1"
+new="$2"
+shift 2
+
+tolerance=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tolerance)
+      shift
+      [ $# -gt 0 ] || { echo "bench_diff.sh: --tolerance needs a value" >&2; exit 2; }
+      tolerance="$1"
+      ;;
+    *) echo "bench_diff.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+for f in "$old" "$new"; do
+  test -s "$f" || { echo "bench_diff.sh: $f is missing or empty" >&2; exit 1; }
+done
+
+echo "==> perf_baseline --diff $old $new${tolerance:+ --tolerance $tolerance}"
+cargo run --release -q -p ds-bench --bin perf_baseline -- \
+  --diff "$old" "$new" ${tolerance:+--tolerance "$tolerance"}

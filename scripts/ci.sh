@@ -41,7 +41,13 @@ cargo run --release -q -p ds-runner --bin dsxray -- \
   --bench VA --input small --check --out "$smoke_dir/va-xray.txt"
 test -s "$smoke_dir/va-xray.txt"
 
+echo "==> dslens reconciliation audit (full catalog, both modes)"
+cargo run --release -q -p ds-runner --bin dslens -- --check
+
 echo "==> bench.sh schema smoke"
 scripts/bench.sh --smoke --out "$smoke_dir/bench-smoke.json"
+
+echo "==> bench_diff.sh regression gate (smoke baseline vs itself)"
+scripts/bench_diff.sh "$smoke_dir/bench-smoke.json" "$smoke_dir/bench-smoke.json"
 
 echo "==> ci.sh: all gates passed"
