@@ -117,6 +117,14 @@ impl<W> MshrFile<W> {
     pub fn stalls(&self) -> u64 {
         self.stalls
     }
+
+    /// The in-flight lines with their waiter counts, sorted by line —
+    /// a deterministic snapshot for watchdog diagnostics.
+    pub fn lines(&self) -> Vec<(LineAddr, usize)> {
+        let mut out: Vec<_> = self.entries.iter().map(|(&l, w)| (l, w.len())).collect();
+        out.sort_unstable_by_key(|&(l, _)| l.index());
+        out
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod config;
+pub mod fault;
 pub mod pipeline;
 pub mod report;
 pub mod runtime;
@@ -61,6 +62,7 @@ pub mod topology;
 pub mod trace;
 
 pub use config::{Mode, SystemConfig};
+pub use fault::{FaultDomain, FaultPlan, FaultRoll, NetFaultRates, SimAbort};
 pub use pipeline::{Comparison, InputSize, Pipeline, PipelineError, Scenario, ScenarioBuild};
 pub use report::RunReport;
 pub use runtime::System;

@@ -13,7 +13,7 @@ use ds_gpu::KernelTrace;
 use ds_probe::LineLens;
 use ds_xlat::{AllocationPlan, TranslateError, Translator};
 
-use crate::{Mode, RunReport, System, SystemConfig};
+use crate::{FaultPlan, Mode, RunReport, System, SystemConfig};
 
 /// A benchmark-sized input selector (Table II's "small" / "big").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +68,14 @@ pub enum PipelineError {
     /// A benchmark code the catalog does not know (raised by runners
     /// that look scenarios up by code rather than holding them).
     UnknownBenchmark(String),
+    /// The simulation panicked; the payload is the panic message
+    /// (raised by harnesses that isolate runs with `catch_unwind`).
+    Panicked(String),
+    /// The simulation exceeded the harness's wall-clock budget.
+    TimedOut,
+    /// The protocol watchdog aborted the run (deadlock or livelock
+    /// under fault injection); the payload is the diagnostic dump.
+    Aborted(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -77,6 +85,9 @@ impl fmt::Display for PipelineError {
             PipelineError::UnknownBenchmark(code) => {
                 write!(f, "unknown benchmark code {code:?} (see Table II)")
             }
+            PipelineError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+            PipelineError::TimedOut => write!(f, "simulation timed out"),
+            PipelineError::Aborted(diag) => write!(f, "simulation aborted: {diag}"),
         }
     }
 }
@@ -85,7 +96,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Translate(e) => Some(e),
-            PipelineError::UnknownBenchmark(_) => None,
+            _ => None,
         }
     }
 }
@@ -262,6 +273,36 @@ impl Pipeline {
         }
         let report = system.run(build.program, build.kernels);
         Ok((report, system.into_tracer()))
+    }
+
+    /// Runs `scenario` once under `mode` with `plan`'s faults injected
+    /// and the protocol watchdog armed (ds-chaos). With an inactive
+    /// plan this is equivalent to [`Pipeline::run_one`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Translate`] on translation failure and
+    /// [`PipelineError::Aborted`] when the watchdog detects deadlock
+    /// or livelock (the message carries the diagnostic dump).
+    pub fn run_one_faulted(
+        &self,
+        scenario: &dyn Scenario,
+        input: InputSize,
+        mode: Mode,
+        plan: &FaultPlan,
+    ) -> Result<RunReport, PipelineError> {
+        let alloc = if mode.pushes() {
+            let translation = Translator::new().translate(&scenario.source(input))?;
+            Some(translation.plan)
+        } else {
+            None
+        };
+        let build = scenario.build(alloc.as_ref(), input);
+        let mut system = System::with_tracer(self.cfg.clone(), mode, ds_probe::NullTracer);
+        system.set_fault_plan(plan.clone());
+        system
+            .try_run(build.program, build.kernels)
+            .map_err(|abort| PipelineError::Aborted(abort.to_string()))
     }
 
     /// Like [`Pipeline::run_one_instrumented`], but also hands back

@@ -64,6 +64,19 @@ pub struct RunReport {
     pub hub_probes: u64,
     /// DRAM row-buffer hits.
     pub dram_row_hits: u64,
+    /// Direct-store pushes drained from the store buffer (equals
+    /// `direct_pushes + pushes_degraded`: every attempt is either
+    /// acknowledged or degraded — the ds-chaos no-silent-loss
+    /// invariant).
+    pub pushes_attempted: u64,
+    /// Push retries sent by the ack-timeout protocol (only nonzero
+    /// under an active fault plan with retries enabled).
+    pub pushes_retried: u64,
+    /// Pushes that exhausted their retries and degraded to the CCSM
+    /// demand path (written to the DRAM home instead).
+    pub pushes_degraded: u64,
+    /// Faults injected by the run's fault plan (zero without one).
+    pub faults_injected: u64,
     /// Total simulation events processed (simulator-effort metric).
     pub events: u64,
     /// Sim-wide latency distributions (GPU load-to-use, direct-push
@@ -166,6 +179,10 @@ mod tests {
             hub_conflicts: 0,
             hub_probes: 0,
             dram_row_hits: 0,
+            pushes_attempted: 0,
+            pushes_retried: 0,
+            pushes_degraded: 0,
+            faults_injected: 0,
             events: 0,
             latency: LatencyReport::new(),
             stages: StageBreakdown::new(),

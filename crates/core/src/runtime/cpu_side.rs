@@ -14,7 +14,8 @@ use ds_mem::{LineAddr, VirtAddr};
 use ds_noc::{MsgClass, PortId};
 use ds_probe::{Component, NetId, Stage, TraceKind, Tracer};
 
-use super::{CpuBlock, Ev, System, Waiter};
+use super::{CpuBlock, Delivery, Ev, System, Waiter};
+use crate::fault::{FaultDomain, SimAbort};
 
 /// Fixed cost of dispatching a kernel launch from the CPU to the GPU
 /// front-end (driver + command processor), in cycles.
@@ -52,7 +53,14 @@ impl<T: Tracer> System<T> {
                 arrive: info.arrival.as_u64(),
             },
         );
-        self.queue.push(info.arrival, Ev::Coh { dst, msg });
+        match self.fault_delivery(FaultDomain::CohNet, info.arrival) {
+            Delivery::Deliver(at) => self.queue.push(at, Ev::Coh { dst, msg }),
+            Delivery::Drop => {}
+            Delivery::Duplicate(a, b) => {
+                self.queue.push(a, Ev::Coh { dst, msg });
+                self.queue.push(b, Ev::Coh { dst, msg });
+            }
+        }
     }
 
     /// Sends a direct-network message over ports `src → dst`, tracing
@@ -87,21 +95,33 @@ impl<T: Tracer> System<T> {
     /// is the stage-accounting transaction riding the message, if any.
     pub(super) fn direct_send_to_slice(&mut self, slice: u8, msg: DirectMsg, txn: Option<u64>) {
         let arrival = self.direct_send(0, 1 + slice as usize, &msg);
-        self.queue.push(
-            arrival,
-            Ev::DirectAtSlice {
-                slice,
-                msg,
-                slotted: false,
-                txn,
-            },
-        );
+        let ev = Ev::DirectAtSlice {
+            slice,
+            msg,
+            slotted: false,
+            txn,
+        };
+        match self.fault_delivery(FaultDomain::DirectNet, arrival) {
+            Delivery::Deliver(at) => self.queue.push(at, ev),
+            Delivery::Drop => {}
+            Delivery::Duplicate(a, b) => {
+                self.queue.push(a, ev);
+                self.queue.push(b, ev);
+            }
+        }
     }
 
     /// Sends a direct-network message from a slice back to the CPU.
     pub(super) fn direct_send_to_cpu(&mut self, slice: u8, msg: DirectMsg, txn: Option<u64>) {
         let arrival = self.direct_send(1 + slice as usize, 0, &msg);
-        self.queue.push(arrival, Ev::DirectAtCpu { msg, txn });
+        match self.fault_delivery(FaultDomain::DirectNet, arrival) {
+            Delivery::Deliver(at) => self.queue.push(at, Ev::DirectAtCpu { msg, txn }),
+            Delivery::Drop => {}
+            Delivery::Duplicate(a, b) => {
+                self.queue.push(a, Ev::DirectAtCpu { msg, txn });
+                self.queue.push(b, Ev::DirectAtCpu { msg, txn });
+            }
+        }
     }
 
     fn translate_cpu(&mut self, va: VirtAddr) -> (LineAddr, bool, u64) {
@@ -282,6 +302,21 @@ impl<T: Tracer> System<T> {
                 // The stage transaction rides the PUTX (the message
                 // whose acknowledgement completes the push).
                 self.stage_advance(txn, Stage::DirectNoc, self.now);
+                self.pushes_attempted += 1;
+                if self.faults.retries_enabled() {
+                    let txn = txn.expect("direct entries are always tracked");
+                    self.inflight_pushes.insert(
+                        txn,
+                        super::PushTrack {
+                            line: entry.line,
+                            attempt: 0,
+                        },
+                    );
+                    self.queue.push(
+                        self.now + self.faults.backoff(0),
+                        Ev::PushTimeout { txn, attempt: 0 },
+                    );
+                }
                 let slice = ds_coherence::msg::slice_index(entry.line);
                 self.direct_send_to_slice(slice, DirectMsg::GetX { line: entry.line }, None);
                 self.direct_send_to_slice(slice, DirectMsg::PutX { line: entry.line }, txn);
@@ -505,6 +540,22 @@ impl<T: Tracer> System<T> {
     pub(super) fn on_direct_at_cpu(&mut self, msg: DirectMsg, txn: Option<u64>) {
         match msg {
             DirectMsg::PutXAck { line } => {
+                if self.faults.retries_enabled() {
+                    // Under the retry protocol an ack only counts if
+                    // the push is still tracked: duplicated acks,
+                    // acks from superseded attempts, and acks landing
+                    // after degradation are all stale.
+                    let tracked = txn.is_some_and(|t| self.inflight_pushes.remove(&t).is_some());
+                    if !tracked {
+                        return;
+                    }
+                } else if self.faults.is_active()
+                    && !self.inflight_stores.iter().any(|(e, _)| e.line == line)
+                {
+                    // Faults without retries: a duplicated ack can
+                    // arrive for a drain that already completed.
+                    return;
+                }
                 self.direct_pushes += 1;
                 self.stage_finish(txn, self.now);
                 let started = self.complete_drain(line);
@@ -516,8 +567,61 @@ impl<T: Tracer> System<T> {
                     TraceKind::PushDone { latency },
                 );
             }
-            DirectMsg::ReadResp { .. } => self.resume_cpu_load(),
+            DirectMsg::ReadResp { .. } => {
+                // A duplicated response can land after the original
+                // already resumed the CPU; only the first one counts.
+                if self.faults.is_active() && self.cpu.block != CpuBlock::Load {
+                    return;
+                }
+                self.resume_cpu_load();
+            }
             other => unreachable!("unexpected direct message at CPU: {other:?}"),
         }
+    }
+
+    /// The ack timeout for a tracked push fired (`Ev::PushTimeout`).
+    /// Re-sends the push with exponential backoff up to `max_retries`,
+    /// then degrades it to the CCSM demand path: write the line to its
+    /// DRAM home and let the GPU miss on it.
+    pub(super) fn on_push_timeout(&mut self, txn: u64, attempt: u32) {
+        let Some(track) = self.inflight_pushes.get(&txn).copied() else {
+            return; // Acked (or degraded) before the timeout fired.
+        };
+        if track.attempt != attempt {
+            return; // Stale timeout from a superseded attempt.
+        }
+        let line = track.line;
+        if attempt >= self.faults.max_retries {
+            self.inflight_pushes.remove(&txn);
+            self.pushes_degraded += 1;
+            self.lens.push_degraded();
+            self.dram_access(self.now, line, true);
+            self.stage_finish(Some(txn), self.now);
+            self.complete_drain(line);
+            return;
+        }
+        let count = {
+            let r = self.push_line_retries.entry(line.index()).or_insert(0);
+            *r += 1;
+            *r
+        };
+        if count > self.faults.livelock_retries {
+            let diag = self.chaos_diagnostic(&format!("line {line} retried {count} times"));
+            self.abort = Some(SimAbort::Livelock(diag));
+            return;
+        }
+        let next = attempt + 1;
+        if let Some(t) = self.inflight_pushes.get_mut(&txn) {
+            t.attempt = next;
+        }
+        self.pushes_retried += 1;
+        self.stage_advance(Some(txn), Stage::DirectNoc, self.now);
+        let slice = ds_coherence::msg::slice_index(line);
+        self.direct_send_to_slice(slice, DirectMsg::GetX { line }, None);
+        self.direct_send_to_slice(slice, DirectMsg::PutX { line }, Some(txn));
+        self.queue.push(
+            self.now + self.faults.backoff(next),
+            Ev::PushTimeout { txn, attempt: next },
+        );
     }
 }

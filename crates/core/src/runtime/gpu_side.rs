@@ -9,7 +9,8 @@ use ds_noc::{MsgClass, PortId};
 use ds_probe::{Component, NetId, Stage, TraceKind, Tracer};
 use ds_sim::Cycle;
 
-use super::{CpuBlock, Ev, System, Waiter};
+use super::{CpuBlock, Delivery, Ev, System, Waiter};
+use crate::fault::FaultDomain;
 
 /// The stage-accounting transaction of a waiter, when it carries one
 /// (only GPU loads are tracked).
@@ -256,21 +257,26 @@ impl<T: Tracer> System<T> {
         );
         self.stage_advance(Some(txn), Stage::GpuNocReq, depart);
         self.stage_advance(Some(txn), Stage::SliceQueue, arrival);
-        self.queue.push(
-            arrival + self.cfg.gpu_l2_latency,
-            Ev::SliceDemand {
-                slice,
-                line,
-                write: false,
-                waiter: Waiter::Gpu {
-                    sm: sm as u32,
-                    warp: warp as u32,
-                    issued,
-                    txn,
-                },
-                slotted: false,
+        let ev = Ev::SliceDemand {
+            slice,
+            line,
+            write: false,
+            waiter: Waiter::Gpu {
+                sm: sm as u32,
+                warp: warp as u32,
+                issued,
+                txn,
             },
-        );
+            slotted: false,
+        };
+        match self.fault_delivery(FaultDomain::GpuNet, arrival + self.cfg.gpu_l2_latency) {
+            Delivery::Deliver(at) => self.queue.push(at, ev),
+            Delivery::Drop => {}
+            Delivery::Duplicate(a, b) => {
+                self.queue.push(a, ev);
+                self.queue.push(b, ev);
+            }
+        }
     }
 
     fn gpu_store(&mut self, sm: usize, line: LineAddr, walk: u64) {
@@ -284,16 +290,21 @@ impl<T: Tracer> System<T> {
             MsgClass::Data,
             line,
         );
-        self.queue.push(
-            arrival + self.cfg.gpu_l2_latency,
-            Ev::SliceDemand {
-                slice,
-                line,
-                write: true,
-                waiter: Waiter::GpuStore,
-                slotted: false,
-            },
-        );
+        let ev = Ev::SliceDemand {
+            slice,
+            line,
+            write: true,
+            waiter: Waiter::GpuStore,
+            slotted: false,
+        };
+        match self.fault_delivery(FaultDomain::GpuNet, arrival + self.cfg.gpu_l2_latency) {
+            Delivery::Deliver(at) => self.queue.push(at, ev),
+            Delivery::Drop => {}
+            Delivery::Duplicate(a, b) => {
+                self.queue.push(a, ev);
+                self.queue.push(b, ev);
+            }
+        }
     }
 
     /// A memory response reaches a warp (`Ev::MemArrive`).
@@ -551,15 +562,20 @@ impl<T: Tracer> System<T> {
                     line,
                 );
                 self.gpu_l1s[sm as usize].fill(line);
-                self.queue.push(
-                    arrival,
-                    Ev::MemArrive {
-                        sm,
-                        warp,
-                        issued,
-                        txn,
-                    },
-                );
+                let ev = Ev::MemArrive {
+                    sm,
+                    warp,
+                    issued,
+                    txn,
+                };
+                match self.fault_delivery(FaultDomain::GpuNet, arrival) {
+                    Delivery::Deliver(at) => self.queue.push(at, ev),
+                    Delivery::Drop => {}
+                    Delivery::Duplicate(a, b) => {
+                        self.queue.push(a, ev);
+                        self.queue.push(b, ev);
+                    }
+                }
             }
             Waiter::GpuStore | Waiter::Prefetch => {}
             Waiter::CpuLoad | Waiter::CpuStoreDrain => {

@@ -35,6 +35,7 @@ use ds_sim::{Cycle, EventQueue};
 
 pub(crate) use coh_cache::CohCache;
 
+use crate::fault::{FaultDomain, FaultPlan, FaultRoll, SimAbort, FAULT_DOMAINS};
 use crate::{Mode, RunReport, SystemConfig};
 
 /// Safety valve: a run issuing more events than this is assumed to be
@@ -121,6 +122,11 @@ enum Ev {
     DirectReadMemDone { slice: u8, line: LineAddr },
     /// Start the next queued kernel.
     KernelStart,
+    /// The ack timeout for a tracked direct-store push fired
+    /// (`attempt` is the attempt it guards; stale timeouts after an
+    /// ack or a newer attempt are ignored). Only scheduled when the
+    /// fault plan enables the retry protocol.
+    PushTimeout { txn: u64, attempt: u32 },
 }
 
 /// What the CPU core is blocked on, if anything.
@@ -142,6 +148,26 @@ struct CpuExec {
     program: Program,
     pc: usize,
     block: CpuBlock,
+}
+
+/// Retry-protocol state for one in-flight (unacked) direct-store push.
+#[derive(Debug, Clone, Copy)]
+struct PushTrack {
+    /// Line being pushed (needed to degrade or re-send).
+    line: LineAddr,
+    /// Current attempt, 0-based (attempt 0 is the original send).
+    attempt: u32,
+}
+
+/// What the fault layer decided for one scheduled message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Delivery {
+    /// Deliver at the given cycle (the unfaulted arrival by default).
+    Deliver(Cycle),
+    /// Silently drop the message.
+    Drop,
+    /// Deliver twice: once on time, once late.
+    Duplicate(Cycle, Cycle),
 }
 
 /// The full-system model. Construct with [`System::new`] (or
@@ -232,6 +258,23 @@ pub struct System<T: Tracer = NullTracer> {
     first_kernel_start: Option<Cycle>,
     last_kernel_end: Cycle,
     kernel_spans: Vec<(Cycle, Cycle)>,
+
+    // Fault injection and recovery (ds-chaos). All of this is inert —
+    // zero extra events, zero counter changes — unless the plan is
+    // active.
+    faults: FaultPlan,
+    /// Per-domain fault-decision sequence numbers.
+    fault_seq: [u64; FAULT_DOMAINS],
+    faults_injected: u64,
+    pushes_attempted: u64,
+    pushes_retried: u64,
+    pushes_degraded: u64,
+    /// Unacked pushes under the retry protocol: txn → track state.
+    inflight_pushes: HashMap<u64, PushTrack>,
+    /// Cumulative retries per line index (livelock detection).
+    push_line_retries: HashMap<u64, u32>,
+    /// Set by handlers (livelock trip) for the run loop to surface.
+    abort: Option<SimAbort>,
 }
 
 impl System {
@@ -331,9 +374,30 @@ impl<T: Tracer> System<T> {
             first_kernel_start: None,
             last_kernel_end: Cycle::ZERO,
             kernel_spans: Vec::new(),
+            faults: FaultPlan::default(),
+            fault_seq: [0; FAULT_DOMAINS],
+            faults_injected: 0,
+            pushes_attempted: 0,
+            pushes_retried: 0,
+            pushes_degraded: 0,
+            inflight_pushes: HashMap::new(),
+            push_line_retries: HashMap::new(),
+            abort: None,
             cfg,
             mode,
         }
+    }
+
+    /// Installs a fault plan for the next run. An inactive plan (the
+    /// default) leaves the system bit-identical to one without the
+    /// fault layer.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The configuration this system was built with.
@@ -397,16 +461,57 @@ impl<T: Tracer> System<T> {
         }
     }
 
+    /// One fault decision for a message scheduled to arrive at
+    /// `arrival` on `domain`'s network. With an inactive plan this is
+    /// `Deliver(arrival)` with zero side effects; under faults it may
+    /// drop, duplicate or delay, counting each injection.
+    pub(super) fn fault_delivery(&mut self, domain: FaultDomain, arrival: Cycle) -> Delivery {
+        if !self.faults.is_active() {
+            return Delivery::Deliver(arrival);
+        }
+        let seq = self.fault_seq[domain as usize];
+        self.fault_seq[domain as usize] += 1;
+        let late = arrival + self.faults.net_rates(domain).delay_cycles.max(1);
+        match self.faults.roll_net(domain, seq) {
+            FaultRoll::Deliver => Delivery::Deliver(arrival),
+            FaultRoll::Drop => {
+                self.faults_injected += 1;
+                Delivery::Drop
+            }
+            FaultRoll::Duplicate => {
+                self.faults_injected += 1;
+                Delivery::Duplicate(arrival, late)
+            }
+            FaultRoll::Delay => {
+                self.faults_injected += 1;
+                Delivery::Deliver(late)
+            }
+        }
+    }
+
     /// Routes every DRAM access so queue latency and bank occupancy
     /// are observed exactly once per access. Returns the full access
     /// timing for callers that attribute queueing vs. service time.
+    ///
+    /// Fault injection happens here, at the system boundary: a stalled
+    /// (or stuck) bank pushes the *observed* completion cycle out
+    /// while the DRAM model's internal bank bookkeeping keeps its
+    /// unfaulted timing.
     pub(super) fn dram_access_info(
         &mut self,
         at: Cycle,
         line: LineAddr,
         write: bool,
     ) -> DramAccessInfo {
-        let info = self.dram.access_info(at, line, write);
+        let mut info = self.dram.access_info(at, line, write);
+        if self.faults.is_active() {
+            let seq = self.fault_seq[FaultDomain::Dram as usize];
+            self.fault_seq[FaultDomain::Dram as usize] += 1;
+            if let Some(extra) = self.faults.roll_dram(info.bank, seq) {
+                self.faults_injected += 1;
+                info.done += extra;
+            }
+        }
         self.probes
             .dram_queue
             .record(info.done.saturating_since(at));
@@ -517,8 +622,39 @@ impl<T: Tracer> System<T> {
     ///
     /// Panics on deadlock (the event queue empties before the run
     /// finishes) or livelock (more than two billion events) — both
-    /// indicate model bugs, not workload conditions.
+    /// indicate model bugs, not workload conditions — and on a
+    /// watchdog abort under an active fault plan (use
+    /// [`System::try_run`] to handle those as values).
     pub fn run(&mut self, program: Program, kernels: Vec<KernelTrace>) -> RunReport {
+        match self.try_run(program, kernels) {
+            Ok(report) => report,
+            Err(abort) => panic!("{abort}"),
+        }
+    }
+
+    /// [`System::run`], but watchdog aborts under an active fault plan
+    /// (deadlock / livelock, each with a diagnostic dump of
+    /// outstanding MSHRs and transaction stages) come back as
+    /// `Err(SimAbort)` instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimAbort::Deadlock`] when no event fires for more
+    /// than `watchdog_gap` cycles (or the queue empties) with work
+    /// still outstanding, and [`SimAbort::Livelock`] when one line
+    /// exceeds the cumulative push-retry bound. Both only trigger
+    /// while the fault plan is active; fault-free model bugs keep
+    /// their original panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock/livelock with an *inactive* plan, and on
+    /// exceeding the global event limit.
+    pub fn try_run(
+        &mut self,
+        program: Program,
+        kernels: Vec<KernelTrace>,
+    ) -> Result<RunReport, SimAbort> {
         self.cpu = CpuExec {
             program,
             pc: 0,
@@ -526,9 +662,19 @@ impl<T: Tracer> System<T> {
         };
         self.kernels = kernels;
         self.queue.push(Cycle::ZERO, Ev::CpuAdvance);
+        let watchdog = self.faults.is_active();
 
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
+            if watchdog
+                && t.saturating_since(self.now) > self.faults.watchdog_gap
+                && !self.finished()
+            {
+                return Err(SimAbort::Deadlock(self.chaos_diagnostic(&format!(
+                    "no event for {} cycles (next at {t})",
+                    t.saturating_since(self.now)
+                ))));
+            }
             self.now = t;
             if self.epochs.is_some() {
                 let totals = self.epoch_totals();
@@ -537,6 +683,9 @@ impl<T: Tracer> System<T> {
                 }
             }
             self.dispatch(ev);
+            if let Some(abort) = self.abort.take() {
+                return Err(abort);
+            }
             if self.queue.total_pushed() > EVENT_LIMIT {
                 panic!("event limit exceeded: livelocked at {t}");
             }
@@ -548,6 +697,11 @@ impl<T: Tracer> System<T> {
             }
         }
 
+        if watchdog && !self.finished() {
+            return Err(SimAbort::Deadlock(
+                self.chaos_diagnostic("event queue empty with work outstanding"),
+            ));
+        }
         assert!(
             self.finished(),
             "deadlock: queue empty but cpu block = {:?}, sb len = {}, inflight stores = {}, kernel = {:?}",
@@ -572,7 +726,11 @@ impl<T: Tracer> System<T> {
             self.probes.load_to_use.sum(),
             "stage sums must telescope to end-to-end load latency"
         );
-        debug_assert_eq!(self.stages.breakdown().pushes, self.direct_pushes);
+        debug_assert_eq!(
+            self.stages.breakdown().pushes,
+            self.direct_pushes + self.pushes_degraded,
+            "every tracked push either completed or degraded"
+        );
         // Close still-open pushes (installed but never consumed) so
         // the useful/dead/clobbered partition is total, then check it
         // reconciles against every independently-kept counter.
@@ -580,7 +738,64 @@ impl<T: Tracer> System<T> {
         if cfg!(debug_assertions) {
             self.check_lens_reconciliation();
         }
-        self.report()
+        Ok(self.report())
+    }
+
+    /// The watchdog's diagnostic dump: the stuck frontier (CPU block,
+    /// store buffer, in-flight stores and pushes), every MSHR's
+    /// outstanding lines and the stage census of live transactions —
+    /// the ds-xray view of where forward progress died.
+    fn chaos_diagnostic(&self, reason: &str) -> String {
+        use std::fmt::Write as _;
+        let mut d = String::new();
+        let _ = writeln!(d, "reason: {reason}");
+        let _ = writeln!(
+            d,
+            "at cycle {}: cpu block = {:?}, sb len = {}, inflight stores = {}, kernel = {:?}",
+            self.now,
+            self.cpu.block,
+            self.sb.len(),
+            self.inflight_stores.len(),
+            self.running_kernel
+        );
+        let _ = writeln!(
+            d,
+            "pushes: attempted = {}, acked = {}, retried = {}, degraded = {}, unacked = {}",
+            self.pushes_attempted,
+            self.direct_pushes,
+            self.pushes_retried,
+            self.pushes_degraded,
+            self.inflight_pushes.len()
+        );
+        let mut pushes: Vec<_> = self.inflight_pushes.iter().collect();
+        pushes.sort_unstable_by_key(|&(&txn, _)| txn);
+        for (txn, track) in pushes {
+            let _ = writeln!(
+                d,
+                "  unacked push txn {txn}: {} attempt {}",
+                track.line, track.attempt
+            );
+        }
+        let _ = writeln!(d, "cpu_l2 mshrs ({}):", self.cpu_l2.mshr.len());
+        for (line, waiters) in self.cpu_l2.mshr.lines() {
+            let _ = writeln!(d, "  {line}: {waiters} waiter(s)");
+        }
+        for (s, slice) in self.gpu_l2.iter().enumerate() {
+            if slice.mshr.is_empty() {
+                continue;
+            }
+            let _ = writeln!(d, "gpu_l2 slice {s} mshrs ({}):", slice.mshr.len());
+            for (line, waiters) in slice.mshr.lines() {
+                let _ = writeln!(d, "  {line}: {waiters} waiter(s)");
+            }
+        }
+        let census = self.stages.inflight_census();
+        let _ = writeln!(d, "stage transactions in flight ({}):", census.len());
+        for (txn, stage, entered) in census {
+            let _ = writeln!(d, "  txn {txn}: in {stage} since cycle {entered}");
+        }
+        let _ = write!(d, "faults injected so far: {}", self.faults_injected);
+        d
     }
 
     /// Asserts the lens's derived aggregates agree exactly with the
@@ -622,6 +837,7 @@ impl<T: Tracer> System<T> {
             "useful+dead+clobbered must partition the installed pushes"
         );
         assert_eq!(lr.push_bypasses, self.push_bypasses);
+        assert_eq!(lr.push_degraded, self.pushes_degraded, "degraded pushes");
         assert_eq!(lr.first_touch.samples(), lr.push_useful);
         let (reads, writes, row_hits) = lr.banks.iter().fold((0, 0, 0), |(r, w, h), b| {
             (r + b.reads, w + b.writes, h + b.row_hits)
@@ -684,6 +900,7 @@ impl<T: Tracer> System<T> {
             Ev::SliceMemDone { slice, line } => self.slice_mem_done(slice, line),
             Ev::DirectReadMemDone { slice, line } => self.direct_read_mem_done(slice, line),
             Ev::KernelStart => self.kernel_start(),
+            Ev::PushTimeout { txn, attempt } => self.on_push_timeout(txn, attempt),
         }
     }
 
@@ -759,6 +976,10 @@ impl<T: Tracer> System<T> {
             hub_conflicts: self.hub.stats().conflicts.value(),
             hub_probes: self.hub.stats().probes_sent.value(),
             dram_row_hits: self.dram.stats().row_hits.value(),
+            pushes_attempted: self.pushes_attempted,
+            pushes_retried: self.pushes_retried,
+            pushes_degraded: self.pushes_degraded,
+            faults_injected: self.faults_injected,
             events: self.queue.total_pushed(),
             latency: self.probes.clone(),
             stages: self.stages.breakdown().clone(),

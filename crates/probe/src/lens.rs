@@ -266,6 +266,11 @@ pub struct LensReport {
     /// Pushes that bypassed to DRAM on a full set (never installed,
     /// so outside the useful/dead/clobbered partition).
     pub push_bypasses: u64,
+    /// Pushes that exhausted the fault-recovery retries and degraded
+    /// to the CCSM demand path (written to DRAM, never installed —
+    /// outside the partition, like bypasses). Zero without a fault
+    /// plan.
+    pub push_degraded: u64,
     /// Useful pushes whose first GPU touch was a store.
     pub write_after_push: u64,
     /// Pushed-and-used copies re-claimed by the CPU (sharing bounce).
@@ -300,6 +305,7 @@ impl LensReport {
             push_dead: 0,
             push_clobbered: 0,
             push_bypasses: 0,
+            push_degraded: 0,
             write_after_push: 0,
             ping_pongs: 0,
             lines_touched: 0,
@@ -348,6 +354,7 @@ pub struct LineLens {
     push_dead: u64,
     push_clobbered: u64,
     push_bypasses: u64,
+    push_degraded: u64,
     write_after_push: u64,
     ping_pongs: u64,
     first_touch: Histogram,
@@ -380,6 +387,7 @@ impl LineLens {
             push_dead: 0,
             push_clobbered: 0,
             push_bypasses: 0,
+            push_degraded: 0,
             write_after_push: 0,
             ping_pongs: 0,
             first_touch: Histogram::new(LensReport::FIRST_TOUCH),
@@ -396,15 +404,15 @@ impl LineLens {
     }
 
     /// A push installed `line` into `slice`, opening a new efficacy
-    /// interval. A still-open prior push cannot normally exist (the
-    /// push's own GETX invalidates the old copy first); if one does,
-    /// it is closed as clobbered rather than lost.
+    /// interval. A still-open prior push normally cannot exist (the
+    /// push's own GETX invalidates the old copy first), but fault
+    /// injection can duplicate or reorder PUTX/GETX so one may; it is
+    /// closed as clobbered rather than lost.
     pub fn push_fill(&mut self, slice: usize, line: u64, at: u64) {
         self.slices[slice].push_fills += 1;
         let h = record_line(&mut self.lines, line, at, LineEventKind::PushFill);
         h.pushes += 1;
         if let Some(open) = h.open.take() {
-            debug_assert!(false, "push fill over an open push (no GETX between?)");
             if !open.touched {
                 h.clobbered += 1;
                 self.push_clobbered += 1;
@@ -419,6 +427,13 @@ impl LineLens {
         self.slices[slice].push_bypasses += 1;
         self.push_bypasses += 1;
         record_line(&mut self.lines, line, at, LineEventKind::PushBypass);
+    }
+
+    /// A push exhausted its fault-recovery retries and degraded to the
+    /// CCSM demand path. Like a bypass, nothing was installed, so no
+    /// efficacy interval opens.
+    pub fn push_degraded(&mut self) {
+        self.push_degraded += 1;
     }
 
     /// A demand (or prefetch) fill installed `line` into `slice`. A
@@ -618,6 +633,7 @@ impl LineLens {
             push_dead: self.push_dead,
             push_clobbered: self.push_clobbered,
             push_bypasses: self.push_bypasses,
+            push_degraded: self.push_degraded,
             write_after_push: self.write_after_push,
             ping_pongs: self.ping_pongs,
             lines_touched: self.lines.len() as u64,

@@ -266,6 +266,19 @@ impl StageTracker {
     pub fn inflight(&self) -> usize {
         self.inflight.len()
     }
+
+    /// Snapshot of every in-flight transaction as `(txn, stage name,
+    /// cycle it entered that stage)`, sorted by transaction id — the
+    /// deterministic dump the protocol watchdog prints on abort.
+    pub fn inflight_census(&self) -> Vec<(u64, &'static str, u64)> {
+        let mut out: Vec<_> = self
+            .inflight
+            .iter()
+            .map(|(&txn, f)| (txn, f.stage.name(), f.entered))
+            .collect();
+        out.sort_unstable_by_key(|&(txn, _, _)| txn);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -182,11 +182,14 @@ fn render_efficacy(out: &mut String, label: &str, view: &ModeView) {
     }
     out.push_str(&format!(
         "{:22} {:>10}   (set full, to DRAM)\n\
+         {:22} {:>10}   (retries exhausted, to DRAM home)\n\
          {:22} {:>10}   (= direct_pushes = installed + bypassed)\n\
          {:22} {:>10}   (useful first touches + re-hits)\n\
          {:22} {:>10} / {} cycles\n\n",
         "bypassed pushes",
         l.push_bypasses,
+        "degraded pushes",
+        l.push_degraded,
         "drained pushes",
         r.direct_pushes,
         "push hits",
@@ -396,6 +399,13 @@ fn check_view(label: &str, view: &ModeView) -> Vec<String> {
         ),
     );
     check(
+        l.push_degraded == r.pushes_degraded,
+        format!(
+            "lens degraded {} != runtime degraded {}",
+            l.push_degraded, r.pushes_degraded
+        ),
+    );
+    check(
         installed + l.push_bypasses == r.direct_pushes,
         format!(
             "installed {installed} + bypassed {} != drained pushes {}",
@@ -481,11 +491,12 @@ fn check_view(label: &str, view: &ModeView) -> Vec<String> {
 fn check_ccsm_quiescence(view: &ModeView) -> Vec<String> {
     let mut errs = Vec::new();
     let l = &view.report.lens;
-    if l.push_total() != 0 || l.push_bypasses != 0 {
+    if l.push_total() != 0 || l.push_bypasses != 0 || l.push_degraded != 0 {
         errs.push(format!(
-            "ccsm: nonzero push records (partition {}, bypasses {})",
+            "ccsm: nonzero push records (partition {}, bypasses {}, degraded {})",
             l.push_total(),
-            l.push_bypasses
+            l.push_bypasses,
+            l.push_degraded
         ));
     }
     if l.lines_pushed != 0 {

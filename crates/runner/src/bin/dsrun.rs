@@ -12,7 +12,8 @@
 use ds_core::Scenario as _;
 use ds_core::{Comparison, InputSize, Mode, SystemConfig};
 use ds_runner::{
-    comparison_csv_row, comparison_to_json, json::Json, Runner, COMPARISON_CSV_HEADER,
+    comparison_csv_row, comparison_to_json, json::Json, sweep_tasks, Runner, TaskOutcome,
+    COMPARISON_CSV_HEADER,
 };
 
 const USAGE: &str = "usage: dsrun [options]
@@ -30,6 +31,9 @@ options:
                            (default DIR: results)
   --format text|json|csv   output format on stdout (default: text)
   --quiet                  suppress per-job progress lines on stderr
+  --keep-going             do not stop at the first failed task: run
+                           everything, report failures on stderr, and
+                           exit nonzero at the end if any task failed
   --help                   show this help";
 
 struct Options {
@@ -40,6 +44,7 @@ struct Options {
     cache: Option<String>,
     format: Format,
     quiet: bool,
+    keep_going: bool,
 }
 
 #[derive(PartialEq)]
@@ -63,6 +68,7 @@ fn parse_options(args: &[String]) -> Options {
         cache: None,
         format: Format::Text,
         quiet: false,
+        keep_going: false,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -124,6 +130,7 @@ fn parse_options(args: &[String]) -> Options {
                 };
             }
             "--quiet" => opts.quiet = true,
+            "--keep-going" => opts.keep_going = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -148,18 +155,63 @@ fn main() {
     }
 
     let mut all: Vec<Comparison> = Vec::new();
+    let mut failed_tasks = 0usize;
+    if opts.keep_going {
+        // Unknown codes never make it into the sweep's task list, so
+        // surface them here instead of silently dropping them.
+        if let Some(codes) = &opts.codes {
+            for code in codes {
+                if ds_workloads::catalog::by_code(code).is_none() {
+                    eprintln!("dsrun: unknown benchmark code {code:?} (see Table II)");
+                    failed_tasks += 1;
+                }
+            }
+        }
+    }
     for &input in &opts.inputs {
-        let sweep = runner
-            .sweep(&cfg, input, opts.ds_mode, |b| {
-                opts.codes
-                    .as_ref()
-                    .is_none_or(|codes| codes.iter().any(|c| c == b.code()))
-            })
-            .unwrap_or_else(|e| {
-                eprintln!("dsrun: {e}");
-                std::process::exit(1);
-            });
-        all.extend(sweep);
+        let filter = |b: &ds_workloads::Benchmark| {
+            opts.codes
+                .as_ref()
+                .is_none_or(|codes| codes.iter().any(|c| c == b.code()))
+        };
+        if opts.keep_going {
+            // Run every task and fold only fully-successful pairs into
+            // comparisons; failures are reported and counted.
+            let tasks = sweep_tasks(&cfg, input, opts.ds_mode, filter);
+            let outcomes = runner.run_tasks_outcomes(&tasks);
+            for (pair, outs) in tasks.chunks(2).zip(outcomes.chunks(2)) {
+                if let (Some(ccsm), Some(ds)) = (outs[0].report(), outs[1].report()) {
+                    all.push(Comparison {
+                        code: pair[0].code.clone(),
+                        input,
+                        ccsm: ccsm.clone(),
+                        direct_store: ds.clone(),
+                    });
+                } else {
+                    for (task, outcome) in pair.iter().zip(outs) {
+                        let detail = match outcome {
+                            TaskOutcome::Panicked(msg) => format!("panicked: {msg}"),
+                            TaskOutcome::TimedOut => "timed out".to_string(),
+                            TaskOutcome::Failed(msg) => msg.clone(),
+                            _ => continue, // this half of the pair was fine
+                        };
+                        failed_tasks += 1;
+                        eprintln!(
+                            "dsrun: {} {} {}: {detail}",
+                            task.code, task.input, task.mode
+                        );
+                    }
+                }
+            }
+        } else {
+            let sweep = runner
+                .sweep(&cfg, input, opts.ds_mode, filter)
+                .unwrap_or_else(|e| {
+                    eprintln!("dsrun: {e}");
+                    std::process::exit(1);
+                });
+            all.extend(sweep);
+        }
     }
 
     if let Some(codes) = &opts.codes {
@@ -170,8 +222,12 @@ fn main() {
                 .iter()
                 .filter(|c| !known.contains(&c.as_str()))
                 .collect();
-            eprintln!("dsrun: unknown benchmark code(s): {missing:?} (see Table II)");
-            std::process::exit(1);
+            // Under --keep-going a known code can also be absent
+            // because its task failed; that is already reported.
+            if !missing.is_empty() && !opts.keep_going {
+                eprintln!("dsrun: unknown benchmark code(s): {missing:?} (see Table II)");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -214,5 +270,9 @@ fn main() {
                 ""
             }
         );
+    }
+    if failed_tasks > 0 {
+        eprintln!("dsrun: {failed_tasks} task(s) failed");
+        std::process::exit(1);
     }
 }

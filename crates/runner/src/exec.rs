@@ -12,9 +12,10 @@
 //! [`Runner::jobs`] call, the `DS_RUNNER_JOBS` environment variable,
 //! and the machine's available parallelism.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::sync::{mpsc, OnceLock};
+use std::time::{Duration, Instant};
 
 use ds_core::{Comparison, InputSize, Mode, Pipeline, PipelineError, RunReport, SystemConfig};
 use ds_workloads::{catalog, Benchmark};
@@ -22,6 +23,101 @@ use ds_workloads::{catalog, Benchmark};
 use crate::fingerprint::config_fingerprint;
 use crate::job::{sweep_tasks, Task, TaskKey};
 use crate::store::ResultStore;
+
+/// How one task ended, for harnesses that must keep going when a run
+/// fails (`Runner::run_tasks_outcomes`). The chaos CLI and the fault
+/// sweeps are built on this: a panicking or deadlocked simulation is a
+/// data point, not a reason to lose the rest of the sweep.
+#[derive(Debug, Clone)]
+pub enum TaskOutcome {
+    /// The run completed with no degraded pushes.
+    Ok(Box<RunReport>),
+    /// The run completed, but at least one direct-store push exhausted
+    /// its retries and degraded to the demand path.
+    Degraded(Box<RunReport>),
+    /// The simulation panicked; payload is the panic message.
+    Panicked(String),
+    /// The simulation exceeded the harness wall-clock budget.
+    TimedOut,
+    /// Any other failure (translation error, unknown benchmark,
+    /// watchdog abort), rendered as text.
+    Failed(String),
+}
+
+impl TaskOutcome {
+    /// The completed report, if the run finished (ok or degraded).
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            TaskOutcome::Ok(r) | TaskOutcome::Degraded(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Short status tag for tables and progress lines.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TaskOutcome::Ok(_) => "ok",
+            TaskOutcome::Degraded(_) => "degraded",
+            TaskOutcome::Panicked(_) => "panicked",
+            TaskOutcome::TimedOut => "timed-out",
+            TaskOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one task's simulation with panics converted to
+/// [`PipelineError::Panicked`] so a crashing run cannot take the
+/// worker pool down with it.
+fn simulate_isolated(task: &Task, bench: &Benchmark) -> Result<RunReport, PipelineError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let pipeline = Pipeline::with_config(task.cfg.clone());
+        if task.faults.is_active() {
+            pipeline.run_one_faulted(bench, task.input, task.mode, &task.faults)
+        } else {
+            pipeline.run_one(bench, task.input, task.mode)
+        }
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(PipelineError::Panicked(panic_message(&payload))),
+    }
+}
+
+/// [`simulate_isolated`] under an optional wall-clock budget. The
+/// timed variant runs the simulation on a detached thread and abandons
+/// it on timeout — the thread is leaked (a simulator offers no
+/// preemption point), which is acceptable for a CLI-lifetime harness
+/// and is why timeouts are opt-in.
+fn simulate_task(
+    task: &Task,
+    bench: &Benchmark,
+    timeout: Option<Duration>,
+) -> Result<RunReport, PipelineError> {
+    let Some(limit) = timeout else {
+        return simulate_isolated(task, bench);
+    };
+    let (tx, rx) = mpsc::channel();
+    let task = task.clone();
+    let bench = bench.clone();
+    std::thread::spawn(move || {
+        let _ = tx.send(simulate_isolated(&task, &bench));
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => result,
+        Err(_) => Err(PipelineError::TimedOut),
+    }
+}
 
 /// Reads `DS_RUNNER_JOBS`, falling back to the machine's available
 /// parallelism.
@@ -58,6 +154,7 @@ pub struct Runner {
     progress: bool,
     store: ResultStore,
     simulations: u64,
+    task_timeout: Option<Duration>,
 }
 
 impl Default for Runner {
@@ -75,12 +172,21 @@ impl Runner {
             progress: true,
             store: ResultStore::new(),
             simulations: 0,
+            task_timeout: None,
         }
     }
 
     /// Sets the worker-thread count (clamped to at least 1).
     pub fn jobs(mut self, n: usize) -> Self {
         self.jobs = n.max(1);
+        self
+    }
+
+    /// Sets a per-task wall-clock budget. A run that exceeds it is
+    /// reported as timed out; its simulation thread is abandoned (see
+    /// `simulate_task` for the trade-off).
+    pub fn task_timeout(mut self, limit: Duration) -> Self {
+        self.task_timeout = Some(limit);
         self
     }
 
@@ -128,7 +234,10 @@ impl Runner {
         }
 
         if !missing.is_empty() {
-            self.execute(tasks, &keys, &missing)?;
+            let failures = self.execute(tasks, &keys, &missing);
+            if let Some(e) = failures.into_iter().flatten().next() {
+                return Err(e);
+            }
         }
 
         Ok(keys
@@ -142,14 +251,68 @@ impl Runner {
             .collect())
     }
 
-    /// Runs the uncached subset in parallel and folds results into the
-    /// store.
+    /// Runs every task like [`Runner::run_tasks`], but never gives up
+    /// on the batch: each task gets a [`TaskOutcome`] — completed
+    /// (clean or with degraded pushes), panicked, timed out, or failed
+    /// — and one bad run does not hide the others' results. Fault
+    /// plans attached via [`Task::with_faults`] are honored here.
+    pub fn run_tasks_outcomes(&mut self, tasks: &[Task]) -> Vec<TaskOutcome> {
+        let keys: Vec<TaskKey> = tasks.iter().map(Task::key).collect();
+
+        let mut missing: Vec<(usize, Benchmark)> = Vec::new();
+        let mut planned = std::collections::HashSet::new();
+        let mut failed: std::collections::HashMap<TaskKey, TaskOutcome> =
+            std::collections::HashMap::new();
+        for (i, (task, key)) in tasks.iter().zip(&keys).enumerate() {
+            if self.store.get(key).is_some() || !planned.insert(key.clone()) {
+                continue;
+            }
+            match catalog::by_code(&task.code) {
+                Some(bench) => missing.push((i, bench)),
+                None => {
+                    let e = PipelineError::UnknownBenchmark(task.code.clone());
+                    failed.insert(key.clone(), TaskOutcome::Failed(e.to_string()));
+                }
+            }
+        }
+
+        if !missing.is_empty() {
+            let failures = self.execute(tasks, &keys, &missing);
+            for ((task_idx, _), failure) in missing.iter().zip(failures) {
+                if let Some(e) = failure {
+                    let outcome = match e {
+                        PipelineError::Panicked(msg) => TaskOutcome::Panicked(msg),
+                        PipelineError::TimedOut => TaskOutcome::TimedOut,
+                        other => TaskOutcome::Failed(other.to_string()),
+                    };
+                    failed.insert(keys[*task_idx].clone(), outcome);
+                }
+            }
+        }
+
+        keys.iter()
+            .map(|key| match self.store.get(key) {
+                Some(report) if report.pushes_degraded > 0 => {
+                    TaskOutcome::Degraded(Box::new(report.clone()))
+                }
+                Some(report) => TaskOutcome::Ok(Box::new(report.clone())),
+                None => failed
+                    .get(key)
+                    .cloned()
+                    .expect("every task either completed or recorded a failure"),
+            })
+            .collect()
+    }
+
+    /// Runs the uncached subset in parallel and folds successes into
+    /// the store. Returns one entry per `missing` item: `None` for a
+    /// memoized success, `Some(error)` otherwise.
     fn execute(
         &mut self,
         tasks: &[Task],
         keys: &[TaskKey],
         missing: &[(usize, Benchmark)],
-    ) -> Result<(), PipelineError> {
+    ) -> Vec<Option<PipelineError>> {
         let total = missing.len();
         let workers = self.jobs.min(total).max(1);
         let progress = self.progress;
@@ -160,6 +323,7 @@ impl Runner {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let simulated = AtomicU64::new(0);
+        let timeout = self.task_timeout;
         let slots: Vec<OnceLock<Result<RunReport, PipelineError>>> =
             (0..total).map(|_| OnceLock::new()).collect();
 
@@ -173,8 +337,7 @@ impl Runner {
                     let (task_idx, bench) = &missing[slot];
                     let task = &tasks[*task_idx];
                     let started = Instant::now();
-                    let result = Pipeline::with_config(task.cfg.clone())
-                        .run_one(bench, task.input, task.mode);
+                    let result = simulate_task(task, bench, timeout);
                     simulated.fetch_add(1, Ordering::Relaxed);
                     if progress {
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -201,9 +364,9 @@ impl Runner {
         });
         self.simulations += simulated.into_inner();
 
-        // Fold results in task order so the returned error (if any) is
+        // Fold results in task order so failure reporting is
         // deterministic regardless of worker scheduling.
-        let mut first_error = None;
+        let mut failures = Vec::with_capacity(missing.len());
         let mut touched_fingerprints = Vec::new();
         for ((task_idx, _), slot) in missing.iter().zip(slots) {
             let key = &keys[*task_idx];
@@ -213,8 +376,9 @@ impl Runner {
                         touched_fingerprints.push(key.fingerprint);
                     }
                     self.store.insert(key.clone(), report);
+                    failures.push(None);
                 }
-                Err(e) => first_error = first_error.or(Some(e)),
+                Err(e) => failures.push(Some(e)),
             }
         }
         if self.store.disk_enabled() {
@@ -226,10 +390,7 @@ impl Runner {
                 self.store.persist(fp, &tasks[*idx].cfg);
             }
         }
-        match first_error {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        failures
     }
 
     /// Runs one benchmark under one mode and configuration.
@@ -333,5 +494,23 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn outcomes_keep_going_past_failures() {
+        let cfg = SystemConfig::paper_default();
+        let mut runner = Runner::new().jobs(2).progress(false);
+        let outcomes = runner.run_tasks_outcomes(&[
+            Task::new(&cfg, "NOPE", InputSize::Small, Mode::Ccsm),
+            Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm),
+        ]);
+        assert_eq!(outcomes.len(), 2);
+        assert!(
+            matches!(&outcomes[0], TaskOutcome::Failed(msg) if msg.contains("NOPE")),
+            "{:?}",
+            outcomes[0].tag()
+        );
+        assert!(matches!(outcomes[1], TaskOutcome::Ok(_)));
+        assert_eq!(outcomes[1].report().unwrap().mode, Mode::Ccsm);
     }
 }

@@ -12,10 +12,10 @@
 
 use std::collections::HashSet;
 
-use ds_core::{InputSize, Mode, Scenario, SystemConfig};
+use ds_core::{FaultPlan, InputSize, Mode, Scenario, SystemConfig};
 use ds_workloads::{catalog, Benchmark};
 
-use crate::fingerprint::config_fingerprint;
+use crate::fingerprint::{config_fingerprint, fnv1a};
 
 /// One simulation to run.
 #[derive(Debug, Clone)]
@@ -28,6 +28,9 @@ pub struct Task {
     pub input: InputSize,
     /// Coherence mode.
     pub mode: Mode,
+    /// Fault plan for ds-chaos runs. Inactive by default (no faults,
+    /// no retries, no watchdog) — plain experiments are unaffected.
+    pub faults: FaultPlan,
 }
 
 impl Task {
@@ -38,7 +41,14 @@ impl Task {
             code: code.to_string(),
             input,
             mode,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Attaches a fault plan (ds-chaos runs).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
     }
 
     /// The task's cache identity.
@@ -48,7 +58,19 @@ impl Task {
             code: self.code.clone(),
             input: self.input,
             mode: self.mode,
+            fault_fp: fault_fingerprint(&self.faults),
         }
+    }
+}
+
+/// The stable fingerprint of a fault plan: `0` when the plan is
+/// inactive (so plain tasks keep their historical identity) and an
+/// FNV-1a hash of the plan's canonical `Debug` rendering otherwise.
+pub fn fault_fingerprint(plan: &FaultPlan) -> u64 {
+    if plan.is_active() {
+        fnv1a(format!("{plan:?}").as_bytes())
+    } else {
+        0
     }
 }
 
@@ -65,6 +87,10 @@ pub struct TaskKey {
     pub input: InputSize,
     /// Coherence mode.
     pub mode: Mode,
+    /// [`fault_fingerprint`] of the task's fault plan (`0` for plain,
+    /// fault-free tasks). Faulted results never alias fault-free ones
+    /// and are excluded from the on-disk cache.
+    pub fault_fp: u64,
 }
 
 /// Expands a comparison sweep into tasks: for every catalog benchmark
@@ -163,6 +189,31 @@ mod tests {
         assert_ne!(
             base,
             Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore).key()
+        );
+    }
+
+    #[test]
+    fn fault_plans_separate_keys_but_inactive_ones_do_not() {
+        let cfg = SystemConfig::paper_default();
+        let plain = Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore);
+        let with_default = plain.clone().with_faults(FaultPlan::default());
+        assert_eq!(
+            plain.key(),
+            with_default.key(),
+            "an inactive plan keeps the historical identity"
+        );
+        assert_eq!(plain.key().fault_fp, 0);
+
+        let mut faulty = FaultPlan::default();
+        faulty.direct_net.drop = 100;
+        let faulted = plain.clone().with_faults(faulty.clone());
+        assert_ne!(plain.key(), faulted.key());
+        let mut other = faulty;
+        other.seed = 1;
+        assert_ne!(
+            faulted.key(),
+            plain.with_faults(other).key(),
+            "seed edits rehash the plan"
         );
     }
 }

@@ -50,9 +50,9 @@ pub mod json;
 pub mod report;
 pub mod store;
 
-pub use exec::{default_jobs, Runner};
+pub use exec::{default_jobs, Runner, TaskOutcome};
 pub use fingerprint::{config_fingerprint, fnv1a};
-pub use job::{dedup_tasks, sweep_tasks, Task, TaskKey};
+pub use job::{dedup_tasks, fault_fingerprint, sweep_tasks, Task, TaskKey};
 pub use report::{
     comparison_csv_row, comparison_to_json, report_csv_row, report_to_json, stages_from_json,
     stages_to_json, COMPARISON_CSV_HEADER, REPORT_CSV_HEADER,

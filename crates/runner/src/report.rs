@@ -253,6 +253,7 @@ fn lens_to_json(l: &LensReport) -> Json {
         ("push_dead".into(), Json::Int(l.push_dead)),
         ("push_clobbered".into(), Json::Int(l.push_clobbered)),
         ("push_bypasses".into(), Json::Int(l.push_bypasses)),
+        ("push_degraded".into(), Json::Int(l.push_degraded)),
         ("write_after_push".into(), Json::Int(l.write_after_push)),
         ("ping_pongs".into(), Json::Int(l.ping_pongs)),
         ("lines_touched".into(), Json::Int(l.lines_touched)),
@@ -368,6 +369,7 @@ fn lens_from_json(json: &Json) -> Result<LensReport, String> {
         push_dead: u64_field(json, "push_dead")?,
         push_clobbered: u64_field(json, "push_clobbered")?,
         push_bypasses: u64_field(json, "push_bypasses")?,
+        push_degraded: u64_field(json, "push_degraded")?,
         write_after_push: u64_field(json, "write_after_push")?,
         ping_pongs: u64_field(json, "ping_pongs")?,
         lines_touched: u64_field(json, "lines_touched")?,
@@ -426,6 +428,10 @@ pub fn report_to_json(r: &RunReport) -> Json {
         ("hub_conflicts".into(), Json::Int(r.hub_conflicts)),
         ("hub_probes".into(), Json::Int(r.hub_probes)),
         ("dram_row_hits".into(), Json::Int(r.dram_row_hits)),
+        ("pushes_attempted".into(), Json::Int(r.pushes_attempted)),
+        ("pushes_retried".into(), Json::Int(r.pushes_retried)),
+        ("pushes_degraded".into(), Json::Int(r.pushes_degraded)),
+        ("faults_injected".into(), Json::Int(r.faults_injected)),
         ("latency".into(), latency_to_json(&r.latency)),
         ("stages".into(), stages_to_json(&r.stages)),
         ("lens".into(), lens_to_json(&r.lens)),
@@ -539,6 +545,10 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
         hub_conflicts: u64_field(json, "hub_conflicts")?,
         hub_probes: u64_field(json, "hub_probes")?,
         dram_row_hits: u64_field(json, "dram_row_hits")?,
+        pushes_attempted: u64_field(json, "pushes_attempted")?,
+        pushes_retried: u64_field(json, "pushes_retried")?,
+        pushes_degraded: u64_field(json, "pushes_degraded")?,
+        faults_injected: u64_field(json, "faults_injected")?,
         latency: latency_from_json(&sub(json, "latency")?)?,
         stages: stages_from_json(&sub(json, "stages")?)?,
         lens: lens_from_json(&sub(json, "lens")?)?,
@@ -567,7 +577,8 @@ pub const REPORT_CSV_HEADER: &str = "benchmark,suite,shared_memory,input,mode,to
      stage_loads,stage_load_cycles,stage_pushes,stage_push_cycles,\
      push_eff_useful,push_eff_dead,push_eff_clobbered,\
      line_write_after_push,line_ping_pongs,line_lines_touched,line_lines_pushed,\
-     line_first_touch_p50,line_first_touch_p99,line_reuse_p50";
+     line_first_touch_p50,line_first_touch_p99,line_reuse_p50,\
+     pushes_retried,pushes_degraded,faults_injected";
 
 /// One per-run CSV row; `suite` / `shared_memory` come from the
 /// benchmark's Table II metadata.
@@ -621,6 +632,10 @@ pub fn report_csv_row(
         l.first_touch.percentile(50.0).unwrap_or(0),
         l.first_touch.percentile(99.0).unwrap_or(0),
         l.reuse.percentile(50.0).unwrap_or(0)
+    ));
+    row.push_str(&format!(
+        ",{},{},{}",
+        r.pushes_retried, r.pushes_degraded, r.faults_injected
     ));
     row
 }
@@ -677,6 +692,7 @@ mod tests {
         lens.push_dead = 2;
         lens.push_clobbered = 1;
         lens.push_bypasses = 5;
+        lens.push_degraded = 1;
         lens.write_after_push = 1;
         lens.ping_pongs = 1;
         lens.lines_touched = 12;
@@ -753,6 +769,10 @@ mod tests {
             hub_conflicts: 2,
             hub_probes: 33,
             dram_row_hits: 4,
+            pushes_attempted: 43,
+            pushes_retried: 2,
+            pushes_degraded: 1,
+            faults_injected: 6,
             latency,
             stages,
             lens,

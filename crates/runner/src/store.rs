@@ -24,8 +24,10 @@ use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report
 /// files. Version 2 added latency histograms and epoch series to the
 /// per-run report; version 3 added the per-stage cycle breakdown;
 /// version 4 added the per-cacheline lens (push efficacy, sharing
-/// forensics, spatial heatmaps).
-const FORMAT_VERSION: u64 = 4;
+/// forensics, spatial heatmaps); version 5 added the ds-chaos fault
+/// and degradation counters (`pushes_attempted`, `pushes_retried`,
+/// `pushes_degraded`, `faults_injected`, lens `push_degraded`).
+const FORMAT_VERSION: u64 = 5;
 
 /// Memo + optional disk cache, keyed by [`TaskKey`].
 #[derive(Debug, Default)]
@@ -86,22 +88,47 @@ impl ResultStore {
             return;
         }
         let path = Self::cache_path(dir, fingerprint);
-        let Ok(text) = std::fs::read_to_string(&path) else {
+        let Ok(bytes) = std::fs::read(&path) else {
             return; // no cache file yet
         };
-        match parse_cache_file(&text, fingerprint) {
+        let parsed = String::from_utf8(bytes)
+            .map_err(|_| "not UTF-8".to_string())
+            .and_then(|text| parse_cache_file(&text, fingerprint));
+        match parsed {
             Ok(entries) => {
                 for (key, report) in entries {
                     self.memo.entry(key).or_insert(report);
                 }
             }
             Err(reason) => {
-                eprintln!(
-                    "ds-runner: ignoring cache file {} ({reason})",
-                    path.display()
-                );
+                let quarantined = Self::quarantine(dir, &path);
+                match quarantined {
+                    Some(dest) => eprintln!(
+                        "ds-runner: quarantined corrupt cache file {} -> {} ({reason})",
+                        path.display(),
+                        dest.display()
+                    ),
+                    None => eprintln!(
+                        "ds-runner: ignoring corrupt cache file {} ({reason}; \
+                         quarantine failed, file left in place)",
+                        path.display()
+                    ),
+                }
             }
         }
+    }
+
+    /// Moves a corrupt cache file into `<dir>/quarantine/` so it stops
+    /// shadowing the slot (the task re-runs and re-persists cleanly)
+    /// while staying available for post-mortem inspection. Returns the
+    /// destination path, or `None` if the move failed.
+    fn quarantine(dir: &Path, path: &Path) -> Option<PathBuf> {
+        let qdir = dir.join("quarantine");
+        std::fs::create_dir_all(&qdir).ok()?;
+        let name = path.file_name()?;
+        let dest = qdir.join(name);
+        std::fs::rename(path, &dest).ok()?;
+        Some(dest)
     }
 
     /// Writes every memoized result for `fingerprint` to its cache
@@ -112,10 +139,14 @@ impl ResultStore {
     /// missing cache only costs re-simulation.
     pub fn persist(&self, fingerprint: u64, config: &SystemConfig) {
         let Some(dir) = &self.disk_dir else { return };
+        // Faulted results (`fault_fp != 0`) are deliberately never
+        // persisted: the cache file schema identifies entries by
+        // (code, input, mode) only, and fault sweeps are cheap,
+        // exploratory runs that would bloat the cache.
         let mut entries: Vec<(&TaskKey, &RunReport)> = self
             .memo
             .iter()
-            .filter(|(k, _)| k.fingerprint == fingerprint)
+            .filter(|(k, _)| k.fingerprint == fingerprint && k.fault_fp == 0)
             .collect();
         entries.sort_by_key(|(k, _)| (k.code.clone(), rank_input(k.input), rank_mode(k.mode)));
         let doc = Json::Obj(vec![
@@ -215,6 +246,7 @@ fn parse_cache_file(
                     code,
                     input,
                     mode,
+                    fault_fp: 0,
                 },
                 report,
             ))
@@ -256,6 +288,10 @@ mod tests {
             hub_conflicts: 0,
             hub_probes: 0,
             dram_row_hits: 0,
+            pushes_attempted: 0,
+            pushes_retried: 0,
+            pushes_degraded: 0,
+            faults_injected: 0,
             latency: ds_probe::LatencyReport::new(),
             stages: ds_probe::StageBreakdown::new(),
             lens: ds_probe::LensReport::empty(),
@@ -304,21 +340,24 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_and_mismatched_files_are_ignored() {
+    fn corrupt_and_mismatched_files_are_quarantined() {
         let dir = tmp_dir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         let cfg = SystemConfig::paper_default();
         let fp = config_fingerprint(&cfg);
         let path = ResultStore::cache_path(&dir, fp);
+        let quarantined = dir.join("quarantine").join(path.file_name().unwrap());
         std::fs::write(&path, "{ not json").unwrap();
 
         let key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
         let mut store = ResultStore::new();
         store.enable_disk(&dir);
         assert!(store.get(&key).is_none(), "corrupt file must not poison");
+        assert!(!path.exists(), "corrupt file moved out of the cache slot");
+        assert!(quarantined.exists(), "corrupt file kept for inspection");
 
         // A syntactically fine file whose fingerprint disagrees with
-        // its name is also rejected.
+        // its name is also quarantined.
         let doc = Json::Obj(vec![
             ("format".into(), Json::Int(FORMAT_VERSION)),
             ("fingerprint".into(), Json::Str("00000000deadbeef".into())),
@@ -329,6 +368,89 @@ mod tests {
         let mut store2 = ResultStore::new();
         store2.enable_disk(&dir);
         assert!(store2.get(&key).is_none());
+        assert!(!path.exists());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_old_version_files_are_quarantined_then_rewritable() {
+        let dir = tmp_dir("quarantine");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SystemConfig::paper_default();
+        let fp = config_fingerprint(&cfg);
+        let key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+        let path = ResultStore::cache_path(&dir, fp);
+
+        // A valid file truncated mid-write (crash, full disk).
+        let mut writer = ResultStore::new();
+        writer.enable_disk(&dir);
+        writer.insert(key.clone(), tiny_report(4242));
+        writer.persist(fp, &cfg);
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let mut store = ResultStore::new();
+        store.enable_disk(&dir);
+        assert!(store.get(&key).is_none(), "truncated file must not load");
+        assert!(!path.exists(), "truncated file quarantined");
+
+        // A file from an older format version.
+        let doc = Json::Obj(vec![
+            ("format".into(), Json::Int(FORMAT_VERSION - 1)),
+            ("fingerprint".into(), Json::Str(format!("{fp:016x}"))),
+            ("config".into(), Json::Str("x".into())),
+            ("entries".into(), Json::Arr(vec![])),
+        ]);
+        std::fs::write(&path, doc.pretty()).unwrap();
+        let mut store2 = ResultStore::new();
+        store2.enable_disk(&dir);
+        assert!(store2.get(&key).is_none(), "old version must not load");
+        assert!(!path.exists(), "old-version file quarantined");
+
+        // Garbage bytes (not even UTF-8 JSON structure).
+        std::fs::write(&path, [0u8, 159, 146, 150, 7, 255]).unwrap();
+        let mut store3 = ResultStore::new();
+        store3.enable_disk(&dir);
+        assert!(store3.get(&key).is_none());
+        assert!(!path.exists(), "garbage file quarantined");
+
+        // The slot is clean again: a fresh persist round-trips.
+        let mut rewriter = ResultStore::new();
+        rewriter.enable_disk(&dir);
+        rewriter.insert(key.clone(), tiny_report(7));
+        rewriter.persist(fp, &cfg);
+        let mut reader = ResultStore::new();
+        reader.enable_disk(&dir);
+        assert_eq!(reader.get(&key).unwrap().total_cycles.as_u64(), 7);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulted_results_stay_out_of_the_disk_cache() {
+        let dir = tmp_dir("faulted");
+        let cfg = SystemConfig::paper_default();
+        let fp = config_fingerprint(&cfg);
+        let mut plan = ds_core::FaultPlan::default();
+        plan.direct_net.drop = 50;
+        let faulted_key = Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore)
+            .with_faults(plan)
+            .key();
+        let plain_key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+
+        let mut writer = ResultStore::new();
+        writer.enable_disk(&dir);
+        writer.insert(faulted_key.clone(), tiny_report(1));
+        writer.insert(plain_key.clone(), tiny_report(2));
+        writer.persist(fp, &cfg);
+
+        let mut reader = ResultStore::new();
+        reader.enable_disk(&dir);
+        assert!(
+            reader.get(&faulted_key).is_none(),
+            "faulted entries are process-local"
+        );
+        assert_eq!(reader.get(&plain_key).unwrap().total_cycles.as_u64(), 2);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -44,6 +44,17 @@ test -s "$smoke_dir/va-xray.txt"
 echo "==> dslens reconciliation audit (full catalog, both modes)"
 cargo run --release -q -p ds-runner --bin dslens -- --check
 
+echo "==> dschaos invariant audit (zero-fault identity + no silent push loss)"
+cargo run --release -q -p ds-runner --bin dschaos -- --check --bench VA --quiet
+
+echo "==> dschaos fault-sweep smoke (survivable drop rates)"
+# Rates above ~256 can sever CPU demand-load replies on VA, which the
+# watchdog (correctly) aborts; the smoke sticks to rates VA survives.
+cargo run --release -q -p ds-runner --bin dschaos -- \
+  --bench VA --rates 0,64,256 --quiet --format csv \
+  > "$smoke_dir/va-chaos.csv"
+test -s "$smoke_dir/va-chaos.csv"
+
 echo "==> bench.sh schema smoke"
 scripts/bench.sh --smoke --out "$smoke_dir/bench-smoke.json"
 
