@@ -28,6 +28,10 @@
 //!   exactly), aggregated as a [`StageBreakdown`]; the [`xray`] module
 //!   stitches `StageMark`/`TxnDone` trace events back into
 //!   per-transaction records and critical paths for the `dsxray` CLI;
+//! * **service metrics** — [`ServiceMetrics`] bundles the `ds-serve`
+//!   job API's request-latency histograms and load counters so the
+//!   server's `/metrics` endpoint shares the histogram machinery with
+//!   the simulator's latency reports;
 //! * **per-cacheline forensics** — [`LineLens`] records every touched
 //!   line's cycle-stamped event history (stores, pushes, fills, hits,
 //!   invalidations, evictions) and derives push efficacy
@@ -47,6 +51,7 @@ mod event;
 pub mod jsonl;
 mod latency;
 mod lens;
+mod service;
 mod stage;
 mod tracer;
 pub mod xray;
@@ -61,5 +66,6 @@ pub use lens::{
     BankTraffic, LensReport, LineEvent, LineEventKind, LineHistory, LineLens, LinkTraffic,
     SliceTraffic,
 };
+pub use service::ServiceMetrics;
 pub use stage::{Stage, StageBreakdown, StageTracker, TxnPath};
 pub use tracer::{BufferTracer, NullTracer, Tracer};

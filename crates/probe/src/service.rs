@@ -1,0 +1,141 @@
+//! Service-side metrics for a long-running simulation server.
+//!
+//! `ds-serve` wraps the runner in an HTTP job API; this module is the
+//! probe-side home of its load metrics so they share the
+//! [`Histogram`] machinery (power-of-two buckets, exact sum/min/max,
+//! p50/p95/p99) with the simulator's latency reports. The struct is
+//! deliberately plain — the server owns locking and the HTTP
+//! rendering; this type only accumulates.
+
+use std::fmt;
+
+use ds_sim::Histogram;
+
+/// Request-latency histograms (microseconds) plus load counters for
+/// the job API. One instance lives behind the server's metrics lock;
+/// every handler records its wall-clock service time here.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// `POST /jobs` handling latency (admission + enqueue), µs.
+    pub submit: Histogram,
+    /// `GET /jobs/<id>` handling latency, µs.
+    pub status: Histogram,
+    /// `GET /jobs/<id>/results` handling latency, µs.
+    pub results: Histogram,
+    /// Per-task queue wait: enqueue to a worker picking it up, µs.
+    pub task_wait: Histogram,
+    /// Per-task service time inside a worker (cache hit or compute), µs.
+    pub task_service: Histogram,
+    /// HTTP requests handled (any endpoint, including errors).
+    pub requests: u64,
+    /// Submissions refused by admission control (queue full).
+    pub rejected: u64,
+    /// Jobs accepted by admission control.
+    pub jobs_accepted: u64,
+    /// Jobs whose every task reached a terminal outcome.
+    pub jobs_completed: u64,
+    /// Tasks that reached a terminal outcome.
+    pub tasks_completed: u64,
+}
+
+impl ServiceMetrics {
+    /// Canonical histogram names, also used by serialized forms.
+    pub const SUBMIT: &'static str = "http_submit_us";
+    /// Name of [`ServiceMetrics::status`].
+    pub const STATUS: &'static str = "http_status_us";
+    /// Name of [`ServiceMetrics::results`].
+    pub const RESULTS: &'static str = "http_results_us";
+    /// Name of [`ServiceMetrics::task_wait`].
+    pub const TASK_WAIT: &'static str = "task_wait_us";
+    /// Name of [`ServiceMetrics::task_service`].
+    pub const TASK_SERVICE: &'static str = "task_service_us";
+
+    /// Five empty histograms, all counters zero.
+    pub fn new() -> Self {
+        ServiceMetrics {
+            submit: Histogram::new(Self::SUBMIT),
+            status: Histogram::new(Self::STATUS),
+            results: Histogram::new(Self::RESULTS),
+            task_wait: Histogram::new(Self::TASK_WAIT),
+            task_service: Histogram::new(Self::TASK_SERVICE),
+            requests: 0,
+            rejected: 0,
+            jobs_accepted: 0,
+            jobs_completed: 0,
+            tasks_completed: 0,
+        }
+    }
+
+    /// The histograms in declaration order, for uniform reporting.
+    pub fn histograms(&self) -> [&Histogram; 5] {
+        [
+            &self.submit,
+            &self.status,
+            &self.results,
+            &self.task_wait,
+            &self.task_service,
+        ]
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats an optional statistic: the value, or `-` when the
+/// histogram was empty and the statistic does not exist.
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests={} rejected={} jobs_accepted={} jobs_completed={} tasks_completed={}",
+            self.requests,
+            self.rejected,
+            self.jobs_accepted,
+            self.jobs_completed,
+            self.tasks_completed
+        )?;
+        for (i, h) in self.histograms().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "{}: n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+                h.name(),
+                h.samples(),
+                h.mean(),
+                opt(h.min()),
+                opt(h.percentile(50.0)),
+                opt(h.percentile(95.0)),
+                opt(h.percentile(99.0)),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_counters_and_all_five_histograms() {
+        let mut m = ServiceMetrics::new();
+        m.requests = 3;
+        m.rejected = 1;
+        m.submit.record(120);
+        let text = m.to_string();
+        assert!(text.starts_with("requests=3 rejected=1"), "{text}");
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("http_submit_us: n=1"), "{text}");
+        assert!(text.contains("task_service_us: n=0"), "{text}");
+    }
+}

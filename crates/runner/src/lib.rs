@@ -15,6 +15,9 @@
 //!   control, results bit-identical to a serial run ([`exec`]).
 //! * [`store::ResultStore`] — in-process memo plus the on-disk JSON
 //!   cache under `results/`, invalidated by fingerprint ([`store`]).
+//! * [`shared::SharedStore`] — the concurrency-safe, single-flight,
+//!   hit/miss-accounted view of the store that `ds-serve` workers
+//!   race on ([`shared`]).
 //! * [`report`] — the machine-readable serializers: JSON and CSV for
 //!   [`RunReport`]s and [`Comparison`]s, shared by every binary.
 //! * `dsrun` — the CLI over all of the above (`src/bin/dsrun.rs`).
@@ -48,6 +51,7 @@ pub mod fingerprint;
 pub mod job;
 pub mod json;
 pub mod report;
+pub mod shared;
 pub mod store;
 
 pub use exec::{default_jobs, Runner, TaskOutcome};
@@ -57,4 +61,5 @@ pub use report::{
     comparison_csv_row, comparison_to_json, report_csv_row, report_to_json, stages_from_json,
     stages_to_json, COMPARISON_CSV_HEADER, REPORT_CSV_HEADER,
 };
+pub use shared::{Provenance, SharedStore, StoreStats};
 pub use store::ResultStore;

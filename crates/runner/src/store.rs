@@ -10,6 +10,9 @@
 //! different (initially absent) file; stale files are simply never
 //! read again. A file whose recorded fingerprint disagrees with its
 //! name — hand-edited or corrupt — is ignored and later overwritten.
+//! Writes are atomic (temp file + rename), so concurrent readers —
+//! other worker threads or whole other processes sharing `results/` —
+//! never observe a torn file.
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -178,10 +181,32 @@ impl ResultStore {
             return;
         }
         let path = Self::cache_path(dir, fingerprint);
-        if let Err(e) = std::fs::write(&path, doc.pretty()) {
+        if let Err(e) = write_atomic(dir, &path, doc.pretty().as_bytes()) {
             eprintln!("ds-runner: cannot write cache {}: {e}", path.display());
         }
     }
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in a
+/// uniquely named temp file in the same directory and is `rename`d
+/// into place, so a concurrent reader sees either the old file or the
+/// new one — never a torn prefix for the quarantine path to eat. The
+/// temp name carries the pid and a process-wide counter so concurrent
+/// writers (threads or processes) never share one.
+fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("cache");
+    let tmp = dir.join(format!(
+        ".{name}.tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
 }
 
 fn rank_input(input: InputSize) -> u8 {
@@ -254,51 +279,57 @@ fn parse_cache_file(
         .collect()
 }
 
+/// A minimal all-zero report for store/shared-store unit tests.
+#[cfg(test)]
+pub(crate) fn test_report(cycles: u64) -> RunReport {
+    use ds_cache::CacheStats;
+    use ds_noc::XbarStats;
+    use ds_sim::Cycle;
+    RunReport {
+        mode: Mode::Ccsm,
+        total_cycles: Cycle::new(cycles),
+        gpu_l2: CacheStats::new(),
+        cpu_l2: CacheStats::new(),
+        gpu_l1: CacheStats::new(),
+        cpu_l1: CacheStats::new(),
+        coh_net: XbarStats::default(),
+        direct_net: XbarStats::default(),
+        gpu_net: XbarStats::default(),
+        dram_reads: 0,
+        dram_writes: 0,
+        direct_pushes: 0,
+        store_buffer_stalls: 0,
+        kernels_run: 0,
+        warps_completed: 0,
+        first_kernel_start: Cycle::ZERO,
+        last_kernel_end: Cycle::ZERO,
+        kernel_spans: vec![],
+        push_bypasses: 0,
+        hub_transactions: 0,
+        hub_conflicts: 0,
+        hub_probes: 0,
+        dram_row_hits: 0,
+        pushes_attempted: 0,
+        pushes_retried: 0,
+        pushes_degraded: 0,
+        faults_injected: 0,
+        latency: ds_probe::LatencyReport::new(),
+        stages: ds_probe::StageBreakdown::new(),
+        lens: ds_probe::LensReport::empty(),
+        epochs: vec![],
+        epoch_window: 0,
+        events: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fingerprint::config_fingerprint;
     use crate::job::Task;
-    use ds_cache::CacheStats;
-    use ds_noc::XbarStats;
-    use ds_sim::Cycle;
 
     fn tiny_report(cycles: u64) -> RunReport {
-        RunReport {
-            mode: Mode::Ccsm,
-            total_cycles: Cycle::new(cycles),
-            gpu_l2: CacheStats::new(),
-            cpu_l2: CacheStats::new(),
-            gpu_l1: CacheStats::new(),
-            cpu_l1: CacheStats::new(),
-            coh_net: XbarStats::default(),
-            direct_net: XbarStats::default(),
-            gpu_net: XbarStats::default(),
-            dram_reads: 0,
-            dram_writes: 0,
-            direct_pushes: 0,
-            store_buffer_stalls: 0,
-            kernels_run: 0,
-            warps_completed: 0,
-            first_kernel_start: Cycle::ZERO,
-            last_kernel_end: Cycle::ZERO,
-            kernel_spans: vec![],
-            push_bypasses: 0,
-            hub_transactions: 0,
-            hub_conflicts: 0,
-            hub_probes: 0,
-            dram_row_hits: 0,
-            pushes_attempted: 0,
-            pushes_retried: 0,
-            pushes_degraded: 0,
-            faults_injected: 0,
-            latency: ds_probe::LatencyReport::new(),
-            stages: ds_probe::StageBreakdown::new(),
-            lens: ds_probe::LensReport::empty(),
-            epochs: vec![],
-            epoch_window: 0,
-            events: 0,
-        }
+        test_report(cycles)
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -451,6 +482,63 @@ mod tests {
             "faulted entries are process-local"
         );
         assert_eq!(reader.get(&plain_key).unwrap().total_cycles.as_u64(), 2);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_persists_and_reads_never_tear() {
+        // Satellite of the ds-serve PR: writers rewrite the same
+        // fingerprint slot while readers load it. With atomic
+        // temp-file + rename writes a reader sees a complete document
+        // or none — never a torn prefix that would be quarantined.
+        let dir = tmp_dir("race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SystemConfig::paper_default();
+        let fp = config_fingerprint(&cfg);
+        let key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let (dir, cfg, key) = (dir.clone(), cfg.clone(), key.clone());
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let mut store = ResultStore::new();
+                        store.enable_disk(&dir);
+                        store.insert(key.clone(), tiny_report(w * 1000 + i));
+                        store.persist(fp, &cfg);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let (dir, key) = (dir.clone(), key.clone());
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let mut store = ResultStore::new();
+                        store.enable_disk(&dir);
+                        // Either absent (not yet written) or a valid
+                        // complete document; a torn read would
+                        // quarantine, which the final assert catches.
+                        let _ = store.get(&key);
+                    }
+                });
+            }
+        });
+
+        assert!(
+            !dir.join("quarantine").exists(),
+            "a reader saw a torn cache file"
+        );
+        let mut reader = ResultStore::new();
+        reader.enable_disk(&dir);
+        assert!(reader.get(&key).is_some(), "final state is a valid file");
+        assert!(
+            !std::fs::read_dir(&dir).unwrap().any(|e| {
+                let name = e.unwrap().file_name();
+                name.to_string_lossy().contains(".tmp-")
+            }),
+            "temp files are renamed or cleaned up"
+        );
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

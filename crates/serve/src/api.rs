@@ -1,0 +1,566 @@
+//! The job API: request routing, submission parsing, JSON rendering.
+//!
+//! ```text
+//! POST /jobs               submit tasks or a sweep; 200 {"job": id}
+//!                          or 429 when admission control refuses
+//! GET  /jobs/<id>          job status and per-task outcome tags
+//! GET  /jobs/<id>/results  per-task results with full RunReport JSON
+//! GET  /metrics            queue depth, store hit rate, histograms
+//! GET  /health             liveness summary
+//! POST /shutdown           graceful shutdown
+//! ```
+//!
+//! A submission body is either an explicit task list or a
+//! CCSM-vs-direct-store sweep (the `dsrun` shape), with optional
+//! config overrides and an optional fault plan:
+//!
+//! ```json
+//! {"tasks": [{"bench": "VA", "input": "small", "mode": "ccsm"}]}
+//! {"sweep": {"bench": ["VA", "MM"], "input": "small", "mode": "ds"},
+//!  "config": {"sms": 8}, "faults": {"net": "direct", "kind": "drop",
+//!  "rate": 64, "seed": 1}}
+//! ```
+//!
+//! Reports are serialized with the same lossless encoder as the
+//! on-disk cache ([`report_to_json`]), so a served result is
+//! byte-identical to the batch CLI's rendering of the same run — the
+//! property the CI smoke gate asserts with `cmp`.
+
+use ds_core::Scenario as _;
+use ds_core::{FaultPlan, InputSize, Mode, SystemConfig};
+use ds_runner::json::{self, Json};
+use ds_runner::report::{parse_input, report_to_json};
+use ds_runner::shared::Provenance;
+use ds_runner::{sweep_tasks, Task, TaskOutcome};
+use ds_workloads::catalog;
+
+use crate::http::{Request, Response};
+use crate::jobs::JobRecord;
+use crate::server::{request_shutdown, ServeState};
+
+/// Routes one request. Never panics: malformed input is a 4xx JSON
+/// error body.
+pub fn handle(state: &ServeState, request: &Request) -> Response {
+    let started = std::time::Instant::now();
+    state.with_metrics(|m| m.requests += 1);
+    let path = request.path.trim_end_matches('/');
+    let response = match (request.method.as_str(), path) {
+        ("POST", "/jobs") => submit(state, &request.body),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/health") => health(state),
+        ("POST", "/shutdown") => {
+            request_shutdown(state);
+            ok(Json::Obj(vec![("ok".into(), Json::Bool(true))]))
+        }
+        ("GET", _) if path.starts_with("/jobs/") => job_route(state, path),
+        (_, "/jobs" | "/metrics" | "/health" | "/shutdown") => {
+            error(405, "method not allowed for this path")
+        }
+        _ => error(404, &format!("no such endpoint {path:?}")),
+    };
+    let elapsed = started.elapsed().as_micros() as u64;
+    state.with_metrics(|m| match (request.method.as_str(), path) {
+        ("POST", "/jobs") => m.submit.record(elapsed),
+        ("GET", p) if p.ends_with("/results") => m.results.record(elapsed),
+        ("GET", p) if p.starts_with("/jobs/") => m.status.record(elapsed),
+        _ => {}
+    });
+    response
+}
+
+fn ok(doc: Json) -> Response {
+    Response::json(200, doc.pretty())
+}
+
+fn error(status: u16, message: &str) -> Response {
+    let doc = Json::Obj(vec![("error".into(), Json::Str(message.into()))]);
+    Response::json(status, doc.pretty())
+}
+
+/// `GET /jobs/<id>` and `GET /jobs/<id>/results`.
+fn job_route(state: &ServeState, path: &str) -> Response {
+    let rest = &path["/jobs/".len()..];
+    let (id_text, results) = match rest.strip_suffix("/results") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return error(400, &format!("bad job id {id_text:?}"));
+    };
+    let Some(job) = state.queue.get(id) else {
+        return error(404, &format!("no such job {id}"));
+    };
+    if results {
+        job_results(&job)
+    } else {
+        job_status(&job)
+    }
+}
+
+fn provenance_name(p: Provenance) -> &'static str {
+    match p {
+        Provenance::Hit => "hit",
+        Provenance::Coalesced => "coalesced",
+        Provenance::Computed => "computed",
+    }
+}
+
+/// The per-task coordinate fields shared by status and results rows.
+fn task_fields(task: &Task) -> Vec<(String, Json)> {
+    vec![
+        ("bench".into(), Json::Str(task.code.clone())),
+        ("input".into(), Json::Str(task.input.to_string())),
+        ("mode".into(), Json::Str(task.mode.to_string())),
+    ]
+}
+
+fn job_status(job: &JobRecord) -> Response {
+    let (job_state, completed, total) = job.snapshot();
+    let results = job.results();
+    let tasks: Vec<Json> = job
+        .tasks
+        .iter()
+        .zip(&results)
+        .map(|(task, slot)| {
+            let mut fields = task_fields(task);
+            match slot {
+                Some(r) => {
+                    fields.push(("outcome".into(), Json::Str(r.outcome.tag().into())));
+                    fields.push((
+                        "provenance".into(),
+                        Json::Str(provenance_name(r.provenance).into()),
+                    ));
+                }
+                None => fields.push(("outcome".into(), Json::Null)),
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    ok(Json::Obj(vec![
+        ("job".into(), Json::Int(job.id)),
+        ("state".into(), Json::Str(job_state.name().into())),
+        ("total".into(), Json::Int(total as u64)),
+        ("completed".into(), Json::Int(completed as u64)),
+        ("tasks".into(), Json::Arr(tasks)),
+    ]))
+}
+
+fn job_results(job: &JobRecord) -> Response {
+    let (job_state, _, _) = job.snapshot();
+    let results = job.results();
+    let rows: Vec<Json> = job
+        .tasks
+        .iter()
+        .zip(&results)
+        .map(|(task, slot)| {
+            let mut fields = task_fields(task);
+            fields.push((
+                "fingerprint".into(),
+                Json::Str(format!("{:016x}", task.key().fingerprint)),
+            ));
+            match slot {
+                Some(r) => {
+                    fields.push(("outcome".into(), Json::Str(r.outcome.tag().into())));
+                    fields.push((
+                        "provenance".into(),
+                        Json::Str(provenance_name(r.provenance).into()),
+                    ));
+                    match &r.outcome {
+                        TaskOutcome::Ok(report) | TaskOutcome::Degraded(report) => {
+                            fields.push(("report".into(), report_to_json(report)));
+                        }
+                        TaskOutcome::Panicked(msg) | TaskOutcome::Failed(msg) => {
+                            fields.push(("detail".into(), Json::Str(msg.clone())));
+                        }
+                        TaskOutcome::TimedOut => {}
+                    }
+                }
+                None => fields.push(("outcome".into(), Json::Null)),
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    ok(Json::Obj(vec![
+        ("job".into(), Json::Int(job.id)),
+        ("state".into(), Json::Str(job_state.name().into())),
+        ("results".into(), Json::Arr(rows)),
+    ]))
+}
+
+fn histogram_json(h: &ds_sim::Histogram) -> Json {
+    let opt = |v: Option<u64>| v.map_or(Json::Null, Json::Int);
+    Json::Obj(vec![
+        ("name".into(), Json::Str(h.name().into())),
+        ("samples".into(), Json::Int(h.samples())),
+        ("mean".into(), Json::Float(h.mean())),
+        ("min".into(), opt(h.min())),
+        ("p50".into(), opt(h.percentile(50.0))),
+        ("p95".into(), opt(h.percentile(95.0))),
+        ("p99".into(), opt(h.percentile(99.0))),
+        ("max".into(), Json::Int(h.max())),
+    ])
+}
+
+fn metrics(state: &ServeState) -> Response {
+    let stats = state.store.stats();
+    let store = Json::Obj(vec![
+        ("requests".into(), Json::Int(stats.requests)),
+        ("hits".into(), Json::Int(stats.hits)),
+        ("coalesced".into(), Json::Int(stats.coalesced)),
+        ("misses".into(), Json::Int(stats.misses)),
+        ("failed".into(), Json::Int(stats.failed)),
+        ("hit_rate".into(), Json::Float(stats.hit_rate())),
+        ("entries".into(), Json::Int(state.store.len() as u64)),
+    ]);
+    let service = state.with_metrics(|m| {
+        Json::Obj(vec![
+            ("requests".into(), Json::Int(m.requests)),
+            ("rejected".into(), Json::Int(m.rejected)),
+            ("jobs_accepted".into(), Json::Int(m.jobs_accepted)),
+            ("jobs_completed".into(), Json::Int(m.jobs_completed)),
+            ("tasks_completed".into(), Json::Int(m.tasks_completed)),
+            (
+                "histograms".into(),
+                Json::Arr(m.histograms().iter().map(|h| histogram_json(h)).collect()),
+            ),
+        ])
+    });
+    ok(Json::Obj(vec![
+        (
+            "uptime_ms".into(),
+            Json::Int(state.started.elapsed().as_millis() as u64),
+        ),
+        ("queue_depth".into(), Json::Int(state.queue.depth() as u64)),
+        (
+            "open_jobs".into(),
+            Json::Int(state.queue.open_jobs() as u64),
+        ),
+        ("queue_limit".into(), Json::Int(state.queue.limit() as u64)),
+        ("workers".into(), Json::Int(state.options.workers as u64)),
+        ("store".into(), store),
+        ("service".into(), service),
+    ]))
+}
+
+fn health(state: &ServeState) -> Response {
+    ok(Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        (
+            "state".into(),
+            Json::Str(
+                if state.is_shutting_down() {
+                    "shutting-down"
+                } else {
+                    "serving"
+                }
+                .into(),
+            ),
+        ),
+        ("queue_depth".into(), Json::Int(state.queue.depth() as u64)),
+        (
+            "open_jobs".into(),
+            Json::Int(state.queue.open_jobs() as u64),
+        ),
+    ]))
+}
+
+/// `POST /jobs`: parse, admit, enqueue.
+fn submit(state: &ServeState, body: &[u8]) -> Response {
+    let tasks = match parse_submission(body) {
+        Ok(tasks) => tasks,
+        Err(message) => return error(400, &message),
+    };
+    match state.queue.submit(tasks) {
+        Ok(job) => {
+            state.with_metrics(|m| m.jobs_accepted += 1);
+            ok(Json::Obj(vec![
+                ("job".into(), Json::Int(job.id)),
+                ("tasks".into(), Json::Int(job.tasks.len() as u64)),
+                ("state".into(), Json::Str(job.state().name().into())),
+            ]))
+        }
+        Err(rejection) => {
+            state.with_metrics(|m| m.rejected += 1);
+            let mut fields = vec![("error".into(), Json::Str(rejection.message()))];
+            if let crate::jobs::Rejection::QueueFull { open, limit } = &rejection {
+                fields.push(("open_jobs".into(), Json::Int(*open as u64)));
+                fields.push(("queue_limit".into(), Json::Int(*limit as u64)));
+            }
+            Response::json(rejection.status(), Json::Obj(fields).pretty())
+        }
+    }
+}
+
+/// Accepts both the CLI spellings and the `Display` names.
+fn parse_mode_any(name: &str) -> Option<Mode> {
+    match name {
+        "ccsm" | "CCSM" => Some(Mode::Ccsm),
+        "ds" | "DS" => Some(Mode::DirectStore),
+        "ds-only" | "DS-only" => Some(Mode::DirectStoreOnly),
+        _ => None,
+    }
+}
+
+fn parse_input_any(name: &str) -> Option<InputSize> {
+    parse_input(name)
+}
+
+/// Parses a submission body into a task list (see the module docs for
+/// the accepted shapes).
+///
+/// # Errors
+///
+/// A message describing the first problem found; the caller answers
+/// 400 with it.
+pub fn parse_submission(body: &[u8]) -> Result<Vec<Task>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let cfg = config_from(doc.get("config"))?;
+    let faults = faults_from(doc.get("faults"))?;
+
+    let mut tasks = match (doc.get("tasks"), doc.get("sweep")) {
+        (Some(_), Some(_)) => {
+            return Err("give either \"tasks\" or \"sweep\", not both".into());
+        }
+        (Some(list), None) => explicit_tasks(list, &cfg)?,
+        (None, Some(sweep)) => sweep_submission(sweep, &cfg)?,
+        (None, None) => {
+            return Err("submission needs a \"tasks\" array or a \"sweep\" object".into());
+        }
+    };
+    if let Some(plan) = faults {
+        for task in &mut tasks {
+            task.faults = plan.clone();
+        }
+    }
+    Ok(tasks)
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn explicit_tasks(list: &Json, cfg: &SystemConfig) -> Result<Vec<Task>, String> {
+    let entries = list.as_arr().ok_or("\"tasks\" must be an array")?;
+    entries
+        .iter()
+        .map(|entry| {
+            let code = str_field(entry, "bench")?;
+            if catalog::by_code(code).is_none() {
+                return Err(format!("unknown benchmark code {code:?} (see Table II)"));
+            }
+            let input = parse_input_any(str_field(entry, "input")?)
+                .ok_or_else(|| "input must be \"small\" or \"big\"".to_string())?;
+            let mode = parse_mode_any(str_field(entry, "mode")?)
+                .ok_or_else(|| "mode must be \"ccsm\", \"ds\" or \"ds-only\"".to_string())?;
+            Ok(Task::new(cfg, code, input, mode))
+        })
+        .collect()
+}
+
+/// The `dsrun` sweep shape: CCSM-vs-`mode` pairs over the selected
+/// benchmarks, in catalog order — so a served sweep's task list is
+/// identical to the batch CLI's.
+fn sweep_submission(sweep: &Json, cfg: &SystemConfig) -> Result<Vec<Task>, String> {
+    let input = match sweep.get("input") {
+        Some(v) => parse_input_any(v.as_str().unwrap_or(""))
+            .ok_or_else(|| "sweep input must be \"small\" or \"big\"".to_string())?,
+        None => InputSize::Small,
+    };
+    let ds_mode = match sweep.get("mode") {
+        Some(v) => match v.as_str().and_then(parse_mode_any) {
+            Some(Mode::Ccsm) | None => {
+                return Err("sweep mode must be \"ds\" or \"ds-only\"".into());
+            }
+            Some(mode) => mode,
+        },
+        None => Mode::DirectStore,
+    };
+    let codes: Option<Vec<String>> = match sweep.get("bench") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let list = v.as_arr().ok_or("sweep bench must be an array of codes")?;
+            let codes: Vec<String> = list
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "sweep bench entries must be strings".to_string())
+                })
+                .collect::<Result<_, _>>()?;
+            for code in &codes {
+                if catalog::by_code(code).is_none() {
+                    return Err(format!("unknown benchmark code {code:?} (see Table II)"));
+                }
+            }
+            Some(codes)
+        }
+    };
+    Ok(sweep_tasks(cfg, input, ds_mode, |b| {
+        codes
+            .as_ref()
+            .is_none_or(|codes| codes.iter().any(|c| c == b.code()))
+    }))
+}
+
+/// Applies `"config"` overrides onto the paper-default configuration.
+/// The accepted keys are the scalar knobs the ablation binaries sweep;
+/// anything else is rejected so typos fail loudly instead of silently
+/// simulating the default.
+fn config_from(overrides: Option<&Json>) -> Result<SystemConfig, String> {
+    let mut cfg = SystemConfig::paper_default();
+    let Some(overrides) = overrides else {
+        return Ok(cfg);
+    };
+    let Json::Obj(fields) = overrides else {
+        return Err("\"config\" must be an object".into());
+    };
+    for (key, value) in fields {
+        let as_usize = || {
+            value
+                .as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("config {key:?} needs a non-negative integer"))
+        };
+        let as_u64 = || {
+            value
+                .as_u64()
+                .ok_or_else(|| format!("config {key:?} needs a non-negative integer"))
+        };
+        let as_bool = || match value {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(format!("config {key:?} needs a boolean")),
+        };
+        match key.as_str() {
+            "sms" => cfg.sms = as_usize()?,
+            "warps_per_sm" => cfg.warps_per_sm = as_usize()?,
+            "store_buffer_entries" => cfg.store_buffer_entries = as_usize()?,
+            "store_drain_parallelism" => cfg.store_drain_parallelism = as_usize()?,
+            "tlb_entries" => cfg.tlb_entries = as_usize()?,
+            "gpu_tlb_entries" => cfg.gpu_tlb_entries = as_usize()?,
+            "direct_hop_latency" => cfg.direct_hop_latency = as_u64()?,
+            "coh_hop_latency" => cfg.coh_hop_latency = as_u64()?,
+            "gpu_l2_prefetch" => cfg.gpu_l2_prefetch = as_bool()?,
+            "directory_filter" => cfg.directory_filter = as_bool()?,
+            other => return Err(format!("unknown config override {other:?}")),
+        }
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// Builds a [`FaultPlan`] from the compact `dschaos`-style shape:
+/// `{"net": "direct|coh|gpu|dram", "kind": "drop|dup|delay",
+/// "rate": N, "seed": S}`.
+fn faults_from(faults: Option<&Json>) -> Result<Option<FaultPlan>, String> {
+    let Some(faults) = faults else {
+        return Ok(None);
+    };
+    if matches!(faults, Json::Null) {
+        return Ok(None);
+    }
+    let rate = faults
+        .get("rate")
+        .and_then(Json::as_u64)
+        .ok_or("faults need a \"rate\" in 0..=65535")?;
+    let rate = u16::try_from(rate).map_err(|_| "fault rate must fit 0..=65535".to_string())?;
+    let mut plan = FaultPlan {
+        seed: faults.get("seed").and_then(Json::as_u64).unwrap_or(1),
+        ..FaultPlan::default()
+    };
+    let net = faults.get("net").and_then(Json::as_str).unwrap_or("direct");
+    let kind = faults.get("kind").and_then(Json::as_str).unwrap_or("drop");
+    match net {
+        "dram" => {
+            plan.dram_stall_rate = rate;
+            plan.dram_stall_cycles = 500;
+        }
+        "direct" | "coh" | "gpu" => {
+            let rates = match net {
+                "direct" => &mut plan.direct_net,
+                "coh" => &mut plan.coh_net,
+                _ => &mut plan.gpu_net,
+            };
+            match kind {
+                "drop" => rates.drop = rate,
+                "dup" => rates.dup = rate,
+                "delay" => {
+                    rates.delay = rate;
+                    rates.delay_cycles = 400;
+                }
+                other => return Err(format!("unknown fault kind {other:?}")),
+            }
+        }
+        other => return Err(format!("unknown fault net {other:?}")),
+    }
+    Ok(Some(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_submissions_match_the_batch_planner() {
+        let body = br#"{"sweep": {"bench": ["VA", "MM"], "input": "small", "mode": "ds"}}"#;
+        let tasks = parse_submission(body).unwrap();
+        let batch = sweep_tasks(
+            &SystemConfig::paper_default(),
+            InputSize::Small,
+            Mode::DirectStore,
+            |b| ["VA", "MM"].contains(&b.code()),
+        );
+        assert_eq!(tasks.len(), batch.len());
+        for (a, b) in tasks.iter().zip(&batch) {
+            assert_eq!(a.key(), b.key(), "served sweep plans the batch task list");
+        }
+    }
+
+    #[test]
+    fn explicit_tasks_and_overrides_parse() {
+        let body = br#"{
+            "tasks": [{"bench": "VA", "input": "big", "mode": "ds-only"}],
+            "config": {"sms": 8, "gpu_l2_prefetch": true},
+            "faults": {"net": "direct", "kind": "delay", "rate": 512, "seed": 7}
+        }"#;
+        let tasks = parse_submission(body).unwrap();
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].cfg.sms, 8);
+        assert!(tasks[0].cfg.gpu_l2_prefetch);
+        assert_eq!(tasks[0].input, InputSize::Big);
+        assert_eq!(tasks[0].mode, Mode::DirectStoreOnly);
+        assert_eq!(tasks[0].faults.seed, 7);
+        assert_eq!(tasks[0].faults.direct_net.delay, 512);
+        assert_ne!(tasks[0].key().fault_fp, 0, "fault plan is part of identity");
+    }
+
+    #[test]
+    fn bad_submissions_fail_loudly() {
+        for (body, needle) in [
+            (&br#"{"tasks": []}"#[..], None),
+            (br#"{"sweep": {"mode": "ccsm"}}"#, Some("ds")),
+            (br#"{"tasks": [{"bench": "NOPE", "input": "small", "mode": "ds"}]}"#, Some("NOPE")),
+            (br#"{"config": {"typo_knob": 1}, "tasks": [{"bench": "VA", "input": "small", "mode": "ds"}]}"#, Some("typo_knob")),
+            (br#"{"faults": {"net": "marsnet", "rate": 1}, "sweep": {}}"#, Some("marsnet")),
+            (br#"not json"#, None),
+            (br#"{}"#, Some("tasks")),
+        ] {
+            let result = parse_submission(body);
+            match (body.first(), needle) {
+                // An empty task list parses here; admission rejects it.
+                (Some(b'{'), None) if body.starts_with(br#"{"tasks": []}"#) => {
+                    assert_eq!(result.unwrap().len(), 0);
+                }
+                (_, Some(needle)) => {
+                    let err = result.unwrap_err();
+                    assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+                }
+                _ => {
+                    result.unwrap_err();
+                }
+            }
+        }
+    }
+}

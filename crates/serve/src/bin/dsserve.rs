@@ -1,0 +1,521 @@
+//! `dsserve` — simulation as a service.
+//!
+//! Runs the deterministic simulator behind an HTTP job API with a
+//! shared content-addressed result store, and ships its own client
+//! and load harness so the whole loop (submit, poll, fetch, stress,
+//! audit) works from one binary with zero dependencies.
+//!
+//! ```text
+//! dsserve serve    [--port N] [--addr HOST:PORT] [--port-file PATH]
+//!                  [--workers N] [--handlers N] [--queue-limit N]
+//!                  [--timeout SECS] [--cache DIR | --no-cache]
+//!                  [--verbose]
+//! dsserve submit   [--url U] [--bench A,B,...] [--input small|big]
+//!                  [--mode ds|ds-only] [--no-wait] [--expect-cached]
+//!                  [--wait-timeout SECS]
+//! dsserve status   [--url U] JOB
+//! dsserve results  [--url U] JOB
+//! dsserve metrics  [--url U]
+//! dsserve stress   [--url U] [--users N] [--ops N] [--seed S]
+//!                  [--bench A,B,...] [--require-hits]
+//! dsserve shutdown [--url U]
+//! dsserve --check
+//! ```
+//!
+//! `submit` prints the *byte-identical* `dsrun --format json`
+//! document for the same sweep (CI `cmp`s them), and exits 7 — not 1
+//! — when admission control answers 429, so scripts can tell an
+//! explicit saturation rejection from a real failure.
+
+use std::time::Duration;
+
+use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::json::Json;
+use ds_serve::client::{self, SubmitAnswer};
+use ds_serve::http::client_request;
+use ds_serve::jobs::{JobQueue, Rejection};
+use ds_serve::stress::{run_stress, StressOptions};
+use ds_serve::{ServeOptions, Server};
+
+const USAGE: &str = "usage: dsserve <command> [options]
+
+Simulation as a service: an HTTP job API over the deterministic
+runner with a shared content-addressed result store.
+
+commands:
+  serve      run the service until POST /shutdown
+  submit     submit a sweep, wait, print dsrun-identical JSON
+  status     print a job's status document
+  results    print a job's results document
+  metrics    print the /metrics document
+  stress     seeded virtual users; ops/sec, p50/p95/p99, hit rate
+  shutdown   ask a server to shut down cleanly
+  --check    run the service self-audit (exit 1 on violation)
+
+serve options:
+  --port N            port on 127.0.0.1 (default: 7878; 0 = ephemeral)
+  --addr HOST:PORT    bind address (overrides --port)
+  --port-file PATH    write the bound HOST:PORT to PATH once listening
+  --workers N         simulation workers (default: DS_RUNNER_JOBS or
+                      the machine's available parallelism)
+  --handlers N        HTTP handler threads (default: 4)
+  --queue-limit N     max open jobs before 429 (default: 64)
+  --timeout SECS      per-task wall-clock budget (default: none)
+  --cache DIR         on-disk result cache (default: results)
+  --no-cache          keep the result store memory-only
+  --verbose           log one line per request to stderr
+
+submit options:
+  --url U             server base URL (default: http://127.0.0.1:7878)
+  --bench A,B,...     only these Table II codes (default: all 22)
+  --input small|big   input size (default: small)
+  --mode ds|ds-only   direct-store variant (default: ds)
+  --no-wait           print the job id and exit without waiting
+  --expect-cached     fail (exit 1) unless every task was served
+                      from cache
+  --wait-timeout SECS give up waiting after this long (default: 900)
+
+stress options:
+  --url U             server base URL (default: http://127.0.0.1:7878)
+  --users N           virtual users (default: 4)
+  --ops N             HTTP ops per user (default: 32)
+  --seed S            master seed (default: 1)
+  --bench A,B,...     codes submissions draw from (default: VA,MM,BS)
+  --require-hits      fail (exit 1) unless the run's store hit rate
+                      is above zero
+  --csv               print one CSV row instead of the text summary
+                      (header: see scripts/serve_bench.sh)
+
+exit codes: 0 ok; 1 failure or audit violation; 2 usage;
+7 submission explicitly rejected by admission control (429)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("dsserve: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("dsserve: {message}");
+    std::process::exit(1);
+}
+
+/// Tiny flag cursor over a subcommand's arguments.
+struct Args {
+    args: Vec<String>,
+    at: usize,
+}
+
+impl Args {
+    fn new(args: &[String]) -> Self {
+        Args {
+            args: args.to_vec(),
+            at: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let arg = self.args.get(self.at).cloned();
+        if arg.is_some() {
+            self.at += 1;
+        }
+        arg
+    }
+
+    fn value(&mut self, flag: &str) -> String {
+        self.next()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str, what: &str) -> T {
+        let v = self.value(flag);
+        v.parse()
+            .unwrap_or_else(|_| usage_error(&format!("{flag} needs {what}, got {v:?}")))
+    }
+}
+
+fn parse_codes(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .filter(|c| !c.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_input_flag(value: &str) -> InputSize {
+    match value {
+        "small" => InputSize::Small,
+        "big" => InputSize::Big,
+        other => usage_error(&format!("unknown input size {other:?}")),
+    }
+}
+
+fn parse_mode_flag(value: &str) -> Mode {
+    match value {
+        "ds" => Mode::DirectStore,
+        "ds-only" => Mode::DirectStoreOnly,
+        other => usage_error(&format!("unknown mode {other:?} (ds or ds-only)")),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        None => usage_error("missing command"),
+        Some("--help" | "-h" | "help") => println!("{USAGE}"),
+        Some("--check") => run_check(),
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("submit") => cmd_submit(&argv[1..]),
+        Some("status") => cmd_job_doc(&argv[1..], false),
+        Some("results") => cmd_job_doc(&argv[1..], true),
+        Some("metrics") => cmd_metrics(&argv[1..]),
+        Some("stress") => cmd_stress(&argv[1..]),
+        Some("shutdown") => cmd_shutdown(&argv[1..]),
+        Some(other) => usage_error(&format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_serve(rest: &[String]) {
+    let mut options = ServeOptions {
+        cache_dir: Some("results".into()),
+        ..ServeOptions::default()
+    };
+    let mut port = 7878u16;
+    let mut addr: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = args.parsed("--port", "a port number"),
+            "--addr" => addr = Some(args.value("--addr")),
+            "--port-file" => port_file = Some(args.value("--port-file")),
+            "--workers" => options.workers = args.parsed("--workers", "a positive integer"),
+            "--handlers" => options.handlers = args.parsed("--handlers", "a positive integer"),
+            "--queue-limit" => {
+                options.queue_limit = args.parsed("--queue-limit", "a positive integer");
+            }
+            "--timeout" => {
+                let secs: u64 = args.parsed("--timeout", "positive seconds");
+                options.task_timeout = Some(Duration::from_secs(secs.max(1)));
+            }
+            "--cache" => options.cache_dir = Some(args.value("--cache").into()),
+            "--no-cache" => options.cache_dir = None,
+            "--verbose" => options.verbose = true,
+            "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown serve option {other:?}")),
+        }
+    }
+    let bind = addr.unwrap_or_else(|| format!("127.0.0.1:{port}"));
+    let server =
+        Server::start(options, &bind).unwrap_or_else(|e| fail(&format!("cannot bind {bind}: {e}")));
+    let bound = server.addr();
+    eprintln!("dsserve: serving on http://{bound} (POST /shutdown to stop)");
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{bound}\n"))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    }
+    server.wait();
+    eprintln!("dsserve: shut down cleanly");
+}
+
+/// Common client flags: `--url` plus whatever `extra` consumes.
+fn parse_url(args: &mut Args, arg: &str) -> Option<String> {
+    (arg == "--url").then(|| args.value("--url"))
+}
+
+const DEFAULT_URL: &str = "http://127.0.0.1:7878";
+
+fn cmd_submit(rest: &[String]) {
+    let mut url = DEFAULT_URL.to_string();
+    let mut codes: Option<Vec<String>> = None;
+    let mut input = InputSize::Small;
+    let mut mode = Mode::DirectStore;
+    let mut no_wait = false;
+    let mut expect_cached = false;
+    let mut wait_timeout = Duration::from_secs(900);
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        if let Some(u) = parse_url(&mut args, &arg) {
+            url = u;
+            continue;
+        }
+        match arg.as_str() {
+            "--bench" => codes = Some(parse_codes(&args.value("--bench"))),
+            "--input" => input = parse_input_flag(&args.value("--input")),
+            "--mode" => mode = parse_mode_flag(&args.value("--mode")),
+            "--no-wait" => no_wait = true,
+            "--expect-cached" => expect_cached = true,
+            "--wait-timeout" => {
+                wait_timeout =
+                    Duration::from_secs(args.parsed("--wait-timeout", "positive seconds"));
+            }
+            other => usage_error(&format!("unknown submit option {other:?}")),
+        }
+    }
+    let body = client::sweep_body(codes.as_deref(), input, mode);
+    let (id, tasks) = match client::submit(&url, &body) {
+        Ok(SubmitAnswer::Accepted { id, tasks }) => (id, tasks),
+        Ok(SubmitAnswer::Rejected { message }) => {
+            eprintln!("dsserve: submission rejected: {message}");
+            std::process::exit(7);
+        }
+        Err(e) => fail(&e),
+    };
+    eprintln!("dsserve: job {id} accepted ({tasks} tasks)");
+    if no_wait {
+        println!("{id}");
+        return;
+    }
+    client::wait_done(&url, id, wait_timeout).unwrap_or_else(|e| fail(&e));
+    let results = client::fetch_results(&url, id).unwrap_or_else(|e| fail(&e));
+    let cfg = SystemConfig::paper_default();
+    let out = client::sweep_doc(&cfg, input, mode, &results).unwrap_or_else(|e| fail(&e));
+    let cached = out
+        .provenances
+        .iter()
+        .filter(|p| matches!(p.as_str(), "hit" | "coalesced"))
+        .count();
+    eprintln!(
+        "dsserve: job {id} done; {cached}/{} tasks served from cache",
+        out.provenances.len()
+    );
+    if expect_cached && cached != out.provenances.len() {
+        fail(&format!(
+            "--expect-cached: only {cached}/{} tasks were cache hits",
+            out.provenances.len()
+        ));
+    }
+    println!("{}", out.doc);
+}
+
+fn cmd_job_doc(rest: &[String], results: bool) {
+    let mut url = DEFAULT_URL.to_string();
+    let mut job: Option<u64> = None;
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        if let Some(u) = parse_url(&mut args, &arg) {
+            url = u;
+            continue;
+        }
+        match arg.parse::<u64>() {
+            Ok(id) => job = Some(id),
+            Err(_) => usage_error(&format!("unknown option {arg:?} (expected a job id)")),
+        }
+    }
+    let Some(id) = job else {
+        usage_error("missing job id");
+    };
+    let path = if results {
+        format!("/jobs/{id}/results")
+    } else {
+        format!("/jobs/{id}")
+    };
+    let (status, text) = client_request(&url, "GET", &path, None, client::CLIENT_TIMEOUT)
+        .unwrap_or_else(|e| fail(&e));
+    print!("{text}");
+    if status != 200 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_metrics(rest: &[String]) {
+    let mut url = DEFAULT_URL.to_string();
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        if let Some(u) = parse_url(&mut args, &arg) {
+            url = u;
+            continue;
+        }
+        usage_error(&format!("unknown metrics option {arg:?}"));
+    }
+    let (status, text) = client_request(&url, "GET", "/metrics", None, client::CLIENT_TIMEOUT)
+        .unwrap_or_else(|e| fail(&e));
+    print!("{text}");
+    if status != 200 {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_stress(rest: &[String]) {
+    let mut url = DEFAULT_URL.to_string();
+    let mut options = StressOptions::default();
+    let mut require_hits = false;
+    let mut csv = false;
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        if let Some(u) = parse_url(&mut args, &arg) {
+            url = u;
+            continue;
+        }
+        match arg.as_str() {
+            "--users" => options.users = args.parsed("--users", "a positive integer"),
+            "--ops" => options.ops = args.parsed("--ops", "a positive integer"),
+            "--seed" => options.seed = args.parsed("--seed", "an integer"),
+            "--bench" => options.codes = parse_codes(&args.value("--bench")),
+            "--require-hits" => require_hits = true,
+            "--csv" => csv = true,
+            other => usage_error(&format!("unknown stress option {other:?}")),
+        }
+    }
+    let summary = run_stress(&url, &options).unwrap_or_else(|e| fail(&e));
+    if csv {
+        println!("{}", summary.csv_row());
+    } else {
+        println!("{summary}");
+    }
+    if summary.errors > 0 {
+        fail(&format!(
+            "{} transport errors during stress",
+            summary.errors
+        ));
+    }
+    if require_hits && !(summary.store_requests > 0 && summary.store_hits > 0) {
+        fail("--require-hits: the run produced no store cache hits");
+    }
+}
+
+fn cmd_shutdown(rest: &[String]) {
+    let mut url = DEFAULT_URL.to_string();
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        if let Some(u) = parse_url(&mut args, &arg) {
+            url = u;
+            continue;
+        }
+        usage_error(&format!("unknown shutdown option {arg:?}"));
+    }
+    match client_request(
+        &url,
+        "POST",
+        "/shutdown",
+        Some("{}"),
+        client::CLIENT_TIMEOUT,
+    ) {
+        Ok((200, _)) => eprintln!("dsserve: shutdown requested"),
+        Ok((status, text)) => fail(&format!("POST /shutdown answered {status}: {text}")),
+        Err(e) => fail(&e),
+    }
+}
+
+/// The self-audit: admission control, store reconciliation, cache
+/// determinism, and clean shutdown — all against a real loopback
+/// server, no external state touched.
+fn run_check() {
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool, detail: &str| {
+        if ok {
+            eprintln!("dsserve --check: ok   {name}");
+        } else {
+            eprintln!("dsserve --check: FAIL {name}: {detail}");
+            failures += 1;
+        }
+    };
+
+    // 1. Admission control is an explicit bound, not a hang: a full
+    //    queue answers QueueFull immediately.
+    let queue = JobQueue::new(1);
+    let cfg = SystemConfig::paper_default();
+    let task = ds_runner::Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore);
+    let first = queue.submit(vec![task.clone()]);
+    let second = queue.submit(vec![task.clone()]);
+    check(
+        "admission bound rejects explicitly",
+        first.is_ok() && matches!(second, Err(Rejection::QueueFull { .. })),
+        &format!("first={first:?} second={second:?}"),
+    );
+    check(
+        "empty submissions are rejected",
+        matches!(queue.submit(Vec::new()), Err(Rejection::Empty)),
+        "empty task list was admitted",
+    );
+
+    // 2. A real loopback server: duplicate tasks inside a job are
+    //    coalesced to one computation, a repeat job is pure cache,
+    //    and the store accounting reconciles over HTTP.
+    let options = ServeOptions {
+        workers: 2,
+        handlers: 2,
+        queue_limit: 4,
+        cache_dir: None,
+        ..ServeOptions::default()
+    };
+    let server = Server::start(options, "127.0.0.1:0")
+        .unwrap_or_else(|e| fail(&format!("cannot bind loopback: {e}")));
+    let url = format!("http://{}", server.addr());
+    let body = r#"{"tasks": [
+        {"bench": "VA", "input": "small", "mode": "ds"},
+        {"bench": "VA", "input": "small", "mode": "ds"}
+    ]}"#;
+    let run_job = |label: &str| -> Vec<String> {
+        match client::submit(&url, body) {
+            Ok(SubmitAnswer::Accepted { id, .. }) => {
+                if let Err(e) = client::wait_done(&url, id, Duration::from_secs(300)) {
+                    fail(&format!("{label}: {e}"));
+                }
+                let results = client::fetch_results(&url, id)
+                    .unwrap_or_else(|e| fail(&format!("{label}: {e}")));
+                results
+                    .get("results")
+                    .and_then(Json::as_arr)
+                    .map(|rows| {
+                        rows.iter()
+                            .map(|r| {
+                                r.get("provenance")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or("missing")
+                                    .to_string()
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            }
+            other => fail(&format!("{label}: unexpected submit answer {other:?}")),
+        }
+    };
+    let first = run_job("duplicate-task job");
+    let computed = first.iter().filter(|p| *p == "computed").count();
+    check(
+        "duplicate tasks coalesce to one computation",
+        first.len() == 2 && computed == 1,
+        &format!("provenances {first:?}"),
+    );
+    let repeat = run_job("repeat job");
+    check(
+        "repeat submission is pure cache",
+        repeat.len() == 2 && repeat.iter().all(|p| p == "hit"),
+        &format!("provenances {repeat:?}"),
+    );
+
+    let stats = server.state().store.stats();
+    check(
+        "store accounting reconciles (hits + misses == requests)",
+        stats.reconciles(),
+        &format!("{stats:?}"),
+    );
+    check(
+        "store counted exactly one computation",
+        stats.requests == 4 && stats.misses == 1 && stats.hits == 3,
+        &format!("{stats:?}"),
+    );
+
+    // 3. Clean shutdown over HTTP: the whole thread family joins.
+    match client_request(
+        &url,
+        "POST",
+        "/shutdown",
+        Some("{}"),
+        Duration::from_secs(10),
+    ) {
+        Ok((200, _)) => {}
+        other => fail(&format!("POST /shutdown: {other:?}")),
+    }
+    server.wait();
+    check("clean shutdown over HTTP", true, "");
+
+    if failures > 0 {
+        fail(&format!("{failures} audit check(s) failed"));
+    }
+    eprintln!("dsserve --check: all checks passed");
+}

@@ -1,0 +1,259 @@
+//! Client-side helpers for the job API: submit, poll, fetch, and
+//! reconstruct the batch CLI's JSON document from served results.
+//!
+//! The reconstruction is the determinism contract made executable:
+//! `dsserve submit` prints the *same bytes* `dsrun --format json`
+//! prints for the same sweep, because served reports round-trip
+//! through the lossless report codec and the sweep planner orders
+//! tasks identically on both paths. The CI smoke gate `cmp`s the two.
+
+use std::time::{Duration, Instant};
+
+use ds_core::{Comparison, InputSize, Mode, SystemConfig};
+use ds_runner::json::{self, Json};
+use ds_runner::report::{comparison_to_json, report_from_json};
+use ds_runner::Runner;
+
+use crate::http::client_request;
+
+/// Default per-request client timeout.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// What `POST /jobs` answered.
+#[derive(Debug)]
+pub enum SubmitAnswer {
+    /// The job was admitted.
+    Accepted {
+        /// Assigned job id.
+        id: u64,
+        /// Number of tasks the job expanded to.
+        tasks: u64,
+    },
+    /// Admission control refused (429) — an explicit, expected
+    /// saturation outcome, distinguished from transport errors.
+    Rejected {
+        /// The error message from the response body.
+        message: String,
+    },
+}
+
+/// Submits `body` to `url`.
+///
+/// # Errors
+///
+/// Transport failures and non-200/429 statuses (a 400 means the
+/// submission itself is malformed).
+pub fn submit(url: &str, body: &str) -> Result<SubmitAnswer, String> {
+    let (status, text) = client_request(url, "POST", "/jobs", Some(body), CLIENT_TIMEOUT)?;
+    let doc = json::parse(&text).map_err(|e| format!("bad submit response: {e}"))?;
+    match status {
+        200 => {
+            let id = doc
+                .get("job")
+                .and_then(Json::as_u64)
+                .ok_or("submit response missing \"job\"")?;
+            let tasks = doc.get("tasks").and_then(Json::as_u64).unwrap_or(0);
+            Ok(SubmitAnswer::Accepted { id, tasks })
+        }
+        429 => Ok(SubmitAnswer::Rejected {
+            message: doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("queue full")
+                .to_string(),
+        }),
+        other => Err(format!(
+            "POST /jobs answered {other}: {}",
+            doc.get("error").and_then(Json::as_str).unwrap_or(&text)
+        )),
+    }
+}
+
+/// Builds the sweep submission body `dsserve submit` sends.
+pub fn sweep_body(codes: Option<&[String]>, input: InputSize, ds_mode: Mode) -> String {
+    let mut sweep = vec![
+        ("input".to_string(), Json::Str(input.to_string())),
+        ("mode".to_string(), Json::Str(ds_mode.to_string())),
+    ];
+    if let Some(codes) = codes {
+        sweep.push((
+            "bench".to_string(),
+            Json::Arr(codes.iter().map(|c| Json::Str(c.clone())).collect()),
+        ));
+    }
+    Json::Obj(vec![("sweep".to_string(), Json::Obj(sweep))]).pretty()
+}
+
+/// Polls `GET /jobs/<id>` until the job is done; returns the final
+/// status document.
+///
+/// # Errors
+///
+/// Transport failures, non-200 answers, or `timeout` elapsing first.
+pub fn wait_done(url: &str, id: u64, timeout: Duration) -> Result<Json, String> {
+    let deadline = Instant::now() + timeout;
+    let mut poll = Duration::from_millis(20);
+    loop {
+        let (status, text) =
+            client_request(url, "GET", &format!("/jobs/{id}"), None, CLIENT_TIMEOUT)?;
+        if status != 200 {
+            return Err(format!("GET /jobs/{id} answered {status}: {text}"));
+        }
+        let doc = json::parse(&text).map_err(|e| format!("bad status response: {e}"))?;
+        if doc.get("state").and_then(Json::as_str) == Some("done") {
+            return Ok(doc);
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {id} not done within {timeout:?}"));
+        }
+        std::thread::sleep(poll);
+        // Back off to spare a busy server; cap well under human patience.
+        poll = (poll * 2).min(Duration::from_millis(500));
+    }
+}
+
+/// Fetches `GET /jobs/<id>/results` as parsed JSON.
+///
+/// # Errors
+///
+/// Transport failures and non-200 answers.
+pub fn fetch_results(url: &str, id: u64) -> Result<Json, String> {
+    let (status, text) = client_request(
+        url,
+        "GET",
+        &format!("/jobs/{id}/results"),
+        None,
+        CLIENT_TIMEOUT,
+    )?;
+    if status != 200 {
+        return Err(format!("GET /jobs/{id}/results answered {status}: {text}"));
+    }
+    json::parse(&text).map_err(|e| format!("bad results response: {e}"))
+}
+
+/// A served sweep folded back into the batch CLI's shape.
+#[derive(Debug)]
+pub struct SweepOutput {
+    /// The `dsrun --format json` document (without the trailing
+    /// newline `println!` adds).
+    pub doc: String,
+    /// Per-task provenance tags, in task order.
+    pub provenances: Vec<String>,
+}
+
+/// Folds a `/results` document for a sweep submission back into the
+/// exact `dsrun --format json` output for the same sweep.
+///
+/// # Errors
+///
+/// Any non-ok/degraded task, malformed row, or odd row count — a
+/// sweep is CCSM/direct-store *pairs* by construction.
+pub fn sweep_doc(
+    cfg: &SystemConfig,
+    input: InputSize,
+    ds_mode: Mode,
+    results: &Json,
+) -> Result<SweepOutput, String> {
+    let rows = results
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("results response missing \"results\"")?;
+    if rows.len() % 2 != 0 {
+        return Err(format!("sweep produced an odd row count ({})", rows.len()));
+    }
+    let mut provenances = Vec::with_capacity(rows.len());
+    let mut comparisons = Vec::with_capacity(rows.len() / 2);
+    for pair in rows.chunks(2) {
+        let mut reports = Vec::with_capacity(2);
+        let mut code = String::new();
+        for row in pair {
+            code = row
+                .get("bench")
+                .and_then(Json::as_str)
+                .ok_or("result row missing \"bench\"")?
+                .to_string();
+            let outcome = row
+                .get("outcome")
+                .and_then(Json::as_str)
+                .unwrap_or("pending");
+            if !matches!(outcome, "ok" | "degraded") {
+                return Err(format!("task {code} ended {outcome}, not ok"));
+            }
+            provenances.push(
+                row.get("provenance")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            );
+            let report = row.get("report").ok_or("result row missing \"report\"")?;
+            reports.push(report_from_json(report)?);
+        }
+        let direct_store = reports.pop().expect("pair has two reports");
+        let ccsm = reports.pop().expect("pair has two reports");
+        comparisons.push(Comparison {
+            code,
+            input,
+            ccsm,
+            direct_store,
+        });
+    }
+    let doc = Json::Obj(vec![
+        (
+            "fingerprint".into(),
+            Json::Str(format!("{:016x}", Runner::fingerprint(cfg))),
+        ),
+        ("mode".into(), Json::Str(ds_mode.to_string())),
+        (
+            "comparisons".into(),
+            Json::Arr(comparisons.iter().map(comparison_to_json).collect()),
+        ),
+    ]);
+    Ok(SweepOutput {
+        doc: doc.pretty(),
+        provenances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_body_has_the_documented_shape() {
+        let body = sweep_body(
+            Some(&["VA".to_string(), "MM".to_string()]),
+            InputSize::Small,
+            Mode::DirectStore,
+        );
+        let doc = json::parse(&body).unwrap();
+        let sweep = doc.get("sweep").unwrap();
+        assert_eq!(sweep.get("input").and_then(Json::as_str), Some("small"));
+        assert_eq!(sweep.get("mode").and_then(Json::as_str), Some("DS"));
+        assert_eq!(
+            sweep.get("bench").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        // The API parser accepts its own client's body.
+        let tasks = crate::api::parse_submission(body.as_bytes()).unwrap();
+        assert_eq!(tasks.len(), 4, "two benchmarks, CCSM+DS each");
+    }
+
+    #[test]
+    fn sweep_doc_rejects_failed_tasks() {
+        let results = json::parse(
+            r#"{"results": [
+                {"bench": "VA", "outcome": "timed-out", "provenance": "computed"},
+                {"bench": "VA", "outcome": "ok", "provenance": "computed"}
+            ]}"#,
+        )
+        .unwrap();
+        let err = sweep_doc(
+            &SystemConfig::paper_default(),
+            InputSize::Small,
+            Mode::DirectStore,
+            &results,
+        )
+        .unwrap_err();
+        assert!(err.contains("timed-out"), "{err}");
+    }
+}

@@ -1,0 +1,276 @@
+//! A minimal HTTP/1.1 layer over `std::net`.
+//!
+//! The workspace builds offline from vendored dependencies, so the
+//! service speaks just enough HTTP/1.1 itself: one request per
+//! connection (`Connection: close`), `Content-Length` bodies, JSON
+//! payloads. The same module supplies the client used by `dsserve
+//! submit/stress/--check` and the CI smoke gate, so the wire format
+//! is exercised from both ends by every test run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on accepted header block + body, defending the service
+/// against accidental (or hostile) oversized requests.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Upper bound on an accepted request body.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed request: method, path (with query stripped), body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, percent-decoding *not* applied (the API uses
+    /// only unreserved characters).
+    pub path: String,
+    /// Raw request body (empty for bodiless requests).
+    pub body: Vec<u8>,
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes the API emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Any malformed request line, oversized header/body, or transport
+/// failure is an `io::Error`; the connection handler answers 400.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.len() > MAX_HEADER_BYTES {
+        return Err(bad("request line too long"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or_else(|| bad("missing path"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("truncated headers"));
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad("headers too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes `response` to `stream` and flushes. The service speaks one
+/// request per connection, so every response closes it.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Splits a `http://host:port` base URL into its socket address.
+///
+/// # Errors
+///
+/// Returns a message for anything but a plain `http` authority.
+pub fn host_of(url: &str) -> Result<String, String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported URL {url:?} (only http:// is spoken)"))?;
+    let host = rest.split('/').next().unwrap_or(rest);
+    if host.is_empty() {
+        return Err(format!("no host in URL {url:?}"));
+    }
+    Ok(host.to_string())
+}
+
+/// One client request: connects, sends, reads the full response.
+///
+/// # Errors
+///
+/// Transport and parse failures come back as strings — callers are
+/// CLIs and harnesses that render them directly.
+pub fn client_request(
+    url: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let host = host_of(url)?;
+    let mut stream = TcpStream::connect(&host).map_err(|e| format!("connect {host}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send {path}: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        if n == 0 || header.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.trim_end().split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("read {path}: {e}"))?;
+        }
+        None => {
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| format!("read {path}: {e}"))?;
+        }
+    }
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| format!("non-UTF-8 response from {path}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_round_trips_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let request = read_request(&mut stream).unwrap();
+            assert_eq!(request.method, "POST");
+            assert_eq!(request.path, "/jobs");
+            assert_eq!(request.body, b"{\"x\":1}");
+            write_response(&mut stream, &Response::json(200, "{\"ok\":true}".into())).unwrap();
+        });
+        let (status, body) = client_request(
+            &format!("http://{addr}"),
+            "POST",
+            "/jobs",
+            Some("{\"x\":1}"),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn query_strings_are_stripped_and_bad_urls_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let request = read_request(&mut stream).unwrap();
+            assert_eq!(request.path, "/metrics");
+            write_response(&mut stream, &Response::json(200, "{}".into())).unwrap();
+        });
+        client_request(
+            &format!("http://{addr}"),
+            "GET",
+            "/metrics?verbose=1",
+            None,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert!(host_of("https://x").is_err());
+        assert!(host_of("http://").is_err());
+    }
+}

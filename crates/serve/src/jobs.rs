@@ -1,0 +1,402 @@
+//! The job registry, the bounded work queue, and admission control.
+//!
+//! A *job* is one submission: an ordered list of [`Task`]s. Jobs are
+//! decomposed into per-task work items on a single bounded queue that
+//! the worker pool drains; per-task results land back in the job's
+//! slot vector, so result order is submission order regardless of
+//! worker scheduling (the same slot discipline as `ds-runner`'s
+//! executor).
+//!
+//! Admission control is a hard bound on *open* jobs (accepted but not
+//! yet fully completed): a submission that would exceed the bound is
+//! rejected immediately with an explicit error — the HTTP layer turns
+//! that into a 429 — so a saturated service degrades by refusing work
+//! it cannot queue instead of growing an unbounded backlog.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use ds_runner::shared::Provenance;
+use ds_runner::{Task, TaskOutcome};
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted; no task picked up yet.
+    Queued,
+    /// At least one task picked up, not all completed.
+    Running,
+    /// Every task has a terminal outcome.
+    Done,
+}
+
+impl JobState {
+    /// Lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+}
+
+/// One task's terminal result inside a job.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// How the task ended (report included when it completed).
+    pub outcome: TaskOutcome,
+    /// Whether the shared store served it without computing.
+    pub provenance: Provenance,
+}
+
+#[derive(Debug)]
+struct Progress {
+    results: Vec<Option<TaskResult>>,
+    completed: usize,
+    started: usize,
+}
+
+/// One accepted submission.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Registry id, monotonically increasing from 1.
+    pub id: u64,
+    /// The submitted tasks, in submission order.
+    pub tasks: Vec<Task>,
+    progress: Mutex<Progress>,
+}
+
+impl JobRecord {
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        let p = lock(&self.progress);
+        if p.completed == self.tasks.len() {
+            JobState::Done
+        } else if p.started > 0 {
+            JobState::Running
+        } else {
+            JobState::Queued
+        }
+    }
+
+    /// `(state, completed, total)` in one consistent snapshot.
+    pub fn snapshot(&self) -> (JobState, usize, usize) {
+        let p = lock(&self.progress);
+        let total = self.tasks.len();
+        let state = if p.completed == total {
+            JobState::Done
+        } else if p.started > 0 {
+            JobState::Running
+        } else {
+            JobState::Queued
+        };
+        (state, p.completed, total)
+    }
+
+    /// Clones the per-task results recorded so far (slot is `None`
+    /// until that task completes).
+    pub fn results(&self) -> Vec<Option<TaskResult>> {
+        lock(&self.progress).results.clone()
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The open-job bound is reached; retry after jobs complete.
+    QueueFull {
+        /// Jobs currently open (accepted, not fully completed).
+        open: usize,
+        /// The admission bound.
+        limit: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The submission itself is unusable (e.g. zero tasks).
+    Empty,
+}
+
+impl Rejection {
+    /// The HTTP status the API answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            Rejection::QueueFull { .. } | Rejection::ShuttingDown => 429,
+            Rejection::Empty => 400,
+        }
+    }
+
+    /// Human-readable reason.
+    pub fn message(&self) -> String {
+        match self {
+            Rejection::QueueFull { open, limit } => {
+                format!("queue full: {open} open job(s) at limit {limit}; retry later")
+            }
+            Rejection::ShuttingDown => "service is shutting down".into(),
+            Rejection::Empty => "submission contains no tasks".into(),
+        }
+    }
+}
+
+/// A queued unit of work: one task of one job.
+pub struct WorkItem {
+    /// The owning job.
+    pub job: Arc<JobRecord>,
+    /// Index into [`JobRecord::tasks`].
+    pub idx: usize,
+    /// Enqueue time, for the queue-wait histogram.
+    pub enqueued: Instant,
+}
+
+struct QueueInner {
+    items: VecDeque<WorkItem>,
+    /// Accepted jobs not yet fully completed — the admission gauge.
+    open_jobs: usize,
+    shutdown: bool,
+}
+
+/// The bounded job queue and registry shared by handlers and workers.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    wake: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+    limit: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl JobQueue {
+    /// A queue admitting at most `limit` open jobs (clamped to ≥ 1).
+    pub fn new(limit: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                open_jobs: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            limit: limit.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Work items currently queued (not yet picked up).
+    pub fn depth(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
+    /// Jobs accepted but not yet fully completed.
+    pub fn open_jobs(&self) -> usize {
+        lock(&self.inner).open_jobs
+    }
+
+    /// Admits a job or rejects it, atomically against concurrent
+    /// submissions. On success the job's tasks are queued in order
+    /// and workers are woken.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejection::Empty`] for a task-less submission,
+    /// [`Rejection::ShuttingDown`] after [`JobQueue::shutdown`], and
+    /// [`Rejection::QueueFull`] at the open-job bound.
+    pub fn submit(&self, tasks: Vec<Task>) -> Result<Arc<JobRecord>, Rejection> {
+        if tasks.is_empty() {
+            return Err(Rejection::Empty);
+        }
+        let mut inner = lock(&self.inner);
+        if inner.shutdown {
+            return Err(Rejection::ShuttingDown);
+        }
+        if inner.open_jobs >= self.limit {
+            return Err(Rejection::QueueFull {
+                open: inner.open_jobs,
+                limit: self.limit,
+            });
+        }
+        inner.open_jobs += 1;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let total = tasks.len();
+        let job = Arc::new(JobRecord {
+            id,
+            tasks,
+            progress: Mutex::new(Progress {
+                results: vec![None; total],
+                completed: 0,
+                started: 0,
+            }),
+        });
+        let now = Instant::now();
+        for idx in 0..total {
+            inner.items.push_back(WorkItem {
+                job: Arc::clone(&job),
+                idx,
+                enqueued: now,
+            });
+        }
+        drop(inner);
+        lock(&self.jobs).insert(id, Arc::clone(&job));
+        self.wake.notify_all();
+        Ok(job)
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<JobRecord>> {
+        lock(&self.jobs).get(&id).cloned()
+    }
+
+    /// Blocks for the next work item; `None` once the queue is shut
+    /// down. Queued-but-unstarted items are abandoned at shutdown —
+    /// in-flight simulations cannot be preempted, so draining a deep
+    /// backlog would turn "stop" into "finish everything"; their jobs
+    /// simply never reach `done`.
+    pub fn pop(&self) -> Option<WorkItem> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if let Some(item) = inner.items.pop_front() {
+                let mut p = lock(&item.job.progress);
+                p.started += 1;
+                drop(p);
+                return Some(item);
+            }
+            inner = self.wake.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Records `result` for one work item. Returns `true` when this
+    /// completion finished the whole job (the caller bumps the
+    /// jobs-completed metric exactly once).
+    pub fn complete(&self, item: &WorkItem, result: TaskResult) -> bool {
+        let mut p = lock(&item.job.progress);
+        debug_assert!(p.results[item.idx].is_none(), "slot completed twice");
+        p.results[item.idx] = Some(result);
+        p.completed += 1;
+        let finished = p.completed == item.job.tasks.len();
+        drop(p);
+        if finished {
+            lock(&self.inner).open_jobs -= 1;
+        }
+        finished
+    }
+
+    /// Stops admission and wakes every worker; [`JobQueue::pop`]
+    /// returns `None` from here on (see its abandonment note).
+    pub fn shutdown(&self) {
+        lock(&self.inner).shutdown = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether [`JobQueue::shutdown`] has been called.
+    pub fn is_shut_down(&self) -> bool {
+        lock(&self.inner).shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_core::{InputSize, Mode, SystemConfig};
+
+    fn tasks(n: usize) -> Vec<Task> {
+        let cfg = SystemConfig::paper_default();
+        (0..n)
+            .map(|_| Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm))
+            .collect()
+    }
+
+    #[test]
+    fn admission_bound_rejects_explicitly() {
+        let queue = JobQueue::new(2);
+        queue.submit(tasks(1)).unwrap();
+        queue.submit(tasks(1)).unwrap();
+        let rejection = queue.submit(tasks(1)).unwrap_err();
+        assert_eq!(rejection, Rejection::QueueFull { open: 2, limit: 2 });
+        assert_eq!(rejection.status(), 429);
+        assert_eq!(queue.depth(), 2);
+    }
+
+    #[test]
+    fn empty_submissions_are_bad_requests() {
+        let queue = JobQueue::new(1);
+        assert_eq!(queue.submit(vec![]).unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn completion_frees_an_admission_slot_in_order() {
+        let queue = JobQueue::new(1);
+        let job = queue.submit(tasks(2)).unwrap();
+        assert_eq!(job.state(), JobState::Queued);
+        assert!(queue.submit(tasks(1)).is_err(), "slot is taken");
+
+        let first = queue.pop().unwrap();
+        assert_eq!(job.state(), JobState::Running);
+        let result = TaskResult {
+            outcome: TaskOutcome::TimedOut,
+            provenance: Provenance::Computed,
+        };
+        assert!(!queue.complete(&first, result.clone()), "job not done yet");
+        let second = queue.pop().unwrap();
+        assert!(queue.complete(&second, result), "job done");
+        assert_eq!(job.state(), JobState::Done);
+        assert_eq!(queue.open_jobs(), 0);
+        queue.submit(tasks(1)).unwrap();
+    }
+
+    #[test]
+    fn shutdown_stops_admission_and_abandons_queued_work() {
+        let queue = JobQueue::new(4);
+        queue.submit(tasks(1)).unwrap();
+        queue.shutdown();
+        assert!(matches!(
+            queue.submit(tasks(1)).unwrap_err(),
+            Rejection::ShuttingDown
+        ));
+        assert!(
+            queue.pop().is_none(),
+            "unstarted work is abandoned so the pool never hangs"
+        );
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        let queue = JobQueue::new(1);
+        let job = queue.submit(tasks(2)).unwrap();
+        let a = queue.pop().unwrap();
+        let b = queue.pop().unwrap();
+        // Complete out of order; slots still line up with submission.
+        queue.complete(
+            &b,
+            TaskResult {
+                outcome: TaskOutcome::Failed("b".into()),
+                provenance: Provenance::Computed,
+            },
+        );
+        queue.complete(
+            &a,
+            TaskResult {
+                outcome: TaskOutcome::Failed("a".into()),
+                provenance: Provenance::Hit,
+            },
+        );
+        let results = job.results();
+        assert!(
+            matches!(&results[0].as_ref().unwrap().outcome, TaskOutcome::Failed(m) if m == "a")
+        );
+        assert!(
+            matches!(&results[1].as_ref().unwrap().outcome, TaskOutcome::Failed(m) if m == "b")
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! The long-running service: shared state, the worker pool, and the
+//! connection loop.
+//!
+//! Three thread families cooperate around [`ServeState`]:
+//!
+//! * the **accept loop** hands TCP connections to a small pool of
+//!   **HTTP handlers** over a channel;
+//! * handlers parse requests, run [`crate::api::handle`], and write
+//!   responses — submissions only *enqueue* (admission control keeps
+//!   that O(1)), so handler latency stays flat under simulation load;
+//! * **workers** (sized like `ds-runner`: `--workers` /
+//!   `DS_RUNNER_JOBS` / available parallelism) drain the job queue
+//!   through the [`SharedStore`], so identical tasks across jobs and
+//!   users are computed once and every computation rides the hardened
+//!   `run_tasks_outcomes` machinery (panic isolation, wall-clock
+//!   timeouts, degradation accounting).
+//!
+//! Shutdown (`POST /shutdown` or [`Server::begin_shutdown`]) stops
+//! admission, abandons queued-but-unstarted work, lets in-flight
+//! simulations finish, and joins every thread — a saturated or
+//! half-drained service exits cleanly instead of hanging.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ds_probe::ServiceMetrics;
+use ds_runner::shared::SharedStore;
+use ds_runner::{default_jobs, Runner, Task, TaskOutcome};
+
+use crate::http::{read_request, write_response, Response};
+use crate::jobs::{JobQueue, TaskResult};
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Simulation worker threads (default: `DS_RUNNER_JOBS` or the
+    /// machine's available parallelism, like `ds-runner`).
+    pub workers: usize,
+    /// HTTP handler threads.
+    pub handlers: usize,
+    /// Admission bound: maximum open (accepted, unfinished) jobs.
+    pub queue_limit: usize,
+    /// Per-task wall-clock budget, forwarded to the runner.
+    pub task_timeout: Option<Duration>,
+    /// On-disk result-cache directory (`results/` by convention);
+    /// `None` keeps the store memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Log one line per handled request to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: default_jobs(),
+            handlers: 4,
+            queue_limit: 64,
+            task_timeout: None,
+            cache_dir: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Everything handlers and workers share.
+pub struct ServeState {
+    /// The concurrency-safe content-addressed result store.
+    pub store: SharedStore,
+    /// The bounded job queue and registry.
+    pub queue: JobQueue,
+    /// Service load metrics behind one lock.
+    pub metrics: Mutex<ServiceMetrics>,
+    /// The options the service was started with.
+    pub options: ServeOptions,
+    /// Server start time, for uptime reporting.
+    pub started: Instant,
+    shutdown: AtomicBool,
+    /// Bound address, set by [`Server::start`]; the `/shutdown`
+    /// handler needs it to poke the accept loop awake.
+    addr: std::sync::OnceLock<std::net::SocketAddr>,
+}
+
+impl ServeState {
+    /// Builds the shared state for `options`.
+    pub fn new(options: ServeOptions) -> Arc<Self> {
+        let store = match &options.cache_dir {
+            Some(dir) => SharedStore::with_disk(dir.clone()),
+            None => SharedStore::new(),
+        };
+        Arc::new(ServeState {
+            store,
+            queue: JobQueue::new(options.queue_limit),
+            metrics: Mutex::new(ServiceMetrics::new()),
+            options,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            addr: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Runs `f` on the metrics under the lock.
+    pub fn with_metrics<T>(&self, f: impl FnOnce(&mut ServiceMetrics) -> T) -> T {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut metrics)
+    }
+
+    /// Computes (or serves from the shared store) one task, riding
+    /// the hardened one-shot runner: panic isolation, optional
+    /// wall-clock timeout, degradation classification.
+    pub fn run_task(&self, task: &Task) -> TaskResult {
+        let timeout = self.options.task_timeout;
+        let (outcome, provenance) = self.store.get_or_compute(task, || {
+            let mut runner = Runner::new().jobs(1).progress(false);
+            if let Some(limit) = timeout {
+                runner = runner.task_timeout(limit);
+            }
+            runner
+                .run_tasks_outcomes(std::slice::from_ref(task))
+                .pop()
+                .unwrap_or(TaskOutcome::Failed("runner returned no outcome".into()))
+        });
+        TaskResult {
+            outcome,
+            provenance,
+        }
+    }
+}
+
+/// One worker: drain the queue through the shared store until
+/// shutdown.
+fn worker_loop(state: &ServeState) {
+    while let Some(item) = state.queue.pop() {
+        let waited = item.enqueued.elapsed();
+        let started = Instant::now();
+        let result = state.run_task(&item.job.tasks[item.idx]);
+        let service = started.elapsed();
+        let finished = state.queue.complete(&item, result);
+        state.with_metrics(|m| {
+            m.task_wait.record(waited.as_micros() as u64);
+            m.task_service.record(service.as_micros() as u64);
+            m.tasks_completed += 1;
+            if finished {
+                m.jobs_completed += 1;
+            }
+        });
+    }
+}
+
+/// One HTTP handler: serve connections off the channel until the
+/// accept loop closes it.
+fn handler_loop(state: &ServeState, connections: &Mutex<mpsc::Receiver<TcpStream>>) {
+    loop {
+        let conn = {
+            let rx = connections.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let Ok(mut stream) = conn else { break };
+        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+        let response = match read_request(&mut stream) {
+            Ok(request) => {
+                let response = crate::api::handle(state, &request);
+                if state.options.verbose {
+                    eprintln!(
+                        "dsserve: {} {} -> {}",
+                        request.method, request.path, response.status
+                    );
+                }
+                response
+            }
+            Err(e) => Response::json(400, format!("{{\"error\": \"bad request: {e}\"}}\n")),
+        };
+        let _ = write_response(&mut stream, &response);
+    }
+}
+
+/// A running service instance.
+pub struct Server {
+    state: Arc<ServeState>,
+    addr: std::net::SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    handlers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop, handler pool, and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(options: ServeOptions, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = ServeState::new(options);
+        let _ = state.addr.set(addr);
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let connections = Arc::new(Mutex::new(rx));
+
+        let mut handlers = Vec::new();
+        for _ in 0..state.options.handlers.max(1) {
+            let state = Arc::clone(&state);
+            let connections = Arc::clone(&connections);
+            handlers.push(std::thread::spawn(move || {
+                handler_loop(&state, &connections)
+            }));
+        }
+
+        let mut workers = Vec::new();
+        for _ in 0..state.options.workers.max(1) {
+            let state = Arc::clone(&state);
+            workers.push(std::thread::spawn(move || worker_loop(&state)));
+        }
+
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                // `tx` lives in this loop: dropping it on exit closes
+                // the channel and winds the handler pool down.
+                for conn in listener.incoming() {
+                    if state.is_shutting_down() {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = tx.send(stream);
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            state,
+            addr,
+            accept: Some(accept),
+            handlers,
+            workers,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (for in-process harnesses and `--check`).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Requests shutdown: stops admission, abandons unstarted work,
+    /// and unblocks the accept loop. Idempotent.
+    pub fn begin_shutdown(&self) {
+        request_shutdown(&self.state);
+    }
+
+    /// Blocks until every thread has wound down. In-flight
+    /// simulations finish; queued-but-unstarted tasks are abandoned.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for handle in self.handlers.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Flags shutdown on `state` and pokes the accept loop awake with a
+/// throwaway connection so it observes the flag. Also called by the
+/// `/shutdown` handler, which cannot reach the [`Server`] struct.
+pub fn request_shutdown(state: &ServeState) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    state.queue.shutdown();
+    if let Some(addr) = state.addr.get() {
+        let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,355 @@
+//! The built-in stress harness: N virtual users hammering the job
+//! API over real TCP.
+//!
+//! Each user is a thread driving a seeded state machine: submit a
+//! one-task job, poll it, fetch its results, occasionally probe
+//! `/metrics` — every HTTP round trip counts as one *op* and its
+//! wall-clock latency lands in one merged [`Histogram`]. Seeds derive
+//! from `--seed` with splitmix64, so a stress run is reproducible
+//! op-for-op; only the latencies (and the hit/miss split between
+//! racing users) vary between machines.
+//!
+//! The summary reports ops/sec, p50/p95/p99 op latency, and the
+//! *store delta* over the run — how many result-store requests the
+//! run caused and what fraction were served from cache — read from
+//! `/metrics` before and after, so it composes with an already-warm
+//! server.
+
+use std::time::{Duration, Instant};
+
+use ds_runner::json::{self, Json};
+use ds_sim::Histogram;
+
+use crate::http::client_request;
+
+/// Knobs for one stress run.
+#[derive(Debug, Clone)]
+pub struct StressOptions {
+    /// Virtual users (threads).
+    pub users: usize,
+    /// HTTP operations per user.
+    pub ops: usize,
+    /// Master seed; user `i` runs on `splitmix64(seed + i)`.
+    pub seed: u64,
+    /// Benchmark codes submissions draw from. A short list keeps the
+    /// task universe small, so repeat passes and racing users hit the
+    /// shared store — which is the point of the exercise.
+    pub codes: Vec<String>,
+    /// Per-request client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for StressOptions {
+    fn default() -> Self {
+        StressOptions {
+            users: 4,
+            ops: 32,
+            seed: 1,
+            codes: vec!["VA".into(), "MM".into(), "BS".into()],
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What one stress run measured.
+#[derive(Debug)]
+pub struct StressSummary {
+    /// Users that ran.
+    pub users: usize,
+    /// Total HTTP operations completed.
+    pub ops: u64,
+    /// Submissions refused with 429 (saturation is a *measured*
+    /// outcome here, not an error).
+    pub rejected: u64,
+    /// Transport-level failures (timeouts, resets).
+    pub errors: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Merged per-op latency, microseconds.
+    pub latency: Histogram,
+    /// Result-store requests the run caused (`/metrics` delta).
+    pub store_requests: u64,
+    /// Store requests served from cache (hit or coalesced).
+    pub store_hits: u64,
+    /// Store requests that ran a simulation.
+    pub store_misses: u64,
+}
+
+/// Header matching [`StressSummary::csv_row`], for sweep scripts.
+pub const STRESS_CSV_HEADER: &str = "users,ops,elapsed_s,ops_per_sec,rejected,errors,\
+p50_us,p95_us,p99_us,max_us,store_requests,store_hits,store_misses,hit_rate";
+
+impl StressSummary {
+    /// One CSV row under [`STRESS_CSV_HEADER`] (`scripts/serve_bench.sh`
+    /// accumulates these across concurrency levels).
+    pub fn csv_row(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or_else(|| "0".to_string(), |n| n.to_string());
+        format!(
+            "{},{},{:.3},{:.1},{},{},{},{},{},{},{},{},{},{:.4}",
+            self.users,
+            self.ops,
+            self.elapsed.as_secs_f64(),
+            self.ops_per_sec(),
+            self.rejected,
+            self.errors,
+            opt(self.latency.percentile(50.0)),
+            opt(self.latency.percentile(95.0)),
+            opt(self.latency.percentile(99.0)),
+            self.latency.max(),
+            self.store_requests,
+            self.store_hits,
+            self.store_misses,
+            self.hit_rate()
+        )
+    }
+
+    /// Operations per second over the whole run.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / secs
+    }
+
+    /// Cache hit rate of the store traffic this run generated.
+    pub fn hit_rate(&self) -> f64 {
+        if self.store_requests == 0 {
+            return 0.0;
+        }
+        self.store_hits as f64 / self.store_requests as f64
+    }
+}
+
+impl std::fmt::Display for StressSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |n| n.to_string());
+        writeln!(
+            f,
+            "stress: {} users x {} ops in {:.2}s = {:.1} ops/sec ({} rejected, {} errors)",
+            self.users,
+            self.ops / (self.users.max(1) as u64),
+            self.elapsed.as_secs_f64(),
+            self.ops_per_sec(),
+            self.rejected,
+            self.errors
+        )?;
+        writeln!(
+            f,
+            "latency us: p50={} p95={} p99={} max={}",
+            opt(self.latency.percentile(50.0)),
+            opt(self.latency.percentile(95.0)),
+            opt(self.latency.percentile(99.0)),
+            self.latency.max()
+        )?;
+        write!(
+            f,
+            "store: {} requests, {} hits, {} misses, hit rate {:.1}%",
+            self.store_requests,
+            self.store_hits,
+            self.store_misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// The splitmix64 mixer: tiny, seedable, and plenty for op choice.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Store counters scraped from `/metrics`.
+fn store_counters(url: &str, timeout: Duration) -> Result<(u64, u64, u64), String> {
+    let (status, body) = client_request(url, "GET", "/metrics", None, timeout)?;
+    if status != 200 {
+        return Err(format!("GET /metrics answered {status}"));
+    }
+    let doc = json::parse(&body).map_err(|e| format!("bad /metrics JSON: {e}"))?;
+    let store = doc.get("store").ok_or("metrics missing \"store\"")?;
+    let field = |key: &str| {
+        store
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("metrics store missing {key:?}"))
+    };
+    Ok((field("requests")?, field("hits")?, field("misses")?))
+}
+
+/// One virtual user's tally.
+struct UserTally {
+    latencies_us: Vec<u64>,
+    rejected: u64,
+    errors: u64,
+}
+
+/// The per-user state machine: each op is one HTTP round trip.
+fn user_loop(url: &str, options: &StressOptions, user: usize) -> UserTally {
+    let mut rng = options.seed.wrapping_add(user as u64);
+    let mut tally = UserTally {
+        latencies_us: Vec::with_capacity(options.ops),
+        rejected: 0,
+        errors: 0,
+    };
+    // (job id, results already fetched?) of the job in flight.
+    let mut pending: Option<(u64, bool)> = None;
+    for _ in 0..options.ops {
+        let roll = splitmix64(&mut rng);
+        let (method, path, body);
+        match &pending {
+            _ if roll.is_multiple_of(8) => {
+                (method, path, body) = ("GET", "/metrics".to_string(), None);
+            }
+            Some((id, false)) => {
+                (method, path, body) = ("GET", format!("/jobs/{id}"), None);
+            }
+            Some((id, true)) => {
+                (method, path, body) = ("GET", format!("/jobs/{id}/results"), None);
+                pending = None;
+            }
+            None => {
+                let code = &options.codes[(roll as usize / 8) % options.codes.len()];
+                let submission = format!(
+                    "{{\"tasks\": [{{\"bench\": \"{code}\", \"input\": \"small\", \
+                     \"mode\": \"ds\"}}]}}"
+                );
+                (method, path, body) = ("POST", "/jobs".to_string(), Some(submission));
+            }
+        }
+        let started = Instant::now();
+        let answer = client_request(url, method, &path, body.as_deref(), options.timeout);
+        tally
+            .latencies_us
+            .push(started.elapsed().as_micros() as u64);
+        match answer {
+            Ok((200, text)) => match (method, path.as_str()) {
+                ("POST", "/jobs") => {
+                    let id = json::parse(&text)
+                        .ok()
+                        .and_then(|doc| doc.get("job").and_then(Json::as_u64));
+                    pending = id.map(|id| (id, false));
+                }
+                ("GET", p) if p.starts_with("/jobs/") && !p.ends_with("/results") => {
+                    let done = json::parse(&text)
+                        .ok()
+                        .and_then(|doc| doc.get("state").and_then(|s| s.as_str().map(String::from)))
+                        .is_some_and(|s| s == "done");
+                    if done {
+                        if let Some((_, fetched)) = &mut pending {
+                            *fetched = true;
+                        }
+                    }
+                }
+                _ => {}
+            },
+            Ok((429, _)) => {
+                tally.rejected += 1;
+                pending = None;
+            }
+            Ok(_) => tally.errors += 1,
+            Err(_) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Runs the stress harness against a serving `url`.
+///
+/// # Errors
+///
+/// Only setup failures (the `/metrics` scrapes) abort the run;
+/// per-op failures are tallied in the summary instead.
+pub fn run_stress(url: &str, options: &StressOptions) -> Result<StressSummary, String> {
+    if options.users == 0 || options.ops == 0 {
+        return Err("stress needs at least one user and one op".into());
+    }
+    if options.codes.is_empty() {
+        return Err("stress needs at least one benchmark code".into());
+    }
+    let (req0, hit0, miss0) = store_counters(url, options.timeout)?;
+    let started = Instant::now();
+    let tallies: Vec<UserTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.users)
+            .map(|user| scope.spawn(move || user_loop(url, options, user)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    let (req1, hit1, miss1) = store_counters(url, options.timeout)?;
+
+    let mut latency = Histogram::new("stress_op_us");
+    let mut ops = 0u64;
+    let mut rejected = 0u64;
+    let mut errors = 0u64;
+    for tally in tallies {
+        ops += tally.latencies_us.len() as u64;
+        rejected += tally.rejected;
+        errors += tally.errors;
+        for us in tally.latencies_us {
+            latency.record(us);
+        }
+    }
+    Ok(StressSummary {
+        users: options.users,
+        ops,
+        rejected,
+        errors,
+        elapsed,
+        latency,
+        store_requests: req1.saturating_sub(req0),
+        store_hits: hit1.saturating_sub(hit0),
+        store_misses: miss1.saturating_sub(miss0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "no collisions in a short run");
+    }
+
+    #[test]
+    fn summary_math_is_sane() {
+        let mut latency = Histogram::new("stress_op_us");
+        for v in [100, 200, 300, 400] {
+            latency.record(v);
+        }
+        let s = StressSummary {
+            users: 2,
+            ops: 4,
+            rejected: 1,
+            errors: 0,
+            elapsed: Duration::from_secs(2),
+            latency,
+            store_requests: 4,
+            store_hits: 3,
+            store_misses: 1,
+        };
+        assert!((s.ops_per_sec() - 2.0).abs() < 1e-9);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        let text = s.to_string();
+        assert!(text.contains("hit rate 75.0%"), "{text}");
+        let row = s.csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            STRESS_CSV_HEADER.split(',').count(),
+            "{row}"
+        );
+        assert!(row.starts_with("2,4,2.000,2.0,1,0,"), "{row}");
+        assert!(row.ends_with(",4,3,1,0.7500"), "{row}");
+    }
+}

@@ -1,0 +1,259 @@
+//! End-to-end service tests over real loopback TCP: concurrent
+//! submitters sharing one computation, cross-instance disk-cache
+//! reuse, deterministic rejection, and the dsrun-equivalence fold.
+
+use std::time::Duration;
+
+use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::json::Json;
+use ds_runner::Runner;
+use ds_serve::client::{self, SubmitAnswer};
+use ds_serve::http::{client_request, Request};
+use ds_serve::{api, ServeOptions, ServeState, Server};
+
+fn mem_options() -> ServeOptions {
+    ServeOptions {
+        workers: 2,
+        handlers: 2,
+        queue_limit: 8,
+        cache_dir: None,
+        ..ServeOptions::default()
+    }
+}
+
+fn start(options: ServeOptions) -> (Server, String) {
+    let server = Server::start(options, "127.0.0.1:0").expect("bind loopback");
+    let url = format!("http://{}", server.addr());
+    (server, url)
+}
+
+/// Submits the VA small sweep, waits, and returns the results doc.
+fn run_va_sweep(url: &str) -> Json {
+    let body = client::sweep_body(
+        Some(&["VA".to_string()]),
+        InputSize::Small,
+        Mode::DirectStore,
+    );
+    let SubmitAnswer::Accepted { id, tasks } = client::submit(url, &body).unwrap() else {
+        panic!("submission rejected");
+    };
+    assert_eq!(tasks, 2, "VA sweep is one CCSM+DS pair");
+    client::wait_done(url, id, Duration::from_secs(300)).unwrap();
+    client::fetch_results(url, id).unwrap()
+}
+
+fn provenances(results: &Json) -> Vec<String> {
+    results
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            row.get("provenance")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        })
+        .collect()
+}
+
+fn shutdown(url: &str, server: Server) {
+    let (status, _) = client_request(
+        url,
+        "POST",
+        "/shutdown",
+        Some("{}"),
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    server.wait();
+}
+
+#[test]
+fn concurrent_submitters_share_one_computation_bit_identically() {
+    let (server, url) = start(mem_options());
+
+    // Two racing submitters, same two TaskKeys.
+    let (doc_a, doc_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| run_va_sweep(&url));
+        let b = scope.spawn(|| run_va_sweep(&url));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    // Bit-identical folds: the shared store makes job identity
+    // invisible in the payload.
+    let cfg = SystemConfig::paper_default();
+    let fold = |doc: &Json| {
+        client::sweep_doc(&cfg, InputSize::Small, Mode::DirectStore, doc)
+            .unwrap()
+            .doc
+    };
+    assert_eq!(fold(&doc_a), fold(&doc_b), "racing submitters diverged");
+
+    // Each unique key computed exactly once across both jobs; the
+    // accounting reconciles exactly.
+    let stats = server.state().store.stats();
+    assert_eq!(stats.requests, 4, "{stats:?}");
+    assert_eq!(stats.misses, 2, "two unique tasks => two computations");
+    assert_eq!(stats.hits, 2, "the other two requests were served");
+    assert!(stats.reconciles(), "{stats:?}");
+    let all: Vec<String> = provenances(&doc_a)
+        .into_iter()
+        .chain(provenances(&doc_b))
+        .collect();
+    let computed = all.iter().filter(|p| *p == "computed").count();
+    assert_eq!(computed, 2, "one computation per unique key: {all:?}");
+
+    shutdown(&url, server);
+}
+
+#[test]
+fn served_results_match_the_batch_runner_byte_for_byte() {
+    let (server, url) = start(mem_options());
+    let results = run_va_sweep(&url);
+    let cfg = SystemConfig::paper_default();
+    let served = client::sweep_doc(&cfg, InputSize::Small, Mode::DirectStore, &results)
+        .unwrap()
+        .doc;
+
+    // The same sweep, straight through the batch runner.
+    let comparisons = Runner::new()
+        .jobs(1)
+        .progress(false)
+        .sweep(&cfg, InputSize::Small, Mode::DirectStore, |b| {
+            use ds_core::Scenario as _;
+            b.code() == "VA"
+        })
+        .unwrap();
+    let batch = Json::Obj(vec![
+        (
+            "fingerprint".into(),
+            Json::Str(format!("{:016x}", Runner::fingerprint(&cfg))),
+        ),
+        ("mode".into(), Json::Str(Mode::DirectStore.to_string())),
+        (
+            "comparisons".into(),
+            Json::Arr(
+                comparisons
+                    .iter()
+                    .map(ds_runner::report::comparison_to_json)
+                    .collect(),
+            ),
+        ),
+    ])
+    .pretty();
+    assert_eq!(served, batch, "service and batch runner diverged");
+    shutdown(&url, server);
+}
+
+#[test]
+fn disk_cache_is_shared_across_server_instances() {
+    let dir = std::env::temp_dir().join(format!("dsserve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = || ServeOptions {
+        cache_dir: Some(dir.clone()),
+        ..mem_options()
+    };
+
+    // First instance computes and persists.
+    let (server_a, url_a) = start(options());
+    let doc_a = run_va_sweep(&url_a);
+    assert_eq!(server_a.state().store.stats().misses, 2);
+    shutdown(&url_a, server_a);
+
+    // A fresh instance (fresh memo) serves the same sweep from disk:
+    // zero computations, identical payload.
+    let (server_b, url_b) = start(options());
+    let doc_b = run_va_sweep(&url_b);
+    let stats = server_b.state().store.stats();
+    assert_eq!(stats.misses, 0, "disk cache was not reused: {stats:?}");
+    assert_eq!(stats.hits, 2, "{stats:?}");
+    assert!(
+        provenances(&doc_b).iter().all(|p| p == "hit"),
+        "{:?}",
+        provenances(&doc_b)
+    );
+    let cfg = SystemConfig::paper_default();
+    let fold = |doc: &Json| {
+        client::sweep_doc(&cfg, InputSize::Small, Mode::DirectStore, doc)
+            .unwrap()
+            .doc
+    };
+    assert_eq!(fold(&doc_a), fold(&doc_b), "cache replay diverged");
+    shutdown(&url_b, server_b);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturation_answers_429_and_shutdown_answers_429() {
+    // No worker pool: drive the API directly so admission state is
+    // fully deterministic (nothing ever completes).
+    let state = ServeState::new(ServeOptions {
+        queue_limit: 1,
+        cache_dir: None,
+        ..ServeOptions::default()
+    });
+    let submit = Request {
+        method: "POST".into(),
+        path: "/jobs".into(),
+        body: br#"{"tasks": [{"bench": "VA", "input": "small", "mode": "ds"}]}"#.to_vec(),
+    };
+    assert_eq!(api::handle(&state, &submit).status, 200);
+    let rejected = api::handle(&state, &submit);
+    assert_eq!(rejected.status, 429, "{}", rejected.body);
+    assert!(rejected.body.contains("queue full"), "{}", rejected.body);
+    assert!(rejected.body.contains("queue_limit"), "{}", rejected.body);
+
+    state.queue.shutdown();
+    let refused = api::handle(&state, &submit);
+    assert_eq!(refused.status, 429, "{}", refused.body);
+    assert!(refused.body.contains("shutting down"), "{}", refused.body);
+
+    let empty = Request {
+        body: br#"{"tasks": []}"#.to_vec(),
+        ..submit
+    };
+    assert_eq!(api::handle(&state, &empty).status, 400);
+}
+
+#[test]
+fn unknown_routes_and_bad_bodies_are_4xx() {
+    let state = ServeState::new(ServeOptions {
+        cache_dir: None,
+        ..ServeOptions::default()
+    });
+    let get = |path: &str| {
+        api::handle(
+            &state,
+            &Request {
+                method: "GET".into(),
+                path: path.into(),
+                body: Vec::new(),
+            },
+        )
+    };
+    assert_eq!(get("/nope").status, 404);
+    assert_eq!(get("/jobs/999").status, 404);
+    assert_eq!(get("/jobs/xyz").status, 400);
+    assert_eq!(get("/health").status, 200);
+    assert_eq!(get("/metrics").status, 200);
+    let bad = api::handle(
+        &state,
+        &Request {
+            method: "POST".into(),
+            path: "/jobs".into(),
+            body: b"not json".to_vec(),
+        },
+    );
+    assert_eq!(bad.status, 400);
+    let wrong_method = api::handle(
+        &state,
+        &Request {
+            method: "DELETE".into(),
+            path: "/jobs".into(),
+            body: Vec::new(),
+        },
+    );
+    assert_eq!(wrong_method.status, 405);
+}

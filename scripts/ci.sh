@@ -61,4 +61,75 @@ scripts/bench.sh --smoke --out "$smoke_dir/bench-smoke.json"
 echo "==> bench_diff.sh regression gate (smoke baseline vs itself)"
 scripts/bench_diff.sh "$smoke_dir/bench-smoke.json" "$smoke_dir/bench-smoke.json"
 
+echo "==> perf regression gate (small catalog vs committed BENCH_2026-08-08.json)"
+# The simulator is deterministic, so a >5% cycle delta against the
+# committed reference baseline is a real behavioral change, not noise.
+# Big-input entries are absent from the fresh measurement and reported
+# as "dropped" without failing; refresh the committed baseline with
+# scripts/bench.sh when a perf change is intentional.
+cargo run --release -q -p ds-bench --bin perf_baseline -- \
+  --input small --date "$(date +%F)" --out "$smoke_dir/bench-fresh-small.json"
+scripts/bench_diff.sh BENCH_2026-08-08.json "$smoke_dir/bench-fresh-small.json"
+
+echo "==> dsserve self-audit (admission, coalescing, store reconciliation)"
+cargo run --release -q -p ds-serve --bin dsserve -- --check
+
+echo "==> dsserve smoke gate (service vs batch bytes, cache replay, 429, shutdown)"
+dsserve=./target/release/dsserve
+serve_cache="$smoke_dir/serve-cache"
+"$dsserve" serve --port 0 --port-file "$smoke_dir/serve-addr" \
+  --cache "$serve_cache" --workers 2 2> "$smoke_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 100); do
+  [ -s "$smoke_dir/serve-addr" ] && break
+  sleep 0.1
+done
+[ -s "$smoke_dir/serve-addr" ] || {
+  echo "ci.sh: dsserve did not come up" >&2
+  cat "$smoke_dir/serve.log" >&2
+  exit 1
+}
+serve_url="http://$(cat "$smoke_dir/serve-addr")"
+# Served sweep must be byte-identical to the batch runner...
+"$dsserve" submit --url "$serve_url" --bench VA,MM --input small --mode ds \
+  > "$smoke_dir/served.json"
+cargo run --release -q -p ds-runner --bin dsrun -- \
+  --bench VA,MM --input small --mode ds --format json --quiet \
+  > "$smoke_dir/batch.json"
+cmp "$smoke_dir/served.json" "$smoke_dir/batch.json"
+# ...and a repeat submission must be a pure cache replay of it.
+"$dsserve" submit --url "$serve_url" --bench VA,MM --input small --mode ds \
+  --expect-cached > "$smoke_dir/served-replay.json"
+cmp "$smoke_dir/served.json" "$smoke_dir/served-replay.json"
+# Repeat stress traffic must actually hit the shared store.
+"$dsserve" stress --url "$serve_url" --users 3 --ops 12 --bench VA \
+  --require-hits > /dev/null
+"$dsserve" shutdown --url "$serve_url"
+wait "$serve_pid"
+
+echo "==> dsserve saturation gate (bounded queue answers 429, never hangs)"
+"$dsserve" serve --port 0 --port-file "$smoke_dir/sat-addr" \
+  --no-cache --workers 1 --queue-limit 1 2> "$smoke_dir/sat.log" &
+sat_pid=$!
+for _ in $(seq 100); do
+  [ -s "$smoke_dir/sat-addr" ] && break
+  sleep 0.1
+done
+sat_url="http://$(cat "$smoke_dir/sat-addr")"
+# One full-catalog job occupies the single admission slot for seconds
+# on one worker; the immediate second submission must be refused with
+# the distinguished exit code for an explicit 429.
+"$dsserve" submit --url "$sat_url" --input small --mode ds --no-wait \
+  > /dev/null
+rc=0
+"$dsserve" submit --url "$sat_url" --bench VA --input small --mode ds \
+  --no-wait > /dev/null 2>> "$smoke_dir/sat.log" || rc=$?
+[ "$rc" -eq 7 ] || {
+  echo "ci.sh: expected explicit 429 rejection (exit 7), got exit $rc" >&2
+  exit 1
+}
+# Shutdown abandons the queued backlog instead of draining it.
+"$dsserve" shutdown --url "$sat_url"
+wait "$sat_pid"
+
 echo "==> ci.sh: all gates passed"
