@@ -20,7 +20,7 @@
 
 use ds_core::{InputSize, Mode, RunReport, Scenario, SystemConfig};
 use ds_runner::json::{self, Json};
-use ds_runner::{stages_to_json, Runner, Task};
+use ds_runner::{host_to_json, stages_to_json, Runner, Task};
 
 const USAGE: &str = "usage: perf_baseline [options]
        perf_baseline --diff OLD.json NEW.json [--tolerance PCT]
@@ -129,9 +129,14 @@ fn parse_options(args: &[String]) -> Options {
     opts
 }
 
-/// The per-mode slice of one benchmark entry.
+/// The per-mode slice of one benchmark entry. Since schema version 2
+/// the entry also carries the host-time self profile (`host`): the
+/// wall-clock spent simulating this mode plus the per-phase
+/// breakdown including the observability-tax buckets, so `dsprof
+/// trend` can chart host-performance drift alongside simulated
+/// cycles.
 fn mode_to_json(r: &RunReport) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("total_cycles".into(), Json::Int(r.total_cycles.as_u64())),
         ("gpu_l2_miss_rate".into(), Json::Float(r.gpu_l2_miss_rate())),
         ("gpu_l2_misses".into(), Json::Int(r.gpu_l2.misses.value())),
@@ -145,7 +150,11 @@ fn mode_to_json(r: &RunReport) -> Json {
             Json::Int(r.latency.load_to_use.percentile(99.0).unwrap_or(0)),
         ),
         ("stages".into(), stages_to_json(&r.stages)),
-    ])
+    ];
+    if let Some(host) = &r.host {
+        fields.push(("host".into(), host_to_json(host)));
+    }
+    Json::Obj(fields)
 }
 
 /// One benchmark row pulled out of a baseline document.
@@ -336,6 +345,11 @@ fn main() {
         run_diff(old_path, new_path, opts.tolerance);
     }
 
+    // Host-time self-profiling rides on every baseline (schema v2):
+    // it costs a few percent of wall-clock and never perturbs
+    // simulated cycles (`dsprof --check` proves the latter).
+    ds_probe::prof::set_enabled(true);
+
     let cfg = SystemConfig::paper_default();
     let codes: Vec<String> = if opts.smoke {
         vec!["VA".to_string()]
@@ -382,7 +396,10 @@ fn main() {
 
     let doc = Json::Obj(vec![
         ("schema".into(), Json::Str("ds-bench-baseline".into())),
-        ("version".into(), Json::Int(1)),
+        // Version 2 added the per-mode `host` profile. Readers stay
+        // version-tolerant: `--diff` and `dsprof trend` accept v1
+        // documents (they simply lack host columns).
+        ("version".into(), Json::Int(2)),
         ("date".into(), Json::Str(opts.date.clone())),
         (
             "config_fingerprint".into(),

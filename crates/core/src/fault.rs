@@ -313,6 +313,38 @@ mod tests {
     }
 
     #[test]
+    fn fault_hash_matches_hard_coded_vectors() {
+        // Pin the splitmix64 finalizer to known outputs so an
+        // accidental constant or shift edit can never silently change
+        // every seeded fault schedule (and with it every chaos
+        // regression baseline). (0, 0, 0) is the canonical first
+        // splitmix64 output for seed 0.
+        let vectors: &[(u64, u64, u64, u64)] = &[
+            (0, 0, 0, 0xe220_a839_7b1d_cdaf),
+            (0, 0, 1, 0xe4ba_cea5_c4b9_b499),
+            (0, 1, 0, 0x6e78_9e6a_a1b9_65f4),
+            (1, 0, 0, 0x910a_2dec_8902_5cc1),
+            (42, FaultDomain::DirectNet as u64, 0, 0x28ef_e333_b266_f103),
+            (42, FaultDomain::DirectNet as u64, 1, 0xba88_115a_2dbe_7279),
+            (42, FaultDomain::GpuNet as u64, 7, 0x7100_0856_7d9e_213e),
+            (
+                0xdead_beef,
+                FaultDomain::Dram as u64,
+                123_456,
+                0x50a5_78fa_77b3_902a,
+            ),
+            (u64::MAX, u64::MAX, u64::MAX, 0xa389_31fa_eeb2_2117),
+        ];
+        for &(seed, domain, seq, expect) in vectors {
+            assert_eq!(
+                fault_hash(seed, domain, seq),
+                expect,
+                "fault_hash({seed}, {domain}, {seq}) drifted"
+            );
+        }
+    }
+
+    #[test]
     fn stuck_banks_always_stall() {
         let plan = FaultPlan {
             stuck_banks: vec![2],

@@ -4,7 +4,7 @@ use std::fmt;
 
 use ds_cache::CacheStats;
 use ds_noc::XbarStats;
-use ds_probe::{EpochSample, LatencyReport, LensReport, StageBreakdown};
+use ds_probe::{EpochSample, HostProfile, LatencyReport, LensReport, StageBreakdown};
 use ds_sim::Cycle;
 
 use crate::Mode;
@@ -102,6 +102,13 @@ pub struct RunReport {
     pub epochs: Vec<EpochSample>,
     /// The epoch window length in cycles (zero when sampling was off).
     pub epoch_window: u64,
+    /// Host-time profile of the run (`ds_probe::prof`): wall-clock
+    /// plus per-[`ds_probe::HostPhase`] self time and span counts,
+    /// including the observability-tax buckets. `None` unless host
+    /// profiling was enabled (`dsprof`, `perf_baseline`). Host time
+    /// never feeds back into simulated timing — two runs differing
+    /// only in this field are the same simulation.
+    pub host: Option<HostProfile>,
 }
 
 impl RunReport {
@@ -189,6 +196,7 @@ mod tests {
             lens: LensReport::empty(),
             epochs: Vec::new(),
             epoch_window: 0,
+            host: None,
         }
     }
 

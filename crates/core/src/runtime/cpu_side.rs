@@ -12,6 +12,7 @@ use ds_cpu::CpuOp;
 use ds_gpu::L1Valid;
 use ds_mem::{LineAddr, VirtAddr};
 use ds_noc::{MsgClass, PortId};
+use ds_probe::prof::{self, HostPhase};
 use ds_probe::{Component, NetId, Stage, TraceKind, Tracer};
 
 use super::{CpuBlock, Delivery, Ev, System, Waiter};
@@ -24,6 +25,7 @@ pub(super) const KERNEL_LAUNCH_OVERHEAD: u64 = 500;
 impl<T: Tracer> System<T> {
     /// Sends a coherence-network message and schedules its arrival.
     pub(super) fn coh_send(&mut self, src: Agent, dst: Agent, msg: CohMsg) {
+        let _prof = prof::span(HostPhase::NocTick);
         let class = if msg.carries_data() {
             MsgClass::Data
         } else {
@@ -54,11 +56,11 @@ impl<T: Tracer> System<T> {
             },
         );
         match self.fault_delivery(FaultDomain::CohNet, info.arrival) {
-            Delivery::Deliver(at) => self.queue.push(at, Ev::Coh { dst, msg }),
+            Delivery::Deliver(at) => self.sched(at, Ev::Coh { dst, msg }),
             Delivery::Drop => {}
             Delivery::Duplicate(a, b) => {
-                self.queue.push(a, Ev::Coh { dst, msg });
-                self.queue.push(b, Ev::Coh { dst, msg });
+                self.sched(a, Ev::Coh { dst, msg });
+                self.sched(b, Ev::Coh { dst, msg });
             }
         }
     }
@@ -66,6 +68,7 @@ impl<T: Tracer> System<T> {
     /// Sends a direct-network message over ports `src → dst`, tracing
     /// the link occupancy, and returns the arrival time.
     fn direct_send(&mut self, src: usize, dst: usize, msg: &DirectMsg) -> ds_sim::Cycle {
+        let _prof = prof::span(HostPhase::NocTick);
         let class = if msg.carries_data() {
             MsgClass::Data
         } else {
@@ -102,11 +105,11 @@ impl<T: Tracer> System<T> {
             txn,
         };
         match self.fault_delivery(FaultDomain::DirectNet, arrival) {
-            Delivery::Deliver(at) => self.queue.push(at, ev),
+            Delivery::Deliver(at) => self.sched(at, ev),
             Delivery::Drop => {}
             Delivery::Duplicate(a, b) => {
-                self.queue.push(a, ev);
-                self.queue.push(b, ev);
+                self.sched(a, ev);
+                self.sched(b, ev);
             }
         }
     }
@@ -115,11 +118,11 @@ impl<T: Tracer> System<T> {
     pub(super) fn direct_send_to_cpu(&mut self, slice: u8, msg: DirectMsg, txn: Option<u64>) {
         let arrival = self.direct_send(1 + slice as usize, 0, &msg);
         match self.fault_delivery(FaultDomain::DirectNet, arrival) {
-            Delivery::Deliver(at) => self.queue.push(at, Ev::DirectAtCpu { msg, txn }),
+            Delivery::Deliver(at) => self.sched(at, Ev::DirectAtCpu { msg, txn }),
             Delivery::Drop => {}
             Delivery::Duplicate(a, b) => {
-                self.queue.push(a, Ev::DirectAtCpu { msg, txn });
-                self.queue.push(b, Ev::DirectAtCpu { msg, txn });
+                self.sched(a, Ev::DirectAtCpu { msg, txn });
+                self.sched(b, Ev::DirectAtCpu { msg, txn });
             }
         }
     }
@@ -169,14 +172,14 @@ impl<T: Tracer> System<T> {
                     self.queue
                         .push(self.now + KERNEL_LAUNCH_OVERHEAD, Ev::KernelStart);
                 }
-                self.queue.push(self.now + 1, Ev::CpuAdvance);
+                self.sched(self.now + 1, Ev::CpuAdvance);
             }
             CpuOp::WaitGpu => {
                 self.cpu.pc += 1;
                 if self.running_kernel.is_some() || !self.kernel_queue.is_empty() {
                     self.cpu.block = CpuBlock::Gpu;
                 } else {
-                    self.queue.push(self.now + 1, Ev::CpuAdvance);
+                    self.sched(self.now + 1, Ev::CpuAdvance);
                 }
             }
             CpuOp::Store(va) => self.cpu_store(va),
@@ -205,7 +208,7 @@ impl<T: Tracer> System<T> {
                 self.sb_txns.push_back(txn);
             }
             self.cpu.pc += 1;
-            self.queue.push(self.now + cost, Ev::CpuAdvance);
+            self.sched(self.now + cost, Ev::CpuAdvance);
             self.kick_drain();
         } else {
             // Buffer full: retry this op when a drain completes.
@@ -230,7 +233,7 @@ impl<T: Tracer> System<T> {
         }
         if self.sb.contains(line) || self.inflight_stores.iter().any(|(e, _)| e.line == line) {
             // Store-to-load forwarding (buffered or draining stores).
-            self.queue.push(self.now + cost, Ev::CpuAdvance);
+            self.sched(self.now + cost, Ev::CpuAdvance);
             return;
         }
         if self.cpu_l1d.access(line).is_some() {
@@ -254,7 +257,7 @@ impl<T: Tracer> System<T> {
             },
         );
         self.cpu.block = CpuBlock::Load;
-        self.queue.push(
+        self.sched(
             self.now + cost + self.cfg.cpu_l1_latency + self.cfg.cpu_l2_latency,
             Ev::CpuL2Access { line, write: false },
         );
@@ -264,19 +267,20 @@ impl<T: Tracer> System<T> {
     pub(super) fn resume_cpu_load(&mut self) {
         debug_assert_eq!(self.cpu.block, CpuBlock::Load);
         self.cpu.block = CpuBlock::None;
-        self.queue.push(self.now + 1, Ev::CpuAdvance);
+        self.sched(self.now + 1, Ev::CpuAdvance);
     }
 
     /// Schedules a store-buffer drain attempt if capacity allows.
     pub(super) fn kick_drain(&mut self) {
         if self.inflight_stores.len() < self.cfg.store_drain_parallelism && !self.sb.is_empty() {
-            self.queue.push(self.now, Ev::SbDrain);
+            self.sched(self.now, Ev::SbDrain);
         }
     }
 
     /// Starts draining store-buffer entries up to the drain
     /// parallelism limit (`Ev::SbDrain`).
     pub(super) fn sb_drain(&mut self) {
+        let _prof = prof::span(HostPhase::PushPath);
         while self.inflight_stores.len() < self.cfg.store_drain_parallelism {
             let Some(entry) = self.sb.pop() else {
                 break;
@@ -293,7 +297,7 @@ impl<T: Tracer> System<T> {
             // Popping freed buffer space: a stalled store can retry.
             if self.cpu.block == CpuBlock::SbFull {
                 self.cpu.block = CpuBlock::None;
-                self.queue.push(self.now + 1, Ev::CpuAdvance);
+                self.sched(self.now + 1, Ev::CpuAdvance);
             }
             if entry.is_direct {
                 // §III.F: the CPU issues a GETX on the direct network,
@@ -312,7 +316,7 @@ impl<T: Tracer> System<T> {
                             attempt: 0,
                         },
                     );
-                    self.queue.push(
+                    self.sched(
                         self.now + self.faults.backoff(0),
                         Ev::PushTimeout { txn, attempt: 0 },
                     );
@@ -325,7 +329,7 @@ impl<T: Tracer> System<T> {
                 if self.cpu_l1d.access(entry.line).is_some() {
                     self.cpu_l1_stats.record_hit();
                 }
-                self.queue.push(
+                self.sched(
                     self.now + self.cfg.cpu_l1_latency + self.cfg.cpu_l2_latency,
                     Ev::CpuL2Access {
                         line: entry.line,
@@ -352,6 +356,7 @@ impl<T: Tracer> System<T> {
     /// A demand access arrives at the CPU L2 (`Ev::CpuL2Access`; tag
     /// latency already elapsed).
     pub(super) fn cpu_l2_access(&mut self, line: LineAddr, write: bool) {
+        let _prof = prof::span(HostPhase::CacheLookup);
         if !write {
             if self.cpu_l2.array.access(line).is_some_and(|s| s.can_read()) {
                 self.cpu_l2.record_hit(line);
@@ -432,7 +437,7 @@ impl<T: Tracer> System<T> {
                     // DRAM. (For a full-line write the fetch is still
                     // modelled — conservative.)
                     let done = self.dram_access(self.now, line, false);
-                    self.queue.push(done, Ev::CpuL2MemDone { line });
+                    self.sched(done, Ev::CpuL2MemDone { line });
                 }
             }
             MshrOutcome::Secondary => {
@@ -460,7 +465,7 @@ impl<T: Tracer> System<T> {
             let Some((line, write)) = self.cpu_l2_stalled.pop_front() else {
                 break;
             };
-            self.queue.push(self.now, Ev::CpuL2Access { line, write });
+            self.sched(self.now, Ev::CpuL2Access { line, write });
         }
     }
 
@@ -538,6 +543,7 @@ impl<T: Tracer> System<T> {
 
     /// Handles direct-network messages arriving back at the CPU.
     pub(super) fn on_direct_at_cpu(&mut self, msg: DirectMsg, txn: Option<u64>) {
+        let _prof = prof::span(HostPhase::PushPath);
         match msg {
             DirectMsg::PutXAck { line } => {
                 if self.faults.retries_enabled() {
@@ -560,7 +566,10 @@ impl<T: Tracer> System<T> {
                 self.stage_finish(txn, self.now);
                 let started = self.complete_drain(line);
                 let latency = self.now.saturating_since(started);
-                self.probes.push_e2e.record(latency);
+                {
+                    let _tax = prof::span(HostPhase::TaxHistograms);
+                    self.probes.push_e2e.record(latency);
+                }
                 self.trace(
                     Component::StoreBuffer,
                     Some(line.index()),
@@ -584,6 +593,7 @@ impl<T: Tracer> System<T> {
     /// then degrades it to the CCSM demand path: write the line to its
     /// DRAM home and let the GPU miss on it.
     pub(super) fn on_push_timeout(&mut self, txn: u64, attempt: u32) {
+        let _prof = prof::span(HostPhase::PushPath);
         let Some(track) = self.inflight_pushes.get(&txn).copied() else {
             return; // Acked (or degraded) before the timeout fired.
         };
@@ -619,7 +629,7 @@ impl<T: Tracer> System<T> {
         let slice = ds_coherence::msg::slice_index(line);
         self.direct_send_to_slice(slice, DirectMsg::GetX { line }, None);
         self.direct_send_to_slice(slice, DirectMsg::PutX { line }, Some(txn));
-        self.queue.push(
+        self.sched(
             self.now + self.faults.backoff(next),
             Ev::PushTimeout { txn, attempt: next },
         );

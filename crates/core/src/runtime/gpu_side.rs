@@ -6,6 +6,7 @@ use ds_coherence::{msg::slice_index, Agent, CohMsg, HammerState, ReqKind};
 use ds_gpu::WarpOp;
 use ds_mem::LineAddr;
 use ds_noc::{MsgClass, PortId};
+use ds_probe::prof::{self, HostPhase};
 use ds_probe::{Component, NetId, Stage, TraceKind, Tracer};
 use ds_sim::Cycle;
 
@@ -40,6 +41,7 @@ impl<T: Tracer> System<T> {
         class: MsgClass,
         line: LineAddr,
     ) -> Cycle {
+        let _prof = prof::span(HostPhase::NocTick);
         let info = self.gpu_net.send_info(at, src, dst, class);
         self.lens.net_msg(
             NetId::GpuInternal,
@@ -102,7 +104,7 @@ impl<T: Tracer> System<T> {
         }
         for sm in 0..self.cfg.sms {
             if self.sms[sm].assigned_warps() > 0 {
-                self.queue.push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+                self.sched(self.now + 1, Ev::SmTick { sm: sm as u32 });
             }
         }
     }
@@ -121,13 +123,13 @@ impl<T: Tracer> System<T> {
         self.kernels_run += 1;
         self.warps_completed += self.kernels[k].warp_count() as u64;
         if !self.kernel_queue.is_empty() {
-            self.queue.push(
+            self.sched(
                 self.now + super::cpu_side::KERNEL_LAUNCH_OVERHEAD,
                 Ev::KernelStart,
             );
         } else if self.cpu.block == CpuBlock::Gpu {
             self.cpu.block = CpuBlock::None;
-            self.queue.push(self.now + 1, Ev::CpuAdvance);
+            self.sched(self.now + 1, Ev::CpuAdvance);
         }
     }
 
@@ -149,7 +151,7 @@ impl<T: Tracer> System<T> {
         }
         // One issue per SM per cycle.
         if self.last_issue[sm] == self.now {
-            self.queue.push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+            self.sched(self.now + 1, Ev::SmTick { sm: sm as u32 });
             return;
         }
         match self.sms[sm].issue(self.now) {
@@ -174,7 +176,7 @@ impl<T: Tracer> System<T> {
                 }
                 self.harvest_finished(sm);
                 if self.running_kernel.is_some() {
-                    self.queue.push(self.now + 1, Ev::SmTick { sm: sm as u32 });
+                    self.sched(self.now + 1, Ev::SmTick { sm: sm as u32 });
                 }
             }
             None => {
@@ -182,7 +184,7 @@ impl<T: Tracer> System<T> {
                 if self.running_kernel.is_some() {
                     if let Some(wake) = self.sms[sm].earliest_wake() {
                         let at = wake.max(self.now + 1);
-                        self.queue.push(at, Ev::SmTick { sm: sm as u32 });
+                        self.sched(at, Ev::SmTick { sm: sm as u32 });
                     }
                     // Otherwise the SM is blocked on memory; responses
                     // will re-tick it.
@@ -227,7 +229,7 @@ impl<T: Tracer> System<T> {
                 Some(line.index()),
                 TraceKind::Hit { push_hit: false },
             );
-            self.queue.push(
+            self.sched(
                 self.now + walk + self.cfg.gpu_l1_latency,
                 Ev::MemArrive {
                     sm: sm as u32,
@@ -270,11 +272,11 @@ impl<T: Tracer> System<T> {
             slotted: false,
         };
         match self.fault_delivery(FaultDomain::GpuNet, arrival + self.cfg.gpu_l2_latency) {
-            Delivery::Deliver(at) => self.queue.push(at, ev),
+            Delivery::Deliver(at) => self.sched(at, ev),
             Delivery::Drop => {}
             Delivery::Duplicate(a, b) => {
-                self.queue.push(a, ev);
-                self.queue.push(b, ev);
+                self.sched(a, ev);
+                self.sched(b, ev);
             }
         }
     }
@@ -298,11 +300,11 @@ impl<T: Tracer> System<T> {
             slotted: false,
         };
         match self.fault_delivery(FaultDomain::GpuNet, arrival + self.cfg.gpu_l2_latency) {
-            Delivery::Deliver(at) => self.queue.push(at, ev),
+            Delivery::Deliver(at) => self.sched(at, ev),
             Delivery::Drop => {}
             Delivery::Duplicate(a, b) => {
-                self.queue.push(a, ev);
-                self.queue.push(b, ev);
+                self.sched(a, ev);
+                self.sched(b, ev);
             }
         }
     }
@@ -310,7 +312,10 @@ impl<T: Tracer> System<T> {
     /// A memory response reaches a warp (`Ev::MemArrive`).
     pub(super) fn on_mem_arrive(&mut self, sm: usize, warp: usize, issued: Cycle, txn: u64) {
         let latency = self.now.saturating_since(issued);
-        self.probes.load_to_use.record(latency);
+        {
+            let _tax = prof::span(HostPhase::TaxHistograms);
+            self.probes.load_to_use.record(latency);
+        }
         self.stage_finish(Some(txn), self.now);
         self.trace(
             Component::Sm { sm: sm as u16 },
@@ -323,7 +328,7 @@ impl<T: Tracer> System<T> {
         self.sms[sm].mem_arrived(warp);
         self.harvest_finished(sm);
         if self.running_kernel.is_some() {
-            self.queue.push(self.now, Ev::SmTick { sm: sm as u32 });
+            self.sched(self.now, Ev::SmTick { sm: sm as u32 });
         }
     }
 
@@ -355,11 +360,12 @@ impl<T: Tracer> System<T> {
         waiter: Waiter,
         slotted: bool,
     ) {
+        let _prof = prof::span(HostPhase::CacheLookup);
         debug_assert_eq!(slice_index(line), slice, "line routed to wrong slice");
         let s = slice as usize;
         if !slotted {
             if let Err(at) = self.slice_slot(s) {
-                self.queue.push(
+                self.sched(
                     at,
                     Ev::SliceDemand {
                         slice,
@@ -485,7 +491,7 @@ impl<T: Tracer> System<T> {
                     let txn = waiter_txn(waiter);
                     self.stage_advance(txn, Stage::DramQueue, self.now);
                     self.stage_advance(txn, Stage::DramService, info.start);
-                    self.queue.push(info.done, Ev::SliceMemDone { slice, line });
+                    self.sched(info.done, Ev::SliceMemDone { slice, line });
                 }
             }
             MshrOutcome::Secondary => {
@@ -510,7 +516,7 @@ impl<T: Tracer> System<T> {
             let Some((line, write, waiter)) = self.gpu_l2_stalled[s].pop_front() else {
                 break;
             };
-            self.queue.push(
+            self.sched(
                 self.now,
                 Ev::SliceDemand {
                     slice,
@@ -569,11 +575,11 @@ impl<T: Tracer> System<T> {
                     txn,
                 };
                 match self.fault_delivery(FaultDomain::GpuNet, arrival) {
-                    Delivery::Deliver(at) => self.queue.push(at, ev),
+                    Delivery::Deliver(at) => self.sched(at, ev),
                     Delivery::Drop => {}
                     Delivery::Duplicate(a, b) => {
-                        self.queue.push(a, ev);
-                        self.queue.push(b, ev);
+                        self.sched(a, ev);
+                        self.sched(b, ev);
                     }
                 }
             }
@@ -627,7 +633,7 @@ impl<T: Tracer> System<T> {
                 Waiter::GpuStore => {
                     if granted != HammerState::MM {
                         // A store merged into a read's MSHR: upgrade.
-                        self.queue.push(
+                        self.sched(
                             self.now,
                             Ev::SliceDemand {
                                 slice,

@@ -27,8 +27,9 @@ use ds_cpu::{AddressSpace, DirectWindow, Program, StoreBuffer, StoreEntry, Tlb};
 use ds_gpu::{GpuL1, KernelTrace, L1Valid, Sm};
 use ds_mem::{Dram, DramAccessInfo, LineAddr};
 use ds_noc::Xbar;
+use ds_probe::prof::{self, HostPhase};
 use ds_probe::{
-    Component, EpochRecorder, EpochTotals, LatencyReport, LineLens, NullTracer, Stage,
+    Component, EpochRecorder, EpochTotals, LatencyReport, LineLens, NullTracer, ProbeLevel, Stage,
     StageTracker, TraceEvent, TraceKind, Tracer,
 };
 use ds_sim::{Cycle, EventQueue};
@@ -199,6 +200,9 @@ pub struct System<T: Tracer = NullTracer> {
     /// Per-cacheline lifetime forensics (unconditional, like `probes`
     /// and `stages`: never feeds back into timing).
     lens: LineLens,
+    /// The probe level this system was built at (which of `stages` /
+    /// `lens` actually collect; simulated timing is level-invariant).
+    probe_level: ProbeLevel,
     /// Next stage-accounting transaction id.
     txn_seq: u64,
     /// Stage transactions of store-buffer entries, mirroring the
@@ -301,7 +305,7 @@ impl<T: Tracer> System<T> {
         }
         let window = DirectWindow::paper_default();
         let slices = cfg.gpu_l2_slices();
-        System {
+        let mut system = System {
             space: AddressSpace::new(window),
             cpu: CpuExec {
                 program: Program::new(),
@@ -362,6 +366,7 @@ impl<T: Tracer> System<T> {
             epochs: None,
             stages: StageTracker::new(),
             lens: LineLens::new(slices, cfg.dram.total_banks() as usize),
+            probe_level: ProbeLevel::Full,
             txn_seq: 0,
             sb_txns: VecDeque::new(),
             coh_req_obs: HashMap::new(),
@@ -385,7 +390,30 @@ impl<T: Tracer> System<T> {
             abort: None,
             cfg,
             mode,
-        }
+        };
+        system.set_probe_level(prof::level());
+        system
+    }
+
+    /// Sets which optional observability layers collect during the
+    /// next run. New systems inherit the process-global
+    /// [`prof::level`]; this override exists so tests and `dsprof`
+    /// can exercise levels without racing on the global. Call before
+    /// [`System::run`] — flipping mid-run would leave half-collected
+    /// aggregates.
+    ///
+    /// Shedding a level never changes simulated timing: the layers
+    /// are observation-only, so `total_cycles` (and every other
+    /// simulated-cycle output) stays bit-identical across levels.
+    pub fn set_probe_level(&mut self, level: ProbeLevel) {
+        self.probe_level = level;
+        self.stages.set_enabled(level >= ProbeLevel::Stages);
+        self.lens.set_enabled(level >= ProbeLevel::Full);
+    }
+
+    /// The probe level this system collects at.
+    pub fn probe_level(&self) -> ProbeLevel {
+        self.probe_level
     }
 
     /// Installs a fault plan for the next run. An inactive plan (the
@@ -503,6 +531,7 @@ impl<T: Tracer> System<T> {
         line: LineAddr,
         write: bool,
     ) -> DramAccessInfo {
+        let _prof = prof::span(HostPhase::DramTick);
         let mut info = self.dram.access_info(at, line, write);
         if self.faults.is_active() {
             let seq = self.fault_seq[FaultDomain::Dram as usize];
@@ -512,9 +541,12 @@ impl<T: Tracer> System<T> {
                 info.done += extra;
             }
         }
-        self.probes
-            .dram_queue
-            .record(info.done.saturating_since(at));
+        {
+            let _tax = prof::span(HostPhase::TaxHistograms);
+            self.probes
+                .dram_queue
+                .record(info.done.saturating_since(at));
+        }
         self.lens
             .dram_access(info.bank as usize, write, info.row_hit);
         self.trace(
@@ -534,6 +566,14 @@ impl<T: Tracer> System<T> {
     /// completion cycle.
     pub(super) fn dram_access(&mut self, at: Cycle, line: LineAddr, write: bool) -> Cycle {
         self.dram_access_info(at, line, write).done
+    }
+
+    /// Schedules `ev` at `at`. The runtime's single event-queue
+    /// insertion point, so host profiling attributes every push to
+    /// [`HostPhase::EventPush`].
+    fn sched(&mut self, at: Cycle, ev: Ev) {
+        let _prof = prof::span(HostPhase::EventPush);
+        self.queue.push(at, ev);
     }
 
     /// Allocates the next stage-accounting transaction id.
@@ -655,16 +695,22 @@ impl<T: Tracer> System<T> {
         program: Program,
         kernels: Vec<KernelTrace>,
     ) -> Result<RunReport, SimAbort> {
+        prof::run_start();
         self.cpu = CpuExec {
             program,
             pc: 0,
             block: CpuBlock::None,
         };
         self.kernels = kernels;
-        self.queue.push(Cycle::ZERO, Ev::CpuAdvance);
+        self.sched(Cycle::ZERO, Ev::CpuAdvance);
         let watchdog = self.faults.is_active();
 
-        while let Some((t, ev)) = self.queue.pop() {
+        loop {
+            let popped = {
+                let _prof = prof::span(HostPhase::EventPop);
+                self.queue.pop()
+            };
+            let Some((t, ev)) = popped else { break };
             debug_assert!(t >= self.now, "time went backwards");
             if watchdog
                 && t.saturating_since(self.now) > self.faults.watchdog_gap
@@ -677,6 +723,7 @@ impl<T: Tracer> System<T> {
             }
             self.now = t;
             if self.epochs.is_some() {
+                let _tax = prof::span(HostPhase::TaxEpochs);
                 let totals = self.epoch_totals();
                 if let Some(epochs) = self.epochs.as_mut() {
                     epochs.observe(t.as_u64(), totals);
@@ -691,6 +738,7 @@ impl<T: Tracer> System<T> {
             }
         }
         if self.epochs.is_some() {
+            let _tax = prof::span(HostPhase::TaxEpochs);
             let totals = self.epoch_totals();
             if let Some(epochs) = self.epochs.as_mut() {
                 epochs.finish(self.now.as_u64(), totals);
@@ -715,27 +763,31 @@ impl<T: Tracer> System<T> {
         }
         // Stage-accounting invariants: every tracked transaction
         // completed, loads agree with the load-to-use histogram, and
-        // pushes with the direct-push counter.
-        debug_assert_eq!(self.stages.inflight(), 0, "unfinished stage transactions");
-        debug_assert_eq!(
-            self.stages.breakdown().loads,
-            self.probes.load_to_use.samples()
-        );
-        debug_assert_eq!(
-            u128::from(self.stages.breakdown().load_cycles),
-            self.probes.load_to_use.sum(),
-            "stage sums must telescope to end-to-end load latency"
-        );
-        debug_assert_eq!(
-            self.stages.breakdown().pushes,
-            self.direct_pushes + self.pushes_degraded,
-            "every tracked push either completed or degraded"
-        );
+        // pushes with the direct-push counter. Only meaningful when
+        // the stage layer actually collected (`--probe-level` ≥
+        // stages).
+        if self.stages.is_enabled() {
+            debug_assert_eq!(self.stages.inflight(), 0, "unfinished stage transactions");
+            debug_assert_eq!(
+                self.stages.breakdown().loads,
+                self.probes.load_to_use.samples()
+            );
+            debug_assert_eq!(
+                u128::from(self.stages.breakdown().load_cycles),
+                self.probes.load_to_use.sum(),
+                "stage sums must telescope to end-to-end load latency"
+            );
+            debug_assert_eq!(
+                self.stages.breakdown().pushes,
+                self.direct_pushes + self.pushes_degraded,
+                "every tracked push either completed or degraded"
+            );
+        }
         // Close still-open pushes (installed but never consumed) so
         // the useful/dead/clobbered partition is total, then check it
         // reconciles against every independently-kept counter.
         self.lens.finalize(self.now.as_u64());
-        if cfg!(debug_assertions) {
+        if cfg!(debug_assertions) && self.lens.is_enabled() {
             self.check_lens_reconciliation();
         }
         Ok(self.report())
@@ -990,6 +1042,11 @@ impl<T: Tracer> System<T> {
                 .map(|e| e.samples().to_vec())
                 .unwrap_or_default(),
             epoch_window: self.epochs.as_ref().map(|e| e.window()).unwrap_or(0),
+            host: if prof::enabled() {
+                Some(prof::take_profile())
+            } else {
+                None
+            },
         }
     }
 }

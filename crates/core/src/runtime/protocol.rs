@@ -6,6 +6,7 @@ use ds_coherence::{
     ReqKind,
 };
 use ds_mem::LineAddr;
+use ds_probe::prof::{self, HostPhase};
 use ds_probe::{Component, Stage, TraceKind, Tracer};
 use ds_sim::Cycle;
 
@@ -14,6 +15,7 @@ use super::{Ev, System, Waiter};
 impl<T: Tracer> System<T> {
     /// Dispatches a coherence message arriving at `dst` (`Ev::Coh`).
     pub(super) fn on_coh(&mut self, dst: Agent, msg: CohMsg) {
+        let _prof = prof::span(HostPhase::Protocol);
         match dst {
             Agent::MemCtrl => self.at_hub(msg),
             Agent::CpuL2 => self.at_cpu_l2(msg),
@@ -48,7 +50,10 @@ impl<T: Tracer> System<T> {
         self.hub_dram_pending.remove(&line);
         if let Some((start, _, _)) = self.hub_txn_started.remove(&line) {
             let latency = self.now.saturating_since(start);
-            self.probes.hub_txn.record(latency);
+            {
+                let _tax = prof::span(HostPhase::TaxHistograms);
+                self.probes.hub_txn.record(latency);
+            }
             self.trace(
                 Component::Hub,
                 Some(line.index()),
@@ -148,7 +153,7 @@ impl<T: Tracer> System<T> {
                         line,
                         (self.now.as_u64(), info.start.as_u64(), info.done.as_u64()),
                     );
-                    self.queue.push(info.done, Ev::HubMemDone { line, txn });
+                    self.sched(info.done, Ev::HubMemDone { line, txn });
                 }
                 HubAction::MemWrite { line } => {
                     self.dram_access(self.now, line, true);
@@ -326,12 +331,13 @@ impl<T: Tracer> System<T> {
         slotted: bool,
         txn: Option<u64>,
     ) {
+        let _prof = prof::span(HostPhase::PushPath);
         let s = slice as usize;
         // Pushes and uncached reads occupy the slice's service port
         // like any other access (control-only GETX rides along free).
         if !slotted && !matches!(msg, DirectMsg::GetX { .. }) {
             if let Err(at) = self.slice_slot(s) {
-                self.queue.push(
+                self.sched(
                     at,
                     Ev::DirectAtSlice {
                         slice,
@@ -415,7 +421,7 @@ impl<T: Tracer> System<T> {
                     let miss_kind = self.gpu_l2[s].record_miss(line);
                     self.note_slice_miss(slice, line, false, miss_kind, false);
                     let done = self.dram_access(self.now + self.cfg.gpu_l2_latency, line, false);
-                    self.queue.push(done, Ev::DirectReadMemDone { slice, line });
+                    self.sched(done, Ev::DirectReadMemDone { slice, line });
                 }
             }
             other => unreachable!("unexpected direct message at slice: {other:?}"),

@@ -349,6 +349,10 @@ impl Default for LensReport {
 /// sorted.
 #[derive(Debug)]
 pub struct LineLens {
+    /// Runtime shed switch (`--probe-level stages|minimal`): when
+    /// off, every record method is an early return and the report
+    /// stays empty.
+    enabled: bool,
     lines: HashMap<u64, LineHistory>,
     push_useful: u64,
     push_dead: u64,
@@ -382,6 +386,7 @@ impl LineLens {
     /// A lens over `slices` GPU L2 slices and `banks` DRAM banks.
     pub fn new(slices: usize, banks: usize) -> Self {
         LineLens {
+            enabled: true,
             lines: HashMap::new(),
             push_useful: 0,
             push_dead: 0,
@@ -398,8 +403,24 @@ impl LineLens {
         }
     }
 
+    /// Turns collection on or off (the `--probe-level` runtime
+    /// switch). Disabling never perturbs simulated timing — the lens
+    /// was observation-only to begin with.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether collection is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// The CPU architecturally executed a store to `line`.
     pub fn cpu_store(&mut self, line: u64, push: bool, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         record_line(&mut self.lines, line, at, LineEventKind::CpuStore { push });
     }
 
@@ -409,6 +430,10 @@ impl LineLens {
     /// injection can duplicate or reorder PUTX/GETX so one may; it is
     /// closed as clobbered rather than lost.
     pub fn push_fill(&mut self, slice: usize, line: u64, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.slices[slice].push_fills += 1;
         let h = record_line(&mut self.lines, line, at, LineEventKind::PushFill);
         h.pushes += 1;
@@ -424,6 +449,10 @@ impl LineLens {
     /// A push for `line` bypassed `slice` to DRAM (set full). The line
     /// is not installed, so no efficacy interval opens.
     pub fn push_bypass(&mut self, slice: usize, line: u64, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.slices[slice].push_bypasses += 1;
         self.push_bypasses += 1;
         record_line(&mut self.lines, line, at, LineEventKind::PushBypass);
@@ -433,6 +462,10 @@ impl LineLens {
     /// CCSM demand path. Like a bypass, nothing was installed, so no
     /// efficacy interval opens.
     pub fn push_degraded(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.push_degraded += 1;
     }
 
@@ -440,6 +473,10 @@ impl LineLens {
     /// demand fill landing on an open push replaces the pushed copy —
     /// the push dies untouched if the GPU never read it.
     pub fn demand_fill(&mut self, slice: usize, line: u64, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.slices[slice].demand_fills += 1;
         let h = record_line(&mut self.lines, line, at, LineEventKind::DemandFill);
         if let Some(open) = h.open.take() {
@@ -463,6 +500,10 @@ impl LineLens {
         gpu: bool,
         at: u64,
     ) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.slices[slice].hits += 1;
         if push_hit {
             self.slices[slice].push_hits += 1;
@@ -501,6 +542,10 @@ impl LineLens {
 
     /// A demand access missed `line` in `slice`.
     pub fn slice_miss(&mut self, slice: usize, line: u64, write: bool, gpu: bool, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.slices[slice].misses += 1;
         let h = record_line(
             &mut self.lines,
@@ -522,6 +567,10 @@ impl LineLens {
     /// before the GPU read it); one killing a consumed push is a
     /// ping-pong. Coherence probes kill untouched pushes dead.
     pub fn invalidate(&mut self, slice: usize, line: u64, direct: bool, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.slices[slice].invalidations += 1;
         let h = record_line(
             &mut self.lines,
@@ -547,6 +596,10 @@ impl LineLens {
 
     /// `slice` evicted `line` to make room for another fill.
     pub fn evict(&mut self, slice: usize, line: u64, writeback: bool, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         self.slices[slice].evictions += 1;
         if writeback {
             self.slices[slice].writebacks += 1;
@@ -567,6 +620,10 @@ impl LineLens {
 
     /// One DRAM access was serviced by `bank`.
     pub fn dram_access(&mut self, bank: usize, write: bool, row_hit: bool) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         let b = &mut self.banks[bank];
         if write {
             b.writes += 1;
@@ -580,6 +637,10 @@ impl LineLens {
 
     /// One message traversed `net`'s `src → dst` link.
     pub fn net_msg(&mut self, net: NetId, src: u8, dst: u8, data: bool) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         let cell = self.links.entry((net, src, dst)).or_insert((0, 0));
         if data {
             cell.1 += 1;
@@ -591,6 +652,10 @@ impl LineLens {
     /// Closes every still-open push as dead: the run ended before the
     /// GPU touched it. Call once, after the simulation drains.
     pub fn finalize(&mut self, _at: u64) {
+        if !self.enabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxLens);
         let mut dead = 0;
         for h in self.lines.values_mut() {
             if let Some(open) = h.open.take() {

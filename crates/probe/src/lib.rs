@@ -39,7 +39,13 @@
 //!   `pushed_fills`), sharing forensics (ping-pong, write-after-push,
 //!   reuse distances, first-touch latency) and per-slice / per-bank /
 //!   per-link traffic heatmaps, aggregated as a [`LensReport`] for the
-//!   `dslens` CLI.
+//!   `dslens` CLI;
+//! * **host-time self-profiling** — the [`prof`] module's scoped span
+//!   profiler attributes wall-clock to [`HostPhase`] buckets
+//!   (including the cost of the instrumentation itself, the
+//!   "observability tax") as a [`HostProfile`] riding on run reports,
+//!   and owns the runtime [`ProbeLevel`] switch that sheds optional
+//!   collection layers without recompiling.
 //!
 //! The crate deliberately depends only on `ds-sim`: events carry raw
 //! line indices (`u64`), not typed addresses, so every other model
@@ -51,6 +57,7 @@ mod event;
 pub mod jsonl;
 mod latency;
 mod lens;
+pub mod prof;
 mod service;
 mod stage;
 mod tracer;
@@ -66,6 +73,7 @@ pub use lens::{
     BankTraffic, LensReport, LineEvent, LineEventKind, LineHistory, LineLens, LinkTraffic,
     SliceTraffic,
 };
+pub use prof::{HostPhase, HostProfile, ProbeLevel};
 pub use service::ServiceMetrics;
 pub use stage::{Stage, StageBreakdown, StageTracker, TxnPath};
 pub use tracer::{BufferTracer, NullTracer, Tracer};

@@ -205,6 +205,10 @@ struct Inflight {
 pub struct StageTracker {
     inflight: std::collections::HashMap<u64, Inflight>,
     breakdown: StageBreakdown,
+    /// Runtime shed switch (`--probe-level minimal`): when set, every
+    /// update is an early return and the breakdown stays empty.
+    /// Inverted so `derive(Default)` yields an *enabled* tracker.
+    disabled: bool,
 }
 
 impl StageTracker {
@@ -213,8 +217,24 @@ impl StageTracker {
         Self::default()
     }
 
+    /// Turns collection on or off (the `--probe-level` runtime
+    /// switch). Disabling never perturbs simulated timing — updates
+    /// were observation-only to begin with.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.disabled = !on;
+    }
+
+    /// Whether collection is on.
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
     /// Starts tracking `txn` in `stage` at `cycle`.
     pub fn begin(&mut self, txn: u64, stage: Stage, cycle: u64) {
+        if self.disabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxStages);
         self.inflight.insert(
             txn,
             Inflight {
@@ -230,6 +250,10 @@ impl StageTracker {
     /// transaction ids are ignored, so callers may pass ids for
     /// requests that are not tracked (e.g. GPU stores).
     pub fn advance(&mut self, txn: u64, stage: Stage, cycle: u64) {
+        if self.disabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxStages);
         if let Some(f) = self.inflight.get_mut(&txn) {
             self.breakdown.cycles[f.stage.index()] += cycle.saturating_sub(f.entered);
             f.stage = stage;
@@ -241,6 +265,10 @@ impl StageTracker {
     /// folds the whole transaction into the breakdown. Unknown ids
     /// are ignored.
     pub fn finish(&mut self, txn: u64, cycle: u64) {
+        if self.disabled {
+            return;
+        }
+        let _tax = crate::prof::span(crate::prof::HostPhase::TaxStages);
         if let Some(f) = self.inflight.remove(&txn) {
             self.breakdown.cycles[f.stage.index()] += cycle.saturating_sub(f.entered);
             let total = cycle.saturating_sub(f.begun);

@@ -1,0 +1,557 @@
+//! `dsprof` — host-time self-profiling and perf-trend tracking.
+//!
+//! Runs benchmarks with the `ds_probe::prof` scoped profiler enabled
+//! and reports where *host* time goes: the simulator's hot phases
+//! (event queue, cache lookups, protocol transitions, the push path,
+//! NoC and DRAM ticks) plus the observability tax — the cost of the
+//! StageTracker, LineLens, latency histograms and epoch recorder,
+//! each in its own bucket. Host time never feeds back into simulated
+//! timing; `--check` proves it by asserting bit-identical simulated
+//! cycles with the profiler on, off, and at every probe level.
+//!
+//! ```text
+//! dsprof [--bench CODE] [--input small|big] [--mode ccsm|ds|both]
+//!        [--probe-level full|stages|minimal] [--format table|folded]
+//! dsprof --check [--bench CODE]
+//! dsprof trend [--dir DIR] [--last N]
+//! ```
+
+use ds_core::{InputSize, Mode, Pipeline, RunReport, Scenario, SystemConfig};
+use ds_probe::prof::{self, HostPhase, HostProfile, ProbeLevel};
+use ds_runner::json::{self, Json};
+
+const USAGE: &str = "usage: dsprof [options]
+       dsprof --check [--bench CODE]
+       dsprof trend [--dir DIR] [--last N]
+
+Profiles the simulator's own host time over the Table II catalog and
+prints a per-phase breakdown including the observability tax. The
+trend subcommand diffs every committed BENCH_<date>.json into a
+per-benchmark time series.
+
+options:
+  --bench CODE       profile only this benchmark (default: catalog)
+  --input small|big  input size (default: small)
+  --mode ccsm|ds|both
+                     modes to profile (default: both)
+  --probe-level full|stages|minimal
+                     observability level to profile at (default: full)
+  --format table|folded
+                     per-phase table or folded-stack lines suitable
+                     for flamegraph tooling (default: table)
+  --check            invariant mode: per-phase sums never exceed
+                     wall-clock, shed probe levels have exactly-zero
+                     tax buckets, and simulated cycles are
+                     bit-identical with the profiler on, off, and at
+                     every probe level; exits non-zero on violation
+  --dir DIR          (trend) directory holding BENCH_*.json files
+                     (default: .)
+  --last N           (trend) show only the N newest baselines
+                     (default: 8)
+  --help             show this help";
+
+struct Options {
+    bench: Option<String>,
+    input: InputSize,
+    modes: Vec<Mode>,
+    level: ProbeLevel,
+    folded: bool,
+    check: bool,
+    trend: bool,
+    dir: String,
+    last: usize,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("dsprof: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        bench: None,
+        input: InputSize::Small,
+        modes: vec![Mode::Ccsm, Mode::DirectStore],
+        level: ProbeLevel::Full,
+        folded: false,
+        check: false,
+        trend: false,
+        dir: ".".to_string(),
+        last: 8,
+    };
+    let mut it = args.iter().peekable();
+    if it.peek().map(|s| s.as_str()) == Some("trend") {
+        it.next();
+        opts.trend = true;
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--bench needs a value"));
+                opts.bench = Some(v.clone());
+            }
+            "--input" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--input needs a value"));
+                opts.input = match v.as_str() {
+                    "small" => InputSize::Small,
+                    "big" => InputSize::Big,
+                    other => usage_error(&format!("unknown input size {other:?}")),
+                };
+            }
+            "--mode" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--mode needs a value"));
+                opts.modes = match v.as_str() {
+                    "ccsm" => vec![Mode::Ccsm],
+                    "ds" => vec![Mode::DirectStore],
+                    "both" => vec![Mode::Ccsm, Mode::DirectStore],
+                    other => usage_error(&format!("unknown mode {other:?}")),
+                };
+            }
+            "--probe-level" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--probe-level needs a value"));
+                opts.level = ProbeLevel::parse(v)
+                    .unwrap_or_else(|| usage_error(&format!("unknown probe level {v:?}")));
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--format needs a value"));
+                opts.folded = match v.as_str() {
+                    "table" => false,
+                    "folded" => true,
+                    other => usage_error(&format!("unknown format {other:?}")),
+                };
+            }
+            "--check" => opts.check = true,
+            "--dir" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--dir needs a value"));
+                opts.dir = v.clone();
+            }
+            "--last" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--last needs a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.last = n,
+                    _ => usage_error(&format!("--last needs a positive integer, got {v:?}")),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    opts
+}
+
+fn benches(filter: Option<&str>) -> Vec<ds_workloads::Benchmark> {
+    match filter {
+        Some(code) => match ds_workloads::catalog::by_code(code) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("dsprof: unknown benchmark code {code:?} (see Table II)");
+                std::process::exit(1);
+            }
+        },
+        None => ds_workloads::catalog::all(),
+    }
+}
+
+/// One profiled simulation. The profiler globals are already set by
+/// the caller; a fresh [`System`] picks the probe level up at
+/// construction.
+///
+/// [`System`]: ds_core::System
+fn run_profiled(bench: &dyn Scenario, input: InputSize, mode: Mode) -> RunReport {
+    let pipeline = Pipeline::with_config(SystemConfig::paper_default());
+    pipeline.run_one(bench, input, mode).unwrap_or_else(|e| {
+        eprintln!("dsprof: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// The per-phase table: simulation phases first, then the tax
+/// buckets, then the untracked remainder, each as self time against
+/// total wall-clock.
+fn render_table(profile: &HostProfile, runs: &[(String, u64)]) -> String {
+    let wall = profile.wall_nanos;
+    let mut out = format!(
+        "{:16} {:>12} {:>12} {:>7}\n",
+        "phase", "spans", "self ms", "% wall"
+    );
+    let section = |out: &mut String, title: &str, tax: bool| {
+        out.push_str(&format!("-- {title}\n"));
+        for &phase in HostPhase::ALL.iter().filter(|p| p.is_tax() == tax) {
+            out.push_str(&format!(
+                "{:16} {:>12} {:>12.3} {:>6.2}%\n",
+                phase.name(),
+                profile.phase_count(phase),
+                ms(profile.phase_nanos(phase)),
+                pct(profile.phase_nanos(phase), wall),
+            ));
+        }
+    };
+    section(&mut out, "simulation", false);
+    section(&mut out, "observability tax", true);
+    out.push_str(&format!(
+        "-- totals\n\
+         {:16} {:>12} {:>12.3} {:>6.2}%\n\
+         {:16} {:>12} {:>12.3} {:>6.2}%\n\
+         {:16} {:>12} {:>12.3} {:>6.2}%\n\
+         {:16} {:>12} {:>12.3} {:>6.2}%\n",
+        "tracked",
+        "",
+        ms(profile.total_self_nanos()),
+        pct(profile.total_self_nanos(), wall),
+        "tax",
+        "",
+        ms(profile.tax_nanos()),
+        pct(profile.tax_nanos(), wall),
+        "untracked",
+        "",
+        ms(profile.untracked_nanos()),
+        pct(profile.untracked_nanos(), wall),
+        "wall",
+        "",
+        ms(wall),
+        100.0,
+    ));
+    out.push_str("-- runs\n");
+    for (label, nanos) in runs {
+        out.push_str(&format!("{label:16} {:>12.3} ms wall\n", ms(*nanos)));
+    }
+    out
+}
+
+/// The simulated outcome of a run, everything host profiling must
+/// not perturb. Compared across profiler variants in `--check`.
+fn sim_fingerprint(r: &RunReport) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.total_cycles.as_u64(),
+        r.events,
+        r.dram_reads,
+        r.dram_writes,
+        r.direct_pushes,
+        r.gpu_l2.hits.value(),
+        r.gpu_l2.misses.value(),
+    )
+}
+
+/// The `--check` invariants for one benchmark/input/mode: runs the
+/// simulation with the profiler off and then on at every probe
+/// level, returning human-readable violations (empty means all
+/// hold).
+fn check_one(bench: &dyn Scenario, input: InputSize, mode: Mode) -> Vec<String> {
+    let code = bench.code();
+    let label = format!("{code} {input} {mode}");
+    let mut errs = Vec::new();
+
+    prof::set_enabled(false);
+    prof::set_level(ProbeLevel::Full);
+    let baseline = run_profiled(bench, input, mode);
+    if baseline.host.is_some() {
+        errs.push(format!("{label}: disabled profiler produced a profile"));
+    }
+    let expected = sim_fingerprint(&baseline);
+
+    for level in ProbeLevel::ALL {
+        prof::set_enabled(true);
+        prof::set_level(level);
+        let report = run_profiled(bench, input, mode);
+        let tag = format!("{label} @{level}");
+        if sim_fingerprint(&report) != expected {
+            errs.push(format!(
+                "{tag}: simulated outcome diverged from unprofiled baseline \
+                 ({:?} != {expected:?})",
+                sim_fingerprint(&report)
+            ));
+        }
+        let Some(host) = &report.host else {
+            errs.push(format!("{tag}: enabled profiler produced no profile"));
+            continue;
+        };
+        if let Err(e) = host.check() {
+            errs.push(format!("{tag}: {e}"));
+        }
+        // Shed observability layers must cost exactly nothing: their
+        // tax spans live behind the layer's own disabled guard.
+        if level < ProbeLevel::Full {
+            for phase in [HostPhase::TaxLens] {
+                if host.phase_count(phase) != 0 {
+                    errs.push(format!(
+                        "{tag}: {} recorded {} spans with the lens shed",
+                        phase.name(),
+                        host.phase_count(phase)
+                    ));
+                }
+            }
+        }
+        if level < ProbeLevel::Stages && host.phase_count(HostPhase::TaxStages) != 0 {
+            errs.push(format!(
+                "{tag}: tax_stages recorded {} spans at minimal level",
+                host.phase_count(HostPhase::TaxStages)
+            ));
+        }
+    }
+    prof::set_enabled(false);
+    prof::set_level(ProbeLevel::Full);
+    errs
+}
+
+/// One baseline file's slice of the trend view.
+struct TrendPoint {
+    date: String,
+    fingerprint: String,
+    geomean: f64,
+    /// `(code, input) -> direct-store cycles`.
+    entries: Vec<(String, String, u64)>,
+    /// Summed host wall nanos across entries, when the baseline
+    /// carries per-phase breakdowns (schema version >= 2).
+    host_wall: Option<u64>,
+}
+
+fn parse_trend_point(text: &str, fallback_date: &str) -> Result<TrendPoint, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(Json::as_str) != Some("ds-bench-baseline") {
+        return Err("not a ds-bench-baseline document".into());
+    }
+    let mut entries = Vec::new();
+    let mut host_wall = None;
+    for entry in doc
+        .get("benchmarks")
+        .and_then(Json::as_arr)
+        .ok_or("missing benchmarks array")?
+    {
+        let field = |key: &str| {
+            entry
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("benchmark entry missing {key}"))
+                .map(str::to_string)
+        };
+        let cycles = entry
+            .get("ds")
+            .and_then(|m| m.get("total_cycles"))
+            .and_then(Json::as_u64)
+            .ok_or("benchmark entry missing ds.total_cycles")?;
+        for mode in ["ccsm", "ds"] {
+            if let Some(wall) = entry
+                .get(mode)
+                .and_then(|m| m.get("host"))
+                .and_then(|h| h.get("wall_nanos"))
+                .and_then(Json::as_u64)
+            {
+                host_wall = Some(host_wall.unwrap_or(0) + wall);
+            }
+        }
+        entries.push((field("code")?, field("input")?, cycles));
+    }
+    Ok(TrendPoint {
+        date: doc
+            .get("date")
+            .and_then(Json::as_str)
+            .unwrap_or(fallback_date)
+            .to_string(),
+        fingerprint: doc
+            .get("config_fingerprint")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        geomean: doc
+            .get("geomean_speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        entries,
+        host_wall,
+    })
+}
+
+/// Diffs every `BENCH_*.json` under `dir` into a per-benchmark
+/// time series. Returns the rendered report, or an error when no
+/// baseline parses.
+fn render_trend(dir: &str, last: usize) -> Result<String, String> {
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    files.sort(); // BENCH_YYYY-MM-DD.json sorts chronologically
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json files under {dir}"));
+    }
+    let skipped = files.len().saturating_sub(last);
+    let mut points = Vec::new();
+    for name in files.iter().skip(skipped) {
+        let path = format!("{dir}/{name}");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let fallback = name
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .to_string();
+        points.push(parse_trend_point(&text, &fallback).map_err(|e| format!("{path}: {e}"))?);
+    }
+
+    let mut out = format!(
+        "dsprof trend: {} baseline{} under {dir}{}\n\n",
+        points.len(),
+        if points.len() == 1 { "" } else { "s" },
+        if skipped > 0 {
+            format!(" ({skipped} older skipped; raise --last to include)")
+        } else {
+            String::new()
+        }
+    );
+    out.push_str(&format!(
+        "{:12} {:18} {:>8} {:>8} {:>12}\n",
+        "date", "fingerprint", "geomean", "benches", "host ms"
+    ));
+    for p in &points {
+        out.push_str(&format!(
+            "{:12} {:18} {:>8.3} {:>8} {:>12}\n",
+            p.date,
+            p.fingerprint,
+            p.geomean,
+            p.entries.len(),
+            p.host_wall
+                .map_or("-".to_string(), |w| format!("{:.1}", ms(w))),
+        ));
+    }
+
+    // Per-benchmark direct-store cycles, one column per baseline,
+    // with the relative change against the previous column.
+    out.push_str(&format!("\n{:6} {:6}", "bench", "input"));
+    for p in &points {
+        out.push_str(&format!(" {:>21}", p.date));
+    }
+    out.push('\n');
+    let mut keys: Vec<(String, String)> = points
+        .iter()
+        .flat_map(|p| p.entries.iter().map(|(c, i, _)| (c.clone(), i.clone())))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    for (code, input) in &keys {
+        out.push_str(&format!("{code:6} {input:6}"));
+        let mut prev: Option<u64> = None;
+        for p in &points {
+            match p
+                .entries
+                .iter()
+                .find(|(c, i, _)| c == code && i == input)
+                .map(|&(_, _, cycles)| cycles)
+            {
+                Some(cycles) => {
+                    let delta = match prev {
+                        Some(old) if old > 0 => {
+                            format!("{:+.2}%", 100.0 * (cycles as f64 - old as f64) / old as f64)
+                        }
+                        _ => "-".to_string(),
+                    };
+                    out.push_str(&format!(" {cycles:>12} {delta:>8}"));
+                    prev = Some(cycles);
+                }
+                None => {
+                    out.push_str(&format!(" {:>12} {:>8}", "-", "-"));
+                    prev = None;
+                }
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_options(&args);
+
+    if opts.trend {
+        match render_trend(&opts.dir, opts.last) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("dsprof: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if opts.check {
+        let mut failed = false;
+        for bench in benches(opts.bench.as_deref()) {
+            let mut errs = Vec::new();
+            for &mode in &opts.modes {
+                errs.extend(check_one(&bench, opts.input, mode));
+            }
+            if errs.is_empty() {
+                eprintln!("dsprof: {:4} invariants hold", bench.code());
+            } else {
+                failed = true;
+                for e in &errs {
+                    eprintln!("dsprof: check failed: {e}");
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "dsprof: host-time invariants hold (profiler never perturbs simulated cycles; \
+             shed levels have zero-cost tax buckets)"
+        );
+        return;
+    }
+
+    prof::set_enabled(true);
+    prof::set_level(opts.level);
+    let mut merged = HostProfile::default();
+    let mut runs = Vec::new();
+    for bench in benches(opts.bench.as_deref()) {
+        for &mode in &opts.modes {
+            let report = run_profiled(&bench, opts.input, mode);
+            let host = report.host.expect("profiler is enabled");
+            runs.push((format!("{} {}", bench.code(), mode), host.wall_nanos));
+            merged.merge(&host);
+        }
+    }
+
+    if opts.folded {
+        for line in merged.folded() {
+            println!("{line}");
+        }
+    } else {
+        println!(
+            "dsprof: {} run{} at probe level {} — host-time self profile",
+            runs.len(),
+            if runs.len() == 1 { "" } else { "s" },
+            opts.level,
+        );
+        print!("{}", render_table(&merged, &runs));
+    }
+}

@@ -30,6 +30,10 @@ options:
   --cache [DIR]            reuse/populate the on-disk result cache
                            (default DIR: results)
   --format text|json|csv   output format on stdout (default: text)
+  --probe-level LEVEL      observability probes kept live: full
+                           (default), stages, or minimal; shed levels
+                           skip StageTracker/LineLens bookkeeping
+                           without touching simulated cycles
   --quiet                  suppress per-job progress lines on stderr
   --keep-going             do not stop at the first failed task: run
                            everything, report failures on stderr, and
@@ -43,6 +47,7 @@ struct Options {
     jobs: Option<usize>,
     cache: Option<String>,
     format: Format,
+    probe_level: ds_probe::ProbeLevel,
     quiet: bool,
     keep_going: bool,
 }
@@ -67,6 +72,7 @@ fn parse_options(args: &[String]) -> Options {
         jobs: None,
         cache: None,
         format: Format::Text,
+        probe_level: ds_probe::ProbeLevel::Full,
         quiet: false,
         keep_going: false,
     };
@@ -129,6 +135,13 @@ fn parse_options(args: &[String]) -> Options {
                     other => usage_error(&format!("unknown format {other:?}")),
                 };
             }
+            "--probe-level" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--probe-level needs a value"));
+                opts.probe_level = ds_probe::ProbeLevel::parse(v)
+                    .unwrap_or_else(|| usage_error(&format!("unknown probe level {v:?}")));
+            }
             "--quiet" => opts.quiet = true,
             "--keep-going" => opts.keep_going = true,
             "--help" | "-h" => {
@@ -144,6 +157,10 @@ fn parse_options(args: &[String]) -> Options {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_options(&args);
+    // Probe shedding is process-global: set it once before any worker
+    // thread simulates. The disk cache refuses to persist shed-level
+    // reports, so `--cache` stays safe at every level.
+    ds_probe::prof::set_level(opts.probe_level);
 
     let cfg = SystemConfig::paper_default();
     let mut runner = Runner::new().progress(!opts.quiet);

@@ -10,8 +10,8 @@ use ds_cache::CacheStats;
 use ds_core::{Comparison, InputSize, Mode, RunReport};
 use ds_noc::XbarStats;
 use ds_probe::{
-    BankTraffic, EpochSample, EpochTotals, LatencyReport, LensReport, LinkTraffic, NetId,
-    SliceTraffic, Stage, StageBreakdown,
+    BankTraffic, EpochSample, EpochTotals, HostPhase, HostProfile, LatencyReport, LensReport,
+    LinkTraffic, NetId, SliceTraffic, Stage, StageBreakdown,
 };
 use ds_sim::{Cycle, Histogram};
 
@@ -189,6 +189,63 @@ pub fn stages_from_json(json: &Json) -> Result<StageBreakdown, String> {
         pushes: u64_field(json, "pushes")?,
         push_cycles: u64_field(json, "push_cycles")?,
     })
+}
+
+/// Serializes a host-time profile: wall-clock nanoseconds plus one
+/// `{phase, self_nanos, count}` entry per [`HostPhase`] (all of them,
+/// in [`HostPhase::ALL`] order, so the encoding is lossless). Public
+/// so the perf-baseline harness embeds the same encoding in
+/// `BENCH_*.json`.
+pub fn host_to_json(h: &HostProfile) -> Json {
+    Json::Obj(vec![
+        ("wall_nanos".into(), Json::Int(h.wall_nanos)),
+        (
+            "phases".into(),
+            Json::Arr(
+                HostPhase::ALL
+                    .iter()
+                    .map(|&p| {
+                        Json::Obj(vec![
+                            ("phase".into(), Json::Str(p.name().into())),
+                            ("self_nanos".into(), Json::Int(h.phase_nanos(p))),
+                            ("count".into(), Json::Int(h.phase_count(p))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserializes a profile written by [`host_to_json`]. Unknown phase
+/// names are rejected; absent phases stay zero (forward-compatible
+/// with profiles written before a phase existed).
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field.
+pub fn host_from_json(json: &Json) -> Result<HostProfile, String> {
+    let mut h = HostProfile {
+        wall_nanos: u64_field(json, "wall_nanos")?,
+        ..HostProfile::default()
+    };
+    for entry in json
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("missing field \"phases\" in host profile")?
+    {
+        let name = entry
+            .get("phase")
+            .and_then(Json::as_str)
+            .ok_or("missing field \"phase\" in host profile entry")?;
+        let phase = HostPhase::from_name(name)
+            .ok_or_else(|| format!("unknown host phase {name:?} in host profile"))?;
+        h.self_nanos[phase.index()] =
+            u64_field(entry, "self_nanos").map_err(|e| format!("in host phase {name:?}: {e}"))?;
+        h.counts[phase.index()] =
+            u64_field(entry, "count").map_err(|e| format!("in host phase {name:?}: {e}"))?;
+    }
+    Ok(h)
 }
 
 /// Compact epoch encoding: one fixed-order integer array per window.
@@ -385,9 +442,11 @@ fn lens_from_json(json: &Json) -> Result<LensReport, String> {
     })
 }
 
-/// Serializes a full run report.
+/// Serializes a full run report. The `host` profile is emitted only
+/// when present, so reports from unprofiled runs stay byte-identical
+/// to the pre-profiler encoding.
 pub fn report_to_json(r: &RunReport) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("mode".into(), Json::Str(mode_name(r.mode))),
         ("total_cycles".into(), Json::Int(r.total_cycles.as_u64())),
         ("gpu_l2".into(), cache_stats_to_json(&r.gpu_l2)),
@@ -441,7 +500,11 @@ pub fn report_to_json(r: &RunReport) -> Json {
             Json::Arr(r.epochs.iter().map(epoch_to_json).collect()),
         ),
         ("events".into(), Json::Int(r.events)),
-    ])
+    ];
+    if let Some(host) = &r.host {
+        fields.push(("host".into(), host_to_json(host)));
+    }
+    Json::Obj(fields)
 }
 
 /// Serializes a comparison: coordinates, both reports, and the derived
@@ -561,6 +624,10 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
             .collect::<Result<Vec<_>, _>>()?,
         epoch_window: u64_field(json, "epoch_window")?,
         events: u64_field(json, "events")?,
+        host: match json.get("host") {
+            Some(h) => Some(host_from_json(h)?),
+            None => None,
+        },
     })
 }
 
@@ -793,7 +860,20 @@ mod tests {
             ],
             epoch_window: 1000,
             events: 99_999,
+            host: None,
         }
+    }
+
+    fn sample_host() -> HostProfile {
+        let mut host = HostProfile {
+            wall_nanos: 5_000_000,
+            ..HostProfile::default()
+        };
+        for (i, phase) in HostPhase::ALL.iter().enumerate() {
+            host.self_nanos[phase.index()] = 1_000 * (i as u64 + 1);
+            host.counts[phase.index()] = 10 + i as u64;
+        }
+        host
     }
 
     #[test]
@@ -805,6 +885,41 @@ mod tests {
             let back = report_from_json(&parsed).unwrap();
             assert_eq!(format!("{original:?}"), format!("{back:?}"), "{mode}");
         }
+    }
+
+    #[test]
+    fn host_profile_round_trips_exactly_and_is_optional() {
+        let mut original = sample_report(Mode::DirectStore);
+        original.host = Some(sample_host());
+        let text = report_to_json(&original).pretty();
+        assert!(text.contains("\"host\""));
+        let parsed = crate::json::parse(&text).unwrap();
+        let back = report_from_json(&parsed).unwrap();
+        assert_eq!(format!("{original:?}"), format!("{back:?}"));
+
+        // Unprofiled reports omit the key entirely and decode to None.
+        let bare = report_to_json(&sample_report(Mode::DirectStore)).pretty();
+        assert!(!bare.contains("\"host\""));
+        let parsed = crate::json::parse(&bare).unwrap();
+        assert!(report_from_json(&parsed).unwrap().host.is_none());
+    }
+
+    #[test]
+    fn host_from_json_rejects_unknown_phase() {
+        let mut json = host_to_json(&sample_host());
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "phases" {
+                    if let Json::Arr(entries) = v {
+                        if let Json::Obj(entry) = &mut entries[0] {
+                            entry[0].1 = Json::Str("warp_scheduler".into());
+                        }
+                    }
+                }
+            }
+        }
+        let err = host_from_json(&json).unwrap_err();
+        assert!(err.contains("warp_scheduler"), "{err}");
     }
 
     #[test]

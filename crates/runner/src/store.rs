@@ -29,8 +29,10 @@ use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report
 /// version 4 added the per-cacheline lens (push efficacy, sharing
 /// forensics, spatial heatmaps); version 5 added the ds-chaos fault
 /// and degradation counters (`pushes_attempted`, `pushes_retried`,
-/// `pushes_degraded`, `faults_injected`, lens `push_degraded`).
-const FORMAT_VERSION: u64 = 5;
+/// `pushes_degraded`, `faults_injected`, lens `push_degraded`);
+/// version 6 added the optional `host` profile (ds-prof host-time
+/// self-accounting).
+const FORMAT_VERSION: u64 = 6;
 
 /// Memo + optional disk cache, keyed by [`TaskKey`].
 #[derive(Debug, Default)]
@@ -142,6 +144,14 @@ impl ResultStore {
     /// missing cache only costs re-simulation.
     pub fn persist(&self, fingerprint: u64, config: &SystemConfig) {
         let Some(dir) = &self.disk_dir else { return };
+        // Reports produced at a shed probe level (`--probe-level
+        // stages|minimal`) carry empty stage/lens sections; persisting
+        // them would poison the shared cache for full-probe consumers.
+        // The simulated metrics are identical across levels, so the
+        // skipped write costs only a re-simulation at full level.
+        if ds_probe::prof::level() != ds_probe::ProbeLevel::Full {
+            return;
+        }
         // Faulted results (`fault_fp != 0`) are deliberately never
         // persisted: the cache file schema identifies entries by
         // (code, input, mode) only, and fault sweeps are cheap,
@@ -319,6 +329,7 @@ pub(crate) fn test_report(cycles: u64) -> RunReport {
         epochs: vec![],
         epoch_window: 0,
         events: 0,
+        host: None,
     }
 }
 

@@ -26,6 +26,8 @@
 //! byte-identical to the batch CLI's rendering of the same run — the
 //! property the CI smoke gate asserts with `cmp`.
 
+use std::fmt;
+
 use ds_core::Scenario as _;
 use ds_core::{FaultPlan, InputSize, Mode, SystemConfig};
 use ds_runner::json::{self, Json};
@@ -46,7 +48,7 @@ pub fn handle(state: &ServeState, request: &Request) -> Response {
     let path = request.path.trim_end_matches('/');
     let response = match (request.method.as_str(), path) {
         ("POST", "/jobs") => submit(state, &request.body),
-        ("GET", "/metrics") => metrics(state),
+        ("GET", "/metrics") => metrics(state, request),
         ("GET", "/health") => health(state),
         ("POST", "/shutdown") => {
             request_shutdown(state);
@@ -201,7 +203,21 @@ fn histogram_json(h: &ds_sim::Histogram) -> Json {
     ])
 }
 
-fn metrics(state: &ServeState) -> Response {
+/// Whether the client asked for Prometheus text exposition instead of
+/// the JSON default: `?format=prom` or an `Accept` header naming
+/// `text/plain` (what Prometheus scrapers send).
+fn wants_prometheus(request: &Request) -> bool {
+    request.query.split('&').any(|p| p == "format=prom")
+        || request.accept.to_ascii_lowercase().contains("text/plain")
+}
+
+/// `GET /metrics` with content negotiation: JSON by default,
+/// Prometheus text exposition format 0.0.4 when asked (see
+/// [`wants_prometheus`]).
+fn metrics(state: &ServeState, request: &Request) -> Response {
+    if wants_prometheus(request) {
+        return prometheus_metrics(state);
+    }
     let stats = state.store.stats();
     let store = Json::Obj(vec![
         ("requests".into(), Json::Int(stats.requests)),
@@ -240,6 +256,160 @@ fn metrics(state: &ServeState) -> Response {
         ("store".into(), store),
         ("service".into(), service),
     ]))
+}
+
+/// Appends one Prometheus metric with `# HELP` / `# TYPE` metadata.
+fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: impl fmt::Display) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+/// Appends one [`ds_sim::Histogram`] in Prometheus histogram form:
+/// cumulative `_bucket{le=...}` series over the power-of-two bucket
+/// boundaries (bucket 0 holds values 0..=1, so `le="1"`; the bucket
+/// with floor `f = 2^i` holds `f..=2f-1`, so `le="2f-1"`), a final
+/// `+Inf` bucket, then exact `_sum` and `_count`. Empty interior
+/// buckets are skipped — the cumulative counts at the emitted
+/// boundaries are unchanged.
+fn prom_histogram(out: &mut String, name: &str, help: &str, h: &ds_sim::Histogram) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (floor, count) in h.iter() {
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let le = if floor == 0 { 1 } else { 2 * floor as u128 - 1 };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+        h.samples(),
+        h.sum(),
+        h.samples()
+    ));
+}
+
+/// The Prometheus rendering of [`metrics`]: the same gauges and
+/// counters as the JSON shape, plus full `_bucket`/`_sum`/`_count`
+/// series for every service histogram (the JSON shape only carries
+/// their percentile summaries).
+fn prometheus_metrics(state: &ServeState) -> Response {
+    let stats = state.store.stats();
+    let mut out = String::new();
+    prom_scalar(
+        &mut out,
+        "dsserve_uptime_seconds",
+        "gauge",
+        "Seconds since the service started.",
+        format!("{:.3}", state.started.elapsed().as_secs_f64()),
+    );
+    for (name, help, value) in [
+        (
+            "dsserve_queue_depth",
+            "Open (accepted, unfinished) jobs.",
+            state.queue.depth() as u64,
+        ),
+        (
+            "dsserve_open_jobs",
+            "Jobs not yet in a terminal state.",
+            state.queue.open_jobs() as u64,
+        ),
+        (
+            "dsserve_queue_limit",
+            "Admission bound on open jobs.",
+            state.queue.limit() as u64,
+        ),
+        (
+            "dsserve_workers",
+            "Simulation worker threads.",
+            state.options.workers as u64,
+        ),
+        (
+            "dsserve_store_entries",
+            "Results held by the shared store.",
+            state.store.len() as u64,
+        ),
+    ] {
+        prom_scalar(&mut out, name, "gauge", help, value);
+    }
+    prom_scalar(
+        &mut out,
+        "dsserve_store_hit_rate",
+        "gauge",
+        "Fraction of store requests served without simulating.",
+        format!("{:.6}", stats.hit_rate()),
+    );
+    for (name, help, value) in [
+        (
+            "dsserve_store_requests_total",
+            "Result-store lookups.",
+            stats.requests,
+        ),
+        ("dsserve_store_hits_total", "Store cache hits.", stats.hits),
+        (
+            "dsserve_store_coalesced_total",
+            "Lookups coalesced onto an in-flight computation.",
+            stats.coalesced,
+        ),
+        (
+            "dsserve_store_misses_total",
+            "Lookups that had to simulate.",
+            stats.misses,
+        ),
+        (
+            "dsserve_store_failed_total",
+            "Lookups whose computation failed.",
+            stats.failed,
+        ),
+    ] {
+        prom_scalar(&mut out, name, "counter", help, value);
+    }
+    state.with_metrics(|m| {
+        for (name, help, value) in [
+            (
+                "dsserve_http_requests_total",
+                "HTTP requests handled (any endpoint).",
+                m.requests,
+            ),
+            (
+                "dsserve_rejected_total",
+                "Submissions refused by admission control.",
+                m.rejected,
+            ),
+            (
+                "dsserve_jobs_accepted_total",
+                "Jobs accepted by admission control.",
+                m.jobs_accepted,
+            ),
+            (
+                "dsserve_jobs_completed_total",
+                "Jobs whose every task finished.",
+                m.jobs_completed,
+            ),
+            (
+                "dsserve_tasks_completed_total",
+                "Tasks that reached a terminal outcome.",
+                m.tasks_completed,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "counter", help, value);
+        }
+        for h in m.histograms() {
+            prom_histogram(
+                &mut out,
+                &format!("dsserve_{}", h.name()),
+                "Service latency histogram (microseconds).",
+                h,
+            );
+        }
+    });
+    Response {
+        status: 200,
+        body: out,
+        content_type: "text/plain; version=0.0.4",
+    }
 }
 
 fn health(state: &ServeState) -> Response {
@@ -501,6 +671,96 @@ fn faults_from(faults: Option<&Json>) -> Result<Option<FaultPlan>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::ServeOptions;
+
+    fn get_metrics(query: &str, accept: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: query.into(),
+            accept: accept.into(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn metrics_negotiates_json_and_prometheus() {
+        let state = crate::server::ServeState::new(ServeOptions::default());
+        state.with_metrics(|m| {
+            m.submit.record(120);
+            m.submit.record(9000);
+            m.status.record(3);
+        });
+
+        // Default: JSON that parses and carries the gauges.
+        let response = handle(&state, &get_metrics("", ""));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, "application/json");
+        let doc = json::parse(&response.body).expect("JSON shape parses");
+        assert!(doc.get("queue_depth").and_then(Json::as_u64).is_some());
+        assert!(doc.get("store").and_then(|s| s.get("hit_rate")).is_some());
+
+        // Prometheus via query param and via Accept header.
+        for request in [
+            get_metrics("format=prom", ""),
+            get_metrics("verbose=1&format=prom", ""),
+            get_metrics("", "text/plain"),
+        ] {
+            let response = handle(&state, &request);
+            assert_eq!(response.status, 200);
+            assert_eq!(response.content_type, "text/plain; version=0.0.4");
+            assert_prometheus_parses(&response.body);
+        }
+
+        // `Accept: application/json` stays JSON.
+        let response = handle(&state, &get_metrics("", "application/json"));
+        assert_eq!(response.content_type, "application/json");
+        json::parse(&response.body).expect("still JSON");
+    }
+
+    /// A line-level parse of the exposition format: every non-comment
+    /// line is `name[{labels}] value`, every histogram's buckets are
+    /// cumulative and reconcile with `_count`.
+    fn assert_prometheus_parses(body: &str) {
+        let mut seen = 0;
+        for line in body.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line {line:?}"
+                );
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(!name.is_empty());
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable sample value {value:?} on line {line:?}"));
+            seen += 1;
+        }
+        assert!(seen > 10, "exposition suspiciously small: {seen} samples");
+        for metric in ["dsserve_queue_depth", "dsserve_store_hit_rate"] {
+            assert!(body.contains(&format!("\n{metric} ")), "missing {metric}");
+        }
+        // The recorded submit latencies surface as a histogram whose
+        // +Inf bucket equals its count.
+        let needle = "dsserve_http_submit_us_bucket{le=\"+Inf\"} 2";
+        assert!(
+            body.contains(needle),
+            "missing cumulative bucket {needle:?}"
+        );
+        assert!(body.contains("dsserve_http_submit_us_count 2"));
+        assert!(body.contains("dsserve_http_submit_us_sum 9120"));
+        let mut last = 0u64;
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("dsserve_http_submit_us_bucket{le=\"") {
+                let count: u64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(count >= last, "buckets must be cumulative: {line:?}");
+                last = count;
+            }
+        }
+        assert_eq!(last, 2, "+Inf bucket carries every sample");
+    }
 
     #[test]
     fn sweep_submissions_match_the_batch_planner() {

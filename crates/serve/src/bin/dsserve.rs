@@ -63,6 +63,10 @@ serve options:
   --timeout SECS      per-task wall-clock budget (default: none)
   --cache DIR         on-disk result cache (default: results)
   --no-cache          keep the result store memory-only
+  --probe-level LEVEL observability probes kept live: full (default),
+                      stages, or minimal; shed levels skip
+                      StageTracker/LineLens bookkeeping without
+                      touching simulated cycles
   --verbose           log one line per request to stderr
 
 submit options:
@@ -199,6 +203,15 @@ fn cmd_serve(rest: &[String]) {
             }
             "--cache" => options.cache_dir = Some(args.value("--cache").into()),
             "--no-cache" => options.cache_dir = None,
+            "--probe-level" => {
+                let v = args.value("--probe-level");
+                // Process-global; set before any worker simulates. The
+                // disk store refuses shed-level reports, so the shared
+                // cache never sees their empty stage/lens sections.
+                let level = ds_probe::ProbeLevel::parse(&v)
+                    .unwrap_or_else(|| usage_error(&format!("unknown probe level {v:?}")));
+                ds_probe::prof::set_level(level);
+            }
             "--verbose" => options.verbose = true,
             "--help" => {
                 println!("{USAGE}");

@@ -17,7 +17,8 @@ pub const MAX_HEADER_BYTES: usize = 64 * 1024;
 /// Upper bound on an accepted request body.
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
-/// A parsed request: method, path (with query stripped), body.
+/// A parsed request: method, path (with query split off), query
+/// string, `Accept` header, body.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Uppercase method (`GET`, `POST`, ...).
@@ -25,6 +26,12 @@ pub struct Request {
     /// Request path, percent-decoding *not* applied (the API uses
     /// only unreserved characters).
     pub path: String,
+    /// Raw query string after the `?`, without the `?` itself (empty
+    /// when absent). Handlers split on `&` themselves.
+    pub query: String,
+    /// The `Accept` header value, empty when the header was absent.
+    /// `GET /metrics` negotiates Prometheus text exposition on it.
+    pub accept: String,
     /// Raw request body (empty for bodiless requests).
     pub body: Vec<u8>,
 }
@@ -85,8 +92,12 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
         .ok_or_else(|| bad("missing method"))?
         .to_string();
     let target = parts.next().ok_or_else(|| bad("missing path"))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
+    let mut accept = String::new();
     let mut content_length = 0usize;
     let mut header_bytes = line.len();
     loop {
@@ -108,6 +119,8 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
                     .trim()
                     .parse()
                     .map_err(|_| bad("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = value.trim().to_string();
             }
         }
     }
@@ -116,7 +129,13 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        accept,
+        body,
+    })
 }
 
 /// Writes `response` to `stream` and flushes. The service speaks one
@@ -259,6 +278,7 @@ mod tests {
             let (mut stream, _) = listener.accept().unwrap();
             let request = read_request(&mut stream).unwrap();
             assert_eq!(request.path, "/metrics");
+            assert_eq!(request.query, "verbose=1");
             write_response(&mut stream, &Response::json(200, "{}".into())).unwrap();
         });
         client_request(

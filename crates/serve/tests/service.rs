@@ -197,6 +197,8 @@ fn saturation_answers_429_and_shutdown_answers_429() {
     let submit = Request {
         method: "POST".into(),
         path: "/jobs".into(),
+        query: String::new(),
+        accept: String::new(),
         body: br#"{"tasks": [{"bench": "VA", "input": "small", "mode": "ds"}]}"#.to_vec(),
     };
     assert_eq!(api::handle(&state, &submit).status, 200);
@@ -229,6 +231,8 @@ fn unknown_routes_and_bad_bodies_are_4xx() {
             &Request {
                 method: "GET".into(),
                 path: path.into(),
+                query: String::new(),
+                accept: String::new(),
                 body: Vec::new(),
             },
         )
@@ -243,6 +247,8 @@ fn unknown_routes_and_bad_bodies_are_4xx() {
         &Request {
             method: "POST".into(),
             path: "/jobs".into(),
+            query: String::new(),
+            accept: String::new(),
             body: b"not json".to_vec(),
         },
     );
@@ -252,6 +258,8 @@ fn unknown_routes_and_bad_bodies_are_4xx() {
         &Request {
             method: "DELETE".into(),
             path: "/jobs".into(),
+            query: String::new(),
+            accept: String::new(),
             body: Vec::new(),
         },
     );

@@ -268,6 +268,24 @@ impl Histogram {
         Ok(h)
     }
 
+    /// Folds `other`'s samples into `self` (bucket-wise addition with
+    /// exact sum/min/max). Merging an empty histogram is a no-op; in
+    /// particular an empty `other` must not contribute its `u64::MAX`
+    /// min sentinel. The names need not match — the merged histogram
+    /// keeps its own.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples == 0 {
+            return;
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.samples += other.samples;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Display name given at construction.
     pub fn name(&self) -> &'static str {
         self.name
@@ -447,6 +465,78 @@ mod tests {
         assert_eq!(format!("{r:?}"), format!("{empty:?}"));
 
         assert!(Histogram::restore("rt", [(3, 1)], 3, 3, 3).is_err());
+    }
+
+    #[test]
+    fn histogram_merge_of_disjoint_ranges() {
+        // Low latencies in one histogram, high in the other: the merge
+        // must interleave correctly across non-overlapping buckets.
+        let mut low = Histogram::new("low");
+        for v in [1, 2, 3] {
+            low.record(v);
+        }
+        let mut high = Histogram::new("high");
+        for v in [1 << 20, 1 << 30] {
+            high.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.samples(), 5);
+        assert_eq!(low.sum(), u128::from(1u64 + 2 + 3 + (1 << 20) + (1 << 30)));
+        assert_eq!(low.min(), Some(1));
+        assert_eq!(low.max(), 1 << 30);
+        assert_eq!(low.name(), "low", "merge keeps the receiver's name");
+        // p50 lands in the low range, p99 in the high range.
+        assert_eq!(low.percentile(50.0), Some(2));
+        assert_eq!(low.percentile(99.0), Some(1 << 30));
+        // Equivalent to recording everything into one histogram.
+        let mut all = Histogram::new("all");
+        for v in [1, 2, 3, 1 << 20, 1 << 30] {
+            all.record(v);
+        }
+        let pairs: Vec<_> = low.iter().collect();
+        assert_eq!(pairs, all.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_sides() {
+        let mut h = Histogram::new("h");
+        h.record(7);
+        // Empty other: a strict no-op — notably its u64::MAX min
+        // sentinel must not leak into the merge.
+        h.merge(&Histogram::new("empty"));
+        assert_eq!(h.samples(), 1);
+        assert_eq!(h.min(), Some(7));
+        // Empty receiver: adopts other's stats wholesale.
+        let mut empty = Histogram::new("empty");
+        empty.merge(&h);
+        assert_eq!(empty.samples(), 1);
+        assert_eq!(empty.min(), Some(7));
+        assert_eq!(empty.max(), 7);
+        // Empty-with-empty stays empty, sentinels intact.
+        let mut a = Histogram::new("a");
+        a.merge(&Histogram::new("b"));
+        assert_eq!(a.samples(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_saturated_samples_land_in_the_top_bucket() {
+        let mut h = Histogram::new("sat");
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1 << 63);
+        // All three share bucket 63 (floor 2^63).
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(1 << 63, 3)]);
+        assert_eq!(h.percentile(0.0), Some(1 << 63));
+        assert_eq!(h.percentile(100.0), Some(1 << 63));
+        assert_eq!(h.max(), u64::MAX);
+        let mut other = Histogram::new("other");
+        other.record(0);
+        other.merge(&h);
+        assert_eq!(other.samples(), 4);
+        assert_eq!(other.percentile(100.0), Some(1 << 63));
+        assert_eq!(other.sum(), 2 * u128::from(u64::MAX) + (1 << 63));
     }
 
     #[test]

@@ -36,7 +36,7 @@ cargo run --release -q -p ds-bench --bin perf_baseline -- \
 echo "==> validating $out"
 test -s "$out" || { echo "bench.sh: $out is missing or empty" >&2; exit 1; }
 for key in '"schema"' '"date"' '"config_fingerprint"' '"benchmarks"' \
-           '"geomean_speedup"' '"stages"'; do
+           '"geomean_speedup"' '"stages"' '"host"' '"wall_nanos"'; do
   grep -q "$key" "$out" || {
     echo "bench.sh: $out is missing required key $key" >&2
     exit 1

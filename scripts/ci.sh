@@ -44,6 +44,20 @@ test -s "$smoke_dir/va-xray.txt"
 echo "==> dslens reconciliation audit (full catalog, both modes)"
 cargo run --release -q -p ds-runner --bin dslens -- --check
 
+echo "==> dsprof invariant audit (profiler never perturbs simulated cycles)"
+# Re-runs VA at every probe level and with the profiler off: simulated
+# cycles must be bit-identical across all of them, self-times must sum
+# to <= wall, and shed levels must report exactly-zero tax buckets.
+cargo run --release -q -p ds-runner --bin dsprof -- --check --bench VA
+
+echo "==> dsprof trend smoke (committed baselines parse and render)"
+cargo run --release -q -p ds-runner --bin dsprof -- trend > "$smoke_dir/trend.txt"
+test -s "$smoke_dir/trend.txt"
+grep -q "geomean" "$smoke_dir/trend.txt" || {
+  echo "ci.sh: dsprof trend output is missing the summary table" >&2
+  exit 1
+}
+
 echo "==> dschaos invariant audit (zero-fault identity + no silent push loss)"
 cargo run --release -q -p ds-runner --bin dschaos -- --check --bench VA --quiet
 
