@@ -305,6 +305,42 @@ impl Pipeline {
             .map_err(|abort| PipelineError::Aborted(abort.to_string()))
     }
 
+    /// Like [`Pipeline::run_one_faulted`], but with trace events going
+    /// to `tracer` — the flight-recorder hook: pass a shared-ring
+    /// tracer (e.g. [`ds_probe::FlightRecorder`]) and its retained
+    /// tail survives even a watchdog abort, because the tracer is
+    /// returned alongside the result instead of being dropped with the
+    /// aborted system.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::run_one_faulted`]; the error travels in the
+    /// returned pair so the tracer is never lost.
+    pub fn run_one_faulted_traced<T: ds_probe::Tracer>(
+        &self,
+        scenario: &dyn Scenario,
+        input: InputSize,
+        mode: Mode,
+        plan: &FaultPlan,
+        tracer: T,
+    ) -> (Result<RunReport, PipelineError>, T) {
+        let alloc = if mode.pushes() {
+            match Translator::new().translate(&scenario.source(input)) {
+                Ok(translation) => Some(translation.plan),
+                Err(e) => return (Err(e.into()), tracer),
+            }
+        } else {
+            None
+        };
+        let build = scenario.build(alloc.as_ref(), input);
+        let mut system = System::with_tracer(self.cfg.clone(), mode, tracer);
+        system.set_fault_plan(plan.clone());
+        let result = system
+            .try_run(build.program, build.kernels)
+            .map_err(|abort| PipelineError::Aborted(abort.to_string()));
+        (result, system.into_tracer())
+    }
+
     /// Like [`Pipeline::run_one_instrumented`], but also hands back
     /// the per-cacheline [`LineLens`] with full event histories (the
     /// report only carries its aggregate [`ds_probe::LensReport`]) —

@@ -45,7 +45,12 @@
 //!   (including the cost of the instrumentation itself, the
 //!   "observability tax") as a [`HostProfile`] riding on run reports,
 //!   and owns the runtime [`ProbeLevel`] switch that sheds optional
-//!   collection layers without recompiling.
+//!   collection layers without recompiling;
+//! * **correlated span tracing** — the [`scope`] module's
+//!   [`SpanRecord`]/[`SpanTree`] model links `request → job → task →
+//!   (queue-wait | store-lookup | sim-run)` with explicit parent ids
+//!   and telescoping checks, and its [`FlightRecorder`] ring keeps a
+//!   crashing simulation's last trace events for postmortem dumps.
 //!
 //! The crate deliberately depends only on `ds-sim`: events carry raw
 //! line indices (`u64`), not typed addresses, so every other model
@@ -58,6 +63,7 @@ pub mod jsonl;
 mod latency;
 mod lens;
 pub mod prof;
+pub mod scope;
 mod service;
 mod stage;
 mod tracer;
@@ -74,6 +80,7 @@ pub use lens::{
     SliceTraffic,
 };
 pub use prof::{HostPhase, HostProfile, ProbeLevel};
+pub use scope::{FlightLog, FlightRecorder, Reconciliation, SpanKind, SpanRecord, SpanTree};
 pub use service::ServiceMetrics;
 pub use stage::{Stage, StageBreakdown, StageTracker, TxnPath};
 pub use tracer::{BufferTracer, NullTracer, Tracer};

@@ -25,8 +25,12 @@
 
 use ds_core::Scenario as _;
 use ds_core::{FaultPlan, InputSize, Mode, Pipeline, SystemConfig};
-use ds_runner::{Runner, Task, TaskOutcome};
+use ds_runner::{postmortem_path, Runner, Task, TaskOutcome};
 use ds_workloads::catalog;
+use std::path::Path;
+
+/// Where sweep postmortems land, mirroring `dsrun --keep-going`.
+const POSTMORTEM_DIR: &str = "results/postmortem";
 
 const USAGE: &str = "usage: dschaos [options]
 
@@ -319,7 +323,9 @@ fn run_sweep(opts: &Options, cfg: &SystemConfig) -> i32 {
         }
     }
 
-    let mut runner = Runner::new().progress(!opts.quiet);
+    let mut runner = Runner::new()
+        .progress(!opts.quiet)
+        .with_postmortems(POSTMORTEM_DIR);
     if let Some(n) = opts.jobs {
         runner = runner.jobs(n);
     }
@@ -376,18 +382,28 @@ fn run_sweep(opts: &Options, cfg: &SystemConfig) -> i32 {
                 );
             }
             Format::Text => match outcome.report() {
-                Some(r) => println!(
-                    "{:<5} {:>6} {:<9} {:>12} {:>9} {:>8} {:>8} {:>9} {:>7}",
-                    task.code,
-                    rate,
-                    outcome.tag(),
-                    r.total_cycles.as_u64(),
-                    r.pushes_attempted,
-                    r.direct_pushes,
-                    r.pushes_retried,
-                    r.pushes_degraded,
-                    r.faults_injected
-                ),
+                Some(r) => {
+                    println!(
+                        "{:<5} {:>6} {:<9} {:>12} {:>9} {:>8} {:>8} {:>9} {:>7}",
+                        task.code,
+                        rate,
+                        outcome.tag(),
+                        r.total_cycles.as_u64(),
+                        r.pushes_attempted,
+                        r.direct_pushes,
+                        r.pushes_retried,
+                        r.pushes_degraded,
+                        r.faults_injected
+                    );
+                    if matches!(outcome, TaskOutcome::Degraded(_)) {
+                        eprintln!(
+                            "dschaos: {} rate {}: degraded (postmortem: {})",
+                            task.code,
+                            rate,
+                            postmortem_path(Path::new(POSTMORTEM_DIR), task).display()
+                        );
+                    }
+                }
                 None => {
                     let detail = match outcome {
                         TaskOutcome::Panicked(msg) => format!("panicked: {msg}"),
@@ -403,7 +419,13 @@ fn run_sweep(opts: &Options, cfg: &SystemConfig) -> i32 {
                         rate,
                         outcome.tag()
                     );
-                    eprintln!("dschaos: {} rate {}: {}", task.code, rate, detail);
+                    eprintln!(
+                        "dschaos: {} rate {}: {} (postmortem: {})",
+                        task.code,
+                        rate,
+                        detail,
+                        postmortem_path(Path::new(POSTMORTEM_DIR), task).display()
+                    );
                 }
             },
         }

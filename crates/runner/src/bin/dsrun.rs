@@ -12,9 +12,11 @@
 use ds_core::Scenario as _;
 use ds_core::{Comparison, InputSize, Mode, SystemConfig};
 use ds_runner::{
-    comparison_csv_row, comparison_to_json, json::Json, sweep_tasks, Runner, TaskOutcome,
-    COMPARISON_CSV_HEADER,
+    comparison_csv_row, comparison_to_json, json::Json, postmortem_path, sweep_tasks, Runner,
+    TaskOutcome, COMPARISON_CSV_HEADER,
 };
+use std::path::Path;
+use std::time::Duration;
 
 const USAGE: &str = "usage: dsrun [options]
 
@@ -37,7 +39,12 @@ options:
   --quiet                  suppress per-job progress lines on stderr
   --keep-going             do not stop at the first failed task: run
                            everything, report failures on stderr, and
-                           exit nonzero at the end if any task failed
+                           exit nonzero at the end if any task failed;
+                           every non-clean task dumps a postmortem
+                           file under <cache-dir>/postmortem/
+  --timeout SECS           wall-clock budget per simulation; tasks
+                           over budget are abandoned and reported as
+                           timed out (requires --keep-going)
   --help                   show this help";
 
 struct Options {
@@ -50,6 +57,7 @@ struct Options {
     probe_level: ds_probe::ProbeLevel,
     quiet: bool,
     keep_going: bool,
+    timeout: Option<u64>,
 }
 
 #[derive(PartialEq)]
@@ -75,6 +83,7 @@ fn parse_options(args: &[String]) -> Options {
         probe_level: ds_probe::ProbeLevel::Full,
         quiet: false,
         keep_going: false,
+        timeout: None,
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -142,6 +151,15 @@ fn parse_options(args: &[String]) -> Options {
                 opts.probe_level = ds_probe::ProbeLevel::parse(v)
                     .unwrap_or_else(|| usage_error(&format!("unknown probe level {v:?}")));
             }
+            "--timeout" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--timeout needs a value"));
+                match v.parse::<u64>() {
+                    Ok(n) => opts.timeout = Some(n),
+                    _ => usage_error(&format!("--timeout needs a number of seconds, got {v:?}")),
+                }
+            }
             "--quiet" => opts.quiet = true,
             "--keep-going" => opts.keep_going = true,
             "--help" | "-h" => {
@@ -162,6 +180,12 @@ fn main() {
     // reports, so `--cache` stays safe at every level.
     ds_probe::prof::set_level(opts.probe_level);
 
+    if opts.timeout.is_some() && !opts.keep_going {
+        // A timed-out task can only be reported, not retried, so a
+        // budget without --keep-going would just abort the sweep.
+        usage_error("--timeout requires --keep-going");
+    }
+
     let cfg = SystemConfig::paper_default();
     let mut runner = Runner::new().progress(!opts.quiet);
     if let Some(n) = opts.jobs {
@@ -169,6 +193,15 @@ fn main() {
     }
     if let Some(dir) = &opts.cache {
         runner = runner.with_disk_cache(dir);
+    }
+    if let Some(secs) = opts.timeout {
+        runner = runner.task_timeout(Duration::from_secs(secs));
+    }
+    // Under --keep-going every non-clean outcome ships a postmortem
+    // file next to the result cache (results/postmortem by default).
+    let pm_dir = format!("{}/postmortem", opts.cache.as_deref().unwrap_or("results"));
+    if opts.keep_going {
+        runner = runner.with_postmortems(&pm_dir);
     }
 
     let mut all: Vec<Comparison> = Vec::new();
@@ -196,6 +229,19 @@ fn main() {
             // comparisons; failures are reported and counted.
             let tasks = sweep_tasks(&cfg, input, opts.ds_mode, filter);
             let outcomes = runner.run_tasks_outcomes(&tasks);
+            for (task, outcome) in tasks.iter().zip(&outcomes) {
+                // Degraded runs still yield a comparison, but they also
+                // shipped a postmortem — say where it went.
+                if matches!(outcome, TaskOutcome::Degraded(_)) {
+                    eprintln!(
+                        "dsrun: {} {} {}: degraded (postmortem: {})",
+                        task.code,
+                        task.input,
+                        task.mode,
+                        postmortem_path(Path::new(&pm_dir), task).display()
+                    );
+                }
+            }
             for (pair, outs) in tasks.chunks(2).zip(outcomes.chunks(2)) {
                 if let (Some(ccsm), Some(ds)) = (outs[0].report(), outs[1].report()) {
                     all.push(Comparison {
@@ -214,8 +260,11 @@ fn main() {
                         };
                         failed_tasks += 1;
                         eprintln!(
-                            "dsrun: {} {} {}: {detail}",
-                            task.code, task.input, task.mode
+                            "dsrun: {} {} {}: {detail} (postmortem: {})",
+                            task.code,
+                            task.input,
+                            task.mode,
+                            postmortem_path(Path::new(&pm_dir), task).display()
                         );
                     }
                 }

@@ -13,16 +13,19 @@
 //! and the machine's available parallelism.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
 use std::time::{Duration, Instant};
 
 use ds_core::{Comparison, InputSize, Mode, Pipeline, PipelineError, RunReport, SystemConfig};
+use ds_probe::scope::{self, FlightLog, FlightRecorder, SpanKind, SpanRecord, SpanTree};
 use ds_workloads::{catalog, Benchmark};
 
 use crate::fingerprint::config_fingerprint;
 use crate::job::{sweep_tasks, Task, TaskKey};
-use crate::store::ResultStore;
+use crate::json::Json;
+use crate::store::{write_atomic, ResultStore};
 
 /// How one task ended, for harnesses that must keep going when a run
 /// fails (`Runner::run_tasks_outcomes`). The chaos CLI and the fault
@@ -78,14 +81,29 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Runs one task's simulation with panics converted to
 /// [`PipelineError::Panicked`] so a crashing run cannot take the
-/// worker pool down with it.
-fn simulate_isolated(task: &Task, bench: &Benchmark) -> Result<RunReport, PipelineError> {
+/// worker pool down with it. When a flight `recorder` is armed, trace
+/// events stream into its ring; the shared handle survives the
+/// `catch_unwind` even when the run itself does not.
+fn simulate_isolated(
+    task: &Task,
+    bench: &Benchmark,
+    recorder: Option<&FlightRecorder>,
+) -> Result<RunReport, PipelineError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let pipeline = Pipeline::with_config(task.cfg.clone());
-        if task.faults.is_active() {
-            pipeline.run_one_faulted(bench, task.input, task.mode, &task.faults)
-        } else {
-            pipeline.run_one(bench, task.input, task.mode)
+        match recorder {
+            Some(rec) if task.faults.is_active() => {
+                pipeline
+                    .run_one_faulted_traced(bench, task.input, task.mode, &task.faults, rec.clone())
+                    .0
+            }
+            Some(rec) => pipeline
+                .run_one_instrumented(bench, task.input, task.mode, rec.clone(), None)
+                .map(|(report, _)| report),
+            None if task.faults.is_active() => {
+                pipeline.run_one_faulted(bench, task.input, task.mode, &task.faults)
+            }
+            None => pipeline.run_one(bench, task.input, task.mode),
         }
     }));
     match outcome {
@@ -103,20 +121,150 @@ fn simulate_task(
     task: &Task,
     bench: &Benchmark,
     timeout: Option<Duration>,
+    recorder: Option<&FlightRecorder>,
 ) -> Result<RunReport, PipelineError> {
     let Some(limit) = timeout else {
-        return simulate_isolated(task, bench);
+        return simulate_isolated(task, bench, recorder);
     };
     let (tx, rx) = mpsc::channel();
     let task = task.clone();
     let bench = bench.clone();
+    let recorder = recorder.cloned();
     std::thread::spawn(move || {
-        let _ = tx.send(simulate_isolated(&task, &bench));
+        let _ = tx.send(simulate_isolated(&task, &bench, recorder.as_ref()));
     });
     match rx.recv_timeout(limit) {
         Ok(result) => result,
         Err(_) => Err(PipelineError::TimedOut),
     }
+}
+
+/// The postmortem file a non-Ok outcome of `task` dumps to when the
+/// runner has a postmortem directory configured — deterministic, so
+/// CLIs can point users at the file without plumbing paths back
+/// through the executor.
+pub fn postmortem_path(dir: &Path, task: &Task) -> PathBuf {
+    let key = task.key();
+    dir.join(format!(
+        "{}-{}-{}-{:016x}-{:016x}.json",
+        key.code, key.input, key.mode, key.fingerprint, key.fault_fp
+    ))
+}
+
+/// Builds the ds-scope span tree for one executed task: the task span
+/// covers enqueue (the batch's epoch) to completion, telescoping into
+/// queue-wait and sim-run children. The sim-run span's label carries
+/// the simulated cycle count, linking down to the report's
+/// `StageBreakdown` transaction records riding the same report.
+fn task_span_tree(task: &Task, report: &RunReport, picked_us: u64, done_us: u64) -> SpanTree {
+    let task_id = scope::next_span_id();
+    let picked_us = picked_us.min(done_us);
+    SpanTree {
+        spans: vec![
+            SpanRecord {
+                id: task_id,
+                parent: 0,
+                kind: SpanKind::Task,
+                label: format!("{} {} {}", task.code, task.input, task.mode),
+                start_us: 0,
+                end_us: done_us,
+            },
+            SpanRecord {
+                id: scope::next_span_id(),
+                parent: task_id,
+                kind: SpanKind::QueueWait,
+                label: String::new(),
+                start_us: 0,
+                end_us: picked_us,
+            },
+            SpanRecord {
+                id: scope::next_span_id(),
+                parent: task_id,
+                kind: SpanKind::SimRun,
+                label: format!(
+                    "{} cycles, {} staged txns",
+                    report.total_cycles.as_u64(),
+                    report.stages.loads + report.stages.pushes
+                ),
+                start_us: picked_us,
+                end_us: done_us,
+            },
+        ],
+    }
+}
+
+/// Serializes a postmortem document. Contents are derived exclusively
+/// from deterministic inputs (task coordinates, sim-cycle-stamped
+/// flight entries, outcome detail), so a replayed faulted run dumps
+/// byte-identical files regardless of worker count.
+fn postmortem_doc(
+    task: &Task,
+    tag: &str,
+    detail: Option<&str>,
+    report: Option<&RunReport>,
+    flight: Option<&FlightLog>,
+) -> Json {
+    let key = task.key();
+    let mut fields = vec![
+        ("format".into(), Json::Int(1)),
+        ("bench".into(), Json::Str(key.code.clone())),
+        ("input".into(), Json::Str(key.input.to_string())),
+        ("mode".into(), Json::Str(key.mode.to_string())),
+        (
+            "fingerprint".into(),
+            Json::Str(format!("{:016x}", key.fingerprint)),
+        ),
+        (
+            "fault_fp".into(),
+            Json::Str(format!("{:016x}", key.fault_fp)),
+        ),
+        ("outcome".into(), Json::Str(tag.into())),
+        (
+            "detail".into(),
+            match detail {
+                Some(text) => Json::Str(text.to_string()),
+                None => Json::Null,
+            },
+        ),
+    ];
+    if let Some(r) = report {
+        fields.push((
+            "run".into(),
+            Json::Obj(vec![
+                ("total_cycles".into(), Json::Int(r.total_cycles.as_u64())),
+                ("pushes_attempted".into(), Json::Int(r.pushes_attempted)),
+                ("pushes_retried".into(), Json::Int(r.pushes_retried)),
+                ("pushes_degraded".into(), Json::Int(r.pushes_degraded)),
+                ("faults_injected".into(), Json::Int(r.faults_injected)),
+            ]),
+        ));
+    }
+    fields.push((
+        "flight".into(),
+        match flight {
+            Some(log) => Json::Obj(vec![
+                ("capacity".into(), Json::Int(scope::FLIGHT_CAPACITY as u64)),
+                ("dropped".into(), Json::Int(log.dropped)),
+                (
+                    "entries".into(),
+                    Json::Arr(
+                        log.entries
+                            .iter()
+                            .map(|e| {
+                                let line = ds_probe::jsonl::render_event(e);
+                                crate::json::parse(&line).unwrap_or(Json::Str(line))
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            // The ring rides the simulation thread; a timed-out run's
+            // thread is abandoned mid-flight, so its (wall-clock-
+            // dependent) contents are deliberately not captured.
+            None => Json::Null,
+        },
+    ));
+    Json::Obj(fields)
 }
 
 /// Reads `DS_RUNNER_JOBS`, falling back to the machine's available
@@ -155,6 +303,7 @@ pub struct Runner {
     store: ResultStore,
     simulations: u64,
     task_timeout: Option<Duration>,
+    postmortem_dir: Option<PathBuf>,
 }
 
 impl Default for Runner {
@@ -173,6 +322,7 @@ impl Runner {
             store: ResultStore::new(),
             simulations: 0,
             task_timeout: None,
+            postmortem_dir: None,
         }
     }
 
@@ -187,6 +337,18 @@ impl Runner {
     /// `simulate_task` for the trade-off).
     pub fn task_timeout(mut self, limit: Duration) -> Self {
         self.task_timeout = Some(limit);
+        self
+    }
+
+    /// Enables crash postmortems: every task that does not finish Ok
+    /// (panicked, timed out, watchdog-aborted, or degraded) dumps a
+    /// diagnostic file under `dir` (conventionally
+    /// `results/postmortem/`), named by [`postmortem_path`]. Fault-
+    /// injected tasks additionally run with a [`FlightRecorder`]
+    /// armed, so the dump carries the simulation's last trace events
+    /// alongside the outcome's diagnostic.
+    pub fn with_postmortems(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.postmortem_dir = Some(dir.into());
         self
     }
 
@@ -324,12 +486,18 @@ impl Runner {
         let done = AtomicUsize::new(0);
         let simulated = AtomicU64::new(0);
         let timeout = self.task_timeout;
-        let slots: Vec<OnceLock<Result<RunReport, PipelineError>>> =
-            (0..total).map(|_| OnceLock::new()).collect();
+        let postmortems = self.postmortem_dir.is_some();
+        // Scope spans are host-time observations; like host profiles
+        // they attach only when explicitly enabled at full probe
+        // level, so default runs stay bit-identical.
+        let scoped = scope::enabled() && ds_probe::prof::level() == ds_probe::ProbeLevel::Full;
+        let epoch = Instant::now();
+        type SlotValue = (Result<RunReport, PipelineError>, Option<FlightLog>);
+        let slots: Vec<OnceLock<SlotValue>> = (0..total).map(|_| OnceLock::new()).collect();
 
-        std::thread::scope(|scope| {
+        std::thread::scope(|scope_| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                scope_.spawn(|| loop {
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     if slot >= total {
                         break;
@@ -337,7 +505,28 @@ impl Runner {
                     let (task_idx, bench) = &missing[slot];
                     let task = &tasks[*task_idx];
                     let started = Instant::now();
-                    let result = simulate_task(task, bench, timeout);
+                    let picked_us = epoch.elapsed().as_micros() as u64;
+                    // The flight recorder arms on fault-injected tasks
+                    // only: that is where watchdog aborts live, and it
+                    // keeps the plain sweep path tracer-free.
+                    let recorder =
+                        (postmortems && task.faults.is_active()).then(FlightRecorder::new);
+                    let mut result = simulate_task(task, bench, timeout, recorder.as_ref());
+                    if scoped {
+                        if let Ok(report) = &mut result {
+                            let done_us = epoch.elapsed().as_micros() as u64;
+                            report.scope = Some(task_span_tree(task, report, picked_us, done_us));
+                        }
+                    }
+                    // A timed-out run's ring is abandoned mid-flight
+                    // with its leaked thread; snapshotting it would be
+                    // wall-clock-dependent, so only decided outcomes
+                    // capture one.
+                    let flight = match (&result, &recorder) {
+                        (Err(PipelineError::TimedOut), _) => None,
+                        (_, Some(rec)) => Some(rec.snapshot()),
+                        _ => None,
+                    };
                     simulated.fetch_add(1, Ordering::Relaxed);
                     if progress {
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -357,20 +546,23 @@ impl Runner {
                         }
                     }
                     slots[slot]
-                        .set(result)
+                        .set((result, flight))
                         .unwrap_or_else(|_| panic!("slot {slot} written twice"));
                 });
             }
         });
         self.simulations += simulated.into_inner();
 
-        // Fold results in task order so failure reporting is
-        // deterministic regardless of worker scheduling.
+        // Fold results in task order so failure reporting — and
+        // postmortem dumping — is deterministic regardless of worker
+        // scheduling.
         let mut failures = Vec::with_capacity(missing.len());
         let mut touched_fingerprints = Vec::new();
         for ((task_idx, _), slot) in missing.iter().zip(slots) {
             let key = &keys[*task_idx];
-            match slot.into_inner().expect("worker filled every slot") {
+            let (result, flight) = slot.into_inner().expect("worker filled every slot");
+            self.dump_postmortem(&tasks[*task_idx], &result, flight.as_ref());
+            match result {
                 Ok(report) => {
                     if !touched_fingerprints.contains(&key.fingerprint) {
                         touched_fingerprints.push(key.fingerprint);
@@ -391,6 +583,43 @@ impl Runner {
             }
         }
         failures
+    }
+
+    /// Writes `task`'s postmortem file when postmortems are enabled
+    /// and the result is anything but a clean Ok. Best-effort like the
+    /// cache: IO failures are reported on stderr, never fatal.
+    fn dump_postmortem(
+        &self,
+        task: &Task,
+        result: &Result<RunReport, PipelineError>,
+        flight: Option<&FlightLog>,
+    ) {
+        let Some(dir) = &self.postmortem_dir else {
+            return;
+        };
+        let (tag, detail, report) = match result {
+            Ok(r) if r.pushes_degraded > 0 => ("degraded", None, Some(r)),
+            Ok(_) => return,
+            Err(PipelineError::Panicked(msg)) => ("panicked", Some(msg.clone()), None),
+            Err(PipelineError::TimedOut) => (
+                "timed-out",
+                Some("wall-clock budget exceeded; simulation thread abandoned".to_string()),
+                None,
+            ),
+            Err(e) => ("failed", Some(e.to_string()), None),
+        };
+        let doc = postmortem_doc(task, tag, detail.as_deref(), report, flight);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "ds-runner: cannot create postmortem dir {}: {e}",
+                dir.display()
+            );
+            return;
+        }
+        let path = postmortem_path(dir, task);
+        if let Err(e) = write_atomic(dir, &path, doc.pretty().as_bytes()) {
+            eprintln!("ds-runner: cannot write postmortem {}: {e}", path.display());
+        }
     }
 
     /// Runs one benchmark under one mode and configuration.

@@ -11,7 +11,7 @@ use ds_core::{Comparison, InputSize, Mode, RunReport};
 use ds_noc::XbarStats;
 use ds_probe::{
     BankTraffic, EpochSample, EpochTotals, HostPhase, HostProfile, LatencyReport, LensReport,
-    LinkTraffic, NetId, SliceTraffic, Stage, StageBreakdown,
+    LinkTraffic, NetId, SliceTraffic, SpanKind, SpanRecord, SpanTree, Stage, StageBreakdown,
 };
 use ds_sim::{Cycle, Histogram};
 
@@ -248,6 +248,62 @@ pub fn host_from_json(json: &Json) -> Result<HostProfile, String> {
     Ok(h)
 }
 
+/// Serializes one ds-scope span record. Public so `ds-serve` streams
+/// the same encoding over `/jobs/<id>/events` and in job results.
+pub fn span_to_json(s: &SpanRecord) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::Int(s.id)),
+        ("parent".into(), Json::Int(s.parent)),
+        ("kind".into(), Json::Str(s.kind.name().into())),
+        ("label".into(), Json::Str(s.label.clone())),
+        ("start_us".into(), Json::Int(s.start_us)),
+        ("end_us".into(), Json::Int(s.end_us)),
+    ])
+}
+
+/// Deserializes a span written by [`span_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field.
+pub fn span_from_json(json: &Json) -> Result<SpanRecord, String> {
+    let kind_name = json
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing field \"kind\" in span")?;
+    Ok(SpanRecord {
+        id: u64_field(json, "id")?,
+        parent: u64_field(json, "parent")?,
+        kind: SpanKind::parse(kind_name)
+            .ok_or_else(|| format!("unknown span kind {kind_name:?}"))?,
+        label: json
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("missing field \"label\" in span")?
+            .to_string(),
+        start_us: u64_field(json, "start_us")?,
+        end_us: u64_field(json, "end_us")?,
+    })
+}
+
+/// Serializes a ds-scope span tree as an array of spans, parents
+/// before children (the tree's own recorded order).
+pub fn scope_to_json(t: &SpanTree) -> Json {
+    Json::Arr(t.spans.iter().map(span_to_json).collect())
+}
+
+/// Deserializes a tree written by [`scope_to_json`].
+///
+/// # Errors
+///
+/// Returns the first span's decode error.
+pub fn scope_from_json(json: &Json) -> Result<SpanTree, String> {
+    let spans = json.as_arr().ok_or("span tree is not an array")?;
+    Ok(SpanTree {
+        spans: spans.iter().map(span_from_json).collect::<Result<_, _>>()?,
+    })
+}
+
 /// Compact epoch encoding: one fixed-order integer array per window.
 fn epoch_to_json(s: &EpochSample) -> Json {
     let d = s.delta;
@@ -442,9 +498,10 @@ fn lens_from_json(json: &Json) -> Result<LensReport, String> {
     })
 }
 
-/// Serializes a full run report. The `host` profile is emitted only
-/// when present, so reports from unprofiled runs stay byte-identical
-/// to the pre-profiler encoding.
+/// Serializes a full run report. The `host` profile and the `scope`
+/// span tree are emitted only when present, so reports from
+/// unprofiled, unscoped runs stay byte-identical to the older
+/// encodings.
 pub fn report_to_json(r: &RunReport) -> Json {
     let mut fields = vec![
         ("mode".into(), Json::Str(mode_name(r.mode))),
@@ -503,6 +560,9 @@ pub fn report_to_json(r: &RunReport) -> Json {
     ];
     if let Some(host) = &r.host {
         fields.push(("host".into(), host_to_json(host)));
+    }
+    if let Some(scope) = &r.scope {
+        fields.push(("scope".into(), scope_to_json(scope)));
     }
     Json::Obj(fields)
 }
@@ -626,6 +686,10 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
         events: u64_field(json, "events")?,
         host: match json.get("host") {
             Some(h) => Some(host_from_json(h)?),
+            None => None,
+        },
+        scope: match json.get("scope") {
+            Some(s) => Some(scope_from_json(s)?),
             None => None,
         },
     })
@@ -861,6 +925,38 @@ mod tests {
             epoch_window: 1000,
             events: 99_999,
             host: None,
+            scope: None,
+        }
+    }
+
+    fn sample_scope() -> SpanTree {
+        SpanTree {
+            spans: vec![
+                SpanRecord {
+                    id: 41,
+                    parent: 0,
+                    kind: SpanKind::Task,
+                    label: "VA small DS".into(),
+                    start_us: 0,
+                    end_us: 5_000,
+                },
+                SpanRecord {
+                    id: 42,
+                    parent: 41,
+                    kind: SpanKind::QueueWait,
+                    label: String::new(),
+                    start_us: 0,
+                    end_us: 120,
+                },
+                SpanRecord {
+                    id: 43,
+                    parent: 41,
+                    kind: SpanKind::SimRun,
+                    label: "sim".into(),
+                    start_us: 120,
+                    end_us: 5_000,
+                },
+            ],
         }
     }
 
@@ -902,6 +998,38 @@ mod tests {
         assert!(!bare.contains("\"host\""));
         let parsed = crate::json::parse(&bare).unwrap();
         assert!(report_from_json(&parsed).unwrap().host.is_none());
+    }
+
+    #[test]
+    fn scope_tree_round_trips_exactly_and_is_optional() {
+        let mut original = sample_report(Mode::DirectStore);
+        original.scope = Some(sample_scope());
+        let text = report_to_json(&original).pretty();
+        assert!(text.contains("\"scope\""));
+        let parsed = crate::json::parse(&text).unwrap();
+        let back = report_from_json(&parsed).unwrap();
+        assert_eq!(format!("{original:?}"), format!("{back:?}"));
+
+        // Unscoped reports omit the key entirely and decode to None —
+        // the fig4 bit-identity guarantee rests on this.
+        let bare = report_to_json(&sample_report(Mode::DirectStore)).pretty();
+        assert!(!bare.contains("\"scope\""));
+        let parsed = crate::json::parse(&bare).unwrap();
+        assert!(report_from_json(&parsed).unwrap().scope.is_none());
+    }
+
+    #[test]
+    fn span_from_json_rejects_unknown_kind() {
+        let mut json = span_to_json(&sample_scope().spans[0]);
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "kind" {
+                    *v = Json::Str("warp".into());
+                }
+            }
+        }
+        let err = span_from_json(&json).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
     }
 
     #[test]

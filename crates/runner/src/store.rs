@@ -31,8 +31,9 @@ use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report
 /// and degradation counters (`pushes_attempted`, `pushes_retried`,
 /// `pushes_degraded`, `faults_injected`, lens `push_degraded`);
 /// version 6 added the optional `host` profile (ds-prof host-time
-/// self-accounting).
-const FORMAT_VERSION: u64 = 6;
+/// self-accounting); version 7 added the optional `scope` span tree
+/// (ds-scope correlated span tracing).
+const FORMAT_VERSION: u64 = 7;
 
 /// Memo + optional disk cache, keyed by [`TaskKey`].
 #[derive(Debug, Default)]
@@ -101,7 +102,16 @@ impl ResultStore {
             .and_then(|text| parse_cache_file(&text, fingerprint));
         match parsed {
             Ok(entries) => {
-                for (key, report) in entries {
+                for (key, mut report) in entries {
+                    // Span trees are host-time artifacts of the run
+                    // that produced the cache file. A scope-disabled
+                    // consumer must see reports bit-identical to a
+                    // scope-less run regardless of cache history, so
+                    // the stale tree is shed on load (mirroring the
+                    // probe-level persist discipline).
+                    if !ds_probe::scope::enabled() {
+                        report.scope = None;
+                    }
                     self.memo.entry(key).or_insert(report);
                 }
             }
@@ -202,8 +212,13 @@ impl ResultStore {
 /// into place, so a concurrent reader sees either the old file or the
 /// new one — never a torn prefix for the quarantine path to eat. The
 /// temp name carries the pid and a process-wide counter so concurrent
-/// writers (threads or processes) never share one.
-fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+/// writers (threads or processes) never share one. Public so the
+/// postmortem dumper shares the same torn-write guarantee.
+///
+/// # Errors
+///
+/// Propagates the underlying write or rename failure.
+pub fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("cache");
@@ -330,6 +345,7 @@ pub(crate) fn test_report(cycles: u64) -> RunReport {
         epoch_window: 0,
         events: 0,
         host: None,
+        scope: None,
     }
 }
 

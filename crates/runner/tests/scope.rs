@@ -1,0 +1,159 @@
+//! Harness-level ds-scope guarantees, asserted end to end on catalog
+//! benchmarks:
+//!
+//! 1. crash postmortems are deterministic: the same faulted task dumps
+//!    byte-identical flight-recorder files regardless of worker count;
+//! 2. span trees telescope (children nest, sibling sums never exceed
+//!    the parent) and task spans reconcile queue + store + sim +
+//!    overhead against their wall clock exactly;
+//! 3. scope is zero-overhead when off: a scope-off report is the
+//!    scope-on report minus the tree, field for field (the fig4
+//!    bit-identity contract).
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use ds_core::{FaultPlan, InputSize, Mode, SystemConfig};
+use ds_probe::scope::{self, SpanKind};
+use ds_runner::{postmortem_path, Runner, Task, TaskOutcome};
+
+/// Scope enablement and the probe level are process globals; tests
+/// that toggle them must not interleave.
+fn scope_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Delays hot enough to exhaust the retry budget: some pushes
+/// degrade — so the runner reports `Degraded` and dumps a postmortem
+/// — but no message is ever lost, so the run still completes (drops
+/// at comparable rates sever CPU demand-load replies and abort).
+fn degrading_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed,
+        ack_timeout: 50,
+        max_retries: 1,
+        ..FaultPlan::default()
+    };
+    plan.direct_net.delay = 20_000; // ~31% of messages
+    plan.direct_net.delay_cycles = 400; // well past the ack timeout
+    plan
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ds-scope-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn postmortems_are_byte_identical_across_worker_counts() {
+    let _guard = scope_lock();
+    let cfg = SystemConfig::paper_default();
+    let tasks: Vec<Task> = ["VA", "MM"]
+        .iter()
+        .map(|code| {
+            Task::new(&cfg, code, InputSize::Small, Mode::DirectStore)
+                .with_faults(degrading_plan(3))
+        })
+        .collect();
+
+    let run = |jobs: usize, tag: &str| -> (PathBuf, Vec<TaskOutcome>) {
+        let dir = temp_dir(tag);
+        let mut runner = Runner::new()
+            .jobs(jobs)
+            .progress(false)
+            .with_postmortems(&dir);
+        let outcomes = runner.run_tasks_outcomes(&tasks);
+        (dir, outcomes)
+    };
+
+    let (narrow_dir, narrow) = run(1, "narrow");
+    let (wide_dir, wide) = run(4, "wide");
+
+    for (task, outcome) in tasks.iter().zip(&narrow) {
+        assert!(
+            matches!(outcome, TaskOutcome::Degraded(_)),
+            "{} at this loss rate must degrade, got {}",
+            task.code,
+            outcome.tag()
+        );
+        let a = std::fs::read(postmortem_path(&narrow_dir, task))
+            .expect("degraded outcome dumps a postmortem");
+        let b = std::fs::read(postmortem_path(&wide_dir, task))
+            .expect("worker count must not decide whether a postmortem exists");
+        assert_eq!(
+            a, b,
+            "{}: postmortem bytes differ across worker counts",
+            task.code
+        );
+        let text = String::from_utf8(a).expect("postmortems are UTF-8 JSON");
+        assert!(text.contains("\"outcome\": \"degraded\""), "{text}");
+        assert!(
+            text.contains("\"entries\""),
+            "faulted tasks arm the flight recorder: {text}"
+        );
+    }
+    assert_eq!(narrow.len(), wide.len());
+
+    let _ = std::fs::remove_dir_all(narrow_dir);
+    let _ = std::fs::remove_dir_all(wide_dir);
+}
+
+#[test]
+fn span_trees_telescope_and_scope_off_is_bit_identical() {
+    let _guard = scope_lock();
+    let cfg = SystemConfig::paper_default();
+    let task = Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore);
+
+    ds_probe::prof::set_level(ds_probe::ProbeLevel::Full);
+    scope::set_enabled(true);
+    let scoped_outcomes = Runner::new()
+        .jobs(1)
+        .progress(false)
+        .run_tasks_outcomes(std::slice::from_ref(&task));
+    scope::set_enabled(false);
+
+    let scoped = scoped_outcomes[0].report().expect("plain VA run succeeds");
+    let tree = scoped
+        .scope
+        .as_ref()
+        .expect("scope-on reports carry a span tree");
+    tree.check().expect("span tree telescopes");
+    let root = tree.find(SpanKind::Task).expect("tree roots at the task");
+    let rec = tree.reconcile(root.id).expect("task span reconciles");
+    assert_eq!(
+        rec.queue_us + rec.store_us + rec.sim_us + rec.overhead_us,
+        rec.total_us,
+        "queue + store + sim + overhead must sum exactly to the wall clock"
+    );
+    let sim = tree
+        .find(SpanKind::SimRun)
+        .expect("task telescopes into sim-run");
+    assert!(
+        sim.label
+            .contains(&scoped.total_cycles.as_u64().to_string()),
+        "the sim-run span links to the simulated cycle count: {}",
+        sim.label
+    );
+
+    // The fig4 contract: scope off, fresh runner, same task — the
+    // report is the scoped one minus the tree, field for field.
+    let plain_outcomes = Runner::new()
+        .jobs(1)
+        .progress(false)
+        .run_tasks_outcomes(std::slice::from_ref(&task));
+    let plain = plain_outcomes[0].report().expect("plain VA run succeeds");
+    assert!(
+        plain.scope.is_none(),
+        "scope-off reports must not carry span trees"
+    );
+    let mut stripped = scoped.clone();
+    stripped.scope = None;
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{stripped:?}"),
+        "scope must be zero-overhead when off"
+    );
+}

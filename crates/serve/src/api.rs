@@ -27,27 +27,39 @@
 //! property the CI smoke gate asserts with `cmp`.
 
 use std::fmt;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
 
 use ds_core::Scenario as _;
 use ds_core::{FaultPlan, InputSize, Mode, SystemConfig};
+use ds_probe::scope::{self, SpanKind, SpanRecord};
 use ds_runner::json::{self, Json};
 use ds_runner::report::{parse_input, report_to_json};
 use ds_runner::shared::Provenance;
-use ds_runner::{sweep_tasks, Task, TaskOutcome};
+use ds_runner::{span_to_json, sweep_tasks, Task, TaskOutcome};
 use ds_workloads::catalog;
 
-use crate::http::{Request, Response};
+use crate::http::{write_response, write_stream_head, Request, Response};
 use crate::jobs::JobRecord;
-use crate::server::{request_shutdown, ServeState};
+use crate::server::{request_shutdown, span_open_event, ServeState};
+
+/// Routes one request under a fresh span id (for in-process callers;
+/// the service's handler loop allocates the span itself and calls
+/// [`handle_with_span`] so the id can also ride the response header).
+pub fn handle(state: &ServeState, request: &Request) -> Response {
+    handle_with_span(state, request, scope::next_span_id())
+}
 
 /// Routes one request. Never panics: malformed input is a 4xx JSON
-/// error body.
-pub fn handle(state: &ServeState, request: &Request) -> Response {
+/// error body. `span` is the request's span id — submissions parent
+/// their job span on it.
+pub fn handle_with_span(state: &ServeState, request: &Request, span: u64) -> Response {
     let started = std::time::Instant::now();
     state.with_metrics(|m| m.requests += 1);
     let path = request.path.trim_end_matches('/');
     let response = match (request.method.as_str(), path) {
-        ("POST", "/jobs") => submit(state, &request.body),
+        ("POST", "/jobs") => submit(state, &request.body, span),
         ("GET", "/metrics") => metrics(state, request),
         ("GET", "/health") => health(state),
         ("POST", "/shutdown") => {
@@ -99,7 +111,7 @@ fn job_route(state: &ServeState, path: &str) -> Response {
     }
 }
 
-fn provenance_name(p: Provenance) -> &'static str {
+pub(crate) fn provenance_name(p: Provenance) -> &'static str {
     match p {
         Provenance::Hit => "hit",
         Provenance::Coalesced => "coalesced",
@@ -176,6 +188,12 @@ fn job_results(job: &JobRecord) -> Response {
                         }
                         TaskOutcome::TimedOut => {}
                     }
+                    if !r.spans.is_empty() {
+                        fields.push((
+                            "spans".into(),
+                            Json::Arr(r.spans.iter().map(span_to_json).collect()),
+                        ));
+                    }
                 }
                 None => fields.push(("outcome".into(), Json::Null)),
             }
@@ -184,6 +202,8 @@ fn job_results(job: &JobRecord) -> Response {
         .collect();
     ok(Json::Obj(vec![
         ("job".into(), Json::Int(job.id)),
+        ("span".into(), Json::Int(job.span)),
+        ("parent_span".into(), Json::Int(job.parent_span)),
         ("state".into(), Json::Str(job_state.name().into())),
         ("results".into(), Json::Arr(rows)),
     ]))
@@ -409,6 +429,108 @@ fn prometheus_metrics(state: &ServeState) -> Response {
         status: 200,
         body: out,
         content_type: "text/plain; version=0.0.4",
+        headers: Vec::new(),
+    }
+}
+
+/// Parses `/jobs/<id>/events` into the job id (`None` for any other
+/// path) — the handler loop routes matches to [`stream_events`].
+pub fn events_job_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?
+        .strip_suffix("/events")?
+        .parse()
+        .ok()
+}
+
+/// `GET /jobs/<id>/events`: live telemetry. Streams the job's event
+/// log as close-delimited NDJSON — span-open/close lines, per-task
+/// outcome summaries (with the epoch sampler's progress counts), and
+/// heartbeats while the job simulates — ending with a `done` line
+/// when the job completes. Returns `(status, body bytes written)`
+/// for the request log.
+pub fn stream_events(
+    state: &ServeState,
+    stream: &mut TcpStream,
+    id: u64,
+    span: u64,
+) -> (u16, usize) {
+    let headers = vec![("X-Dsscope-Span".to_string(), span.to_string())];
+    let Some(job) = state.queue.get(id) else {
+        let response = error(404, &format!("no such job {id}"))
+            .with_header("X-Dsscope-Span", span.to_string());
+        let bytes = response.body.len();
+        let _ = write_response(stream, &response);
+        return (404, bytes);
+    };
+    if write_stream_head(stream, 200, "application/x-ndjson", &headers).is_err() {
+        return (200, 0);
+    }
+    // Long-lived stream: per-write timeouts stay short (a stuck client
+    // should not pin a handler), but the stream itself lives until the
+    // job completes or the service shuts down.
+    let mut sent = 0usize;
+    let mut cursor = 0usize;
+    let mut quiet_polls = 0u32;
+    let write_line = |stream: &mut TcpStream, line: &str| -> std::io::Result<usize> {
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        Ok(line.len() + 1)
+    };
+    loop {
+        let (lines, next, done) = job.wait_events(cursor, Duration::from_millis(500));
+        cursor = next;
+        if lines.is_empty() {
+            quiet_polls += 1;
+        } else {
+            quiet_polls = 0;
+        }
+        for line in &lines {
+            match write_line(stream, line) {
+                Ok(n) => sent += n,
+                Err(_) => return (200, sent), // client went away
+            }
+        }
+        if done {
+            // Completion events race the done flip by a hair; one
+            // grace pass picks up stragglers (the job span-close).
+            std::thread::sleep(Duration::from_millis(50));
+            let (stragglers, _) = job.events_since(cursor);
+            for line in &stragglers {
+                match write_line(stream, line) {
+                    Ok(n) => sent += n,
+                    Err(_) => return (200, sent),
+                }
+            }
+            let fin = Json::Obj(vec![
+                ("event".into(), Json::Str("done".into())),
+                ("job".into(), Json::Int(id)),
+                ("t_us".into(), Json::Int(state.now_us())),
+            ])
+            .compact();
+            if let Ok(n) = write_line(stream, &fin) {
+                sent += n;
+            }
+            return (200, sent);
+        }
+        if state.is_shutting_down() {
+            return (200, sent);
+        }
+        // Keep a quiet connection visibly alive (and detect a gone
+        // client) roughly every 10 seconds.
+        if quiet_polls >= 20 {
+            quiet_polls = 0;
+            let beat = Json::Obj(vec![
+                ("event".into(), Json::Str("heartbeat".into())),
+                ("job".into(), Json::Int(id)),
+                ("t_us".into(), Json::Int(state.now_us())),
+            ])
+            .compact();
+            match write_line(stream, &beat) {
+                Ok(n) => sent += n,
+                Err(_) => return (200, sent),
+            }
+        }
     }
 }
 
@@ -435,16 +557,31 @@ fn health(state: &ServeState) -> Response {
 }
 
 /// `POST /jobs`: parse, admit, enqueue.
-fn submit(state: &ServeState, body: &[u8]) -> Response {
+fn submit(state: &ServeState, body: &[u8], request_span: u64) -> Response {
     let tasks = match parse_submission(body) {
         Ok(tasks) => tasks,
         Err(message) => return error(400, &message),
     };
-    match state.queue.submit(tasks) {
+    match state.queue.submit(tasks, request_span) {
         Ok(job) => {
             state.with_metrics(|m| m.jobs_accepted += 1);
+            // The job span opens at admission; workers close it when
+            // the last task completes.
+            job.push_event(span_open_event(
+                &SpanRecord {
+                    id: job.span,
+                    parent: job.parent_span,
+                    kind: SpanKind::Job,
+                    label: format!("job {} ({} tasks)", job.id, job.tasks.len()),
+                    start_us: state.now_us(),
+                    end_us: state.now_us(),
+                },
+                job.id,
+                vec![],
+            ));
             ok(Json::Obj(vec![
                 ("job".into(), Json::Int(job.id)),
+                ("span".into(), Json::Int(job.span)),
                 ("tasks".into(), Json::Int(job.tasks.len() as u64)),
                 ("state".into(), Json::Str(job.state().name().into())),
             ]))

@@ -15,6 +15,7 @@
 //!                  [--wait-timeout SECS]
 //! dsserve status   [--url U] JOB
 //! dsserve results  [--url U] JOB
+//! dsserve watch    [--url U] JOB
 //! dsserve metrics  [--url U]
 //! dsserve stress   [--url U] [--users N] [--ops N] [--seed S]
 //!                  [--bench A,B,...] [--require-hits]
@@ -47,6 +48,8 @@ commands:
   submit     submit a sweep, wait, print dsrun-identical JSON
   status     print a job's status document
   results    print a job's results document
+  watch      tail a job's live telemetry (span-open/close, progress)
+             until it completes; one NDJSON event per line
   metrics    print the /metrics document
   stress     seeded virtual users; ops/sec, p50/p95/p99, hit rate
   shutdown   ask a server to shut down cleanly
@@ -67,7 +70,9 @@ serve options:
                       stages, or minimal; shed levels skip
                       StageTracker/LineLens bookkeeping without
                       touching simulated cycles
-  --verbose           log one line per request to stderr
+  --verbose           log one line per request to stderr: span id,
+                      method, path, status, bytes, duration
+  --log-format F      request-log shape: text (default) or json
 
 submit options:
   --url U             server base URL (default: http://127.0.0.1:7878)
@@ -171,6 +176,7 @@ fn main() {
         Some("submit") => cmd_submit(&argv[1..]),
         Some("status") => cmd_job_doc(&argv[1..], false),
         Some("results") => cmd_job_doc(&argv[1..], true),
+        Some("watch") => cmd_watch(&argv[1..]),
         Some("metrics") => cmd_metrics(&argv[1..]),
         Some("stress") => cmd_stress(&argv[1..]),
         Some("shutdown") => cmd_shutdown(&argv[1..]),
@@ -213,6 +219,11 @@ fn cmd_serve(rest: &[String]) {
                 ds_probe::prof::set_level(level);
             }
             "--verbose" => options.verbose = true,
+            "--log-format" => {
+                let v = args.value("--log-format");
+                options.log_format = ds_serve::server::LogFormat::parse(&v)
+                    .unwrap_or_else(|| usage_error(&format!("unknown log format {v:?}")));
+            }
             "--help" => {
                 println!("{USAGE}");
                 return;
@@ -333,6 +344,29 @@ fn cmd_job_doc(rest: &[String], results: bool) {
     }
 }
 
+fn cmd_watch(rest: &[String]) {
+    let mut url = DEFAULT_URL.to_string();
+    let mut job: Option<u64> = None;
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        if let Some(u) = parse_url(&mut args, &arg) {
+            url = u;
+            continue;
+        }
+        match arg.parse::<u64>() {
+            Ok(id) => job = Some(id),
+            Err(_) => usage_error(&format!("unknown option {arg:?} (expected a job id)")),
+        }
+    }
+    let Some(id) = job else {
+        usage_error("missing job id");
+    };
+    let status = client::watch(&url, id, |line| println!("{line}")).unwrap_or_else(|e| fail(&e));
+    if status != 200 {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_metrics(rest: &[String]) {
     let mut url = DEFAULT_URL.to_string();
     let mut args = Args::new(rest);
@@ -431,8 +465,8 @@ fn run_check() {
     let queue = JobQueue::new(1);
     let cfg = SystemConfig::paper_default();
     let task = ds_runner::Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore);
-    let first = queue.submit(vec![task.clone()]);
-    let second = queue.submit(vec![task.clone()]);
+    let first = queue.submit(vec![task.clone()], 0);
+    let second = queue.submit(vec![task.clone()], 0);
     check(
         "admission bound rejects explicitly",
         first.is_ok() && matches!(second, Err(Rejection::QueueFull { .. })),
@@ -440,7 +474,7 @@ fn run_check() {
     );
     check(
         "empty submissions are rejected",
-        matches!(queue.submit(Vec::new()), Err(Rejection::Empty)),
+        matches!(queue.submit(Vec::new(), 0), Err(Rejection::Empty)),
         "empty task list was admitted",
     );
 

@@ -112,6 +112,74 @@ pub fn wait_done(url: &str, id: u64, timeout: Duration) -> Result<Json, String> 
     }
 }
 
+/// Tails `GET /jobs/<id>/events`: connects, then calls `on_line` for
+/// every NDJSON event line as it arrives, until the server closes the
+/// stream (job done or service shutdown). Returns the HTTP status.
+///
+/// # Errors
+///
+/// Transport failures, a bad status line, or a quiet stream
+/// outliving the read timeout (the server heartbeats ~10s, so the
+/// 60-second timeout only fires on a dead server).
+pub fn watch(url: &str, id: u64, mut on_line: impl FnMut(&str)) -> Result<u16, String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let host = crate::http::host_of(url)?;
+    let mut stream =
+        std::net::TcpStream::connect(&host).map_err(|e| format!("connect {host}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+    let path = format!("/jobs/{id}/events");
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send {path}: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        if n == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    if status != 200 {
+        // The body is a one-shot JSON error; surface it as a line.
+        let mut body = String::new();
+        use std::io::Read as _;
+        let _ = reader.read_to_string(&mut body);
+        if !body.trim().is_empty() {
+            on_line(body.trim());
+        }
+        return Ok(status);
+    }
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // server closed: stream over
+            Ok(_) => {
+                let line = line.trim_end();
+                if !line.is_empty() {
+                    on_line(line);
+                }
+            }
+            Err(e) => return Err(format!("read {path}: {e}")),
+        }
+    }
+    Ok(status)
+}
+
 /// Fetches `GET /jobs/<id>/results` as parsed JSON.
 ///
 /// # Errors

@@ -45,6 +45,9 @@ pub struct Response {
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written verbatim after
+    /// the standard ones. The service uses this for `X-Dsscope-Span`.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -54,7 +57,14 @@ impl Response {
             status,
             body,
             content_type: "application/json",
+            headers: Vec::new(),
         }
+    }
+
+    /// Adds one extra response header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
     }
 }
 
@@ -141,15 +151,47 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
 /// Writes `response` to `stream` and flushes. The service speaks one
 /// request per connection, so every response closes it.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len()
     );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes the head of a close-delimited streaming response (no
+/// `Content-Length`: the body runs until the server closes the
+/// connection, which the blocking client reads with `read_to_end`).
+/// The caller then writes body bytes directly and closes the stream.
+///
+/// # Errors
+///
+/// Propagates the transport failure.
+pub fn write_stream_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    headers: &[(String, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        content_type
+    );
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
     stream.flush()
 }
 

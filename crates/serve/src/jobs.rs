@@ -16,8 +16,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use ds_probe::SpanRecord;
 use ds_runner::shared::Provenance;
 use ds_runner::{Task, TaskOutcome};
 
@@ -50,6 +51,11 @@ pub struct TaskResult {
     pub outcome: TaskOutcome,
     /// Whether the shared store served it without computing.
     pub provenance: Provenance,
+    /// Service-level spans for this task (`task` plus its `queue-wait`
+    /// / `store-lookup` / `sim-run` children), timestamps in
+    /// microseconds since the service started. Empty when the worker
+    /// recorded none.
+    pub spans: Vec<SpanRecord>,
 }
 
 #[derive(Debug)]
@@ -66,10 +72,56 @@ pub struct JobRecord {
     pub id: u64,
     /// The submitted tasks, in submission order.
     pub tasks: Vec<Task>,
+    /// The job's span id (child of the submitting request's span).
+    pub span: u64,
+    /// The submitting HTTP request's span id (0 when untraced).
+    pub parent_span: u64,
     progress: Mutex<Progress>,
+    /// Append-only live telemetry: one JSON line per span/progress
+    /// event, streamed by `GET /jobs/<id>/events`.
+    events: Mutex<Vec<String>>,
+    events_wake: Condvar,
 }
 
 impl JobRecord {
+    /// Appends one event line and wakes any streaming reader.
+    pub fn push_event(&self, line: String) {
+        lock(&self.events).push(line);
+        self.events_wake.notify_all();
+    }
+
+    /// Clones the event lines from index `from` on, returning them
+    /// with the next cursor position.
+    pub fn events_since(&self, from: usize) -> (Vec<String>, usize) {
+        let events = lock(&self.events);
+        let lines: Vec<String> = events.get(from..).unwrap_or(&[]).to_vec();
+        let next = events.len();
+        (lines, next)
+    }
+
+    /// Blocks up to `timeout` for event lines past `from`. Returns
+    /// `(lines, next_cursor, done)` where `done` reports whether the
+    /// job had reached its terminal state at snapshot time — a reader
+    /// drains the remaining lines and stops once both hold.
+    pub fn wait_events(&self, from: usize, timeout: Duration) -> (Vec<String>, usize, bool) {
+        let deadline = Instant::now() + timeout;
+        let mut events = lock(&self.events);
+        while events.len() <= from && self.state() != JobState::Done {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .events_wake
+                .wait_timeout(events, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            events = guard;
+        }
+        let lines: Vec<String> = events.get(from..).unwrap_or(&[]).to_vec();
+        let next = events.len();
+        drop(events);
+        (lines, next, self.state() == JobState::Done)
+    }
     /// Current lifecycle state.
     pub fn state(&self) -> JobState {
         let p = lock(&self.progress);
@@ -210,7 +262,7 @@ impl JobQueue {
     /// [`Rejection::Empty`] for a task-less submission,
     /// [`Rejection::ShuttingDown`] after [`JobQueue::shutdown`], and
     /// [`Rejection::QueueFull`] at the open-job bound.
-    pub fn submit(&self, tasks: Vec<Task>) -> Result<Arc<JobRecord>, Rejection> {
+    pub fn submit(&self, tasks: Vec<Task>, parent_span: u64) -> Result<Arc<JobRecord>, Rejection> {
         if tasks.is_empty() {
             return Err(Rejection::Empty);
         }
@@ -230,11 +282,15 @@ impl JobQueue {
         let job = Arc::new(JobRecord {
             id,
             tasks,
+            span: ds_probe::scope::next_span_id(),
+            parent_span,
             progress: Mutex::new(Progress {
                 results: vec![None; total],
                 completed: 0,
                 started: 0,
             }),
+            events: Mutex::new(Vec::new()),
+            events_wake: Condvar::new(),
         });
         let now = Instant::now();
         for idx in 0..total {
@@ -320,9 +376,9 @@ mod tests {
     #[test]
     fn admission_bound_rejects_explicitly() {
         let queue = JobQueue::new(2);
-        queue.submit(tasks(1)).unwrap();
-        queue.submit(tasks(1)).unwrap();
-        let rejection = queue.submit(tasks(1)).unwrap_err();
+        queue.submit(tasks(1), 0).unwrap();
+        queue.submit(tasks(1), 0).unwrap();
+        let rejection = queue.submit(tasks(1), 0).unwrap_err();
         assert_eq!(rejection, Rejection::QueueFull { open: 2, limit: 2 });
         assert_eq!(rejection.status(), 429);
         assert_eq!(queue.depth(), 2);
@@ -331,37 +387,38 @@ mod tests {
     #[test]
     fn empty_submissions_are_bad_requests() {
         let queue = JobQueue::new(1);
-        assert_eq!(queue.submit(vec![]).unwrap_err().status(), 400);
+        assert_eq!(queue.submit(vec![], 0).unwrap_err().status(), 400);
     }
 
     #[test]
     fn completion_frees_an_admission_slot_in_order() {
         let queue = JobQueue::new(1);
-        let job = queue.submit(tasks(2)).unwrap();
+        let job = queue.submit(tasks(2), 0).unwrap();
         assert_eq!(job.state(), JobState::Queued);
-        assert!(queue.submit(tasks(1)).is_err(), "slot is taken");
+        assert!(queue.submit(tasks(1), 0).is_err(), "slot is taken");
 
         let first = queue.pop().unwrap();
         assert_eq!(job.state(), JobState::Running);
         let result = TaskResult {
             outcome: TaskOutcome::TimedOut,
             provenance: Provenance::Computed,
+            spans: vec![],
         };
         assert!(!queue.complete(&first, result.clone()), "job not done yet");
         let second = queue.pop().unwrap();
         assert!(queue.complete(&second, result), "job done");
         assert_eq!(job.state(), JobState::Done);
         assert_eq!(queue.open_jobs(), 0);
-        queue.submit(tasks(1)).unwrap();
+        queue.submit(tasks(1), 0).unwrap();
     }
 
     #[test]
     fn shutdown_stops_admission_and_abandons_queued_work() {
         let queue = JobQueue::new(4);
-        queue.submit(tasks(1)).unwrap();
+        queue.submit(tasks(1), 0).unwrap();
         queue.shutdown();
         assert!(matches!(
-            queue.submit(tasks(1)).unwrap_err(),
+            queue.submit(tasks(1), 0).unwrap_err(),
             Rejection::ShuttingDown
         ));
         assert!(
@@ -373,7 +430,7 @@ mod tests {
     #[test]
     fn results_keep_submission_order() {
         let queue = JobQueue::new(1);
-        let job = queue.submit(tasks(2)).unwrap();
+        let job = queue.submit(tasks(2), 0).unwrap();
         let a = queue.pop().unwrap();
         let b = queue.pop().unwrap();
         // Complete out of order; slots still line up with submission.
@@ -382,6 +439,7 @@ mod tests {
             TaskResult {
                 outcome: TaskOutcome::Failed("b".into()),
                 provenance: Provenance::Computed,
+                spans: vec![],
             },
         );
         queue.complete(
@@ -389,6 +447,7 @@ mod tests {
             TaskResult {
                 outcome: TaskOutcome::Failed("a".into()),
                 provenance: Provenance::Hit,
+                spans: vec![],
             },
         );
         let results = job.results();

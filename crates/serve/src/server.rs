@@ -25,12 +25,34 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ds_probe::scope::{self, SpanKind, SpanRecord};
 use ds_probe::ServiceMetrics;
+use ds_runner::json::Json;
 use ds_runner::shared::SharedStore;
 use ds_runner::{default_jobs, Runner, Task, TaskOutcome};
 
-use crate::http::{read_request, write_response, Response};
-use crate::jobs::{JobQueue, TaskResult};
+use crate::http::{read_request, write_response, Request, Response};
+use crate::jobs::{JobQueue, JobRecord, TaskResult};
+
+/// Shape of the per-request log line `--log-format` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-oriented single line.
+    Text,
+    /// One compact JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Option<LogFormat> {
+        match name {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
 
 /// Tunables for one service instance.
 #[derive(Debug, Clone)]
@@ -49,6 +71,8 @@ pub struct ServeOptions {
     pub cache_dir: Option<std::path::PathBuf>,
     /// Log one line per handled request to stderr.
     pub verbose: bool,
+    /// Shape of that request log line.
+    pub log_format: LogFormat,
 }
 
 impl Default for ServeOptions {
@@ -60,6 +84,7 @@ impl Default for ServeOptions {
             task_timeout: None,
             cache_dir: None,
             verbose: false,
+            log_format: LogFormat::Text,
         }
     }
 }
@@ -111,37 +136,193 @@ impl ServeState {
         f(&mut metrics)
     }
 
+    /// Microseconds since the service started — the clock every
+    /// service span and telemetry event is stamped with.
+    pub fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
     /// Computes (or serves from the shared store) one task, riding
     /// the hardened one-shot runner: panic isolation, optional
-    /// wall-clock timeout, degradation classification.
-    pub fn run_task(&self, task: &Task) -> TaskResult {
+    /// wall-clock timeout, degradation classification. The returned
+    /// result carries `store-lookup` / `sim-run` spans parented on
+    /// `task_span` (the worker adds the `task` and `queue-wait`
+    /// spans, which only it can time).
+    pub fn run_task(&self, task: &Task, task_span: u64) -> TaskResult {
         let timeout = self.options.task_timeout;
+        let lookup_start = self.now_us();
+        // Filled inside the compute closure; stays `None` on a store
+        // hit or when this lookup coalesced onto another computation.
+        let sim_interval: Mutex<Option<(u64, u64)>> = Mutex::new(None);
         let (outcome, provenance) = self.store.get_or_compute(task, || {
+            let sim_start = self.now_us();
             let mut runner = Runner::new().jobs(1).progress(false);
             if let Some(limit) = timeout {
                 runner = runner.task_timeout(limit);
             }
-            runner
+            let outcome = runner
                 .run_tasks_outcomes(std::slice::from_ref(task))
                 .pop()
-                .unwrap_or(TaskOutcome::Failed("runner returned no outcome".into()))
+                .unwrap_or(TaskOutcome::Failed("runner returned no outcome".into()));
+            *sim_interval.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some((sim_start, self.now_us()));
+            outcome
         });
+        let done = self.now_us();
+        let sim = *sim_interval.lock().unwrap_or_else(|e| e.into_inner());
+        let mut spans = Vec::new();
+        // The lookup span ends where the simulation began (a miss) or
+        // where the store answered (a hit / coalesced wait).
+        spans.push(SpanRecord {
+            id: scope::next_span_id(),
+            parent: task_span,
+            kind: SpanKind::StoreLookup,
+            label: crate::api::provenance_name(provenance).to_string(),
+            start_us: lookup_start,
+            end_us: sim.map_or(done, |(start, _)| start),
+        });
+        if let Some((start, end)) = sim {
+            spans.push(SpanRecord {
+                id: scope::next_span_id(),
+                parent: task_span,
+                kind: SpanKind::SimRun,
+                label: format!("{} {} {}", task.code, task.input, task.mode),
+                start_us: start,
+                end_us: end,
+            });
+        }
         TaskResult {
             outcome,
             provenance,
+            spans,
         }
     }
 }
 
+/// Renders one telemetry event line (compact JSON).
+fn event_line(fields: Vec<(String, Json)>) -> String {
+    Json::Obj(fields).compact()
+}
+
+/// The span-open event for `span`, shared by workers and the submit
+/// handler.
+pub(crate) fn span_open_event(span: &SpanRecord, job: u64, extra: Vec<(String, Json)>) -> String {
+    let mut fields = vec![
+        ("event".into(), Json::Str("span-open".into())),
+        ("span".into(), Json::Int(span.id)),
+        ("parent".into(), Json::Int(span.parent)),
+        ("kind".into(), Json::Str(span.kind.name().into())),
+        ("label".into(), Json::Str(span.label.clone())),
+        ("t_us".into(), Json::Int(span.start_us)),
+        ("job".into(), Json::Int(job)),
+    ];
+    fields.extend(extra);
+    event_line(fields)
+}
+
+/// The matching span-close event.
+pub(crate) fn span_close_event(span: &SpanRecord, job: u64) -> String {
+    event_line(vec![
+        ("event".into(), Json::Str("span-close".into())),
+        ("span".into(), Json::Int(span.id)),
+        ("kind".into(), Json::Str(span.kind.name().into())),
+        ("t_us".into(), Json::Int(span.end_us)),
+        ("job".into(), Json::Int(job)),
+    ])
+}
+
+/// Emits the open+close pair for every span of one completed task,
+/// plus its progress / outcome summary, onto the job's event log.
+fn publish_task_events(job: &JobRecord, idx: usize, result: &TaskResult, done_us: u64) {
+    for span in &result.spans {
+        job.push_event(span_open_event(
+            span,
+            job.id,
+            vec![("task".into(), Json::Int(idx as u64))],
+        ));
+        job.push_event(span_close_event(span, job.id));
+    }
+    let mut fields = vec![
+        ("event".into(), Json::Str("task-done".into())),
+        ("job".into(), Json::Int(job.id)),
+        ("task".into(), Json::Int(idx as u64)),
+        ("outcome".into(), Json::Str(result.outcome.tag().into())),
+        (
+            "provenance".into(),
+            Json::Str(crate::api::provenance_name(result.provenance).into()),
+        ),
+        ("t_us".into(), Json::Int(done_us)),
+    ];
+    if let Some(report) = result.outcome.report() {
+        fields.push(("cycles".into(), Json::Int(report.total_cycles.as_u64())));
+        // The epoch sampler's progress trail: how many windows the
+        // simulation closed, so `watch` can show per-task pacing.
+        fields.push(("epochs".into(), Json::Int(report.epochs.len() as u64)));
+        fields.push(("epoch_window".into(), Json::Int(report.epoch_window)));
+    }
+    job.push_event(event_line(fields));
+    let (_, completed, total) = job.snapshot();
+    job.push_event(event_line(vec![
+        ("event".into(), Json::Str("progress".into())),
+        ("job".into(), Json::Int(job.id)),
+        ("completed".into(), Json::Int(completed as u64 + 1)),
+        ("total".into(), Json::Int(total as u64)),
+        ("t_us".into(), Json::Int(done_us)),
+    ]));
+}
+
 /// One worker: drain the queue through the shared store until
-/// shutdown.
+/// shutdown, publishing span telemetry onto each job's event log.
 fn worker_loop(state: &ServeState) {
     while let Some(item) = state.queue.pop() {
+        let job = &item.job;
+        let task = &job.tasks[item.idx];
         let waited = item.enqueued.elapsed();
         let started = Instant::now();
-        let result = state.run_task(&item.job.tasks[item.idx]);
+        // The task span opened when the work item was enqueued — the
+        // queue wait belongs to the task, not to the service at large.
+        let enqueued_us = item.enqueued.duration_since(state.started).as_micros() as u64;
+        let picked_us = state.now_us();
+        let task_span = scope::next_span_id();
+        let queue_span = SpanRecord {
+            id: scope::next_span_id(),
+            parent: task_span,
+            kind: SpanKind::QueueWait,
+            label: String::new(),
+            start_us: enqueued_us,
+            end_us: picked_us,
+        };
+
+        let mut result = state.run_task(task, task_span);
+        let done_us = state.now_us();
         let service = started.elapsed();
+
+        let mut spans = vec![
+            SpanRecord {
+                id: task_span,
+                parent: job.span,
+                kind: SpanKind::Task,
+                label: format!("{} {} {}", task.code, task.input, task.mode),
+                start_us: enqueued_us,
+                end_us: done_us,
+            },
+            queue_span,
+        ];
+        spans.append(&mut result.spans);
+        result.spans = spans;
+        publish_task_events(job, item.idx, &result, done_us);
+
         let finished = state.queue.complete(&item, result);
+        if finished {
+            let close_us = state.now_us();
+            job.push_event(event_line(vec![
+                ("event".into(), Json::Str("span-close".into())),
+                ("span".into(), Json::Int(job.span)),
+                ("kind".into(), Json::Str("job".into())),
+                ("t_us".into(), Json::Int(close_us)),
+                ("job".into(), Json::Int(job.id)),
+            ]));
+        }
         state.with_metrics(|m| {
             m.task_wait.record(waited.as_micros() as u64);
             m.task_service.record(service.as_micros() as u64);
@@ -153,8 +334,48 @@ fn worker_loop(state: &ServeState) {
     }
 }
 
+/// The structured request log line (gated on `--verbose`): span id,
+/// method, path, status, response bytes, and handling duration, as
+/// text or one compact JSON object per `--log-format`.
+fn log_request(
+    state: &ServeState,
+    span: u64,
+    request: Option<&Request>,
+    status: u16,
+    bytes: usize,
+    duration: Duration,
+) {
+    if !state.options.verbose {
+        return;
+    }
+    let (method, path) = match request {
+        Some(r) => (r.method.as_str(), r.path.as_str()),
+        None => ("-", "-"),
+    };
+    let duration_us = duration.as_micros() as u64;
+    match state.options.log_format {
+        LogFormat::Text => {
+            eprintln!("dsserve: {method} {path} -> {status} span={span} {bytes}B {duration_us}us")
+        }
+        LogFormat::Json => eprintln!(
+            "{}",
+            Json::Obj(vec![
+                ("log".into(), Json::Str("request".into())),
+                ("span".into(), Json::Int(span)),
+                ("method".into(), Json::Str(method.into())),
+                ("path".into(), Json::Str(path.into())),
+                ("status".into(), Json::Int(status as u64)),
+                ("bytes".into(), Json::Int(bytes as u64)),
+                ("duration_us".into(), Json::Int(duration_us)),
+            ])
+            .compact()
+        ),
+    }
+}
+
 /// One HTTP handler: serve connections off the channel until the
-/// accept loop closes it.
+/// accept loop closes it. Every request gets a span id, returned to
+/// the client in the `X-Dsscope-Span` header.
 fn handler_loop(state: &ServeState, connections: &Mutex<mpsc::Receiver<TcpStream>>) {
     loop {
         let conn = {
@@ -164,20 +385,55 @@ fn handler_loop(state: &ServeState, connections: &Mutex<mpsc::Receiver<TcpStream
         let Ok(mut stream) = conn else { break };
         stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
         stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
-        let response = match read_request(&mut stream) {
+        let started = Instant::now();
+        let span = scope::next_span_id();
+        match read_request(&mut stream) {
             Ok(request) => {
-                let response = crate::api::handle(state, &request);
-                if state.options.verbose {
-                    eprintln!(
-                        "dsserve: {} {} -> {}",
-                        request.method, request.path, response.status
-                    );
+                // The live-telemetry endpoint streams its own
+                // close-delimited response; everything else goes
+                // through the regular router.
+                if request.method == "GET" {
+                    if let Some(id) = crate::api::events_job_id(&request.path) {
+                        let (status, bytes) =
+                            crate::api::stream_events(state, &mut stream, id, span);
+                        log_request(
+                            state,
+                            span,
+                            Some(&request),
+                            status,
+                            bytes,
+                            started.elapsed(),
+                        );
+                        continue;
+                    }
                 }
-                response
+                let response = crate::api::handle_with_span(state, &request, span)
+                    .with_header("X-Dsscope-Span", span.to_string());
+                log_request(
+                    state,
+                    span,
+                    Some(&request),
+                    response.status,
+                    response.body.len(),
+                    started.elapsed(),
+                );
+                let _ = write_response(&mut stream, &response);
             }
-            Err(e) => Response::json(400, format!("{{\"error\": \"bad request: {e}\"}}\n")),
-        };
-        let _ = write_response(&mut stream, &response);
+            Err(e) => {
+                let response =
+                    Response::json(400, format!("{{\"error\": \"bad request: {e}\"}}\n"))
+                        .with_header("X-Dsscope-Span", span.to_string());
+                log_request(
+                    state,
+                    span,
+                    None,
+                    response.status,
+                    response.body.len(),
+                    started.elapsed(),
+                );
+                let _ = write_response(&mut stream, &response);
+            }
+        }
     }
 }
 

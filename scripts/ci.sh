@@ -146,4 +146,55 @@ rc=0
 "$dsserve" shutdown --url "$sat_url"
 wait "$sat_pid"
 
+echo "==> dsscope span audit (telescoping, exact reconciliation, zero overhead off)"
+# Every small-catalog report must carry a span tree that telescopes
+# and reconciles queue + store + sim + overhead exactly against its
+# wall clock — and a scope-off rerun must be bit-identical minus the
+# tree (fig4 stays untouched by the tracing layer).
+cargo run --release -q -p ds-serve --bin dsscope -- --check
+
+echo "==> ds-scope live telemetry gate (watch stream, request log, merged trace)"
+"$dsserve" serve --port 0 --port-file "$smoke_dir/scope-addr" \
+  --cache "$smoke_dir/scope-cache" --workers 2 \
+  --verbose --log-format json 2> "$smoke_dir/scope.log" &
+scope_pid=$!
+for _ in $(seq 100); do
+  [ -s "$smoke_dir/scope-addr" ] && break
+  sleep 0.1
+done
+scope_url="http://$(cat "$smoke_dir/scope-addr")"
+scope_job="$("$dsserve" submit --url "$scope_url" --bench VA --input small \
+  --mode ds --no-wait)"
+# The watch stream must carry the span telemetry for a running job and
+# end with the stream-closing done event.
+"$dsserve" watch --url "$scope_url" "$scope_job" > "$smoke_dir/watch.ndjson"
+grep -q '"event":"span-open".*"kind":"sim-run"' "$smoke_dir/watch.ndjson"
+grep -q '"event":"task-done"' "$smoke_dir/watch.ndjson"
+grep -q '"event":"done"' "$smoke_dir/watch.ndjson"
+# The structured request log joins against the span stream by span id.
+grep -q '"log":"request".*"path":"/jobs"' "$smoke_dir/scope.log"
+# One merged Perfetto trace from the HTTP request down to simulator
+# stages (the dstrace chrome track from the smoke above); dsscope
+# exits non-zero if any span tree fails its checks.
+cargo run --release -q -p ds-serve --bin dsscope -- \
+  merge --url "$scope_url" "$scope_job" --trace "$smoke_dir/va-ds.json" \
+  --out "$smoke_dir/merged-trace.json" > "$smoke_dir/scope-summary.txt"
+test -s "$smoke_dir/merged-trace.json"
+grep -q "reconciles:" "$smoke_dir/scope-summary.txt"
+"$dsserve" shutdown --url "$scope_url"
+wait "$scope_pid"
+
+echo "==> postmortem dump gate (forced timeout ships a flight-record file)"
+rc=0
+cargo run --release -q -p ds-runner --bin dsrun -- \
+  --bench VA --input small --keep-going --timeout 0 \
+  --cache "$smoke_dir/pmcache" --format csv \
+  > /dev/null 2> "$smoke_dir/pm.log" || rc=$?
+[ "$rc" -eq 1 ] || {
+  echo "ci.sh: expected exit 1 from a timed-out keep-going run, got $rc" >&2
+  exit 1
+}
+grep -q "postmortem" "$smoke_dir/pm.log"
+ls "$smoke_dir"/pmcache/postmortem/VA-small-*.json > /dev/null
+
 echo "==> ci.sh: all gates passed"
