@@ -341,6 +341,47 @@ impl Pipeline {
         (result, system.into_tracer())
     }
 
+    /// Runs `scenario` once under `mode` with pulse sampling
+    /// configured by `pulse` (see [`ds_probe::PulseSampler`]; the
+    /// report carries the full [`ds_probe::PulseSeries`]), `plan`'s
+    /// faults injected (pass `&FaultPlan::default()` for a fault-free
+    /// run) and trace events going to `tracer`. Shaped like
+    /// [`Pipeline::run_one_faulted_traced`]: the tracer rides the
+    /// return pair, so a flight recorder's retained tail — including
+    /// any pulse-anomaly precursor events — survives a watchdog abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Translate`] on translation failure and
+    /// [`PipelineError::Aborted`] on a watchdog abort, both inside the
+    /// returned pair.
+    pub fn run_one_pulsed<T: ds_probe::Tracer>(
+        &self,
+        scenario: &dyn Scenario,
+        input: InputSize,
+        mode: Mode,
+        tracer: T,
+        pulse: ds_probe::PulseConfig,
+        plan: &FaultPlan,
+    ) -> (Result<RunReport, PipelineError>, T) {
+        let alloc = if mode.pushes() {
+            match Translator::new().translate(&scenario.source(input)) {
+                Ok(translation) => Some(translation.plan),
+                Err(e) => return (Err(e.into()), tracer),
+            }
+        } else {
+            None
+        };
+        let build = scenario.build(alloc.as_ref(), input);
+        let mut system = System::with_tracer(self.cfg.clone(), mode, tracer);
+        system.enable_pulse(pulse);
+        system.set_fault_plan(plan.clone());
+        let result = system
+            .try_run(build.program, build.kernels)
+            .map_err(|abort| PipelineError::Aborted(abort.to_string()));
+        (result, system.into_tracer())
+    }
+
     /// Like [`Pipeline::run_one_instrumented`], but also hands back
     /// the per-cacheline [`LineLens`] with full event histories (the
     /// report only carries its aggregate [`ds_probe::LensReport`]) —
@@ -486,6 +527,51 @@ mod tests {
     fn zero_cycle_direct_store_yields_sentinel_in_release() {
         let out = zero_cycle_comparison();
         assert_eq!(out.speedup(), Comparison::ZERO_CYCLE_SPEEDUP);
+    }
+
+    #[test]
+    fn pulse_windows_conserve_and_never_change_timing() {
+        use ds_probe::pulse::ctr;
+        let pipe = Pipeline::paper_default();
+        let plain = pipe
+            .run_one(&Mini, InputSize::Small, Mode::DirectStore)
+            .unwrap();
+        let (pulsed, _) = pipe.run_one_pulsed(
+            &Mini,
+            InputSize::Small,
+            Mode::DirectStore,
+            ds_probe::NullTracer,
+            ds_probe::PulseConfig::default(),
+            &FaultPlan::default(),
+        );
+        let pulsed = pulsed.unwrap();
+        assert_eq!(
+            plain.total_cycles, pulsed.total_cycles,
+            "pulse fed back into timing"
+        );
+        assert_eq!(plain.gpu_l2.misses.value(), pulsed.gpu_l2.misses.value());
+        let series = pulsed.pulse.as_ref().expect("pulse enabled");
+        series
+            .check_conservation()
+            .expect("per-window deltas sum to totals");
+        // Series totals agree with the independently-filled report.
+        assert_eq!(
+            series.totals.counters[ctr::DIRECT_PUSHES],
+            pulsed.direct_pushes
+        );
+        assert_eq!(series.totals.counters[ctr::DRAM_READS], pulsed.dram_reads);
+        assert_eq!(series.totals.counters[ctr::EVENTS], pulsed.events);
+        // The legacy epoch series is the derived view of the windows.
+        assert_eq!(pulsed.epoch_window, series.window);
+        assert_eq!(pulsed.epochs.len(), series.len());
+        assert_eq!(
+            pulsed
+                .epochs
+                .iter()
+                .map(|s| s.delta.dram_accesses)
+                .sum::<u64>(),
+            pulsed.dram_reads + pulsed.dram_writes,
+        );
     }
 
     #[test]

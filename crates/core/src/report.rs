@@ -4,7 +4,9 @@ use std::fmt;
 
 use ds_cache::CacheStats;
 use ds_noc::XbarStats;
-use ds_probe::{EpochSample, HostProfile, LatencyReport, LensReport, SpanTree, StageBreakdown};
+use ds_probe::{
+    EpochSample, HostProfile, LatencyReport, LensReport, PulseSeries, SpanTree, StageBreakdown,
+};
 use ds_sim::Cycle;
 
 use crate::Mode;
@@ -97,10 +99,19 @@ pub struct RunReport {
     /// per-slice / per-bank / per-link traffic heatmaps. Collected
     /// unconditionally (like [`RunReport::latency`]).
     pub lens: LensReport,
-    /// Windowed activity series; empty unless epoch sampling was
-    /// enabled (`System::enable_epochs`).
+    /// Cycle-domain time-series telemetry: per-window counter deltas,
+    /// sampled gauges and anomaly annotations from the pulse sampler.
+    /// `None` unless pulse sampling was enabled
+    /// (`System::enable_pulse`). Per-window deltas sum exactly to the
+    /// run's final totals ([`ds_probe::PulseSeries::check_conservation`]),
+    /// and sampling never feeds back into simulated timing.
+    pub pulse: Option<PulseSeries>,
+    /// Windowed activity series, derived from [`RunReport::pulse`]
+    /// via [`ds_probe::pulse::epoch_view`]; empty unless pulse
+    /// sampling was enabled.
     pub epochs: Vec<EpochSample>,
-    /// The epoch window length in cycles (zero when sampling was off).
+    /// The (post-coalescing) pulse window length in cycles (zero when
+    /// sampling was off).
     pub epoch_window: u64,
     /// Host-time profile of the run (`ds_probe::prof`): wall-clock
     /// plus per-[`ds_probe::HostPhase`] self time and span counts,
@@ -201,6 +212,7 @@ mod tests {
             latency: LatencyReport::new(),
             stages: StageBreakdown::new(),
             lens: LensReport::empty(),
+            pulse: None,
             epochs: Vec::new(),
             epoch_window: 0,
             host: None,

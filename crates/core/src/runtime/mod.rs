@@ -28,9 +28,10 @@ use ds_gpu::{GpuL1, KernelTrace, L1Valid, Sm};
 use ds_mem::{Dram, DramAccessInfo, LineAddr};
 use ds_noc::Xbar;
 use ds_probe::prof::{self, HostPhase};
+use ds_probe::pulse::{ctr, gauge};
 use ds_probe::{
-    Component, EpochRecorder, EpochTotals, LatencyReport, LineLens, NullTracer, ProbeLevel, Stage,
-    StageTracker, TraceEvent, TraceKind, Tracer,
+    Component, LatencyReport, LineLens, NullTracer, ProbeLevel, PulseConfig, PulseSampler,
+    PulseTotals, Stage, StageTracker, TraceEvent, TraceKind, Tracer,
 };
 use ds_sim::{Cycle, EventQueue};
 
@@ -193,7 +194,10 @@ pub struct System<T: Tracer = NullTracer> {
     // Instrumentation.
     tracer: T,
     probes: LatencyReport,
-    epochs: Option<EpochRecorder>,
+    /// Cycle-domain time-series sampler (`None` = pulse off). The run
+    /// loop checks `needs_sample` — one compare — per event and only
+    /// snapshots counters when a window boundary was crossed.
+    pulse: Option<PulseSampler>,
     /// Per-transaction stage accounting (unconditional, like
     /// `probes`).
     stages: StageTracker,
@@ -363,7 +367,7 @@ impl<T: Tracer> System<T> {
             now: Cycle::ZERO,
             tracer,
             probes: LatencyReport::new(),
-            epochs: None,
+            pulse: None,
             stages: StageTracker::new(),
             lens: LineLens::new(slices, cfg.dram.total_banks() as usize),
             probe_level: ProbeLevel::Full,
@@ -438,14 +442,32 @@ impl<T: Tracer> System<T> {
         self.mode
     }
 
+    /// Enables pulse sampling: per-window counter deltas, sampled
+    /// gauges and online anomaly detection
+    /// ([`ds_probe::PulseSampler`]), surfaced on the run's report as
+    /// [`RunReport::pulse`] (with the legacy epoch series derived from
+    /// it). Sampling is observation-only: simulated timing is
+    /// bit-identical with pulse on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.window` is zero or `cfg.capacity` is odd or
+    /// less than two.
+    pub fn enable_pulse(&mut self, cfg: PulseConfig) {
+        self.pulse = Some(PulseSampler::new(cfg));
+    }
+
     /// Enables windowed activity sampling: one [`ds_probe::EpochSample`]
-    /// per `window` cycles, surfaced on the run's report.
+    /// per `window` cycles, surfaced on the run's report. Thin wrapper
+    /// over [`System::enable_pulse`] with an otherwise-default
+    /// [`PulseConfig`]; the epoch series is the derived
+    /// [`ds_probe::pulse::epoch_view`] of the pulse windows.
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
     pub fn enable_epochs(&mut self, window: u64) {
-        self.epochs = Some(EpochRecorder::new(window));
+        self.enable_pulse(PulseConfig::with_window(window));
     }
 
     /// The tracer, for inspection mid- or post-run.
@@ -632,24 +654,76 @@ impl<T: Tracer> System<T> {
         }
     }
 
-    /// Snapshot of the cumulative counters the epoch sampler watches.
-    fn epoch_totals(&self) -> EpochTotals {
+    /// Snapshot of the cumulative counters and instantaneous gauges
+    /// the pulse sampler watches. Pure reads of state the components
+    /// already keep — the snapshot itself mutates nothing.
+    fn pulse_totals(&self) -> PulseTotals {
         let mut gpu_hits = 0;
         let mut gpu_misses = 0;
         for s in &self.gpu_l2 {
             gpu_hits += s.stats.hits.value();
             gpu_misses += s.stats.misses.value();
         }
-        EpochTotals {
-            gpu_l2_accesses: gpu_hits + gpu_misses,
-            gpu_l2_misses: gpu_misses,
-            cpu_l2_accesses: self.cpu_l2.stats.hits.value() + self.cpu_l2.stats.misses.value(),
-            cpu_l2_misses: self.cpu_l2.stats.misses.value(),
-            coh_msgs: self.coh_net.stats().total_msgs(),
-            direct_msgs: self.direct_net.stats().total_msgs(),
-            gpu_msgs: self.gpu_net.stats().total_msgs(),
-            dram_accesses: self.dram.stats().reads.value() + self.dram.stats().writes.value(),
-            direct_pushes: self.direct_pushes,
+        let mut t = PulseTotals::default();
+        let c = &mut t.counters;
+        c[ctr::GPU_L2_ACCESSES] = gpu_hits + gpu_misses;
+        c[ctr::GPU_L2_MISSES] = gpu_misses;
+        c[ctr::CPU_L2_ACCESSES] = self.cpu_l2.stats.hits.value() + self.cpu_l2.stats.misses.value();
+        c[ctr::CPU_L2_MISSES] = self.cpu_l2.stats.misses.value();
+        c[ctr::COH_MSGS] = self.coh_net.stats().total_msgs();
+        c[ctr::DIRECT_MSGS] = self.direct_net.stats().total_msgs();
+        c[ctr::GPU_MSGS] = self.gpu_net.stats().total_msgs();
+        c[ctr::COH_BYTES] = self.coh_net.stats().bytes;
+        c[ctr::DIRECT_BYTES] = self.direct_net.stats().bytes;
+        c[ctr::GPU_BYTES] = self.gpu_net.stats().bytes;
+        c[ctr::DRAM_READS] = self.dram.stats().reads.value();
+        c[ctr::DRAM_WRITES] = self.dram.stats().writes.value();
+        c[ctr::DRAM_ROW_HITS] = self.dram.stats().row_hits.value();
+        c[ctr::DRAM_BUSY_CYCLES] = self.dram.stats().busy_cycles.value();
+        c[ctr::DIRECT_PUSHES] = self.direct_pushes;
+        c[ctr::PUSHES_ATTEMPTED] = self.pushes_attempted;
+        c[ctr::PUSHES_RETRIED] = self.pushes_retried;
+        c[ctr::PUSHES_DEGRADED] = self.pushes_degraded;
+        c[ctr::PUSH_BYPASSES] = self.push_bypasses;
+        c[ctr::FAULTS_INJECTED] = self.faults_injected;
+        c[ctr::SB_STALLS] = self.sb.full_stalls();
+        c[ctr::SM_OPS] = self.sms.iter().map(|s| s.stats().ops_issued.value()).sum();
+        c[ctr::WARPS_COMPLETED] = self.warps_completed;
+        c[ctr::KERNELS_RUN] = self.kernels_run;
+        c[ctr::HUB_TRANSACTIONS] = self.hub.stats().transactions.value();
+        c[ctr::HUB_CONFLICTS] = self.hub.stats().conflicts.value();
+        c[ctr::HUB_PROBES] = self.hub.stats().probes_sent.value();
+        c[ctr::EVENTS] = self.queue.total_pushed();
+        t.gauges[gauge::QUEUE_DEPTH] = self.queue.len() as u64;
+        t.gauges[gauge::SB_OCCUPANCY] = self.sb.len() as u64;
+        t.gauges[gauge::INFLIGHT_PUSHES] = self.inflight_pushes.len() as u64;
+        t
+    }
+
+    /// Drains anomalies the sampler detected on just-closed windows
+    /// into the trace stream. Emitting at detection time (not at end
+    /// of run) is what pre-arms an attached flight recorder: the
+    /// precursor events are already in its ring if the run aborts.
+    fn emit_pulse_anomalies(&mut self) {
+        if !T::ENABLED {
+            return;
+        }
+        let fresh = match self.pulse.as_mut() {
+            Some(p) => p.take_fresh_anomalies(),
+            None => return,
+        };
+        for a in fresh {
+            self.trace(
+                Component::Pulse,
+                None,
+                TraceKind::PulseAnomaly {
+                    anomaly: a.kind,
+                    start: a.start,
+                    end: a.end,
+                    value: a.value,
+                    threshold: a.threshold,
+                },
+            );
         }
     }
 
@@ -722,12 +796,15 @@ impl<T: Tracer> System<T> {
                 ))));
             }
             self.now = t;
-            if self.epochs.is_some() {
+            // Cheap fast path: one compare per event; the counter
+            // snapshot only happens when a window boundary is crossed.
+            if matches!(&self.pulse, Some(p) if p.needs_sample(t.as_u64())) {
                 let _tax = prof::span(HostPhase::TaxEpochs);
-                let totals = self.epoch_totals();
-                if let Some(epochs) = self.epochs.as_mut() {
-                    epochs.observe(t.as_u64(), totals);
+                let totals = self.pulse_totals();
+                if let Some(p) = self.pulse.as_mut() {
+                    p.observe(t.as_u64(), totals);
                 }
+                self.emit_pulse_anomalies();
             }
             self.dispatch(ev);
             if let Some(abort) = self.abort.take() {
@@ -737,12 +814,13 @@ impl<T: Tracer> System<T> {
                 panic!("event limit exceeded: livelocked at {t}");
             }
         }
-        if self.epochs.is_some() {
+        if self.pulse.is_some() {
             let _tax = prof::span(HostPhase::TaxEpochs);
-            let totals = self.epoch_totals();
-            if let Some(epochs) = self.epochs.as_mut() {
-                epochs.finish(self.now.as_u64(), totals);
+            let totals = self.pulse_totals();
+            if let Some(p) = self.pulse.as_mut() {
+                p.finish(self.now.as_u64(), totals);
             }
+            self.emit_pulse_anomalies();
         }
 
         if watchdog && !self.finished() {
@@ -845,6 +923,15 @@ impl<T: Tracer> System<T> {
         let _ = writeln!(d, "stage transactions in flight ({}):", census.len());
         for (txn, stage, entered) in census {
             let _ = writeln!(d, "  txn {txn}: in {stage} since cycle {entered}");
+        }
+        if let Some(p) = &self.pulse {
+            let anomalies = p.anomalies();
+            if !anomalies.is_empty() {
+                let _ = writeln!(d, "pulse anomalies before abort ({}):", anomalies.len());
+                for a in anomalies {
+                    let _ = writeln!(d, "  {a}");
+                }
+            }
         }
         let _ = write!(d, "faults injected so far: {}", self.faults_injected);
         d
@@ -986,6 +1073,11 @@ impl<T: Tracer> System<T> {
     }
 
     fn report(&self) -> RunReport {
+        let pulse = self.pulse.as_ref().map(|p| p.clone().into_series());
+        let (epochs, epoch_window) = match &pulse {
+            Some(series) => (ds_probe::pulse::epoch_view(series), series.window),
+            None => (Vec::new(), 0),
+        };
         let mut gpu_l2 = CacheStats::new();
         for slice in &self.gpu_l2 {
             gpu_l2.hits.add(slice.stats.hits.value());
@@ -1036,12 +1128,9 @@ impl<T: Tracer> System<T> {
             latency: self.probes.clone(),
             stages: self.stages.breakdown().clone(),
             lens: self.lens.report(),
-            epochs: self
-                .epochs
-                .as_ref()
-                .map(|e| e.samples().to_vec())
-                .unwrap_or_default(),
-            epoch_window: self.epochs.as_ref().map(|e| e.window()).unwrap_or(0),
+            pulse,
+            epochs,
+            epoch_window,
             host: if prof::enabled() {
                 Some(prof::take_profile())
             } else {

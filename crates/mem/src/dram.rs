@@ -100,6 +100,11 @@ pub struct DramStats {
     pub row_conflicts: Counter,
     /// Accesses to a bank with no open row.
     pub row_empty: Counter,
+    /// Total cycles banks spent servicing accesses (sum of each
+    /// access's `start..done` interval). Per-bank service intervals
+    /// never overlap — `busy_until` serializes a bank — so dividing by
+    /// elapsed cycles × bank count gives the mean bank-busy fraction.
+    pub busy_cycles: Counter,
 }
 
 impl DramStats {
@@ -110,6 +115,7 @@ impl DramStats {
             row_hits: Counter::new("dram_row_hits"),
             row_conflicts: Counter::new("dram_row_conflicts"),
             row_empty: Counter::new("dram_row_empty"),
+            busy_cycles: Counter::new("dram_busy_cycles"),
         }
     }
 
@@ -265,6 +271,7 @@ impl Dram {
         let done = burst_start + self.cfg.t_burst;
         self.bus_free = done;
         bank.busy_until = done;
+        self.stats.busy_cycles.add(done - start);
         DramAccessInfo {
             bank: bank_idx as u16,
             row_hit,
@@ -372,6 +379,18 @@ mod tests {
         assert_eq!(d.stats().writes.value(), 1);
         assert_eq!(d.stats().reads.value(), 1);
         assert_eq!(d.stats().accesses(), 2);
+    }
+
+    #[test]
+    fn busy_cycles_sum_service_intervals() {
+        let mut d = Dram::new(cfg());
+        let info = d.access_info(Cycle::ZERO, LineAddr::from_index(0), false);
+        assert_eq!(d.stats().busy_cycles.value(), info.done - info.start);
+        let second = d.access_info(Cycle::ZERO, LineAddr::from_index(1), true);
+        assert_eq!(
+            d.stats().busy_cycles.value(),
+            (info.done - info.start) + (second.done - second.start)
+        );
     }
 
     #[test]

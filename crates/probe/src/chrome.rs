@@ -15,14 +15,27 @@
 //! microsecond fields — the viewer's time unit reads as µs but means
 //! cycles. Output is a single well-formed JSON object in the
 //! trace-event format, stable across runs of the same simulation.
+//!
+//! When a pulse series is supplied ([`render_with_pulse`]), a fourth
+//! process carries **counter tracks** (`"ph":"C"`): one value per
+//! pulse window for the headline series (SM throughput, L2 miss rate,
+//! per-network bytes, DRAM bank busy, retries, queue depth), plus one
+//! instant event per detected anomaly — Perfetto draws these as
+//! area charts aligned with the span tracks.
 
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
+use crate::pulse::{ctr, gauge, PulseSeries};
 use crate::{Component, NetId, TraceEvent, TraceKind};
 
 const PID_KERNELS: u64 = 0;
 const PID_DRAM: u64 = 1;
+/// Pulse counter tracks get their own process id, above the simulator
+/// pids (0-4) and `dsscope`'s service-span pid (5), so a `dsscope
+/// merge` of a pulse-bearing trace keeps the two track families
+/// separate in the Perfetto UI.
+const PID_PULSE: u64 = 6;
 
 fn net_pid(net: NetId) -> u64 {
     match net {
@@ -58,8 +71,49 @@ fn complete(out: &mut String, name: &str, cat: &str, ts: u64, dur: u64, pid: u64
     .unwrap();
 }
 
+/// Emits one Perfetto counter sample: a `"ph":"C"` event whose single
+/// `args` entry names the counter track.
+fn counter(out: &mut String, name: &str, ts: u64, value: u64) {
+    write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{PID_PULSE},\
+\"args\":{{\"{name}\":{value}}}}}"
+    )
+    .unwrap();
+}
+
+/// The pulse counter tracks the Chrome sink renders, as
+/// `(track name, value for window w)` extractors.
+fn pulse_tracks(series: &PulseSeries, w: usize) -> [(&'static str, u64); 9] {
+    let acc = series.counters[ctr::GPU_L2_ACCESSES][w];
+    let miss = series.counters[ctr::GPU_L2_MISSES][w];
+    [
+        ("sm_ops", series.counters[ctr::SM_OPS][w]),
+        (
+            "gpu_l2_miss_rate_milli",
+            (miss * 1000).checked_div(acc).unwrap_or(0),
+        ),
+        ("coh_bytes", series.counters[ctr::COH_BYTES][w]),
+        ("direct_bytes", series.counters[ctr::DIRECT_BYTES][w]),
+        ("gpu_bytes", series.counters[ctr::GPU_BYTES][w]),
+        (
+            "dram_busy_cycles",
+            series.counters[ctr::DRAM_BUSY_CYCLES][w],
+        ),
+        ("pushes_retried", series.counters[ctr::PUSHES_RETRIED][w]),
+        ("queue_depth", series.gauges[gauge::QUEUE_DEPTH][w]),
+        ("sb_occupancy", series.gauges[gauge::SB_OCCUPANCY][w]),
+    ]
+}
+
 /// Renders a recorded trace as a Chrome trace-event JSON document.
 pub fn render(events: &[TraceEvent]) -> String {
+    render_with_pulse(events, None)
+}
+
+/// [`render`], plus pulse counter tracks and anomaly instants when a
+/// series is supplied.
+pub fn render_with_pulse(events: &[TraceEvent], pulse: Option<&PulseSeries>) -> String {
     // First pass: discover the tracks so their naming metadata can
     // lead the file deterministically (BTreeMap ⇒ sorted).
     let mut dram_banks: BTreeMap<u64, ()> = BTreeMap::new();
@@ -90,6 +144,10 @@ pub fn render(events: &[TraceEvent]) -> String {
             "process_name",
             &format!("noc-{}", net.name()),
         );
+        body.push(std::mem::take(&mut s));
+    }
+    if pulse.is_some() {
+        meta(&mut s, PID_PULSE, None, "process_name", "pulse");
         body.push(std::mem::take(&mut s));
     }
     for bank in dram_banks.keys() {
@@ -186,6 +244,32 @@ pub fn render(events: &[TraceEvent]) -> String {
         }
     }
 
+    // Third pass: the pulse counter tracks, one sample per window at
+    // the window's start cycle, then the anomaly instants.
+    if let Some(series) = pulse {
+        for w in 0..series.len() {
+            let (start, _) = series.window_bounds(w);
+            for (name, value) in pulse_tracks(series, w) {
+                counter(&mut s, name, start, value);
+                body.push(std::mem::take(&mut s));
+            }
+        }
+        for a in &series.anomalies {
+            write!(
+                s,
+                "{{\"name\":\"{}\",\"cat\":\"pulse\",\"ph\":\"i\",\"ts\":{},\
+\"pid\":{PID_PULSE},\"s\":\"p\",\"args\":{{\"value\":{},\"threshold\":{},\"end\":{}}}}}",
+                a.kind.name(),
+                a.start,
+                a.value,
+                a.threshold,
+                a.end
+            )
+            .unwrap();
+            body.push(std::mem::take(&mut s));
+        }
+    }
+
     let mut out = String::with_capacity(body.iter().map(|b| b.len() + 2).sum::<usize>() + 128);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"ds-probe\",\"time_unit\":\"cycles\"},\"traceEvents\":[\n");
     for (i, item) in body.iter().enumerate() {
@@ -254,6 +338,29 @@ mod tests {
             "balanced braces"
         );
         assert!(!doc.contains(",\n]"));
+    }
+
+    #[test]
+    fn pulse_series_renders_counter_tracks_and_anomaly_instants() {
+        use crate::pulse::{ctr, PulseConfig, PulseSampler, PulseTotals};
+        let mut sampler = PulseSampler::new(PulseConfig::with_window(100));
+        let mut t = PulseTotals::default();
+        t.counters[ctr::SM_OPS] = 7;
+        t.counters[ctr::PUSHES_RETRIED] = 20;
+        sampler.observe(100, t);
+        t.counters[ctr::SM_OPS] = 9;
+        t.counters[ctr::PUSHES_RETRIED] = 21;
+        sampler.finish(150, t);
+        let series = sampler.into_series();
+        let doc = render_with_pulse(&[], Some(&series));
+        assert!(doc.contains(r#""args":{"name":"pulse"}"#));
+        assert!(doc.contains(r#""name":"sm_ops","ph":"C","ts":0,"pid":6,"args":{"sm_ops":7}"#));
+        assert!(doc.contains(r#""name":"sm_ops","ph":"C","ts":100,"pid":6,"args":{"sm_ops":2}"#));
+        assert!(doc.contains(r#""name":"retry-burst","cat":"pulse","ph":"i""#));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // Without a series the document is unchanged from render().
+        assert_eq!(render(&[]), render_with_pulse(&[], None));
+        assert!(!render(&[]).contains("pulse"));
     }
 
     #[test]

@@ -62,6 +62,14 @@ pub struct EpochSample {
 /// Accumulates [`EpochSample`]s from a monotone stream of
 /// observations.
 ///
+/// Deprecated: the runtime no longer drives this recorder. The pulse
+/// sampler ([`crate::PulseSampler`]) subsumes it — it tracks a
+/// superset of these counters into a memory-bounded coalescing ring,
+/// and the epoch series on a report is now the derived
+/// [`crate::pulse::epoch_view`] of the pulse windows. The type
+/// remains for code that samples its own counters at epoch
+/// granularity; new code should construct a `PulseSampler`.
+///
 /// `observe(cycle, totals)` is called once per simulated event with
 /// the *current* cumulative totals; whenever `cycle` crosses a window
 /// boundary the recorder closes the finished window(s). Because
@@ -86,6 +94,10 @@ pub struct EpochSample {
 /// assert_eq!(s[1].delta.dram_accesses, 0, "no events in window 1");
 /// assert_eq!(s[2].delta.dram_accesses, 2);
 /// ```
+#[deprecated(
+    note = "superseded by ds_probe::PulseSampler; report epochs are now a derived \
+            view over pulse windows (pulse::epoch_view)"
+)]
 #[derive(Debug, Clone)]
 pub struct EpochRecorder {
     window: u64,
@@ -96,6 +108,7 @@ pub struct EpochRecorder {
     samples: Vec<EpochSample>,
 }
 
+#[allow(deprecated)]
 impl EpochRecorder {
     /// A recorder with `window`-cycle epochs. Panics if `window` is 0.
     pub fn new(window: u64) -> Self {
@@ -184,6 +197,7 @@ pub fn render_csv(window: u64, samples: &[EpochSample]) -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

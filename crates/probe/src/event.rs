@@ -1,5 +1,6 @@
 //! The typed trace record: what happened, where, and when.
 
+use crate::pulse::PulseAnomalyKind;
 use crate::stage::Stage;
 
 /// Which network a [`Component::Net`] event belongs to.
@@ -74,6 +75,9 @@ pub enum Component {
     /// Transaction-lifecycle events (stage marks), not tied to one
     /// physical component.
     Txn,
+    /// The pulse sampler (window-close anomaly annotations), not tied
+    /// to one physical component.
+    Pulse,
 }
 
 impl Component {
@@ -98,6 +102,7 @@ impl Component {
             },
             Component::Kernel => "kernel",
             Component::Txn => "txn",
+            Component::Pulse => "pulse",
         }
     }
 
@@ -218,6 +223,21 @@ pub enum TraceKind {
         /// Transaction id.
         txn: u64,
     },
+    /// A pulse anomaly detector fired on a closed sampling window.
+    /// Emitted the moment the window closes, so an attached flight
+    /// recorder retains the precursor even if the run later aborts.
+    PulseAnomaly {
+        /// Which detector fired.
+        anomaly: PulseAnomalyKind,
+        /// First cycle of the offending window.
+        start: u64,
+        /// One past the last cycle of the offending window.
+        end: u64,
+        /// The observed value that crossed the threshold.
+        value: u64,
+        /// The threshold it crossed.
+        threshold: u64,
+    },
 }
 
 impl TraceKind {
@@ -241,6 +261,7 @@ impl TraceKind {
             TraceKind::LoadDone { .. } => "load_done",
             TraceKind::StageMark { .. } => "stage_mark",
             TraceKind::TxnDone { .. } => "txn_done",
+            TraceKind::PulseAnomaly { .. } => "pulse_anomaly",
         }
     }
 }

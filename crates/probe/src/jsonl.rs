@@ -71,6 +71,19 @@ pub fn render_event(e: &TraceEvent) -> String {
             write!(s, ",\"txn\":{txn},\"stage\":\"{}\"", stage.name()).unwrap()
         }
         TraceKind::TxnDone { txn } => write!(s, ",\"txn\":{txn}").unwrap(),
+        TraceKind::PulseAnomaly {
+            anomaly,
+            start,
+            end,
+            value,
+            threshold,
+        } => write!(
+            s,
+            ",\"anomaly\":\"{}\",\"start\":{start},\"end\":{end},\"value\":{value},\
+\"threshold\":{threshold}",
+            anomaly.name()
+        )
+        .unwrap(),
     }
     s.push('}');
     s

@@ -19,9 +19,14 @@
 //!   sim-wide latency distributions (GPU load-to-use, direct-push
 //!   end-to-end, hub transaction, DRAM queue) as
 //!   [`ds_sim::Histogram`]s with p50/p95/p99 summaries;
-//! * **an epoch sampler** — [`EpochRecorder`] captures windowed
-//!   miss-rate and network-occupancy series that make the produce →
-//!   kernel → readback phases visible;
+//! * **cycle-domain time-series telemetry** — the [`pulse`] module's
+//!   [`PulseSampler`] captures ~25 counters plus sampled gauges per
+//!   cycle window into a memory-bounded struct-of-arrays ring with
+//!   power-of-two window coalescing, runs online anomaly detectors
+//!   (stall storms, retry bursts, utilization cliffs, livelock
+//!   precursors) over each closed window, and proves per-window
+//!   conservation against the run's final totals; the legacy epoch
+//!   series ([`EpochSample`]) is a derived view over pulse windows;
 //! * **per-transaction cycle accounting** — [`StageTracker`] accrues
 //!   every tracked request's cycles into lifecycle [`Stage`]s
 //!   (telescoping intervals: stage sums equal end-to-end latency
@@ -63,15 +68,17 @@ pub mod jsonl;
 mod latency;
 mod lens;
 pub mod prof;
+pub mod pulse;
 pub mod scope;
 mod service;
 mod stage;
 mod tracer;
 pub mod xray;
 
+#[allow(deprecated)]
+pub use epoch::EpochRecorder;
 pub use epoch::{
-    render_csv as render_epoch_csv, EpochRecorder, EpochSample, EpochTotals,
-    CSV_HEADER as EPOCH_CSV_HEADER,
+    render_csv as render_epoch_csv, EpochSample, EpochTotals, CSV_HEADER as EPOCH_CSV_HEADER,
 };
 pub use event::{Component, NetId, TraceEvent, TraceKind};
 pub use latency::LatencyReport;
@@ -80,6 +87,10 @@ pub use lens::{
     SliceTraffic,
 };
 pub use prof::{HostPhase, HostProfile, ProbeLevel};
+pub use pulse::{
+    sparkline, PulseAnomaly, PulseAnomalyKind, PulseConfig, PulseSampler, PulseSeries, PulseTotals,
+    DEFAULT_PULSE_WINDOW,
+};
 pub use scope::{FlightLog, FlightRecorder, Reconciliation, SpanKind, SpanRecord, SpanTree};
 pub use service::ServiceMetrics;
 pub use stage::{Stage, StageBreakdown, StageTracker, TxnPath};

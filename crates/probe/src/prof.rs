@@ -62,7 +62,10 @@ pub enum HostPhase {
     TaxLens,
     /// Observability tax: the always-on latency histograms.
     TaxHistograms,
-    /// Observability tax: epoch activity sampling.
+    /// Observability tax: pulse window sampling (snapshot + close +
+    /// anomaly detection; the epoch series is a derived view over the
+    /// same windows). The serialized name stays `tax_epochs` so older
+    /// committed baselines keep parsing.
     TaxEpochs,
 }
 

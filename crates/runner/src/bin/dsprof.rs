@@ -36,6 +36,10 @@ options:
                      modes to profile (default: both)
   --probe-level full|stages|minimal
                      observability level to profile at (default: full)
+  --window N         enable pulse sampling with an N-cycle window
+                     during profiling, so the tax_epochs bucket
+                     measures the ds-pulse observability tax
+                     (default: off)
   --format table|folded
                      per-phase table or folded-stack lines suitable
                      for flamegraph tooling (default: table)
@@ -55,6 +59,7 @@ struct Options {
     input: InputSize,
     modes: Vec<Mode>,
     level: ProbeLevel,
+    window: Option<u64>,
     folded: bool,
     check: bool,
     trend: bool,
@@ -73,6 +78,7 @@ fn parse_options(args: &[String]) -> Options {
         input: InputSize::Small,
         modes: vec![Mode::Ccsm, Mode::DirectStore],
         level: ProbeLevel::Full,
+        window: None,
         folded: false,
         check: false,
         trend: false,
@@ -119,6 +125,15 @@ fn parse_options(args: &[String]) -> Options {
                     .unwrap_or_else(|| usage_error("--probe-level needs a value"));
                 opts.level = ProbeLevel::parse(v)
                     .unwrap_or_else(|| usage_error(&format!("unknown probe level {v:?}")));
+            }
+            "--window" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--window needs a value"));
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => opts.window = Some(n),
+                    _ => usage_error(&format!("--window needs a positive integer, got {v:?}")),
+                }
             }
             "--format" => {
                 let v = it
@@ -175,11 +190,25 @@ fn benches(filter: Option<&str>) -> Vec<ds_workloads::Benchmark> {
 ///
 /// [`System`]: ds_core::System
 fn run_profiled(bench: &dyn Scenario, input: InputSize, mode: Mode) -> RunReport {
+    run_profiled_pulsed(bench, input, mode, None)
+}
+
+/// Like [`run_profiled`] but optionally with pulse sampling enabled,
+/// so the `tax_epochs` bucket measures the ds-pulse observability tax.
+fn run_profiled_pulsed(
+    bench: &dyn Scenario,
+    input: InputSize,
+    mode: Mode,
+    window: Option<u64>,
+) -> RunReport {
     let pipeline = Pipeline::with_config(SystemConfig::paper_default());
-    pipeline.run_one(bench, input, mode).unwrap_or_else(|e| {
-        eprintln!("dsprof: {e}");
-        std::process::exit(1);
-    })
+    pipeline
+        .run_one_instrumented(bench, input, mode, ds_probe::NullTracer, window)
+        .map(|(report, _)| report)
+        .unwrap_or_else(|e| {
+            eprintln!("dsprof: {e}");
+            std::process::exit(1);
+        })
 }
 
 fn ms(nanos: u64) -> f64 {
@@ -534,7 +563,7 @@ fn main() {
     let mut runs = Vec::new();
     for bench in benches(opts.bench.as_deref()) {
         for &mode in &opts.modes {
-            let report = run_profiled(&bench, opts.input, mode);
+            let report = run_profiled_pulsed(&bench, opts.input, mode, opts.window);
             let host = report.host.expect("profiler is enabled");
             runs.push((format!("{} {}", bench.code(), mode), host.wall_nanos));
             merged.merge(&host);
@@ -553,5 +582,11 @@ fn main() {
             opts.level,
         );
         print!("{}", render_table(&merged, &runs));
+        if opts.window.is_some() {
+            println!(
+                "pulse tax (tax_epochs): {:.2}% of wall",
+                pct(merged.phase_nanos(HostPhase::TaxEpochs), merged.wall_nanos),
+            );
+        }
     }
 }

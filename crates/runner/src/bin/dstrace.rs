@@ -31,8 +31,10 @@ options:
                            chrome   Chrome trace-event JSON (load in
                                     Perfetto or chrome://tracing)
                            epochs   windowed activity series as CSV
-  --window N               epoch window in cycles (default: 1000 for
-                           --format epochs, off otherwise)
+  --window N               pulse window in cycles (default: 1000 for
+                           --format epochs, off otherwise); with
+                           --format chrome, also emits pulse counter
+                           tracks and anomaly instants
   --out FILE               write to FILE instead of stdout
   --check                  re-parse the rendered output and fail if it
                            is not well-formed
@@ -278,7 +280,7 @@ fn main() {
     let text = match opts.format {
         Format::Summary => summary(&report, events.len()),
         Format::Jsonl => jsonl::render(&events),
-        Format::Chrome => chrome::render(&events),
+        Format::Chrome => chrome::render_with_pulse(&events, report.pulse.as_ref()),
         Format::Epochs => render_epoch_csv(report.epoch_window, &report.epochs),
     };
 

@@ -91,7 +91,34 @@ fn simulate_isolated(
 ) -> Result<RunReport, PipelineError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let pipeline = Pipeline::with_config(task.cfg.clone());
+        // The pulsed entry point takes any tracer plus the fault plan,
+        // so one arm per recorder state covers all pulsed runs —
+        // faulted or not.
         match recorder {
+            Some(rec) if task.pulse > 0 => {
+                pipeline
+                    .run_one_pulsed(
+                        bench,
+                        task.input,
+                        task.mode,
+                        rec.clone(),
+                        ds_probe::PulseConfig::with_window(task.pulse),
+                        &task.faults,
+                    )
+                    .0
+            }
+            None if task.pulse > 0 => {
+                pipeline
+                    .run_one_pulsed(
+                        bench,
+                        task.input,
+                        task.mode,
+                        ds_probe::NullTracer,
+                        ds_probe::PulseConfig::with_window(task.pulse),
+                        &task.faults,
+                    )
+                    .0
+            }
             Some(rec) if task.faults.is_active() => {
                 pipeline
                     .run_one_faulted_traced(bench, task.input, task.mode, &task.faults, rec.clone())
@@ -723,6 +750,27 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn pulsed_tasks_carry_a_series_and_do_not_alias_plain_ones() {
+        let cfg = SystemConfig::paper_default();
+        let mut runner = Runner::new().jobs(2).progress(false);
+        let plain = Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore);
+        let pulsed = plain.clone().with_pulse(1000);
+        let reports = runner.run_tasks(&[plain, pulsed]).unwrap();
+        assert!(reports[0].pulse.is_none(), "plain task stays pulse-free");
+        let series = reports[1].pulse.as_ref().expect("pulsed task has a series");
+        assert!(!series.is_empty());
+        assert_eq!(
+            runner.simulations_run(),
+            2,
+            "a pulsed task must not be served from the plain memo slot"
+        );
+        assert_eq!(
+            reports[0].total_cycles, reports[1].total_cycles,
+            "pulse sampling never perturbs simulated timing"
+        );
     }
 
     #[test]

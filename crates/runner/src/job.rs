@@ -31,6 +31,9 @@ pub struct Task {
     /// Fault plan for ds-chaos runs. Inactive by default (no faults,
     /// no retries, no watchdog) — plain experiments are unaffected.
     pub faults: FaultPlan,
+    /// ds-pulse sampling window in cycles; `0` (the default) disables
+    /// pulse telemetry so plain experiments are unaffected.
+    pub pulse: u64,
 }
 
 impl Task {
@@ -42,12 +45,20 @@ impl Task {
             input,
             mode,
             faults: FaultPlan::default(),
+            pulse: 0,
         }
     }
 
     /// Attaches a fault plan (ds-chaos runs).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Enables ds-pulse telemetry with a sampling window of `window`
+    /// cycles (`0` leaves it off).
+    pub fn with_pulse(mut self, window: u64) -> Self {
+        self.pulse = window;
         self
     }
 
@@ -59,6 +70,7 @@ impl Task {
             input: self.input,
             mode: self.mode,
             fault_fp: fault_fingerprint(&self.faults),
+            pulse: self.pulse,
         }
     }
 }
@@ -91,6 +103,12 @@ pub struct TaskKey {
     /// fault-free tasks). Faulted results never alias fault-free ones
     /// and are excluded from the on-disk cache.
     pub fault_fp: u64,
+    /// ds-pulse window in cycles (`0` for pulse-free tasks, keeping
+    /// their historical identity). A pulsed report carries the extra
+    /// `pulse` payload, so it must never alias a pulse-free one in the
+    /// memo; like faulted results, pulsed results stay out of the
+    /// on-disk cache.
+    pub pulse: u64,
 }
 
 /// Expands a comparison sweep into tasks: for every catalog benchmark
@@ -189,6 +207,24 @@ mod tests {
         assert_ne!(
             base,
             Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore).key()
+        );
+    }
+
+    #[test]
+    fn pulse_windows_separate_keys_but_zero_does_not() {
+        let cfg = SystemConfig::paper_default();
+        let plain = Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore);
+        assert_eq!(
+            plain.key(),
+            plain.clone().with_pulse(0).key(),
+            "a zero window keeps the historical identity"
+        );
+        let pulsed = plain.clone().with_pulse(1000);
+        assert_ne!(plain.key(), pulsed.key(), "pulsed reports must not alias");
+        assert_ne!(
+            pulsed.key(),
+            plain.with_pulse(500).key(),
+            "different windows produce different series"
         );
     }
 

@@ -9,9 +9,11 @@
 use ds_cache::CacheStats;
 use ds_core::{Comparison, InputSize, Mode, RunReport};
 use ds_noc::XbarStats;
+use ds_probe::pulse::{PULSE_COUNTER_NAMES, PULSE_GAUGE_NAMES};
 use ds_probe::{
     BankTraffic, EpochSample, EpochTotals, HostPhase, HostProfile, LatencyReport, LensReport,
-    LinkTraffic, NetId, SliceTraffic, SpanKind, SpanRecord, SpanTree, Stage, StageBreakdown,
+    LinkTraffic, NetId, PulseAnomaly, PulseAnomalyKind, PulseSeries, PulseTotals, SliceTraffic,
+    SpanKind, SpanRecord, SpanTree, Stage, StageBreakdown,
 };
 use ds_sim::{Cycle, Histogram};
 
@@ -350,6 +352,141 @@ fn epoch_from_json(json: &Json) -> Result<EpochSample, String> {
     })
 }
 
+fn u64_arr(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Int(v)).collect())
+}
+
+fn u64_arr_from_json(json: &Json, what: &str) -> Result<Vec<u64>, String> {
+    json.as_arr()
+        .ok_or_else(|| format!("{what} is not an array"))?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| format!("non-integer in {what}")))
+        .collect()
+}
+
+/// Serializes one pulse anomaly annotation.
+pub fn pulse_anomaly_to_json(a: &PulseAnomaly) -> Json {
+    Json::Obj(vec![
+        ("kind".into(), Json::Str(a.kind.name().into())),
+        ("start".into(), Json::Int(a.start)),
+        ("end".into(), Json::Int(a.end)),
+        ("value".into(), Json::Int(a.value)),
+        ("threshold".into(), Json::Int(a.threshold)),
+    ])
+}
+
+/// Deserializes an anomaly written by [`pulse_anomaly_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field.
+pub fn pulse_anomaly_from_json(json: &Json) -> Result<PulseAnomaly, String> {
+    let kind_name = json
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing field \"kind\" in pulse anomaly")?;
+    Ok(PulseAnomaly {
+        kind: PulseAnomalyKind::parse(kind_name)
+            .ok_or_else(|| format!("unknown pulse anomaly kind {kind_name:?}"))?,
+        start: u64_field(json, "start")?,
+        end: u64_field(json, "end")?,
+        value: u64_field(json, "value")?,
+        threshold: u64_field(json, "threshold")?,
+    })
+}
+
+/// Serializes a pulse series: window geometry, the per-window counter
+/// and gauge series keyed by their stable names, the final totals and
+/// the anomaly annotations. Public so `ds-serve` streams the same
+/// encoding in job events.
+pub fn pulse_to_json(s: &PulseSeries) -> Json {
+    Json::Obj(vec![
+        ("base_window".into(), Json::Int(s.base_window)),
+        ("window".into(), Json::Int(s.window)),
+        ("coalescings".into(), Json::Int(u64::from(s.coalescings))),
+        (
+            "counters".into(),
+            Json::Obj(
+                PULSE_COUNTER_NAMES
+                    .iter()
+                    .zip(&s.counters)
+                    .map(|(&name, series)| (name.to_string(), u64_arr(series)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".into(),
+            Json::Obj(
+                PULSE_GAUGE_NAMES
+                    .iter()
+                    .zip(&s.gauges)
+                    .map(|(&name, series)| (name.to_string(), u64_arr(series)))
+                    .collect(),
+            ),
+        ),
+        (
+            "totals".into(),
+            Json::Obj(vec![
+                ("counters".into(), u64_arr(&s.totals.counters)),
+                ("gauges".into(), u64_arr(&s.totals.gauges)),
+            ]),
+        ),
+        (
+            "anomalies".into(),
+            Json::Arr(s.anomalies.iter().map(pulse_anomaly_to_json).collect()),
+        ),
+    ])
+}
+
+/// Deserializes a series written by [`pulse_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field.
+pub fn pulse_from_json(json: &Json) -> Result<PulseSeries, String> {
+    fn named_series<const N: usize>(
+        json: &Json,
+        key: &str,
+        names: &[&str; N],
+    ) -> Result<Vec<Vec<u64>>, String> {
+        let obj = sub(json, key).map_err(|e| format!("{e} in pulse"))?;
+        names
+            .iter()
+            .map(|&name| {
+                let series = obj
+                    .get(name)
+                    .ok_or_else(|| format!("missing pulse {key} series {name:?}"))?;
+                u64_arr_from_json(series, &format!("pulse {key} series {name:?}"))
+            })
+            .collect()
+    }
+    let totals_obj = sub(json, "totals").map_err(|e| format!("{e} in pulse"))?;
+    let mut totals = PulseTotals::default();
+    let counters = u64_arr_from_json(&sub(&totals_obj, "counters")?, "pulse totals counters")?;
+    let gauges = u64_arr_from_json(&sub(&totals_obj, "gauges")?, "pulse totals gauges")?;
+    if counters.len() != totals.counters.len() || gauges.len() != totals.gauges.len() {
+        return Err("pulse totals have the wrong arity".into());
+    }
+    totals.counters.copy_from_slice(&counters);
+    totals.gauges.copy_from_slice(&gauges);
+    Ok(PulseSeries {
+        base_window: u64_field(json, "base_window")?,
+        window: u64_field(json, "window")?,
+        coalescings: u32::try_from(u64_field(json, "coalescings")?)
+            .map_err(|_| "pulse coalescings out of range".to_string())?,
+        counters: named_series(json, "counters", &PULSE_COUNTER_NAMES)?,
+        gauges: named_series(json, "gauges", &PULSE_GAUGE_NAMES)?,
+        totals,
+        anomalies: json
+            .get("anomalies")
+            .and_then(Json::as_arr)
+            .ok_or("missing field \"anomalies\" in pulse")?
+            .iter()
+            .map(pulse_anomaly_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
 fn parse_net(name: &str) -> Option<NetId> {
     [NetId::Coherence, NetId::Direct, NetId::GpuInternal]
         .into_iter()
@@ -498,10 +635,10 @@ fn lens_from_json(json: &Json) -> Result<LensReport, String> {
     })
 }
 
-/// Serializes a full run report. The `host` profile and the `scope`
-/// span tree are emitted only when present, so reports from
-/// unprofiled, unscoped runs stay byte-identical to the older
-/// encodings.
+/// Serializes a full run report. The `host` profile, the `scope` span
+/// tree and the `pulse` series are emitted only when present, so
+/// reports from unprofiled, unscoped, unpulsed runs stay
+/// byte-identical to the older encodings.
 pub fn report_to_json(r: &RunReport) -> Json {
     let mut fields = vec![
         ("mode".into(), Json::Str(mode_name(r.mode))),
@@ -563,6 +700,9 @@ pub fn report_to_json(r: &RunReport) -> Json {
     }
     if let Some(scope) = &r.scope {
         fields.push(("scope".into(), scope_to_json(scope)));
+    }
+    if let Some(pulse) = &r.pulse {
+        fields.push(("pulse".into(), pulse_to_json(pulse)));
     }
     Json::Obj(fields)
 }
@@ -692,6 +832,10 @@ pub fn report_from_json(json: &Json) -> Result<RunReport, String> {
             Some(s) => Some(scope_from_json(s)?),
             None => None,
         },
+        pulse: match json.get("pulse") {
+            Some(p) => Some(pulse_from_json(p)?),
+            None => None,
+        },
     })
 }
 
@@ -709,7 +853,8 @@ pub const REPORT_CSV_HEADER: &str = "benchmark,suite,shared_memory,input,mode,to
      push_eff_useful,push_eff_dead,push_eff_clobbered,\
      line_write_after_push,line_ping_pongs,line_lines_touched,line_lines_pushed,\
      line_first_touch_p50,line_first_touch_p99,line_reuse_p50,\
-     pushes_retried,pushes_degraded,faults_injected";
+     pushes_retried,pushes_degraded,faults_injected,\
+     pulse_windows,pulse_window_cycles,pulse_anomalies";
 
 /// One per-run CSV row; `suite` / `shared_memory` come from the
 /// benchmark's Table II metadata.
@@ -768,6 +913,13 @@ pub fn report_csv_row(
         ",{},{},{}",
         r.pushes_retried, r.pushes_degraded, r.faults_injected
     ));
+    // Pulse summary columns (all zero when sampling was off).
+    let (windows, window_cycles, anomalies) = r
+        .pulse
+        .as_ref()
+        .map(|p| (p.len() as u64, p.window, p.anomalies.len() as u64))
+        .unwrap_or((0, 0, 0));
+    row.push_str(&format!(",{windows},{window_cycles},{anomalies}"));
     row
 }
 
@@ -926,7 +1078,22 @@ mod tests {
             events: 99_999,
             host: None,
             scope: None,
+            pulse: None,
         }
+    }
+
+    fn sample_pulse() -> PulseSeries {
+        use ds_probe::pulse::{ctr, PulseConfig, PulseSampler};
+        let mut sampler = PulseSampler::new(PulseConfig::with_window(1000));
+        let mut t = PulseTotals::default();
+        t.counters[ctr::GPU_L2_ACCESSES] = 8;
+        t.counters[ctr::PUSHES_RETRIED] = 20;
+        t.gauges[1] = 3;
+        sampler.observe(1000, t);
+        t.counters[ctr::GPU_L2_ACCESSES] = 11;
+        t.counters[ctr::PUSHES_RETRIED] = 21;
+        sampler.finish(1500, t);
+        sampler.into_series()
     }
 
     fn sample_scope() -> SpanTree {
@@ -1016,6 +1183,54 @@ mod tests {
         assert!(!bare.contains("\"scope\""));
         let parsed = crate::json::parse(&bare).unwrap();
         assert!(report_from_json(&parsed).unwrap().scope.is_none());
+    }
+
+    #[test]
+    fn pulse_series_round_trips_exactly_and_is_optional() {
+        let mut original = sample_report(Mode::DirectStore);
+        original.pulse = Some(sample_pulse());
+        let text = report_to_json(&original).pretty();
+        assert!(text.contains("\"pulse\""));
+        assert!(text.contains("\"retry-burst\""), "anomaly rides along");
+        let parsed = crate::json::parse(&text).unwrap();
+        let back = report_from_json(&parsed).unwrap();
+        assert_eq!(format!("{original:?}"), format!("{back:?}"));
+        back.pulse.unwrap().check_conservation().unwrap();
+
+        // Unpulsed reports omit the key entirely and decode to None —
+        // the cache byte-identity guarantee rests on this.
+        let bare = report_to_json(&sample_report(Mode::DirectStore)).pretty();
+        assert!(!bare.contains("\"pulse\""));
+        let parsed = crate::json::parse(&bare).unwrap();
+        assert!(report_from_json(&parsed).unwrap().pulse.is_none());
+    }
+
+    #[test]
+    fn pulse_anomaly_from_json_rejects_unknown_kind() {
+        let series = sample_pulse();
+        let mut json = pulse_anomaly_to_json(&series.anomalies[0]);
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "kind" {
+                    *v = Json::Str("gremlin".into());
+                }
+            }
+        }
+        let err = pulse_anomaly_from_json(&json).unwrap_err();
+        assert!(err.contains("gremlin"), "{err}");
+    }
+
+    #[test]
+    fn csv_pulse_columns_summarize_the_series() {
+        let mut r = sample_report(Mode::DirectStore);
+        let row = report_csv_row("VA", "Rodinia", false, InputSize::Small, &r);
+        assert!(row.ends_with(",0,0,0"), "pulse off: zero columns ({row})");
+        r.pulse = Some(sample_pulse());
+        let row = report_csv_row("VA", "Rodinia", false, InputSize::Small, &r);
+        // Two windows; retry burst (window 0) plus livelock precursor
+        // (second ack-free retrying window) = two anomalies.
+        assert!(row.ends_with(",2,1000,2"), "{row}");
+        assert_eq!(row.split(',').count(), REPORT_CSV_HEADER.split(',').count());
     }
 
     #[test]

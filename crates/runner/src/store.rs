@@ -32,8 +32,10 @@ use crate::report::{mode_name, parse_input, parse_mode, report_from_json, report
 /// `pushes_degraded`, `faults_injected`, lens `push_degraded`);
 /// version 6 added the optional `host` profile (ds-prof host-time
 /// self-accounting); version 7 added the optional `scope` span tree
-/// (ds-scope correlated span tracing).
-const FORMAT_VERSION: u64 = 7;
+/// (ds-scope correlated span tracing); version 8 added the optional
+/// `pulse` time-series telemetry (ds-pulse windowed counters, gauges
+/// and anomaly annotations).
+const FORMAT_VERSION: u64 = 8;
 
 /// Memo + optional disk cache, keyed by [`TaskKey`].
 #[derive(Debug, Default)]
@@ -162,14 +164,15 @@ impl ResultStore {
         if ds_probe::prof::level() != ds_probe::ProbeLevel::Full {
             return;
         }
-        // Faulted results (`fault_fp != 0`) are deliberately never
-        // persisted: the cache file schema identifies entries by
-        // (code, input, mode) only, and fault sweeps are cheap,
-        // exploratory runs that would bloat the cache.
+        // Faulted (`fault_fp != 0`) and pulsed (`pulse != 0`) results
+        // are deliberately never persisted: the cache file schema
+        // identifies entries by (code, input, mode) only, and both are
+        // cheap, exploratory runs whose extra payloads would bloat the
+        // cache.
         let mut entries: Vec<(&TaskKey, &RunReport)> = self
             .memo
             .iter()
-            .filter(|(k, _)| k.fingerprint == fingerprint && k.fault_fp == 0)
+            .filter(|(k, _)| k.fingerprint == fingerprint && k.fault_fp == 0 && k.pulse == 0)
             .collect();
         entries.sort_by_key(|(k, _)| (k.code.clone(), rank_input(k.input), rank_mode(k.mode)));
         let doc = Json::Obj(vec![
@@ -297,6 +300,7 @@ fn parse_cache_file(
                     input,
                     mode,
                     fault_fp: 0,
+                    pulse: 0,
                 },
                 report,
             ))
@@ -346,6 +350,7 @@ pub(crate) fn test_report(cycles: u64) -> RunReport {
         events: 0,
         host: None,
         scope: None,
+        pulse: None,
     }
 }
 
@@ -507,6 +512,33 @@ mod tests {
         assert!(
             reader.get(&faulted_key).is_none(),
             "faulted entries are process-local"
+        );
+        assert_eq!(reader.get(&plain_key).unwrap().total_cycles.as_u64(), 2);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pulsed_results_stay_out_of_the_disk_cache() {
+        let dir = tmp_dir("pulsed");
+        let cfg = SystemConfig::paper_default();
+        let fp = config_fingerprint(&cfg);
+        let pulsed_key = Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore)
+            .with_pulse(1000)
+            .key();
+        let plain_key = Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm).key();
+
+        let mut writer = ResultStore::new();
+        writer.enable_disk(&dir);
+        writer.insert(pulsed_key.clone(), tiny_report(1));
+        writer.insert(plain_key.clone(), tiny_report(2));
+        writer.persist(fp, &cfg);
+
+        let mut reader = ResultStore::new();
+        reader.enable_disk(&dir);
+        assert!(
+            reader.get(&pulsed_key).is_none(),
+            "pulsed entries are process-local"
         );
         assert_eq!(reader.get(&plain_key).unwrap().total_cycles.as_u64(), 2);
 

@@ -12,13 +12,17 @@
 //!
 //! A submission body is either an explicit task list or a
 //! CCSM-vs-direct-store sweep (the `dsrun` shape), with optional
-//! config overrides and an optional fault plan:
+//! config overrides, an optional fault plan, and an optional ds-pulse
+//! window (`"pulse": true` for the default window, or a window length
+//! in cycles — pulsed reports carry the time series and the job's
+//! `/events` stream carries live `pulse-window` / `pulse-anomaly`
+//! lines):
 //!
 //! ```json
 //! {"tasks": [{"bench": "VA", "input": "small", "mode": "ccsm"}]}
 //! {"sweep": {"bench": ["VA", "MM"], "input": "small", "mode": "ds"},
 //!  "config": {"sms": 8}, "faults": {"net": "direct", "kind": "drop",
-//!  "rate": 64, "seed": 1}}
+//!  "rate": 64, "seed": 1}, "pulse": 1000}
 //! ```
 //!
 //! Reports are serialized with the same lossless encoder as the
@@ -234,6 +238,27 @@ fn wants_prometheus(request: &Request) -> bool {
 /// `GET /metrics` with content negotiation: JSON by default,
 /// Prometheus text exposition format 0.0.4 when asked (see
 /// [`wants_prometheus`]).
+/// The JSON shape of the pulse-derived gauges (`null` until a pulsed
+/// task completes): last-window raw values plus per-cycle rates, so a
+/// dashboard can plot NoC utilization and retry pressure without
+/// knowing the window length.
+fn pulse_json(state: &ServeState) -> Json {
+    let Some(p) = state.pulse_gauges() else {
+        return Json::Null;
+    };
+    let per_cycle = |v: u64| Json::Float(v as f64 / p.window.max(1) as f64);
+    Json::Obj(vec![
+        ("window_cycles".into(), Json::Int(p.window)),
+        ("windows".into(), Json::Int(p.windows)),
+        ("queue_depth".into(), Json::Int(p.queue_depth)),
+        ("noc_msgs".into(), Json::Int(p.noc_msgs)),
+        ("noc_util".into(), per_cycle(p.noc_msgs)),
+        ("retries".into(), Json::Int(p.retries)),
+        ("retry_rate".into(), per_cycle(p.retries)),
+        ("anomalies".into(), Json::Int(p.anomalies)),
+    ])
+}
+
 fn metrics(state: &ServeState, request: &Request) -> Response {
     if wants_prometheus(request) {
         return prometheus_metrics(state);
@@ -275,6 +300,7 @@ fn metrics(state: &ServeState, request: &Request) -> Response {
         ("workers".into(), Json::Int(state.options.workers as u64)),
         ("store".into(), store),
         ("service".into(), service),
+        ("pulse".into(), pulse_json(state)),
     ]))
 }
 
@@ -425,6 +451,54 @@ fn prometheus_metrics(state: &ServeState) -> Response {
             );
         }
     });
+    // Pulse-derived gauges surface only once a pulsed task has run —
+    // absent series are idiomatic Prometheus (rate() just has no data).
+    if let Some(p) = state.pulse_gauges() {
+        for (name, help, value) in [
+            (
+                "dsserve_pulse_window_cycles",
+                "ds-pulse window length of the most recent pulsed run.",
+                p.window,
+            ),
+            (
+                "dsserve_pulse_last_queue_depth",
+                "Event-queue depth gauge in the last pulse window.",
+                p.queue_depth,
+            ),
+            (
+                "dsserve_pulse_last_noc_msgs",
+                "NoC messages delivered in the last pulse window.",
+                p.noc_msgs,
+            ),
+            (
+                "dsserve_pulse_last_retries",
+                "Push retries in the last pulse window.",
+                p.retries,
+            ),
+            (
+                "dsserve_pulse_anomalies",
+                "Anomalies flagged by the most recent pulsed run.",
+                p.anomalies,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "gauge", help, value);
+        }
+        let per_cycle = |v: u64| format!("{:.6}", v as f64 / p.window.max(1) as f64);
+        prom_scalar(
+            &mut out,
+            "dsserve_pulse_noc_util",
+            "gauge",
+            "NoC messages per cycle in the last pulse window.",
+            per_cycle(p.noc_msgs),
+        );
+        prom_scalar(
+            &mut out,
+            "dsserve_pulse_retry_rate",
+            "gauge",
+            "Push retries per cycle in the last pulse window.",
+            per_cycle(p.retries),
+        );
+    }
     Response {
         status: 200,
         body: out,
@@ -471,6 +545,9 @@ pub fn stream_events(
     let mut sent = 0usize;
     let mut cursor = 0usize;
     let mut quiet_polls = 0u32;
+    // Quiet polls (500 ms each) before a heartbeat goes out; the
+    // cadence comes from the options so tests can compress it.
+    let quiet_limit = (state.options.heartbeat.as_millis() as u64 / 500).max(1) as u32;
     let write_line = |stream: &mut TcpStream, line: &str| -> std::io::Result<usize> {
         stream.write_all(line.as_bytes())?;
         stream.write_all(b"\n")?;
@@ -517,8 +594,8 @@ pub fn stream_events(
             return (200, sent);
         }
         // Keep a quiet connection visibly alive (and detect a gone
-        // client) roughly every 10 seconds.
-        if quiet_polls >= 20 {
+        // client) every heartbeat interval (~10s by default).
+        if quiet_polls >= quiet_limit {
             quiet_polls = 0;
             let beat = Json::Obj(vec![
                 ("event".into(), Json::Str("heartbeat".into())),
@@ -624,6 +701,7 @@ pub fn parse_submission(body: &[u8]) -> Result<Vec<Task>, String> {
     let doc = json::parse(text).map_err(|e| e.to_string())?;
     let cfg = config_from(doc.get("config"))?;
     let faults = faults_from(doc.get("faults"))?;
+    let pulse = pulse_from(doc.get("pulse"))?;
 
     let mut tasks = match (doc.get("tasks"), doc.get("sweep")) {
         (Some(_), Some(_)) => {
@@ -640,7 +718,29 @@ pub fn parse_submission(body: &[u8]) -> Result<Vec<Task>, String> {
             task.faults = plan.clone();
         }
     }
+    if let Some(window) = pulse {
+        for task in &mut tasks {
+            task.pulse = window;
+        }
+    }
     Ok(tasks)
+}
+
+/// Parses the optional `"pulse"` key: `true` means the default window,
+/// an integer is a window length in cycles, and `false`/`null`/`0`
+/// leave pulse off (the default — a pulse-free submission plans the
+/// exact batch-CLI task list, preserving served-vs-batch byte
+/// identity).
+fn pulse_from(pulse: Option<&Json>) -> Result<Option<u64>, String> {
+    match pulse {
+        None | Some(Json::Null) | Some(Json::Bool(false)) => Ok(None),
+        Some(Json::Bool(true)) => Ok(Some(ds_probe::DEFAULT_PULSE_WINDOW)),
+        Some(other) => match other.as_u64() {
+            Some(0) => Ok(None),
+            Some(window) => Ok(Some(window)),
+            None => Err("\"pulse\" must be true or a window length in cycles".into()),
+        },
+    }
 }
 
 fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {

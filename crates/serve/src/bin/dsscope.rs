@@ -23,11 +23,16 @@
 //! * `merge` additionally stitches the service-level spans and any
 //!   `dstrace` Chrome tracks into one Perfetto-loadable trace, so a
 //!   single artifact spans HTTP request → job → task →
-//!   queue-wait/store-lookup/sim-run → simulator stage events.
+//!   queue-wait/store-lookup/sim-run → simulator stage events. A
+//!   trace rendered with `dstrace --format chrome --window N` also
+//!   carries ds-pulse counter tracks and anomaly instants; those
+//!   pass through untouched, so the merged artifact shows live
+//!   counter ramps under the span tree.
 //!
 //! Service spans land on pid 5 (the ds-probe Chrome renderer uses
-//! pids 0–4 for kernels, DRAM, and the three NoCs), one thread track
-//! per task, so the causal tree reads top-down in the Perfetto UI.
+//! pids 0–4 for kernels, DRAM, and the three NoCs, and pid 6 for
+//! ds-pulse counter tracks), one thread track per task, so the causal
+//! tree reads top-down in the Perfetto UI.
 
 use ds_core::Scenario as _;
 use ds_core::{InputSize, Mode, SystemConfig};
@@ -44,7 +49,8 @@ commands:
   --check    audit span trees over the small catalog (exit 1 on any
              telescoping/reconciliation violation or scope overhead)
   summary    print a job's span-tree summary with telescoping checks
-  merge      stitch job spans + dstrace Chrome tracks into one
+  merge      stitch job spans + dstrace Chrome tracks (including
+             ds-pulse counter tracks from --window renders) into one
              Perfetto trace
 
 check options:

@@ -11,8 +11,8 @@
 //!                  [--timeout SECS] [--cache DIR | --no-cache]
 //!                  [--verbose]
 //! dsserve submit   [--url U] [--bench A,B,...] [--input small|big]
-//!                  [--mode ds|ds-only] [--no-wait] [--expect-cached]
-//!                  [--wait-timeout SECS]
+//!                  [--mode ds|ds-only] [--pulse WINDOW] [--no-wait]
+//!                  [--expect-cached] [--wait-timeout SECS]
 //! dsserve status   [--url U] JOB
 //! dsserve results  [--url U] JOB
 //! dsserve watch    [--url U] JOB
@@ -48,8 +48,10 @@ commands:
   submit     submit a sweep, wait, print dsrun-identical JSON
   status     print a job's status document
   results    print a job's results document
-  watch      tail a job's live telemetry (span-open/close, progress)
-             until it completes; one NDJSON event per line
+  watch      tail a job's live telemetry (span-open/close, progress,
+             pulse windows) until it completes; one NDJSON event per
+             line on stdout, plus live sparkline dashboards on stderr
+             for tasks submitted with a pulse window
   metrics    print the /metrics document
   stress     seeded virtual users; ops/sec, p50/p95/p99, hit rate
   shutdown   ask a server to shut down cleanly
@@ -79,6 +81,11 @@ submit options:
   --bench A,B,...     only these Table II codes (default: all 22)
   --input small|big   input size (default: small)
   --mode ds|ds-only   direct-store variant (default: ds)
+  --pulse WINDOW      enable ds-pulse telemetry at WINDOW cycles per
+                      window (the reports carry the time series; watch
+                      the job for live sparklines). Pulsed documents
+                      are a superset of dsrun's, so the byte-identity
+                      contract applies to pulse-free submissions only
   --no-wait           print the job id and exit without waiting
   --expect-cached     fail (exit 1) unless every task was served
                       from cache
@@ -258,6 +265,7 @@ fn cmd_submit(rest: &[String]) {
     let mut mode = Mode::DirectStore;
     let mut no_wait = false;
     let mut expect_cached = false;
+    let mut pulse: Option<u64> = None;
     let mut wait_timeout = Duration::from_secs(900);
     let mut args = Args::new(rest);
     while let Some(arg) = args.next() {
@@ -269,6 +277,13 @@ fn cmd_submit(rest: &[String]) {
             "--bench" => codes = Some(parse_codes(&args.value("--bench"))),
             "--input" => input = parse_input_flag(&args.value("--input")),
             "--mode" => mode = parse_mode_flag(&args.value("--mode")),
+            "--pulse" => {
+                let window: u64 = args.parsed("--pulse", "a window length in cycles");
+                if window == 0 {
+                    usage_error("--pulse needs a window of at least 1 cycle");
+                }
+                pulse = Some(window);
+            }
             "--no-wait" => no_wait = true,
             "--expect-cached" => expect_cached = true,
             "--wait-timeout" => {
@@ -278,7 +293,7 @@ fn cmd_submit(rest: &[String]) {
             other => usage_error(&format!("unknown submit option {other:?}")),
         }
     }
-    let body = client::sweep_body(codes.as_deref(), input, mode);
+    let body = client::sweep_body_pulsed(codes.as_deref(), input, mode, pulse);
     let (id, tasks) = match client::submit(&url, &body) {
         Ok(SubmitAnswer::Accepted { id, tasks }) => (id, tasks),
         Ok(SubmitAnswer::Rejected { message }) => {
@@ -361,9 +376,52 @@ fn cmd_watch(rest: &[String]) {
     let Some(id) = job else {
         usage_error("missing job id");
     };
-    let status = client::watch(&url, id, |line| println!("{line}")).unwrap_or_else(|e| fail(&e));
+    // Live sparkline state: `pulse-window` events accumulate per task
+    // and the task's `task-done` line flushes them as a dashboard
+    // block on stderr — stdout stays pure NDJSON for pipelines.
+    let mut pulse: std::collections::HashMap<u64, Vec<[u64; 3]>> = std::collections::HashMap::new();
+    let mut anomalies: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let status = client::watch(&url, id, |line| {
+        println!("{line}");
+        let Ok(doc) = ds_runner::json::parse(line) else {
+            return;
+        };
+        let Some(task) = doc.get("task").and_then(Json::as_u64) else {
+            return;
+        };
+        let num = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+        match doc.get("event").and_then(Json::as_str).unwrap_or("") {
+            "pulse-window" => pulse.entry(task).or_default().push([
+                num("sm_ops"),
+                num("pushes_retried"),
+                num("queue_depth"),
+            ]),
+            "pulse-anomaly" => *anomalies.entry(task).or_default() += 1,
+            "task-done" => {
+                if let Some(rows) = pulse.remove(&task) {
+                    render_watch_sparklines(task, &rows, anomalies.remove(&task).unwrap_or(0));
+                }
+            }
+            _ => {}
+        }
+    })
+    .unwrap_or_else(|e| fail(&e));
     if status != 200 {
         std::process::exit(1);
+    }
+}
+
+/// One completed pulsed task's live dashboard: a sparkline per
+/// streamed series, on stderr so stdout stays machine-readable.
+fn render_watch_sparklines(task: u64, rows: &[[u64; 3]], anomalies: u64) {
+    const SERIES: [&str; 3] = ["sm_ops", "pushes_retried", "queue_depth"];
+    eprintln!(
+        "dsserve: task {task} pulse ({} streamed window(s), {anomalies} anomaly(ies)):",
+        rows.len()
+    );
+    for (i, name) in SERIES.iter().enumerate() {
+        let values: Vec<u64> = rows.iter().map(|r| r[i]).collect();
+        eprintln!("  {name:<15} {}", ds_probe::sparkline(&values, 60));
     }
 }
 

@@ -71,6 +71,20 @@ pub fn submit(url: &str, body: &str) -> Result<SubmitAnswer, String> {
 
 /// Builds the sweep submission body `dsserve submit` sends.
 pub fn sweep_body(codes: Option<&[String]>, input: InputSize, ds_mode: Mode) -> String {
+    sweep_body_pulsed(codes, input, ds_mode, None)
+}
+
+/// Like [`sweep_body`], optionally asking for ds-pulse telemetry at
+/// `pulse` cycles per window — the served reports then carry the time
+/// series and the job's `/events` stream carries live `pulse-window`
+/// lines (a pulsed document is a superset of the batch one, so the
+/// byte-identity contract applies to pulse-free submissions only).
+pub fn sweep_body_pulsed(
+    codes: Option<&[String]>,
+    input: InputSize,
+    ds_mode: Mode,
+    pulse: Option<u64>,
+) -> String {
     let mut sweep = vec![
         ("input".to_string(), Json::Str(input.to_string())),
         ("mode".to_string(), Json::Str(ds_mode.to_string())),
@@ -81,7 +95,11 @@ pub fn sweep_body(codes: Option<&[String]>, input: InputSize, ds_mode: Mode) -> 
             Json::Arr(codes.iter().map(|c| Json::Str(c.clone())).collect()),
         ));
     }
-    Json::Obj(vec![("sweep".to_string(), Json::Obj(sweep))]).pretty()
+    let mut body = vec![("sweep".to_string(), Json::Obj(sweep))];
+    if let Some(window) = pulse {
+        body.push(("pulse".to_string(), Json::Int(window)));
+    }
+    Json::Obj(body).pretty()
 }
 
 /// Polls `GET /jobs/<id>` until the job is done; returns the final
@@ -304,6 +322,34 @@ mod tests {
         // The API parser accepts its own client's body.
         let tasks = crate::api::parse_submission(body.as_bytes()).unwrap();
         assert_eq!(tasks.len(), 4, "two benchmarks, CCSM+DS each");
+        assert!(tasks.iter().all(|t| t.pulse == 0), "pulse stays opt-in");
+    }
+
+    #[test]
+    fn pulsed_sweep_body_round_trips_the_window() {
+        let body = sweep_body_pulsed(
+            Some(&["VA".to_string()]),
+            InputSize::Small,
+            Mode::DirectStore,
+            Some(500),
+        );
+        let tasks = crate::api::parse_submission(body.as_bytes()).unwrap();
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|t| t.pulse == 500));
+        assert_ne!(
+            tasks[0].key(),
+            crate::api::parse_submission(
+                sweep_body(
+                    Some(&["VA".to_string()]),
+                    InputSize::Small,
+                    Mode::DirectStore
+                )
+                .as_bytes()
+            )
+            .unwrap()[0]
+                .key(),
+            "pulsed tasks must not alias pulse-free cache entries"
+        );
     }
 
     #[test]

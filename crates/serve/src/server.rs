@@ -25,8 +25,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ds_probe::pulse::{ctr, gauge};
 use ds_probe::scope::{self, SpanKind, SpanRecord};
-use ds_probe::ServiceMetrics;
+use ds_probe::{PulseSeries, ServiceMetrics};
 use ds_runner::json::Json;
 use ds_runner::shared::SharedStore;
 use ds_runner::{default_jobs, Runner, Task, TaskOutcome};
@@ -73,6 +74,11 @@ pub struct ServeOptions {
     pub verbose: bool,
     /// Shape of that request log line.
     pub log_format: LogFormat,
+    /// Heartbeat cadence on a quiet `/jobs/<id>/events` stream — how
+    /// long a connection stays silent before a `heartbeat` line keeps
+    /// it visibly alive (and flushes out a gone client). Tests
+    /// compress this to exercise the heartbeat path quickly.
+    pub heartbeat: Duration,
 }
 
 impl Default for ServeOptions {
@@ -85,7 +91,47 @@ impl Default for ServeOptions {
             cache_dir: None,
             verbose: false,
             log_format: LogFormat::Text,
+            heartbeat: Duration::from_secs(10),
         }
+    }
+}
+
+/// Last-window ds-pulse gauges from the most recently completed pulsed
+/// task — what `/metrics` exposes so a scraper sees live simulation
+/// telemetry, not just service load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulseGauges {
+    /// Final window length in cycles (after any coalescing).
+    pub window: u64,
+    /// Windows in the series.
+    pub windows: u64,
+    /// Event-queue depth gauge in the last window.
+    pub queue_depth: u64,
+    /// NoC messages (coherence + direct + GPU) delivered in the last
+    /// window.
+    pub noc_msgs: u64,
+    /// Push retries in the last window.
+    pub retries: u64,
+    /// Anomalies the run's detectors flagged, in total.
+    pub anomalies: u64,
+}
+
+impl PulseGauges {
+    /// Summarizes a finished series (`None` when it has no windows).
+    pub fn from_series(series: &PulseSeries) -> Option<PulseGauges> {
+        let last = series.len().checked_sub(1)?;
+        let (start, end) = series.window_bounds(last);
+        let noc = series.counter(ctr::COH_MSGS)[last]
+            + series.counter(ctr::DIRECT_MSGS)[last]
+            + series.counter(ctr::GPU_MSGS)[last];
+        Some(PulseGauges {
+            window: end - start,
+            windows: series.len() as u64,
+            queue_depth: series.gauge(gauge::QUEUE_DEPTH)[last],
+            noc_msgs: noc,
+            retries: series.counter(ctr::PUSHES_RETRIED)[last],
+            anomalies: series.anomalies.len() as u64,
+        })
     }
 }
 
@@ -97,6 +143,9 @@ pub struct ServeState {
     pub queue: JobQueue,
     /// Service load metrics behind one lock.
     pub metrics: Mutex<ServiceMetrics>,
+    /// Last-window pulse gauges (see [`PulseGauges`]); `None` until a
+    /// pulsed task completes.
+    pulse: Mutex<Option<PulseGauges>>,
     /// The options the service was started with.
     pub options: ServeOptions,
     /// Server start time, for uptime reporting.
@@ -118,6 +167,7 @@ impl ServeState {
             store,
             queue: JobQueue::new(options.queue_limit),
             metrics: Mutex::new(ServiceMetrics::new()),
+            pulse: Mutex::new(None),
             options,
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -140,6 +190,20 @@ impl ServeState {
     /// service span and telemetry event is stamped with.
     pub fn now_us(&self) -> u64 {
         self.started.elapsed().as_micros() as u64
+    }
+
+    /// Records a completed pulsed run's last-window gauges for
+    /// `/metrics`.
+    pub fn record_pulse(&self, series: &PulseSeries) {
+        if let Some(gauges) = PulseGauges::from_series(series) {
+            *self.pulse.lock().unwrap_or_else(|e| e.into_inner()) = Some(gauges);
+        }
+    }
+
+    /// The most recent pulsed task's last-window gauges, if any task
+    /// has run with pulse telemetry yet.
+    pub fn pulse_gauges(&self) -> Option<PulseGauges> {
+        *self.pulse.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Computes (or serves from the shared store) one task, riding
@@ -231,8 +295,68 @@ pub(crate) fn span_close_event(span: &SpanRecord, job: u64) -> String {
     ])
 }
 
+/// The number of `pulse-window` lines one task contributes to the
+/// event stream at most: a long run's series is downsampled (adjacent
+/// windows merged) so live telemetry stays bounded no matter how many
+/// cycles the simulation ran.
+pub const PULSE_STREAM_WINDOWS: usize = 64;
+
+/// Emits one completed pulsed task's telemetry onto the job's event
+/// log: up to [`PULSE_STREAM_WINDOWS`] `pulse-window` lines (window
+/// bounds plus the counters `dsserve watch` sparklines want) followed
+/// by one `pulse-anomaly` line per detector hit.
+fn publish_pulse_events(job: &JobRecord, idx: usize, series: &PulseSeries, done_us: u64) {
+    let view = series.downsampled(PULSE_STREAM_WINDOWS);
+    for w in 0..view.len() {
+        let (start, end) = view.window_bounds(w);
+        let noc = view.counter(ctr::COH_MSGS)[w]
+            + view.counter(ctr::DIRECT_MSGS)[w]
+            + view.counter(ctr::GPU_MSGS)[w];
+        job.push_event(event_line(vec![
+            ("event".into(), Json::Str("pulse-window".into())),
+            ("job".into(), Json::Int(job.id)),
+            ("task".into(), Json::Int(idx as u64)),
+            ("start".into(), Json::Int(start)),
+            ("end".into(), Json::Int(end)),
+            ("sm_ops".into(), Json::Int(view.counter(ctr::SM_OPS)[w])),
+            ("noc_msgs".into(), Json::Int(noc)),
+            (
+                "direct_pushes".into(),
+                Json::Int(view.counter(ctr::DIRECT_PUSHES)[w]),
+            ),
+            (
+                "pushes_retried".into(),
+                Json::Int(view.counter(ctr::PUSHES_RETRIED)[w]),
+            ),
+            (
+                "sb_stalls".into(),
+                Json::Int(view.counter(ctr::SB_STALLS)[w]),
+            ),
+            (
+                "queue_depth".into(),
+                Json::Int(view.gauge(gauge::QUEUE_DEPTH)[w]),
+            ),
+            ("t_us".into(), Json::Int(done_us)),
+        ]));
+    }
+    for a in &series.anomalies {
+        job.push_event(event_line(vec![
+            ("event".into(), Json::Str("pulse-anomaly".into())),
+            ("job".into(), Json::Int(job.id)),
+            ("task".into(), Json::Int(idx as u64)),
+            ("kind".into(), Json::Str(a.kind.name().into())),
+            ("start".into(), Json::Int(a.start)),
+            ("end".into(), Json::Int(a.end)),
+            ("value".into(), Json::Int(a.value)),
+            ("threshold".into(), Json::Int(a.threshold)),
+            ("t_us".into(), Json::Int(done_us)),
+        ]));
+    }
+}
+
 /// Emits the open+close pair for every span of one completed task,
-/// plus its progress / outcome summary, onto the job's event log.
+/// plus its pulse telemetry (when the task ran with a pulse window)
+/// and its progress / outcome summary, onto the job's event log.
 fn publish_task_events(job: &JobRecord, idx: usize, result: &TaskResult, done_us: u64) {
     for span in &result.spans {
         job.push_event(span_open_event(
@@ -241,6 +365,9 @@ fn publish_task_events(job: &JobRecord, idx: usize, result: &TaskResult, done_us
             vec![("task".into(), Json::Int(idx as u64))],
         ));
         job.push_event(span_close_event(span, job.id));
+    }
+    if let Some(series) = result.outcome.report().and_then(|r| r.pulse.as_ref()) {
+        publish_pulse_events(job, idx, series, done_us);
     }
     let mut fields = vec![
         ("event".into(), Json::Str("task-done".into())),
@@ -259,6 +386,13 @@ fn publish_task_events(job: &JobRecord, idx: usize, result: &TaskResult, done_us
         // simulation closed, so `watch` can show per-task pacing.
         fields.push(("epochs".into(), Json::Int(report.epochs.len() as u64)));
         fields.push(("epoch_window".into(), Json::Int(report.epoch_window)));
+        if let Some(series) = &report.pulse {
+            fields.push(("pulse_windows".into(), Json::Int(series.len() as u64)));
+            fields.push((
+                "pulse_anomalies".into(),
+                Json::Int(series.anomalies.len() as u64),
+            ));
+        }
     }
     job.push_event(event_line(fields));
     let (_, completed, total) = job.snapshot();
@@ -296,6 +430,9 @@ fn worker_loop(state: &ServeState) {
         let mut result = state.run_task(task, task_span);
         let done_us = state.now_us();
         let service = started.elapsed();
+        if let Some(series) = result.outcome.report().and_then(|r| r.pulse.as_ref()) {
+            state.record_pulse(series);
+        }
 
         let mut spans = vec![
             SpanRecord {

@@ -25,9 +25,11 @@ for mode in ccsm ds; do
     --format jsonl --check --out "$smoke_dir/va-$mode.jsonl"
   cargo run --release -q -p ds-runner --bin dstrace -- \
     --bench VA --input small --mode "$mode" \
-    --format chrome --check --out "$smoke_dir/va-$mode.json"
+    --format chrome --check --window 1000 --out "$smoke_dir/va-$mode.json"
   test -s "$smoke_dir/va-$mode.jsonl"
   test -s "$smoke_dir/va-$mode.json"
+  # The windowed chrome trace must carry the pulse counter tracks.
+  grep -q '"args":{"name":"pulse"}' "$smoke_dir/va-$mode.json"
 done
 
 echo "==> dstrace epoch-window validation"
@@ -60,6 +62,23 @@ grep -q "geomean" "$smoke_dir/trend.txt" || {
 
 echo "==> dschaos invariant audit (zero-fault identity + no silent push loss)"
 cargo run --release -q -p ds-runner --bin dschaos -- --check --bench VA --quiet
+
+echo "==> dspulse conservation gate (full small catalog, both modes)"
+# Every per-window counter series must sum exactly to the final
+# RunReport totals, reports must stay bit-identical with pulse
+# stripped (fig4 is untouched by sampling), and a seeded fault run
+# must surface at least one detected anomaly.
+cargo run --release -q -p ds-runner --bin dspulse -- --check
+
+echo "==> dspulse anomaly-report smoke (fault-injected stall/retry storm)"
+cargo run --release -q -p ds-runner --bin dspulse -- \
+  --bench VA --input small --delay 32000 --seed 7 --format report \
+  --out "$smoke_dir/va-pulse-report.txt"
+grep -q "anomalies (" "$smoke_dir/va-pulse-report.txt" || {
+  echo "ci.sh: fault-injected dspulse run reported no anomalies" >&2
+  cat "$smoke_dir/va-pulse-report.txt" >&2
+  exit 1
+}
 
 echo "==> dschaos fault-sweep smoke (survivable drop rates)"
 # Rates above ~256 can sever CPU demand-load replies on VA, which the
@@ -164,13 +183,26 @@ for _ in $(seq 100); do
 done
 scope_url="http://$(cat "$smoke_dir/scope-addr")"
 scope_job="$("$dsserve" submit --url "$scope_url" --bench VA --input small \
-  --mode ds --no-wait)"
-# The watch stream must carry the span telemetry for a running job and
-# end with the stream-closing done event.
-"$dsserve" watch --url "$scope_url" "$scope_job" > "$smoke_dir/watch.ndjson"
+  --mode ds --pulse 1000 --no-wait)"
+# The watch stream must carry the span telemetry for a running job,
+# interleave pulse windows before each task summary, end with the
+# stream-closing done event, and render the live sparkline dashboard
+# on stderr.
+"$dsserve" watch --url "$scope_url" "$scope_job" \
+  > "$smoke_dir/watch.ndjson" 2> "$smoke_dir/watch-spark.txt"
 grep -q '"event":"span-open".*"kind":"sim-run"' "$smoke_dir/watch.ndjson"
-grep -q '"event":"task-done"' "$smoke_dir/watch.ndjson"
+grep -q '"event":"pulse-window"' "$smoke_dir/watch.ndjson"
+grep -q '"event":"task-done".*"pulse_windows"' "$smoke_dir/watch.ndjson"
 grep -q '"event":"done"' "$smoke_dir/watch.ndjson"
+grep -q "pulse (" "$smoke_dir/watch-spark.txt" || {
+  echo "ci.sh: dsserve watch rendered no live pulse sparklines" >&2
+  cat "$smoke_dir/watch-spark.txt" >&2
+  exit 1
+}
+# Pulse gauges from the job's last window must now be on /metrics.
+"$dsserve" metrics --url "$scope_url" > "$smoke_dir/scope-metrics.json"
+grep -q '"pulse"' "$smoke_dir/scope-metrics.json"
+grep -q '"window_cycles"' "$smoke_dir/scope-metrics.json"
 # The structured request log joins against the span stream by span id.
 grep -q '"log":"request".*"path":"/jobs"' "$smoke_dir/scope.log"
 # One merged Perfetto trace from the HTTP request down to simulator
