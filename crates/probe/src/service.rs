@@ -36,6 +36,12 @@ pub struct ServiceMetrics {
     pub jobs_completed: u64,
     /// Tasks that reached a terminal outcome.
     pub tasks_completed: u64,
+    /// Tasks whose execution path panicked (isolated per item; the
+    /// task is marked `panicked` and the job still completes).
+    pub worker_panics: u64,
+    /// Worker threads respawned by their supervisor after a panic
+    /// escaped the per-item isolation.
+    pub workers_respawned: u64,
 }
 
 impl ServiceMetrics {
@@ -63,6 +69,8 @@ impl ServiceMetrics {
             jobs_accepted: 0,
             jobs_completed: 0,
             tasks_completed: 0,
+            worker_panics: 0,
+            workers_respawned: 0,
         }
     }
 
@@ -94,12 +102,15 @@ impl fmt::Display for ServiceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests={} rejected={} jobs_accepted={} jobs_completed={} tasks_completed={}",
+            "requests={} rejected={} jobs_accepted={} jobs_completed={} tasks_completed={} \
+             worker_panics={} workers_respawned={}",
             self.requests,
             self.rejected,
             self.jobs_accepted,
             self.jobs_completed,
-            self.tasks_completed
+            self.tasks_completed,
+            self.worker_panics,
+            self.workers_respawned
         )?;
         for (i, h) in self.histograms().iter().enumerate() {
             if i > 0 {

@@ -63,7 +63,7 @@ pub fn handle_with_span(state: &ServeState, request: &Request, span: u64) -> Res
     state.with_metrics(|m| m.requests += 1);
     let path = request.path.trim_end_matches('/');
     let response = match (request.method.as_str(), path) {
-        ("POST", "/jobs") => submit(state, &request.body, span),
+        ("POST", "/jobs") => submit(state, request, span),
         ("GET", "/metrics") => metrics(state, request),
         ("GET", "/health") => health(state),
         ("POST", "/shutdown") => {
@@ -280,6 +280,8 @@ fn metrics(state: &ServeState, request: &Request) -> Response {
             ("jobs_accepted".into(), Json::Int(m.jobs_accepted)),
             ("jobs_completed".into(), Json::Int(m.jobs_completed)),
             ("tasks_completed".into(), Json::Int(m.tasks_completed)),
+            ("worker_panics".into(), Json::Int(m.worker_panics)),
+            ("workers_respawned".into(), Json::Int(m.workers_respawned)),
             (
                 "histograms".into(),
                 Json::Arr(m.histograms().iter().map(|h| histogram_json(h)).collect()),
@@ -300,8 +302,33 @@ fn metrics(state: &ServeState, request: &Request) -> Response {
         ("workers".into(), Json::Int(state.options.workers as u64)),
         ("store".into(), store),
         ("service".into(), service),
+        ("journal".into(), journal_json(state)),
+        ("recovering".into(), Json::Int(state.recovering() as u64)),
         ("pulse".into(), pulse_json(state)),
     ]))
+}
+
+/// The ds-anvil journal/recovery block of the JSON `/metrics` shape
+/// (`null` when journaling is off — memory-only store or `--no-journal`).
+fn journal_json(state: &ServeState) -> Json {
+    let Some(journal) = &state.journal else {
+        return Json::Null;
+    };
+    let stats = journal.stats();
+    let recovery = &state.recovery;
+    Json::Obj(vec![
+        ("records_appended".into(), Json::Int(stats.appended)),
+        ("bytes_appended".into(), Json::Int(stats.bytes)),
+        ("append_errors".into(), Json::Int(stats.errors)),
+        ("recovered_jobs".into(), Json::Int(recovery.jobs as u64)),
+        ("recovered_tasks".into(), Json::Int(recovery.tasks as u64)),
+        (
+            "recovered_tasks_done".into(),
+            Json::Int(recovery.tasks_done as u64),
+        ),
+        ("torn_tail".into(), Json::Bool(recovery.torn_tail)),
+        ("quarantined".into(), Json::Bool(recovery.quarantined)),
+    ])
 }
 
 /// Appends one Prometheus metric with `# HELP` / `# TYPE` metadata.
@@ -439,6 +466,16 @@ fn prometheus_metrics(state: &ServeState) -> Response {
                 "Tasks that reached a terminal outcome.",
                 m.tasks_completed,
             ),
+            (
+                "dsserve_worker_panics_total",
+                "Tasks whose execution path panicked (isolated per item).",
+                m.worker_panics,
+            ),
+            (
+                "dsserve_workers_respawned_total",
+                "Worker threads respawned by their supervisor.",
+                m.workers_respawned,
+            ),
         ] {
             prom_scalar(&mut out, name, "counter", help, value);
         }
@@ -451,6 +488,62 @@ fn prometheus_metrics(state: &ServeState) -> Response {
             );
         }
     });
+    prom_scalar(
+        &mut out,
+        "dsserve_recovering",
+        "gauge",
+        "Journal-recovered jobs still draining (0 = ready).",
+        state.recovering() as u64,
+    );
+    // Journal series surface only when journaling is on, like the
+    // pulse gauges below.
+    if let Some(journal) = &state.journal {
+        let stats = journal.stats();
+        for (name, help, value) in [
+            (
+                "dsserve_journal_records_total",
+                "Journal records appended by this process.",
+                stats.appended,
+            ),
+            (
+                "dsserve_journal_bytes_total",
+                "Journal bytes appended by this process.",
+                stats.bytes,
+            ),
+            (
+                "dsserve_journal_append_errors_total",
+                "Journal append/fsync failures (durability degraded).",
+                stats.errors,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "counter", help, value);
+        }
+        let recovery = &state.recovery;
+        for (name, help, value) in [
+            (
+                "dsserve_journal_recovered_jobs",
+                "Unfinished jobs re-enqueued from the journal at boot.",
+                recovery.jobs as u64,
+            ),
+            (
+                "dsserve_journal_recovered_tasks",
+                "Tasks across the jobs recovered at boot.",
+                recovery.tasks as u64,
+            ),
+            (
+                "dsserve_journal_torn_tail_truncations",
+                "Whether boot truncated a torn final journal record.",
+                recovery.torn_tail as u64,
+            ),
+            (
+                "dsserve_journal_quarantines",
+                "Whether boot quarantined a corrupt journal.",
+                recovery.quarantined as u64,
+            ),
+        ] {
+            prom_scalar(&mut out, name, "gauge", help, value);
+        }
+    }
     // Pulse-derived gauges surface only once a pulsed task has run —
     // absent series are idiomatic Prometheus (rate() just has no data).
     if let Some(p) = state.pulse_gauges() {
@@ -611,20 +704,29 @@ pub fn stream_events(
     }
 }
 
+/// `GET /health`: liveness vs readiness. `ok` is pure liveness (the
+/// process answers); `ready` goes `false` while shutting down or
+/// while journal-recovered jobs are still draining (`recovering`
+/// counts them), so an orchestrator can hold traffic until replayed
+/// work has rehydrated.
 fn health(state: &ServeState) -> Response {
+    let recovering = state.recovering();
+    let shutting_down = state.is_shutting_down();
+    let state_name = if shutting_down {
+        "shutting-down"
+    } else if recovering > 0 {
+        "recovering"
+    } else {
+        "serving"
+    };
     ok(Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
+        ("state".into(), Json::Str(state_name.into())),
         (
-            "state".into(),
-            Json::Str(
-                if state.is_shutting_down() {
-                    "shutting-down"
-                } else {
-                    "serving"
-                }
-                .into(),
-            ),
+            "ready".into(),
+            Json::Bool(!shutting_down && recovering == 0),
         ),
+        ("recovering".into(), Json::Int(recovering as u64)),
         ("queue_depth".into(), Json::Int(state.queue.depth() as u64)),
         (
             "open_jobs".into(),
@@ -633,14 +735,39 @@ fn health(state: &ServeState) -> Response {
     ]))
 }
 
-/// `POST /jobs`: parse, admit, enqueue.
-fn submit(state: &ServeState, body: &[u8], request_span: u64) -> Response {
-    let tasks = match parse_submission(body) {
+/// Seconds a 429'd client should wait before retrying, surfaced as
+/// `Retry-After`. One second: admission slots free up as soon as any
+/// open job drains, and the retrying client adds its own backoff.
+const RETRY_AFTER_SECS: u64 = 1;
+
+/// `POST /jobs`: parse, admit (honoring `Idempotency-Key`), journal,
+/// enqueue.
+fn submit(state: &ServeState, request: &Request, request_span: u64) -> Response {
+    let tasks = match parse_submission(&request.body) {
         Ok(tasks) => tasks,
         Err(message) => return error(400, &message),
     };
-    match state.queue.submit(tasks, request_span) {
-        Ok(job) => {
+    let key = match request.idempotency.as_str() {
+        "" => None,
+        key => Some(key),
+    };
+    match state.queue.submit_keyed(tasks, request_span, key) {
+        Ok((job, deduplicated)) => {
+            let mut fields = vec![
+                ("job".into(), Json::Int(job.id)),
+                ("span".into(), Json::Int(job.span)),
+                ("tasks".into(), Json::Int(job.tasks.len() as u64)),
+                ("state".into(), Json::Str(job.state().name().into())),
+            ];
+            if deduplicated {
+                // A retry attached to the existing job: no admission,
+                // no journaling, no duplicate span — just the pointer.
+                fields.push(("deduplicated".into(), Json::Bool(true)));
+                return ok(Json::Obj(fields));
+            }
+            if let Some(journal) = &state.journal {
+                journal.job_submitted(job.id, key.unwrap_or(""), &job.tasks);
+            }
             state.with_metrics(|m| m.jobs_accepted += 1);
             // The job span opens at admission; workers close it when
             // the last task completes.
@@ -656,12 +783,7 @@ fn submit(state: &ServeState, body: &[u8], request_span: u64) -> Response {
                 job.id,
                 vec![],
             ));
-            ok(Json::Obj(vec![
-                ("job".into(), Json::Int(job.id)),
-                ("span".into(), Json::Int(job.span)),
-                ("tasks".into(), Json::Int(job.tasks.len() as u64)),
-                ("state".into(), Json::Str(job.state().name().into())),
-            ]))
+            ok(Json::Obj(fields))
         }
         Err(rejection) => {
             state.with_metrics(|m| m.rejected += 1);
@@ -670,7 +792,13 @@ fn submit(state: &ServeState, body: &[u8], request_span: u64) -> Response {
                 fields.push(("open_jobs".into(), Json::Int(*open as u64)));
                 fields.push(("queue_limit".into(), Json::Int(*limit as u64)));
             }
-            Response::json(rejection.status(), Json::Obj(fields).pretty())
+            let status = rejection.status();
+            let response = Response::json(status, Json::Obj(fields).pretty());
+            if status == 429 {
+                response.with_header("Retry-After", RETRY_AFTER_SECS.to_string())
+            } else {
+                response
+            }
         }
     }
 }
@@ -916,6 +1044,7 @@ mod tests {
             path: "/metrics".into(),
             query: query.into(),
             accept: accept.into(),
+            idempotency: String::new(),
             body: Vec::new(),
         }
     }

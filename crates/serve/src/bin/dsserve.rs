@@ -9,16 +9,19 @@
 //! dsserve serve    [--port N] [--addr HOST:PORT] [--port-file PATH]
 //!                  [--workers N] [--handlers N] [--queue-limit N]
 //!                  [--timeout SECS] [--cache DIR | --no-cache]
-//!                  [--verbose]
+//!                  [--no-journal] [--verbose]
 //! dsserve submit   [--url U] [--bench A,B,...] [--input small|big]
 //!                  [--mode ds|ds-only] [--pulse WINDOW] [--no-wait]
 //!                  [--expect-cached] [--wait-timeout SECS]
+//!                  [--retries N] [--retry-busy]
 //! dsserve status   [--url U] JOB
 //! dsserve results  [--url U] JOB
 //! dsserve watch    [--url U] JOB
 //! dsserve metrics  [--url U]
 //! dsserve stress   [--url U] [--users N] [--ops N] [--seed S]
 //!                  [--bench A,B,...] [--require-hits]
+//! dsserve drill    [--bench A,B,...] [--seed S] [--workers N]
+//!                  [--dir DIR] [--keep]
 //! dsserve shutdown [--url U]
 //! dsserve --check
 //! ```
@@ -27,14 +30,23 @@
 //! document for the same sweep (CI `cmp`s them), and exits 7 — not 1
 //! — when admission control answers 429, so scripts can tell an
 //! explicit saturation rejection from a real failure.
+//!
+//! ds-anvil: `serve` keeps an append-only job journal next to the
+//! result cache and replays it on startup, so a crash (or `kill -9`)
+//! loses no accepted job; `drill` rehearses exactly that — crash a
+//! real server mid-sweep at a seeded point, restart it, and prove
+//! zero job loss, no double-compute, and byte-identical results.
+//! SIGTERM/SIGINT drain through the same path as `POST /shutdown`.
 
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use ds_core::{InputSize, Mode, SystemConfig};
 use ds_runner::json::Json;
-use ds_serve::client::{self, SubmitAnswer};
+use ds_serve::client::{self, RetryPolicy, SubmitAnswer};
 use ds_serve::http::client_request;
 use ds_serve::jobs::{JobQueue, Rejection};
+use ds_serve::journal::Journal;
 use ds_serve::stress::{run_stress, StressOptions};
 use ds_serve::{ServeOptions, Server};
 
@@ -44,7 +56,8 @@ Simulation as a service: an HTTP job API over the deterministic
 runner with a shared content-addressed result store.
 
 commands:
-  serve      run the service until POST /shutdown
+  serve      run the service until POST /shutdown (or SIGTERM/SIGINT,
+             which drain through the same path)
   submit     submit a sweep, wait, print dsrun-identical JSON
   status     print a job's status document
   results    print a job's results document
@@ -54,6 +67,9 @@ commands:
              for tasks submitted with a pulse window
   metrics    print the /metrics document
   stress     seeded virtual users; ops/sec, p50/p95/p99, hit rate
+  drill      crash drill: kill a real server mid-sweep at a seeded
+             point, restart it, and prove zero job loss, no
+             double-compute, and byte-identical results
   shutdown   ask a server to shut down cleanly
   --check    run the service self-audit (exit 1 on violation)
 
@@ -67,7 +83,13 @@ serve options:
   --queue-limit N     max open jobs before 429 (default: 64)
   --timeout SECS      per-task wall-clock budget (default: none)
   --cache DIR         on-disk result cache (default: results)
-  --no-cache          keep the result store memory-only
+  --no-cache          keep the result store memory-only (also disables
+                      the job journal: nothing durable to recover into)
+  --no-journal        accept jobs without journaling them (no crash
+                      recovery; the cache itself still persists)
+  --crash-after-tasks N
+                      abort() the process after N completed tasks —
+                      the crash-drill hook; never use in production
   --probe-level LEVEL observability probes kept live: full (default),
                       stages, or minimal; shed levels skip
                       StageTracker/LineLens bookkeeping without
@@ -90,6 +112,26 @@ submit options:
   --expect-cached     fail (exit 1) unless every task was served
                       from cache
   --wait-timeout SECS give up waiting after this long (default: 900)
+  --retries N         attempts for the submission itself (default: 3);
+                      connect errors and 5xx retry with jittered
+                      exponential backoff under one Idempotency-Key,
+                      so a retry attaches to the job the first attempt
+                      created instead of duplicating it
+  --retry-busy        also retry 429 (admission refusal), honoring the
+                      server's Retry-After; off by default so scripts
+                      still see saturation immediately (exit 7)
+
+drill options:
+  --bench A,B,...     sweep to drill (default: VA,MM,BS); each bench
+                      contributes a CCSM+DS task pair
+  --input small|big   input size (default: small)
+  --mode ds|ds-only   direct-store variant (default: ds)
+  --seed S            picks the crash point (default: 1)
+  --workers N         workers for the recovery server (default: 2;
+                      the crashing server runs 1 so the crash point
+                      is exact)
+  --dir DIR           scratch directory (default: target/ds-drill)
+  --keep              keep the scratch directory for inspection
 
 stress options:
   --url U             server base URL (default: http://127.0.0.1:7878)
@@ -173,6 +215,36 @@ fn parse_mode_flag(value: &str) -> Mode {
     }
 }
 
+/// SIGTERM/SIGINT handling without any dependency: a `signal(2)`
+/// handler flips an atomic flag; a monitor thread polls it and drains
+/// the server through the same path as `POST /shutdown`. Poll-based
+/// because a signal handler itself may only do async-signal-safe work
+/// (no locks, no allocation — certainly no queue shutdown).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -186,6 +258,7 @@ fn main() {
         Some("watch") => cmd_watch(&argv[1..]),
         Some("metrics") => cmd_metrics(&argv[1..]),
         Some("stress") => cmd_stress(&argv[1..]),
+        Some("drill") => cmd_drill(&argv[1..]),
         Some("shutdown") => cmd_shutdown(&argv[1..]),
         Some(other) => usage_error(&format!("unknown command {other:?}")),
     }
@@ -216,6 +289,11 @@ fn cmd_serve(rest: &[String]) {
             }
             "--cache" => options.cache_dir = Some(args.value("--cache").into()),
             "--no-cache" => options.cache_dir = None,
+            "--no-journal" => options.journal = false,
+            "--crash-after-tasks" => {
+                options.crash_after_tasks =
+                    Some(args.parsed("--crash-after-tasks", "a positive task count"));
+            }
             "--probe-level" => {
                 let v = args.value("--probe-level");
                 // Process-global; set before any worker simulates. The
@@ -242,10 +320,30 @@ fn cmd_serve(rest: &[String]) {
     let server =
         Server::start(options, &bind).unwrap_or_else(|e| fail(&format!("cannot bind {bind}: {e}")));
     let bound = server.addr();
+    let recovery = server.state().recovery;
+    if recovery.jobs > 0 {
+        eprintln!(
+            "dsserve: journal replay recovered {} job(s), {} task(s) ({} already done)",
+            recovery.jobs, recovery.tasks, recovery.tasks_done
+        );
+    }
     eprintln!("dsserve: serving on http://{bound} (POST /shutdown to stop)");
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{bound}\n"))
             .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    }
+    #[cfg(unix)]
+    {
+        signals::install();
+        let state = std::sync::Arc::clone(server.state());
+        std::thread::spawn(move || loop {
+            if signals::STOP.load(std::sync::atomic::Ordering::SeqCst) {
+                eprintln!("dsserve: signal received; draining and shutting down");
+                ds_serve::server::request_shutdown(&state);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        });
     }
     server.wait();
     eprintln!("dsserve: shut down cleanly");
@@ -267,6 +365,7 @@ fn cmd_submit(rest: &[String]) {
     let mut expect_cached = false;
     let mut pulse: Option<u64> = None;
     let mut wait_timeout = Duration::from_secs(900);
+    let mut policy = RetryPolicy::default();
     let mut args = Args::new(rest);
     while let Some(arg) = args.next() {
         if let Some(u) = parse_url(&mut args, &arg) {
@@ -290,11 +389,13 @@ fn cmd_submit(rest: &[String]) {
                 wait_timeout =
                     Duration::from_secs(args.parsed("--wait-timeout", "positive seconds"));
             }
+            "--retries" => policy.attempts = args.parsed("--retries", "a positive integer"),
+            "--retry-busy" => policy.retry_busy = true,
             other => usage_error(&format!("unknown submit option {other:?}")),
         }
     }
     let body = client::sweep_body_pulsed(codes.as_deref(), input, mode, pulse);
-    let (id, tasks) = match client::submit(&url, &body) {
+    let (id, tasks) = match client::submit_with_retry(&url, &body, &policy) {
         Ok(SubmitAnswer::Accepted { id, tasks }) => (id, tasks),
         Ok(SubmitAnswer::Rejected { message }) => {
             eprintln!("dsserve: submission rejected: {message}");
@@ -481,6 +582,258 @@ fn cmd_stress(rest: &[String]) {
     }
 }
 
+/// Spawns a real `dsserve serve` child (this same binary) on an
+/// ephemeral port, optionally armed to crash after `crash_after`
+/// completed tasks. Stderr is inherited so the child's lifecycle
+/// lines narrate the drill.
+fn spawn_server(
+    cache: &Path,
+    port_file: &Path,
+    workers: usize,
+    crash_after: Option<u64>,
+) -> std::process::Child {
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("cannot locate the dsserve binary: {e}")));
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve")
+        .arg("--port")
+        .arg("0")
+        .arg("--port-file")
+        .arg(port_file)
+        .arg("--cache")
+        .arg(cache)
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--handlers")
+        .arg("2")
+        .stdout(std::process::Stdio::null());
+    if let Some(k) = crash_after {
+        cmd.arg("--crash-after-tasks").arg(k.to_string());
+    }
+    cmd.spawn()
+        .unwrap_or_else(|e| fail(&format!("cannot spawn drill server: {e}")))
+}
+
+/// Polls for the child's port file; fails fast if the child dies
+/// before it ever listens.
+fn wait_port(port_file: &Path, child: &mut std::process::Child) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return format!("http://{addr}");
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            fail(&format!("drill server exited before listening: {status}"));
+        }
+        if Instant::now() >= deadline {
+            fail("drill server did not write its port file within 30s");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The seeded crash drill: crash a real server mid-sweep, restart it
+/// on the same cache directory, and prove the ds-anvil guarantees —
+/// zero job loss (original id still polls), no double-compute (tasks
+/// done before the crash rehydrate as store hits), and byte-identical
+/// folded results.
+fn cmd_drill(rest: &[String]) {
+    let mut codes: Vec<String> = ["VA", "MM", "BS"].map(str::to_string).to_vec();
+    let mut input = InputSize::Small;
+    let mut mode = Mode::DirectStore;
+    let mut seed = 1u64;
+    let mut workers = 2usize;
+    let mut dir = PathBuf::from("target/ds-drill");
+    let mut keep = false;
+    let mut args = Args::new(rest);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" => codes = parse_codes(&args.value("--bench")),
+            "--input" => input = parse_input_flag(&args.value("--input")),
+            "--mode" => mode = parse_mode_flag(&args.value("--mode")),
+            "--seed" => seed = args.parsed("--seed", "an integer"),
+            "--workers" => workers = args.parsed("--workers", "a positive integer"),
+            "--dir" => dir = args.value("--dir").into(),
+            "--keep" => keep = true,
+            other => usage_error(&format!("unknown drill option {other:?}")),
+        }
+    }
+    // Each bench submits a CCSM+DS task pair, so even one bench gives
+    // the drill a mid-sweep crash point.
+    let total = 2 * codes.len() as u64;
+    if total == 0 {
+        usage_error("drill needs at least one bench (--bench A,B,...)");
+    }
+    let mut ok = true;
+    let mut check = |name: &str, pass: bool, detail: &str| {
+        if pass {
+            eprintln!("dsserve drill: ok   {name}");
+        } else {
+            eprintln!("dsserve drill: FAIL {name}: {detail}");
+        }
+        ok &= pass;
+    };
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.join("cache");
+    std::fs::create_dir_all(&cache)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", cache.display())));
+    let port_file = dir.join("port");
+    // Seeded crash point: after k of the sweep's tasks, 1 <= k < total,
+    // so the job is always mid-flight when the process dies.
+    let k = 1 + ds_runner::fnv1a(format!("ds-drill-{seed}").as_bytes()) % (total - 1);
+    let body = client::sweep_body(Some(&codes), input, mode);
+
+    // Phase 1: a 1-worker server (so the crash point is exact) armed
+    // to abort() — no destructors, no flushes; the worst honest crash.
+    eprintln!("dsserve drill: phase 1 — crash after {k}/{total} task(s)");
+    let mut child = spawn_server(&cache, &port_file, 1, Some(k));
+    let url = wait_port(&port_file, &mut child);
+    let id = match client::submit(&url, &body) {
+        Ok(SubmitAnswer::Accepted { id, .. }) => id,
+        other => fail(&format!("drill submit: unexpected answer {other:?}")),
+    };
+    let status = child
+        .wait()
+        .unwrap_or_else(|e| fail(&format!("waiting for the crashing server: {e}")));
+    check(
+        "server crashed as planned",
+        !status.success(),
+        &format!("exited cleanly ({status}) despite --crash-after-tasks"),
+    );
+
+    // The journal on disk must already tell the whole story.
+    let peeked = Journal::peek(&cache);
+    let done = peeked.tasks_done();
+    check(
+        "journal holds the unfinished job",
+        peeked.jobs.len() == 1
+            && peeked.jobs[0].id == id
+            && peeked.jobs[0].tasks.len() == total as usize,
+        &format!(
+            "jobs={} (expected job {id} with {total} tasks)",
+            peeked.jobs.len()
+        ),
+    );
+    check(
+        "journal saw exactly the pre-crash completions",
+        done == k as usize,
+        &format!("{done} task-done record(s), expected {k}"),
+    );
+
+    // Phase 2: restart on the same cache directory; the journal
+    // replays, the job keeps its id, and pre-crash tasks rehydrate
+    // from the disk cache instead of recomputing.
+    eprintln!("dsserve drill: phase 2 — restart and recover");
+    let _ = std::fs::remove_file(&port_file);
+    let mut child = spawn_server(&cache, &port_file, workers, None);
+    let url = wait_port(&port_file, &mut child);
+    client::wait_done(&url, id, Duration::from_secs(300))
+        .unwrap_or_else(|e| fail(&format!("recovered job {id} never finished: {e}")));
+    let results = client::fetch_results(&url, id).unwrap_or_else(|e| fail(&e));
+    let cfg = SystemConfig::paper_default();
+    let recovered = client::sweep_doc(&cfg, input, mode, &results)
+        .unwrap_or_else(|e| fail(&format!("folding recovered results: {e}")));
+    let hits = recovered
+        .provenances
+        .iter()
+        .filter(|p| p.as_str() == "hit")
+        .count();
+    check(
+        "pre-crash tasks rehydrated from cache (no double-compute)",
+        hits == done,
+        &format!("{hits} hit(s), expected {done}"),
+    );
+
+    let metrics_doc = match client_request(&url, "GET", "/metrics", None, client::CLIENT_TIMEOUT) {
+        Ok((200, text)) => ds_runner::json::parse(&text)
+            .unwrap_or_else(|e| fail(&format!("bad /metrics JSON: {e}"))),
+        other => fail(&format!("GET /metrics: {other:?}")),
+    };
+    let num = |path: &[&str]| {
+        let mut node = Some(&metrics_doc);
+        for key in path {
+            node = node.and_then(|n| n.get(key));
+        }
+        node.and_then(Json::as_u64).unwrap_or(u64::MAX)
+    };
+    check(
+        "store accounting reconciles the recovery",
+        num(&["store", "requests"]) == total
+            && num(&["store", "hits"]) == done as u64
+            && num(&["store", "misses"]) == total - done as u64,
+        &format!(
+            "requests={} hits={} misses={} (expected {total}/{done}/{})",
+            num(&["store", "requests"]),
+            num(&["store", "hits"]),
+            num(&["store", "misses"]),
+            total - done as u64
+        ),
+    );
+    check(
+        "/metrics reports the recovery",
+        num(&["journal", "recovered_jobs"]) == 1
+            && num(&["journal", "recovered_tasks"]) == total
+            && num(&["journal", "recovered_tasks_done"]) == done as u64
+            && num(&["recovering"]) == 0,
+        &format!(
+            "journal={:?} recovering={}",
+            metrics_doc.get("journal"),
+            num(&["recovering"])
+        ),
+    );
+
+    // Phase 3: the same sweep again is pure cache and folds to the
+    // exact same bytes — a crash plus recovery is invisible in the
+    // results.
+    eprintln!("dsserve drill: phase 3 — resubmission is pure cache, byte-identical");
+    let id2 = match client::submit(&url, &body) {
+        Ok(SubmitAnswer::Accepted { id, .. }) => id,
+        other => fail(&format!("drill resubmit: unexpected answer {other:?}")),
+    };
+    check("resubmission gets a fresh job id", id2 != id, "id reused");
+    client::wait_done(&url, id2, Duration::from_secs(300)).unwrap_or_else(|e| fail(&e));
+    let results = client::fetch_results(&url, id2).unwrap_or_else(|e| fail(&e));
+    let repeat = client::sweep_doc(&cfg, input, mode, &results).unwrap_or_else(|e| fail(&e));
+    check(
+        "repeat sweep is pure cache",
+        repeat.provenances.iter().all(|p| p == "hit"),
+        &format!("provenances {:?}", repeat.provenances),
+    );
+    check(
+        "recovered results byte-identical to the repeat sweep",
+        recovered.doc == repeat.doc,
+        "folded documents differ",
+    );
+
+    match client_request(
+        &url,
+        "POST",
+        "/shutdown",
+        Some("{}"),
+        Duration::from_secs(10),
+    ) {
+        Ok((200, _)) => {}
+        other => fail(&format!("POST /shutdown: {other:?}")),
+    }
+    let _ = child.wait();
+    if keep {
+        eprintln!("dsserve drill: scratch kept at {}", dir.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if !ok {
+        fail("crash drill failed");
+    }
+    eprintln!(
+        "dsserve drill: passed — job {id} survived the crash; \
+         {done}/{total} task(s) rehydrated; results byte-identical"
+    );
+}
+
 fn cmd_shutdown(rest: &[String]) {
     let mut url = DEFAULT_URL.to_string();
     let mut args = Args::new(rest);
@@ -605,7 +958,66 @@ fn run_check() {
         &format!("{stats:?}"),
     );
 
-    // 3. Clean shutdown over HTTP: the whole thread family joins.
+    // 3. The ds-anvil journal: append/replay round-trip, torn-tail
+    //    tolerance, and interior-corruption quarantine, against a
+    //    real scratch directory.
+    let scratch =
+        std::env::temp_dir().join(format!("dsserve-check-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    {
+        use std::io::Write as _;
+        let (journal, fresh) = Journal::open(&scratch)
+            .unwrap_or_else(|e| fail(&format!("cannot open scratch journal: {e}")));
+        check(
+            "journal starts empty",
+            fresh.jobs.is_empty() && !fresh.torn_tail && fresh.quarantined.is_none(),
+            &format!("{fresh:?}"),
+        );
+        let path = journal.path().to_path_buf();
+        journal.job_submitted(3, "idem-3", &[task.clone(), task.clone()]);
+        journal.task_started(3, 0);
+        journal.task_done(3, 0, "ok");
+        drop(journal);
+        let replay = Journal::peek(&scratch);
+        check(
+            "journal replays the unfinished job",
+            replay.jobs.len() == 1 && replay.jobs[0].id == 3 && replay.jobs[0].completed == 1,
+            &format!("{replay:?}"),
+        );
+        // A mid-append crash leaves a partial final line: truncated,
+        // never fatal, and the job is still recovered.
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot reopen scratch journal: {e}")));
+        let _ = file.write_all(b"{\"rec\":\"task-do");
+        drop(file);
+        let torn = Journal::peek(&scratch);
+        check(
+            "a torn tail is truncated, not fatal",
+            torn.torn_tail && torn.jobs.len() == 1,
+            &format!("{torn:?}"),
+        );
+        // Corruption *before* the tail is a different disease: the
+        // whole file is quarantined and the server boots empty
+        // rather than trusting a damaged history.
+        let mut text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read scratch journal: {e}")));
+        let first_newline = text.find('\n').unwrap_or(text.len());
+        text.replace_range(..first_newline, "{\"rec\":\"garbage\"}");
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| fail(&format!("cannot corrupt scratch journal: {e}")));
+        let (_journal, after) = Journal::open(&scratch)
+            .unwrap_or_else(|e| fail(&format!("cannot reopen scratch journal: {e}")));
+        check(
+            "interior corruption quarantines the journal",
+            after.quarantined.is_some() && after.jobs.is_empty(),
+            &format!("{after:?}"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // 4. Clean shutdown over HTTP: the whole thread family joins.
     match client_request(
         &url,
         "POST",

@@ -12,15 +12,15 @@ use std::time::{Duration, Instant};
 use ds_core::{Comparison, InputSize, Mode, SystemConfig};
 use ds_runner::json::{self, Json};
 use ds_runner::report::{comparison_to_json, report_from_json};
-use ds_runner::Runner;
+use ds_runner::{fnv1a, Runner};
 
-use crate::http::client_request;
+use crate::http::{client_request, client_request_ext};
 
 /// Default per-request client timeout.
 pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// What `POST /jobs` answered.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitAnswer {
     /// The job was admitted.
     Accepted {
@@ -37,6 +37,83 @@ pub enum SubmitAnswer {
     },
 }
 
+/// How [`submit_with_retry`] behaves across attempts.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (clamped to ≥ 1). Connect errors and 5xx
+    /// responses are retried with jittered exponential backoff; other
+    /// 4xx responses never are (the submission itself is wrong).
+    pub attempts: u32,
+    /// Backoff base: attempt `n` sleeps `base * 2^n` plus a seeded
+    /// jitter of up to one base, so a fleet of retrying clients
+    /// spreads out instead of stampeding.
+    pub base: Duration,
+    /// Also retry 429 (admission refusal), honoring `Retry-After`.
+    /// Off by default: saturation is an *expected* answer — the CI
+    /// saturation gate relies on seeing it immediately — so waiting
+    /// out a busy server is opt-in (`dsserve submit --retry-busy`).
+    pub retry_busy: bool,
+    /// Jitter seed, for deterministic tests.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(200),
+            retry_busy: false,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt: plain [`submit`] semantics.
+    pub fn single() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// SplitMix64 — the jitter mixer (same generator family the fault
+/// injector uses; no external randomness, so tests are deterministic).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The backoff before retry attempt `n` (0-based): `base * 2^n` plus
+/// up to one extra base of seeded jitter.
+fn backoff(policy: &RetryPolicy, attempt: u32) -> Duration {
+    let base_ms = policy.base.as_millis().max(1) as u64;
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(16));
+    let jitter = splitmix64(policy.seed ^ u64::from(attempt) ^ base_ms) % base_ms;
+    Duration::from_millis(exp.saturating_add(jitter))
+}
+
+/// Builds the `Idempotency-Key` for one logical submission: the body
+/// fingerprint plus a per-invocation nonce. Every *retry inside one
+/// [`submit_with_retry`] call* reuses the key (so an ambiguous
+/// failure cannot double-submit), while every *fresh invocation* gets
+/// a new nonce (so deliberately resubmitting the same sweep — as the
+/// CI cache gate does — still creates a new job).
+fn idempotency_key(body: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs());
+    let nonce = splitmix64(
+        nanos ^ (u64::from(std::process::id()) << 32) ^ COUNTER.fetch_add(1, Ordering::Relaxed),
+    );
+    format!("{:016x}-{nonce:016x}", fnv1a(body.as_bytes()))
+}
+
 /// Submits `body` to `url`.
 ///
 /// # Errors
@@ -44,29 +121,87 @@ pub enum SubmitAnswer {
 /// Transport failures and non-200/429 statuses (a 400 means the
 /// submission itself is malformed).
 pub fn submit(url: &str, body: &str) -> Result<SubmitAnswer, String> {
-    let (status, text) = client_request(url, "POST", "/jobs", Some(body), CLIENT_TIMEOUT)?;
-    let doc = json::parse(&text).map_err(|e| format!("bad submit response: {e}"))?;
-    match status {
-        200 => {
-            let id = doc
-                .get("job")
-                .and_then(Json::as_u64)
-                .ok_or("submit response missing \"job\"")?;
-            let tasks = doc.get("tasks").and_then(Json::as_u64).unwrap_or(0);
-            Ok(SubmitAnswer::Accepted { id, tasks })
+    submit_with_retry(url, body, &RetryPolicy::single())
+}
+
+/// [`submit`] with client-side resilience: one `Idempotency-Key` for
+/// the whole logical submission (a retried request after an ambiguous
+/// failure attaches to the job the first attempt created instead of
+/// duplicating it), jittered exponential backoff on connect errors
+/// and 5xx, and — when `policy.retry_busy` — on 429 too, honoring the
+/// server's `Retry-After`.
+///
+/// # Errors
+///
+/// The last transport/5xx failure once attempts are exhausted, or any
+/// non-retryable status (e.g. 400).
+pub fn submit_with_retry(
+    url: &str,
+    body: &str,
+    policy: &RetryPolicy,
+) -> Result<SubmitAnswer, String> {
+    let key = idempotency_key(body);
+    let headers = [("Idempotency-Key".to_string(), key)];
+    let attempts = policy.attempts.max(1);
+    let mut last_err = String::new();
+    for attempt in 0..attempts {
+        let last = attempt + 1 == attempts;
+        match client_request_ext(url, "POST", "/jobs", Some(body), &headers, CLIENT_TIMEOUT) {
+            Ok((200, text, _)) => {
+                let doc = json::parse(&text).map_err(|e| format!("bad submit response: {e}"))?;
+                let id = doc
+                    .get("job")
+                    .and_then(Json::as_u64)
+                    .ok_or("submit response missing \"job\"")?;
+                let tasks = doc.get("tasks").and_then(Json::as_u64).unwrap_or(0);
+                return Ok(SubmitAnswer::Accepted { id, tasks });
+            }
+            Ok((429, text, response_headers)) => {
+                let message = json::parse(&text)
+                    .ok()
+                    .as_ref()
+                    .and_then(|d| d.get("error").and_then(Json::as_str).map(str::to_string))
+                    .unwrap_or_else(|| "queue full".to_string());
+                if !policy.retry_busy || last {
+                    return Ok(SubmitAnswer::Rejected { message });
+                }
+                // Honor Retry-After when it outlasts our own backoff.
+                let retry_after = response_headers
+                    .iter()
+                    .find(|(name, _)| name == "retry-after")
+                    .and_then(|(_, value)| value.parse::<u64>().ok())
+                    .map_or(Duration::ZERO, Duration::from_secs);
+                last_err = format!("busy: {message}");
+                std::thread::sleep(backoff(policy, attempt).max(retry_after));
+            }
+            Ok((status, text, _)) if status >= 500 => {
+                last_err = format!("POST /jobs answered {status}: {text}");
+                if last {
+                    break;
+                }
+                std::thread::sleep(backoff(policy, attempt));
+            }
+            Ok((status, text, _)) => {
+                let doc = json::parse(&text).ok();
+                return Err(format!(
+                    "POST /jobs answered {status}: {}",
+                    doc.as_ref()
+                        .and_then(|d| d.get("error").and_then(Json::as_str))
+                        .unwrap_or(&text)
+                ));
+            }
+            Err(e) => {
+                last_err = e;
+                if last {
+                    break;
+                }
+                std::thread::sleep(backoff(policy, attempt));
+            }
         }
-        429 => Ok(SubmitAnswer::Rejected {
-            message: doc
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("queue full")
-                .to_string(),
-        }),
-        other => Err(format!(
-            "POST /jobs answered {other}: {}",
-            doc.get("error").and_then(Json::as_str).unwrap_or(&text)
-        )),
     }
+    Err(format!(
+        "submit failed after {attempts} attempt(s): {last_err}"
+    ))
 }
 
 /// Builds the sweep submission body `dsserve submit` sends.
@@ -303,6 +438,137 @@ pub fn sweep_doc(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpListener;
+
+    /// A scripted one-shot responder: answers each accepted
+    /// connection with the next canned (status, headers, body) and
+    /// returns the raw requests it saw.
+    fn scripted_server(
+        responses: Vec<(u16, &'static str, &'static str)>,
+    ) -> (String, std::thread::JoinHandle<Vec<String>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let url = format!("http://{}", listener.local_addr().unwrap());
+        let handle = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            for (status, extra, body) in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let mut request = String::new();
+                loop {
+                    let n = stream.read(&mut buf).unwrap();
+                    request.push_str(&String::from_utf8_lossy(&buf[..n]));
+                    // Our client sends Content-Length'd bodies with no
+                    // trailing newline; header end is close enough for
+                    // these tiny scripted exchanges.
+                    if n == 0 || request.contains("\r\n\r\n") {
+                        break;
+                    }
+                }
+                seen.push(request);
+                let reason = if status == 200 { "OK" } else { "Error" };
+                let _ = write!(
+                    stream,
+                    "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+                    body.len()
+                );
+            }
+            seen
+        });
+        (url, handle)
+    }
+
+    fn fast_policy(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            base: Duration::from_millis(1),
+            retry_busy: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn retry_reuses_one_idempotency_key_across_a_500() {
+        let (url, server) = scripted_server(vec![
+            (500, "", "boom"),
+            (200, "", "{\"job\":11,\"tasks\":2}"),
+        ]);
+        let answer = submit_with_retry(&url, "{}", &fast_policy(3)).unwrap();
+        assert_eq!(answer, SubmitAnswer::Accepted { id: 11, tasks: 2 });
+        let seen = server.join().unwrap();
+        assert_eq!(seen.len(), 2);
+        let key = |request: &str| {
+            request
+                .lines()
+                .find_map(|l| l.strip_prefix("Idempotency-Key: "))
+                .map(str::to_string)
+                .expect("idempotency key header")
+        };
+        assert_eq!(key(&seen[0]), key(&seen[1]));
+    }
+
+    #[test]
+    fn busy_is_not_retried_by_default() {
+        let (url, server) =
+            scripted_server(vec![(429, "Retry-After: 1\r\n", "{\"error\":\"full\"}")]);
+        let answer = submit_with_retry(&url, "{}", &fast_policy(5)).unwrap();
+        assert_eq!(
+            answer,
+            SubmitAnswer::Rejected {
+                message: "full".to_string()
+            }
+        );
+        assert_eq!(server.join().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retry_busy_honors_retry_after_then_succeeds() {
+        let (url, server) = scripted_server(vec![
+            (429, "Retry-After: 0\r\n", "{\"error\":\"full\"}"),
+            (200, "", "{\"job\":3,\"tasks\":1}"),
+        ]);
+        let mut policy = fast_policy(3);
+        policy.retry_busy = true;
+        let answer = submit_with_retry(&url, "{}", &policy).unwrap();
+        assert_eq!(answer, SubmitAnswer::Accepted { id: 3, tasks: 1 });
+        assert_eq!(server.join().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_error() {
+        // Bind, note the port, drop: connecting now fails fast.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let err = submit_with_retry(&format!("http://{addr}"), "{}", &fast_policy(2)).unwrap_err();
+        assert!(err.contains("after 2 attempt(s)"), "{err}");
+    }
+
+    #[test]
+    fn malformed_submissions_fail_without_retry() {
+        let (url, server) = scripted_server(vec![(400, "", "{\"error\":\"bad body\"}")]);
+        let err = submit_with_retry(&url, "{}", &fast_policy(4)).unwrap_err();
+        assert!(err.contains("400") && err.contains("bad body"), "{err}");
+        assert_eq!(server.join().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn idempotency_keys_share_the_body_hash_but_differ_per_call() {
+        let a = idempotency_key("{\"bench\":\"VA\"}");
+        let b = idempotency_key("{\"bench\":\"VA\"}");
+        assert_ne!(a, b);
+        let prefix = |s: &str| s.split('-').next().unwrap().to_string();
+        assert_eq!(prefix(&a), prefix(&b));
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_deterministic() {
+        let policy = fast_policy(5);
+        assert_eq!(backoff(&policy, 0), backoff(&policy, 0));
+        assert!(backoff(&policy, 4) > backoff(&policy, 0));
+    }
 
     #[test]
     fn sweep_body_has_the_documented_shape() {

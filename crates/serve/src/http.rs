@@ -32,6 +32,10 @@ pub struct Request {
     /// The `Accept` header value, empty when the header was absent.
     /// `GET /metrics` negotiates Prometheus text exposition on it.
     pub accept: String,
+    /// The `Idempotency-Key` header value, empty when absent. A
+    /// retried `POST /jobs` carrying the same key attaches to the job
+    /// the first attempt created.
+    pub idempotency: String,
     /// Raw request body (empty for bodiless requests).
     pub body: Vec<u8>,
 }
@@ -108,6 +112,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     };
 
     let mut accept = String::new();
+    let mut idempotency = String::new();
     let mut content_length = 0usize;
     let mut header_bytes = line.len();
     loop {
@@ -131,6 +136,8 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
                     .map_err(|_| bad("bad content-length"))?;
             } else if name.eq_ignore_ascii_case("accept") {
                 accept = value.trim().to_string();
+            } else if name.eq_ignore_ascii_case("idempotency-key") {
+                idempotency = value.trim().to_string();
             }
         }
     }
@@ -144,6 +151,7 @@ pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
         path,
         query,
         accept,
+        idempotency,
         body,
     })
 }
@@ -224,16 +232,44 @@ pub fn client_request(
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<(u16, String), String> {
+    client_request_ext(url, method, path, body, &[], timeout)
+        .map(|(status, body, _)| (status, body))
+}
+
+/// What [`client_request_ext`] returns: status, body, and the
+/// response headers (lowercased names).
+pub type FullResponse = (u16, String, Vec<(String, String)>);
+
+/// [`client_request`] with extra request headers and the response
+/// headers returned (lowercased names) — the retrying client needs to
+/// send `Idempotency-Key` and read `Retry-After`.
+///
+/// # Errors
+///
+/// As [`client_request`].
+pub fn client_request_ext(
+    url: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra_headers: &[(String, String)],
+    timeout: Duration,
+) -> Result<FullResponse, String> {
     let host = host_of(url)?;
     let mut stream = TcpStream::connect(&host).map_err(|e| format!("connect {host}: {e}"))?;
     stream.set_read_timeout(Some(timeout)).ok();
     stream.set_write_timeout(Some(timeout)).ok();
     let body = body.unwrap_or("");
-    let request = format!(
+    let mut request = format!(
         "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
+    request.push_str("\r\n");
+    request.push_str(body);
     stream
         .write_all(request.as_bytes())
         .map_err(|e| format!("send {path}: {e}"))?;
@@ -249,6 +285,7 @@ pub fn client_request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
     let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
     loop {
         let mut header = String::new();
         let n = reader
@@ -261,6 +298,7 @@ pub fn client_request(
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
             }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     let mut body = Vec::new();
@@ -278,7 +316,7 @@ pub fn client_request(
         }
     }
     String::from_utf8(body)
-        .map(|text| (status, text))
+        .map(|text| (status, text, headers))
         .map_err(|_| format!("non-UTF-8 response from {path}"))
 }
 
@@ -309,6 +347,35 @@ mod tests {
         .unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn idempotency_key_and_response_headers_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let request = read_request(&mut stream).unwrap();
+            assert_eq!(request.idempotency, "abc-123");
+            let response =
+                Response::json(429, "{}".into()).with_header("Retry-After", "1".to_string());
+            write_response(&mut stream, &response).unwrap();
+        });
+        let (status, _, headers) = client_request_ext(
+            &format!("http://{addr}"),
+            "POST",
+            "/jobs",
+            Some("{}"),
+            &[("Idempotency-Key".to_string(), "abc-123".to_string())],
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 429);
+        assert!(
+            headers.iter().any(|(n, v)| n == "retry-after" && v == "1"),
+            "{headers:?}"
+        );
         server.join().unwrap();
     }
 

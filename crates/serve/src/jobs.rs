@@ -76,6 +76,10 @@ pub struct JobRecord {
     pub span: u64,
     /// The submitting HTTP request's span id (0 when untraced).
     pub parent_span: u64,
+    /// Whether this job was rebuilt from the ds-anvil journal after a
+    /// restart (its tasks re-enqueued, completed ones expected to
+    /// rehydrate as cache hits) rather than submitted over HTTP.
+    pub recovered: bool,
     progress: Mutex<Progress>,
     /// Append-only live telemetry: one JSON line per span/progress
     /// event, streamed by `GET /jobs/<id>/events`.
@@ -214,6 +218,11 @@ pub struct JobQueue {
     inner: Mutex<QueueInner>,
     wake: Condvar,
     jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
+    /// `Idempotency-Key` → job id, so a client retrying a submission
+    /// after an ambiguous failure attaches to the job the first
+    /// attempt created instead of duplicating it. Keys live as long
+    /// as the registry entry (jobs are never evicted in-process).
+    idempotency: Mutex<HashMap<String, u64>>,
     next_id: AtomicU64,
     limit: usize,
 }
@@ -233,6 +242,7 @@ impl JobQueue {
             }),
             wake: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
+            idempotency: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             limit: limit.max(1),
         }
@@ -263,6 +273,34 @@ impl JobQueue {
     /// [`Rejection::ShuttingDown`] after [`JobQueue::shutdown`], and
     /// [`Rejection::QueueFull`] at the open-job bound.
     pub fn submit(&self, tasks: Vec<Task>, parent_span: u64) -> Result<Arc<JobRecord>, Rejection> {
+        self.submit_keyed(tasks, parent_span, None)
+            .map(|(job, _)| job)
+    }
+
+    /// [`JobQueue::submit`] with an optional `Idempotency-Key`: when
+    /// `key` already maps to a job, that job is returned with
+    /// `deduplicated = true` and nothing is enqueued — a client retry
+    /// after an ambiguous failure attaches instead of duplicating.
+    /// The dedup check runs *before* admission control, so a retry of
+    /// an already-accepted submission succeeds even at the open-job
+    /// bound or during shutdown.
+    ///
+    /// # Errors
+    ///
+    /// As [`JobQueue::submit`].
+    pub fn submit_keyed(
+        &self,
+        tasks: Vec<Task>,
+        parent_span: u64,
+        key: Option<&str>,
+    ) -> Result<(Arc<JobRecord>, bool), Rejection> {
+        if let Some(key) = key.filter(|k| !k.is_empty()) {
+            if let Some(id) = lock(&self.idempotency).get(key).copied() {
+                if let Some(job) = self.get(id) {
+                    return Ok((job, true));
+                }
+            }
+        }
         if tasks.is_empty() {
             return Err(Rejection::Empty);
         }
@@ -278,12 +316,51 @@ impl JobQueue {
         }
         inner.open_jobs += 1;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = self.admit(inner, id, tasks, parent_span, false);
+        if let Some(key) = key.filter(|k| !k.is_empty()) {
+            lock(&self.idempotency).insert(key.to_string(), id);
+        }
+        Ok((job, false))
+    }
+
+    /// Re-admits a job recovered from the ds-anvil journal under its
+    /// original `id`, bypassing admission control (the work was
+    /// already accepted — refusing it now would be the data loss the
+    /// journal exists to prevent) and re-registering its idempotency
+    /// `key` so client retries still attach across the restart.
+    pub fn restore(
+        &self,
+        id: u64,
+        key: &str,
+        tasks: Vec<Task>,
+        parent_span: u64,
+    ) -> Arc<JobRecord> {
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        let mut inner = lock(&self.inner);
+        inner.open_jobs += 1;
+        let job = self.admit(inner, id, tasks, parent_span, true);
+        if !key.is_empty() {
+            lock(&self.idempotency).insert(key.to_string(), id);
+        }
+        job
+    }
+
+    /// Registers and enqueues a job under the already-held queue lock.
+    fn admit(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, QueueInner>,
+        id: u64,
+        tasks: Vec<Task>,
+        parent_span: u64,
+        recovered: bool,
+    ) -> Arc<JobRecord> {
         let total = tasks.len();
         let job = Arc::new(JobRecord {
             id,
             tasks,
             span: ds_probe::scope::next_span_id(),
             parent_span,
+            recovered,
             progress: Mutex::new(Progress {
                 results: vec![None; total],
                 completed: 0,
@@ -303,7 +380,7 @@ impl JobQueue {
         drop(inner);
         lock(&self.jobs).insert(id, Arc::clone(&job));
         self.wake.notify_all();
-        Ok(job)
+        job
     }
 
     /// Looks up a job by id.
@@ -425,6 +502,80 @@ mod tests {
             queue.pop().is_none(),
             "unstarted work is abandoned so the pool never hangs"
         );
+    }
+
+    #[test]
+    fn idempotency_key_attaches_retries_to_the_original_job() {
+        let queue = JobQueue::new(1);
+        let (job, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        assert!(!deduplicated);
+        // The retry attaches even though the admission slot is taken.
+        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        assert!(deduplicated);
+        assert_eq!(again.id, job.id);
+        assert_eq!(queue.open_jobs(), 1, "no duplicate admission");
+        assert_eq!(queue.depth(), 1, "no duplicate work items");
+        // A different key is a genuinely new submission (rejected here:
+        // the single slot is taken).
+        assert!(queue.submit_keyed(tasks(1), 0, Some("key-2")).is_err());
+        // Keyless submissions never deduplicate.
+        assert!(queue.submit_keyed(tasks(1), 0, None).is_err());
+    }
+
+    #[test]
+    fn idempotent_retry_attaches_even_during_shutdown() {
+        let queue = JobQueue::new(4);
+        let (job, _) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        queue.shutdown();
+        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        assert!(deduplicated);
+        assert_eq!(again.id, job.id);
+        assert!(queue.submit_keyed(tasks(1), 0, Some("key-2")).is_err());
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_bypasses_admission() {
+        let queue = JobQueue::new(1);
+        // Recovery re-admits under the original id even beyond the
+        // admission bound...
+        let a = queue.restore(7, "idem-7", tasks(1), 0);
+        let b = queue.restore(9, "", tasks(2), 0);
+        assert_eq!((a.id, b.id), (7, 9));
+        assert!(a.recovered && b.recovered);
+        assert_eq!(queue.open_jobs(), 2);
+        assert_eq!(queue.depth(), 3);
+        // ...fresh submissions continue past the highest restored id...
+        queue.complete(
+            &queue.pop().unwrap(),
+            TaskResult {
+                outcome: TaskOutcome::TimedOut,
+                provenance: Provenance::Hit,
+                spans: vec![],
+            },
+        );
+        queue.complete(
+            &queue.pop().unwrap(),
+            TaskResult {
+                outcome: TaskOutcome::TimedOut,
+                provenance: Provenance::Hit,
+                spans: vec![],
+            },
+        );
+        queue.complete(
+            &queue.pop().unwrap(),
+            TaskResult {
+                outcome: TaskOutcome::TimedOut,
+                provenance: Provenance::Hit,
+                spans: vec![],
+            },
+        );
+        let fresh = queue.submit(tasks(1), 0).unwrap();
+        assert_eq!(fresh.id, 10);
+        assert!(!fresh.recovered);
+        // ...and restored idempotency keys still deduplicate retries.
+        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("idem-7")).unwrap();
+        assert!(deduplicated);
+        assert_eq!(again.id, 7);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   workspace builds offline; no dependencies);
 //! * [`client`] — the CLI/CI client, including the fold that turns
 //!   served results back into byte-identical `dsrun --format json`
-//!   output;
+//!   output, with jittered-backoff retries and idempotent
+//!   resubmission;
+//! * [`journal`] — ds-anvil: the append-only job journal `dsserve`
+//!   replays on startup, so a crash or `kill -9` loses no accepted
+//!   job (torn tails truncated, corrupt journals quarantined);
 //! * [`stress`] — the built-in load harness: seeded virtual users,
 //!   ops/sec, p50/p95/p99 op latency, store hit rate.
 //!
@@ -32,10 +36,15 @@ pub mod api;
 pub mod client;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod server;
 pub mod stress;
 
-pub use client::{fetch_results, submit, sweep_body, sweep_doc, wait_done, SubmitAnswer};
+pub use client::{
+    fetch_results, submit, submit_with_retry, sweep_body, sweep_doc, wait_done, RetryPolicy,
+    SubmitAnswer,
+};
 pub use jobs::{JobQueue, JobRecord, JobState, Rejection, TaskResult};
-pub use server::{ServeOptions, ServeState, Server};
+pub use journal::{Journal, JournalStats, RecoveredJob, Recovery};
+pub use server::{RecoveryReport, ServeOptions, ServeState, Server};
 pub use stress::{run_stress, StressOptions, StressSummary, STRESS_CSV_HEADER};

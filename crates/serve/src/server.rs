@@ -21,7 +21,8 @@
 //! half-drained service exits cleanly instead of hanging.
 
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -33,7 +34,9 @@ use ds_runner::shared::SharedStore;
 use ds_runner::{default_jobs, Runner, Task, TaskOutcome};
 
 use crate::http::{read_request, write_response, Request, Response};
-use crate::jobs::{JobQueue, JobRecord, TaskResult};
+use crate::jobs::{JobQueue, JobRecord, TaskResult, WorkItem};
+use crate::journal::Journal;
+use ds_runner::shared::Provenance;
 
 /// Shape of the per-request log line `--log-format` selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +82,16 @@ pub struct ServeOptions {
     /// it visibly alive (and flushes out a gone client). Tests
     /// compress this to exercise the heartbeat path quickly.
     pub heartbeat: Duration,
+    /// ds-anvil: write the job journal under the cache directory and
+    /// replay it on startup. On by default; no effect without a cache
+    /// directory (a memory-only store has nowhere durable to recover
+    /// results from anyway).
+    pub journal: bool,
+    /// Crash drill: `abort()` the process (the in-process stand-in
+    /// for `kill -9`) right after this many task completions have
+    /// been journaled. `dsserve drill` uses it to die at a seeded
+    /// point mid-sweep.
+    pub crash_after_tasks: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -92,8 +105,27 @@ impl Default for ServeOptions {
             verbose: false,
             log_format: LogFormat::Text,
             heartbeat: Duration::from_secs(10),
+            journal: true,
+            crash_after_tasks: None,
         }
     }
+}
+
+/// What startup journal replay found — frozen at boot for `/metrics`
+/// and `/health` (the live countdown is [`ServeState::recovering`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Unfinished jobs re-enqueued from the journal.
+    pub jobs: usize,
+    /// Tasks across those jobs.
+    pub tasks: usize,
+    /// Of those, tasks that had already completed before the crash
+    /// (expected to rehydrate as disk-cache hits, not recompute).
+    pub tasks_done: usize,
+    /// A torn final record was truncated away.
+    pub torn_tail: bool,
+    /// The journal was corrupt and quarantined.
+    pub quarantined: bool,
 }
 
 /// Last-window ds-pulse gauges from the most recently completed pulsed
@@ -150,6 +182,16 @@ pub struct ServeState {
     pub options: ServeOptions,
     /// Server start time, for uptime reporting.
     pub started: Instant,
+    /// The ds-anvil job journal; `Some` when journaling is enabled
+    /// and the store has a cache directory.
+    pub journal: Option<Journal>,
+    /// What startup replay recovered (frozen at boot).
+    pub recovery: RecoveryReport,
+    /// Recovered jobs not yet finished — `/health` readiness drops
+    /// out of `recovering` once this reaches zero.
+    recovering: AtomicUsize,
+    /// Task completions in this process, for `--crash-after-tasks`.
+    tasks_done: AtomicU64,
     shutdown: AtomicBool,
     /// Bound address, set by [`Server::start`]; the `/shutdown`
     /// handler needs it to poke the accept loop awake.
@@ -163,16 +205,55 @@ impl ServeState {
             Some(dir) => SharedStore::with_disk(dir.clone()),
             None => SharedStore::new(),
         };
+        let queue = JobQueue::new(options.queue_limit);
+        // ds-anvil: open the journal and re-enqueue every job a
+        // previous process accepted but never finished. Completed
+        // tasks rehydrate as disk-cache hits, so replay recomputes
+        // only what never finished.
+        let mut journal = None;
+        let mut recovery = RecoveryReport::default();
+        if options.journal {
+            if let Some(dir) = &options.cache_dir {
+                match Journal::open(dir) {
+                    Ok((j, found)) => {
+                        recovery = RecoveryReport {
+                            jobs: found.jobs.len(),
+                            tasks: found.tasks(),
+                            tasks_done: found.tasks_done(),
+                            torn_tail: found.torn_tail,
+                            quarantined: found.quarantined.is_some(),
+                        };
+                        for job in found.jobs {
+                            queue.restore(job.id, &job.key, job.tasks, 0);
+                        }
+                        journal = Some(j);
+                    }
+                    Err(e) => {
+                        eprintln!("dsserve: journal disabled ({e}); jobs are not durable")
+                    }
+                }
+            }
+        }
         Arc::new(ServeState {
             store,
-            queue: JobQueue::new(options.queue_limit),
+            queue,
             metrics: Mutex::new(ServiceMetrics::new()),
             pulse: Mutex::new(None),
             options,
             started: Instant::now(),
+            journal,
+            recovering: AtomicUsize::new(recovery.jobs),
+            recovery,
+            tasks_done: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             addr: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Recovered jobs still in flight; `0` once replayed work has
+    /// drained (readiness).
+    pub fn recovering(&self) -> usize {
+        self.recovering.load(Ordering::SeqCst)
     }
 
     /// Whether shutdown has been requested.
@@ -405,69 +486,166 @@ fn publish_task_events(job: &JobRecord, idx: usize, result: &TaskResult, done_us
     ]));
 }
 
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 /// One worker: drain the queue through the shared store until
 /// shutdown, publishing span telemetry onto each job's event log.
 fn worker_loop(state: &ServeState) {
     while let Some(item) = state.queue.pop() {
-        let job = &item.job;
-        let task = &job.tasks[item.idx];
-        let waited = item.enqueued.elapsed();
-        let started = Instant::now();
-        // The task span opened when the work item was enqueued — the
-        // queue wait belongs to the task, not to the service at large.
-        let enqueued_us = item.enqueued.duration_since(state.started).as_micros() as u64;
-        let picked_us = state.now_us();
-        let task_span = scope::next_span_id();
-        let queue_span = SpanRecord {
-            id: scope::next_span_id(),
-            parent: task_span,
-            kind: SpanKind::QueueWait,
-            label: String::new(),
-            start_us: enqueued_us,
-            end_us: picked_us,
-        };
+        process_item(state, &item);
+    }
+}
 
-        let mut result = state.run_task(task, task_span);
-        let done_us = state.now_us();
-        let service = started.elapsed();
-        if let Some(series) = result.outcome.report().and_then(|r| r.pulse.as_ref()) {
-            state.record_pulse(series);
-        }
+/// Handles one popped work item end to end: journal bracketing,
+/// panic-isolated execution, telemetry, completion bookkeeping.
+pub(crate) fn process_item(state: &ServeState, item: &WorkItem) {
+    process_item_with(state, item, |task, span| state.run_task(task, span));
+}
 
-        let mut spans = vec![
-            SpanRecord {
-                id: task_span,
-                parent: job.span,
-                kind: SpanKind::Task,
-                label: format!("{} {} {}", task.code, task.input, task.mode),
-                start_us: enqueued_us,
-                end_us: done_us,
-            },
-            queue_span,
-        ];
-        spans.append(&mut result.spans);
-        result.spans = spans;
-        publish_task_events(job, item.idx, &result, done_us);
+/// [`process_item`] with the execution step injectable, so the
+/// panicked-task path is testable without a panicking simulator.
+///
+/// The `run` closure is wrapped in `catch_unwind`: a panic anywhere
+/// in the execution path becomes a [`TaskOutcome::Panicked`] result —
+/// the job still completes and the worker keeps draining the queue
+/// instead of wedging the whole pool.
+pub(crate) fn process_item_with(
+    state: &ServeState,
+    item: &WorkItem,
+    run: impl FnOnce(&Task, u64) -> TaskResult,
+) {
+    let job = &item.job;
+    let task = &job.tasks[item.idx];
+    if let Some(journal) = &state.journal {
+        journal.task_started(job.id, item.idx);
+    }
+    let waited = item.enqueued.elapsed();
+    let started = Instant::now();
+    // The task span opened when the work item was enqueued — the
+    // queue wait belongs to the task, not to the service at large.
+    let enqueued_us = item.enqueued.duration_since(state.started).as_micros() as u64;
+    let picked_us = state.now_us();
+    let task_span = scope::next_span_id();
+    let queue_span = SpanRecord {
+        id: scope::next_span_id(),
+        parent: task_span,
+        kind: SpanKind::QueueWait,
+        label: String::new(),
+        start_us: enqueued_us,
+        end_us: picked_us,
+    };
 
-        let finished = state.queue.complete(&item, result);
-        if finished {
-            let close_us = state.now_us();
-            job.push_event(event_line(vec![
-                ("event".into(), Json::Str("span-close".into())),
-                ("span".into(), Json::Int(job.span)),
-                ("kind".into(), Json::Str("job".into())),
-                ("t_us".into(), Json::Int(close_us)),
-                ("job".into(), Json::Int(job.id)),
-            ]));
-        }
-        state.with_metrics(|m| {
-            m.task_wait.record(waited.as_micros() as u64);
-            m.task_service.record(service.as_micros() as u64);
-            m.tasks_completed += 1;
-            if finished {
-                m.jobs_completed += 1;
+    let mut result = match catch_unwind(AssertUnwindSafe(|| run(task, task_span))) {
+        Ok(result) => result,
+        Err(payload) => {
+            state.with_metrics(|m| m.worker_panics += 1);
+            TaskResult {
+                outcome: TaskOutcome::Panicked(panic_message(payload)),
+                provenance: Provenance::Computed,
+                spans: Vec::new(),
             }
-        });
+        }
+    };
+    let done_us = state.now_us();
+    let service = started.elapsed();
+    if let Some(series) = result.outcome.report().and_then(|r| r.pulse.as_ref()) {
+        state.record_pulse(series);
+    }
+
+    let mut spans = vec![
+        SpanRecord {
+            id: task_span,
+            parent: job.span,
+            kind: SpanKind::Task,
+            label: format!("{} {} {}", task.code, task.input, task.mode),
+            start_us: enqueued_us,
+            end_us: done_us,
+        },
+        queue_span,
+    ];
+    spans.append(&mut result.spans);
+    result.spans = spans;
+    publish_task_events(job, item.idx, &result, done_us);
+
+    let outcome_tag = result.outcome.tag();
+    let finished = state.queue.complete(item, result);
+    if let Some(journal) = &state.journal {
+        journal.task_done(job.id, item.idx, outcome_tag);
+        if finished {
+            journal.job_done(job.id);
+        }
+    }
+    if finished {
+        if job.recovered {
+            // A replayed job drained: one step closer to `ready`.
+            let _ = state
+                .recovering
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
+        }
+        let close_us = state.now_us();
+        job.push_event(event_line(vec![
+            ("event".into(), Json::Str("span-close".into())),
+            ("span".into(), Json::Int(job.span)),
+            ("kind".into(), Json::Str("job".into())),
+            ("t_us".into(), Json::Int(close_us)),
+            ("job".into(), Json::Int(job.id)),
+        ]));
+    }
+    state.with_metrics(|m| {
+        m.task_wait.record(waited.as_micros() as u64);
+        m.task_service.record(service.as_micros() as u64);
+        m.tasks_completed += 1;
+        if finished {
+            m.jobs_completed += 1;
+        }
+    });
+    // Crash drill: die *after* the Nth completion is journaled — the
+    // most adversarial instant, since the in-memory registry is ahead
+    // of any client's view and only the journal can reconstruct it.
+    if let Some(limit) = state.options.crash_after_tasks {
+        if state.tasks_done.fetch_add(1, Ordering::SeqCst) + 1 >= limit {
+            eprintln!("dsserve: crash drill abort after {limit} task(s)");
+            std::process::abort();
+        }
+    }
+}
+
+/// How many times a panicked worker thread is respawned before its
+/// slot is retired (a repeatedly-crashing worker burning CPU forever
+/// is worse than a smaller pool).
+pub const WORKER_RESPAWN_BUDGET: u32 = 8;
+
+/// Supervises one worker slot: (re)spawns the worker body until it
+/// exits cleanly (shutdown) or panics with the respawn budget already
+/// spent. Returns `(respawns, retired)` — `retired` means the final
+/// spawn also panicked and the slot gave up. `on_panic` observes each
+/// actual respawn (metrics + logging) with the count so far.
+pub(crate) fn supervise_worker(
+    budget: u32,
+    spawn_body: impl Fn() -> std::thread::JoinHandle<()>,
+    mut on_panic: impl FnMut(u32),
+) -> (u32, bool) {
+    let mut respawns = 0;
+    loop {
+        match spawn_body().join() {
+            Ok(()) => return (respawns, false),
+            Err(_) => {
+                if respawns >= budget {
+                    return (respawns, true);
+                }
+                respawns += 1;
+                on_panic(respawns);
+            }
+        }
     }
 }
 
@@ -609,9 +787,31 @@ impl Server {
         }
 
         let mut workers = Vec::new();
-        for _ in 0..state.options.workers.max(1) {
+        for slot in 0..state.options.workers.max(1) {
             let state = Arc::clone(&state);
-            workers.push(std::thread::spawn(move || worker_loop(&state)));
+            // Each worker slot gets a supervisor: a panic that escapes
+            // the per-item isolation (e.g. in the queue or journal
+            // path) respawns the worker within a bounded budget
+            // instead of silently shrinking the pool.
+            workers.push(std::thread::spawn(move || {
+                let (respawns, retired) = supervise_worker(
+                    WORKER_RESPAWN_BUDGET,
+                    || {
+                        let state = Arc::clone(&state);
+                        std::thread::spawn(move || worker_loop(&state))
+                    },
+                    |respawns| {
+                        state.with_metrics(|m| m.workers_respawned += 1);
+                        eprintln!(
+                            "dsserve: worker {slot} panicked; respawn {respawns}/{}",
+                            WORKER_RESPAWN_BUDGET
+                        );
+                    },
+                );
+                if retired {
+                    eprintln!("dsserve: worker {slot} retired after {respawns} respawns");
+                }
+            }));
         }
 
         let accept = {
@@ -678,5 +878,96 @@ pub fn request_shutdown(state: &ServeState) {
     state.queue.shutdown();
     if let Some(addr) = state.addr.get() {
         let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+    }
+}
+
+#[allow(clippy::unwrap_used)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobState;
+    use ds_core::{InputSize, Mode, SystemConfig};
+
+    fn memory_state() -> Arc<ServeState> {
+        ServeState::new(ServeOptions {
+            workers: 1,
+            handlers: 1,
+            queue_limit: 4,
+            ..ServeOptions::default()
+        })
+    }
+
+    fn one_task() -> Vec<Task> {
+        let cfg = SystemConfig::paper_default();
+        vec![Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm)]
+    }
+
+    #[test]
+    fn a_panicking_task_completes_the_job_instead_of_wedging() {
+        let state = memory_state();
+        let job = state.queue.submit(one_task(), 0).unwrap();
+        let item = state.queue.pop().unwrap();
+        process_item_with(&state, &item, |_, _| panic!("simulated worker bug"));
+        assert_eq!(job.state(), JobState::Done, "job reached a terminal state");
+        let results = job.results();
+        match &results[0].as_ref().unwrap().outcome {
+            TaskOutcome::Panicked(msg) => assert!(msg.contains("simulated worker bug")),
+            other => panic!("expected Panicked, got {}", other.tag()),
+        }
+        assert_eq!(state.with_metrics(|m| m.worker_panics), 1);
+        // The pool is not wedged: the admission slot was released and
+        // fresh work still flows.
+        assert_eq!(state.queue.open_jobs(), 0);
+        state.queue.submit(one_task(), 0).unwrap();
+        assert!(state.queue.pop().is_some());
+    }
+
+    #[test]
+    fn supervisor_respawns_within_budget_then_retires() {
+        use std::sync::atomic::AtomicU32;
+        // A body that panics its first three runs, then exits cleanly.
+        let runs = Arc::new(AtomicU32::new(0));
+        let mut observed = Vec::new();
+        let (respawns, retired) = supervise_worker(
+            8,
+            || {
+                let runs = Arc::clone(&runs);
+                std::thread::spawn(move || {
+                    if runs.fetch_add(1, Ordering::SeqCst) < 3 {
+                        panic!("flaky worker");
+                    }
+                })
+            },
+            |n| observed.push(n),
+        );
+        assert_eq!((respawns, retired), (3, false));
+        assert_eq!(observed, vec![1, 2, 3]);
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            4,
+            "three respawns + clean exit"
+        );
+
+        // A body that always panics exhausts the budget and retires.
+        let (respawns, retired) =
+            supervise_worker(2, || std::thread::spawn(|| panic!("hopeless")), |_| {});
+        assert_eq!((respawns, retired), (2, true));
+    }
+
+    #[test]
+    fn recovered_job_completion_drains_the_recovering_gauge() {
+        let state = memory_state();
+        // Simulate what journal replay does at boot.
+        let job = state.queue.restore(5, "", one_task(), 0);
+        state.recovering.store(1, Ordering::SeqCst);
+        assert_eq!(state.recovering(), 1);
+        let item = state.queue.pop().unwrap();
+        process_item_with(&state, &item, |_, _| TaskResult {
+            outcome: TaskOutcome::TimedOut,
+            provenance: Provenance::Hit,
+            spans: Vec::new(),
+        });
+        assert_eq!(job.state(), JobState::Done);
+        assert_eq!(state.recovering(), 0, "readiness gauge drained");
     }
 }

@@ -1,0 +1,313 @@
+//! ds-anvil end-to-end tests: journal replay across real server
+//! restarts, torn-tail and quarantine boots, replay-equals-live
+//! determinism across worker counts, and idempotent resubmission
+//! over loopback HTTP.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use ds_core::{InputSize, Mode, SystemConfig};
+use ds_runner::json::Json;
+use ds_runner::Task;
+use ds_serve::client::{self, SubmitAnswer};
+use ds_serve::http::{client_request, client_request_ext, Request};
+use ds_serve::journal::{Journal, JOURNAL_FILE};
+use ds_serve::{api, ServeOptions, ServeState, Server};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsserve-anvil-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(cache: &Path, workers: usize) -> ServeOptions {
+    ServeOptions {
+        workers,
+        handlers: 2,
+        queue_limit: 8,
+        cache_dir: Some(cache.to_path_buf()),
+        ..ServeOptions::default()
+    }
+}
+
+fn start(options: ServeOptions) -> (Server, String) {
+    let server = Server::start(options, "127.0.0.1:0").expect("bind loopback");
+    let url = format!("http://{}", server.addr());
+    (server, url)
+}
+
+fn shutdown(url: &str, server: Server) {
+    let (status, _) = client_request(
+        url,
+        "POST",
+        "/shutdown",
+        Some("{}"),
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    server.wait();
+}
+
+/// The VA small CCSM+DS pair — two tasks, same shape `sweep_body`
+/// submits — as a crashed-job task list.
+fn va_tasks() -> Vec<Task> {
+    let cfg = SystemConfig::paper_default();
+    vec![
+        Task::new(&cfg, "VA", InputSize::Small, Mode::Ccsm),
+        Task::new(&cfg, "VA", InputSize::Small, Mode::DirectStore),
+    ]
+}
+
+/// Plants a journal holding one unfinished job — the on-disk state a
+/// crashed server leaves behind — and returns the job id.
+fn plant_unfinished_job(cache: &Path, id: u64) -> u64 {
+    let (journal, recovery) = Journal::open(cache).expect("open journal");
+    assert!(recovery.jobs.is_empty());
+    journal.job_submitted(id, "", &va_tasks());
+    journal.task_started(id, 0);
+    id
+}
+
+fn fold(doc: &Json) -> String {
+    let cfg = SystemConfig::paper_default();
+    client::sweep_doc(&cfg, InputSize::Small, Mode::DirectStore, doc)
+        .unwrap()
+        .doc
+}
+
+#[test]
+fn a_planted_journal_replays_into_a_served_job_after_restart() {
+    let dir = scratch("replay");
+    let id = plant_unfinished_job(&dir, 7);
+
+    let (server, url) = start(options(&dir, 2));
+    assert_eq!(server.state().recovery.jobs, 1);
+    assert_eq!(server.state().recovery.tasks, 2);
+
+    // The recovered job is a first-class job under its original id.
+    client::wait_done(&url, id, Duration::from_secs(300)).unwrap();
+    let results = client::fetch_results(&url, id).unwrap();
+    let recovered = fold(&results);
+
+    // A fresh submission of the same sweep on the same server is pure
+    // cache and folds to the same bytes: recovery left no trace in
+    // the payload.
+    let body = client::sweep_body(
+        Some(&["VA".to_string()]),
+        InputSize::Small,
+        Mode::DirectStore,
+    );
+    let SubmitAnswer::Accepted { id: id2, .. } = client::submit(&url, &body).unwrap() else {
+        panic!("live resubmission rejected");
+    };
+    assert!(id2 > id, "fresh ids continue past the recovered id");
+    client::wait_done(&url, id2, Duration::from_secs(300)).unwrap();
+    let live = fold(&client::fetch_results(&url, id2).unwrap());
+    assert_eq!(recovered, live, "recovered fold differs from live fold");
+
+    // Once the recovered job finished, the journal compacts away on
+    // the next boot: nothing left to recover.
+    shutdown(&url, server);
+    let after = Journal::peek(&dir);
+    assert!(after.jobs.is_empty(), "{after:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_folds_identically_across_worker_counts() {
+    let mut folds = Vec::new();
+    for workers in [1usize, 3] {
+        let dir = scratch(&format!("workers{workers}"));
+        let id = plant_unfinished_job(&dir, 11);
+        let (server, url) = start(options(&dir, workers));
+        client::wait_done(&url, id, Duration::from_secs(300)).unwrap();
+        folds.push(fold(&client::fetch_results(&url, id).unwrap()));
+        shutdown(&url, server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(folds[0], folds[1], "recovery depends on worker count");
+}
+
+#[test]
+fn a_torn_tail_boot_recovers_the_job_and_reports_it() {
+    let dir = scratch("torn");
+    let id = plant_unfinished_job(&dir, 5);
+    // A crash mid-append leaves a partial final line.
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        file.write_all(b"{\"rec\":\"task-don").unwrap();
+    }
+
+    let (server, url) = start(options(&dir, 2));
+    assert_eq!(server.state().recovery.jobs, 1);
+    assert!(server.state().recovery.torn_tail);
+    client::wait_done(&url, id, Duration::from_secs(300)).unwrap();
+
+    let (status, text) =
+        client_request(&url, "GET", "/metrics", None, Duration::from_secs(10)).unwrap();
+    assert_eq!(status, 200);
+    let doc = ds_runner::json::parse(&text).unwrap();
+    let journal = doc.get("journal").expect("journal block");
+    assert_eq!(journal.get("torn_tail"), Some(&Json::Bool(true)));
+    assert_eq!(
+        journal.get("recovered_jobs").and_then(Json::as_u64),
+        Some(1)
+    );
+    shutdown(&url, server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_corrupt_journal_is_quarantined_and_the_server_still_boots() {
+    let dir = scratch("quarantine");
+    plant_unfinished_job(&dir, 9);
+    // Interior corruption: damage the first line, keep good records
+    // after it — not a torn tail, a damaged history.
+    let path = dir.join(JOURNAL_FILE);
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    let first = text.find('\n').unwrap();
+    text.replace_range(..first, "{\"rec\":\"garbage\"}");
+    std::fs::write(&path, text).unwrap();
+
+    let (server, url) = start(options(&dir, 2));
+    assert_eq!(server.state().recovery.jobs, 0);
+    assert!(server.state().recovery.quarantined);
+    let quarantined: Vec<_> = std::fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine directory")
+        .collect();
+    assert_eq!(quarantined.len(), 1, "one quarantined journal");
+
+    // The boot is degraded, not dead: new jobs flow normally.
+    let body = client::sweep_body(
+        Some(&["VA".to_string()]),
+        InputSize::Small,
+        Mode::DirectStore,
+    );
+    let SubmitAnswer::Accepted { id, .. } = client::submit(&url, &body).unwrap() else {
+        panic!("submission rejected after quarantine boot");
+    };
+    client::wait_done(&url, id, Duration::from_secs(300)).unwrap();
+    shutdown(&url, server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idempotent_resubmission_attaches_over_http() {
+    let dir = scratch("idem");
+    let (server, url) = start(options(&dir, 2));
+    let body = client::sweep_body(
+        Some(&["VA".to_string()]),
+        InputSize::Small,
+        Mode::DirectStore,
+    );
+    let headers = [("Idempotency-Key".to_string(), "anvil-key-1".to_string())];
+    let submit = || {
+        client_request_ext(
+            &url,
+            "POST",
+            "/jobs",
+            Some(body.as_str()),
+            &headers,
+            Duration::from_secs(30),
+        )
+        .unwrap()
+    };
+    let (status_a, text_a, _) = submit();
+    let (status_b, text_b, _) = submit();
+    assert_eq!((status_a, status_b), (200, 200));
+    let id = |text: &str| {
+        ds_runner::json::parse(text)
+            .unwrap()
+            .get("job")
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert_eq!(id(&text_a), id(&text_b), "retry created a second job");
+    let doc_b = ds_runner::json::parse(&text_b).unwrap();
+    assert_eq!(doc_b.get("deduplicated"), Some(&Json::Bool(true)));
+    client::wait_done(&url, id(&text_a), Duration::from_secs(300)).unwrap();
+    shutdown(&url, server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn post_jobs(state: &ServeState, key: &str) -> ds_serve::http::Response {
+    api::handle(
+        state,
+        &Request {
+            method: "POST".into(),
+            path: "/jobs".into(),
+            query: String::new(),
+            accept: String::new(),
+            idempotency: key.into(),
+            body: br#"{"tasks": [{"bench": "VA", "input": "small", "mode": "ds"}]}"#.to_vec(),
+        },
+    )
+}
+
+#[test]
+fn saturation_answers_retry_after_and_dedup_still_works_at_the_bound() {
+    // State without workers: accepted jobs stay open, so the bound is
+    // deterministic.
+    let state = ServeState::new(ServeOptions {
+        workers: 1,
+        handlers: 1,
+        queue_limit: 1,
+        cache_dir: None,
+        ..ServeOptions::default()
+    });
+    let first = post_jobs(&state, "busy-key");
+    assert_eq!(first.status, 200);
+    let full = post_jobs(&state, "");
+    assert_eq!(full.status, 429);
+    assert!(
+        full.headers
+            .iter()
+            .any(|(name, value)| name == "Retry-After" && value.parse::<u64>().is_ok()),
+        "429 without Retry-After: {:?}",
+        full.headers
+    );
+    // A retry of the *accepted* submission attaches even though the
+    // queue is at its bound — dedup outranks admission.
+    let retry = post_jobs(&state, "busy-key");
+    assert_eq!(retry.status, 200);
+    let doc = ds_runner::json::parse(&retry.body).unwrap();
+    assert_eq!(doc.get("deduplicated"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn health_distinguishes_liveness_from_readiness_while_recovering() {
+    let dir = scratch("health");
+    plant_unfinished_job(&dir, 3);
+    // No worker threads: the recovered job stays open, so the
+    // recovering window is observable.
+    let state = ServeState::new(ServeOptions {
+        workers: 1,
+        handlers: 1,
+        queue_limit: 8,
+        cache_dir: Some(dir.clone()),
+        ..ServeOptions::default()
+    });
+    assert_eq!(state.recovering(), 1);
+    let health = api::handle(
+        &state,
+        &Request {
+            method: "GET".into(),
+            path: "/health".into(),
+            query: String::new(),
+            accept: String::new(),
+            idempotency: String::new(),
+            body: Vec::new(),
+        },
+    );
+    assert_eq!(health.status, 200, "recovering is alive");
+    let doc = ds_runner::json::parse(&health.body).unwrap();
+    assert_eq!(doc.get("state").and_then(Json::as_str), Some("recovering"));
+    assert_eq!(doc.get("ready"), Some(&Json::Bool(false)));
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    let _ = std::fs::remove_dir_all(&dir);
+}

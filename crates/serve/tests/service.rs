@@ -199,6 +199,7 @@ fn saturation_answers_429_and_shutdown_answers_429() {
         path: "/jobs".into(),
         query: String::new(),
         accept: String::new(),
+        idempotency: String::new(),
         body: br#"{"tasks": [{"bench": "VA", "input": "small", "mode": "ds"}]}"#.to_vec(),
     };
     assert_eq!(api::handle(&state, &submit).status, 200);
@@ -313,6 +314,7 @@ fn events_stream_interleaves_pulse_windows_and_closes_cleanly() {
             path: "/metrics".into(),
             query: String::new(),
             accept: "text/plain".into(),
+            idempotency: String::new(),
             body: Vec::new(),
         },
     );
@@ -347,6 +349,7 @@ fn quiet_event_streams_heartbeat_at_the_configured_cadence() {
         path: "/jobs".into(),
         query: String::new(),
         accept: String::new(),
+        idempotency: String::new(),
         body: br#"{"tasks": [{"bench": "VA", "input": "small", "mode": "ds"}], "pulse": 1000}"#
             .to_vec(),
     };
@@ -515,6 +518,7 @@ fn unknown_routes_and_bad_bodies_are_4xx() {
                 path: path.into(),
                 query: String::new(),
                 accept: String::new(),
+                idempotency: String::new(),
                 body: Vec::new(),
             },
         )
@@ -531,6 +535,7 @@ fn unknown_routes_and_bad_bodies_are_4xx() {
             path: "/jobs".into(),
             query: String::new(),
             accept: String::new(),
+            idempotency: String::new(),
             body: b"not json".to_vec(),
         },
     );
@@ -542,6 +547,7 @@ fn unknown_routes_and_bad_bodies_are_4xx() {
             path: "/jobs".into(),
             query: String::new(),
             accept: String::new(),
+            idempotency: String::new(),
             body: Vec::new(),
         },
     );

@@ -165,6 +165,25 @@ rc=0
 "$dsserve" shutdown --url "$sat_url"
 wait "$sat_pid"
 
+echo "==> ds-anvil crash drill (seeded abort mid-sweep, zero loss, byte-identical)"
+# A real dsserve child aborts after a seeded number of journaled task
+# completions; the restart must recover the job under its original
+# id, rehydrate finished tasks from cache (store accounting proves no
+# double-compute), and fold byte-identical results.
+"$dsserve" drill --seed 3 --workers 2 --dir "$smoke_dir/drill" \
+  2> "$smoke_dir/drill.log" || {
+  echo "ci.sh: dsserve drill failed" >&2
+  cat "$smoke_dir/drill.log" >&2
+  exit 1
+}
+
+echo "==> ds-anvil external kill -9 drill (scripts/crash_drill.sh)"
+scripts/crash_drill.sh VA,MM > "$smoke_dir/crash-drill.log" 2>&1 || {
+  echo "ci.sh: scripts/crash_drill.sh failed" >&2
+  cat "$smoke_dir/crash-drill.log" >&2
+  exit 1
+}
+
 echo "==> dsscope span audit (telescoping, exact reconciliation, zero overhead off)"
 # Every small-catalog report must carry a span tree that telescopes
 # and reconciles queue + store + sim + overhead exactly against its
