@@ -740,8 +740,9 @@ fn health(state: &ServeState) -> Response {
 /// open job drains, and the retrying client adds its own backoff.
 const RETRY_AFTER_SECS: u64 = 1;
 
-/// `POST /jobs`: parse, admit (honoring `Idempotency-Key`), journal,
-/// enqueue.
+/// `POST /jobs`: parse, admit (honoring `Idempotency-Key`). The queue
+/// journals the submission *before* enqueueing it — write-ahead order
+/// — so the handler only renders the outcome.
 fn submit(state: &ServeState, request: &Request, request_span: u64) -> Response {
     let tasks = match parse_submission(&request.body) {
         Ok(tasks) => tasks,
@@ -751,7 +752,10 @@ fn submit(state: &ServeState, request: &Request, request_span: u64) -> Response 
         "" => None,
         key => Some(key),
     };
-    match state.queue.submit_keyed(tasks, request_span, key) {
+    match state
+        .queue
+        .submit_keyed(tasks, request_span, key, state.journal.as_ref())
+    {
         Ok((job, deduplicated)) => {
             let mut fields = vec![
                 ("job".into(), Json::Int(job.id)),
@@ -764,9 +768,6 @@ fn submit(state: &ServeState, request: &Request, request_span: u64) -> Response 
                 // no journaling, no duplicate span — just the pointer.
                 fields.push(("deduplicated".into(), Json::Bool(true)));
                 return ok(Json::Obj(fields));
-            }
-            if let Some(journal) = &state.journal {
-                journal.job_submitted(job.id, key.unwrap_or(""), &job.tasks);
             }
             state.with_metrics(|m| m.jobs_accepted += 1);
             // The job span opens at admission; workers close it when

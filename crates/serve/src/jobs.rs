@@ -22,6 +22,8 @@ use ds_probe::SpanRecord;
 use ds_runner::shared::Provenance;
 use ds_runner::{Task, TaskOutcome};
 
+use crate::journal::{keys_match, Journal};
+
 /// Lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
@@ -173,6 +175,10 @@ pub enum Rejection {
     ShuttingDown,
     /// The submission itself is unusable (e.g. zero tasks).
     Empty,
+    /// The submission reused an `Idempotency-Key` with a task list
+    /// that differs from the job the key originally created — serving
+    /// the stored job would hand the client unrelated results.
+    KeyMismatch,
 }
 
 impl Rejection {
@@ -181,6 +187,7 @@ impl Rejection {
         match self {
             Rejection::QueueFull { .. } | Rejection::ShuttingDown => 429,
             Rejection::Empty => 400,
+            Rejection::KeyMismatch => 409,
         }
     }
 
@@ -192,6 +199,9 @@ impl Rejection {
             }
             Rejection::ShuttingDown => "service is shutting down".into(),
             Rejection::Empty => "submission contains no tasks".into(),
+            Rejection::KeyMismatch => {
+                "idempotency key reuse: tasks differ from the key's original submission".into()
+            }
         }
     }
 }
@@ -213,6 +223,56 @@ struct QueueInner {
     shutdown: bool,
 }
 
+/// Bound on remembered `Idempotency-Key` mappings: every keyed
+/// submission adds one, and a long-running server must not grow an
+/// entry per retry-wrapped request forever.
+const IDEMPOTENCY_CAP: usize = 4096;
+
+/// `Idempotency-Key` → job id with LRU eviction at
+/// [`IDEMPOTENCY_CAP`]: a key older than the cap's worth of newer
+/// submissions stops deduplicating, which is safe (the retry is
+/// admitted as a fresh job) where unbounded growth is not.
+#[derive(Default)]
+struct IdemMap {
+    map: HashMap<String, u64>,
+    /// Keys in least→most recently used order.
+    order: VecDeque<String>,
+}
+
+impl IdemMap {
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&mut self, key: &str) -> Option<u64> {
+        let id = self.map.get(key).copied()?;
+        if let Some(at) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(at).expect("position just found");
+            self.order.push_back(k);
+        }
+        Some(id)
+    }
+
+    /// Inserts (or refreshes) `key → id`, evicting the least recently
+    /// used mapping once the cap is exceeded.
+    fn insert(&mut self, key: &str, id: u64) {
+        if self.map.insert(key.to_string(), id).is_some() {
+            if let Some(at) = self.order.iter().position(|k| k == key) {
+                self.order.remove(at);
+            }
+        }
+        self.order.push_back(key.to_string());
+        while self.map.len() > IDEMPOTENCY_CAP {
+            let Some(evicted) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&evicted);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// The bounded job queue and registry shared by handlers and workers.
 pub struct JobQueue {
     inner: Mutex<QueueInner>,
@@ -220,9 +280,10 @@ pub struct JobQueue {
     jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
     /// `Idempotency-Key` → job id, so a client retrying a submission
     /// after an ambiguous failure attaches to the job the first
-    /// attempt created instead of duplicating it. Keys live as long
-    /// as the registry entry (jobs are never evicted in-process).
-    idempotency: Mutex<HashMap<String, u64>>,
+    /// attempt created instead of duplicating it (bounded; see
+    /// [`IdemMap`]). Lock order: this lock may be held while taking
+    /// `inner`, never the other way around.
+    idempotency: Mutex<IdemMap>,
     next_id: AtomicU64,
     limit: usize,
 }
@@ -242,7 +303,7 @@ impl JobQueue {
             }),
             wake: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
-            idempotency: Mutex::new(HashMap::new()),
+            idempotency: Mutex::new(IdemMap::default()),
             next_id: AtomicU64::new(1),
             limit: limit.max(1),
         }
@@ -273,30 +334,44 @@ impl JobQueue {
     /// [`Rejection::ShuttingDown`] after [`JobQueue::shutdown`], and
     /// [`Rejection::QueueFull`] at the open-job bound.
     pub fn submit(&self, tasks: Vec<Task>, parent_span: u64) -> Result<Arc<JobRecord>, Rejection> {
-        self.submit_keyed(tasks, parent_span, None)
+        self.submit_keyed(tasks, parent_span, None, None)
             .map(|(job, _)| job)
     }
 
     /// [`JobQueue::submit`] with an optional `Idempotency-Key`: when
-    /// `key` already maps to a job, that job is returned with
-    /// `deduplicated = true` and nothing is enqueued — a client retry
-    /// after an ambiguous failure attaches instead of duplicating.
-    /// The dedup check runs *before* admission control, so a retry of
-    /// an already-accepted submission succeeds even at the open-job
-    /// bound or during shutdown.
+    /// `key` already maps to a job with the same task list, that job
+    /// is returned with `deduplicated = true` and nothing is enqueued
+    /// — a client retry after an ambiguous failure attaches instead
+    /// of duplicating. The dedup check runs *before* admission
+    /// control, so a retry of an already-accepted submission succeeds
+    /// even at the open-job bound or during shutdown. The idempotency
+    /// lock is held from the lookup through the insert, so two
+    /// concurrent submissions with the same key admit exactly one job.
+    ///
+    /// When `journal` is given, the job-submitted record is appended
+    /// *before* the work becomes visible to workers — the write-ahead
+    /// ordering recovery depends on: a worker's task-started record
+    /// landing ahead of the submission would replay as corruption.
     ///
     /// # Errors
     ///
-    /// As [`JobQueue::submit`].
+    /// As [`JobQueue::submit`], plus [`Rejection::KeyMismatch`] when
+    /// the key's stored job was created from a different task list.
     pub fn submit_keyed(
         &self,
         tasks: Vec<Task>,
         parent_span: u64,
         key: Option<&str>,
+        journal: Option<&Journal>,
     ) -> Result<(Arc<JobRecord>, bool), Rejection> {
-        if let Some(key) = key.filter(|k| !k.is_empty()) {
-            if let Some(id) = lock(&self.idempotency).get(key).copied() {
+        let key = key.filter(|k| !k.is_empty());
+        let mut idem = key.map(|_| lock(&self.idempotency));
+        if let (Some(key), Some(idem)) = (key, idem.as_deref_mut()) {
+            if let Some(id) = idem.get(key) {
                 if let Some(job) = self.get(id) {
+                    if !keys_match(&job.tasks, &tasks) {
+                        return Err(Rejection::KeyMismatch);
+                    }
                     return Ok((job, true));
                 }
             }
@@ -304,22 +379,33 @@ impl JobQueue {
         if tasks.is_empty() {
             return Err(Rejection::Empty);
         }
-        let mut inner = lock(&self.inner);
-        if inner.shutdown {
-            return Err(Rejection::ShuttingDown);
+        {
+            let mut inner = lock(&self.inner);
+            if inner.shutdown {
+                return Err(Rejection::ShuttingDown);
+            }
+            if inner.open_jobs >= self.limit {
+                return Err(Rejection::QueueFull {
+                    open: inner.open_jobs,
+                    limit: self.limit,
+                });
+            }
+            inner.open_jobs += 1;
         }
-        if inner.open_jobs >= self.limit {
-            return Err(Rejection::QueueFull {
-                open: inner.open_jobs,
-                limit: self.limit,
-            });
-        }
-        inner.open_jobs += 1;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = self.admit(inner, id, tasks, parent_span, false);
-        if let Some(key) = key.filter(|k| !k.is_empty()) {
-            lock(&self.idempotency).insert(key.to_string(), id);
+        let job = self.register(id, tasks, parent_span, false);
+        if let (Some(key), Some(idem)) = (key, idem.as_deref_mut()) {
+            idem.insert(key, id);
         }
+        if let Some(journal) = journal {
+            journal.job_submitted(id, key.unwrap_or(""), &job.tasks);
+        }
+        // Only now — with the admission slot taken, the registry and
+        // idempotency map updated, and the submission durable — does
+        // the work become visible to workers. The idempotency guard
+        // drops here, so a dedup hit always implies a journaled job.
+        drop(idem);
+        self.enqueue(&job);
         Ok((job, false))
     }
 
@@ -327,7 +413,9 @@ impl JobQueue {
     /// original `id`, bypassing admission control (the work was
     /// already accepted — refusing it now would be the data loss the
     /// journal exists to prevent) and re-registering its idempotency
-    /// `key` so client retries still attach across the restart.
+    /// `key` so client retries still attach across the restart. The
+    /// journal already holds the job's submitted record (compaction
+    /// rewrote it), so nothing is re-journaled here.
     pub fn restore(
         &self,
         id: u64,
@@ -336,19 +424,21 @@ impl JobQueue {
         parent_span: u64,
     ) -> Arc<JobRecord> {
         self.next_id.fetch_max(id + 1, Ordering::Relaxed);
-        let mut inner = lock(&self.inner);
-        inner.open_jobs += 1;
-        let job = self.admit(inner, id, tasks, parent_span, true);
+        lock(&self.inner).open_jobs += 1;
+        let job = self.register(id, tasks, parent_span, true);
         if !key.is_empty() {
-            lock(&self.idempotency).insert(key.to_string(), id);
+            lock(&self.idempotency).insert(key, id);
         }
+        self.enqueue(&job);
         job
     }
 
-    /// Registers and enqueues a job under the already-held queue lock.
-    fn admit(
+    /// Creates the job record and registers it in the jobs map —
+    /// visible to `GET /jobs/<id>` but not yet to workers; the caller
+    /// journals the submission (when journaling is on) and then
+    /// publishes the work via [`JobQueue::enqueue`].
+    fn register(
         &self,
-        mut inner: std::sync::MutexGuard<'_, QueueInner>,
         id: u64,
         tasks: Vec<Task>,
         parent_span: u64,
@@ -369,18 +459,24 @@ impl JobQueue {
             events: Mutex::new(Vec::new()),
             events_wake: Condvar::new(),
         });
+        lock(&self.jobs).insert(id, Arc::clone(&job));
+        job
+    }
+
+    /// Pushes one work item per task and wakes the workers. The
+    /// caller has already taken the admission slot.
+    fn enqueue(&self, job: &Arc<JobRecord>) {
+        let mut inner = lock(&self.inner);
         let now = Instant::now();
-        for idx in 0..total {
+        for idx in 0..job.tasks.len() {
             inner.items.push_back(WorkItem {
-                job: Arc::clone(&job),
+                job: Arc::clone(job),
                 idx,
                 enqueued: now,
             });
         }
         drop(inner);
-        lock(&self.jobs).insert(id, Arc::clone(&job));
         self.wake.notify_all();
-        job
     }
 
     /// Looks up a job by id.
@@ -507,30 +603,30 @@ mod tests {
     #[test]
     fn idempotency_key_attaches_retries_to_the_original_job() {
         let queue = JobQueue::new(1);
-        let (job, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        let (job, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1"), None).unwrap();
         assert!(!deduplicated);
         // The retry attaches even though the admission slot is taken.
-        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1"), None).unwrap();
         assert!(deduplicated);
         assert_eq!(again.id, job.id);
         assert_eq!(queue.open_jobs(), 1, "no duplicate admission");
         assert_eq!(queue.depth(), 1, "no duplicate work items");
         // A different key is a genuinely new submission (rejected here:
         // the single slot is taken).
-        assert!(queue.submit_keyed(tasks(1), 0, Some("key-2")).is_err());
+        assert!(queue.submit_keyed(tasks(1), 0, Some("key-2"), None).is_err());
         // Keyless submissions never deduplicate.
-        assert!(queue.submit_keyed(tasks(1), 0, None).is_err());
+        assert!(queue.submit_keyed(tasks(1), 0, None, None).is_err());
     }
 
     #[test]
     fn idempotent_retry_attaches_even_during_shutdown() {
         let queue = JobQueue::new(4);
-        let (job, _) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        let (job, _) = queue.submit_keyed(tasks(1), 0, Some("key-1"), None).unwrap();
         queue.shutdown();
-        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1")).unwrap();
+        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1"), None).unwrap();
         assert!(deduplicated);
         assert_eq!(again.id, job.id);
-        assert!(queue.submit_keyed(tasks(1), 0, Some("key-2")).is_err());
+        assert!(queue.submit_keyed(tasks(1), 0, Some("key-2"), None).is_err());
     }
 
     #[test]
@@ -573,9 +669,105 @@ mod tests {
         assert_eq!(fresh.id, 10);
         assert!(!fresh.recovered);
         // ...and restored idempotency keys still deduplicate retries.
-        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("idem-7")).unwrap();
+        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("idem-7"), None).unwrap();
         assert!(deduplicated);
         assert_eq!(again.id, 7);
+    }
+
+    #[test]
+    fn reused_key_with_different_tasks_conflicts() {
+        let queue = JobQueue::new(4);
+        let (job, _) = queue.submit_keyed(tasks(1), 0, Some("key-1"), None).unwrap();
+        // Same key, different sweep: refusing is the only answer that
+        // neither duplicates work nor serves unrelated results.
+        let rejection = queue
+            .submit_keyed(tasks(2), 0, Some("key-1"), None)
+            .unwrap_err();
+        assert_eq!(rejection, Rejection::KeyMismatch);
+        assert_eq!(rejection.status(), 409);
+        assert_eq!(queue.open_jobs(), 1, "no second admission");
+        // The original mapping is intact.
+        let (again, deduplicated) = queue.submit_keyed(tasks(1), 0, Some("key-1"), None).unwrap();
+        assert!(deduplicated);
+        assert_eq!(again.id, job.id);
+    }
+
+    #[test]
+    fn concurrent_same_key_submissions_admit_exactly_one_job() {
+        let queue = Arc::new(JobQueue::new(64));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let ids: Vec<u64> = (0..8)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (job, _) = queue.submit_keyed(tasks(1), 0, Some("race"), None).unwrap();
+                    job.id
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+        assert!(
+            ids.iter().all(|id| *id == ids[0]),
+            "one job for one key: {ids:?}"
+        );
+        assert_eq!(queue.open_jobs(), 1);
+        assert_eq!(queue.depth(), 1);
+    }
+
+    #[test]
+    fn idempotency_map_is_bounded_with_lru_eviction() {
+        let mut map = IdemMap::default();
+        for i in 0..IDEMPOTENCY_CAP + 10 {
+            map.insert(&format!("key-{i}"), i as u64);
+        }
+        assert_eq!(map.len(), IDEMPOTENCY_CAP, "cap holds");
+        assert_eq!(map.get("key-0"), None, "oldest keys evicted");
+        assert_eq!(
+            map.get(&format!("key-{}", IDEMPOTENCY_CAP + 9)),
+            Some((IDEMPOTENCY_CAP + 9) as u64)
+        );
+        // A hit refreshes recency: key-10 survives the next eviction,
+        // key-11 (now the least recently used) does not.
+        assert!(map.get("key-10").is_some());
+        map.insert("fresh", 1);
+        assert!(map.get("key-10").is_some(), "refreshed key survives");
+        assert_eq!(map.get("key-11"), None, "stale key evicted instead");
+        // Re-inserting an existing key must not grow the map.
+        map.insert("fresh", 2);
+        assert_eq!(map.len(), IDEMPOTENCY_CAP);
+        assert_eq!(map.get("fresh"), Some(2));
+    }
+
+    #[test]
+    fn journaled_submission_precedes_worker_visibility() {
+        let dir = std::env::temp_dir().join(format!(
+            "ds-anvil-wal-order-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, _) = Journal::open(&dir).unwrap();
+        let queue = JobQueue::new(4);
+        // A worker journaling task-started the instant it can pop must
+        // always land after the job-submitted record: replay treats
+        // records for an unknown job as corruption.
+        let (job, _) = queue
+            .submit_keyed(tasks(1), 0, Some("wal"), Some(&journal))
+            .unwrap();
+        let item = queue.pop().unwrap();
+        journal.task_started(job.id, item.idx);
+        let recovery = Journal::peek(&dir);
+        assert!(recovery.quarantined.is_none(), "records replay in order");
+        assert!(!recovery.torn_tail);
+        assert_eq!(recovery.records, 2);
+        assert_eq!(recovery.jobs.len(), 1);
+        assert_eq!(recovery.jobs[0].id, job.id);
+        assert_eq!(recovery.jobs[0].key, "wal");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

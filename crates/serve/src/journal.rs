@@ -312,11 +312,17 @@ fn load(dir: &Path, path: &Path, mutate: bool) -> Recovery {
                 }
             }
             Err(why) => {
-                if n + 1 == text.lines().count() {
-                    // Torn tail: the crash interrupted the final
-                    // append. Truncate it away and keep the prefix.
+                if n >= complete_lines {
+                    // Torn tail: the final line never got its newline
+                    // — the signature of a crash interrupting the
+                    // append mid-record. Truncate it away and keep
+                    // the prefix.
                     recovery.torn_tail = true;
                 } else {
+                    // A newline-sealed record that fails to parse or
+                    // apply is corruption wherever it sits — a fully
+                    // written final line included. Classifying it as
+                    // torn would silently truncate real damage.
                     corrupt = Some(format!("record {}: {why}", n + 1));
                 }
                 break;
@@ -835,11 +841,41 @@ mod tests {
             "{\"rec\":\"task-done\",\"job\":5,\"task\":0,\"outcome\":\"ok\"}\n",
         )
         .unwrap();
-        // Interior/table-level inconsistency, but it is also the final
-        // line — the loader treats a bad *final* line as a torn tail.
+        // The record is fully written and newline-sealed, so its
+        // invalidity is corruption even on the final line — torn-tail
+        // handling is reserved for records the crash left unsealed.
         let recovery = Journal::peek(&dir);
-        assert!(recovery.torn_tail);
+        assert!(!recovery.torn_tail);
+        assert!(recovery.quarantined.is_some());
         assert!(recovery.jobs.is_empty());
+        // `open` moves it into quarantine and boots fresh.
+        let (_journal, recovery) = Journal::open(&dir).unwrap();
+        let quarantined = recovery.quarantined.expect("quarantined");
+        assert!(quarantined.starts_with(dir.join("quarantine")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsealed_invalid_final_record_is_a_torn_tail() {
+        let dir = tmp("unsealed");
+        {
+            let (journal, _) = Journal::open(&dir).unwrap();
+            journal.job_submitted(1, "", &sample_tasks()[..1]);
+        }
+        // The same semantically-invalid record, but missing its
+        // newline: the append never finished, so this *is* a torn
+        // tail — truncated, not quarantined.
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        file.write_all(b"{\"rec\":\"task-done\",\"job\":5,\"task\":0,\"outcome\":\"ok\"}")
+            .unwrap();
+        drop(file);
+        let (_journal, recovery) = Journal::open(&dir).unwrap();
+        assert!(recovery.torn_tail);
+        assert!(recovery.quarantined.is_none());
+        assert_eq!(recovery.jobs.len(), 1, "the sealed prefix survives");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
